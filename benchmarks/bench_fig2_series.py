@@ -1,0 +1,42 @@
+"""Fig. 2 — bar chart of the Somier implementation times (Table II data).
+
+Regenerates the chart's series and renders it as an ASCII bar chart; the
+series values are the simulated totals that bench_table2 also reports.
+"""
+
+from conftest import paper_seconds, run_once
+
+from repro.util.format import format_hms
+
+IMPLS = ["one_buffer", "two_buffers", "double_buffering"]
+GPUS = [2, 4]
+
+
+def test_fig2_series(benchmark, paper_runs, capsys):
+    def collect():
+        return {
+            impl: [paper_runs.get(impl, g).elapsed for g in GPUS]
+            for impl in IMPLS
+        }
+
+    series = run_once(benchmark, collect)
+    benchmark.extra_info["series"] = {
+        impl: [round(v, 1) for v in vals] for impl, vals in series.items()
+    }
+
+    max_v = max(v for vals in series.values() for v in vals)
+    width = 50
+    with capsys.disabled():
+        print("\n\nFIG. 2 — Time comparison of the Somier implementations")
+        for gi, g in enumerate(GPUS):
+            print(f"\n  {g} GPUs")
+            for impl in IMPLS:
+                sim = series[impl][gi]
+                paper = paper_seconds(impl, g)
+                bar = "#" * max(1, int(sim / max_v * width))
+                print(f"    {impl:18s} |{bar:<{width}}| "
+                      f"{format_hms(sim)}  (paper {format_hms(paper)})")
+
+    # the series is monotone in GPUs for every implementation
+    for impl in IMPLS:
+        assert series[impl][1] < series[impl][0]

@@ -1,0 +1,56 @@
+"""Fig. 3 — nsys-style traces of the three implementations at 4 GPUs.
+
+The paper's reading of its traces: "the execution time was mainly dominated
+by memory transfers and not by kernel computations" for all three Somier
+variants.  This bench regenerates per-device busy fractions (H2D / D2H /
+kernel) from the simulated traces, prints an ASCII timeline excerpt per
+implementation (the analogue of the 10-second nsys windows), and asserts
+transfer dominance.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.sim.trace import TraceAnalysis
+from repro.util.format import format_table
+
+IMPLS = ["one_buffer", "two_buffers", "double_buffering"]
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_fig3_trace(benchmark, paper_runs, impl, capsys):
+    result = run_once(benchmark, paper_runs.get, impl, 4, trace=True)
+    ta = TraceAnalysis(result.runtime.trace)
+    rows = []
+    for d in result.devices:
+        s = ta.device_summary(d)
+        rows.append((d, f"{s['h2d']:.0f}s", f"{s['d2h']:.0f}s",
+                     f"{s['kernel']:.0f}s",
+                     f"{ta.idle_fraction(d) * 100:.0f}%"))
+    agg = ta.transfer_dominance(result.devices)
+    benchmark.extra_info["transfer_seconds"] = round(agg["transfer"], 1)
+    benchmark.extra_info["kernel_seconds"] = round(agg["kernel"], 1)
+    benchmark.extra_info["transfer_over_kernel"] = round(agg["ratio"], 2)
+
+    # a 10-virtual-second window of the trace, like the paper's figures
+    span = result.runtime.trace.makespan()
+    t0 = span * 0.4
+    with capsys.disabled():
+        print(f"\n\nFIG. 3 ({impl}) — busy time per device, 4 GPUs")
+        print(format_table(["device", "H2D", "D2H", "kernel", "idle"], rows))
+        print(f"transfer/kernel ratio: {agg['ratio']:.2f}")
+        print(f"\n10 virtual seconds of the trace "
+              f"[{t0:.1f}s .. {t0 + 10:.1f}s]:")
+        print(result.runtime.trace.to_ascii(width=100, t0=t0, t1=t0 + 10))
+
+    # the paper's conclusion: transfers dominate
+    assert agg["ratio"] > 1.5
+
+
+def test_fig3_chrome_trace_export(benchmark, paper_runs, tmp_path):
+    """The traces also export to Chrome-trace JSON for offline viewing."""
+    result = run_once(benchmark, paper_runs.get, "one_buffer", 4, trace=True)
+    out = tmp_path / "one_buffer_4gpu.json"
+    out.write_text(result.runtime.trace.to_chrome_trace())
+    assert out.stat().st_size > 10_000

@@ -1,0 +1,71 @@
+"""Fig. 4 — a single GPU's timeline in the Two Buffers run.
+
+The paper's three observations about this trace sample:
+
+1. "The five kernel computations were not executed subsequently, but
+   interleaved with data transfers from a different buffer."
+2. "Overlap of computation and transfers from different buffers happened in
+   very rare occasions."
+3. "Transfers from different buffers did not overlap."
+
+All three are asserted quantitatively on the simulated trace.
+"""
+
+from conftest import run_once
+
+from repro.sim.trace import TraceAnalysis
+from repro.util.format import format_table
+
+
+def test_fig4_single_gpu_interleaving(benchmark, paper_runs, capsys):
+    result = run_once(benchmark, paper_runs.get, "two_buffers", 4,
+                      trace=True)
+    trace = result.runtime.trace
+    ta = TraceAnalysis(trace)
+
+    rows = []
+    for d in result.devices:
+        kernels = len([e for e in trace.by_device(d)
+                       if e.category == "kernel"])
+        rows.append((d, kernels, ta.interleave_count(d),
+                     f"{ta.compute_transfer_overlap(d):.3f}s"))
+    benchmark.extra_info["interleave_counts"] = [r[2] for r in rows]
+
+    # single-device excerpt, like the paper's zoomed figure
+    dev_events = trace.by_device(result.devices[0])
+    sample = dev_events[40:64]
+    with capsys.disabled():
+        print("\n\nFIG. 4 — single-GPU event sequence (Two Buffers, 4 GPUs)")
+        print(format_table(
+            ["device", "kernels", "kernel<->transfer alternations",
+             "same-device compute/transfer overlap"], rows))
+        print(f"\nevent sample (device {result.devices[0]}):")
+        for e in sample:
+            print(f"  {e.start:10.3f}s  {e.category:6s} {e.name}")
+
+    for d in result.devices:
+        # 1. heavy interleaving: far more alternations than buffer count
+        assert ta.interleave_count(d) > result.plan.num_buffers
+        # 2. same-device compute/transfer overlap: none (in-order queue)
+        assert ta.compute_transfer_overlap(d) == 0.0
+    # 3. transfers on one socket never overlap on the wire
+    assert ta.transfer_transfer_overlap([0, 1]) == 0.0
+    assert ta.transfer_transfer_overlap([2, 3]) == 0.0
+
+
+def test_fig4_kernels_wait_behind_foreign_transfers(benchmark, paper_runs):
+    """The mechanism behind observation 1: between a device's consecutive
+    kernels there are transfer events belonging to a *different* chunk of
+    the iteration space."""
+    result = run_once(benchmark, paper_runs.get, "two_buffers", 4, trace=True)
+    trace = result.runtime.trace
+    d = result.devices[0]
+    events = trace.by_device(d)
+    last_kernel = max(i for i, e in enumerate(events)
+                      if e.category == "kernel")
+    sandwiched = sum(
+        1 for i in range(len(events) - 1)
+        if events[i].category == "kernel"
+        and events[i + 1].category in ("h2d", "d2h")
+        and i + 1 < last_kernel)
+    assert sandwiched > 10

@@ -1,0 +1,73 @@
+"""Data-management strategies for a device-resident workload (Jacobi).
+
+Somier must remap every buffer (the problem exceeds device memory); Jacobi
+represents the complementary regime where the grid fits and the data can
+stay resident, with ``target update spread`` exchanging only halo rows.
+This bench quantifies the gap on the calibrated machine — the directive-set
+capability (Listing 7) that the paper's evaluation never gets to exercise.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+from repro.apps import JacobiConfig, run_jacobi
+from repro.bench.machines import paper_machine
+from repro.util.format import format_hms, format_table
+
+CFG = JacobiConfig(n=96, iterations=50)
+GPUS = 4
+
+
+def run_strategy(strategy: str):
+    topo, cm = paper_machine(GPUS, n_functional=CFG.n)
+    return run_jacobi(CFG, strategy=strategy, devices=list(range(GPUS)),
+                      topology=topo, cost_model=cm)
+
+
+def test_resident_vs_remap(benchmark, capsys):
+    results = {}
+
+    def collect():
+        for strategy in ("resident", "remap"):
+            results[strategy] = run_strategy(strategy)
+        return results
+
+    run_once(benchmark, collect)
+    rows = []
+    for strategy, res in results.items():
+        rows.append((strategy, format_hms(res.elapsed),
+                     f"{res.stats['h2d_bytes'] / 1e9:.1f} GB",
+                     f"{res.stats['d2h_bytes'] / 1e9:.1f} GB",
+                     res.stats["memcpy_calls"]))
+    speedup = results["remap"].elapsed / results["resident"].elapsed
+    benchmark.extra_info["resident_virtual_s"] = results["resident"].elapsed
+    benchmark.extra_info["remap_virtual_s"] = results["remap"].elapsed
+    benchmark.extra_info["speedup"] = speedup
+    with capsys.disabled():
+        print(f"\n\nJACOBI — data-resident halo exchange vs per-iteration "
+              f"remapping ({CFG.n}^2 grid at paper scale, "
+              f"{CFG.iterations} iterations, {GPUS} GPUs)")
+        print(format_table(
+            ["strategy", "virtual time", "H2D", "D2H", "memcpys"], rows))
+        print(f"resident is {speedup:.1f}x faster")
+
+    # identical physics, radically less traffic
+    assert np.array_equal(results["resident"].grid, results["remap"].grid)
+    assert results["resident"].stats["h2d_bytes"] < \
+        0.2 * results["remap"].stats["h2d_bytes"]
+    assert results["resident"].stats["d2h_bytes"] < \
+        0.2 * results["remap"].stats["d2h_bytes"]
+    assert speedup > 1.5
+
+
+@pytest.mark.parametrize("gpus", [1, 2, 4])
+def test_resident_scaling(benchmark, gpus, capsys):
+    topo, cm = paper_machine(gpus, n_functional=CFG.n)
+    res = run_once(benchmark, run_jacobi, CFG, "resident",
+                   list(range(gpus)), topo, cm)
+    benchmark.extra_info["virtual_s"] = res.elapsed
+    with capsys.disabled():
+        print(f"\n  jacobi resident x{gpus} GPUs: {format_hms(res.elapsed)}")
+    assert np.array_equal(res.grid, CFG.reference())

@@ -1,0 +1,45 @@
+"""Listing 3 distribution semantics + schedule-computation microbenchmarks.
+
+Verifies the exact chunk->device assignments the paper walks through in
+Section III-B.1 and measures the (host-side) cost of computing schedules —
+part of the "negligible overhead" story.
+"""
+
+from conftest import run_once
+
+from repro.spread.schedule import StaticSchedule, spread_schedule
+from repro.util.format import format_table
+
+
+def test_listing3_distribution(benchmark, capsys):
+    """N=14, loop 1..N-1, devices(2,0,1): the paper's two worked examples."""
+    def compute():
+        return (StaticSchedule(4).chunks(1, 13, [2, 0, 1]),
+                StaticSchedule(2).chunks(1, 13, [2, 0, 1]))
+
+    chunk4, chunk2 = run_once(benchmark, compute)
+
+    rows4 = [(f"{c.interval.start}..{c.interval.stop - 1}", c.device)
+             for c in chunk4]
+    rows2 = [(f"{c.interval.start}..{c.interval.stop - 1}", c.device)
+             for c in chunk2]
+    with capsys.disabled():
+        print("\n\nLISTING 3 — spread_schedule(static, 4), devices(2,0,1):")
+        print(format_table(["iterations", "device"], rows4))
+        print("\nspread_schedule(static, 2):")
+        print(format_table(["iterations", "device"], rows2))
+
+    assert rows4 == [("1..4", 2), ("5..8", 0), ("9..12", 1)]
+    assert rows2 == [("1..2", 2), ("3..4", 0), ("5..6", 1),
+                     ("7..8", 2), ("9..10", 0), ("11..12", 1)]
+
+
+def test_schedule_computation_throughput(benchmark):
+    """Chunking a large iteration space is cheap (host-side overhead)."""
+    sched = spread_schedule("static", 128)
+
+    def compute():
+        return sched.chunks(0, 1_000_000, [1, 0, 3, 2])
+
+    chunks = benchmark(compute)
+    assert len(chunks) == 1_000_000 // 128 + 1

@@ -1,0 +1,90 @@
+"""Table I — One Buffer: ``target`` baseline vs ``target spread`` 1/2/4 GPUs.
+
+Paper values (total execution time):
+
+    =========  ==========  =============================
+    Directive  target (B)  target spread
+    GPUs       1           1          2          4
+    Time       17m40.231s  17m38.932s 13m15.486s 8m22.019s
+    =========  ==========  =============================
+
+The simulated times must reproduce the shape: negligible spread overhead at
+one GPU, ~1.33x at two, ~2.1x at four, with near-linear *kernel* scaling
+(the gap being the communication bottleneck).
+"""
+
+import pytest
+
+from conftest import N_FUNCTIONAL, STEPS, paper_seconds, run_once
+
+from repro.sim.trace import TraceAnalysis
+from repro.util.format import format_hms, format_table
+
+ROWS = [("target", 1), ("one_buffer", 1), ("one_buffer", 2),
+        ("one_buffer", 4)]
+
+
+@pytest.mark.parametrize("impl,gpus", ROWS)
+def test_table1_row(benchmark, paper_runs, impl, gpus):
+    result = run_once(benchmark, paper_runs.get, impl, gpus)
+    paper = paper_seconds(impl, gpus)
+    benchmark.extra_info["simulated"] = format_hms(result.elapsed)
+    benchmark.extra_info["simulated_seconds"] = result.elapsed
+    benchmark.extra_info["paper"] = format_hms(paper)
+    benchmark.extra_info["sim_over_paper"] = result.elapsed / paper
+    # shape tolerance: within 10% of the paper row at full scale
+    assert result.elapsed == pytest.approx(paper, rel=0.10)
+
+
+def test_table1_report(benchmark, paper_runs, capsys):
+    """Print the regenerated Table I next to the paper's numbers."""
+    results = {}
+
+    def collect():
+        for impl, gpus in ROWS:
+            results[(impl, gpus)] = paper_runs.get(impl, gpus)
+        return results
+
+    run_once(benchmark, collect)
+    rows = []
+    for impl, gpus in ROWS:
+        res = results[(impl, gpus)]
+        paper = paper_seconds(impl, gpus)
+        rows.append((impl, gpus, format_hms(res.elapsed), format_hms(paper),
+                     f"{res.elapsed / paper:.3f}"))
+    base = results[("target", 1)].elapsed
+    speedups = [(impl, gpus, f"{base / results[(impl, gpus)].elapsed:.2f}x")
+                for impl, gpus in ROWS]
+    with capsys.disabled():
+        print("\n\nTABLE I — One Buffer implementation "
+              f"(functional grid {N_FUNCTIONAL}^3 for 1200^3, {STEPS} steps)")
+        print(format_table(
+            ["implementation", "GPUs", "simulated", "paper", "sim/paper"],
+            rows))
+        print("\nspeedups vs target(B):")
+        print(format_table(["implementation", "GPUs", "speedup"], speedups))
+
+    # the paper's headline claims
+    t1 = results[("one_buffer", 1)].elapsed
+    t2 = results[("one_buffer", 2)].elapsed
+    t4 = results[("one_buffer", 4)].elapsed
+    assert abs(t1 - base) / base < 0.01      # negligible directive overhead
+    assert 1.25 < base / t2 < 1.45           # ~1.4X with two GPUs
+    assert 2.0 < base / t4 < 2.25            # >2X with four GPUs
+
+
+def test_table1_kernel_speedup_near_linear(benchmark, paper_runs, capsys):
+    """Section VI-A: kernels scale near-linearly; communication caps the
+    overall speedup."""
+    res1 = run_once(benchmark, paper_runs.get, "one_buffer", 1, trace=True)
+    res4 = paper_runs.get("one_buffer", 4, trace=True)
+    ta1, ta4 = TraceAnalysis(res1.runtime.trace), TraceAnalysis(res4.runtime.trace)
+    k1 = ta1.device_summary(0)["kernel"]
+    k4_wall = max(ta4.device_summary(d)["kernel"] for d in range(4))
+    kernel_speedup = k1 / k4_wall
+    overall = res1.elapsed / res4.elapsed
+    with capsys.disabled():
+        print(f"\nkernel-time speedup 1->4 GPUs: {kernel_speedup:.2f}x "
+              f"(overall: {overall:.2f}x)")
+    assert kernel_speedup > 3.5   # near-linear
+    assert overall < 2.5          # overall capped by transfers

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Trace visualization: what the paper's Fig. 3 / Fig. 4 look like here.
+
+Runs the Two Buffers Somier implementation on 4 simulated GPUs, prints the
+nsys-style ASCII timeline (H2D '>' / D2H '<' / kernels '#'), the per-device
+busy breakdown, and writes a Chrome-trace JSON loadable in
+``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+import pathlib
+
+from repro.bench.machines import paper_devices, paper_machine, paper_somier_config
+from repro.sim.trace import TraceAnalysis
+from repro.somier import run_somier
+from repro.util.format import format_table
+
+N_FUNCTIONAL = 48
+STEPS = 2
+GPUS = 4
+
+
+def main():
+    topo, cm = paper_machine(GPUS, n_functional=N_FUNCTIONAL)
+    cfg = paper_somier_config(n_functional=N_FUNCTIONAL, steps=STEPS)
+    res = run_somier("two_buffers", cfg, devices=paper_devices(GPUS),
+                     topology=topo, cost_model=cm, trace=True)
+    trace = res.runtime.trace
+    ta = TraceAnalysis(trace)
+
+    print(f"Two Buffers, {GPUS} GPUs, {STEPS} steps — "
+          f"virtual makespan {trace.makespan():.1f}s\n")
+
+    span = trace.makespan()
+    print("full-run timeline (one row per device queue):")
+    print(trace.to_ascii(width=110, t0=0.0, t1=span))
+
+    print("\nzoom into a 5%-wide window (the paper's Fig. 4 view):")
+    t0 = span * 0.35
+    print(trace.to_ascii(width=110, t0=t0, t1=t0 + span * 0.05))
+
+    rows = []
+    for d in res.devices:
+        s = ta.device_summary(d)
+        rows.append((d, f"{s['h2d']:.1f}s", f"{s['d2h']:.1f}s",
+                     f"{s['kernel']:.1f}s",
+                     ta.interleave_count(d),
+                     f"{ta.compute_transfer_overlap(d):.2f}s"))
+    print("\nper-device analysis:")
+    print(format_table(
+        ["device", "H2D busy", "D2H busy", "kernel busy",
+         "kernel<->transfer alternations", "same-dev overlap"], rows))
+
+    agg = ta.transfer_dominance(res.devices)
+    print(f"\ntransfer vs kernel time: {agg['transfer']:.1f}s vs "
+          f"{agg['kernel']:.1f}s (ratio {agg['ratio']:.2f}) — "
+          "'dominated by memory transfers'")
+    print(f"wire-level transfer overlap on socket 0: "
+          f"{ta.transfer_transfer_overlap([0, 1]):.3f}s (never overlaps)")
+
+    out = pathlib.Path(__file__).with_name("two_buffers_trace.json")
+    out.write_text(trace.to_chrome_trace())
+    print(f"\nChrome-trace written to {out} "
+          f"({out.stat().st_size / 1e3:.0f} kB) — open in chrome://tracing")
+
+
+if __name__ == "__main__":
+    main()

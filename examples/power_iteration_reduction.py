@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Distributed power iteration — the §IX reduction clause in action.
+
+The paper lists a cross-device ``reduction`` clause as future work ("would
+facilitate even more the implementation of complex algorithms").  This
+example runs the classic dominant-eigenpair solver with the matrix rows
+spread over four simulated GPUs, the iteration vector broadcast with
+``target update spread``, and the vector norm computed by the implemented
+reduction extension — then checks the answer against NumPy's ``eigh``.
+"""
+
+import numpy as np
+
+from repro.apps import PowerIterationConfig, run_power_iteration
+from repro.sim.topology import cte_power_node
+
+
+def main():
+    cfg = PowerIterationConfig(n=96, iterations=50, gap=3.0)
+    A = cfg.matrix()
+    exact = np.linalg.eigvalsh(A)[-1]
+
+    print(f"power iteration on a {cfg.n}x{cfg.n} symmetric matrix, "
+          f"{cfg.iterations} iterations\n")
+    for gpus in (1, 2, 4):
+        res = run_power_iteration(cfg, devices=list(range(gpus)),
+                                  topology=cte_power_node(4))
+        print(f"  {gpus} GPU(s): lambda = {res.eigenvalue:.12f} "
+              f"(exact {exact:.12f}), residual "
+              f"{res.residual(A):.2e}, virtual {res.elapsed * 1e3:.2f} ms, "
+              f"{res.stats['memcpy_calls']} memcpys")
+        assert abs(res.eigenvalue - exact) < 1e-8
+
+    print("\nThe matrix is transferred once per device chunk; each "
+          "iteration moves only the vector (update spread) and the "
+          "reduction partials.  (At this tiny size the run is launch-"
+          "latency bound, so adding GPUs does not speed it up — the "
+          "point here is the reduction clause's correctness.)")
+
+
+if __name__ == "__main__":
+    main()

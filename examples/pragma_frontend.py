@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Using the compiler frontend: paper listings as literal pragma strings.
+
+The :mod:`repro.pragma` package reproduces the paper's Clang pipeline
+(lexer -> parser -> AST -> sema -> codegen), so the directives can be
+written exactly as in the listings.  This example:
+
+* runs Listing 6's enter/exit data spread + a spread kernel through
+  ``execute_pragma``;
+* shows the semantic checker rejecting the constructs the paper's
+  prototype rejects (with caret diagnostics from the lexer/parser).
+"""
+
+import numpy as np
+
+from repro.device.kernel import KernelSpec
+from repro.openmp import OpenMPRuntime, Var
+from repro.pragma import execute_pragma, parse_pragma
+from repro.pragma.sema import check_directive
+from repro.sim.topology import cte_power_node
+from repro.util.errors import OmpSemaError, OmpSyntaxError
+
+N = 26
+
+
+def main():
+    rt = OpenMPRuntime(topology=cte_power_node(4))
+    A = np.arange(float(N))
+    B = np.zeros(N)
+    symbols = {"A": Var("A", A), "B": Var("B", B), "N": N}
+
+    def stencil(lo, hi, env):
+        a, b = env["A"], env["B"]
+        b[lo:hi] = a[lo - 1:hi - 1] + a[lo:hi] + a[lo + 1:hi + 1]
+
+    kernel = KernelSpec("stencil", stencil)
+
+    def program(omp):
+        # Listing 6, enter side (line continuations copied verbatim)
+        yield from execute_pragma(omp, r"""
+            #pragma omp target enter data spread \
+              devices(2,0,1) \
+              range(1:N-2) \
+              chunk_size(4) \
+              map(to:A[omp_spread_start-1:omp_spread_size+2])
+        """, symbols)
+
+        # the associated loop of a target spread directive
+        yield from execute_pragma(omp, r"""
+            #pragma omp target spread teams distribute parallel for \
+              devices(2,0,1) \
+              spread_schedule(static, 4) \
+              map(to: A[omp_spread_start-1:omp_spread_size+2]) \
+              map(from:B[omp_spread_start :omp_spread_size ])
+        """, symbols, body=kernel, loop=(1, N - 1))
+
+        # Listing 6, exit side
+        yield from execute_pragma(omp, r"""
+            #pragma omp target exit data spread \
+              devices(2,0,1) \
+              range(1:N-2) \
+              chunk_size(4) \
+              map(release:A[omp_spread_start-1:omp_spread_size+2])
+        """, symbols)
+
+    rt.run(program)
+    expect = np.zeros(N)
+    expect[1:N - 1] = A[0:N - 2] + A[1:N - 1] + A[2:N]
+    assert np.array_equal(B, expect)
+    print(f"Listing 6 + spread kernel executed from pragma strings "
+          f"({rt.elapsed * 1e6:.1f} virtual us); result verified.\n")
+
+    # --- diagnostics ---------------------------------------------------
+    print("Semantic checks the paper's prototype enforces:\n")
+    bad_pragmas = [
+        ("nowait on target data spread (Section III-B.3)",
+         "omp target data spread devices(0,1) range(1:24) chunk_size(4) "
+         "map(tofrom: A[omp_spread_start:omp_spread_size]) nowait"),
+        ("depend on enter data spread (Section IX future work)",
+         "omp target enter data spread devices(0) range(0:26) chunk_size(13)"
+         " map(to: A[omp_spread_start:omp_spread_size])"
+         " depend(out: A[omp_spread_start:omp_spread_size])"),
+        ("non-static spread schedule",
+         "omp target spread devices(0,1) spread_schedule(dynamic, 4)"),
+        ("omp_spread_start outside a spread directive",
+         "omp target map(to: A[omp_spread_start:4])"),
+    ]
+    for title, src in bad_pragmas:
+        try:
+            check_directive(parse_pragma(src))
+            print(f"  [UNEXPECTEDLY ACCEPTED] {title}")
+        except OmpSemaError as err:
+            print(f"  rejected — {title}:\n      {err}\n")
+
+    print("And a syntax error with its caret diagnostic:\n")
+    try:
+        parse_pragma("omp target spread devices(0,1 map(to: A)")
+    except OmpSyntaxError as err:
+        for line in str(err).splitlines():
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

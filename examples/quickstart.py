@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Quickstart: from ``target`` to ``target spread`` (the paper's Listings 1-4).
+
+Runs the paper's running example — the 3-point stencil
+``B[i] = A[i-1] + A[i] + A[i+1]`` — four ways on a simulated 4-GPU node:
+
+1. plain ``target`` on one device (Listing 1),
+2. the combined ``target teams distribute parallel for`` (Listing 2),
+3. ``target spread`` over three devices (Listing 3),
+4. the combined spread directive (Listing 4),
+
+printing the chunk distribution (matching the paper's worked example) and
+the virtual execution times.
+"""
+
+import numpy as np
+
+from repro.device.kernel import KernelSpec
+from repro.openmp import Map, OpenMPRuntime, Var
+from repro.openmp.target import (
+    target,
+    target_teams_distribute_parallel_for,
+)
+from repro.sim.topology import cte_power_node
+from repro.spread import (
+    omp_spread_size as Z,
+    omp_spread_start as S,
+    spread_schedule,
+    target_spread,
+    target_spread_teams_distribute_parallel_for,
+)
+
+N = 14
+
+
+def stencil_body(lo, hi, env):
+    a, b = env["A"], env["B"]
+    b[lo:hi] = a[lo - 1:hi - 1] + a[lo:hi] + a[lo + 1:hi + 1]
+
+
+def fresh_arrays():
+    A = np.arange(float(N))
+    B = np.zeros(N)
+    return Var("A", A), Var("B", B), A, B
+
+
+def expected(A):
+    out = np.zeros(N)
+    out[1:N - 1] = A[0:N - 2] + A[1:N - 1] + A[2:N]
+    return out
+
+
+def run(title, program_factory):
+    rt = OpenMPRuntime(topology=cte_power_node(4))
+    vA, vB, A, B = fresh_arrays()
+    kernel = KernelSpec("stencil", stencil_body)
+    handle = rt.run(program_factory(vA, vB, kernel))
+    assert np.array_equal(B, expected(A)), f"{title}: wrong result!"
+    print(f"{title:55s} {rt.elapsed * 1e6:9.2f} virtual us")
+    return handle
+
+
+def main():
+    print(f"3-point stencil, N={N}, on a simulated CTE-POWER node "
+          "(4x V100)\n")
+
+    # Listing 1: plain target — the whole loop, serially, on device 0
+    def listing1(vA, vB, kernel):
+        def program(omp):
+            yield from target(omp, device=0, kernel=kernel, lo=1, hi=N - 1,
+                              maps=[Map.to(vA, (0, N)),
+                                    Map.from_(vB, (1, N - 2))])
+        return program
+
+    run("Listing 1: target (serial on one device)", listing1)
+
+    # Listing 2: the combined directive — full intra-device parallelism
+    def listing2(vA, vB, kernel):
+        def program(omp):
+            yield from target_teams_distribute_parallel_for(
+                omp, device=0, kernel=kernel, lo=1, hi=N - 1, num_teams=2,
+                maps=[Map.to(vA, (0, N)), Map.from_(vB, (1, N - 2))])
+        return program
+
+    run("Listing 2: target teams distribute parallel for", listing2)
+
+    # Listing 3: target spread — the multi-device level of parallelism.
+    # Sections use omp_spread_start / omp_spread_size per chunk.
+    def listing3(vA, vB, kernel):
+        def program(omp):
+            handle = yield from target_spread(
+                omp, kernel, 1, N - 1, devices=[2, 0, 1],
+                schedule=spread_schedule("static", 4),
+                maps=[Map.to(vA, (S - 1, Z + 2)),
+                      Map.from_(vB, (S, Z))])
+            return handle
+        return program
+
+    handle = run("Listing 3: target spread devices(2,0,1)", listing3)
+    print("\n  chunk distribution (compare with the paper's Section "
+          "III-B.1):")
+    for chunk in handle.chunks:
+        print(f"    iterations {chunk.interval.start:2d}..."
+              f"{chunk.interval.stop - 1:2d}  ->  device {chunk.device}")
+    print()
+
+    # Listing 4: the combined spread directive
+    def listing4(vA, vB, kernel):
+        def program(omp):
+            handle = yield from target_spread_teams_distribute_parallel_for(
+                omp, kernel, 1, N - 1, devices=[2, 0, 1],
+                schedule=spread_schedule("static", 4), num_teams=2,
+                maps=[Map.to(vA, (S - 1, Z + 2)),
+                      Map.from_(vB, (S, Z))])
+            return handle
+        return program
+
+    run("Listing 4: target spread teams distribute parallel for", listing4)
+    print("\nAll four variants produced identical results.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Somier across 1, 2 and 4 simulated GPUs — a miniature Table I.
+
+Runs the spring-grid mini-app with the paper's One Buffer strategy (plus
+the ``target`` baseline) on the calibrated CTE-POWER machine at reduced
+functional resolution, validates every run bit-for-bit against the
+sequential reference, and prints the speedup table.
+"""
+
+import numpy as np
+
+from repro.bench.machines import paper_devices, paper_machine, paper_somier_config
+from repro.somier import SomierState, run_reference, run_somier
+from repro.util.format import format_hms, format_table
+
+N_FUNCTIONAL = 48   # stands in for the paper's 1200^3 via the cost model
+STEPS = 8
+
+
+def main():
+    cfg = paper_somier_config(n_functional=N_FUNCTIONAL, steps=STEPS)
+    print(f"Somier: {cfg.n}^3 functional grid standing in for 1200^3, "
+          f"{cfg.steps} time steps")
+    print(f"problem size at paper scale: "
+          f"{12 * 1200 ** 3 * 8 / 1e9:.1f} GB over 16 GB devices\n")
+
+    rows = []
+    runs = {}
+    for impl, gpus in [("target", 1), ("one_buffer", 1),
+                       ("one_buffer", 2), ("one_buffer", 4)]:
+        topo, cm = paper_machine(gpus, n_functional=N_FUNCTIONAL)
+        res = run_somier(impl, cfg, devices=paper_devices(gpus),
+                         topology=topo, cost_model=cm, trace=False)
+        runs[(impl, gpus)] = res
+
+        # validate against the sequential buffered reference, bitwise
+        ref = SomierState(cfg)
+        run_reference(ref, res.plan.buffers)
+        ok = all(np.array_equal(res.state.grids[k], ref.grids[k])
+                 for k in ref.grids)
+        rows.append((impl, gpus, format_hms(res.elapsed),
+                     f"{res.plan.num_buffers} x {res.plan.rows_per_buffer} rows",
+                     "bitwise" if ok else "MISMATCH"))
+        assert ok
+
+    base = runs[("target", 1)].elapsed
+    print(format_table(
+        ["implementation", "GPUs", "virtual time", "buffer plan",
+         "vs reference"], rows))
+    print("\nspeedups vs the target baseline:")
+    for (impl, gpus), res in runs.items():
+        print(f"  {impl:12s} x{gpus}: {base / res.elapsed:5.2f}x")
+
+    centers = runs[("one_buffer", 4)].centers
+    print(f"\ncenter of mass after {STEPS} steps: "
+          f"({centers[-1][0]:.4f}, {centers[-1][1]:.4f}, "
+          f"{centers[-1][2]:.4f})")
+
+
+if __name__ == "__main__":
+    main()

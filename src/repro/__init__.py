@@ -1,0 +1,21 @@
+"""repro — a simulated multi-device OpenMP runtime reproducing the
+``target spread`` directive set of Torres, Ferrer & Teruel (IPDPS-W 2022).
+
+Public API layers (bottom-up):
+
+* :mod:`repro.sim` — deterministic discrete-event simulator + node topology.
+* :mod:`repro.device` — simulated accelerators (memory, DMA, kernels).
+* :mod:`repro.openmp` — OpenMP host runtime: tasks, dependences, device data
+  environments, and the standard single-device ``target`` directives.
+* :mod:`repro.spread` — the paper's contribution: the ``target spread``
+  directive set.
+* :mod:`repro.pragma` — a pragma-string compiler frontend (lexer, parser,
+  sema, codegen) mirroring the paper's Clang implementation.
+* :mod:`repro.somier` — the Somier mini-app and its paper implementations.
+* :mod:`repro.bench` — experiment harness regenerating the paper's tables
+  and figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

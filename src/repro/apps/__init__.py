@@ -1,0 +1,24 @@
+"""Additional workloads built on the spread directives.
+
+The paper evaluates one mini-app (Somier, `repro.somier`).  This package
+holds further workloads that exercise different directive usage patterns —
+currently :mod:`repro.apps.jacobi`, a 2-D heat-diffusion solver comparing
+*data-resident* halo exchange (``target update spread``) against
+*per-iteration remapping* (``target enter/exit data spread``).
+"""
+
+from repro.apps.jacobi import JacobiConfig, JacobiResult, run_jacobi
+from repro.apps.power_iteration import (
+    PowerIterationConfig,
+    PowerIterationResult,
+    run_power_iteration,
+)
+
+__all__ = [
+    "JacobiConfig",
+    "JacobiResult",
+    "run_jacobi",
+    "PowerIterationConfig",
+    "PowerIterationResult",
+    "run_power_iteration",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: machine presets, experiment runners and reporting."""
+
+from repro.bench.machines import (
+    PAPER_N,
+    PAPER_STEPS,
+    PAPER_DEVICE_ORDER,
+    paper_machine,
+    paper_somier_config,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+)
+from repro.bench.harness import (
+    Experiment,
+    run_table1,
+    run_table2,
+    speedup_table,
+    comparison_rows,
+)
+
+__all__ = [
+    "PAPER_N",
+    "PAPER_STEPS",
+    "PAPER_DEVICE_ORDER",
+    "paper_machine",
+    "paper_somier_config",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "Experiment",
+    "run_table1",
+    "run_table2",
+    "speedup_table",
+    "comparison_rows",
+]

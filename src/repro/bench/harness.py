@@ -1,0 +1,100 @@
+"""Experiment runners shared by the benchmark suite.
+
+Each paper artifact (table/figure) has a ``run_*`` function returning plain
+data structures plus formatting helpers producing the same rows the paper
+reports, side by side with the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench import machines
+from repro.somier import run_somier
+from repro.somier.driver import SomierResult
+from repro.util.format import format_hms, format_table
+
+
+@dataclass
+class Experiment:
+    """One (implementation, device-count) measurement."""
+
+    impl: str
+    gpus: int
+    result: SomierResult
+    paper_seconds: Optional[float] = None
+
+    @property
+    def seconds(self) -> float:
+        return self.result.elapsed
+
+    @property
+    def paper_ratio(self) -> Optional[float]:
+        if not self.paper_seconds:
+            return None
+        return self.seconds / self.paper_seconds
+
+
+def _run_one(impl: str, gpus: int, n_functional: int, steps: int,
+             data_depend: bool = False, fuse_transfers: bool = False,
+             trace: bool = False) -> SomierResult:
+    topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
+    cfg = machines.paper_somier_config(n_functional=n_functional, steps=steps)
+    return run_somier(impl, cfg, devices=machines.paper_devices(gpus),
+                      topology=topo, cost_model=cm,
+                      data_depend=data_depend,
+                      fuse_transfers=fuse_transfers, trace=trace)
+
+
+def run_table1(n_functional: int = 96, steps: int = machines.PAPER_STEPS,
+               trace: bool = False) -> List[Experiment]:
+    """Table I: One Buffer — target (1 GPU) vs target spread (1/2/4)."""
+    rows = [("target", 1), ("one_buffer", 1), ("one_buffer", 2),
+            ("one_buffer", 4)]
+    out = []
+    for impl, gpus in rows:
+        result = _run_one(impl, gpus, n_functional, steps, trace=trace)
+        out.append(Experiment(impl=impl, gpus=gpus, result=result,
+                              paper_seconds=machines.PAPER_TABLE1[(impl, gpus)]))
+    return out
+
+
+def run_table2(n_functional: int = 96, steps: int = machines.PAPER_STEPS,
+               trace: bool = False) -> List[Experiment]:
+    """Table II / Fig. 2: One Buffer vs Two Buffers vs Double Buffering."""
+    out = []
+    for impl in ("one_buffer", "two_buffers", "double_buffering"):
+        for gpus in (2, 4):
+            result = _run_one(impl, gpus, n_functional, steps, trace=trace)
+            out.append(Experiment(
+                impl=impl, gpus=gpus, result=result,
+                paper_seconds=machines.PAPER_TABLE2[(impl, gpus)]))
+    return out
+
+
+def comparison_rows(experiments: Sequence[Experiment]):
+    """(impl, gpus, simulated, paper, sim/paper) rows for reporting."""
+    rows = []
+    for e in experiments:
+        rows.append((e.impl, e.gpus, format_hms(e.seconds),
+                     format_hms(e.paper_seconds) if e.paper_seconds else "-",
+                     f"{e.paper_ratio:.3f}" if e.paper_ratio else "-"))
+    return rows
+
+
+def speedup_table(experiments: Sequence[Experiment],
+                  baseline_impl: str = "target",
+                  baseline_gpus: int = 1) -> Dict[Tuple[str, int], float]:
+    """Speedups vs the named baseline experiment."""
+    base = next(e for e in experiments
+                if e.impl == baseline_impl and e.gpus == baseline_gpus)
+    return {(e.impl, e.gpus): base.seconds / e.seconds for e in experiments}
+
+
+def format_experiments(experiments: Sequence[Experiment],
+                       title: str = "") -> str:
+    table = format_table(
+        ["implementation", "GPUs", "simulated", "paper", "sim/paper"],
+        comparison_rows(experiments))
+    return f"{title}\n{table}" if title else table

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``somier``   — run one Somier experiment and print the result
+                 (implementation, device count, optional extensions, trace);
+* ``table1``   — regenerate the paper's Table I;
+* ``table2``   — regenerate the paper's Table II;
+* ``listing3`` — print the chunk distribution of the paper's worked example
+                 for a given range/chunk/device list;
+* ``check``    — parse + semantically check a pragma string (a tiny
+                 "compiler driver" exposing the frontend diagnostics).
+
+Examples::
+
+    python -m repro somier --impl one_buffer --gpus 4 --steps 8 --trace
+    python -m repro table1 --n-functional 64
+    python -m repro listing3 --lo 1 --hi 13 --chunk 4 --devices 2,0,1
+    python -m repro check "omp target spread devices(0,1) nowait"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench import harness, machines
+from repro.somier import SomierState, run_reference, run_somier
+from repro.spread.schedule import StaticSchedule
+from repro.util.errors import OmpError
+from repro.util.format import format_hms, format_table
+
+
+def _devices_arg(text: str) -> List[int]:
+    try:
+        return [int(x) for x in text.split(",") if x != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"devices must be a comma-separated id list, got {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated multi-device OpenMP: the target spread "
+                    "directive set (Torres et al., IPDPS-W 2022)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("somier", help="run one Somier experiment")
+    p.add_argument("--impl", default="one_buffer",
+                   choices=["target", "one_buffer", "two_buffers",
+                            "double_buffering"])
+    p.add_argument("--gpus", type=int, default=4, choices=[1, 2, 3, 4])
+    p.add_argument("--devices", type=_devices_arg, default=None,
+                   help="explicit device order, e.g. 1,0,3,2")
+    p.add_argument("--n-functional", type=int, default=48,
+                   help="functional grid edge standing in for 1200")
+    p.add_argument("--steps", type=int, default=8)
+    p.add_argument("--data-depend", action="store_true",
+                   help="enable the §IX depend-on-data-directives extension")
+    p.add_argument("--fuse-transfers", action="store_true",
+                   help="coalesce each chunk's memcpys into one call")
+    p.add_argument("--trace", action="store_true",
+                   help="print an ASCII timeline of the run")
+    p.add_argument("--verify", action="store_true",
+                   help="check the result against the sequential reference")
+
+    for name, help_text in (("table1", "regenerate the paper's Table I"),
+                            ("table2", "regenerate the paper's Table II")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--n-functional", type=int, default=96)
+        p.add_argument("--steps", type=int, default=machines.PAPER_STEPS)
+
+    p = sub.add_parser("listing3",
+                       help="print a static spread distribution")
+    p.add_argument("--lo", type=int, default=1)
+    p.add_argument("--hi", type=int, default=13)
+    p.add_argument("--chunk", type=int, default=4)
+    p.add_argument("--devices", type=_devices_arg, default=[2, 0, 1])
+
+    p = sub.add_parser("check", help="parse + check a pragma string")
+    p.add_argument("pragma", help="the directive text (quote it)")
+    p.add_argument("--extensions", type=str, default="",
+                   help="comma-separated extension flags to enable "
+                        "(data_depend,schedules,reduction)")
+
+    p = sub.add_parser("machine",
+                       help="describe the calibrated simulated node")
+    p.add_argument("--gpus", type=int, default=4, choices=[1, 2, 3, 4])
+
+    return parser
+
+
+def cmd_somier(args) -> int:
+    topo, cm = machines.paper_machine(args.gpus,
+                                      n_functional=args.n_functional)
+    cfg = machines.paper_somier_config(n_functional=args.n_functional,
+                                       steps=args.steps)
+    devices = args.devices if args.devices else machines.paper_devices(args.gpus)
+    res = run_somier(args.impl, cfg, devices=devices, topology=topo,
+                     cost_model=cm, data_depend=args.data_depend,
+                     fuse_transfers=args.fuse_transfers, trace=args.trace)
+    print(f"{args.impl} on {len(devices)} device(s) {devices}: "
+          f"{format_hms(res.elapsed)} virtual")
+    print(f"plan: {res.plan.num_buffers} buffer(s) x "
+          f"{res.plan.rows_per_buffer} rows (chunk {res.plan.chunk_rows})")
+    print(f"traffic: {res.stats['h2d_bytes'] / 1e9:.1f} GB H2D, "
+          f"{res.stats['d2h_bytes'] / 1e9:.1f} GB D2H in "
+          f"{res.stats['memcpy_calls']} memcpys; "
+          f"{res.stats['kernels_launched']} kernels")
+    centers = res.centers[-1]
+    print(f"final centers: ({centers[0]:.6f}, {centers[1]:.6f}, "
+          f"{centers[2]:.6f})")
+    if args.verify:
+        import numpy as np
+
+        buffers = (res.plan.buffers if args.impl in ("target", "one_buffer")
+                   else res.plan.halves())
+        ref = SomierState(cfg)
+        run_reference(ref, buffers)
+        exact = all(np.array_equal(res.state.grids[k], ref.grids[k])
+                    for k in ref.grids)
+        worst = max(abs(res.state.grids[k] - ref.grids[k]).max()
+                    for k in ref.grids)
+        print(f"verification vs sequential reference: "
+              f"{'bitwise identical' if exact else f'max deviation {worst:.3e}'}")
+    if args.trace:
+        print()
+        print(res.runtime.trace.to_ascii(width=100))
+    return 0
+
+
+def cmd_table(args, table: int) -> int:
+    run = harness.run_table1 if table == 1 else harness.run_table2
+    exps = run(n_functional=args.n_functional, steps=args.steps)
+    print(harness.format_experiments(
+        exps, f"TABLE {'I' if table == 1 else 'II'} "
+              f"(functional {args.n_functional}^3, {args.steps} steps)"))
+    return 0
+
+
+def cmd_listing3(args) -> int:
+    chunks = StaticSchedule(args.chunk).chunks(args.lo, args.hi,
+                                               args.devices)
+    rows = [(f"{c.interval.start}..{c.interval.stop - 1}", c.device)
+            for c in chunks]
+    print(format_table(["iterations", "device"], rows))
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.pragma import check_directive, parse_pragma, unparse_directive
+    from repro.spread.extensions import Extensions
+
+    flags = {f: True for f in args.extensions.split(",") if f}
+    try:
+        ext = Extensions(**flags)
+    except TypeError:
+        print(f"unknown extension in {args.extensions!r}", file=sys.stderr)
+        return 2
+    try:
+        directive = parse_pragma(args.pragma)
+        check_directive(directive, extensions=ext)
+    except OmpError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(f"OK: {directive.kind.value}")
+    print(f"normalized: {unparse_directive(directive)}")
+    return 0
+
+
+def cmd_machine(args) -> int:
+    from repro.util.format import format_bytes
+
+    topo, cm = machines.paper_machine(args.gpus)
+    print(f"CTE-POWER-like node, {topo.num_devices} device(s), "
+          f"{len(topo.sockets)} socket(s)")
+    for s, devs in enumerate(topo.sockets):
+        link = topo.link_specs[s]
+        print(f"  socket {s}: devices {devs}, link "
+              f"{link.bandwidth_bytes_per_s / 1e9:.1f} GB/s, "
+              f"per-call latency {link.per_call_latency * 1e6:.0f} us")
+    host = topo.host_spec
+    print(f"  host staging (shared): "
+          f"{host.staging_bandwidth_bytes_per_s / 1e9:.1f} GB/s")
+    spec = topo.device_specs[0]
+    print(f"  device: {spec.name}, {format_bytes(spec.memory_bytes)} "
+          f"memory, {spec.num_sms} SMs x {spec.max_threads_per_sm} "
+          f"threads, SIMD {spec.simd_width}")
+    print(f"  kernel throughput {spec.iters_per_second:.2e} work-units/s, "
+          f"dispatch latency {spec.kernel_issue_latency * 1e6:.0f} us")
+    print(f"  cudaMalloc/cudaFree: device-sync + "
+          f"{spec.alloc_latency * 1e6:.0f}/{spec.free_latency * 1e6:.0f} us")
+    print(f"  cost-model scale: {cm.scale:.1f} "
+          f"(functional 96^3 stands in for 1200^3)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "somier":
+            return cmd_somier(args)
+        if args.command == "table1":
+            return cmd_table(args, 1)
+        if args.command == "table2":
+            return cmd_table(args, 2)
+        if args.command == "listing3":
+            return cmd_listing3(args)
+        if args.command == "check":
+            return cmd_check(args)
+        if args.command == "machine":
+            return cmd_machine(args)
+    except OmpError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Simulated accelerator devices.
+
+A :class:`Device` owns a capacity-limited memory allocator (NumPy-backed
+buffers with *virtual* byte accounting) and a single in-order execution
+queue — copies and kernels run one at a time in issue order, like work
+enqueued on a CUDA stream.  Transfers additionally stage through the
+node-wide host staging path and occupy the socket's shared FIFO link for
+their wire time (see :mod:`repro.sim.topology` and DESIGN.md §4).
+
+Functional execution and timing are decoupled: copies and kernels really run
+on NumPy arrays when their simulated interval completes, while the virtual
+clock is charged through :mod:`repro.sim.costmodel`.
+"""
+
+from repro.device.memory import DeviceAllocator, Allocation
+from repro.device.views import GlobalView
+from repro.device.kernel import KernelSpec, LaunchConfig
+from repro.device.device import Device
+
+__all__ = [
+    "DeviceAllocator",
+    "Allocation",
+    "GlobalView",
+    "KernelSpec",
+    "LaunchConfig",
+    "Device",
+]

@@ -1,0 +1,111 @@
+"""Global-index views over device-local buffers.
+
+When the runtime maps ``A[omp_spread_start-1 : omp_spread_size+2]`` to a
+device, the device buffer holds only that section, but kernel code — exactly
+like the loop bodies in the paper's listings — is written in *global*
+indices.  :class:`GlobalView` performs the index translation along the
+distributed axis (axis 0), so a kernel body reads naturally::
+
+    B[i] = A[i - 1] + A[i] + A[i + 1]      # i is a global index
+
+Out-of-section accesses raise ``IndexError`` — the analogue of a device
+segfault when a kernel touches unmapped memory, which is precisely the bug
+class the spread directives' halo arithmetic exists to prevent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+
+class GlobalView:
+    """A NumPy-array wrapper that translates axis-0 indices by an offset.
+
+    ``view[g]`` accesses ``buffer[g - offset]``; slices are translated the
+    same way.  Axes beyond 0 are passed through untouched.  Negative and
+    open-ended indices are rejected on axis 0 because they are ambiguous in
+    global coordinates.
+    """
+
+    __slots__ = ("buffer", "offset", "name")
+
+    def __init__(self, buffer: np.ndarray, offset: int, name: str = ""):
+        self.buffer = buffer
+        self.offset = int(offset)
+        self.name = name
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def start(self) -> int:
+        """First valid global index on axis 0."""
+        return self.offset
+
+    @property
+    def stop(self) -> int:
+        """One past the last valid global index on axis 0."""
+        return self.offset + self.buffer.shape[0]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.buffer.shape
+
+    @property
+    def dtype(self):
+        return self.buffer.dtype
+
+    # -- index translation ---------------------------------------------------------
+
+    def _translate(self, key0: Any) -> Any:
+        if isinstance(key0, (int, np.integer)):
+            g = int(key0)
+            if g < 0:
+                raise IndexError(
+                    f"{self.name or 'view'}: negative global index {g}")
+            local = g - self.offset
+            if not 0 <= local < self.buffer.shape[0]:
+                raise IndexError(
+                    f"{self.name or 'view'}: global index {g} outside mapped "
+                    f"section [{self.start}:{self.stop})")
+            return local
+        if isinstance(key0, slice):
+            if key0.step not in (None, 1):
+                raise IndexError("GlobalView slices must have step 1")
+            if key0.start is None or key0.stop is None:
+                raise IndexError(
+                    "GlobalView slices must be fully bounded (global "
+                    "coordinates have no implicit ends)")
+            g0, g1 = int(key0.start), int(key0.stop)
+            if g0 < 0 or g1 < g0:
+                raise IndexError(f"bad global slice [{g0}:{g1}]")
+            lo, hi = g0 - self.offset, g1 - self.offset
+            if lo < 0 or hi > self.buffer.shape[0]:
+                raise IndexError(
+                    f"{self.name or 'view'}: global slice [{g0}:{g1}) outside "
+                    f"mapped section [{self.start}:{self.stop})")
+            return slice(lo, hi)
+        raise IndexError(
+            f"unsupported axis-0 index {key0!r} (int or bounded slice only)")
+
+    def _translate_key(self, key: Any) -> Any:
+        if isinstance(key, tuple):
+            if not key:
+                return key
+            return (self._translate(key[0]),) + tuple(key[1:])
+        return self._translate(key)
+
+    def __getitem__(self, key: Any) -> np.ndarray:
+        return self.buffer[self._translate_key(key)]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.buffer[self._translate_key(key)] = value
+
+    def local(self) -> np.ndarray:
+        """The raw device-local buffer (for whole-section operations)."""
+        return self.buffer
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<GlobalView {self.name!r} global=[{self.start}:{self.stop}) "
+                f"shape={self.buffer.shape}>")

@@ -1,0 +1,79 @@
+"""The classic ``omp_*`` query API, bound to a runtime.
+
+The paper's host code uses the standard device-query functions (e.g. the
+Somier listings compute ``chunk = buffer_size / num_devices`` from the
+device count).  :class:`OmpApi` exposes them over an
+:class:`~repro.openmp.runtime.OpenMPRuntime`, with the same semantics the
+spec gives them.
+"""
+
+from __future__ import annotations
+
+from repro.openmp.runtime import OpenMPRuntime
+
+
+class OmpApi:
+    """``omp_get_num_devices()`` and friends for a simulated node."""
+
+    def __init__(self, rt: OpenMPRuntime):
+        self._rt = rt
+
+    # -- device queries ----------------------------------------------------
+
+    def omp_get_num_devices(self) -> int:
+        """Number of non-host devices available for offloading."""
+        return self._rt.num_devices
+
+    def omp_get_initial_device(self) -> int:
+        """The host device number (one past the last accelerator)."""
+        return self._rt.num_devices
+
+    def omp_get_default_device(self) -> int:
+        return self._rt.default_device
+
+    def omp_set_default_device(self, device_num: int) -> None:
+        self._rt.device(device_num)  # bounds check
+        self._rt.default_device = device_num
+
+    def omp_is_initial_device(self) -> bool:
+        """Host code always runs on the initial device here."""
+        return True
+
+    # -- device memory queries (extensions mirroring omp_target_* info) -----
+
+    def omp_get_device_memory(self, device_num: int) -> float:
+        """Total (virtual) memory of a device in bytes."""
+        return self._rt.device(device_num).spec.memory_bytes
+
+    def omp_get_device_free_memory(self, device_num: int) -> float:
+        """Currently free (virtual) memory of a device in bytes."""
+        return self._rt.device(device_num).allocator.free_bytes
+
+    def omp_target_is_present(self, var, device_num: int,
+                              section=None) -> bool:
+        """Whether (a section of) *var* is mapped on the device.
+
+        ``section`` follows map-clause conventions (``None`` = whole
+        array); partial presence counts as absent, matching how device code
+        would fault on the unmapped part.
+        """
+        from repro.openmp.mapping import concretize_section
+        from repro.util.errors import OmpMappingError
+
+        env = self._rt.dataenv(device_num)
+        interval = concretize_section(var, section)
+        try:
+            return env.lookup(var, interval) is not None
+        except OmpMappingError:
+            return False
+
+    # -- time ------------------------------------------------------------------
+
+    def omp_get_wtime(self) -> float:
+        """The virtual wall clock (seconds)."""
+        return self._rt.sim.now
+
+
+def api(rt: OpenMPRuntime) -> OmpApi:
+    """Convenience constructor: ``omp = api(rt)``."""
+    return OmpApi(rt)

@@ -1,0 +1,194 @@
+"""Per-device data environments (the libomptarget "present table").
+
+Implements the OpenMP 5.x reference-counted mapping rules the paper's
+evaluation leans on:
+
+* mapping a section already present (contained in an existing entry) only
+  increments the entry's reference count — no copy;
+* mapping a section that **overlaps but extends** an existing entry is
+  illegal (:class:`~repro.util.errors.OmpMappingError`).  This is the rule
+  that forbids the Two Buffers / Double Buffering Somier variants on a
+  single GPU: consecutive half-buffer halos would overlap-extend each other
+  (paper Section V-B);
+* unmapping decrements; at zero the copy-back (for ``from``/``tofrom``)
+  happens and the device buffer is freed;
+* ``target update`` requires presence and copies without touching counts.
+
+The environment performs only *metadata* operations (allocation accounting is
+instantaneous); the directive layer issues the simulated copies that the
+plans returned here call for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.device.device import Device
+from repro.device.views import GlobalView
+from repro.openmp.mapping import Var
+from repro.util.errors import OmpMappingError
+from repro.util.intervals import Interval
+
+
+@dataclass
+class MappedEntry:
+    """One present-table entry: a mapped section of one host array.
+
+    ``inflight`` holds the completion events of device operations (copies
+    and kernels) still pending on this buffer.  New operations on the entry
+    wait for all of them — the per-buffer analogue of CUDA stream ordering,
+    which is how the paper's runtime keeps exit-data copies from racing the
+    kernels that produce their data (its ``depend`` support for data
+    directives being future work, Section IX).
+    """
+
+    var: Var
+    section: Interval
+    alloc: "object"  # repro.device.memory.Allocation
+    refcount: int = 1
+    inflight: List["object"] = field(default_factory=list)
+
+    @property
+    def buffer(self):
+        return self.alloc.array
+
+    def wait_list(self) -> List["object"]:
+        """Unfinished operations currently pending on this buffer."""
+        self.inflight = [ev for ev in self.inflight if not ev.processed]
+        return list(self.inflight)
+
+    def track(self, event: "object") -> None:
+        self.inflight.append(event)
+
+    def local_slice(self, section: Interval) -> slice:
+        """Device-buffer slice corresponding to a global *section*."""
+        if not self.section.contains(section):
+            raise OmpMappingError(
+                f"{self.var.name}: section {section} not contained in "
+                f"mapped entry {self.section}")
+        return slice(section.start - self.section.start,
+                     section.stop - self.section.start)
+
+    def host_slice(self, section: Interval) -> slice:
+        return section.as_slice()
+
+    def view(self) -> GlobalView:
+        return GlobalView(self.buffer, self.section.start, name=self.var.name)
+
+
+class DeviceDataEnv:
+    """The present table of one device."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self._entries: Dict[int, List[MappedEntry]] = {}
+        # statistics for benchmark reports
+        self.enter_count = 0
+        self.reuse_count = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def entries_of(self, var: Var) -> List[MappedEntry]:
+        return list(self._entries.get(var.key, ()))
+
+    def lookup(self, var: Var, section: Interval) -> Optional[MappedEntry]:
+        """The entry containing *section*, or None if absent.
+
+        A section that only *partially* hits existing entries is an error:
+        device code would fault on the unmapped part.
+        """
+        lst = self._entries.get(var.key, ())
+        for entry in lst:
+            if entry.section.contains(section):
+                return entry
+        for entry in lst:
+            if entry.section.overlaps(section):
+                raise OmpMappingError(
+                    f"device {self.device.device_id}: section {section} of "
+                    f"{var.name!r} is only partially present "
+                    f"(existing entry {entry.section})")
+        return None
+
+    def require(self, var: Var, section: Interval) -> MappedEntry:
+        entry = self.lookup(var, section)
+        if entry is None:
+            raise OmpMappingError(
+                f"device {self.device.device_id}: {var.name!r} section "
+                f"{section} is not present (map it first)")
+        return entry
+
+    # -- mapping --------------------------------------------------------------
+
+    def enter(self, var: Var, section: Interval) -> Tuple[MappedEntry, bool]:
+        """Map *section* in; returns ``(entry, is_new)``.
+
+        ``is_new`` tells the caller whether a ``to``/``tofrom`` copy-in must
+        be issued.  Raises :class:`OmpMappingError` on an overlap-extension,
+        reproducing the OpenMP restriction the paper relies on.
+        """
+        if section.empty:
+            raise OmpMappingError(
+                f"cannot map empty section of {var.name!r}")
+        lst = self._entries.setdefault(var.key, [])
+        for entry in lst:
+            if entry.section.contains(section):
+                entry.refcount += 1
+                self.reuse_count += 1
+                return entry, False
+        for entry in lst:
+            if entry.section.overlaps(section):
+                raise OmpMappingError(
+                    f"device {self.device.device_id}: mapping {var.name!r} "
+                    f"section {section} would extend the existing mapped "
+                    f"section {entry.section}; extending a present array "
+                    f"section is forbidden by OpenMP")
+        shape = (len(section),) + var.array.shape[1:]
+        nbytes = len(section) * var.row_nbytes
+        alloc = self.device.allocate(
+            shape, dtype=var.array.dtype,
+            virtual_bytes=self.device.cost_model.virtual_bytes(nbytes),
+            label=f"{var.name}[{section.start}:{section.stop}]")
+        entry = MappedEntry(var=var, section=section, alloc=alloc, refcount=1)
+        lst.append(entry)
+        self.enter_count += 1
+        return entry, True
+
+    def exit(self, var: Var, section: Interval,
+             force_delete: bool = False) -> Tuple[MappedEntry, bool]:
+        """Unmap *section*; returns ``(entry, deleted)``.
+
+        The entry containing the section has its refcount decremented
+        (``force_delete`` zeroes it, for ``map(delete: ...)``).  When it
+        reaches zero the entry is removed from the table; the caller is
+        responsible for the copy-back (if the map type asks for one) and
+        must then call :meth:`release_storage`.
+        """
+        entry = self.require(var, section)
+        if force_delete:
+            entry.refcount = 0
+        else:
+            entry.refcount -= 1
+        if entry.refcount <= 0:
+            self._entries[var.key].remove(entry)
+            if not self._entries[var.key]:
+                del self._entries[var.key]
+            return entry, True
+        return entry, False
+
+    def release_storage(self, entry: MappedEntry) -> None:
+        """Free the device buffer of a deleted entry (post copy-back)."""
+        self.device.free(entry.alloc)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def live_entries(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<DeviceDataEnv dev={self.device.device_id} "
+                f"entries={self.live_entries}>")

@@ -1,0 +1,148 @@
+"""Data-based dependence resolution for the ``depend`` clause.
+
+The paper's ``depend`` follows the *data-flow* proposal it cites (Maroñas et
+al., IWOMP 2021): dependences are expressed on **array sections**, not on
+iteration numbers, and are evaluated per chunk — ``depend(out:
+B[omp_spread_start : omp_spread_size])`` creates one dependence record per
+chunk task.
+
+Semantics implemented (matching OpenMP task dependences):
+
+* an ``in`` dependence conflicts with every earlier ``out``/``inout`` whose
+  section overlaps;
+* an ``out``/``inout`` dependence conflicts with every earlier record
+  (reader or writer) whose section overlaps;
+* resolution happens at task **creation** time in program order, so the
+  resulting graph is deterministic.
+
+Records whose section is fully covered by a newer writer are pruned — any
+future conflict with them is transitively enforced through the newer writer
+— keeping the tracker O(active frontier) for the regular chunked access
+patterns of the benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.openmp.mapping import Var
+from repro.sim.engine import Event
+from repro.util.errors import OmpSemaError
+from repro.util.intervals import Interval
+
+
+class DepKind(enum.Enum):
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def writes(self) -> bool:
+        return self in (DepKind.OUT, DepKind.INOUT)
+
+
+@dataclass(frozen=True)
+class Dep:
+    """One dependence item: a kind, a variable and a section.
+
+    ``section`` follows map-clause conventions: a ``(start, length)`` pair of
+    ints or spread expressions, or ``None`` for the whole array.
+    """
+
+    kind: DepKind
+    var: Var
+    section: "object" = None
+
+    @staticmethod
+    def in_(var: Var, section=None) -> "Dep":
+        return Dep(DepKind.IN, var, section)
+
+    @staticmethod
+    def out(var: Var, section=None) -> "Dep":
+        return Dep(DepKind.OUT, var, section)
+
+    @staticmethod
+    def inout(var: Var, section=None) -> "Dep":
+        return Dep(DepKind.INOUT, var, section)
+
+
+@dataclass
+class _Record:
+    section: Interval
+    writes: bool
+    event: Event
+
+
+#: A dependence resolved to a concrete interval.
+ConcreteDep = Tuple[DepKind, Var, Interval]
+
+
+class DependTracker:
+    """Program-order registry of section reads/writes per variable."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, List[_Record]] = {}
+        # statistics
+        self.resolved_edges = 0
+
+    def resolve(self, deps: Sequence[ConcreteDep]) -> List[Event]:
+        """Compute the wait-set for a task about to be created.
+
+        Must be called in task-creation order, immediately followed by
+        :meth:`register` with the new task's event.  Returns the
+        (deduplicated) list of events the new task must wait for.
+        """
+        waits: List[Event] = []
+        seen: set = set()
+        for kind, var, section in deps:
+            records = self._records.get(var.key, ())
+            for rec in records:
+                if not rec.section.overlaps(section):
+                    continue
+                if kind.writes or rec.writes:
+                    if id(rec.event) not in seen:
+                        seen.add(id(rec.event))
+                        waits.append(rec.event)
+        self.resolved_edges += len(waits)
+        return waits
+
+    def register(self, deps: Sequence[ConcreteDep], event: Event) -> None:
+        """Record the new task's reads/writes (writers prune covered
+        records — any future conflict is transitively enforced)."""
+        for kind, var, section in deps:
+            lst = self._records.setdefault(var.key, [])
+            if kind.writes:
+                lst[:] = [r for r in lst if not section.contains(r.section)]
+            lst.append(_Record(section=section, writes=kind.writes,
+                               event=event))
+
+    def resolve_and_register(self, deps: Sequence[ConcreteDep],
+                             event: Event) -> List[Event]:
+        """Convenience: :meth:`resolve` then :meth:`register`."""
+        waits = self.resolve(deps)
+        self.register(deps, event)
+        return waits
+
+    def frontier_size(self, var: Var) -> int:
+        return len(self._records.get(var.key, ()))
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+def concretize_deps(deps: Iterable[Dep],
+                    spread_start=None, spread_size=None) -> List[ConcreteDep]:
+    """Evaluate dependence sections for a particular chunk."""
+    from repro.openmp.mapping import concretize_section
+
+    out: List[ConcreteDep] = []
+    for dep in deps:
+        if not isinstance(dep, Dep):
+            raise OmpSemaError(f"expected Dep, got {dep!r}")
+        interval = concretize_section(dep.var, dep.section,
+                                      spread_start=spread_start,
+                                      spread_size=spread_size)
+        out.append((dep.kind, dep.var, interval))
+    return out

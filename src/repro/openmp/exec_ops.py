@@ -1,0 +1,347 @@
+"""Shared lowering machinery for target-style directives.
+
+Both the baseline single-device directives (:mod:`repro.openmp.target`) and
+the paper's spread directives (:mod:`repro.spread`) lower to the same three
+device-operation shapes, implemented here as generator *ops* plus submit
+helpers that wire dependences and per-entry consistency:
+
+* **enter** — present-table enter for each map clause; copy-in for new
+  ``to``/``tofrom`` entries;
+* **exit** — present-table exit; copy-back for ``from``/``tofrom`` entries
+  whose refcount reached zero, then storage release;
+* **kernel** — implicit enter, kernel launch with global-index views,
+  implicit exit (OpenMP ``target`` construct semantics);
+* **update** — presence-required copies without refcount changes.
+
+Per-entry consistency: at submit time, any already-present entry touched by
+the new operation contributes its in-flight operations to the wait set, and
+the new operation is recorded on the entry.  This reproduces the per-buffer
+stream ordering of the paper's runtime (kernels before the copy-back that
+reads them) without imposing any cross-buffer synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.device.kernel import KernelSpec, LaunchConfig
+from repro.openmp.dataenv import MappedEntry
+from repro.openmp.depend import ConcreteDep
+from repro.openmp.mapping import MapClause, MapType, Var
+from repro.openmp.tasks import TaskCtx
+from repro.sim.engine import Process
+from repro.util.errors import OmpMappingError, OmpSemaError
+from repro.util.intervals import Interval
+
+#: A map clause whose section has been evaluated for a specific chunk.
+ConcreteMap = Tuple[MapClause, Interval]
+
+
+# ---------------------------------------------------------------------------
+# validation helpers
+# ---------------------------------------------------------------------------
+
+_ENTER_TYPES = (MapType.TO, MapType.ALLOC)
+_EXIT_TYPES = (MapType.FROM, MapType.RELEASE, MapType.DELETE)
+_REGION_TYPES = (MapType.TO, MapType.FROM, MapType.TOFROM, MapType.ALLOC)
+
+
+def check_map_types(maps: Sequence[MapClause], allowed: Sequence[MapType],
+                    directive: str) -> None:
+    for clause in maps:
+        if clause.map_type not in allowed:
+            allowed_names = "/".join(t.value for t in allowed)
+            raise OmpSemaError(
+                f"{directive}: map type {clause.map_type.value!r} not "
+                f"allowed here (expected {allowed_names})")
+
+
+def enter_map_types(maps: Sequence[MapClause], directive: str) -> None:
+    check_map_types(maps, _ENTER_TYPES, directive)
+
+
+def exit_map_types(maps: Sequence[MapClause], directive: str) -> None:
+    check_map_types(maps, _EXIT_TYPES, directive)
+
+
+def region_map_types(maps: Sequence[MapClause], directive: str) -> None:
+    check_map_types(maps, _REGION_TYPES, directive)
+
+
+# ---------------------------------------------------------------------------
+# consistency wiring
+# ---------------------------------------------------------------------------
+
+def gather_entry_waits(rt, device_id: int,
+                       concrete_maps: Sequence[ConcreteMap]):
+    """In-flight events of already-present entries + their registrars.
+
+    Entries that do not exist yet (the op itself will create them) simply
+    contribute nothing; ordering for those flows through explicit ``depend``
+    clauses, exactly as in the paper's model.
+    """
+    env = rt.dataenv(device_id)
+    waits = []
+    entries: List[MappedEntry] = []
+    for clause, interval in concrete_maps:
+        try:
+            entry = env.lookup(clause.var, interval)
+        except OmpMappingError:
+            entry = None  # partial presence: the op will raise at execution
+        if entry is not None:
+            waits.extend(entry.wait_list())
+            entries.append(entry)
+
+    def registrar(event) -> None:
+        for entry in entries:
+            entry.track(event)
+
+    return waits, [registrar]
+
+
+# ---------------------------------------------------------------------------
+# operation generators
+# ---------------------------------------------------------------------------
+
+def _enter_backpressured(rt, device_id: int, clause: MapClause,
+                         interval: Interval) -> Generator:
+    """``env.enter`` with back-pressure on transient memory exhaustion.
+
+    A request that could never fit (bigger than the whole device) raises
+    immediately; otherwise the op blocks until another buffer frees storage
+    and retries — the behaviour a pooling runtime exhibits when, e.g., the
+    Double Buffering recursion prefetches ahead of the drain.
+    """
+    from repro.util.errors import OmpAllocationError
+
+    env = rt.dataenv(device_id)
+    dev = rt.device(device_id)
+    while True:
+        try:
+            return env.enter(clause.var, interval)
+        except OmpAllocationError as err:
+            if not err.can_ever_fit:
+                raise
+            yield dev.wait_for_free()
+
+
+def _maybe_alloc_sync(rt, device_id: int,
+                      concrete_maps: Sequence[ConcreteMap]) -> Generator:
+    """Charge cudaMalloc costs for the maps that will allocate.
+
+    On the simulated device (as on real CUDA) an allocation synchronizes
+    the device queue and costs a fixed latency per call.  Maps that are
+    already present allocate nothing and stay free.
+    """
+    env = rt.dataenv(device_id)
+    dev = rt.device(device_id)
+    spec = dev.spec
+    absent = 0
+    for clause, interval in concrete_maps:
+        try:
+            if env.lookup(clause.var, interval) is None:
+                absent += 1
+        except OmpMappingError:
+            absent += 1  # partial presence: enter() will raise properly
+    if absent:
+        if spec.alloc_sync:
+            yield from dev.synchronize()
+        if spec.alloc_latency > 0:
+            yield dev.sim.timeout(spec.alloc_latency * absent)
+
+
+def _release_with_sync(rt, device_id: int,
+                       to_release: Sequence[MappedEntry]) -> Generator:
+    """cudaFree: device-wide synchronization + per-call latency, then the
+    actual storage release (which wakes back-pressured enters)."""
+    if not to_release:
+        return
+    dev = rt.device(device_id)
+    spec = dev.spec
+    if spec.free_sync:
+        yield from dev.synchronize()
+    if spec.free_latency > 0:
+        yield dev.sim.timeout(spec.free_latency * len(to_release))
+    env = rt.dataenv(device_id)
+    for entry in to_release:
+        env.release_storage(entry)
+
+
+def enter_op(rt, device_id: int, concrete_maps: Sequence[ConcreteMap],
+             fuse_transfers: bool = False, label: str = "") -> Generator:
+    """Present-table enter + copy-in transfers for one device."""
+    env = rt.dataenv(device_id)
+    dev = rt.device(device_id)
+    yield from _maybe_alloc_sync(rt, device_id, concrete_maps)
+    copies = []
+    for clause, interval in concrete_maps:
+        entry, is_new = yield from _enter_backpressured(rt, device_id,
+                                                        clause, interval)
+        if is_new and clause.map_type.copies_in:
+            copies.append((clause.var.array, interval.as_slice(),
+                           entry.buffer, entry.local_slice(interval),
+                           clause.var.name))
+    yield from _issue_copies(dev, copies, h2d=True, fuse=fuse_transfers,
+                             label=label)
+
+
+def exit_op(rt, device_id: int, concrete_maps: Sequence[ConcreteMap],
+            fuse_transfers: bool = False, label: str = "") -> Generator:
+    """Present-table exit + copy-back transfers + storage release."""
+    env = rt.dataenv(device_id)
+    dev = rt.device(device_id)
+    copies = []
+    to_release: List[MappedEntry] = []
+    for clause, interval in concrete_maps:
+        force = clause.map_type is MapType.DELETE
+        entry, deleted = env.exit(clause.var, interval, force_delete=force)
+        if deleted:
+            if clause.map_type.copies_out:
+                copies.append((entry.buffer, entry.local_slice(interval),
+                               clause.var.array, interval.as_slice(),
+                               clause.var.name))
+            to_release.append(entry)
+    yield from _issue_copies(dev, copies, h2d=False, fuse=fuse_transfers,
+                             label=label)
+    yield from _release_with_sync(rt, device_id, to_release)
+
+
+def update_op(rt, device_id: int,
+              to_sections: Sequence[Tuple[Var, Interval]],
+              from_sections: Sequence[Tuple[Var, Interval]],
+              fuse_transfers: bool = False, label: str = "") -> Generator:
+    """``target update`` copies; every section must already be present."""
+    env = rt.dataenv(device_id)
+    dev = rt.device(device_id)
+    h2d = []
+    for var, interval in to_sections:
+        entry = env.require(var, interval)
+        h2d.append((var.array, interval.as_slice(),
+                    entry.buffer, entry.local_slice(interval), var.name))
+    d2h = []
+    for var, interval in from_sections:
+        entry = env.require(var, interval)
+        d2h.append((entry.buffer, entry.local_slice(interval),
+                    var.array, interval.as_slice(), var.name))
+    yield from _issue_copies(dev, h2d, h2d=True, fuse=fuse_transfers,
+                             label=label)
+    yield from _issue_copies(dev, d2h, h2d=False, fuse=fuse_transfers,
+                             label=label)
+
+
+def kernel_op(rt, device_id: int, kernel: KernelSpec, lo: int, hi: int,
+              concrete_maps: Sequence[ConcreteMap],
+              launch: LaunchConfig = LaunchConfig(),
+              iterations: Optional[float] = None,
+              fuse_transfers: bool = False, label: str = "",
+              extra_env=None) -> Generator:
+    """The ``target`` construct: implicit enter, launch, implicit exit.
+
+    ``extra_env`` adds non-mapped objects to the kernel environment (used by
+    the reduction extension for per-chunk partial buffers).
+    """
+    env = rt.dataenv(device_id)
+    dev = rt.device(device_id)
+    # Implicit entry phase.
+    yield from _maybe_alloc_sync(rt, device_id, concrete_maps)
+    copies = []
+    held: List[ConcreteMap] = []
+    for clause, interval in concrete_maps:
+        entry, is_new = yield from _enter_backpressured(rt, device_id,
+                                                        clause, interval)
+        held.append((clause, interval))
+        if is_new and clause.map_type.copies_in:
+            copies.append((clause.var.array, interval.as_slice(),
+                           entry.buffer, entry.local_slice(interval),
+                           clause.var.name))
+    yield from _issue_copies(dev, copies, h2d=True, fuse=fuse_transfers,
+                             label=label)
+    # Kernel launch on the mapped views.
+    kenv = {}
+    for clause, interval in concrete_maps:
+        entry = env.require(clause.var, interval)
+        kenv[clause.var.name] = entry.view()
+    if extra_env:
+        kenv.update(extra_env)
+    yield from dev.launch_kernel(kernel, lo, hi, kenv, launch=launch,
+                                 iterations=iterations)
+    # Implicit exit phase.
+    copyback = []
+    to_release: List[MappedEntry] = []
+    for clause, interval in held:
+        entry, deleted = env.exit(clause.var, interval)
+        if deleted:
+            if clause.map_type.copies_out:
+                copyback.append((entry.buffer, entry.local_slice(interval),
+                                 clause.var.array, interval.as_slice(),
+                                 clause.var.name))
+            to_release.append(entry)
+    yield from _issue_copies(dev, copyback, h2d=False, fuse=fuse_transfers,
+                             label=label)
+    yield from _release_with_sync(rt, device_id, to_release)
+
+
+def _issue_copies(dev, copies, h2d: bool, fuse: bool, label: str) -> Generator:
+    if not copies:
+        return
+    if fuse and len(copies) > 1:
+        batch = [(src, sk, dst, dk) for src, sk, dst, dk, _name in copies]
+        name = f"{label or 'map'}(fused x{len(batch)})"
+        if h2d:
+            yield from dev.copy_h2d_batch(batch, name=name)
+        else:
+            yield from dev.copy_d2h_batch(batch, name=name)
+        return
+    # Issue all memcpys at once (what a runtime enqueuing async copies
+    # does); the staging path and the device queue serialize them, but the
+    # next copy's staging pipelines with the current one's wire time.
+    procs = []
+    for src, sk, dst, dk, vname in copies:
+        name = f"{label or 'map'}:{vname}"
+        gen = (dev.copy_h2d(src, sk, dst, dk, name=name) if h2d
+               else dev.copy_d2h(src, sk, dst, dk, name=name))
+        procs.append(dev.sim.process(gen, name=name))
+    yield dev.sim.all_of(procs)
+
+
+# ---------------------------------------------------------------------------
+# submit helpers (create the device-op task with all wiring)
+# ---------------------------------------------------------------------------
+
+def submit_op(ctx: TaskCtx, device_id: int, opgen: Generator,
+              concrete_maps: Sequence[ConcreteMap] = (),
+              concrete_deps: Sequence[ConcreteDep] = (),
+              name: str = "") -> Process:
+    """Spawn a device operation with depend + per-entry consistency."""
+    waits, registrars = gather_entry_waits(ctx.rt, device_id, concrete_maps)
+    return ctx.submit(opgen, name=name, concrete_deps=concrete_deps,
+                      extra_waits=waits, inflight_registrars=registrars)
+
+
+def submit_spread(ctx: TaskCtx, items) -> List[Process]:
+    """Spawn the chunk tasks of one spread directive.
+
+    ``items`` is a sequence of ``(device_id, opgen, concrete_maps,
+    concrete_deps, name)`` tuples.  Unlike sequential :func:`submit_op`
+    calls, all chunks resolve their dependences against the *pre-directive*
+    tracker state and only then register their own records: sibling chunks
+    of one directive are conceptually simultaneous and must not order
+    against each other — their sections may overlap (position halos) yet
+    they write distinct per-device copies.
+    """
+    rt = ctx.rt
+    procs: List[Process] = []
+    to_register = []
+    for device_id, opgen, concrete_maps, concrete_deps, name in items:
+        waits, registrars = gather_entry_waits(rt, device_id, concrete_maps)
+        deps = list(concrete_deps)
+        if deps:
+            waits = list(waits) + rt.depend.resolve(deps)
+        proc = ctx.submit(opgen, name=name, extra_waits=waits,
+                          inflight_registrars=registrars)
+        if deps:
+            to_register.append((deps, proc))
+        procs.append(proc)
+    for deps, proc in to_register:
+        rt.depend.register(deps, proc)
+    return procs

@@ -1,0 +1,180 @@
+"""Map clauses and array sections.
+
+A :class:`Var` names a host NumPy array so directives, dependences and kernel
+environments can refer to it (the analogue of a C identifier).  A
+:class:`MapClause` is one entry of a ``map`` clause: a map type, a variable,
+and an array section over the distributed axis (axis 0).
+
+Sections are ``(start, length)`` pairs — OpenMP's ``A[start : length]``
+syntax — whose components may be plain ints or the symbolic spread
+expressions built from ``omp_spread_start`` / ``omp_spread_size``
+(:mod:`repro.spread.sections`).  :func:`concretize_section` evaluates a
+section for a particular chunk and bounds-checks it against the array.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.util.errors import OmpSemaError
+from repro.util.intervals import Interval
+
+
+class Var:
+    """A named host array (identity-keyed).
+
+    Two ``Var`` objects are distinct mapping targets even if they wrap the
+    same NumPy array — just as two C pointers of different names would be
+    after aliasing analysis gives up.  Keep one ``Var`` per logical array.
+    """
+
+    __slots__ = ("name", "array")
+
+    def __init__(self, name: str, array: np.ndarray):
+        if not isinstance(array, np.ndarray):
+            raise TypeError(f"Var {name!r}: expected ndarray, got {type(array)}")
+        if array.ndim < 1:
+            raise ValueError(f"Var {name!r}: zero-dimensional arrays cannot be sectioned")
+        self.name = name
+        self.array = array
+
+    @property
+    def key(self) -> int:
+        return id(self)
+
+    @property
+    def extent(self) -> int:
+        """Size of the distributed axis (axis 0)."""
+        return self.array.shape[0]
+
+    @property
+    def row_nbytes(self) -> int:
+        """Bytes per axis-0 element (one 'row')."""
+        return self.array.nbytes // max(1, self.array.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Var({self.name!r}, shape={self.array.shape}, dtype={self.array.dtype})"
+
+
+class MapType(enum.Enum):
+    """OpenMP map types relevant to the paper's directives."""
+
+    TO = "to"
+    FROM = "from"
+    TOFROM = "tofrom"
+    ALLOC = "alloc"
+    RELEASE = "release"
+    DELETE = "delete"
+
+    @property
+    def copies_in(self) -> bool:
+        return self in (MapType.TO, MapType.TOFROM)
+
+    @property
+    def copies_out(self) -> bool:
+        return self in (MapType.FROM, MapType.TOFROM)
+
+
+#: A section component: a plain int or a symbolic spread expression
+#: (anything exposing ``evaluate(spread_start, spread_size) -> int``).
+SectionExpr = Union[int, "object"]
+
+#: ``(start, length)`` in OpenMP array-section style, or None = whole array.
+Section = Optional[Tuple[SectionExpr, SectionExpr]]
+
+
+@dataclass(frozen=True)
+class MapClause:
+    """One variable of a ``map`` clause."""
+
+    map_type: MapType
+    var: Var
+    section: Section = None
+
+    def __post_init__(self) -> None:
+        if self.section is not None and len(self.section) != 2:
+            raise OmpSemaError(
+                f"map({self.map_type.value}: {self.var.name}): section must "
+                "be a (start, length) pair")
+
+
+class Map:
+    """Constructors mirroring the pragma syntax: ``Map.to(A, (s, l))``."""
+
+    @staticmethod
+    def to(var: Var, section: Section = None) -> MapClause:
+        return MapClause(MapType.TO, var, section)
+
+    @staticmethod
+    def from_(var: Var, section: Section = None) -> MapClause:
+        return MapClause(MapType.FROM, var, section)
+
+    @staticmethod
+    def tofrom(var: Var, section: Section = None) -> MapClause:
+        return MapClause(MapType.TOFROM, var, section)
+
+    @staticmethod
+    def alloc(var: Var, section: Section = None) -> MapClause:
+        return MapClause(MapType.ALLOC, var, section)
+
+    @staticmethod
+    def release(var: Var, section: Section = None) -> MapClause:
+        return MapClause(MapType.RELEASE, var, section)
+
+    @staticmethod
+    def delete(var: Var, section: Section = None) -> MapClause:
+        return MapClause(MapType.DELETE, var, section)
+
+
+def _eval_expr(expr: SectionExpr, spread_start: Optional[int],
+               spread_size: Optional[int], what: str) -> int:
+    if isinstance(expr, (int, np.integer)):
+        return int(expr)
+    evaluate = getattr(expr, "evaluate", None)
+    if evaluate is None:
+        raise OmpSemaError(f"{what}: unsupported section expression {expr!r}")
+    if spread_start is None or spread_size is None:
+        raise OmpSemaError(
+            f"{what}: omp_spread_start/omp_spread_size are only defined "
+            "inside spread directives")
+    return int(evaluate(spread_start, spread_size))
+
+
+def concretize_section(var: Var, section: Section,
+                       spread_start: Optional[int] = None,
+                       spread_size: Optional[int] = None) -> Interval:
+    """Evaluate *section* for one chunk and bounds-check it.
+
+    Returns the half-open :class:`Interval` over axis 0.  ``None`` means the
+    whole array.  Sections reaching outside the array raise
+    :class:`OmpSemaError` — the directive's halo arithmetic must stay in
+    bounds (the paper's listings guarantee this by construction for the
+    first/last chunks of the ``1..N-1`` iteration space).
+    """
+    if section is None:
+        return Interval(0, var.extent)
+    what = f"section of {var.name!r}"
+    start = _eval_expr(section[0], spread_start, spread_size, what)
+    length = _eval_expr(section[1], spread_start, spread_size, what)
+    if length < 0:
+        raise OmpSemaError(f"{what}: negative length {length}")
+    if start < 0 or start + length > var.extent:
+        raise OmpSemaError(
+            f"{what}: [{start}:{start + length}) outside array extent "
+            f"[0:{var.extent})")
+    return Interval(start, start + length)
+
+
+def validate_unique_vars(maps: Sequence[MapClause], directive: str) -> None:
+    """Reject a directive mapping the same Var twice (ambiguous sections)."""
+    seen = set()
+    for clause in maps:
+        if clause.var.key in seen:
+            raise OmpSemaError(
+                f"{directive}: variable {clause.var.name!r} appears in more "
+                "than one map clause")
+        seen.add(clause.var.key)

@@ -1,0 +1,148 @@
+"""The OpenMP runtime object: devices, ICVs and the run loop.
+
+:class:`OpenMPRuntime` assembles the whole simulated node — simulator, trace,
+socket links, devices, per-device data environments, and the dependence
+tracker — and drives host programs (generator functions taking a
+:class:`~repro.openmp.tasks.TaskCtx`).
+
+Typical use::
+
+    rt = OpenMPRuntime(topology=cte_power_node(4))
+
+    def program(omp):
+        yield from target_enter_data(omp, device=0, maps=[Map.to(A)])
+        ...
+
+    rt.run(program)
+    print(rt.elapsed, rt.trace.to_ascii())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.device.device import Device
+from repro.openmp.dataenv import DeviceDataEnv
+from repro.openmp.depend import DependTracker
+from repro.openmp.tasks import TaskCtx
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Process, Simulator
+from repro.sim.resources import Resource
+from repro.sim.topology import NodeTopology, cte_power_node
+from repro.sim.trace import Trace
+from repro.util.errors import OmpDeviceError, OmpRuntimeError
+
+
+class OpenMPRuntime:
+    """A fully wired simulated node plus the OpenMP host runtime state."""
+
+    def __init__(self, topology: Optional[NodeTopology] = None,
+                 cost_model: Optional[CostModel] = None,
+                 trace_enabled: bool = True,
+                 taskgroup_global_drain: bool = True):
+        self.topology = topology if topology is not None else cte_power_node(4)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.sim = Simulator()
+        self.trace = Trace(enabled=trace_enabled)
+        self.links: List[Resource] = [
+            Resource(self.sim, capacity=1, name=spec.name)
+            for spec in self.topology.link_specs
+        ]
+        self.staging = Resource(self.sim, capacity=1,
+                                name=self.topology.host_spec.name)
+        self.devices: List[Device] = [
+            Device(self.sim, d, self.topology.device_specs[d],
+                   self.links[self.topology.socket_of(d)],
+                   self.topology.link_of(d),
+                   self.staging, self.topology.host_spec,
+                   self.cost_model, self.trace)
+            for d in range(self.topology.num_devices)
+        ]
+        self.dataenvs: List[DeviceDataEnv] = [
+            DeviceDataEnv(dev) for dev in self.devices
+        ]
+        self.depend = DependTracker()
+        self.default_device = 0
+        #: reproduce the paper's taskgroup behaviour: closing a taskgroup
+        #: that contains device operations drains *all* devices ("a barrier
+        #: that synchronizes all devices", Discussion section).
+        self.taskgroup_global_drain = taskgroup_global_drain
+        self._tasks: List[Process] = []
+        self._device_ops: List[Process] = []
+        self._ran = False
+
+    # -- device access ----------------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def device(self, device_id: int) -> Device:
+        if not 0 <= device_id < self.num_devices:
+            raise OmpDeviceError(
+                f"device id {device_id} out of range (node has "
+                f"{self.num_devices} devices)")
+        return self.devices[device_id]
+
+    def dataenv(self, device_id: int) -> DeviceDataEnv:
+        self.device(device_id)  # bounds check
+        return self.dataenvs[device_id]
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def note_task(self, proc: Process) -> None:
+        self._tasks.append(proc)
+
+    def note_device_op(self, proc: Process) -> None:
+        self._device_ops.append(proc)
+
+    def pending_device_ops(self) -> List[Process]:
+        """Device operations still in flight (pruned on access)."""
+        self._device_ops = [p for p in self._device_ops if not p.processed]
+        return list(self._device_ops)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual seconds elapsed so far."""
+        return self.sim.now
+
+    @property
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, program: Callable[..., Generator], *args: Any) -> Any:
+        """Execute *program(ctx, \\*args)* to completion; returns its value.
+
+        A runtime instance runs one program (its virtual clock and trace
+        cover that program's execution); create a fresh runtime per
+        experiment.
+        """
+        if self._ran:
+            raise OmpRuntimeError(
+                "this runtime already ran a program; create a new one")
+        self._ran = True
+        root = TaskCtx(self, parent=None)
+        main = self.sim.process(program(root, *args), name="main")
+        self._tasks.append(main)
+        result = self.sim.run(until=main)
+        # Drain stragglers (nowait tasks nobody joined).
+        self.sim.run()
+        self._raise_lost_failures()
+        return result
+
+    def _raise_lost_failures(self) -> None:
+        unfinished = [p for p in self._tasks if not p.triggered]
+        if unfinished:
+            names = ", ".join(p.name for p in unfinished[:5])
+            raise OmpRuntimeError(
+                f"{len(unfinished)} task(s) never completed (deadlock?): "
+                f"{names}")
+        for proc in self._tasks:
+            if not proc.ok:
+                raise proc.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<OpenMPRuntime devices={self.num_devices} "
+                f"t={self.sim.now:.6f}s tasks={len(self._tasks)}>")

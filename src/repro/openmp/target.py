@@ -1,0 +1,196 @@
+"""The existing single-device ``target`` directive set (the paper's baseline).
+
+Each function is the lowering of one pragma from Section II of the paper:
+
+=============================================  =======================================
+Pragma                                          Function
+=============================================  =======================================
+``#pragma omp target device(d) ...``            :func:`target`
+``... teams distribute parallel for [simd]``    :func:`target_teams_distribute_parallel_for`
+``#pragma omp target data device(d) map(...)``  :func:`target_data` (+ ``.end()``)
+``#pragma omp target enter data ...``           :func:`target_enter_data`
+``#pragma omp target exit data ...``            :func:`target_exit_data`
+``#pragma omp target update ...``               :func:`target_update`
+=============================================  =======================================
+
+All functions are generators driven with ``yield from`` inside a host
+program; with ``nowait=True`` they return the spawned task immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence, Tuple
+
+from repro.device.kernel import KernelSpec, LaunchConfig
+from repro.openmp import exec_ops
+from repro.openmp.depend import Dep, concretize_deps
+from repro.openmp.mapping import (
+    MapClause,
+    Var,
+    concretize_section,
+    validate_unique_vars,
+)
+from repro.openmp.tasks import TaskCtx
+from repro.util.errors import OmpSemaError
+
+
+def _concretize_maps(maps: Sequence[MapClause], directive: str):
+    validate_unique_vars(maps, directive)
+    return [(clause, concretize_section(clause.var, clause.section))
+            for clause in maps]
+
+
+def target(ctx: TaskCtx, device: int, kernel: KernelSpec,
+           lo: int, hi: int, maps: Sequence[MapClause] = (),
+           nowait: bool = False, depends: Sequence[Dep] = (),
+           iterations: Optional[float] = None,
+           launch: Optional[LaunchConfig] = None) -> Generator:
+    """``#pragma omp target device(device)`` over iterations ``[lo, hi)``.
+
+    Without a launch configuration the region executes serially on the
+    device (one team, one thread — exactly what a bare ``target`` does);
+    use :func:`target_teams_distribute_parallel_for` for the combined
+    directive.
+    """
+    exec_ops.region_map_types(maps, "target")
+    concrete = _concretize_maps(maps, "target")
+    cdeps = concretize_deps(depends)
+    cfg = launch if launch is not None else LaunchConfig(
+        num_teams=1, threads_per_team=1, simd=False)
+    op = exec_ops.kernel_op(ctx.rt, device, kernel, lo, hi, concrete,
+                            launch=cfg, iterations=iterations,
+                            label=f"target@{device}")
+    proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
+                              concrete_deps=cdeps,
+                              name=f"target:{kernel.name}@{device}")
+    if not nowait:
+        yield proc
+    return proc
+
+
+def target_teams_distribute_parallel_for(
+        ctx: TaskCtx, device: int, kernel: KernelSpec,
+        lo: int, hi: int, maps: Sequence[MapClause] = (),
+        num_teams: Optional[int] = None,
+        threads_per_team: Optional[int] = None,
+        simd: bool = True,
+        nowait: bool = False, depends: Sequence[Dep] = (),
+        iterations: Optional[float] = None) -> Generator:
+    """``#pragma omp target teams distribute parallel for [simd]``.
+
+    The combined directive of Listing 2: full intra-device parallelism
+    (teams x threads x vector lanes), still one device.
+    """
+    launch = LaunchConfig(num_teams=num_teams,
+                          threads_per_team=threads_per_team, simd=simd)
+    result = yield from target(ctx, device, kernel, lo, hi, maps=maps,
+                               nowait=nowait, depends=depends,
+                               iterations=iterations, launch=launch)
+    return result
+
+
+class TargetDataRegion:
+    """Handle for a structured ``target data`` region (close with ``end``)."""
+
+    def __init__(self, ctx: TaskCtx, device: int, concrete_maps):
+        self._ctx = ctx
+        self._device = device
+        self._concrete = concrete_maps
+        self._closed = False
+
+    def end(self) -> Generator:
+        """Exit the region: copy-backs for ``from``/``tofrom`` maps."""
+        if self._closed:
+            raise OmpSemaError("target data region already closed")
+        self._closed = True
+        op = exec_ops.exit_op(self._ctx.rt, self._device, self._concrete,
+                              label=f"target-data-end@{self._device}")
+        proc = exec_ops.submit_op(self._ctx, self._device, op,
+                                  concrete_maps=self._concrete,
+                                  name=f"target-data-end@{self._device}")
+        yield proc
+        return proc
+
+
+def target_data(ctx: TaskCtx, device: int,
+                maps: Sequence[MapClause]) -> Generator:
+    """``#pragma omp target data device(d) map(...)``.
+
+    Structured data region: synchronous mapping at entry, copy-backs when
+    the returned region's ``end()`` is driven.  Matching the original
+    directive, there is no ``nowait`` and no ``depend`` (Listing 5 prose).
+    """
+    exec_ops.region_map_types(maps, "target data")
+    concrete = _concretize_maps(maps, "target data")
+    op = exec_ops.enter_op(ctx.rt, device, concrete,
+                           label=f"target-data@{device}")
+    proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
+                              name=f"target-data@{device}")
+    yield proc
+    return TargetDataRegion(ctx, device, concrete)
+
+
+def target_enter_data(ctx: TaskCtx, device: int,
+                      maps: Sequence[MapClause],
+                      nowait: bool = False,
+                      depends: Sequence[Dep] = ()) -> Generator:
+    """``#pragma omp target enter data device(d) [nowait] map(to/alloc: ...)``."""
+    exec_ops.enter_map_types(maps, "target enter data")
+    concrete = _concretize_maps(maps, "target enter data")
+    cdeps = concretize_deps(depends)
+    op = exec_ops.enter_op(ctx.rt, device, concrete,
+                           label=f"enter-data@{device}")
+    proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
+                              concrete_deps=cdeps,
+                              name=f"enter-data@{device}")
+    if not nowait:
+        yield proc
+    return proc
+
+
+def target_exit_data(ctx: TaskCtx, device: int,
+                     maps: Sequence[MapClause],
+                     nowait: bool = False,
+                     depends: Sequence[Dep] = ()) -> Generator:
+    """``#pragma omp target exit data device(d) [nowait] map(from/release/delete: ...)``."""
+    exec_ops.exit_map_types(maps, "target exit data")
+    concrete = _concretize_maps(maps, "target exit data")
+    cdeps = concretize_deps(depends)
+    op = exec_ops.exit_op(ctx.rt, device, concrete,
+                          label=f"exit-data@{device}")
+    proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
+                              concrete_deps=cdeps,
+                              name=f"exit-data@{device}")
+    if not nowait:
+        yield proc
+    return proc
+
+
+def target_update(ctx: TaskCtx, device: int,
+                  to: Sequence[Tuple[Var, object]] = (),
+                  from_: Sequence[Tuple[Var, object]] = (),
+                  nowait: bool = False,
+                  depends: Sequence[Dep] = ()) -> Generator:
+    """``#pragma omp target update device(d) [nowait] to(...) from(...)``.
+
+    ``to``/``from_`` are sequences of ``(Var, section)`` pairs; sections use
+    map-clause conventions (``None`` = whole array).  Every section must
+    already be present on the device.
+    """
+    if not to and not from_:
+        raise OmpSemaError("target update: needs at least one to()/from()")
+    to_c = [(var, concretize_section(var, section)) for var, section in to]
+    from_c = [(var, concretize_section(var, section)) for var, section in from_]
+    cdeps = concretize_deps(depends)
+    # Per-entry consistency uses pseudo map clauses over the same sections.
+    from repro.openmp.mapping import Map
+    pseudo = ([(Map.to(var), interval) for var, interval in to_c] +
+              [(Map.from_(var), interval) for var, interval in from_c])
+    op = exec_ops.update_op(ctx.rt, device, to_c, from_c,
+                            label=f"update@{device}")
+    proc = exec_ops.submit_op(ctx, device, op, concrete_maps=pseudo,
+                              concrete_deps=cdeps,
+                              name=f"update@{device}")
+    if not nowait:
+        yield proc
+    return proc

@@ -1,0 +1,55 @@
+"""A pragma-string compiler frontend for the directive language.
+
+The paper implements its directives inside Clang: lexical module, parser,
+AST builder, semantics module and code generator (Section III-C).  This
+package reproduces that pipeline for pragma *strings*, so the exact syntax
+of the listings works in Python::
+
+    execute_pragma(omp,
+        "omp target spread teams distribute parallel for"
+        " devices(2,0,1) spread_schedule(static, 4)"
+        " map(to: A[omp_spread_start-1 : omp_spread_size+2])"
+        " map(from: B[omp_spread_start : omp_spread_size]) nowait",
+        symbols={"A": var_a, "B": var_b, "N": n},
+        body=kernel)
+
+Stages: :mod:`lexer` tokenizes, :mod:`parser` builds the typed AST
+(:mod:`ast_nodes`), :mod:`sema` enforces every restriction the paper states
+(and gates the §IX extensions), :mod:`codegen` lowers to the runtime calls
+of :mod:`repro.openmp` / :mod:`repro.spread`.
+"""
+
+from repro.pragma.lexer import tokenize, Token, TokenKind
+from repro.pragma.ast_nodes import (
+    Directive,
+    DirectiveKind,
+    Clause,
+    Expr,
+    Num,
+    Ident,
+    BinOp,
+    SectionNode,
+)
+from repro.pragma.parser import parse_pragma
+from repro.pragma.sema import check_directive
+from repro.pragma.codegen import execute_pragma, lower_directive
+from repro.pragma.unparse import unparse_directive
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "Directive",
+    "DirectiveKind",
+    "Clause",
+    "Expr",
+    "Num",
+    "Ident",
+    "BinOp",
+    "SectionNode",
+    "parse_pragma",
+    "check_directive",
+    "execute_pragma",
+    "lower_directive",
+    "unparse_directive",
+]

@@ -1,0 +1,207 @@
+"""Typed AST for the directive language.
+
+A parsed pragma is a :class:`Directive`: a kind (which directive of the
+``target`` / ``target spread`` families it is) plus a list of typed clause
+nodes.  Expressions are tiny affine trees over integer literals, host-code
+identifiers, and the two special spread identifiers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class of section/clause argument expressions."""
+
+    def idents(self) -> set:
+        """Free identifiers (excluding the spread symbols)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+    def idents(self) -> set:
+        return set()
+
+
+@dataclass(frozen=True)
+class Ident(Expr):
+    """A host-code identifier; ``omp_spread_start``/``omp_spread_size`` are
+    recognized here and resolved specially by sema/codegen."""
+
+    name: str
+
+    @property
+    def is_spread_symbol(self) -> bool:
+        return self.name in ("omp_spread_start", "omp_spread_size")
+
+    def idents(self) -> set:
+        return set() if self.is_spread_symbol else {self.name}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # '+', '-', '*'
+    left: Expr
+    right: Expr
+
+    def idents(self) -> set:
+        return self.left.idents() | self.right.idents()
+
+
+@dataclass(frozen=True)
+class SectionNode:
+    """``name[start : length]`` — or the bare array when start is None."""
+
+    name: str
+    start: Optional[Expr] = None
+    length: Optional[Expr] = None
+
+    @property
+    def whole_array(self) -> bool:
+        return self.start is None
+
+
+# ---------------------------------------------------------------------------
+# directives and clauses
+# ---------------------------------------------------------------------------
+
+class DirectiveKind(enum.Enum):
+    TARGET = "target"
+    TARGET_TEAMS_DPF = "target teams distribute parallel for"
+    TARGET_DATA = "target data"
+    TARGET_ENTER_DATA = "target enter data"
+    TARGET_EXIT_DATA = "target exit data"
+    TARGET_UPDATE = "target update"
+    TARGET_SPREAD = "target spread"
+    TARGET_SPREAD_TEAMS_DPF = "target spread teams distribute parallel for"
+    TARGET_DATA_SPREAD = "target data spread"
+    TARGET_ENTER_DATA_SPREAD = "target enter data spread"
+    TARGET_EXIT_DATA_SPREAD = "target exit data spread"
+    TARGET_UPDATE_SPREAD = "target update spread"
+
+    @property
+    def is_spread(self) -> bool:
+        return "spread" in self.value
+
+    @property
+    def is_executable(self) -> bool:
+        return self in (DirectiveKind.TARGET, DirectiveKind.TARGET_TEAMS_DPF,
+                        DirectiveKind.TARGET_SPREAD,
+                        DirectiveKind.TARGET_SPREAD_TEAMS_DPF)
+
+    @property
+    def is_data(self) -> bool:
+        return not self.is_executable
+
+
+class Clause:
+    """Base class of clause nodes."""
+
+    name = "clause"
+
+
+@dataclass(frozen=True)
+class DeviceClause(Clause):
+    name = "device"
+    device: Expr = Num(0)
+
+
+@dataclass(frozen=True)
+class DevicesClause(Clause):
+    name = "devices"
+    devices: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class SpreadScheduleClause(Clause):
+    name = "spread_schedule"
+    kind: str = "static"
+    chunk: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class RangeClause(Clause):
+    name = "range"
+    start: Expr = Num(0)
+    length: Expr = Num(0)
+
+
+@dataclass(frozen=True)
+class ChunkSizeClause(Clause):
+    name = "chunk_size"
+    chunk: Expr = Num(1)
+
+
+@dataclass(frozen=True)
+class MapClauseNode(Clause):
+    name = "map"
+    map_type: str = "tofrom"  # to / from / tofrom / alloc / release / delete
+    items: Tuple[SectionNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class MotionClause(Clause):
+    """``to(...)`` / ``from(...)`` of target update."""
+
+    name = "motion"
+    direction: str = "to"  # 'to' | 'from'
+    items: Tuple[SectionNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class DependClause(Clause):
+    name = "depend"
+    kind: str = "inout"  # in / out / inout
+    items: Tuple[SectionNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class NowaitClause(Clause):
+    name = "nowait"
+
+
+@dataclass(frozen=True)
+class NumTeamsClause(Clause):
+    name = "num_teams"
+    value: Expr = Num(1)
+
+
+@dataclass(frozen=True)
+class ThreadLimitClause(Clause):
+    name = "thread_limit"
+    value: Expr = Num(1)
+
+
+@dataclass(frozen=True)
+class Directive:
+    """A fully parsed pragma.
+
+    ``simd_suffix`` records whether the combined directive carried the
+    optional ``simd`` keyword (Listings 2/4); the cost model folds SIMT
+    lanes into thread parallelism, so the suffix is accepted and preserved
+    (unparse round-trips it) without changing the lowering.
+    """
+
+    kind: DirectiveKind
+    clauses: Tuple[Clause, ...]
+    source: str = ""
+    simd_suffix: bool = False
+
+    def find(self, clause_type) -> Optional[Clause]:
+        for clause in self.clauses:
+            if isinstance(clause, clause_type):
+                return clause
+        return None
+
+    def find_all(self, clause_type) -> List[Clause]:
+        return [c for c in self.clauses if isinstance(c, clause_type)]

@@ -1,0 +1,341 @@
+"""Code generation: lowering a directive AST onto the runtime.
+
+The analogue of the paper's Clang codegen changes: a checked
+:class:`~repro.pragma.ast_nodes.Directive` plus a *symbol environment*
+(mapping identifier names to :class:`~repro.openmp.mapping.Var` objects and
+integer scalars) is lowered to the directive functions of
+:mod:`repro.openmp` and :mod:`repro.spread`.
+
+Entry point: :func:`execute_pragma` — parse, check, lower and drive with
+``yield from`` inside a host program.  Executable directives additionally
+take the associated loop: its ``(lo, hi)`` bounds and the
+:class:`~repro.device.kernel.KernelSpec` body — the paper's restriction
+that a ``target spread`` must be followed by a loop becomes "``loop`` and
+``body`` are required" here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.device.kernel import KernelSpec
+# NB: the package attribute `repro.openmp.target` is shadowed by the
+# directive *function* of the same name, so bind the module explicitly.
+import importlib
+
+T = importlib.import_module("repro.openmp.target")
+from repro.openmp.depend import Dep, DepKind
+from repro.openmp.mapping import Map, MapClause, MapType, Var
+from repro.openmp.tasks import TaskCtx
+from repro.pragma import ast_nodes as A
+from repro.pragma.parser import parse_pragma
+from repro.pragma.sema import check_directive
+from repro.spread import extensions as ext_mod
+from repro.spread import spread_data as SD
+from repro.spread import spread_target as ST
+from repro.spread.schedule import spread_schedule
+from repro.spread.sections import SpreadExpr, omp_spread_size, omp_spread_start
+from repro.util.errors import OmpSemaError
+
+_D = A.DirectiveKind
+
+#: values an expression may evaluate to
+ExprValue = Union[int, SpreadExpr]
+
+Symbols = Dict[str, Any]
+
+
+# ---------------------------------------------------------------------------
+# expression evaluation
+# ---------------------------------------------------------------------------
+
+def eval_expr(expr: A.Expr, symbols: Symbols) -> ExprValue:
+    """Evaluate an AST expression to an int or an affine spread expression."""
+    if isinstance(expr, A.Num):
+        return expr.value
+    if isinstance(expr, A.Ident):
+        if expr.name == "omp_spread_start":
+            return omp_spread_start
+        if expr.name == "omp_spread_size":
+            return omp_spread_size
+        try:
+            value = symbols[expr.name]
+        except KeyError:
+            raise OmpSemaError(f"undefined identifier {expr.name!r} in "
+                               "directive expression")
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        raise OmpSemaError(
+            f"identifier {expr.name!r} is not an integer scalar "
+            f"(got {type(value).__name__}); arrays may only appear as "
+            "section bases")
+    if isinstance(expr, A.BinOp):
+        left = eval_expr(expr.left, symbols)
+        right = eval_expr(expr.right, symbols)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            if isinstance(left, SpreadExpr) and isinstance(right, SpreadExpr):
+                raise OmpSemaError(
+                    "section expressions must stay affine in "
+                    "omp_spread_start/omp_spread_size")
+            return left * right
+        raise OmpSemaError(f"unknown operator {expr.op!r}")
+    raise OmpSemaError(f"unsupported expression node {expr!r}")
+
+
+def eval_int(expr: A.Expr, symbols: Symbols, what: str) -> int:
+    value = eval_expr(expr, symbols)
+    if isinstance(value, SpreadExpr):
+        raise OmpSemaError(f"{what}: expected an integer expression")
+    return int(value)
+
+
+def _lookup_var(name: str, symbols: Symbols) -> Var:
+    try:
+        value = symbols[name]
+    except KeyError:
+        raise OmpSemaError(f"undefined array {name!r} in map/depend clause")
+    if isinstance(value, Var):
+        return value
+    if isinstance(value, np.ndarray):
+        raise OmpSemaError(
+            f"{name!r} is a raw ndarray; wrap it in repro.openmp.Var so the "
+            "runtime can name it")
+    raise OmpSemaError(f"{name!r} does not name an array (got "
+                       f"{type(value).__name__})")
+
+
+def _eval_section(node: A.SectionNode, symbols: Symbols):
+    var = _lookup_var(node.name, symbols)
+    if node.whole_array:
+        return var, None
+    start = eval_expr(node.start, symbols)
+    length = eval_expr(node.length, symbols)
+    return var, (start, length)
+
+
+# ---------------------------------------------------------------------------
+# clause materialization
+# ---------------------------------------------------------------------------
+
+_MAP_TYPE = {
+    "to": MapType.TO,
+    "from": MapType.FROM,
+    "tofrom": MapType.TOFROM,
+    "alloc": MapType.ALLOC,
+    "release": MapType.RELEASE,
+    "delete": MapType.DELETE,
+}
+
+_DEP_KIND = {"in": DepKind.IN, "out": DepKind.OUT, "inout": DepKind.INOUT}
+
+
+def _build_maps(directive: A.Directive, symbols: Symbols) -> List[MapClause]:
+    maps: List[MapClause] = []
+    for clause in directive.find_all(A.MapClauseNode):
+        for item in clause.items:
+            var, section = _eval_section(item, symbols)
+            maps.append(MapClause(_MAP_TYPE[clause.map_type], var, section))
+    return maps
+
+
+def _build_depends(directive: A.Directive, symbols: Symbols) -> List[Dep]:
+    deps: List[Dep] = []
+    for clause in directive.find_all(A.DependClause):
+        for item in clause.items:
+            var, section = _eval_section(item, symbols)
+            deps.append(Dep(_DEP_KIND[clause.kind], var, section))
+    return deps
+
+
+def _build_motion(directive: A.Directive, symbols: Symbols):
+    to, from_ = [], []
+    for clause in directive.find_all(A.MotionClause):
+        bucket = to if clause.direction == "to" else from_
+        for item in clause.items:
+            var, section = _eval_section(item, symbols)
+            bucket.append((var, section))
+    return to, from_
+
+
+def _device_of(directive: A.Directive, symbols: Symbols, default: int) -> int:
+    clause = directive.find(A.DeviceClause)
+    if clause is None:
+        return default
+    return eval_int(clause.device, symbols, "device clause")
+
+
+def _devices_of(directive: A.Directive, symbols: Symbols) -> List[int]:
+    clause = directive.find(A.DevicesClause)
+    assert clause is not None  # sema guarantees presence
+    return [eval_int(e, symbols, "devices clause") for e in clause.devices]
+
+
+def _range_of(directive: A.Directive, symbols: Symbols) -> Tuple[int, int]:
+    clause = directive.find(A.RangeClause)
+    assert clause is not None
+    return (eval_int(clause.start, symbols, "range clause"),
+            eval_int(clause.length, symbols, "range clause"))
+
+
+def _chunk_of(directive: A.Directive, symbols: Symbols) -> int:
+    clause = directive.find(A.ChunkSizeClause)
+    assert clause is not None
+    return eval_int(clause.chunk, symbols, "chunk_size clause")
+
+
+def _schedule_of(directive: A.Directive, symbols: Symbols):
+    clause = directive.find(A.SpreadScheduleClause)
+    if clause is None:
+        return None
+    chunk = (eval_int(clause.chunk, symbols, "spread_schedule clause")
+             if clause.chunk is not None else None)
+    return spread_schedule(clause.kind, chunk)
+
+
+def _teams_of(directive: A.Directive, symbols: Symbols):
+    teams = directive.find(A.NumTeamsClause)
+    threads = directive.find(A.ThreadLimitClause)
+    return (eval_int(teams.value, symbols, "num_teams") if teams else None,
+            eval_int(threads.value, symbols, "thread_limit") if threads else None)
+
+
+def _nowait(directive: A.Directive) -> bool:
+    return directive.find(A.NowaitClause) is not None
+
+
+# ---------------------------------------------------------------------------
+# lowering
+# ---------------------------------------------------------------------------
+
+def _require_loop(directive: A.Directive, body, loop) -> None:
+    if body is None or loop is None:
+        raise OmpSemaError(
+            f"{directive.kind.value}: the associated block must be a loop — "
+            "pass loop=(lo, hi) and a KernelSpec body")
+
+
+def lower_directive(ctx: TaskCtx, directive: A.Directive, symbols: Symbols,
+                    body: Optional[KernelSpec] = None,
+                    loop: Optional[Tuple[int, int]] = None) -> Generator:
+    """Lower one checked directive and drive it (a generator).
+
+    Returns whatever the underlying runtime call returns (a task/handle for
+    nowait directives, a region object for structured data directives).
+    """
+    kind = directive.kind
+    maps = _build_maps(directive, symbols)
+    deps = _build_depends(directive, symbols)
+    nowait = _nowait(directive)
+    default_dev = ctx.rt.default_device
+
+    if kind is _D.TARGET or kind is _D.TARGET_TEAMS_DPF:
+        _require_loop(directive, body, loop)
+        device = _device_of(directive, symbols, default_dev)
+        lo, hi = loop
+        if kind is _D.TARGET:
+            result = yield from T.target(ctx, device, body, lo, hi,
+                                         maps=maps, nowait=nowait,
+                                         depends=deps)
+        else:
+            teams, threads = _teams_of(directive, symbols)
+            result = yield from T.target_teams_distribute_parallel_for(
+                ctx, device, body, lo, hi, maps=maps,
+                num_teams=teams, threads_per_team=threads,
+                nowait=nowait, depends=deps)
+        return result
+
+    if kind is _D.TARGET_SPREAD or kind is _D.TARGET_SPREAD_TEAMS_DPF:
+        _require_loop(directive, body, loop)
+        devices = _devices_of(directive, symbols)
+        schedule = _schedule_of(directive, symbols)
+        lo, hi = loop
+        if kind is _D.TARGET_SPREAD:
+            result = yield from ST.target_spread(
+                ctx, body, lo, hi, devices, schedule=schedule, maps=maps,
+                nowait=nowait, depends=deps)
+        else:
+            teams, threads = _teams_of(directive, symbols)
+            result = yield from ST.target_spread_teams_distribute_parallel_for(
+                ctx, body, lo, hi, devices, schedule=schedule, maps=maps,
+                num_teams=teams, threads_per_team=threads,
+                nowait=nowait, depends=deps)
+        return result
+
+    if kind is _D.TARGET_DATA:
+        device = _device_of(directive, symbols, default_dev)
+        region = yield from T.target_data(ctx, device, maps)
+        return region
+
+    if kind is _D.TARGET_ENTER_DATA:
+        device = _device_of(directive, symbols, default_dev)
+        result = yield from T.target_enter_data(ctx, device, maps,
+                                                nowait=nowait, depends=deps)
+        return result
+
+    if kind is _D.TARGET_EXIT_DATA:
+        device = _device_of(directive, symbols, default_dev)
+        result = yield from T.target_exit_data(ctx, device, maps,
+                                               nowait=nowait, depends=deps)
+        return result
+
+    if kind is _D.TARGET_UPDATE:
+        device = _device_of(directive, symbols, default_dev)
+        to, from_ = _build_motion(directive, symbols)
+        result = yield from T.target_update(ctx, device, to=to, from_=from_,
+                                            nowait=nowait, depends=deps)
+        return result
+
+    if kind is _D.TARGET_DATA_SPREAD:
+        region = yield from SD.target_data_spread(
+            ctx, _devices_of(directive, symbols),
+            _range_of(directive, symbols), _chunk_of(directive, symbols),
+            maps)
+        return region
+
+    if kind is _D.TARGET_ENTER_DATA_SPREAD:
+        result = yield from SD.target_enter_data_spread(
+            ctx, _devices_of(directive, symbols),
+            _range_of(directive, symbols), _chunk_of(directive, symbols),
+            maps, nowait=nowait, depends=deps)
+        return result
+
+    if kind is _D.TARGET_EXIT_DATA_SPREAD:
+        result = yield from SD.target_exit_data_spread(
+            ctx, _devices_of(directive, symbols),
+            _range_of(directive, symbols), _chunk_of(directive, symbols),
+            maps, nowait=nowait, depends=deps)
+        return result
+
+    if kind is _D.TARGET_UPDATE_SPREAD:
+        to, from_ = _build_motion(directive, symbols)
+        result = yield from SD.target_update_spread(
+            ctx, _devices_of(directive, symbols),
+            _range_of(directive, symbols), _chunk_of(directive, symbols),
+            to=to, from_=from_, nowait=nowait, depends=deps)
+        return result
+
+    raise OmpSemaError(f"no lowering for {kind.value!r}")  # pragma: no cover
+
+
+def execute_pragma(ctx: TaskCtx, source: str, symbols: Symbols,
+                   body: Optional[KernelSpec] = None,
+                   loop: Optional[Tuple[int, int]] = None) -> Generator:
+    """Parse, check and execute a pragma string inside a host program.
+
+    ``symbols`` maps the identifiers used in the pragma to
+    :class:`~repro.openmp.mapping.Var` objects (arrays) and ints (scalars).
+    For executable directives ``loop=(lo, hi)`` and the ``body``
+    :class:`KernelSpec` supply the associated loop.
+    """
+    directive = parse_pragma(source)
+    check_directive(directive,
+                    extensions=ext_mod.get_extensions(ctx.rt))
+    result = yield from lower_directive(ctx, directive, symbols,
+                                        body=body, loop=loop)
+    return result

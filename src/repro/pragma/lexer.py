@@ -1,0 +1,103 @@
+"""Lexical analysis of pragma strings.
+
+Tokens carry their source offset so every later stage can produce the
+caret-style diagnostics of :class:`~repro.util.errors.OmpSyntaxError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.errors import OmpSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    NUM = "number"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COLON = ":"
+    COMMA = ","
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    EOF = "<eof>"
+
+
+_PUNCT = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind.name}, {self.text!r}@{self.pos})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a pragma string (the part after ``#pragma``).
+
+    Line continuations (``\\`` + newline, as in the paper's listings) are
+    treated as whitespace.  Raises :class:`OmpSyntaxError` on any character
+    outside the directive grammar.
+    """
+    tokens: List[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "\\":
+            # line continuation from copy-pasted listings
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and _is_ident_start(source[j]):
+                raise OmpSyntaxError("malformed number", source, i)
+            tokens.append(Token(TokenKind.NUM, source[i:j], i))
+            i = j
+            continue
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident(source[j]):
+                j += 1
+            tokens.append(Token(TokenKind.IDENT, source[i:j], i))
+            i = j
+            continue
+        raise OmpSyntaxError(f"unexpected character {ch!r}", source, i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

@@ -1,0 +1,311 @@
+"""Recursive-descent parser for the directive language.
+
+Grammar (clauses may appear in any order after the directive name)::
+
+    pragma     := ["#pragma"] "omp" directive clause*
+    directive  := "target" ["spread"] [exec-tail | data-tail]
+    exec-tail  := "teams" "distribute" "parallel" "for" ["simd"]
+    data-tail  := "data" | "enter" "data" | "exit" "data" | "update"
+                  (each optionally followed by "spread")
+    clause     := device | devices | spread_schedule | range | chunk_size
+                | map | to | from | depend | nowait | num_teams
+                | thread_limit
+    section    := IDENT [ "[" expr ":" expr "]" ]
+    expr       := term (("+"|"-") term)*
+    term       := factor ("*" factor)*
+    factor     := NUM | IDENT | "(" expr ")" | "-" factor
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.pragma import ast_nodes as A
+from repro.pragma.lexer import Token, TokenKind, tokenize
+from repro.util.errors import OmpSyntaxError
+
+_MAP_TYPES = ("to", "from", "tofrom", "alloc", "release", "delete")
+_DEP_KINDS = ("in", "out", "inout")
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.saw_simd = False
+
+    # -- token helpers ----------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def at_ident(self, *names: str) -> bool:
+        tok = self.peek()
+        return tok.kind is TokenKind.IDENT and (not names or tok.text in names)
+
+    def expect(self, kind: TokenKind, what: str = "") -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            raise OmpSyntaxError(
+                f"expected {what or kind.value}, found {tok.text or 'end of pragma'!r}",
+                self.source, tok.pos)
+        return self.advance()
+
+    def expect_ident(self, name: str) -> Token:
+        tok = self.peek()
+        if tok.kind is not TokenKind.IDENT or tok.text != name:
+            raise OmpSyntaxError(
+                f"expected {name!r}, found {tok.text or 'end of pragma'!r}",
+                self.source, tok.pos)
+        return self.advance()
+
+    def error(self, message: str) -> OmpSyntaxError:
+        return OmpSyntaxError(message, self.source, self.peek().pos)
+
+    # -- directive name -----------------------------------------------------------
+
+    def parse_directive_kind(self) -> A.DirectiveKind:
+        if self.at_ident("pragma"):
+            self.advance()
+        self.expect_ident("omp")
+        self.expect_ident("target")
+        spread = False
+        if self.at_ident("spread"):
+            self.advance()
+            spread = True
+        if self.at_ident("teams"):
+            self.advance()
+            self.expect_ident("distribute")
+            self.expect_ident("parallel")
+            self.expect_ident("for")
+            if self.at_ident("simd"):
+                self.advance()
+                self.saw_simd = True
+            return (A.DirectiveKind.TARGET_SPREAD_TEAMS_DPF if spread
+                    else A.DirectiveKind.TARGET_TEAMS_DPF)
+        if self.at_ident("data"):
+            self.advance()
+            spread = spread or self._eat_spread()
+            return (A.DirectiveKind.TARGET_DATA_SPREAD if spread
+                    else A.DirectiveKind.TARGET_DATA)
+        if self.at_ident("enter"):
+            self.advance()
+            self.expect_ident("data")
+            spread = spread or self._eat_spread()
+            return (A.DirectiveKind.TARGET_ENTER_DATA_SPREAD if spread
+                    else A.DirectiveKind.TARGET_ENTER_DATA)
+        if self.at_ident("exit"):
+            self.advance()
+            self.expect_ident("data")
+            spread = spread or self._eat_spread()
+            return (A.DirectiveKind.TARGET_EXIT_DATA_SPREAD if spread
+                    else A.DirectiveKind.TARGET_EXIT_DATA)
+        if self.at_ident("update"):
+            self.advance()
+            spread = spread or self._eat_spread()
+            return (A.DirectiveKind.TARGET_UPDATE_SPREAD if spread
+                    else A.DirectiveKind.TARGET_UPDATE)
+        return (A.DirectiveKind.TARGET_SPREAD if spread
+                else A.DirectiveKind.TARGET)
+
+    def _eat_spread(self) -> bool:
+        if self.at_ident("spread"):
+            self.advance()
+            return True
+        return False
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        node = self.parse_term()
+        while self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self.advance().text
+            node = A.BinOp(op, node, self.parse_term())
+        return node
+
+    def parse_term(self) -> A.Expr:
+        node = self.parse_factor()
+        while self.peek().kind is TokenKind.STAR:
+            self.advance()
+            node = A.BinOp("*", node, self.parse_factor())
+        return node
+
+    def parse_factor(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.NUM:
+            self.advance()
+            return A.Num(int(tok.text))
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            return A.Ident(tok.text)
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            node = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return node
+        if tok.kind is TokenKind.MINUS:
+            self.advance()
+            return A.BinOp("-", A.Num(0), self.parse_factor())
+        raise self.error(f"expected expression, found {tok.text or 'end of pragma'!r}")
+
+    # -- sections -----------------------------------------------------------------
+
+    def parse_section(self) -> A.SectionNode:
+        name = self.expect(TokenKind.IDENT, "array name").text
+        if self.peek().kind is not TokenKind.LBRACKET:
+            return A.SectionNode(name)
+        self.advance()
+        start = self.parse_expr()
+        self.expect(TokenKind.COLON, "':' in array section")
+        length = self.parse_expr()
+        self.expect(TokenKind.RBRACKET, "']'")
+        return A.SectionNode(name, start, length)
+
+    def parse_section_list(self) -> Tuple[A.SectionNode, ...]:
+        items = [self.parse_section()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            items.append(self.parse_section())
+        return tuple(items)
+
+    # -- clauses ---------------------------------------------------------------
+
+    def parse_clauses(self) -> Tuple[A.Clause, ...]:
+        clauses: List[A.Clause] = []
+        while self.peek().kind is not TokenKind.EOF:
+            clauses.append(self.parse_clause())
+        return tuple(clauses)
+
+    def parse_clause(self) -> A.Clause:
+        tok = self.peek()
+        if tok.kind is not TokenKind.IDENT:
+            raise self.error(f"expected a clause, found {tok.text!r}")
+        name = tok.text
+        handler = getattr(self, f"_clause_{name}", None)
+        if handler is None:
+            raise self.error(f"unknown clause {name!r}")
+        self.advance()
+        return handler()
+
+    def _paren_open(self) -> None:
+        self.expect(TokenKind.LPAREN, "'('")
+
+    def _paren_close(self) -> None:
+        self.expect(TokenKind.RPAREN, "')'")
+
+    def _clause_device(self) -> A.Clause:
+        self._paren_open()
+        expr = self.parse_expr()
+        self._paren_close()
+        return A.DeviceClause(device=expr)
+
+    def _clause_devices(self) -> A.Clause:
+        self._paren_open()
+        devices = [self.parse_expr()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            devices.append(self.parse_expr())
+        self._paren_close()
+        return A.DevicesClause(devices=tuple(devices))
+
+    def _clause_spread_schedule(self) -> A.Clause:
+        self._paren_open()
+        kind = self.expect(TokenKind.IDENT, "schedule kind").text
+        chunk: Optional[A.Expr] = None
+        if self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            chunk = self.parse_expr()
+        self._paren_close()
+        return A.SpreadScheduleClause(kind=kind, chunk=chunk)
+
+    def _clause_range(self) -> A.Clause:
+        self._paren_open()
+        start = self.parse_expr()
+        self.expect(TokenKind.COLON, "':' in range clause")
+        length = self.parse_expr()
+        self._paren_close()
+        return A.RangeClause(start=start, length=length)
+
+    def _clause_chunk_size(self) -> A.Clause:
+        self._paren_open()
+        chunk = self.parse_expr()
+        self._paren_close()
+        return A.ChunkSizeClause(chunk=chunk)
+
+    def _clause_map(self) -> A.Clause:
+        self._paren_open()
+        map_type = "tofrom"
+        # "map(to: ...)" vs "map(A[...])": a map type is an IDENT followed
+        # by ':'.
+        tok = self.peek()
+        if (tok.kind is TokenKind.IDENT and tok.text in _MAP_TYPES
+                and self.tokens[self.pos + 1].kind is TokenKind.COLON):
+            map_type = self.advance().text
+            self.advance()  # ':'
+        items = self.parse_section_list()
+        self._paren_close()
+        return A.MapClauseNode(map_type=map_type, items=items)
+
+    def _clause_to(self) -> A.Clause:
+        self._paren_open()
+        items = self.parse_section_list()
+        self._paren_close()
+        return A.MotionClause(direction="to", items=items)
+
+    # 'from' is a valid identifier for the lexer
+    def _clause_from(self) -> A.Clause:
+        self._paren_open()
+        items = self.parse_section_list()
+        self._paren_close()
+        return A.MotionClause(direction="from", items=items)
+
+    def _clause_depend(self) -> A.Clause:
+        self._paren_open()
+        kind = self.expect(TokenKind.IDENT, "dependence kind").text
+        if kind not in _DEP_KINDS:
+            raise OmpSyntaxError(
+                f"unknown dependence kind {kind!r} (expected in/out/inout)",
+                self.source, self.tokens[self.pos - 1].pos)
+        self.expect(TokenKind.COLON, "':'")
+        items = self.parse_section_list()
+        self._paren_close()
+        return A.DependClause(kind=kind, items=items)
+
+    def _clause_nowait(self) -> A.Clause:
+        return A.NowaitClause()
+
+    def _clause_num_teams(self) -> A.Clause:
+        self._paren_open()
+        value = self.parse_expr()
+        self._paren_close()
+        return A.NumTeamsClause(value=value)
+
+    def _clause_thread_limit(self) -> A.Clause:
+        self._paren_open()
+        value = self.parse_expr()
+        self._paren_close()
+        return A.ThreadLimitClause(value=value)
+
+
+def parse_pragma(source: str) -> A.Directive:
+    """Parse one pragma string into a :class:`Directive` AST.
+
+    Accepts the body of the pragma with or without the leading ``#pragma``
+    (the ``#`` itself must be stripped; listings' line continuations are
+    tolerated).
+    """
+    text = source.strip()
+    if text.startswith("#"):
+        text = text[1:]
+    parser = _Parser(text)
+    kind = parser.parse_directive_kind()
+    clauses = parser.parse_clauses()
+    return A.Directive(kind=kind, clauses=clauses, source=source,
+                       simd_suffix=parser.saw_simd)

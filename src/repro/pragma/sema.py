@@ -1,0 +1,213 @@
+"""Semantic checking of parsed directives.
+
+Enforces the rules the paper states (and the obvious OpenMP ones):
+
+* clause admissibility per directive — e.g. ``device`` on single-device
+  directives only, ``devices``/``range``/``chunk_size`` on spread ones;
+* ``target data spread`` supports neither ``nowait`` nor ``depend``
+  (Section III-B.3) and has no ``spread_schedule`` clause;
+* ``depend`` on ``target enter/exit data spread`` / ``target update
+  spread`` is §IX future work — rejected unless the extension is enabled;
+* ``spread_schedule`` supports only ``static`` (non-static kinds are
+  extensions);
+* map-type admissibility (``to``/``alloc`` on enter, ``from``/``release``/
+  ``delete`` on exit, ...);
+* ``omp_spread_start``/``omp_spread_size`` may only appear inside sections
+  of spread directives;
+* required clauses (``devices`` etc.) and at-most-once clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple, Type
+
+from repro.pragma import ast_nodes as A
+from repro.spread.extensions import Extensions
+from repro.util.errors import OmpSemaError
+
+_D = A.DirectiveKind
+
+#: allowed clause node types per directive kind
+_ALLOWED: Dict[A.DirectiveKind, Tuple[Type[A.Clause], ...]] = {
+    _D.TARGET: (A.DeviceClause, A.MapClauseNode, A.DependClause,
+                A.NowaitClause),
+    _D.TARGET_TEAMS_DPF: (A.DeviceClause, A.MapClauseNode, A.DependClause,
+                          A.NowaitClause, A.NumTeamsClause,
+                          A.ThreadLimitClause),
+    _D.TARGET_DATA: (A.DeviceClause, A.MapClauseNode),
+    _D.TARGET_ENTER_DATA: (A.DeviceClause, A.MapClauseNode, A.DependClause,
+                           A.NowaitClause),
+    _D.TARGET_EXIT_DATA: (A.DeviceClause, A.MapClauseNode, A.DependClause,
+                          A.NowaitClause),
+    _D.TARGET_UPDATE: (A.DeviceClause, A.MotionClause, A.DependClause,
+                       A.NowaitClause),
+    _D.TARGET_SPREAD: (A.DevicesClause, A.SpreadScheduleClause,
+                       A.MapClauseNode, A.DependClause, A.NowaitClause),
+    _D.TARGET_SPREAD_TEAMS_DPF: (A.DevicesClause, A.SpreadScheduleClause,
+                                 A.MapClauseNode, A.DependClause,
+                                 A.NowaitClause, A.NumTeamsClause,
+                                 A.ThreadLimitClause),
+    _D.TARGET_DATA_SPREAD: (A.DevicesClause, A.RangeClause,
+                            A.ChunkSizeClause, A.MapClauseNode),
+    _D.TARGET_ENTER_DATA_SPREAD: (A.DevicesClause, A.RangeClause,
+                                  A.ChunkSizeClause, A.MapClauseNode,
+                                  A.NowaitClause, A.DependClause),
+    _D.TARGET_EXIT_DATA_SPREAD: (A.DevicesClause, A.RangeClause,
+                                 A.ChunkSizeClause, A.MapClauseNode,
+                                 A.NowaitClause, A.DependClause),
+    _D.TARGET_UPDATE_SPREAD: (A.DevicesClause, A.RangeClause,
+                              A.ChunkSizeClause, A.MotionClause,
+                              A.NowaitClause, A.DependClause),
+}
+
+#: clauses required per directive kind
+_REQUIRED: Dict[A.DirectiveKind, Tuple[Type[A.Clause], ...]] = {
+    _D.TARGET_SPREAD: (A.DevicesClause,),
+    _D.TARGET_SPREAD_TEAMS_DPF: (A.DevicesClause,),
+    _D.TARGET_DATA_SPREAD: (A.DevicesClause, A.RangeClause,
+                            A.ChunkSizeClause),
+    _D.TARGET_ENTER_DATA_SPREAD: (A.DevicesClause, A.RangeClause,
+                                  A.ChunkSizeClause),
+    _D.TARGET_EXIT_DATA_SPREAD: (A.DevicesClause, A.RangeClause,
+                                 A.ChunkSizeClause),
+    _D.TARGET_UPDATE_SPREAD: (A.DevicesClause, A.RangeClause,
+                              A.ChunkSizeClause),
+    _D.TARGET_UPDATE: (A.MotionClause,),
+    _D.TARGET_UPDATE_SPREAD: (A.DevicesClause, A.RangeClause,
+                              A.ChunkSizeClause, A.MotionClause),
+}
+
+#: clauses that may appear at most once
+_AT_MOST_ONCE = (A.DeviceClause, A.DevicesClause, A.SpreadScheduleClause,
+                 A.RangeClause, A.ChunkSizeClause, A.NowaitClause,
+                 A.NumTeamsClause, A.ThreadLimitClause)
+
+_MAP_TYPES_ALLOWED: Dict[A.DirectiveKind, Set[str]] = {
+    _D.TARGET: {"to", "from", "tofrom", "alloc"},
+    _D.TARGET_TEAMS_DPF: {"to", "from", "tofrom", "alloc"},
+    _D.TARGET_SPREAD: {"to", "from", "tofrom", "alloc"},
+    _D.TARGET_SPREAD_TEAMS_DPF: {"to", "from", "tofrom", "alloc"},
+    _D.TARGET_DATA: {"to", "from", "tofrom", "alloc"},
+    _D.TARGET_DATA_SPREAD: {"to", "from", "tofrom", "alloc"},
+    _D.TARGET_ENTER_DATA: {"to", "alloc"},
+    _D.TARGET_ENTER_DATA_SPREAD: {"to", "alloc"},
+    _D.TARGET_EXIT_DATA: {"from", "release", "delete"},
+    _D.TARGET_EXIT_DATA_SPREAD: {"from", "release", "delete"},
+}
+
+#: data-spread directives on which depend is §IX future work
+_DEPEND_IS_EXTENSION = (_D.TARGET_ENTER_DATA_SPREAD,
+                        _D.TARGET_EXIT_DATA_SPREAD,
+                        _D.TARGET_UPDATE_SPREAD)
+
+
+def _err(directive: A.Directive, message: str) -> OmpSemaError:
+    return OmpSemaError(f"{directive.kind.value}: {message}")
+
+
+def _expr_uses_spread_symbols(expr: Optional[A.Expr]) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, A.Ident):
+        return expr.is_spread_symbol
+    if isinstance(expr, A.BinOp):
+        return (_expr_uses_spread_symbols(expr.left)
+                or _expr_uses_spread_symbols(expr.right))
+    return False
+
+
+def _sections_of(clause: A.Clause) -> Sequence[A.SectionNode]:
+    if isinstance(clause, (A.MapClauseNode, A.MotionClause, A.DependClause)):
+        return clause.items
+    return ()
+
+
+def check_directive(directive: A.Directive,
+                    extensions: Optional[Extensions] = None) -> None:
+    """Validate one directive AST; raises :class:`OmpSemaError`."""
+    ext = extensions if extensions is not None else Extensions()
+    kind = directive.kind
+    allowed = _ALLOWED[kind]
+
+    # clause admissibility + multiplicity
+    seen_once: Set[type] = set()
+    for clause in directive.clauses:
+        if not isinstance(clause, allowed):
+            raise _err(directive,
+                       f"clause {clause.name!r} is not allowed here")
+        if isinstance(clause, _AT_MOST_ONCE):
+            if type(clause) in seen_once:
+                raise _err(directive,
+                           f"clause {clause.name!r} appears more than once")
+            seen_once.add(type(clause))
+
+    # required clauses
+    for req in _REQUIRED.get(kind, ()):
+        if directive.find(req) is None:
+            raise _err(directive,
+                       f"missing required clause {req.name!r}")
+
+    # devices list must be non-empty
+    devices = directive.find(A.DevicesClause)
+    if devices is not None and not devices.devices:
+        raise _err(directive, "devices() needs at least one device")
+
+    # spread_schedule kind restriction (static only; extensions gated)
+    sched = directive.find(A.SpreadScheduleClause)
+    if sched is not None:
+        if sched.kind == "static":
+            pass
+        elif sched.kind in ("dynamic", "static_irregular"):
+            if not ext.schedules:
+                raise _err(directive,
+                           f"spread_schedule({sched.kind}, ...) is not "
+                           "supported yet (paper supports only 'static'; "
+                           "enable the schedules extension)")
+        else:
+            raise _err(directive,
+                       f"unknown spread_schedule kind {sched.kind!r}")
+
+    # depend on data-spread directives is future work (§IX)
+    if kind in _DEPEND_IS_EXTENSION and directive.find(A.DependClause):
+        if not ext.data_depend:
+            raise _err(directive,
+                       "the depend clause is not supported yet on this "
+                       "directive (paper §IX future work; enable the "
+                       "data_depend extension)")
+
+    # map-type admissibility
+    for clause in directive.find_all(A.MapClauseNode):
+        allowed_types = _MAP_TYPES_ALLOWED[kind]
+        if clause.map_type not in allowed_types:
+            raise _err(directive,
+                       f"map type {clause.map_type!r} not allowed "
+                       f"(expected {'/'.join(sorted(allowed_types))})")
+
+    # update motion directions
+    for clause in directive.find_all(A.MotionClause):
+        if clause.direction not in ("to", "from"):
+            raise _err(directive,
+                       f"unknown update direction {clause.direction!r}")
+
+    # spread symbols only inside spread-directive sections
+    for clause in directive.clauses:
+        for section in _sections_of(clause):
+            uses = (_expr_uses_spread_symbols(section.start)
+                    or _expr_uses_spread_symbols(section.length))
+            if uses and not kind.is_spread:
+                raise _err(directive,
+                           "omp_spread_start/omp_spread_size are only "
+                           "defined inside spread directives")
+        # ... and nowhere outside sections
+        for attr in ("device", "chunk", "start", "length", "value"):
+            expr = getattr(clause, attr, None)
+            if isinstance(expr, A.Expr) and _expr_uses_spread_symbols(expr):
+                raise _err(directive,
+                           "omp_spread_start/omp_spread_size may only "
+                           "appear inside array sections")
+        if isinstance(clause, A.DevicesClause):
+            for expr in clause.devices:
+                if _expr_uses_spread_symbols(expr):
+                    raise _err(directive,
+                               "omp_spread_start/omp_spread_size may not "
+                               "appear in the devices clause")

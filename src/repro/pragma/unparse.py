@@ -1,0 +1,85 @@
+"""Unparsing: directive AST back to pragma text.
+
+Useful for diagnostics ("which directive failed?"), for tooling that
+rewrites directives, and for the parser round-trip property tests
+(``parse(unparse(d)) == d``).
+"""
+
+from __future__ import annotations
+
+from repro.pragma import ast_nodes as A
+
+
+def unparse_expr(expr: A.Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses.
+
+    Precedence levels: ``+``/``-`` = 1, ``*`` = 2, atoms = 3.  A ``-``'s
+    right operand binds one level tighter (left associativity).
+    """
+    if isinstance(expr, A.Num):
+        return str(expr.value)
+    if isinstance(expr, A.Ident):
+        return expr.name
+    if isinstance(expr, A.BinOp):
+        prec = 2 if expr.op == "*" else 1
+        left = unparse_expr(expr.left, prec)
+        # the right operand always binds strictly tighter: operators parse
+        # left-associatively, so right-nested trees need their parentheses
+        # to round-trip *structurally*, not just by value
+        right = unparse_expr(expr.right, prec + 1)
+        text = f"{left}{expr.op}{right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot unparse {expr!r}")
+
+
+def unparse_section(section: A.SectionNode) -> str:
+    if section.whole_array:
+        return section.name
+    return (f"{section.name}[{unparse_expr(section.start)}:"
+            f"{unparse_expr(section.length)}]")
+
+
+def _sections(items) -> str:
+    return ", ".join(unparse_section(s) for s in items)
+
+
+def unparse_clause(clause: A.Clause) -> str:
+    if isinstance(clause, A.DeviceClause):
+        return f"device({unparse_expr(clause.device)})"
+    if isinstance(clause, A.DevicesClause):
+        return "devices(" + ", ".join(unparse_expr(e)
+                                      for e in clause.devices) + ")"
+    if isinstance(clause, A.SpreadScheduleClause):
+        if clause.chunk is None:
+            return f"spread_schedule({clause.kind})"
+        return f"spread_schedule({clause.kind}, {unparse_expr(clause.chunk)})"
+    if isinstance(clause, A.RangeClause):
+        return (f"range({unparse_expr(clause.start)}:"
+                f"{unparse_expr(clause.length)})")
+    if isinstance(clause, A.ChunkSizeClause):
+        return f"chunk_size({unparse_expr(clause.chunk)})"
+    if isinstance(clause, A.MapClauseNode):
+        return f"map({clause.map_type}: {_sections(clause.items)})"
+    if isinstance(clause, A.MotionClause):
+        return f"{clause.direction}({_sections(clause.items)})"
+    if isinstance(clause, A.DependClause):
+        return f"depend({clause.kind}: {_sections(clause.items)})"
+    if isinstance(clause, A.NowaitClause):
+        return "nowait"
+    if isinstance(clause, A.NumTeamsClause):
+        return f"num_teams({unparse_expr(clause.value)})"
+    if isinstance(clause, A.ThreadLimitClause):
+        return f"thread_limit({unparse_expr(clause.value)})"
+    raise TypeError(f"cannot unparse clause {clause!r}")
+
+
+def unparse_directive(directive: A.Directive) -> str:
+    """Render a full pragma (without the leading ``#pragma``)."""
+    name = directive.kind.value
+    if directive.simd_suffix:
+        name += " simd"
+    parts = [f"omp {name}"]
+    parts.extend(unparse_clause(c) for c in directive.clauses)
+    return " ".join(parts)

@@ -1,0 +1,51 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package plays the role of "the hardware" in the reproduction: a virtual
+clock, generator-based processes (the host thread, device copy engines,
+device compute engines), FIFO resources (shared host links), a node topology
+description, a calibrated cost model, and a trace recorder that stands in for
+NVIDIA's ``nsys``.
+"""
+
+from repro.sim.engine import (
+    Simulator,
+    Event,
+    Timeout,
+    Process,
+    AllOf,
+    AnyOf,
+    Interrupt,
+)
+from repro.sim.resources import Resource, Request
+from repro.sim.topology import (
+    DeviceSpec,
+    LinkSpec,
+    NodeTopology,
+    cte_power_node,
+    uniform_node,
+)
+from repro.sim.costmodel import CostModel, TransferCost, KernelCost
+from repro.sim.trace import Trace, TraceEvent, TraceAnalysis
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Resource",
+    "Request",
+    "DeviceSpec",
+    "LinkSpec",
+    "NodeTopology",
+    "cte_power_node",
+    "uniform_node",
+    "CostModel",
+    "TransferCost",
+    "KernelCost",
+    "Trace",
+    "TraceEvent",
+    "TraceAnalysis",
+]

@@ -1,0 +1,363 @@
+"""A small, deterministic discrete-event simulation engine.
+
+The engine follows the classic process-interaction style (a SimPy-like
+subset, implemented from scratch): *processes* are Python generators that
+``yield`` :class:`Event` objects and are resumed when those events trigger.
+Determinism is guaranteed by a strict ``(time, sequence)`` ordering of the
+event heap — two runs of the same program produce identical traces, which the
+test suite asserts.
+
+Only virtual time exists here; nothing sleeps.  The OpenMP runtime charges
+costs through :mod:`repro.sim.costmodel` and advances this clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine-level protocol violations (e.g. yielding a
+    non-Event, re-triggering an already triggered event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; :meth:`trigger` (or :meth:`fail`) moves it to
+    *triggered* and schedules its callbacks at the current simulation time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- transitions ------------------------------------------------------------
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Mark the event as succeeded with *value* and enqueue callbacks."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event as failed; waiting processes receive *exc*."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self._processed:
+            # Late subscription: deliver immediately at current time.
+            self.sim.schedule_call(0.0, lambda: cb(self))
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed virtual delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule_event(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the event loop.
+
+    The process *is* an event: it triggers with the generator's return value
+    when the generator finishes, or fails with the escaping exception.
+    Other processes can therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Kick off at the current time.
+        init = Event(sim)
+        init.trigger(None)
+        self._waiting_on = init
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        waiting = self._waiting_on
+        if waiting is not None:
+            self._waiting_on = None
+            self.sim.schedule_call(0.0, lambda: self._step(None, None))
+
+    # -- internal --------------------------------------------------------------
+
+    def _resume(self, ev: Event) -> None:
+        if self._waiting_on is not ev:
+            return  # stale wakeup (process was interrupted or finished)
+        self._waiting_on = None
+        if ev.ok:
+            self._step(ev.value, None)
+        else:
+            self._step(None, ev.value)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        while True:
+            try:
+                if self._interrupts:
+                    intr = self._interrupts.pop(0)
+                    target = self.gen.throw(intr)
+                elif exc is not None:
+                    target = self.gen.throw(exc)
+                else:
+                    target = self.gen.send(value)
+            except StopIteration as stop:
+                self.trigger(stop.value)
+                return
+            except BaseException as err:  # noqa: BLE001 - propagate via event
+                self.fail(err)
+                return
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-Event {target!r}")
+                value = None
+                continue
+            if target._processed:
+                # Already fully delivered: continue synchronously.
+                if target._ok:
+                    value, exc = target._value, None
+                else:
+                    value, exc = None, target._value
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered successfully.
+
+    Fails fast with the first failure.  The value is the list of child
+    values in the original order.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.trigger([])
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.trigger([e.value for e in self.events])
+
+
+class AnyOf(Event):
+    """Triggers as soon as any child triggers (with that child's value)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.trigger(None)
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.trigger(ev.value)
+        else:
+            self.fail(ev.value)
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, seq, event)`` entries.
+
+    ``seq`` is a monotonically increasing counter that makes simultaneous
+    events fire in scheduling order, which is what makes the whole stack
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule_event(self, ev: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
+
+    def schedule_call(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run *fn* after *delay*; returns the trigger event."""
+        ev = Event(self)
+        ev._triggered = True
+        ev._ok = True
+        ev._value = None
+        ev.add_callback(lambda _ev: fn())
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
+        return ev
+
+    # -- factories -------------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process one event from the heap."""
+        time, _seq, ev = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("time went backwards")
+        self.now = time
+        callbacks = ev.callbacks
+        ev.callbacks = None
+        ev._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(ev)
+
+    def run(self, until: Optional[Event | float] = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        ``until`` may be an :class:`Event` (returns its value, re-raising a
+        failure), a float deadline, or None (drain everything).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            if isinstance(until, Event):
+                sentinel = until
+                while self._heap:
+                    if sentinel._processed:
+                        break
+                    self.step()
+                if not sentinel._triggered:
+                    raise SimulationError(
+                        "run(until=event) exhausted the heap before the "
+                        "event triggered (deadlock?)")
+                if sentinel.ok:
+                    return sentinel.value
+                raise sentinel.value
+            deadline = float(until) if until is not None else None
+            while self._heap:
+                t = self._heap[0][0]
+                if deadline is not None and t > deadline:
+                    self.now = deadline
+                    return None
+                self.step()
+            if deadline is not None:
+                self.now = max(self.now, deadline)
+            return None
+        finally:
+            self._running = False
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (inf if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Simulator now={self.now} pending={len(self._heap)}>"

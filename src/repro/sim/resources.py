@@ -1,0 +1,121 @@
+"""FIFO resources with finite capacity.
+
+Resources model the contended pieces of the node: a socket's host link (the
+paper's communication bottleneck), a device's copy engines, and a device's
+compute engine.  Requests are granted strictly in arrival order, which
+reproduces the paper's observation that transfers from different buffers
+never overlap on the same link (Section VI-B, Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Request(Event):
+    """A pending claim on a resource; triggers when the slot is granted."""
+
+    __slots__ = ("resource", "tag")
+
+    def __init__(self, sim: Simulator, resource: "Resource", tag: Any = None):
+        super().__init__(sim)
+        self.resource = resource
+        self.tag = tag
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A capacity-limited FIFO resource.
+
+    ``capacity`` slots may be held simultaneously; further requests queue.
+    The resource also keeps simple occupancy statistics (grant count, busy
+    time for capacity-1 resources) that the trace analysis uses for
+    utilization reports.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: List[Request] = []
+        self._queue: List[Request] = []
+        # statistics
+        self.grant_count = 0
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+        self.max_queue_len = 0
+
+    # -- core protocol -----------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def request(self, tag: Any = None) -> Request:
+        """Claim a slot; the returned event triggers once granted."""
+        req = Request(self.sim, self, tag=tag)
+        if len(self._users) < self.capacity:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+            self.max_queue_len = max(self.max_queue_len, len(self._queue))
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a previously granted slot; wakes the next waiter."""
+        try:
+            self._users.remove(req)
+        except ValueError:
+            raise RuntimeError(
+                f"release of {req!r} which does not hold {self.name!r}")
+        if not self._users and self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        if self._queue:
+            nxt = self._queue.pop(0)
+            self._grant(nxt)
+
+    def _grant(self, req: Request) -> None:
+        self._users.append(req)
+        self.grant_count += 1
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+        req.trigger(req)
+
+    # -- convenience ---------------------------------------------------------
+
+    def use(self, duration: float, tag: Any = None) -> Generator:
+        """Generator helper: hold one slot for *duration* virtual seconds.
+
+        Usage inside a process::
+
+            yield from link.use(bytes / bandwidth)
+        """
+        req = self.request(tag=tag)
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time the resource was occupied, up to *horizon*."""
+        end = horizon if horizon is not None else self.sim.now
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += end - self._busy_since
+        return busy / end if end > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Resource {self.name!r} {self.in_use}/{self.capacity} "
+                f"queued={self.queue_len}>")

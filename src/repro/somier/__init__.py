@@ -1,0 +1,44 @@
+"""The Somier mini-app (paper Section V).
+
+Somier simulates a 3-D grid of springs: per time step it computes **forces**
+(a stencil over neighbouring cells, requiring halos), **accelerations**,
+**velocities** and **positions** (pointwise), plus a **centers** reduction
+over the positions (implemented manually, as in the paper: per-row partial
+sums reduced on the host).
+
+Four implementations are provided, matching Section V:
+
+* ``target`` — the baseline: One Buffer at a time on a single device with
+  the existing ``target`` directives (Listing 9);
+* ``one_buffer`` — One Buffer with the ``target spread`` set (Listing 10);
+* ``two_buffers`` — two half buffers in flight via ``taskloop
+  num_tasks(2)`` (Listing 11);
+* ``double_buffering`` — recursive routine + ``task`` (Listing 12).
+
+Every implementation is verified against :mod:`repro.somier.reference`,
+which executes the same buffered sweep sequentially on the host with the
+same kernel bodies — One Buffer runs must match bit-for-bit.
+"""
+
+from repro.somier.config import SomierConfig
+from repro.somier.state import SomierState
+from repro.somier.kernels import SomierKernels, make_kernels
+from repro.somier.plan import BufferPlan, plan_buffers
+from repro.somier.reference import run_reference
+from repro.somier.driver import run_somier, SomierResult, IMPLEMENTATIONS
+from repro.somier.diagnostics import EnergyReport, energy
+
+__all__ = [
+    "SomierConfig",
+    "SomierState",
+    "SomierKernels",
+    "make_kernels",
+    "BufferPlan",
+    "plan_buffers",
+    "run_reference",
+    "run_somier",
+    "SomierResult",
+    "IMPLEMENTATIONS",
+    "EnergyReport",
+    "energy",
+]

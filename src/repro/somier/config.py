@@ -1,0 +1,56 @@
+"""Somier problem configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SomierConfig:
+    """Physical and numerical parameters of the spring-grid simulation.
+
+    The defaults give a stable explicit-Euler integration (the natural
+    frequency of a node is ``sqrt(6*k_spring/mass)``; ``dt`` must stay well
+    under ``2/omega``).  Boundary nodes are fixed; the initial condition is
+    the rest lattice with a smooth vertical displacement that vanishes at
+    the boundary.
+    """
+
+    n: int = 24
+    steps: int = 4
+    dt: float = 0.01
+    mass: float = 1.0
+    k_spring: float = 10.0
+    rest_length: float = 1.0
+    spacing: float = 1.0
+    amplitude: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.n < 4:
+            raise ValueError("Somier grid needs n >= 4 (interior + halo)")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.dt <= 0 or self.mass <= 0 or self.k_spring < 0:
+            raise ValueError("dt/mass must be positive, k_spring >= 0")
+        if self.spacing <= 0:
+            raise ValueError("spacing must be positive")
+
+    @property
+    def loop_lo(self) -> int:
+        """First interior row (the paper's loops run ``1 .. N-1``)."""
+        return 1
+
+    @property
+    def loop_hi(self) -> int:
+        """One past the last interior row."""
+        return self.n - 1
+
+    @property
+    def grid_bytes(self) -> int:
+        """Functional bytes of one component grid."""
+        return self.n ** 3 * 8
+
+    @property
+    def total_bytes(self) -> int:
+        """Functional bytes of the full problem (4 variables x 3 grids)."""
+        return 12 * self.grid_bytes

@@ -1,0 +1,112 @@
+"""Somier run driver: wires a problem, machine and implementation together.
+
+``run_somier("one_buffer", config, devices=[1, 0, 3, 2], ...)`` builds the
+runtime, plans the buffers against the (virtual) device capacity, executes
+the chosen implementation and returns a :class:`SomierResult` carrying the
+virtual execution time, the centers history, the trace and transfer/kernel
+statistics the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.openmp.runtime import OpenMPRuntime
+from repro.sim.costmodel import CostModel
+from repro.sim.topology import NodeTopology, cte_power_node
+from repro.somier import impl_common as common
+from repro.somier import (
+    impl_double_buffering,
+    impl_one_buffer,
+    impl_target,
+    impl_two_buffers,
+)
+from repro.somier.config import SomierConfig
+from repro.somier.kernels import make_kernels
+from repro.somier.plan import BufferPlan, plan_buffers
+from repro.somier.state import SomierState
+from repro.spread import extensions as ext
+from repro.util.errors import OmpRuntimeError
+
+#: implementation name -> program builder
+IMPLEMENTATIONS = {
+    "target": impl_target.build_program,
+    "one_buffer": impl_one_buffer.build_program,
+    "two_buffers": impl_two_buffers.build_program,
+    "double_buffering": impl_double_buffering.build_program,
+}
+
+#: implementations that keep two half-buffer chunks resident per device
+_HALF_BUFFER_IMPLS = {"two_buffers", "double_buffering"}
+
+
+@dataclass
+class SomierResult:
+    """Everything a benchmark or test needs from one Somier run."""
+
+    impl: str
+    devices: List[int]
+    config: SomierConfig
+    plan: BufferPlan
+    elapsed: float
+    centers: np.ndarray
+    state: SomierState
+    runtime: OpenMPRuntime
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+def run_somier(impl: str, config: SomierConfig,
+               devices: Optional[Sequence[int]] = None,
+               topology: Optional[NodeTopology] = None,
+               cost_model: Optional[CostModel] = None,
+               fill: float = 0.85,
+               fuse_transfers: bool = False,
+               data_depend: bool = False,
+               taskgroup_global_drain: bool = True,
+               trace: bool = True) -> SomierResult:
+    """Run one Somier experiment; see the module docstring.
+
+    ``devices`` defaults to every device of the topology, in id order; the
+    ``target`` baseline requires exactly one.  ``fill`` bounds how much of
+    a device's (virtual) memory a resident chunk may use.
+    ``taskgroup_global_drain=False`` switches the runtime to spec-pure
+    taskgroups (members only) instead of the paper's all-device barrier —
+    the counterfactual the global-drain ablation benchmark measures.
+    """
+    if impl not in IMPLEMENTATIONS:
+        raise OmpRuntimeError(
+            f"unknown Somier implementation {impl!r} "
+            f"(available: {sorted(IMPLEMENTATIONS)})")
+    topo = topology if topology is not None else cte_power_node(4)
+    rt = OpenMPRuntime(topology=topo, cost_model=cost_model,
+                       trace_enabled=trace,
+                       taskgroup_global_drain=taskgroup_global_drain)
+    devs = list(devices) if devices is not None else list(range(topo.num_devices))
+    if data_depend:
+        ext.enable(rt, data_depend=True)
+    capacity = min(topo.device_specs[d].memory_bytes for d in devs)
+    concurrent = 2 if impl in _HALF_BUFFER_IMPLS else 1
+    plan = plan_buffers(config, len(devs), capacity,
+                        scale=rt.cost_model.scale, fill=fill,
+                        concurrent_chunks=concurrent)
+    state = SomierState(config)
+    kernels = make_kernels(config)
+    opts = common.RunOpts(devices=devs, data_depend=data_depend,
+                          fuse_transfers=fuse_transfers)
+    program = IMPLEMENTATIONS[impl](state, kernels, plan, opts)
+    rt.run(program)
+
+    stats = {
+        "h2d_bytes": sum(rt.devices[d].h2d_bytes for d in devs),
+        "d2h_bytes": sum(rt.devices[d].d2h_bytes for d in devs),
+        "memcpy_calls": sum(rt.devices[d].memcpy_calls for d in devs),
+        "kernels_launched": sum(rt.devices[d].kernels_launched for d in devs),
+        "tasks": rt.task_count,
+    }
+    return SomierResult(impl=impl, devices=devs, config=config, plan=plan,
+                        elapsed=rt.elapsed,
+                        centers=np.array(state.centers), state=state,
+                        runtime=rt, stats=stats)

@@ -1,0 +1,178 @@
+"""Shared map/dependence tables for the Somier implementations.
+
+One source of truth for how the 12 grids (+ the partials buffer) are mapped
+and how the five kernels depend on each other at chunk level, used by all
+four implementations (the baseline materializes the symbolic sections with
+concrete buffer bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.device.kernel import KernelSpec
+from repro.openmp.depend import Dep
+from repro.openmp.mapping import Map, MapClause, Var
+from repro.somier.kernels import SomierKernels
+from repro.somier.state import SomierState
+from repro.spread.sections import omp_spread_size, omp_spread_start
+
+S = omp_spread_start
+Z = omp_spread_size
+
+#: Chunk section of the position grids: one halo row on each side.
+POS_SECTION = (S - 1, Z + 2)
+#: Chunk section of everything else: the exact chunk.
+CHUNK_SECTION = (S, Z)
+
+
+@dataclass
+class RunOpts:
+    """Per-run options shared by the implementations."""
+
+    devices: List[int]
+    data_depend: bool = False
+    fuse_transfers: bool = False
+
+
+def grid_vars(state: SomierState, prefix: str) -> List[Var]:
+    return [state.var(f"{prefix}_{c}") for c in ("x", "y", "z")]
+
+
+def enter_maps(state: SomierState) -> List[MapClause]:
+    """``target enter data [spread]``: all 12 grids copied in (the paper's
+    12 memcpy calls per chunk) + the partials buffer allocated."""
+    maps: List[MapClause] = []
+    for var in grid_vars(state, "pos"):
+        maps.append(Map.to(var, POS_SECTION))
+    for prefix in ("vel", "acc", "force"):
+        for var in grid_vars(state, prefix):
+            maps.append(Map.to(var, CHUNK_SECTION))
+    maps.append(Map.alloc(state.var("partials"), CHUNK_SECTION))
+    return maps
+
+
+def exit_maps(state: SomierState) -> List[MapClause]:
+    """``target exit data [spread]``: all 12 grids + partials copied back.
+
+    Positions map ``from`` over the exact chunk (Listing 6 does the same);
+    each chunk's halo rows are copied back by the neighbouring chunks that
+    own them, and positions entered with the halo section, so the
+    refcounted entry is found by containment.
+    """
+    maps: List[MapClause] = []
+    for prefix in ("pos", "vel", "acc", "force"):
+        for var in grid_vars(state, prefix):
+            maps.append(Map.from_(var, CHUNK_SECTION))
+    maps.append(Map.from_(state.var("partials"), CHUNK_SECTION))
+    return maps
+
+
+def enter_depends(state: SomierState) -> List[Dep]:
+    """Listing-13-style depends for the data_depend extension: the enter
+    directive *produces* the mapped sections.
+
+    Positions declare the exact chunk, not the halo section: the chunks
+    tile the range, so a consumer's halo-wide ``in`` still overlaps the
+    neighbouring chunks' ``out`` records, while halo-wide ``out`` records
+    would make adjacent enters conflict with each other and serialize the
+    whole fan-out.
+    """
+    deps: List[Dep] = []
+    for prefix in ("pos", "vel", "acc", "force"):
+        for var in grid_vars(state, prefix):
+            deps.append(Dep.out(var, CHUNK_SECTION))
+    deps.append(Dep.out(state.var("partials"), CHUNK_SECTION))
+    # The enter also *reads* the host halo rows of the positions, which a
+    # neighbouring buffer's exit may still be writing back.
+    for var in grid_vars(state, "pos"):
+        deps.append(Dep.in_(var, POS_SECTION))
+    return deps
+
+
+def exit_depends(state: SomierState) -> List[Dep]:
+    """The exit directive *writes the host copy* of the sections it copies
+    back — ``out``, so later enters reading them (halo included) order
+    after it."""
+    deps: List[Dep] = []
+    for prefix in ("pos", "vel", "acc", "force"):
+        for var in grid_vars(state, prefix):
+            deps.append(Dep.out(var, CHUNK_SECTION))
+    deps.append(Dep.out(state.var("partials"), CHUNK_SECTION))
+    return deps
+
+
+#: (kernel selector, maps builder, depends builder) per kernel, in order.
+KernelEntry = Tuple[Callable[[SomierKernels], KernelSpec],
+                    Callable[[SomierState], List[MapClause]],
+                    Callable[[SomierState], List[Dep]]]
+
+
+def kernel_table(state: SomierState) -> List[KernelEntry]:
+    """Maps and chunk-level depends of the five kernels (Listing 10)."""
+    pos = grid_vars(state, "pos")
+    vel = grid_vars(state, "vel")
+    acc = grid_vars(state, "acc")
+    force = grid_vars(state, "force")
+    partials = state.var("partials")
+
+    def forces_maps(_s):
+        return ([Map.to(v, POS_SECTION) for v in pos]
+                + [Map.from_(v, CHUNK_SECTION) for v in force])
+
+    def forces_deps(_s):
+        return ([Dep.in_(v, POS_SECTION) for v in pos]
+                + [Dep.out(v, CHUNK_SECTION) for v in force])
+
+    def acc_maps(_s):
+        return ([Map.to(v, CHUNK_SECTION) for v in force]
+                + [Map.from_(v, CHUNK_SECTION) for v in acc])
+
+    def acc_deps(_s):
+        return ([Dep.in_(v, CHUNK_SECTION) for v in force]
+                + [Dep.out(v, CHUNK_SECTION) for v in acc])
+
+    def vel_maps(_s):
+        return ([Map.to(v, CHUNK_SECTION) for v in acc]
+                + [Map.tofrom(v, CHUNK_SECTION) for v in vel])
+
+    def vel_deps(_s):
+        return ([Dep.in_(v, CHUNK_SECTION) for v in acc]
+                + [Dep.inout(v, CHUNK_SECTION) for v in vel])
+
+    def pos_maps(_s):
+        return ([Map.to(v, CHUNK_SECTION) for v in vel]
+                + [Map.tofrom(v, CHUNK_SECTION) for v in pos])
+
+    def pos_deps(_s):
+        return ([Dep.in_(v, CHUNK_SECTION) for v in vel]
+                + [Dep.inout(v, CHUNK_SECTION) for v in pos])
+
+    def centers_maps(_s):
+        return ([Map.to(v, CHUNK_SECTION) for v in pos]
+                + [Map.from_(partials, CHUNK_SECTION)])
+
+    def centers_deps(_s):
+        return ([Dep.in_(v, CHUNK_SECTION) for v in pos]
+                + [Dep.out(partials, CHUNK_SECTION)])
+
+    return [
+        (lambda k: k.forces, forces_maps, forces_deps),
+        (lambda k: k.accelerations, acc_maps, acc_deps),
+        (lambda k: k.velocities, vel_maps, vel_deps),
+        (lambda k: k.positions, pos_maps, pos_deps),
+        (lambda k: k.centers, centers_maps, centers_deps),
+    ]
+
+
+def materialize_maps(maps: Sequence[MapClause], lo: int,
+                     size: int) -> List[MapClause]:
+    """Evaluate symbolic sections with concrete buffer bounds (baseline)."""
+    out: List[MapClause] = []
+    for clause in maps:
+        start_e, len_e = clause.section
+        start = start_e.evaluate(lo, size) if hasattr(start_e, "evaluate") else int(start_e)
+        length = len_e.evaluate(lo, size) if hasattr(len_e, "evaluate") else int(len_e)
+        out.append(MapClause(clause.map_type, clause.var, (start, length)))
+    return out

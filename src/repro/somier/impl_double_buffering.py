@@ -1,0 +1,62 @@
+"""Double Buffering: recursive routine + ``task`` (Listing 12).
+
+Instead of a ``taskloop``, a recursive routine processes half buffers: it
+maps its half in, spawns an asynchronous task that recurses into the *next*
+half (so that half's transfers are dispatched while this half computes),
+runs the kernels, and maps its half out.  The recursion gives explicit
+control over when the next half's transfers are issued — the paper's attempt
+to force transfer/compute overlap.
+
+A per-step taskgroup around the initial call collects the whole recursion
+(descendant tasks inherit the open group), providing the end-of-step
+synchronization the time loop needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.somier import impl_common as common
+from repro.somier.impl_one_buffer import process_buffer
+from repro.somier.kernels import SomierKernels
+from repro.somier.plan import BufferPlan
+from repro.somier.state import SomierState
+
+
+def build_program(state: SomierState, kernels: SomierKernels,
+                  plan: BufferPlan, opts: common.RunOpts) -> Callable:
+    """The host program for the Double Buffering implementation."""
+    cfg = state.config
+    halves = plan.halves()
+
+    def foobar(ctx, index: int) -> Generator:
+        hlo, hsize = halves[index]
+
+        def spawn_next() -> None:
+            # the routine calls itself inside an asynchronous task
+            if index + 1 < len(halves):
+                ctx.task(foobar, index + 1, name=f"foobar#{index + 1}")
+
+        yield from process_buffer(ctx, state, kernels, hlo, hsize, opts,
+                                  after_enter=spawn_next)
+
+    def program(omp) -> Generator:
+        for _step in range(cfg.steps):
+            tg = omp.taskgroup_begin()
+            yield from foobar(omp, 0)
+            yield from omp.taskgroup_end(tg)
+            state.record_centers()
+
+    def program_data_depend(omp) -> Generator:
+        # §IX mode: the recursion (whose purpose was prefetching the next
+        # half) is subsumed by chunk-level dependences; directives are
+        # created in half order so every cross-half halo edge is resolved
+        # (dependences are matched at task creation time).
+        for _step in range(cfg.steps):
+            for hlo, hsize in halves:
+                yield from process_buffer(omp, state, kernels, hlo, hsize,
+                                          opts)
+            yield from omp.taskwait()
+            state.record_centers()
+
+    return program_data_depend if opts.data_depend else program

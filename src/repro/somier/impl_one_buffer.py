@@ -1,0 +1,107 @@
+"""One Buffer with the ``target spread`` directive set (Listing 10).
+
+Per buffer: every device gets ``chunk = buffer_size / num_devices`` rows;
+mapping happens through ``target enter/exit data spread`` inside taskgroups
+(the paper's global barriers), and the five kernels run as asynchronous
+``target spread teams distribute parallel for`` chained per chunk with the
+``depend`` clause.
+
+With ``opts.data_depend`` (the §IX extension evaluated by the ablation
+benchmark) the taskgroup barriers are dropped and the data directives carry
+Listing-13-style chunk-level depends instead, letting each chunk start
+computing as soon as *its* data landed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator
+
+from repro.somier import impl_common as common
+from repro.somier.kernels import SomierKernels
+from repro.somier.plan import BufferPlan
+from repro.somier.state import SomierState
+from repro.spread.schedule import spread_schedule
+from repro.spread.spread_data import (
+    target_enter_data_spread,
+    target_exit_data_spread,
+)
+from repro.spread.spread_target import (
+    target_spread_teams_distribute_parallel_for,
+)
+
+
+def process_buffer(omp, state: SomierState, kernels: SomierKernels,
+                   blo: int, bsize: int, opts: common.RunOpts,
+                   after_enter=None) -> Generator:
+    """Map-compute-unmap one buffer (shared with the half-buffer impls).
+
+    ``after_enter`` is an optional callback invoked between the enter
+    mapping and the kernel launches — Double Buffering uses it to spawn the
+    recursive task that dispatches the next half's transfers.
+    """
+    devices = opts.devices
+    # each device gets a chunk from the buffer
+    chunk = math.ceil(bsize / len(devices))
+    range_ = (blo, bsize)
+    sched = spread_schedule("static", chunk)
+
+    # map data from host to devices asynchronously
+    if opts.data_depend:
+        yield from target_enter_data_spread(
+            omp, devices=devices, range_=range_, chunk_size=chunk,
+            maps=common.enter_maps(state), nowait=True,
+            depends=common.enter_depends(state),
+            fuse_transfers=opts.fuse_transfers)
+    else:
+        tg = omp.taskgroup_begin()
+        yield from target_enter_data_spread(
+            omp, devices=devices, range_=range_, chunk_size=chunk,
+            maps=common.enter_maps(state), nowait=True,
+            fuse_transfers=opts.fuse_transfers)
+        yield from omp.taskgroup_end(tg)
+
+    if after_enter is not None:
+        after_enter()
+
+    # perform computation on the devices asynchronously
+    for select, maps_of, deps_of in common.kernel_table(state):
+        yield from target_spread_teams_distribute_parallel_for(
+            omp, kernel=select(kernels), lo=blo, hi=blo + bsize,
+            devices=devices, schedule=sched,
+            maps=maps_of(state), nowait=True, depends=deps_of(state),
+            fuse_transfers=opts.fuse_transfers)
+
+    # map results from devices to host asynchronously
+    if opts.data_depend:
+        yield from target_exit_data_spread(
+            omp, devices=devices, range_=range_, chunk_size=chunk,
+            maps=common.exit_maps(state), nowait=True,
+            depends=common.exit_depends(state),
+            fuse_transfers=opts.fuse_transfers)
+    else:
+        tg = omp.taskgroup_begin()
+        yield from target_exit_data_spread(
+            omp, devices=devices, range_=range_, chunk_size=chunk,
+            maps=common.exit_maps(state), nowait=True,
+            fuse_transfers=opts.fuse_transfers)
+        yield from omp.taskgroup_end(tg)
+
+
+def build_program(state: SomierState, kernels: SomierKernels,
+                  plan: BufferPlan, opts: common.RunOpts) -> Callable:
+    """The host program for the One Buffer spread implementation."""
+    cfg = state.config
+
+    def program(omp) -> Generator:
+        for _step in range(cfg.steps):
+            for blo, bsize in plan.buffers:
+                yield from process_buffer(omp, state, kernels, blo, bsize,
+                                          opts)
+            if opts.data_depend:
+                # no taskgroup barriers were used; settle the step before
+                # the host folds the partials
+                yield from omp.taskwait()
+            state.record_centers()
+
+    return program

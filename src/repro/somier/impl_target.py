@@ -1,0 +1,58 @@
+"""Baseline: One Buffer at a time with the existing ``target`` directives.
+
+Listing 9 of the paper: the problem is split into buffers that fully occupy
+*one* device's memory; per buffer the data is mapped in, the five kernels
+run with full intra-device parallelism, and the results are mapped out —
+everything synchronously on a single device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.openmp.target import (
+    target_enter_data,
+    target_exit_data,
+    target_teams_distribute_parallel_for,
+)
+from repro.somier import impl_common as common
+from repro.somier.kernels import SomierKernels
+from repro.somier.plan import BufferPlan
+from repro.somier.state import SomierState
+from repro.util.errors import OmpSemaError
+
+
+def build_program(state: SomierState, kernels: SomierKernels,
+                  plan: BufferPlan, opts: common.RunOpts) -> Callable:
+    """The host program for the ``target`` baseline."""
+    if len(opts.devices) != 1:
+        raise OmpSemaError(
+            "the target baseline uses exactly one device (the existing "
+            "directives cannot spread)")
+    device = opts.devices[0]
+    enter_template = common.enter_maps(state)
+    exit_template = common.exit_maps(state)
+    table = common.kernel_table(state)
+    cfg = state.config
+
+    def program(omp) -> Generator:
+        for _step in range(cfg.steps):
+            for blo, bsize in plan.buffers:
+                # map data from host to device
+                yield from target_enter_data(
+                    omp, device=device,
+                    maps=common.materialize_maps(enter_template, blo, bsize))
+                # perform kernel computations on the device
+                for select, maps_of, _deps_of in table:
+                    yield from target_teams_distribute_parallel_for(
+                        omp, device=device, kernel=select(kernels),
+                        lo=blo, hi=blo + bsize,
+                        maps=common.materialize_maps(maps_of(state), blo,
+                                                     bsize))
+                # map results back to the host
+                yield from target_exit_data(
+                    omp, device=device,
+                    maps=common.materialize_maps(exit_template, blo, bsize))
+            state.record_centers()
+
+    return program

@@ -1,0 +1,61 @@
+"""Two Buffers: two half buffers in flight via ``taskloop`` (Listing 11).
+
+Each buffer is split in half; a ``taskloop num_tasks(2)`` processes the
+halves with two concurrent host tasks, so at any time two half buffers can
+be transferring/computing — the hope being that one half's transfers overlap
+the other's kernels.  (The paper finds they mostly *interleave* instead,
+Section VI-B.)
+
+The paper notes this version cannot run on a single device: consecutive
+half-buffer halos would overlap-extend each other's mapped position
+sections, which OpenMP forbids.  Our data environment raises
+:class:`~repro.util.errors.OmpMappingError` in exactly that case.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.somier import impl_common as common
+from repro.somier.impl_one_buffer import process_buffer
+from repro.somier.kernels import SomierKernels
+from repro.somier.plan import BufferPlan
+from repro.somier.state import SomierState
+
+
+def build_program(state: SomierState, kernels: SomierKernels,
+                  plan: BufferPlan, opts: common.RunOpts) -> Callable:
+    """The host program for the Two Buffers implementation."""
+    cfg = state.config
+    halves = plan.halves()
+    # "Process 2 half buffers at a time": deal the halves so the two
+    # taskloop tasks advance through *adjacent* halves in lockstep (task A
+    # gets even-indexed halves, task B odd-indexed).  This is what makes a
+    # device hold sections of two consecutive buffers simultaneously — and
+    # why a single-GPU run dies on the halo-overlap mapping error (§V-B).
+    dealt = halves[0::2] + halves[1::2]
+
+    def half_body(ctx, half) -> Generator:
+        hlo, hsize = half
+        yield from process_buffer(ctx, state, kernels, hlo, hsize, opts)
+
+    def program(omp) -> Generator:
+        for _step in range(cfg.steps):
+            # process 2 half buffers at a time (implicit taskgroup at end)
+            yield from omp.taskloop(dealt, half_body, num_tasks=2)
+            state.record_centers()
+
+    def program_data_depend(omp) -> Generator:
+        # §IX mode: chunk-level dependences replace both the taskgroup
+        # barriers *and* the taskloop — directives are created in half
+        # order (dependences are resolved at task creation, so program
+        # order must cover every cross-half halo edge) and all concurrency
+        # comes from the dependence graph.
+        for _step in range(cfg.steps):
+            for hlo, hsize in halves:
+                yield from process_buffer(omp, state, kernels, hlo, hsize,
+                                          opts)
+            yield from omp.taskwait()
+            state.record_centers()
+
+    return program_data_depend if opts.data_depend else program

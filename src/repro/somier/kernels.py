@@ -1,0 +1,146 @@
+"""The five Somier kernels.
+
+Kernel bodies are written once and executed both on simulated devices
+(through :class:`~repro.device.views.GlobalView` over the mapped chunk) and
+by the sequential reference (over the raw host arrays) — global-index slicing
+is identical in both cases, which is what makes the bit-for-bit verification
+of the multi-device decompositions meaningful.
+
+Cost weights (``work_per_iter``, in units of "N^2 cells x flop weight"):
+the forces stencil evaluates 6 springs per cell, the pointwise kernels a
+couple of flops; the centers kernel one pass.  The absolute scale is set by
+``DeviceSpec.iters_per_second`` in the machine calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping
+
+import numpy as np
+
+from repro.device.kernel import KernelSpec
+from repro.somier.config import SomierConfig
+
+#: Neighbour offsets of the 6 axis springs.
+_NEIGHBOURS = ((-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0),
+               (0, 0, -1), (0, 0, 1))
+
+
+def forces_body(lo: int, hi: int, env: Mapping) -> None:
+    """Spring forces on interior nodes of rows ``[lo, hi)``.
+
+    ``F = sum over neighbours of k * (|d| - L0) * d / |d|`` with ``d`` the
+    vector to the neighbour.  Whole rows of the force grids are zeroed
+    first so boundary cells (and thus accelerations/velocities there) stay
+    exactly zero.
+    """
+    n = env["N"]
+    k_spring = env["K_spring"]
+    rest = env["L0"]
+    px, py, pz = env["pos_x"], env["pos_y"], env["pos_z"]
+    fx, fy, fz = env["force_x"], env["force_y"], env["force_z"]
+
+    fx[lo:hi] = 0.0
+    fy[lo:hi] = 0.0
+    fz[lo:hi] = 0.0
+
+    cx = px[lo:hi, 1:n - 1, 1:n - 1]
+    cy = py[lo:hi, 1:n - 1, 1:n - 1]
+    cz = pz[lo:hi, 1:n - 1, 1:n - 1]
+    acc_x = np.zeros_like(cx)
+    acc_y = np.zeros_like(cy)
+    acc_z = np.zeros_like(cz)
+    for di, dj, dk in _NEIGHBOURS:
+        qx = px[lo + di:hi + di, 1 + dj:n - 1 + dj, 1 + dk:n - 1 + dk]
+        qy = py[lo + di:hi + di, 1 + dj:n - 1 + dj, 1 + dk:n - 1 + dk]
+        qz = pz[lo + di:hi + di, 1 + dj:n - 1 + dj, 1 + dk:n - 1 + dk]
+        dx = qx - cx
+        dy = qy - cy
+        dz = qz - cz
+        dist = np.sqrt(dx * dx + dy * dy + dz * dz)
+        coef = k_spring * (1.0 - rest / dist)
+        acc_x += coef * dx
+        acc_y += coef * dy
+        acc_z += coef * dz
+    fx[lo:hi, 1:n - 1, 1:n - 1] = acc_x
+    fy[lo:hi, 1:n - 1, 1:n - 1] = acc_y
+    fz[lo:hi, 1:n - 1, 1:n - 1] = acc_z
+
+
+def accelerations_body(lo: int, hi: int, env: Mapping) -> None:
+    """``a = F / m`` over whole rows (boundary forces are zero)."""
+    inv_mass = 1.0 / env["mass"]
+    for c in ("x", "y", "z"):
+        env[f"acc_{c}"][lo:hi] = env[f"force_{c}"][lo:hi] * inv_mass
+
+
+def velocities_body(lo: int, hi: int, env: Mapping) -> None:
+    """``v += dt * a`` (explicit Euler)."""
+    dt = env["dt"]
+    for c in ("x", "y", "z"):
+        env[f"vel_{c}"][lo:hi] = env[f"vel_{c}"][lo:hi] + dt * env[f"acc_{c}"][lo:hi]
+
+
+def positions_body(lo: int, hi: int, env: Mapping) -> None:
+    """``x += dt * v`` (fixed boundaries have v = 0)."""
+    dt = env["dt"]
+    for c in ("x", "y", "z"):
+        env[f"pos_{c}"][lo:hi] = env[f"pos_{c}"][lo:hi] + dt * env[f"vel_{c}"][lo:hi]
+
+
+def centers_body(lo: int, hi: int, env: Mapping) -> None:
+    """Per-row partial sums of the positions (manual reduction, step 1).
+
+    Step 2 — folding the rows into the three center coordinates — happens
+    on the host (``SomierState.reduce_centers``), in row order, so the
+    result is identical no matter how rows were distributed over devices.
+    """
+    part = env["partials"]
+    part[lo:hi, 0] = env["pos_x"][lo:hi].sum(axis=(1, 2))
+    part[lo:hi, 1] = env["pos_y"][lo:hi].sum(axis=(1, 2))
+    part[lo:hi, 2] = env["pos_z"][lo:hi].sum(axis=(1, 2))
+
+
+@dataclass(frozen=True)
+class SomierKernels:
+    """The five kernels, parameterized for one problem configuration."""
+
+    forces: KernelSpec
+    accelerations: KernelSpec
+    velocities: KernelSpec
+    positions: KernelSpec
+    centers: KernelSpec
+
+    def in_order(self) -> List[KernelSpec]:
+        """Per-buffer execution order (Listing 9/10)."""
+        return [self.forces, self.accelerations, self.velocities,
+                self.positions, self.centers]
+
+
+def make_kernels(config: SomierConfig) -> SomierKernels:
+    """Build the kernel set for *config*.
+
+    ``work_per_iter`` counts N^2 cells per row iteration times a flop
+    weight per kernel (forces ~6 spring evaluations, pointwise ~1).
+    """
+    plane = float(config.n) ** 2
+    scalars = {
+        "N": config.n,
+        "K_spring": config.k_spring,
+        "L0": config.rest_length,
+        "mass": config.mass,
+        "dt": config.dt,
+    }
+    return SomierKernels(
+        forces=KernelSpec("forces", forces_body,
+                          work_per_iter=6.0 * plane, scalars=scalars),
+        accelerations=KernelSpec("accelerations", accelerations_body,
+                                 work_per_iter=1.0 * plane, scalars=scalars),
+        velocities=KernelSpec("velocities", velocities_body,
+                              work_per_iter=1.0 * plane, scalars=scalars),
+        positions=KernelSpec("positions", positions_body,
+                             work_per_iter=1.0 * plane, scalars=scalars),
+        centers=KernelSpec("centers", centers_body,
+                           work_per_iter=1.0 * plane, scalars=scalars),
+    )

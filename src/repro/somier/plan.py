@@ -1,0 +1,114 @@
+"""Buffer planning: splitting a bigger-than-device problem into slabs.
+
+The paper sizes the problem to ~10x the memory of one GPU and processes it
+in buffers: the baseline uses buffers "that fully occupy the device memory";
+the spread versions use buffers "that sum up the total amount of memory of
+the devices", each device receiving ``chunk = buffer_size / num_devices``
+rows (Listing 10 line 5).
+
+The planner works in *virtual* bytes (the cost model's scale applied to the
+functional row size), so a scaled-down functional grid reproduces the
+paper's buffer counts against the real 16 GB V100 capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.somier.config import SomierConfig
+from repro.util.errors import OmpAllocationError
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """The slab decomposition of the interior row range."""
+
+    buffers: Tuple[Tuple[int, int], ...]  # (start_row, row_count) pairs
+    chunk_rows: int                       # per-device rows within a buffer
+    num_devices: int
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self.buffers)
+
+    @property
+    def rows_per_buffer(self) -> int:
+        return self.buffers[0][1] if self.buffers else 0
+
+    def halves(self) -> List[Tuple[int, int]]:
+        """Half-buffer decomposition (Two Buffers / Double Buffering).
+
+        Each buffer splits into two halves; odd-row buffers put the extra
+        row in the first half.
+        """
+        out: List[Tuple[int, int]] = []
+        for start, size in self.buffers:
+            first = (size + 1) // 2
+            second = size - first
+            out.append((start, first))
+            if second:
+                out.append((start + first, second))
+        return out
+
+
+def chunk_footprint_bytes(config: SomierConfig, chunk_rows: int) -> int:
+    """Functional device bytes of one mapped chunk of *chunk_rows* rows.
+
+    3 position grids carry a 2-row halo; the other 9 grids and the
+    partials row-buffer map the exact chunk.
+    """
+    plane = config.n ** 2 * 8
+    pos = 3 * (chunk_rows + 2) * plane
+    others = 9 * chunk_rows * plane
+    partials = chunk_rows * 3 * 8
+    return pos + others + partials
+
+
+def plan_buffers(config: SomierConfig, num_devices: int,
+                 capacity_bytes: float, scale: float = 1.0,
+                 fill: float = 0.85,
+                 concurrent_chunks: int = 1) -> BufferPlan:
+    """Choose the largest chunk (rows per device) that fits the device.
+
+    ``concurrent_chunks`` is 1 for One Buffer and 2 for the half-buffer
+    implementations (two chunks of half the rows live on a device at once,
+    which costs two extra halo rows of the position grids).
+
+    Raises :class:`OmpAllocationError` if even a single row does not fit —
+    the problem genuinely exceeds what the machine can process.
+    """
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    if not 0 < fill <= 1:
+        raise ValueError("fill must be in (0, 1]")
+    if concurrent_chunks < 1:
+        raise ValueError("concurrent_chunks must be >= 1")
+    budget = capacity_bytes * fill
+    total_rows = config.loop_hi - config.loop_lo
+
+    def fits(chunk_rows: int) -> bool:
+        per = math.ceil(chunk_rows / concurrent_chunks)
+        needed = concurrent_chunks * chunk_footprint_bytes(config, per) * scale
+        return needed <= budget
+
+    if not fits(1):
+        raise OmpAllocationError(
+            f"Somier n={config.n}: one chunk row "
+            f"({chunk_footprint_bytes(config, 1) * scale:.3e} virtual B) "
+            f"exceeds the device budget ({budget:.3e} B)")
+    chunk = 1
+    while chunk < total_rows and fits(chunk + 1):
+        chunk += 1
+    chunk = min(chunk, math.ceil(total_rows / num_devices))
+
+    rows_per_buffer = min(chunk * num_devices, total_rows)
+    buffers: List[Tuple[int, int]] = []
+    pos = config.loop_lo
+    while pos < config.loop_hi:
+        size = min(rows_per_buffer, config.loop_hi - pos)
+        buffers.append((pos, size))
+        pos += size
+    return BufferPlan(buffers=tuple(buffers), chunk_rows=chunk,
+                      num_devices=num_devices)

@@ -1,0 +1,59 @@
+"""Sequential reference: the same buffered sweep on the host.
+
+The reference executes exactly the semantics the buffered implementations
+have: per time step, buffers are processed in order and the five kernels run
+per buffer (so a buffer's forces see the positions *already updated* by the
+previous buffer in this step through the lower halo row, and the
+not-yet-updated ones above — just like the device versions, whose data is
+mapped after the previous buffer's copy-back).
+
+Because the identical kernel bodies run on the raw host arrays, any
+difference between a device run and this reference isolates a defect (or a
+genuine race, for the half-buffer variants without cross-buffer
+dependences) in the runtime machinery, not in the numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.somier.config import SomierConfig
+from repro.somier.kernels import make_kernels
+from repro.somier.state import SomierState
+
+
+def _host_env(state: SomierState) -> dict:
+    env = dict(state.grids)
+    env["partials"] = state.partials
+    return env
+
+
+def run_reference(state: SomierState,
+                  buffers: Sequence[Tuple[int, int]],
+                  steps: int | None = None) -> SomierState:
+    """Advance *state* in place using the buffered sequential sweep.
+
+    ``buffers`` is the slab decomposition ((start_row, row_count) pairs) —
+    pass ``plan.buffers`` to mirror the One Buffer implementations or
+    ``plan.halves()`` to mirror the half-buffer ones.  Returns the state
+    for chaining; per-step centers are recorded on it.
+    """
+    config = state.config
+    nsteps = steps if steps is not None else config.steps
+    kernels = make_kernels(config)
+    env = _host_env(state)
+    order = kernels.in_order()
+    for _step in range(nsteps):
+        for start, size in buffers:
+            lo, hi = start, start + size
+            for spec in order:
+                spec.run(lo, hi, env)
+        state.record_centers()
+    return state
+
+
+def run_reference_fresh(config: SomierConfig,
+                        buffers: Sequence[Tuple[int, int]]) -> SomierState:
+    """Convenience: build a fresh state and run the reference on it."""
+    state = SomierState(config)
+    return run_reference(state, buffers)

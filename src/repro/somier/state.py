@@ -1,0 +1,97 @@
+"""Somier state: the 12 component grids + the manual-reduction buffer.
+
+Each of the 4 variables (positions, velocities, accelerations, forces) is
+stored as 3 separate component grids of shape ``(N, N, N)`` — exactly the
+layout the paper describes ("each of the 4 variables of the problem required
+3 3D-grids"), and the reason one mapped chunk costs 12 memcpy calls.
+
+``partials`` is the manual-reduction buffer for the centers kernel: one row
+of 3 partial sums per grid row, distributed and mapped like everything else,
+reduced on the host (paper: "we implemented a manual reduction for this
+kernel").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.openmp.mapping import Var
+from repro.somier.config import SomierConfig
+
+#: The 12 grid names, in the canonical (variable-major) mapping order.
+GRID_NAMES = [
+    "pos_x", "pos_y", "pos_z",
+    "vel_x", "vel_y", "vel_z",
+    "acc_x", "acc_y", "acc_z",
+    "force_x", "force_y", "force_z",
+]
+
+
+class SomierState:
+    """Host-side arrays of one Somier problem instance."""
+
+    def __init__(self, config: SomierConfig):
+        self.config = config
+        n = config.n
+        self.grids: Dict[str, np.ndarray] = {
+            name: np.zeros((n, n, n), dtype=np.float64) for name in GRID_NAMES
+        }
+        #: per-row partial sums for the centers reduction, shape (N, 3)
+        self.partials = np.zeros((n, 3), dtype=np.float64)
+        #: per-step centers history, appended by the driver, shape (steps, 3)
+        self.centers: List[np.ndarray] = []
+        self.vars: Dict[str, Var] = {
+            name: Var(name, arr) for name, arr in self.grids.items()
+        }
+        self.vars["partials"] = Var("partials", self.partials)
+        self._initialize()
+
+    # -- initial condition ----------------------------------------------------
+
+    def _initialize(self) -> None:
+        """Rest lattice + a smooth vertical displacement (zero at the
+        boundary, so fixed boundary nodes start at their rest position)."""
+        cfg = self.config
+        n = cfg.n
+        idx = np.arange(n, dtype=np.float64) * cfg.spacing
+        self.grids["pos_x"][:] = idx[:, None, None]
+        self.grids["pos_y"][:] = idx[None, :, None]
+        self.grids["pos_z"][:] = idx[None, None, :]
+        if cfg.amplitude != 0.0:
+            s = np.sin(np.pi * np.arange(n) / (n - 1))
+            bump = cfg.amplitude * (s[:, None, None] * s[None, :, None]
+                                    * s[None, None, :])
+            self.grids["pos_z"] += bump
+
+    # -- convenience -------------------------------------------------------------
+
+    def var(self, name: str) -> Var:
+        return self.vars[name]
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Deep copies of all grids (for test comparisons)."""
+        out = {name: arr.copy() for name, arr in self.grids.items()}
+        out["partials"] = self.partials.copy()
+        return out
+
+    def copy(self) -> "SomierState":
+        """An independent state with identical contents."""
+        other = SomierState(self.config)
+        for name, arr in self.grids.items():
+            other.grids[name][:] = arr
+        other.partials[:] = self.partials
+        other.centers = [c.copy() for c in self.centers]
+        return other
+
+    def reduce_centers(self) -> np.ndarray:
+        """Host-side fold of the per-row partials (the manual reduction)."""
+        interior = self.config.n ** 2 * (self.config.n - 2)
+        return self.partials.sum(axis=0) / interior
+
+    def record_centers(self) -> None:
+        self.centers.append(self.reduce_centers())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SomierState n={self.config.n} steps_done={len(self.centers)}>"

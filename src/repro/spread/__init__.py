@@ -1,0 +1,76 @@
+"""The paper's contribution: the ``target spread`` directive set.
+
+These directives add a *multi-device* level of parallelism on top of the
+standard offloading model (paper Fig. 1):
+
+1. multiple devices        — ``target spread``           (this package)
+2. multiple teams          — ``teams distribute``
+3. multiple threads        — ``parallel for``
+4. multiple vector lanes   — ``simd``
+
+Public surface:
+
+* :data:`omp_spread_start` / :data:`omp_spread_size` — the special symbolic
+  identifiers used in map/depend sections (Section III-B.1);
+* :func:`spread_schedule` + schedule classes — ``spread_schedule(static, c)``
+  round-robin chunking (plus the irregular/dynamic extensions of §IX);
+* :func:`target_spread` / :func:`target_spread_teams_distribute_parallel_for`
+  — the executable directives;
+* :func:`target_data_spread`, :func:`target_enter_data_spread`,
+  :func:`target_exit_data_spread`, :func:`target_update_spread` — the data
+  directives;
+* :class:`Reduction` — the future-work cross-device reduction clause
+  (extension, disabled unless the runtime opts in).
+"""
+
+from repro.spread.sections import (
+    omp_spread_start,
+    omp_spread_size,
+    SpreadExpr,
+    spread_section,
+)
+from repro.spread.schedule import (
+    Chunk,
+    SpreadSchedule,
+    StaticSchedule,
+    IrregularStaticSchedule,
+    DynamicSchedule,
+    spread_schedule,
+    validate_devices,
+)
+from repro.spread.extensions import Extensions
+from repro.spread.spread_target import (
+    target_spread,
+    target_spread_teams_distribute_parallel_for,
+    SpreadHandle,
+)
+from repro.spread.spread_data import (
+    target_data_spread,
+    target_enter_data_spread,
+    target_exit_data_spread,
+    target_update_spread,
+)
+from repro.spread.reduction import Reduction
+
+__all__ = [
+    "omp_spread_start",
+    "omp_spread_size",
+    "SpreadExpr",
+    "spread_section",
+    "Chunk",
+    "SpreadSchedule",
+    "StaticSchedule",
+    "IrregularStaticSchedule",
+    "DynamicSchedule",
+    "spread_schedule",
+    "validate_devices",
+    "Extensions",
+    "target_spread",
+    "target_spread_teams_distribute_parallel_for",
+    "SpreadHandle",
+    "target_data_spread",
+    "target_enter_data_spread",
+    "target_exit_data_spread",
+    "target_update_spread",
+    "Reduction",
+]

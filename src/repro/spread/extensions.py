@@ -1,0 +1,66 @@
+"""Feature gates for the paper's §IX future-work features.
+
+The paper is explicit about what its implementation does *not* support yet:
+
+* ``depend`` on ``target enter/exit data spread`` / ``target update spread``
+  (Listings 6-7 prose; Listing 13 sketches the planned syntax);
+* non-``static`` spread schedules (irregular chunk sizes, dynamic);
+* a cross-device ``reduction`` clause.
+
+We implement all three, but gate them behind :class:`Extensions` so the
+default runtime behaves exactly like the paper's prototype (attempting an
+unsupported feature raises :class:`~repro.util.errors.OmpSemaError`, the
+analogue of the compiler diagnostic), while the ablation benchmarks enable
+them explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import OmpSemaError
+
+
+@dataclass
+class Extensions:
+    """Which future-work features are enabled on a runtime.
+
+    Attach to a runtime via :func:`enable` (or set
+    ``rt.spread_extensions`` directly).
+    """
+
+    #: depend clauses on spread data directives (Listing 13).
+    data_depend: bool = False
+    #: irregular-size static and dynamic spread schedules (§IX).
+    schedules: bool = False
+    #: cross-device reduction clause (§IX).
+    reduction: bool = False
+
+
+def get_extensions(rt) -> Extensions:
+    """The runtime's extension gates (default: everything off)."""
+    ext = getattr(rt, "spread_extensions", None)
+    if ext is None:
+        ext = Extensions()
+        rt.spread_extensions = ext
+    return ext
+
+
+def enable(rt, **flags: bool) -> Extensions:
+    """Enable extension features on a runtime: ``enable(rt, data_depend=True)``."""
+    ext = get_extensions(rt)
+    for name, value in flags.items():
+        if not hasattr(ext, name):
+            raise OmpSemaError(f"unknown spread extension {name!r}")
+        setattr(ext, name, bool(value))
+    return ext
+
+
+def require(rt, flag: str, what: str) -> None:
+    """Raise the paper-faithful diagnostic unless *flag* is enabled."""
+    ext = get_extensions(rt)
+    if not getattr(ext, flag):
+        raise OmpSemaError(
+            f"{what} is not supported yet (paper §IX future work); enable "
+            f"it explicitly with repro.spread.extensions.enable(rt, "
+            f"{flag}=True)")

@@ -1,0 +1,63 @@
+"""Cross-device reduction clause (paper §IX future work).
+
+The paper's Somier evaluation implements the centers reduction *manually*
+(per-device partial buffers combined on the host) because the prototype has
+no ``reduction`` clause for spread directives.  This module provides the
+clause as a gated extension: each chunk gets a zero-initialized partial
+buffer on its device, the kernel accumulates into it through the environment,
+partials are copied back and combined on the host **in chunk order** (so the
+result is deterministic regardless of execution interleaving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.openmp.mapping import Var
+from repro.util.errors import OmpSemaError
+
+_OPS: Dict[str, Dict[str, object]] = {
+    "+": {"identity": 0.0, "combine": np.add},
+    "sum": {"identity": 0.0, "combine": np.add},
+    "*": {"identity": 1.0, "combine": np.multiply},
+    "prod": {"identity": 1.0, "combine": np.multiply},
+    "min": {"identity": np.inf, "combine": np.minimum},
+    "max": {"identity": -np.inf, "combine": np.maximum},
+}
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """``reduction(op: var)`` for a spread directive.
+
+    ``var.array`` is the host accumulation target; kernels see a
+    device-local partial of the same shape under ``var.name`` and must
+    accumulate into it (e.g. ``env["centers"] += ...``).
+    """
+
+    op: str
+    var: Var
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise OmpSemaError(
+                f"reduction: unsupported operator {self.op!r} "
+                f"(supported: {sorted(_OPS)})")
+
+    @property
+    def identity(self) -> float:
+        return float(_OPS[self.op]["identity"])  # type: ignore[arg-type]
+
+    @property
+    def combine(self) -> Callable:
+        return _OPS[self.op]["combine"]  # type: ignore[return-value]
+
+    def fold_into_host(self, partials) -> None:
+        """Combine chunk partials into the host array, in chunk order."""
+        combine = self.combine
+        acc = self.var.array
+        for partial in partials:
+            combine(acc, partial, out=acc)

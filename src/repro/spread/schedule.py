@@ -1,0 +1,221 @@
+"""Spread schedules: how an iteration range is chunked over devices.
+
+``spread_schedule(static, chunk_size)`` performs the paper's round-robin
+distribution (Section III-B.1): consecutive chunks of ``chunk_size``
+iterations are dealt to the devices *in devices-list order* — the order of
+distribution is determined by the position in the list, not by the device
+identifier.  The worked example from the paper (N=14, loop ``1..N-1``):
+
+* ``devices(2,0,1)``, ``spread_schedule(static, 4)`` ->
+  iterations 1-4 to device 2, 5-8 to device 0, 9-12 to device 1;
+* ``spread_schedule(static, 2)`` ->
+  1-2 -> 2, 3-4 -> 0, 5-6 -> 1, 7-8 -> 2, 9-10 -> 0, 11-12 -> 1.
+
+Two §IX future-work schedules are provided as extensions:
+:class:`IrregularStaticSchedule` (explicit per-chunk sizes) and
+:class:`DynamicSchedule` (devices pull chunks as they become free).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.util.errors import OmpScheduleError
+from repro.util.intervals import Interval
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One unit of distributed work/data.
+
+    ``device`` is the assigned device id, or ``None`` for dynamically
+    scheduled chunks (assigned at execution time).
+    """
+
+    index: int
+    interval: Interval
+    device: Optional[int]
+
+    @property
+    def start(self) -> int:
+        return self.interval.start
+
+    @property
+    def size(self) -> int:
+        return len(self.interval)
+
+
+def validate_devices(devices: Sequence[int], num_devices: int) -> List[int]:
+    """Check a ``devices(...)`` clause list against the node."""
+    devs = list(devices)
+    if not devs:
+        raise OmpScheduleError("devices() clause must list at least one device")
+    seen = set()
+    for d in devs:
+        if not isinstance(d, int):
+            raise OmpScheduleError(f"devices(): non-integer device id {d!r}")
+        if not 0 <= d < num_devices:
+            raise OmpScheduleError(
+                f"devices(): device id {d} out of range (node has "
+                f"{num_devices} devices)")
+        if d in seen:
+            raise OmpScheduleError(f"devices(): duplicate device id {d}")
+        seen.add(d)
+    return devs
+
+
+class SpreadSchedule:
+    """Base class: produces the chunk list for an iteration range."""
+
+    kind = "abstract"
+    is_extension = False
+
+    def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
+        raise NotImplementedError
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        if hi < lo:
+            raise OmpScheduleError(f"invalid iteration range [{lo}, {hi})")
+
+
+class StaticSchedule(SpreadSchedule):
+    """``spread_schedule(static[, chunk_size])`` — the paper's schedule.
+
+    Without an explicit chunk size, the range is split evenly into one
+    chunk per device (ceiling division), which is what the Somier
+    implementations compute by hand (``chunk = buffer_size/num_devices``).
+    """
+
+    kind = "static"
+
+    def __init__(self, chunk_size: Optional[int] = None):
+        if chunk_size is not None and chunk_size < 1:
+            raise OmpScheduleError(
+                f"spread_schedule(static, {chunk_size}): chunk size must "
+                "be >= 1")
+        self.chunk_size = chunk_size
+
+    def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
+        self._check_range(lo, hi)
+        if hi == lo:
+            return []
+        size = self.chunk_size
+        if size is None:
+            size = math.ceil((hi - lo) / len(devices))
+        out: List[Chunk] = []
+        pos = lo
+        index = 0
+        while pos < hi:
+            stop = min(pos + size, hi)
+            out.append(Chunk(index=index, interval=Interval(pos, stop),
+                             device=devices[index % len(devices)]))
+            pos = stop
+            index += 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticSchedule(chunk_size={self.chunk_size})"
+
+
+class IrregularStaticSchedule(SpreadSchedule):
+    """Static schedule with explicit, possibly unequal chunk sizes (§IX).
+
+    ``sizes`` are consumed in order and cycled if the range is longer; the
+    last chunk is truncated to the range end.  Chunks are still dealt
+    round-robin in devices-list order.
+    """
+
+    kind = "static_irregular"
+    is_extension = True
+
+    def __init__(self, sizes: Sequence[int]):
+        sizes = list(sizes)
+        if not sizes or any(s < 1 for s in sizes):
+            raise OmpScheduleError(
+                "irregular static schedule needs positive chunk sizes")
+        self.sizes = sizes
+
+    def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
+        self._check_range(lo, hi)
+        out: List[Chunk] = []
+        pos = lo
+        index = 0
+        while pos < hi:
+            size = self.sizes[index % len(self.sizes)]
+            stop = min(pos + size, hi)
+            out.append(Chunk(index=index, interval=Interval(pos, stop),
+                             device=devices[index % len(devices)]))
+            pos = stop
+            index += 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IrregularStaticSchedule(sizes={self.sizes})"
+
+
+class DynamicSchedule(SpreadSchedule):
+    """``spread_schedule(dynamic, chunk_size)`` (§IX future work).
+
+    Chunks carry no device assignment; the executable spread directive runs
+    one worker per device pulling chunks first-come-first-served, which is
+    the load-balancing behaviour the paper calls for on imbalanced nodes.
+    Only supported by executable directives (data distribution must be
+    reproducible, hence static).
+    """
+
+    kind = "dynamic"
+    is_extension = True
+
+    def __init__(self, chunk_size: int):
+        if chunk_size < 1:
+            raise OmpScheduleError(
+                f"spread_schedule(dynamic, {chunk_size}): chunk size must "
+                "be >= 1")
+        self.chunk_size = chunk_size
+
+    def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
+        self._check_range(lo, hi)
+        out: List[Chunk] = []
+        pos = lo
+        index = 0
+        while pos < hi:
+            stop = min(pos + self.chunk_size, hi)
+            out.append(Chunk(index=index, interval=Interval(pos, stop),
+                             device=None))
+            pos = stop
+            index += 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DynamicSchedule(chunk_size={self.chunk_size})"
+
+
+def spread_schedule(kind: str, chunk_size=None) -> SpreadSchedule:
+    """Factory mirroring the clause syntax: ``spread_schedule("static", 4)``.
+
+    ``static`` is the only kind the paper implements; ``static_irregular``
+    (pass a list of sizes) and ``dynamic`` are the §IX extensions and
+    require the runtime to enable them (see
+    :class:`repro.spread.extensions.Extensions`).
+    """
+    if kind == "static":
+        if isinstance(chunk_size, (list, tuple)):
+            raise OmpScheduleError(
+                "spread_schedule(static, ...): chunk size must be an int; "
+                "use kind='static_irregular' for a size list")
+        return StaticSchedule(chunk_size)
+    if kind == "static_irregular":
+        if not isinstance(chunk_size, (list, tuple)):
+            raise OmpScheduleError(
+                "spread_schedule(static_irregular, ...): pass a list of sizes")
+        return IrregularStaticSchedule(chunk_size)
+    if kind == "dynamic":
+        if chunk_size is None:
+            raise OmpScheduleError(
+                "spread_schedule(dynamic, ...): chunk size required")
+        return DynamicSchedule(int(chunk_size))
+    raise OmpScheduleError(
+        f"unknown spread_schedule kind {kind!r} (the directive supports "
+        "only 'static'; 'static_irregular' and 'dynamic' are extensions)")

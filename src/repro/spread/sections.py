@@ -1,0 +1,132 @@
+"""The special identifiers ``omp_spread_start`` and ``omp_spread_size``.
+
+The paper introduces two variable identifiers usable inside map (and depend)
+array sections: at execution time, ``omp_spread_start`` is the start of the
+current chunk and ``omp_spread_size`` its length, so halo mappings are
+"simple arithmetic with these delimiters" (Section III-B.1)::
+
+    map(to:   A[omp_spread_start - 1 : omp_spread_size + 2])
+    map(from: B[omp_spread_start     : omp_spread_size    ])
+
+In Python the identifiers are singleton symbolic expressions supporting
+``+``, ``-`` and ``*`` with ints; :meth:`SpreadExpr.evaluate` substitutes the
+per-chunk values.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, "SpreadExpr"]
+
+
+class SpreadExpr:
+    """An affine expression ``a*omp_spread_start + b*omp_spread_size + c``."""
+
+    __slots__ = ("start_coeff", "size_coeff", "const")
+
+    def __init__(self, start_coeff: int = 0, size_coeff: int = 0,
+                 const: int = 0):
+        self.start_coeff = int(start_coeff)
+        self.size_coeff = int(size_coeff)
+        self.const = int(const)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, spread_start: int, spread_size: int) -> int:
+        """Substitute the chunk's start/size."""
+        return (self.start_coeff * int(spread_start)
+                + self.size_coeff * int(spread_size)
+                + self.const)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.start_coeff == 0 and self.size_coeff == 0
+
+    # -- arithmetic -----------------------------------------------------------
+
+    @staticmethod
+    def _coerce(other: Number) -> "SpreadExpr":
+        if isinstance(other, SpreadExpr):
+            return other
+        if isinstance(other, int):
+            return SpreadExpr(const=other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: Number):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return SpreadExpr(self.start_coeff + o.start_coeff,
+                          self.size_coeff + o.size_coeff,
+                          self.const + o.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return SpreadExpr(self.start_coeff - o.start_coeff,
+                          self.size_coeff - o.size_coeff,
+                          self.const - o.const)
+
+    def __rsub__(self, other: Number):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return o - self
+
+    def __neg__(self) -> "SpreadExpr":
+        return SpreadExpr(-self.start_coeff, -self.size_coeff, -self.const)
+
+    def __mul__(self, other: int):
+        if not isinstance(other, int):
+            return NotImplemented
+        return SpreadExpr(self.start_coeff * other, self.size_coeff * other,
+                          self.const * other)
+
+    __rmul__ = __mul__
+
+    # -- comparison / repr ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = SpreadExpr(const=other)
+        if not isinstance(other, SpreadExpr):
+            return NotImplemented
+        return (self.start_coeff == other.start_coeff
+                and self.size_coeff == other.size_coeff
+                and self.const == other.const)
+
+    def __hash__(self) -> int:
+        return hash((self.start_coeff, self.size_coeff, self.const))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        if self.start_coeff:
+            coeff = "" if self.start_coeff == 1 else f"{self.start_coeff}*"
+            parts.append(f"{coeff}omp_spread_start")
+        if self.size_coeff:
+            coeff = "" if self.size_coeff == 1 else f"{self.size_coeff}*"
+            parts.append(f"{coeff}omp_spread_size")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+#: The start of the current chunk, at execution time.
+omp_spread_start = SpreadExpr(start_coeff=1)
+
+#: The size of the current chunk, at execution time.
+omp_spread_size = SpreadExpr(size_coeff=1)
+
+
+def spread_section(start_delta: int = 0, size_delta: int = 0):
+    """The common halo pattern as a section pair.
+
+    ``spread_section(-1, +2)`` is
+    ``(omp_spread_start - 1, omp_spread_size + 2)`` — the symmetric one-row
+    halo of the paper's listings.
+    """
+    return (omp_spread_start + start_delta, omp_spread_size + size_delta)

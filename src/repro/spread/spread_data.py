@@ -1,0 +1,228 @@
+"""The spread data directives (Listings 5-8 of the paper).
+
+All four distribute data mappings over multiple devices with a **static
+round-robin** distribution driven by the ``range`` and ``chunk_size``
+clauses (there is no ``spread_schedule`` clause here — the paper fixes the
+policy so data placement is reproducible):
+
+* ``target data spread`` — structured region (enter at the directive,
+  copy-backs at region end); no ``nowait``, no ``depend``;
+* ``target enter data spread`` / ``target exit data spread`` — unstructured,
+  asynchronous via ``nowait``; ``depend`` is §IX future work (gated);
+* ``target update spread`` — distributed updates of present data,
+  asynchronous via ``nowait``; ``depend`` gated likewise.
+
+``range`` follows OpenMP array-section convention: ``range(1:N-2)`` is
+``range_=(1, N-2)`` — start 1, *length* N-2.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.openmp import exec_ops
+from repro.openmp.depend import Dep, concretize_deps
+from repro.openmp.mapping import (
+    MapClause,
+    Var,
+    concretize_section,
+    validate_unique_vars,
+)
+from repro.openmp.tasks import TaskCtx
+from repro.spread import extensions as ext
+from repro.spread.schedule import Chunk, StaticSchedule, validate_devices
+from repro.spread.spread_target import SpreadHandle
+from repro.util.errors import OmpSemaError
+
+
+def _data_chunks(ctx: TaskCtx, devices: Sequence[int],
+                 range_: Tuple[int, int],
+                 chunk_size: Optional[int]) -> List[Chunk]:
+    devs = validate_devices(devices, ctx.rt.num_devices)
+    start, length = int(range_[0]), int(range_[1])
+    if length < 0:
+        raise OmpSemaError(f"range({start}:{length}): negative length")
+    return StaticSchedule(chunk_size).chunks(start, start + length, devs)
+
+
+def _check_data_depends(ctx: TaskCtx, depends: Sequence[Dep],
+                        directive: str) -> None:
+    if depends:
+        ext.require(ctx.rt, "data_depend",
+                    f"the depend clause on {directive}")
+
+
+def _concretize(maps: Sequence[MapClause], chunk: Chunk):
+    return [(clause, concretize_section(clause.var, clause.section,
+                                        spread_start=chunk.start,
+                                        spread_size=chunk.size))
+            for clause in maps]
+
+
+def _fan_out(ctx: TaskCtx, chunks: Sequence[Chunk],
+             maps: Sequence[MapClause], depends: Sequence[Dep],
+             op_factory, name: str, nowait: bool,
+             fuse_transfers: bool) -> Generator:
+    items = []
+    for chunk in chunks:
+        concrete = _concretize(maps, chunk)
+        cdeps = concretize_deps(depends, spread_start=chunk.start,
+                                spread_size=chunk.size)
+        op = op_factory(chunk, concrete)
+        items.append((chunk.device, op, concrete, cdeps,
+                      f"{name}#{chunk.index}@{chunk.device}"))
+    procs = exec_ops.submit_spread(ctx, items)
+    handle = SpreadHandle(ctx, procs, chunks)
+    if not nowait:
+        yield from handle.wait()
+    return handle
+
+
+def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
+                             range_: Tuple[int, int],
+                             chunk_size: Optional[int],
+                             maps: Sequence[MapClause],
+                             nowait: bool = False,
+                             depends: Sequence[Dep] = (),
+                             fuse_transfers: bool = False) -> Generator:
+    """``#pragma omp target enter data spread devices(...) range(...)
+    chunk_size(...) [nowait] map(to/alloc: ...)`` (Listing 6)."""
+    exec_ops.enter_map_types(maps, "target enter data spread")
+    validate_unique_vars(maps, "target enter data spread")
+    _check_data_depends(ctx, depends, "target enter data spread")
+    chunks = _data_chunks(ctx, devices, range_, chunk_size)
+
+    def factory(chunk: Chunk, concrete):
+        return exec_ops.enter_op(ctx.rt, chunk.device, concrete,
+                                 fuse_transfers=fuse_transfers,
+                                 label=f"enter-spread@{chunk.device}")
+
+    handle = yield from _fan_out(ctx, chunks, maps, depends, factory,
+                                 "enter-spread", nowait, fuse_transfers)
+    return handle
+
+
+def target_exit_data_spread(ctx: TaskCtx, devices: Sequence[int],
+                            range_: Tuple[int, int],
+                            chunk_size: Optional[int],
+                            maps: Sequence[MapClause],
+                            nowait: bool = False,
+                            depends: Sequence[Dep] = (),
+                            fuse_transfers: bool = False) -> Generator:
+    """``#pragma omp target exit data spread ... map(from/release/delete: ...)``."""
+    exec_ops.exit_map_types(maps, "target exit data spread")
+    validate_unique_vars(maps, "target exit data spread")
+    _check_data_depends(ctx, depends, "target exit data spread")
+    chunks = _data_chunks(ctx, devices, range_, chunk_size)
+
+    def factory(chunk: Chunk, concrete):
+        return exec_ops.exit_op(ctx.rt, chunk.device, concrete,
+                                fuse_transfers=fuse_transfers,
+                                label=f"exit-spread@{chunk.device}")
+
+    handle = yield from _fan_out(ctx, chunks, maps, depends, factory,
+                                 "exit-spread", nowait, fuse_transfers)
+    return handle
+
+
+class SpreadDataRegion:
+    """Handle for a structured ``target data spread`` region."""
+
+    def __init__(self, ctx: TaskCtx, chunks: Sequence[Chunk],
+                 maps: Sequence[MapClause], fuse_transfers: bool):
+        self._ctx = ctx
+        self._chunks = list(chunks)
+        self._maps = list(maps)
+        self._fuse = fuse_transfers
+        self._closed = False
+
+    def end(self) -> Generator:
+        """Leave the region: distributed copy-backs, synchronously."""
+        if self._closed:
+            raise OmpSemaError("target data spread region already closed")
+        self._closed = True
+
+        def factory(chunk: Chunk, concrete):
+            return exec_ops.exit_op(self._ctx.rt, chunk.device, concrete,
+                                    fuse_transfers=self._fuse,
+                                    label=f"data-spread-end@{chunk.device}")
+
+        handle = yield from _fan_out(self._ctx, self._chunks, self._maps,
+                                     (), factory, "data-spread-end",
+                                     nowait=False,
+                                     fuse_transfers=self._fuse)
+        return handle
+
+
+def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
+                       range_: Tuple[int, int],
+                       chunk_size: Optional[int],
+                       maps: Sequence[MapClause],
+                       fuse_transfers: bool = False) -> Generator:
+    """``#pragma omp target data spread devices(...) range(...)
+    chunk_size(...) map(...)`` (Listing 5).
+
+    Structured and synchronous: like its predecessor, the directive
+    supports neither ``nowait`` nor ``depend`` (paper Section III-B.3);
+    mappings distribute round-robin and stay valid until the returned
+    region's ``end()`` is driven.
+    """
+    exec_ops.region_map_types(maps, "target data spread")
+    validate_unique_vars(maps, "target data spread")
+    chunks = _data_chunks(ctx, devices, range_, chunk_size)
+
+    def factory(chunk: Chunk, concrete):
+        return exec_ops.enter_op(ctx.rt, chunk.device, concrete,
+                                 fuse_transfers=fuse_transfers,
+                                 label=f"data-spread@{chunk.device}")
+
+    yield from _fan_out(ctx, chunks, maps, (), factory, "data-spread",
+                        nowait=False, fuse_transfers=fuse_transfers)
+    return SpreadDataRegion(ctx, chunks, maps, fuse_transfers)
+
+
+def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
+                         range_: Tuple[int, int],
+                         chunk_size: Optional[int],
+                         to: Sequence[Tuple[Var, object]] = (),
+                         from_: Sequence[Tuple[Var, object]] = (),
+                         nowait: bool = False,
+                         depends: Sequence[Dep] = (),
+                         fuse_transfers: bool = False) -> Generator:
+    """``#pragma omp target update spread devices(...) range(...)
+    chunk_size(...) [nowait] to(...) from(...)`` (Listing 7).
+
+    Sections use ``omp_spread_start``/``omp_spread_size`` and must already
+    be present on the owning device.
+    """
+    if not to and not from_:
+        raise OmpSemaError(
+            "target update spread: needs at least one to()/from()")
+    _check_data_depends(ctx, depends, "target update spread")
+    chunks = _data_chunks(ctx, devices, range_, chunk_size)
+    from repro.openmp.mapping import Map
+
+    items = []
+    for chunk in chunks:
+        to_c = [(var, concretize_section(var, section,
+                                         spread_start=chunk.start,
+                                         spread_size=chunk.size))
+                for var, section in to]
+        from_c = [(var, concretize_section(var, section,
+                                           spread_start=chunk.start,
+                                           spread_size=chunk.size))
+                  for var, section in from_]
+        pseudo = ([(Map.to(var), iv) for var, iv in to_c] +
+                  [(Map.from_(var), iv) for var, iv in from_c])
+        cdeps = concretize_deps(depends, spread_start=chunk.start,
+                                spread_size=chunk.size)
+        op = exec_ops.update_op(ctx.rt, chunk.device, to_c, from_c,
+                                fuse_transfers=fuse_transfers,
+                                label=f"update-spread@{chunk.device}")
+        items.append((chunk.device, op, pseudo, cdeps,
+                      f"update-spread#{chunk.index}@{chunk.device}"))
+    procs = exec_ops.submit_spread(ctx, items)
+    handle = SpreadHandle(ctx, procs, chunks)
+    if not nowait:
+        yield from handle.wait()
+    return handle

@@ -1,0 +1,261 @@
+"""The executable spread directives.
+
+``target spread`` (Listing 3) offloads a loop over multiple devices: the
+iteration range is chunked by the ``spread_schedule`` clause and each chunk
+becomes one device task — implicit map semantics, explicit per-chunk
+``depend``, optional ``nowait``.  The combined
+``target spread teams distribute parallel for`` (Listing 4) additionally
+applies the intra-device clauses *per device* (each device gets
+``num_teams`` teams, etc.).
+
+Restrictions reproduced from the paper:
+
+* the associated block must be a loop — inherent here: the API takes the
+  loop bounds and a kernel body;
+* only the ``static`` schedule is supported (extensions gated);
+* the ``devices`` list order, not the ids, determines distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.device.kernel import KernelSpec, LaunchConfig
+from repro.openmp import exec_ops
+from repro.openmp.depend import Dep, concretize_deps
+from repro.openmp.mapping import (
+    MapClause,
+    concretize_section,
+    validate_unique_vars,
+)
+from repro.openmp.tasks import TaskCtx
+from repro.sim.engine import Process
+from repro.spread import extensions as ext
+from repro.spread.reduction import Reduction
+from repro.spread.schedule import (
+    Chunk,
+    DynamicSchedule,
+    SpreadSchedule,
+    StaticSchedule,
+    validate_devices,
+)
+from repro.util.errors import OmpSemaError
+
+
+class SpreadHandle:
+    """The tasks fanned out by one spread directive (one per chunk)."""
+
+    def __init__(self, ctx: TaskCtx, procs: Sequence[Process],
+                 chunks: Sequence[Chunk]):
+        self._ctx = ctx
+        self.procs = list(procs)
+        self.chunks = list(chunks)
+
+    def wait(self) -> Generator:
+        """Block until every chunk task has completed."""
+        pending = [p for p in self.procs if not p.processed]
+        if pending:
+            yield self._ctx.sim.all_of(pending)
+
+    @property
+    def done(self) -> bool:
+        return all(p.processed for p in self.procs)
+
+    def __len__(self) -> int:
+        return len(self.procs)
+
+
+def _concretize_for_chunk(maps: Sequence[MapClause], chunk: Chunk):
+    return [(clause, concretize_section(clause.var, clause.section,
+                                        spread_start=chunk.start,
+                                        spread_size=chunk.size))
+            for clause in maps]
+
+
+def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
+                  devices: Sequence[int],
+                  schedule: Optional[SpreadSchedule] = None,
+                  maps: Sequence[MapClause] = (),
+                  nowait: bool = False,
+                  depends: Sequence[Dep] = (),
+                  launch: Optional[LaunchConfig] = None,
+                  reductions: Sequence[Reduction] = (),
+                  fuse_transfers: bool = False) -> Generator:
+    """``#pragma omp target spread`` over the loop ``[lo, hi)``.
+
+    Map and depend sections may use ``omp_spread_start`` /
+    ``omp_spread_size``; they are evaluated per chunk.  Without a launch
+    configuration each chunk executes serially on its device (bare
+    ``target spread``); the combined directive saturates the device.
+
+    Returns a :class:`SpreadHandle`; with ``nowait`` the handle is returned
+    immediately and synchronization is the caller's job (``taskwait`` /
+    ``taskgroup``), exactly as the paper describes.
+    """
+    rt = ctx.rt
+    devs = validate_devices(devices, rt.num_devices)
+    sched = schedule if schedule is not None else StaticSchedule(None)
+    if sched.is_extension:
+        ext.require(rt, "schedules",
+                    f"spread_schedule({sched.kind}, ...)")
+    if reductions:
+        ext.require(rt, "reduction", "the reduction clause on target spread")
+        if nowait:
+            raise OmpSemaError(
+                "target spread: reduction requires synchronous execution "
+                "(drop nowait)")
+    validate_unique_vars(maps, "target spread")
+    exec_ops.region_map_types(maps, "target spread")
+    cfg = launch if launch is not None else LaunchConfig(
+        num_teams=1, threads_per_team=1, simd=False)
+
+    chunks = sched.chunks(lo, hi, devs)
+
+    if isinstance(sched, DynamicSchedule):
+        if depends:
+            raise OmpSemaError(
+                "target spread: depend is not supported with the dynamic "
+                "schedule extension")
+        handle = _launch_dynamic(ctx, kernel, chunks, devs, maps, cfg,
+                                 fuse_transfers)
+    else:
+        handle = _launch_static(ctx, kernel, chunks, maps, depends, cfg,
+                                reductions, fuse_transfers)
+
+    if reductions:
+        yield from handle.wait()
+        _fold_reductions(handle, reductions)
+    elif not nowait:
+        yield from handle.wait()
+    return handle
+
+
+def target_spread_teams_distribute_parallel_for(
+        ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
+        devices: Sequence[int],
+        schedule: Optional[SpreadSchedule] = None,
+        maps: Sequence[MapClause] = (),
+        num_teams: Optional[int] = None,
+        threads_per_team: Optional[int] = None,
+        simd: bool = True,
+        nowait: bool = False,
+        depends: Sequence[Dep] = (),
+        reductions: Sequence[Reduction] = (),
+        fuse_transfers: bool = False) -> Generator:
+    """``#pragma omp target spread teams distribute parallel for [simd]``.
+
+    The intra-device clauses apply per device: every device runs its chunk
+    with ``num_teams`` teams of ``threads_per_team`` threads (Listing 4).
+    """
+    launch = LaunchConfig(num_teams=num_teams,
+                          threads_per_team=threads_per_team, simd=simd)
+    handle = yield from target_spread(ctx, kernel, lo, hi, devices,
+                                      schedule=schedule, maps=maps,
+                                      nowait=nowait, depends=depends,
+                                      launch=launch, reductions=reductions,
+                                      fuse_transfers=fuse_transfers)
+    return handle
+
+
+# ---------------------------------------------------------------------------
+# static fan-out
+# ---------------------------------------------------------------------------
+
+def _launch_static(ctx: TaskCtx, kernel: KernelSpec, chunks: Sequence[Chunk],
+                   maps: Sequence[MapClause], depends: Sequence[Dep],
+                   cfg: LaunchConfig, reductions: Sequence[Reduction],
+                   fuse_transfers: bool) -> SpreadHandle:
+    rt = ctx.rt
+    items = []
+    for chunk in chunks:
+        concrete = _concretize_for_chunk(maps, chunk)
+        cdeps = concretize_deps(depends, spread_start=chunk.start,
+                                spread_size=chunk.size)
+        if reductions:
+            op = _chunk_op_with_reductions(rt, chunk, kernel, concrete, cfg,
+                                           reductions, fuse_transfers)
+        else:
+            op = exec_ops.kernel_op(rt, chunk.device, kernel,
+                                    chunk.start, chunk.interval.stop,
+                                    concrete, launch=cfg,
+                                    fuse_transfers=fuse_transfers,
+                                    label=f"spread@{chunk.device}")
+        items.append((chunk.device, op, concrete, cdeps,
+                      f"spread:{kernel.name}#{chunk.index}@{chunk.device}"))
+    procs = exec_ops.submit_spread(ctx, items)
+    return SpreadHandle(ctx, procs, chunks)
+
+
+# ---------------------------------------------------------------------------
+# dynamic schedule (extension): one worker per device pulls chunks
+# ---------------------------------------------------------------------------
+
+def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
+                    chunks: Sequence[Chunk], devices: Sequence[int],
+                    maps: Sequence[MapClause], cfg: LaunchConfig,
+                    fuse_transfers: bool) -> SpreadHandle:
+    rt = ctx.rt
+    queue: List[Chunk] = list(chunks)
+    assigned: List[Chunk] = []
+
+    def worker(device_id: int) -> Generator:
+        while queue:
+            chunk = queue.pop(0)
+            assigned.append(Chunk(index=chunk.index, interval=chunk.interval,
+                                  device=device_id))
+            concrete = _concretize_for_chunk(maps, chunk)
+            yield from exec_ops.kernel_op(
+                rt, device_id, kernel, chunk.start, chunk.interval.stop,
+                concrete, launch=cfg, fuse_transfers=fuse_transfers,
+                label=f"spread-dyn@{device_id}")
+
+    procs = [ctx.submit(worker(d), name=f"spread-dyn:{kernel.name}@{d}")
+             for d in devices]
+    return SpreadHandle(ctx, procs, assigned)
+
+
+# ---------------------------------------------------------------------------
+# reduction plumbing
+# ---------------------------------------------------------------------------
+
+def _chunk_op_with_reductions(rt, chunk: Chunk, kernel: KernelSpec,
+                              concrete_maps, cfg: LaunchConfig,
+                              reductions: Sequence[Reduction],
+                              fuse_transfers: bool) -> Generator:
+    dev = rt.device(chunk.device)
+    partial_allocs = []
+    extra_env = {}
+    for red in reductions:
+        alloc = dev.allocate(red.var.array.shape, dtype=red.var.array.dtype,
+                             label=f"reduction:{red.var.name}")
+        alloc.array[...] = red.identity
+        extra_env[red.var.name] = alloc.array
+        partial_allocs.append((red, alloc))
+    yield from exec_ops.kernel_op(rt, chunk.device, kernel,
+                                  chunk.start, chunk.interval.stop,
+                                  concrete_maps, launch=cfg,
+                                  fuse_transfers=fuse_transfers,
+                                  label=f"spread@{chunk.device}",
+                                  extra_env=extra_env)
+    staged = []
+    for red, alloc in partial_allocs:
+        staging = np.empty_like(alloc.array)
+        yield from dev.copy_d2h(alloc.array, slice(None),
+                                staging, slice(None),
+                                name=f"reduction:{red.var.name}")
+        dev.free(alloc)
+        staged.append(staging)
+    return staged
+
+
+def _fold_reductions(handle: SpreadHandle,
+                     reductions: Sequence[Reduction]) -> None:
+    # Each chunk task returned its staged partials; fold them in chunk
+    # order so the result is independent of execution interleaving.
+    ordered = sorted(zip(handle.chunks, handle.procs),
+                     key=lambda pair: pair[0].index)
+    for r, red in enumerate(reductions):
+        partials = [proc.value[r] for _chunk, proc in ordered]
+        red.fold_into_host(partials)

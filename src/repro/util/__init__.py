@@ -1,0 +1,30 @@
+"""Shared utilities: error hierarchy, interval algebra, formatting helpers."""
+
+from repro.util.errors import (
+    OmpError,
+    OmpSyntaxError,
+    OmpSemaError,
+    OmpRuntimeError,
+    OmpMappingError,
+    OmpDeviceError,
+    OmpAllocationError,
+    OmpScheduleError,
+)
+from repro.util.intervals import Interval, IntervalSet
+from repro.util.format import format_hms, format_bytes, format_table
+
+__all__ = [
+    "OmpError",
+    "OmpSyntaxError",
+    "OmpSemaError",
+    "OmpRuntimeError",
+    "OmpMappingError",
+    "OmpDeviceError",
+    "OmpAllocationError",
+    "OmpScheduleError",
+    "Interval",
+    "IntervalSet",
+    "format_hms",
+    "format_bytes",
+    "format_table",
+]

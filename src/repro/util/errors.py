@@ -1,0 +1,82 @@
+"""Error hierarchy for the simulated OpenMP runtime and directive frontend.
+
+The hierarchy mirrors the stages of the paper's implementation (Section
+III-C): lexical/parse errors, semantic errors, and runtime errors raised by
+the device data environment or the scheduler.
+"""
+
+from __future__ import annotations
+
+
+class OmpError(Exception):
+    """Base class for every error raised by the repro OpenMP stack."""
+
+
+class OmpSyntaxError(OmpError):
+    """A pragma string failed to tokenize or parse.
+
+    Carries the offending source text and the character offset, so test
+    suites and users can point at the failing clause.
+    """
+
+    def __init__(self, message: str, source: str = "", offset: int | None = None):
+        self.source = source
+        self.offset = offset
+        if source and offset is not None:
+            caret = " " * offset + "^"
+            message = f"{message}\n  {source}\n  {caret}"
+        super().__init__(message)
+
+
+class OmpSemaError(OmpError):
+    """A directive is syntactically valid but semantically ill-formed.
+
+    Examples reproduced from the paper: ``spread_schedule`` with a
+    non-``static`` kind, ``depend`` on ``target enter data spread``
+    (unsupported), ``nowait`` on ``target data spread`` (unsupported),
+    a ``target spread`` whose associated block is not a loop.
+    """
+
+
+class OmpRuntimeError(OmpError):
+    """Generic runtime failure (bad device id, invalid state, ...)."""
+
+
+class OmpDeviceError(OmpRuntimeError):
+    """A device id is out of range or a device operation is invalid."""
+
+
+class OmpMappingError(OmpRuntimeError):
+    """Illegal data-environment manipulation.
+
+    The OpenMP specification forbids extending an array section that is
+    already (partially) present on a device.  The paper relies on this rule:
+    the Two Buffers and Double Buffering Somier implementations cannot run on
+    a single GPU because consecutive half-buffer halos would overlap-extend
+    each other's mapped sections (Section V-B).
+    """
+
+
+class OmpAllocationError(OmpRuntimeError):
+    """Device memory capacity exceeded.
+
+    ``requested`` and ``capacity`` (virtual bytes) let callers distinguish
+    a transient exhaustion (another buffer still resident — the runtime may
+    back-pressure and retry once memory frees) from a request that can
+    never succeed.
+    """
+
+    def __init__(self, message: str, requested: float = 0.0,
+                 capacity: float = 0.0):
+        super().__init__(message)
+        self.requested = requested
+        self.capacity = capacity
+
+    @property
+    def can_ever_fit(self) -> bool:
+        return self.requested <= self.capacity
+
+
+class OmpScheduleError(OmpRuntimeError):
+    """Invalid spread schedule specification (bad chunk size, empty device
+    list, unknown schedule kind at runtime level)."""

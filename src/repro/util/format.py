@@ -1,0 +1,42 @@
+"""Human-readable formatting helpers for benchmark tables and traces."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_hms(seconds: float) -> str:
+    """Format seconds in the paper's ``XmY.ZZZs`` style (e.g. ``17m40.231s``)."""
+    if seconds < 0:
+        return "-" + format_hms(-seconds)
+    minutes = int(seconds // 60)
+    rem = seconds - minutes * 60
+    if minutes == 0:
+        return f"{rem:.3f}s"
+    return f"{minutes}m{rem:06.3f}s"
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count with binary-ish units, GB = 1e9 as in the paper."""
+    for unit, factor in (("TB", 1e12), ("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if abs(n) >= factor:
+            return f"{n / factor:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (used by the bench harness)."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt_row(list(headers)), sep]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

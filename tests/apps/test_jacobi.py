@@ -1,0 +1,78 @@
+"""Tests for the Jacobi workload and its two data-management strategies."""
+
+import numpy as np
+import pytest
+
+from repro.apps import JacobiConfig, run_jacobi
+from repro.sim.topology import cte_power_node
+from repro.util.errors import OmpRuntimeError
+
+CFG = JacobiConfig(n=32, iterations=6)
+
+
+def topo(n=4):
+    return cte_power_node(n, memory_bytes=1e9)
+
+
+class TestConfig:
+    def test_initial_grid(self):
+        u = CFG.initial_grid()
+        assert u[0, 5] == 100.0
+        assert u[1:, :].sum() == 0.0
+
+    def test_reference_diffuses_heat(self):
+        ref = CFG.reference()
+        assert ref[1, CFG.n // 2] > 0.0            # heat moved inward
+        assert ref[CFG.n - 1, CFG.n // 2] == 0.0   # but not that far yet
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JacobiConfig(n=2)
+        with pytest.raises(ValueError):
+            JacobiConfig(iterations=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ["resident", "remap"])
+    @pytest.mark.parametrize("devices", [[0], [0, 1], [0, 1, 2, 3]])
+    def test_bitwise_vs_numpy_reference(self, strategy, devices):
+        res = run_jacobi(CFG, strategy=strategy, devices=devices,
+                         topology=topo())
+        assert np.array_equal(res.grid, CFG.reference())
+
+    @pytest.mark.parametrize("strategy", ["resident", "remap"])
+    def test_odd_iteration_count(self, strategy):
+        cfg = JacobiConfig(n=24, iterations=5)
+        res = run_jacobi(cfg, strategy=strategy, devices=[0, 1],
+                         topology=topo())
+        assert np.array_equal(res.grid, cfg.reference())
+
+    def test_clean_teardown(self):
+        res = run_jacobi(CFG, strategy="resident", topology=topo())
+        for env in res.runtime.dataenvs:
+            assert env.is_empty()
+        for dev in res.runtime.devices:
+            assert dev.allocator.used_bytes == 0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(OmpRuntimeError, match="unknown Jacobi strategy"):
+            run_jacobi(CFG, strategy="telepathy", topology=topo())
+
+
+class TestStrategyTradeoff:
+    def test_resident_moves_far_less_data(self):
+        resident = run_jacobi(CFG, strategy="resident", topology=topo())
+        remap = run_jacobi(CFG, strategy="remap", topology=topo())
+        # remap pays the full grid each way per iteration; resident pays
+        # halos only after the initial map
+        assert resident.stats["h2d_bytes"] < 0.5 * remap.stats["h2d_bytes"]
+
+    def test_resident_is_faster(self):
+        resident = run_jacobi(CFG, strategy="resident", topology=topo())
+        remap = run_jacobi(CFG, strategy="remap", topology=topo())
+        assert resident.elapsed < remap.elapsed
+
+    def test_strategies_agree_exactly(self):
+        resident = run_jacobi(CFG, strategy="resident", topology=topo())
+        remap = run_jacobi(CFG, strategy="remap", topology=topo())
+        assert np.array_equal(resident.grid, remap.grid)

@@ -1,0 +1,86 @@
+"""Unit tests for the benchmark harness and machine calibration module."""
+
+import pytest
+
+from repro.bench import harness, machines
+from repro.sim.costmodel import CostModel
+
+
+class TestMachines:
+    def test_paper_machine_shape(self):
+        topo, cm = machines.paper_machine(4, n_functional=96)
+        assert topo.num_devices == 4
+        assert len(topo.sockets) == 2
+        assert isinstance(cm, CostModel)
+        assert cm.scale == pytest.approx((1200 / 96) ** 3)
+
+    def test_two_gpu_machine_single_socket(self):
+        topo, _ = machines.paper_machine(2)
+        assert len(topo.sockets) == 1  # devices 0,1 share the socket
+
+    def test_calibration_constants_wired(self):
+        topo, _ = machines.paper_machine(1)
+        assert topo.link_specs[0].bandwidth_bytes_per_s == \
+            machines.LINK_BANDWIDTH
+        assert topo.host_spec.staging_bandwidth_bytes_per_s == \
+            machines.STAGING_BANDWIDTH
+        assert topo.device_specs[0].iters_per_second == \
+            machines.ITERS_PER_SECOND
+
+    def test_paper_devices_order(self):
+        assert machines.paper_devices(4) == [1, 0, 3, 2]
+        assert machines.paper_devices(2) == [1, 0]
+        assert machines.paper_devices(1) == [0]
+
+    def test_paper_tables_complete(self):
+        assert len(machines.PAPER_TABLE1) == 4
+        assert len(machines.PAPER_TABLE2) == 6
+        assert machines.PAPER_TABLE1[("target", 1)] == pytest.approx(1060.231)
+        assert machines.PAPER_TABLE2[("double_buffering", 4)] == \
+            pytest.approx(531.176)
+
+    def test_paper_somier_config(self):
+        cfg = machines.paper_somier_config(n_functional=48, steps=5)
+        assert cfg.n == 48 and cfg.steps == 5
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        # tiny: 1 step, small grid — exercises the full pipeline quickly
+        return harness.run_table1(n_functional=24, steps=1)
+
+    def test_run_table1_rows(self, table1):
+        assert [(e.impl, e.gpus) for e in table1] == [
+            ("target", 1), ("one_buffer", 1), ("one_buffer", 2),
+            ("one_buffer", 4)]
+        for e in table1:
+            assert e.seconds > 0
+            assert e.paper_seconds is not None
+            assert e.paper_ratio == pytest.approx(
+                e.seconds / e.paper_seconds)
+
+    def test_speedup_table(self, table1):
+        speedups = harness.speedup_table(table1)
+        assert speedups[("target", 1)] == pytest.approx(1.0)
+        assert speedups[("one_buffer", 4)] > speedups[("one_buffer", 2)]
+
+    def test_comparison_rows_format(self, table1):
+        rows = harness.comparison_rows(table1)
+        assert len(rows) == 4
+        impl, gpus, sim, paper, ratio = rows[0]
+        assert impl == "target" and gpus == 1
+        assert sim.endswith("s") and paper.endswith("s")
+        float(ratio)  # parseable
+
+    def test_format_experiments_includes_title(self, table1):
+        text = harness.format_experiments(table1, "My Table")
+        assert text.startswith("My Table")
+        assert "sim/paper" in text
+
+    def test_experiment_without_paper_value(self, table1):
+        exp = harness.Experiment(impl="x", gpus=1,
+                                 result=table1[0].result)
+        assert exp.paper_ratio is None
+        rows = harness.comparison_rows([exp])
+        assert rows[0][3] == "-" and rows[0][4] == "-"

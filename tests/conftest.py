@@ -1,0 +1,47 @@
+"""Shared fixtures: small nodes and runtimes for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.openmp.runtime import OpenMPRuntime
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.topology import cte_power_node, uniform_node
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def rt1():
+    """One device, generous memory, fast host."""
+    return OpenMPRuntime(topology=uniform_node(1, memory_bytes=1e9))
+
+
+@pytest.fixture
+def rt2():
+    """Two devices on one socket (shared link)."""
+    return OpenMPRuntime(topology=uniform_node(2, devices_per_socket=2,
+                                               memory_bytes=1e9))
+
+
+@pytest.fixture
+def rt4():
+    """The CTE-POWER-like 4-GPU node with roomy memory for tests."""
+    return OpenMPRuntime(topology=cte_power_node(4, memory_bytes=1e9))
+
+
+def make_runtime(num_devices: int = 4, memory_bytes: float = 1e9,
+                 **kwargs) -> OpenMPRuntime:
+    return OpenMPRuntime(topology=cte_power_node(num_devices,
+                                                 memory_bytes=memory_bytes),
+                         **kwargs)
+
+
+def run_program(rt: OpenMPRuntime, genfn, *args):
+    """Run a host program and return its result."""
+    return rt.run(genfn, *args)

@@ -1,0 +1,85 @@
+"""Unit tests for the device memory allocator."""
+
+import numpy as np
+import pytest
+
+from repro.device.memory import DeviceAllocator
+from repro.util.errors import OmpAllocationError
+
+
+class TestAllocate:
+    def test_functional_array_shape_dtype(self):
+        alloc = DeviceAllocator(1e6).allocate((4, 5), dtype=np.float32)
+        assert alloc.array.shape == (4, 5)
+        assert alloc.array.dtype == np.float32
+        assert alloc.nbytes == 4 * 5 * 4
+
+    def test_default_virtual_is_functional_size(self):
+        allocator = DeviceAllocator(1e6)
+        alloc = allocator.allocate((10,), dtype=np.float64)
+        assert alloc.virtual_bytes == 80
+        assert allocator.used_bytes == 80
+
+    def test_virtual_bytes_override(self):
+        allocator = DeviceAllocator(1e9)
+        allocator.allocate((10,), virtual_bytes=5e8)
+        assert allocator.used_bytes == 5e8
+        assert allocator.free_bytes == pytest.approx(5e8)
+
+    def test_capacity_exceeded_raises_with_metadata(self):
+        allocator = DeviceAllocator(100.0, device_id=3)
+        with pytest.raises(OmpAllocationError) as exc:
+            allocator.allocate((4,), virtual_bytes=150.0, label="buf")
+        assert exc.value.requested == 150.0
+        assert exc.value.capacity == 100.0
+        assert not exc.value.can_ever_fit
+        assert "device 3" in str(exc.value)
+
+    def test_transient_exhaustion_can_ever_fit(self):
+        allocator = DeviceAllocator(100.0)
+        allocator.allocate((1,), virtual_bytes=60.0)
+        with pytest.raises(OmpAllocationError) as exc:
+            allocator.allocate((1,), virtual_bytes=60.0)
+        assert exc.value.can_ever_fit
+
+    def test_negative_virtual_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceAllocator(100.0).allocate((1,), virtual_bytes=-1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceAllocator(0)
+
+
+class TestFree:
+    def test_free_returns_capacity(self):
+        allocator = DeviceAllocator(100.0)
+        a = allocator.allocate((1,), virtual_bytes=70.0)
+        allocator.free(a)
+        assert allocator.used_bytes == 0
+        allocator.allocate((1,), virtual_bytes=90.0)  # fits again
+
+    def test_double_free_rejected(self):
+        allocator = DeviceAllocator(100.0)
+        a = allocator.allocate((1,), virtual_bytes=10.0)
+        allocator.free(a)
+        with pytest.raises(OmpAllocationError, match="double free"):
+            allocator.free(a)
+
+    def test_live_allocation_count(self):
+        allocator = DeviceAllocator(1000.0)
+        allocs = [allocator.allocate((1,), virtual_bytes=10.0)
+                  for _ in range(3)]
+        assert allocator.live_allocations == 3
+        allocator.free(allocs[1])
+        assert allocator.live_allocations == 2
+
+
+class TestPeak:
+    def test_peak_tracks_high_watermark(self):
+        allocator = DeviceAllocator(100.0)
+        a = allocator.allocate((1,), virtual_bytes=80.0)
+        allocator.free(a)
+        allocator.allocate((1,), virtual_bytes=30.0)
+        assert allocator.peak_bytes == 80.0
+        assert allocator.used_bytes == 30.0

@@ -1,0 +1,107 @@
+"""Unit tests for global-index views."""
+
+import numpy as np
+import pytest
+
+from repro.device.views import GlobalView
+
+
+class TestGeometry:
+    def test_start_stop_shape(self):
+        view = GlobalView(np.zeros((5, 3)), offset=10, name="A")
+        assert view.start == 10 and view.stop == 15
+        assert view.shape == (5, 3)
+        assert view.dtype == np.float64
+
+
+class TestIntIndexing:
+    def test_read_write_translated(self):
+        buf = np.arange(12.0).reshape(4, 3)
+        view = GlobalView(buf, offset=100)
+        assert np.array_equal(view[101], buf[1])
+        view[102] = 0.0
+        assert np.all(buf[2] == 0.0)
+
+    def test_out_of_section_raises(self):
+        view = GlobalView(np.zeros(4), offset=10)
+        with pytest.raises(IndexError, match="outside mapped section"):
+            view[14]
+        with pytest.raises(IndexError, match="outside mapped section"):
+            view[9]
+
+    def test_negative_global_index_rejected(self):
+        view = GlobalView(np.zeros(4), offset=0)
+        with pytest.raises(IndexError, match="negative"):
+            view[-1]
+
+    def test_numpy_integer_index(self):
+        view = GlobalView(np.arange(4.0), offset=2)
+        assert view[np.int64(3)] == 1.0
+
+
+class TestSliceIndexing:
+    def test_bounded_slice(self):
+        buf = np.arange(6.0)
+        view = GlobalView(buf, offset=4)
+        assert np.array_equal(view[5:8], buf[1:4])
+
+    def test_halo_arithmetic_pattern(self):
+        # the paper's B[i] = A[i-1] + A[i] + A[i+1] over a mapped chunk
+        host = np.arange(20.0)
+        lo, hi = 8, 12
+        a_chunk = host[lo - 1:hi + 1].copy()
+        a = GlobalView(a_chunk, offset=lo - 1)
+        out = a[lo - 1:hi - 1] + a[lo:hi] + a[lo + 1:hi + 1]
+        expect = host[lo - 1:hi - 1] + host[lo:hi] + host[lo + 1:hi + 1]
+        assert np.array_equal(out, expect)
+
+    def test_open_ended_slice_rejected(self):
+        view = GlobalView(np.zeros(4), offset=2)
+        with pytest.raises(IndexError, match="bounded"):
+            view[2:]
+        with pytest.raises(IndexError, match="bounded"):
+            view[:4]
+
+    def test_strided_slice_rejected(self):
+        view = GlobalView(np.zeros(4), offset=0)
+        with pytest.raises(IndexError, match="step 1"):
+            view[0:4:2]
+
+    def test_slice_outside_section_rejected(self):
+        view = GlobalView(np.zeros(4), offset=10)
+        with pytest.raises(IndexError, match="outside mapped section"):
+            view[9:12]
+
+    def test_writes_through_slices(self):
+        buf = np.zeros(5)
+        view = GlobalView(buf, offset=3)
+        view[4:7] = 1.5
+        assert np.array_equal(buf, [0, 1.5, 1.5, 1.5, 0])
+
+
+class TestTupleIndexing:
+    def test_only_axis0_translated(self):
+        buf = np.arange(24.0).reshape(4, 3, 2)
+        view = GlobalView(buf, offset=5)
+        assert np.array_equal(view[6, 1], buf[1, 1])
+        assert view[6, 1, 0] == buf[1, 1, 0]
+
+    def test_tuple_slice_passthrough_inner(self):
+        buf = np.arange(24.0).reshape(4, 6)
+        view = GlobalView(buf, offset=2)
+        assert np.array_equal(view[2:4, 1:3], buf[0:2, 1:3])
+
+    def test_inplace_add_via_views(self):
+        buf = np.ones((4, 2))
+        view = GlobalView(buf, offset=0)
+        view[0:4] = view[0:4] + 1.0
+        assert np.all(buf == 2.0)
+
+    def test_local_returns_buffer(self):
+        buf = np.zeros(3)
+        assert GlobalView(buf, 7).local() is buf
+
+    def test_unsupported_key_type(self):
+        view = GlobalView(np.zeros(4), offset=0)
+        with pytest.raises(IndexError):
+            view["x"]  # type: ignore[index]

@@ -1,0 +1,59 @@
+"""Golden determinism: the simulation is reproducible across processes.
+
+A fixed small Somier experiment must always produce the same virtual time,
+operation counts and trace digest.  If a code change legitimately alters
+scheduling, these constants are expected to move — update them consciously
+(they exist to make silent nondeterminism or accidental model drift loud).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.sim.topology import cte_power_node
+from repro.somier import SomierConfig, run_somier
+from repro.somier.plan import chunk_footprint_bytes
+
+CFG = SomierConfig(n=18, steps=2)
+
+
+def run_fixed():
+    cap = chunk_footprint_bytes(CFG, 4) / 0.8
+    return run_somier("one_buffer", CFG, devices=[1, 0, 3, 2],
+                      topology=cte_power_node(4, memory_bytes=cap),
+                      trace=True)
+
+
+def trace_digest(trace) -> str:
+    h = hashlib.sha256()
+    for e in trace.events:
+        h.update(f"{e.category}|{e.name}|{e.lane}|{e.start:.12e}|"
+                 f"{e.end:.12e}\n".encode())
+    return h.hexdigest()[:16]
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        a, b = run_fixed(), run_fixed()
+        assert a.elapsed == b.elapsed
+        assert trace_digest(a.runtime.trace) == trace_digest(b.runtime.trace)
+        for name in a.state.grids:
+            assert np.array_equal(a.state.grids[name], b.state.grids[name])
+
+    def test_operation_counts_stable(self):
+        res = run_fixed()
+        # 2 steps x buffers x 4 chunks x (12 copies in + 13 out)
+        assert res.stats["memcpy_calls"] == 2 * res.plan.num_buffers * 4 * 25
+        # 2 steps x 4 buffers x 5 kernels x 4 chunks
+        assert res.stats["kernels_launched"] == 2 * res.plan.num_buffers * 20
+
+    def test_centers_value_golden(self):
+        """The physics itself is a golden value (pure float64 NumPy)."""
+        res = run_fixed()
+        first = res.centers[0]
+        # x/y centers sit at the interior mean exactly (symmetric forces)
+        assert first[0] == pytest.approx(8.5, abs=1e-12)
+        assert first[1] == pytest.approx(8.5, abs=1e-12)
+        # z carries the perturbation
+        assert first[2] > 8.5

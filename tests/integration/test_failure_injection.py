@@ -1,0 +1,190 @@
+"""Failure injection: errors inside simulated device work must surface.
+
+A runtime that swallows failures in nowait tasks would report wrong results
+as clean runs; these tests inject faults at every layer and assert the
+failure reaches the caller with its original type.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device.kernel import KernelSpec
+from repro.openmp import Map, OpenMPRuntime, Var
+from repro.openmp.target import target, target_enter_data
+from repro.sim.topology import cte_power_node, uniform_node
+from repro.spread import (
+    omp_spread_size as Z,
+    omp_spread_start as S,
+    spread_schedule,
+    target_enter_data_spread,
+    target_spread,
+)
+from repro.util.errors import OmpAllocationError
+
+
+def make_rt(n=4, **kw):
+    return OpenMPRuntime(topology=cte_power_node(n, memory_bytes=1e6), **kw)
+
+
+class TestKernelFaults:
+    def test_kernel_exception_propagates_synchronously(self):
+        rt = make_rt()
+        v = Var("A", np.zeros(8))
+
+        def bad(lo, hi, env):
+            raise FloatingPointError("injected")
+
+        def program(omp):
+            yield from target(omp, device=0, kernel=KernelSpec("bad", bad),
+                              lo=0, hi=8, maps=[Map.to(v)])
+
+        with pytest.raises(FloatingPointError, match="injected"):
+            rt.run(program)
+
+    def test_kernel_exception_in_nowait_surfaces_at_taskwait(self):
+        rt = make_rt()
+        v = Var("A", np.zeros(8))
+
+        def bad(lo, hi, env):
+            raise ZeroDivisionError("injected")
+
+        def program(omp):
+            yield from target(omp, device=0, kernel=KernelSpec("bad", bad),
+                              lo=0, hi=8, maps=[Map.to(v)], nowait=True)
+            yield from omp.taskwait()
+
+        with pytest.raises(ZeroDivisionError):
+            rt.run(program)
+
+    def test_unawaited_kernel_exception_surfaces_at_run_end(self):
+        rt = make_rt()
+        v = Var("A", np.zeros(8))
+
+        def bad(lo, hi, env):
+            raise KeyError("injected")
+
+        def program(omp):
+            yield from target(omp, device=0, kernel=KernelSpec("bad", bad),
+                              lo=0, hi=8, maps=[Map.to(v)], nowait=True)
+            # never waits
+
+        with pytest.raises(KeyError):
+            rt.run(program)
+
+    def test_one_failing_chunk_fails_the_spread_directive(self):
+        rt = make_rt()
+        v = Var("A", np.zeros(16))
+
+        def bad_on_dev2(lo, hi, env):
+            if lo >= 8:
+                raise RuntimeError(f"chunk at {lo} failed")
+
+        def program(omp):
+            yield from target_spread(
+                omp, KernelSpec("k", bad_on_dev2), 0, 16, [0, 1],
+                schedule=spread_schedule("static", 8),
+                maps=[Map.to(v, (S, Z))])
+
+        with pytest.raises(RuntimeError, match="chunk at 8"):
+            rt.run(program)
+
+
+class TestHaloBugs:
+    def test_out_of_section_access_is_a_device_fault(self):
+        """A kernel indexing outside its mapped section — the bug class the
+        spread halo arithmetic exists to prevent — faults immediately."""
+        rt = make_rt()
+        v = Var("A", np.zeros(16))
+
+        def reads_halo_not_mapped(lo, hi, env):
+            env["A"][lo - 1:hi]  # section mapped without the -1 halo
+
+        def program(omp):
+            yield from target_spread(
+                omp, KernelSpec("k", reads_halo_not_mapped), 1, 15, [0, 1],
+                maps=[Map.to(v, (S, Z))])   # exact chunk: no halo!
+
+        with pytest.raises(IndexError, match="outside mapped section"):
+            rt.run(program)
+
+    def test_unmapped_variable_is_a_name_fault(self):
+        rt = make_rt()
+        v = Var("A", np.zeros(8))
+
+        def uses_b(lo, hi, env):
+            env["B"]
+
+        def program(omp):
+            yield from target(omp, device=0, kernel=KernelSpec("k", uses_b),
+                              lo=0, hi=8, maps=[Map.to(v)])
+
+        with pytest.raises(KeyError, match="B"):
+            rt.run(program)
+
+
+class TestMemoryFaults:
+    def test_oversized_single_map_raises_not_hangs(self):
+        rt = OpenMPRuntime(topology=uniform_node(1, memory_bytes=100.0))
+        v = Var("A", np.zeros(1000))  # 8 kB > 100 B
+
+        def program(omp):
+            yield from target_enter_data(omp, device=0, maps=[Map.to(v)])
+
+        with pytest.raises(OmpAllocationError):
+            rt.run(program)
+
+    def test_transient_exhaustion_with_no_releaser_is_a_deadlock(self):
+        """Back-pressure with nothing ever freeing must be reported as a
+        deadlock, not silently hang."""
+        from repro.util.errors import OmpRuntimeError
+
+        rt = OpenMPRuntime(topology=uniform_node(1, memory_bytes=100.0))
+        a = Var("A", np.zeros(10))  # 80 B
+        b = Var("B", np.zeros(10))  # another 80 B: can never coexist
+
+        def program(omp):
+            yield from target_enter_data(omp, device=0, maps=[Map.to(a)])
+            yield from target_enter_data(omp, device=0, maps=[Map.to(b)])
+
+        with pytest.raises(Exception) as err:
+            rt.run(program)
+        assert "deadlock" in str(err.value) or isinstance(
+            err.value, OmpRuntimeError)
+
+
+class TestGroupFaults:
+    def test_failure_inside_taskgroup_raises_at_group_end(self):
+        rt = make_rt()
+        v = Var("A", np.zeros(8))
+
+        def program(omp):
+            tg = omp.taskgroup_begin()
+            yield from target_enter_data_spread(
+                omp, devices=[0, 1], range_=(0, 8), chunk_size=4,
+                maps=[Map.to(v, (S, Z + 1000))],  # out-of-bounds section
+                nowait=True)
+            yield from omp.taskgroup_end(tg)
+
+        from repro.util.errors import OmpSemaError
+
+        with pytest.raises(OmpSemaError, match="outside array extent"):
+            rt.run(program)
+
+    def test_state_after_failure_is_inspectable(self):
+        """After a failed run the runtime's trace and counters remain
+        readable (post-mortem debugging)."""
+        rt = make_rt()
+        v = Var("A", np.zeros(8))
+
+        def bad(lo, hi, env):
+            raise RuntimeError("late failure")
+
+        def program(omp):
+            yield from target_enter_data(omp, device=0, maps=[Map.to(v)])
+            yield from target(omp, device=0, kernel=KernelSpec("bad", bad),
+                              lo=0, hi=8, maps=[Map.to(v)])
+
+        with pytest.raises(RuntimeError):
+            rt.run(program)
+        assert rt.devices[0].memcpy_calls >= 1
+        assert len(rt.trace.events) >= 1

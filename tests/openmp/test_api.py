@@ -1,0 +1,91 @@
+"""Unit tests for the classic omp_* query API."""
+
+import numpy as np
+import pytest
+
+from repro.openmp import Map, OpenMPRuntime, Var, target_enter_data, target_exit_data
+from repro.openmp.api import OmpApi, api
+from repro.sim.topology import cte_power_node, uniform_node
+from repro.util.errors import OmpDeviceError
+
+
+@pytest.fixture
+def rt():
+    return OpenMPRuntime(topology=cte_power_node(4, memory_bytes=1e9))
+
+
+class TestDeviceQueries:
+    def test_num_devices(self, rt):
+        assert api(rt).omp_get_num_devices() == 4
+
+    def test_initial_device_is_host(self, rt):
+        omp = api(rt)
+        assert omp.omp_get_initial_device() == 4
+        assert omp.omp_is_initial_device()
+
+    def test_default_device_get_set(self, rt):
+        omp = api(rt)
+        assert omp.omp_get_default_device() == 0
+        omp.omp_set_default_device(2)
+        assert omp.omp_get_default_device() == 2
+        assert rt.default_device == 2
+
+    def test_set_default_device_bounds_checked(self, rt):
+        with pytest.raises(OmpDeviceError):
+            api(rt).omp_set_default_device(9)
+
+
+class TestMemoryQueries:
+    def test_total_and_free_memory(self, rt):
+        omp = api(rt)
+        assert omp.omp_get_device_memory(0) == 1e9
+        assert omp.omp_get_device_free_memory(0) == 1e9
+
+    def test_free_memory_tracks_mappings(self, rt):
+        omp = api(rt)
+        A = Var("A", np.zeros(100))
+
+        def program(ctx):
+            yield from target_enter_data(ctx, device=1, maps=[Map.to(A)])
+            assert omp.omp_get_device_free_memory(1) == 1e9 - 800
+            yield from target_exit_data(ctx, device=1, maps=[Map.delete(A)])
+            assert omp.omp_get_device_free_memory(1) == 1e9
+
+        rt.run(program)
+
+
+class TestPresence:
+    def test_target_is_present(self, rt):
+        omp = api(rt)
+        A = Var("A", np.zeros(100))
+
+        def program(ctx):
+            assert not omp.omp_target_is_present(A, 0)
+            yield from target_enter_data(ctx, device=0,
+                                         maps=[Map.to(A, (10, 20))])
+            assert omp.omp_target_is_present(A, 0, (12, 5))
+            assert not omp.omp_target_is_present(A, 0, (0, 5))
+            assert not omp.omp_target_is_present(A, 0)      # whole array
+            assert not omp.omp_target_is_present(A, 1, (12, 5))
+            # partial presence counts as absent
+            assert not omp.omp_target_is_present(A, 0, (25, 20))
+            yield from target_exit_data(ctx, device=0,
+                                        maps=[Map.release(A, (10, 20))])
+
+        rt.run(program)
+
+
+class TestWtime:
+    def test_wtime_is_virtual_clock(self):
+        rt = OpenMPRuntime(topology=uniform_node(1))
+        omp = api(rt)
+
+        def program(ctx):
+            t0 = omp.omp_get_wtime()
+            yield ctx.sim.timeout(2.5)
+            return omp.omp_get_wtime() - t0
+
+        assert rt.run(program) == pytest.approx(2.5)
+
+    def test_api_class_alias(self, rt):
+        assert isinstance(api(rt), OmpApi)

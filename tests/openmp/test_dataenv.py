@@ -1,0 +1,169 @@
+"""Unit tests for the per-device data environment (present table)."""
+
+import numpy as np
+import pytest
+
+from repro.device.device import Device
+from repro.openmp.dataenv import DeviceDataEnv
+from repro.openmp.mapping import Var
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.topology import DeviceSpec, HostSpec, LinkSpec
+from repro.sim.trace import Trace
+from repro.util.errors import OmpMappingError
+from repro.util.intervals import Interval
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    spec = DeviceSpec(memory_bytes=1e6)
+    dev = Device(sim, 0, spec, Resource(sim, 1), LinkSpec(),
+                 Resource(sim, 1), HostSpec(), CostModel(), Trace())
+    return DeviceDataEnv(dev)
+
+
+@pytest.fixture
+def var():
+    return Var("A", np.arange(100.0))
+
+
+class TestEnter:
+    def test_new_entry_allocates(self, env, var):
+        entry, is_new = env.enter(var, Interval(10, 20))
+        assert is_new
+        assert entry.refcount == 1
+        assert entry.buffer.shape == (10,)
+        assert env.live_entries == 1
+
+    def test_reenter_contained_increments(self, env, var):
+        env.enter(var, Interval(10, 30))
+        entry, is_new = env.enter(var, Interval(15, 25))
+        assert not is_new
+        assert entry.refcount == 2
+        assert env.live_entries == 1
+        assert env.reuse_count == 1
+
+    def test_exact_reenter_increments(self, env, var):
+        env.enter(var, Interval(0, 10))
+        entry, is_new = env.enter(var, Interval(0, 10))
+        assert not is_new and entry.refcount == 2
+
+    def test_extension_rejected(self, env, var):
+        env.enter(var, Interval(0, 10))
+        with pytest.raises(OmpMappingError, match="extend"):
+            env.enter(var, Interval(5, 15))
+
+    def test_extension_rejected_other_side(self, env, var):
+        env.enter(var, Interval(10, 20))
+        with pytest.raises(OmpMappingError, match="extend"):
+            env.enter(var, Interval(5, 15))
+
+    def test_disjoint_sections_coexist(self, env, var):
+        env.enter(var, Interval(0, 10))
+        env.enter(var, Interval(20, 30))
+        assert env.live_entries == 2
+
+    def test_adjacent_sections_coexist(self, env, var):
+        env.enter(var, Interval(0, 10))
+        env.enter(var, Interval(10, 20))
+        assert env.live_entries == 2
+
+    def test_empty_section_rejected(self, env, var):
+        with pytest.raises(OmpMappingError, match="empty"):
+            env.enter(var, Interval(3, 3))
+
+    def test_two_vars_same_data_are_independent(self, env):
+        arr = np.zeros(10)
+        a, b = Var("A", arr), Var("B", arr)
+        env.enter(a, Interval(0, 10))
+        env.enter(b, Interval(2, 8))  # would be an extension if same var
+        assert env.live_entries == 2
+
+
+class TestLookup:
+    def test_lookup_contained(self, env, var):
+        env.enter(var, Interval(10, 30))
+        assert env.lookup(var, Interval(12, 20)) is not None
+
+    def test_lookup_absent(self, env, var):
+        assert env.lookup(var, Interval(0, 5)) is None
+
+    def test_lookup_partial_presence_raises(self, env, var):
+        env.enter(var, Interval(0, 10))
+        with pytest.raises(OmpMappingError, match="partially present"):
+            env.lookup(var, Interval(5, 15))
+
+    def test_require_raises_when_absent(self, env, var):
+        with pytest.raises(OmpMappingError, match="not present"):
+            env.require(var, Interval(0, 5))
+
+
+class TestExit:
+    def test_refcount_decrement_keeps_entry(self, env, var):
+        env.enter(var, Interval(0, 10))
+        env.enter(var, Interval(0, 10))
+        entry, deleted = env.exit(var, Interval(0, 10))
+        assert not deleted and entry.refcount == 1
+        assert env.live_entries == 1
+
+    def test_zero_refcount_removes_entry(self, env, var):
+        entry0, _ = env.enter(var, Interval(0, 10))
+        entry, deleted = env.exit(var, Interval(0, 10))
+        assert deleted and entry is entry0
+        assert env.is_empty()
+        env.release_storage(entry)
+
+    def test_exit_with_subsection_finds_containing(self, env, var):
+        env.enter(var, Interval(0, 20))
+        entry, deleted = env.exit(var, Interval(5, 10))
+        assert deleted
+        assert entry.section == Interval(0, 20)
+
+    def test_force_delete_zeroes_refcount(self, env, var):
+        env.enter(var, Interval(0, 10))
+        env.enter(var, Interval(0, 10))
+        _entry, deleted = env.exit(var, Interval(0, 10), force_delete=True)
+        assert deleted
+
+    def test_exit_absent_raises(self, env, var):
+        with pytest.raises(OmpMappingError, match="not present"):
+            env.exit(var, Interval(0, 5))
+
+    def test_release_storage_frees_device_memory(self, env, var):
+        entry, _ = env.enter(var, Interval(0, 50))
+        used = env.device.allocator.used_bytes
+        assert used > 0
+        _entry, deleted = env.exit(var, Interval(0, 50))
+        env.release_storage(entry)
+        assert env.device.allocator.used_bytes == 0
+
+
+class TestEntrySlices:
+    def test_local_and_host_slices(self, env, var):
+        entry, _ = env.enter(var, Interval(10, 20))
+        assert entry.local_slice(Interval(12, 15)) == slice(2, 5)
+        assert entry.host_slice(Interval(12, 15)) == slice(12, 15)
+
+    def test_local_slice_outside_rejected(self, env, var):
+        entry, _ = env.enter(var, Interval(10, 20))
+        with pytest.raises(OmpMappingError):
+            entry.local_slice(Interval(5, 15))
+
+    def test_view_offset(self, env, var):
+        entry, _ = env.enter(var, Interval(10, 20))
+        view = entry.view()
+        assert view.start == 10 and view.stop == 20
+
+
+class TestInflight:
+    def test_wait_list_prunes_processed(self, env, var):
+        sim = env.device.sim
+        entry, _ = env.enter(var, Interval(0, 10))
+        ev1, ev2 = sim.event(), sim.event()
+        entry.track(ev1)
+        entry.track(ev2)
+        ev1.trigger(None)
+        sim.run()  # process ev1
+        assert entry.wait_list() == [ev2]

@@ -1,0 +1,137 @@
+"""Unit tests for data-based dependence resolution."""
+
+import numpy as np
+import pytest
+
+from repro.openmp.depend import Dep, DepKind, DependTracker, concretize_deps
+from repro.openmp.mapping import Var
+from repro.sim.engine import Simulator
+from repro.spread.sections import omp_spread_size, omp_spread_start
+from repro.util.errors import OmpSemaError
+from repro.util.intervals import Interval
+
+
+@pytest.fixture
+def tracker():
+    return DependTracker()
+
+
+@pytest.fixture
+def var():
+    return Var("A", np.zeros(100))
+
+
+def ev():
+    return Simulator().event()
+
+
+class TestConflicts:
+    def test_raw_read_after_write(self, tracker, var):
+        writer = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 10))], writer)
+        waits = tracker.resolve([(DepKind.IN, var, Interval(5, 8))])
+        assert waits == [writer]
+
+    def test_war_write_after_read(self, tracker, var):
+        reader = ev()
+        tracker.register([(DepKind.IN, var, Interval(0, 10))], reader)
+        waits = tracker.resolve([(DepKind.OUT, var, Interval(0, 10))])
+        assert waits == [reader]
+
+    def test_waw_write_after_write(self, tracker, var):
+        w1 = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 10))], w1)
+        waits = tracker.resolve([(DepKind.OUT, var, Interval(0, 10))])
+        assert waits == [w1]
+
+    def test_read_read_no_conflict(self, tracker, var):
+        r1 = ev()
+        tracker.register([(DepKind.IN, var, Interval(0, 10))], r1)
+        assert tracker.resolve([(DepKind.IN, var, Interval(0, 10))]) == []
+
+    def test_disjoint_sections_no_conflict(self, tracker, var):
+        w1 = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 10))], w1)
+        assert tracker.resolve([(DepKind.IN, var, Interval(10, 20))]) == []
+
+    def test_different_vars_no_conflict(self, tracker, var):
+        other = Var("B", np.zeros(100))
+        w1 = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 10))], w1)
+        assert tracker.resolve([(DepKind.INOUT, other, Interval(0, 10))]) == []
+
+    def test_inout_acts_as_writer(self, tracker, var):
+        t1 = ev()
+        tracker.register([(DepKind.INOUT, var, Interval(0, 10))], t1)
+        assert tracker.resolve([(DepKind.IN, var, Interval(0, 5))]) == [t1]
+
+    def test_waits_deduplicated(self, tracker, var):
+        w = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 5)),
+                          (DepKind.OUT, var, Interval(5, 10))], w)
+        waits = tracker.resolve([(DepKind.IN, var, Interval(0, 10))])
+        assert waits == [w]
+
+    def test_chain_of_writers(self, tracker, var):
+        w1, w2 = ev(), ev()
+        tracker.resolve_and_register([(DepKind.OUT, var, Interval(0, 10))], w1)
+        waits2 = tracker.resolve_and_register(
+            [(DepKind.OUT, var, Interval(0, 10))], w2)
+        assert waits2 == [w1]
+        # a reader now only needs w2 (w1 was pruned as fully covered)
+        waits3 = tracker.resolve([(DepKind.IN, var, Interval(0, 10))])
+        assert waits3 == [w2]
+
+
+class TestPruning:
+    def test_writer_prunes_covered_records(self, tracker, var):
+        w1 = ev()
+        tracker.register([(DepKind.OUT, var, Interval(2, 8))], w1)
+        assert tracker.frontier_size(var) == 1
+        w2 = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 10))], w2)
+        assert tracker.frontier_size(var) == 1
+
+    def test_partial_overlap_not_pruned(self, tracker, var):
+        w1 = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 10))], w1)
+        w2 = ev()
+        tracker.register([(DepKind.OUT, var, Interval(5, 15))], w2)
+        assert tracker.frontier_size(var) == 2
+
+    def test_frontier_stays_bounded_under_repeated_sweeps(self, tracker, var):
+        # the Somier pattern: the same chunks written every time step
+        for _step in range(50):
+            for lo in range(0, 100, 10):
+                tracker.resolve_and_register(
+                    [(DepKind.OUT, var, Interval(lo, lo + 10))], ev())
+        assert tracker.frontier_size(var) == 10
+
+    def test_clear(self, tracker, var):
+        tracker.register([(DepKind.OUT, var, Interval(0, 10))], ev())
+        tracker.clear()
+        assert tracker.frontier_size(var) == 0
+
+
+class TestDepConstructors:
+    def test_shorthands(self, var):
+        assert Dep.in_(var).kind is DepKind.IN
+        assert Dep.out(var).kind is DepKind.OUT
+        assert Dep.inout(var).kind is DepKind.INOUT
+        assert DepKind.OUT.writes and DepKind.INOUT.writes
+        assert not DepKind.IN.writes
+
+
+class TestConcretizeDeps:
+    def test_spread_sections_evaluated(self, var):
+        deps = [Dep.out(var, (omp_spread_start, omp_spread_size))]
+        out = concretize_deps(deps, spread_start=10, spread_size=5)
+        assert out == [(DepKind.OUT, var, Interval(10, 15))]
+
+    def test_whole_array_default(self, var):
+        out = concretize_deps([Dep.in_(var)])
+        assert out == [(DepKind.IN, var, Interval(0, 100))]
+
+    def test_non_dep_rejected(self, var):
+        with pytest.raises(OmpSemaError):
+            concretize_deps(["nope"])  # type: ignore[list-item]

@@ -1,0 +1,295 @@
+"""Unit tests for the shared directive-lowering machinery."""
+
+import numpy as np
+import pytest
+
+from repro.device.kernel import KernelSpec, LaunchConfig
+from repro.openmp import Map, MapType, OpenMPRuntime, Var
+from repro.openmp import exec_ops
+from repro.openmp.mapping import MapClause
+from repro.sim.costmodel import CostModel
+from repro.sim.topology import uniform_node
+from repro.util.errors import OmpAllocationError, OmpSemaError
+from repro.util.intervals import Interval
+
+
+def make_rt(memory=1e9, **kw):
+    return OpenMPRuntime(topology=uniform_node(1, memory_bytes=memory, **kw))
+
+
+def concrete(clause):
+    from repro.openmp.mapping import concretize_section
+
+    return (clause, concretize_section(clause.var, clause.section))
+
+
+class TestMapTypeValidation:
+    def test_enter_types(self):
+        v = Var("A", np.zeros(4))
+        exec_ops.enter_map_types([Map.to(v), Map.alloc(v)], "x")
+        with pytest.raises(OmpSemaError):
+            exec_ops.enter_map_types([Map.tofrom(v)], "x")
+
+    def test_exit_types(self):
+        v = Var("A", np.zeros(4))
+        exec_ops.exit_map_types([Map.from_(v), Map.release(v),
+                                 Map.delete(v)], "x")
+        with pytest.raises(OmpSemaError):
+            exec_ops.exit_map_types([Map.alloc(v)], "x")
+
+    def test_region_types(self):
+        v = Var("A", np.zeros(4))
+        exec_ops.region_map_types(
+            [Map.to(v), Map.from_(v), Map.tofrom(v), Map.alloc(v)], "x")
+        with pytest.raises(OmpSemaError):
+            exec_ops.region_map_types([Map.delete(v)], "x")
+
+
+class TestEnterOp:
+    def test_alloc_makes_no_copies(self):
+        rt = make_rt()
+        v = Var("A", np.arange(8.0))
+
+        def program(omp):
+            op = exec_ops.enter_op(rt, 0, [concrete(Map.alloc(v))])
+            yield omp.submit(op)
+
+        rt.run(program)
+        assert rt.devices[0].memcpy_calls == 0
+        assert rt.dataenvs[0].live_entries == 1
+
+    def test_reentry_no_copy(self):
+        rt = make_rt()
+        v = Var("A", np.arange(8.0))
+
+        def program(omp):
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.to(v))]))
+            calls = rt.devices[0].memcpy_calls
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.to(v))]))
+            assert rt.devices[0].memcpy_calls == calls
+
+        rt.run(program)
+
+    def test_tofrom_copies_in(self):
+        rt = make_rt()
+        v = Var("A", np.arange(8.0))
+
+        def program(omp):
+            yield omp.submit(exec_ops.enter_op(rt, 0,
+                                               [concrete(Map.tofrom(v))]))
+
+        rt.run(program)
+        assert rt.devices[0].memcpy_calls == 1
+
+
+class TestExitOp:
+    def test_release_no_copyback(self):
+        rt = make_rt()
+        A = np.arange(8.0)
+        v = Var("A", A)
+
+        def program(omp):
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.to(v))]))
+            A[:] = -1  # host change; release must NOT write it back
+            yield omp.submit(exec_ops.exit_op(rt, 0,
+                                              [concrete(Map.release(v))]))
+
+        rt.run(program)
+        assert np.all(A == -1)
+        assert rt.dataenvs[0].is_empty()
+
+    def test_from_copies_only_at_zero_refcount(self):
+        rt = make_rt()
+        A = np.arange(8.0)
+        v = Var("A", A)
+
+        def program(omp):
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.to(v))]))
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.to(v))]))
+            rt.dataenvs[0].entries_of(v)[0].buffer[:] = 99.0
+            yield omp.submit(exec_ops.exit_op(rt, 0,
+                                              [concrete(Map.from_(v))]))
+            assert np.all(A == np.arange(8.0))  # refcount 2 -> 1: no copy
+            yield omp.submit(exec_ops.exit_op(rt, 0,
+                                              [concrete(Map.from_(v))]))
+
+        rt.run(program)
+        assert np.all(A == 99.0)
+
+
+class TestBackpressure:
+    def test_enter_waits_for_memory_then_succeeds(self):
+        # memory fits exactly one 8-row buffer
+        rt = make_rt(memory=64.0)
+        a, b = Var("A", np.zeros(8)), Var("B", np.zeros(8))
+
+        def holder(ctx):
+            yield ctx.rt.sim.timeout(1.0)
+            yield ctx.submit(exec_ops.exit_op(rt, 0, [concrete(Map.release(a))]))
+
+        def program(omp):
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.alloc(a))]))
+            omp.task(holder)
+            # B cannot fit until A is freed at t=1
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.alloc(b))]))
+            return omp.sim.now
+
+        t = rt.run(program)
+        assert t >= 1.0
+        assert rt.dataenvs[0].live_entries == 1
+
+    def test_impossible_request_raises_immediately(self):
+        rt = make_rt(memory=32.0)
+        v = Var("A", np.zeros(8))  # 64 bytes > 32 capacity
+
+        def program(omp):
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.to(v))]))
+
+        with pytest.raises(OmpAllocationError):
+            rt.run(program)
+
+
+class TestKernelOp:
+    def test_implicit_maps_balance(self):
+        rt = make_rt()
+        v = Var("A", np.arange(8.0))
+        spec = KernelSpec("k", lambda lo, hi, env: None)
+
+        def program(omp):
+            op = exec_ops.kernel_op(rt, 0, spec, 0, 8,
+                                    [concrete(Map.tofrom(v))])
+            yield omp.submit(op)
+
+        rt.run(program)
+        assert rt.dataenvs[0].is_empty()
+        assert rt.devices[0].memcpy_calls == 2  # in + out
+
+    def test_extra_env_reaches_kernel(self):
+        rt = make_rt()
+        seen = {}
+        spec = KernelSpec("k", lambda lo, hi, env: seen.update(env))
+
+        def program(omp):
+            op = exec_ops.kernel_op(rt, 0, spec, 0, 1, [],
+                                    extra_env={"partial": 42})
+            yield omp.submit(op)
+
+        rt.run(program)
+        assert seen["partial"] == 42
+
+
+class TestUpdateOp:
+    def test_round_trip(self):
+        rt = make_rt()
+        A = np.arange(8.0)
+        v = Var("A", A)
+
+        def program(omp):
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.to(v))]))
+            entry = rt.dataenvs[0].entries_of(v)[0]
+            entry.buffer[:] = 7.0
+            op = exec_ops.update_op(rt, 0, [], [(v, Interval(2, 5))])
+            yield omp.submit(op)
+            assert np.array_equal(A, [0, 1, 7, 7, 7, 5, 6, 7])
+            A[:] = 3.0
+            op = exec_ops.update_op(rt, 0, [(v, Interval(0, 8))], [])
+            yield omp.submit(op)
+            assert np.all(entry.buffer == 3.0)
+            yield omp.submit(exec_ops.exit_op(rt, 0,
+                                              [concrete(Map.delete(v))]))
+
+        rt.run(program)
+
+
+class TestAllocFreeSync:
+    def test_free_waits_for_queued_work(self):
+        """cudaFree drains the device: an exit issued while a long kernel
+        is queued completes only after it."""
+        rt = make_rt()
+        v = Var("A", np.arange(8.0))
+        slow = KernelSpec("slow", lambda lo, hi, env: None,
+                          work_per_iter=1e12)
+
+        def program(omp):
+            yield omp.submit(exec_ops.enter_op(rt, 0, [concrete(Map.to(v))]))
+            # long kernel on the device queue (does not touch the entry)
+            other = Var("B", np.zeros(4))
+            op = exec_ops.kernel_op(rt, 0, slow, 0, 4,
+                                    [concrete(Map.alloc(other))])
+            omp.submit(op)
+            # let the kernel get past its dispatch latency and claim its
+            # stream slot before the exit is issued (cudaFree only drains
+            # work that is actually enqueued at call time)
+            yield omp.sim.timeout(0.01)
+            yield omp.submit(exec_ops.exit_op(rt, 0,
+                                              [concrete(Map.release(v))]))
+            return omp.sim.now
+
+        t = rt.run(program)
+        expected_kernel_time = 4 * 1e12 / rt.devices[0].spec.iters_per_second
+        assert t >= expected_kernel_time
+
+    def test_alloc_latency_charged_per_new_map(self):
+        rt = make_rt()
+        spec = rt.devices[0].spec
+        v = [Var(f"V{i}", np.zeros(4)) for i in range(3)]
+
+        def program(omp):
+            yield omp.submit(exec_ops.enter_op(
+                rt, 0, [concrete(Map.alloc(x)) for x in v]))
+            return omp.sim.now
+
+        t = rt.run(program)
+        assert t >= 3 * spec.alloc_latency
+
+
+class TestSubmitSpread:
+    def test_sibling_chunks_not_ordered_against_each_other(self):
+        """Two chunk ops with overlapping out-sections (position halos on
+        different devices) must run concurrently."""
+        rt = OpenMPRuntime(topology=uniform_node(2, memory_bytes=1e9),
+                           cost_model=CostModel(host_task_overhead=0.0))
+        v = Var("A", np.zeros(16))
+        starts = []
+
+        def op(tag):
+            starts.append((tag, rt.sim.now))
+            yield rt.sim.timeout(1.0)
+
+        from repro.openmp.depend import DepKind
+
+        def program(omp):
+            items = [
+                (0, op("a"), [], [(DepKind.OUT, v, Interval(0, 10))], "a"),
+                (1, op("b"), [], [(DepKind.OUT, v, Interval(8, 16))], "b"),
+            ]
+            procs = exec_ops.submit_spread(omp, items)
+            yield omp.sim.all_of(procs)
+
+        rt.run(program)
+        assert starts[0][1] == starts[1][1] == 0.0
+
+    def test_later_directive_sees_all_sibling_records(self):
+        rt = OpenMPRuntime(topology=uniform_node(2, memory_bytes=1e9),
+                           cost_model=CostModel(host_task_overhead=0.0))
+        v = Var("A", np.zeros(16))
+        log = []
+
+        def op(tag, dur):
+            yield rt.sim.timeout(dur)
+            log.append((tag, rt.sim.now))
+
+        from repro.openmp.depend import DepKind
+
+        def program(omp):
+            exec_ops.submit_spread(omp, [
+                (0, op("w0", 1.0), [], [(DepKind.OUT, v, Interval(0, 8))], "w0"),
+                (1, op("w1", 2.0), [], [(DepKind.OUT, v, Interval(8, 16))], "w1"),
+            ])
+            procs = exec_ops.submit_spread(omp, [
+                (0, op("r", 0.0), [], [(DepKind.IN, v, Interval(0, 16))], "r"),
+            ])
+            yield omp.sim.all_of(procs)
+
+        rt.run(program)
+        assert log[-1] == ("r", 2.0)  # reader waited for both writers

@@ -1,0 +1,112 @@
+"""Unit tests for Var, map clauses and section concretization."""
+
+import numpy as np
+import pytest
+
+from repro.openmp.mapping import (
+    Map,
+    MapClause,
+    MapType,
+    Var,
+    concretize_section,
+    validate_unique_vars,
+)
+from repro.spread.sections import omp_spread_size, omp_spread_start
+from repro.util.errors import OmpSemaError
+from repro.util.intervals import Interval
+
+
+class TestVar:
+    def test_basic_properties(self):
+        arr = np.zeros((6, 4), dtype=np.float32)
+        v = Var("A", arr)
+        assert v.extent == 6
+        assert v.row_nbytes == 4 * 4
+        assert v.key == id(v)
+
+    def test_identity_keyed(self):
+        arr = np.zeros(4)
+        assert Var("A", arr).key != Var("A", arr).key
+
+    def test_rejects_non_arrays(self):
+        with pytest.raises(TypeError):
+            Var("A", [1, 2, 3])  # type: ignore[arg-type]
+
+    def test_rejects_zero_dim_arrays(self):
+        with pytest.raises(ValueError):
+            Var("A", np.ones(()))
+
+
+class TestMapTypes:
+    def test_copy_directions(self):
+        assert MapType.TO.copies_in and not MapType.TO.copies_out
+        assert MapType.FROM.copies_out and not MapType.FROM.copies_in
+        assert MapType.TOFROM.copies_in and MapType.TOFROM.copies_out
+        assert not MapType.ALLOC.copies_in and not MapType.ALLOC.copies_out
+        assert not MapType.RELEASE.copies_out
+        assert not MapType.DELETE.copies_in
+
+    def test_constructors(self):
+        v = Var("A", np.zeros(4))
+        assert Map.to(v).map_type is MapType.TO
+        assert Map.from_(v).map_type is MapType.FROM
+        assert Map.tofrom(v).map_type is MapType.TOFROM
+        assert Map.alloc(v).map_type is MapType.ALLOC
+        assert Map.release(v).map_type is MapType.RELEASE
+        assert Map.delete(v).map_type is MapType.DELETE
+
+    def test_bad_section_shape(self):
+        v = Var("A", np.zeros(4))
+        with pytest.raises(OmpSemaError):
+            MapClause(MapType.TO, v, (1, 2, 3))  # type: ignore[arg-type]
+
+
+class TestConcretize:
+    def setup_method(self):
+        self.v = Var("A", np.zeros(20))
+
+    def test_none_is_whole_array(self):
+        assert concretize_section(self.v, None) == Interval(0, 20)
+
+    def test_plain_ints(self):
+        assert concretize_section(self.v, (3, 5)) == Interval(3, 8)
+
+    def test_spread_exprs(self):
+        section = (omp_spread_start - 1, omp_spread_size + 2)
+        iv = concretize_section(self.v, section, spread_start=5,
+                                spread_size=4)
+        # start = 5-1 = 4, length = 4+2 = 6
+        assert iv == Interval(4, 10)
+
+    def test_spread_exprs_outside_spread_rejected(self):
+        with pytest.raises(OmpSemaError, match="spread"):
+            concretize_section(self.v, (omp_spread_start, 4))
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(OmpSemaError, match="outside array extent"):
+            concretize_section(self.v, (15, 10))
+        with pytest.raises(OmpSemaError, match="outside array extent"):
+            concretize_section(self.v, (-1, 3))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(OmpSemaError, match="negative length"):
+            concretize_section(self.v, (0, -2))
+
+    def test_numpy_ints_accepted(self):
+        iv = concretize_section(self.v, (np.int64(2), np.int64(3)))
+        assert iv == Interval(2, 5)
+
+    def test_unsupported_expression(self):
+        with pytest.raises(OmpSemaError, match="unsupported"):
+            concretize_section(self.v, ("x", 3))  # type: ignore[arg-type]
+
+
+class TestUniqueVars:
+    def test_duplicate_rejected(self):
+        v = Var("A", np.zeros(4))
+        with pytest.raises(OmpSemaError, match="more than one map"):
+            validate_unique_vars([Map.to(v), Map.from_(v)], "target")
+
+    def test_distinct_ok(self):
+        a, b = Var("A", np.zeros(4)), Var("B", np.zeros(4))
+        validate_unique_vars([Map.to(a), Map.from_(b)], "target")

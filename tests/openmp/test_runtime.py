@@ -1,0 +1,99 @@
+"""Unit tests for the OpenMPRuntime object."""
+
+import pytest
+
+from repro.openmp.runtime import OpenMPRuntime
+from repro.sim.topology import cte_power_node, uniform_node
+from repro.util.errors import OmpDeviceError, OmpRuntimeError
+
+
+class TestConstruction:
+    def test_default_is_four_device_cte_power(self):
+        rt = OpenMPRuntime()
+        assert rt.num_devices == 4
+        assert len(rt.links) == 2  # two sockets
+
+    def test_devices_share_socket_link_resource(self):
+        rt = OpenMPRuntime(topology=cte_power_node(4))
+        assert rt.devices[0].link is rt.devices[1].link
+        assert rt.devices[2].link is rt.devices[3].link
+        assert rt.devices[0].link is not rt.devices[2].link
+
+    def test_all_devices_share_staging(self):
+        rt = OpenMPRuntime(topology=cte_power_node(4))
+        assert all(d.staging is rt.staging for d in rt.devices)
+
+    def test_device_bounds_check(self):
+        rt = OpenMPRuntime(topology=uniform_node(2))
+        rt.device(1)
+        with pytest.raises(OmpDeviceError):
+            rt.device(2)
+        with pytest.raises(OmpDeviceError):
+            rt.dataenv(-1)
+
+
+class TestRun:
+    def test_returns_program_value(self):
+        rt = OpenMPRuntime(topology=uniform_node(1))
+
+        def program(omp):
+            yield omp.sim.timeout(1.0)
+            return "value"
+
+        assert rt.run(program) == "value"
+        assert rt.elapsed == pytest.approx(1.0)
+
+    def test_run_twice_rejected(self):
+        rt = OpenMPRuntime(topology=uniform_node(1))
+
+        def program(omp):
+            yield omp.sim.timeout(0.0)
+
+        rt.run(program)
+        with pytest.raises(OmpRuntimeError, match="already ran"):
+            rt.run(program)
+
+    def test_program_args_passed(self):
+        rt = OpenMPRuntime(topology=uniform_node(1))
+
+        def program(omp, x, y):
+            yield omp.sim.timeout(0.0)
+            return x + y
+
+        assert rt.run(program, 2, 3) == 5
+
+    def test_program_exception_propagates(self):
+        rt = OpenMPRuntime(topology=uniform_node(1))
+
+        def program(omp):
+            yield omp.sim.timeout(1.0)
+            raise LookupError("bad")
+
+        with pytest.raises(LookupError):
+            rt.run(program)
+
+    def test_deadlock_reported(self):
+        rt = OpenMPRuntime(topology=uniform_node(1))
+
+        def stuck(ctx):
+            yield ctx.sim.event()  # never triggers
+
+        def program(omp):
+            omp.task(stuck, name="stuck-task")
+            yield omp.sim.timeout(0.0)
+
+        with pytest.raises(Exception, match="deadlock|never completed"):
+            rt.run(program)
+
+    def test_pending_device_ops_pruned(self):
+        rt = OpenMPRuntime(topology=uniform_node(1))
+
+        def op():
+            yield rt.sim.timeout(1.0)
+
+        def program(omp):
+            omp.submit(op())
+            yield from omp.taskwait()
+            assert rt.pending_device_ops() == []
+
+        rt.run(program)

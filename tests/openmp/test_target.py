@@ -1,0 +1,295 @@
+"""Unit tests for the single-device target directive set (the baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.device.kernel import KernelSpec
+from repro.openmp import (
+    Map,
+    OpenMPRuntime,
+    Var,
+    target,
+    target_data,
+    target_enter_data,
+    target_exit_data,
+    target_teams_distribute_parallel_for,
+    target_update,
+)
+from repro.openmp.depend import Dep
+from repro.sim.topology import uniform_node
+from repro.util.errors import OmpDeviceError, OmpMappingError, OmpSemaError
+
+
+def make_rt(n=1):
+    return OpenMPRuntime(topology=uniform_node(n, memory_bytes=1e9))
+
+
+def copy_kernel():
+    def body(lo, hi, env):
+        env["B"][lo:hi] = env["A"][lo:hi] * 2.0
+
+    return KernelSpec("double", body)
+
+
+class TestTargetConstruct:
+    def test_implicit_maps_round_trip(self):
+        rt = make_rt()
+        A, B = np.arange(10.0), np.zeros(10)
+        vA, vB = Var("A", A), Var("B", B)
+
+        def program(omp):
+            yield from target(omp, device=0, kernel=copy_kernel(),
+                              lo=0, hi=10,
+                              maps=[Map.to(vA), Map.from_(vB)])
+
+        rt.run(program)
+        assert np.array_equal(B, A * 2)
+        assert rt.dataenvs[0].is_empty()
+        # one copy in, one copy out
+        assert rt.devices[0].memcpy_calls == 2
+
+    def test_present_data_not_copied(self):
+        rt = make_rt()
+        A, B = np.arange(10.0), np.zeros(10)
+        vA, vB = Var("A", A), Var("B", B)
+
+        def program(omp):
+            yield from target_enter_data(omp, device=0,
+                                         maps=[Map.to(vA), Map.alloc(vB)])
+            calls_before = rt.devices[0].memcpy_calls
+            yield from target(omp, device=0, kernel=copy_kernel(),
+                              lo=0, hi=10,
+                              maps=[Map.to(vA), Map.to(vB)])
+            assert rt.devices[0].memcpy_calls == calls_before  # all present
+            yield from target_exit_data(omp, device=0,
+                                        maps=[Map.from_(vB),
+                                              Map.release(vA)])
+
+        rt.run(program)
+        assert np.array_equal(B, A * 2)
+
+    def test_host_array_untouched_until_exit(self):
+        rt = make_rt()
+        A, B = np.arange(10.0), np.zeros(10)
+        vA, vB = Var("A", A), Var("B", B)
+        snapshots = []
+
+        def program(omp):
+            yield from target_enter_data(omp, device=0,
+                                         maps=[Map.to(vA), Map.alloc(vB)])
+            yield from target(omp, device=0, kernel=copy_kernel(),
+                              lo=0, hi=10, maps=[Map.to(vA), Map.to(vB)])
+            snapshots.append(B.copy())  # device-only so far
+            yield from target_exit_data(omp, device=0,
+                                        maps=[Map.from_(vB),
+                                              Map.release(vA)])
+
+        rt.run(program)
+        assert np.all(snapshots[0] == 0.0)
+        assert np.array_equal(B, A * 2)
+
+    def test_bad_device_id(self):
+        rt = make_rt()
+        A = Var("A", np.zeros(4))
+
+        def program(omp):
+            yield from target_enter_data(omp, device=3, maps=[Map.to(A)])
+
+        with pytest.raises(OmpDeviceError):
+            rt.run(program)
+
+    def test_nowait_returns_task(self):
+        rt = make_rt()
+        A = np.arange(4.0)
+        vA, vB = Var("A", A), Var("B", np.zeros(4))
+
+        def program(omp):
+            proc = yield from target(omp, device=0, kernel=copy_kernel(),
+                                     lo=0, hi=4,
+                                     maps=[Map.to(vA), Map.from_(vB)],
+                                     nowait=True)
+            assert not proc.processed
+            yield proc
+
+        rt.run(program)
+
+    def test_depend_chains_targets(self):
+        rt = make_rt()
+        A, B, C = np.arange(8.0), np.zeros(8), np.zeros(8)
+        vA, vB, vC = Var("A", A), Var("B", B), Var("C", C)
+
+        def k1(lo, hi, env):
+            env["B"][lo:hi] = env["A"][lo:hi] + 1
+
+        def k2(lo, hi, env):
+            env["C"][lo:hi] = env["B"][lo:hi] * 3
+
+        def program(omp):
+            yield from target(omp, device=0, kernel=KernelSpec("k1", k1),
+                              lo=0, hi=8,
+                              maps=[Map.to(vA), Map.tofrom(vB)],
+                              nowait=True, depends=[Dep.out(vB)])
+            yield from target(omp, device=0, kernel=KernelSpec("k2", k2),
+                              lo=0, hi=8,
+                              maps=[Map.to(vB), Map.from_(vC)],
+                              nowait=True,
+                              depends=[Dep.in_(vB), Dep.out(vC)])
+            yield from omp.taskwait()
+
+        rt.run(program)
+        assert np.array_equal(C, (A + 1) * 3)
+
+
+class TestCombinedDirective:
+    def test_combined_is_faster_than_serial_target(self):
+        A = np.arange(64.0)
+
+        def run(combined):
+            rt = make_rt()
+            vA, vB = Var("A", A), Var("B", np.zeros(64))
+
+            def program(omp):
+                if combined:
+                    yield from target_teams_distribute_parallel_for(
+                        omp, device=0, kernel=copy_kernel(), lo=0, hi=64,
+                        maps=[Map.to(vA), Map.from_(vB)])
+                else:
+                    yield from target(omp, device=0, kernel=copy_kernel(),
+                                      lo=0, hi=64,
+                                      maps=[Map.to(vA), Map.from_(vB)])
+
+            rt.run(program)
+            return rt.elapsed
+
+        assert run(combined=True) < run(combined=False)
+
+
+class TestTargetData:
+    def test_structured_region_copies_at_end(self):
+        rt = make_rt()
+        A, B = np.arange(6.0), np.zeros(6)
+        vA, vB = Var("A", A), Var("B", B)
+
+        def program(omp):
+            region = yield from target_data(omp, device=0,
+                                            maps=[Map.to(vA),
+                                                  Map.tofrom(vB)])
+            yield from target(omp, device=0, kernel=copy_kernel(),
+                              lo=0, hi=6, maps=[Map.to(vA), Map.to(vB)])
+            yield from region.end()
+
+        rt.run(program)
+        assert np.array_equal(B, A * 2)
+        assert rt.dataenvs[0].is_empty()
+
+    def test_double_end_rejected(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(4))
+
+        def program(omp):
+            region = yield from target_data(omp, device=0, maps=[Map.to(vA)])
+            yield from region.end()
+            yield from region.end()
+
+        with pytest.raises(OmpSemaError, match="already closed"):
+            rt.run(program)
+
+
+class TestEnterExitData:
+    def test_map_type_validation(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(4))
+
+        def bad_enter(omp):
+            yield from target_enter_data(omp, device=0, maps=[Map.from_(vA)])
+
+        with pytest.raises(OmpSemaError, match="not allowed"):
+            rt.run(bad_enter)
+
+        rt2 = make_rt()
+
+        def bad_exit(omp):
+            yield from target_exit_data(omp, device=0, maps=[Map.to(vA)])
+
+        with pytest.raises(OmpSemaError, match="not allowed"):
+            rt2.run(bad_exit)
+
+    def test_refcounted_release(self):
+        rt = make_rt()
+        A = np.arange(4.0)
+        vA = Var("A", A)
+
+        def program(omp):
+            yield from target_enter_data(omp, device=0, maps=[Map.to(vA)])
+            yield from target_enter_data(omp, device=0, maps=[Map.to(vA)])
+            yield from target_exit_data(omp, device=0, maps=[Map.release(vA)])
+            assert not rt.dataenvs[0].is_empty()
+            yield from target_exit_data(omp, device=0, maps=[Map.release(vA)])
+            assert rt.dataenvs[0].is_empty()
+
+        rt.run(program)
+
+    def test_delete_ignores_refcount(self):
+        rt = make_rt()
+        vA = Var("A", np.arange(4.0))
+
+        def program(omp):
+            yield from target_enter_data(omp, device=0, maps=[Map.to(vA)])
+            yield from target_enter_data(omp, device=0, maps=[Map.to(vA)])
+            yield from target_exit_data(omp, device=0, maps=[Map.delete(vA)])
+
+        rt.run(program)
+        assert rt.dataenvs[0].is_empty()
+
+    def test_exit_without_enter_fails(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(4))
+
+        def program(omp):
+            yield from target_exit_data(omp, device=0, maps=[Map.from_(vA)])
+
+        with pytest.raises(OmpMappingError, match="not present"):
+            rt.run(program)
+
+
+class TestTargetUpdate:
+    def test_update_to_and_from(self):
+        rt = make_rt()
+        A = np.arange(8.0)
+        vA = Var("A", A)
+
+        def program(omp):
+            yield from target_enter_data(omp, device=0, maps=[Map.to(vA)])
+            A[:] = 100.0  # host-side change, device copy stale
+            yield from target_update(omp, device=0, to=[(vA, (0, 8))])
+
+            def read_back(lo, hi, env):
+                env["A"][lo:hi] = env["A"][lo:hi] + 1
+
+            yield from target(omp, device=0,
+                              kernel=KernelSpec("inc", read_back),
+                              lo=0, hi=8, maps=[Map.to(vA)])
+            yield from target_update(omp, device=0, from_=[(vA, (0, 8))])
+            yield from target_exit_data(omp, device=0, maps=[Map.release(vA)])
+
+        rt.run(program)
+        assert np.all(A == 101.0)
+
+    def test_update_requires_presence(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(4))
+
+        def program(omp):
+            yield from target_update(omp, device=0, to=[(vA, None)])
+
+        with pytest.raises(OmpMappingError, match="not present"):
+            rt.run(program)
+
+    def test_update_needs_a_direction(self):
+        rt = make_rt()
+
+        def program(omp):
+            yield from target_update(omp, device=0)
+
+        with pytest.raises(OmpSemaError, match="at least one"):
+            rt.run(program)

@@ -1,0 +1,100 @@
+"""Unit tests for the all-device taskgroup drain semantics.
+
+The paper's runtime behaviour (Discussion section): a taskgroup around
+device operations acts as "a barrier that synchronizes all devices".  The
+runtime reproduces it when ``taskgroup_global_drain`` is set (default) and
+reverts to spec-pure member-only taskgroups when cleared.
+"""
+
+import pytest
+
+from repro.openmp.runtime import OpenMPRuntime
+from repro.sim.costmodel import CostModel
+from repro.sim.topology import uniform_node
+
+
+def make_rt(drain: bool):
+    return OpenMPRuntime(topology=uniform_node(2, memory_bytes=1e9),
+                         cost_model=CostModel(host_task_overhead=0.0),
+                         taskgroup_global_drain=drain)
+
+
+def slow_op(rt, duration):
+    def op():
+        yield rt.sim.timeout(duration)
+
+    return op()
+
+
+class TestGlobalDrain:
+    def test_group_with_device_op_waits_foreign_ops(self):
+        rt = make_rt(drain=True)
+
+        def program(omp):
+            omp.submit(slow_op(rt, 10.0), name="foreign")  # outside group
+            tg = omp.taskgroup_begin()
+            omp.submit(slow_op(rt, 1.0), name="member")
+            yield from omp.taskgroup_end(tg)
+            return omp.sim.now
+
+        assert rt.run(program) == pytest.approx(10.0)
+
+    def test_pure_mode_waits_members_only(self):
+        rt = make_rt(drain=False)
+
+        def program(omp):
+            omp.submit(slow_op(rt, 10.0), name="foreign")
+            tg = omp.taskgroup_begin()
+            omp.submit(slow_op(rt, 1.0), name="member")
+            yield from omp.taskgroup_end(tg)
+            return omp.sim.now
+
+        assert rt.run(program) == pytest.approx(1.0)
+
+    def test_host_only_group_never_drains_devices(self):
+        """A taskgroup containing only host tasks stays member-scoped even
+        in drain mode (the barrier is about device operations)."""
+        rt = make_rt(drain=True)
+
+        def host_child(ctx):
+            yield ctx.sim.timeout(1.0)
+
+        def program(omp):
+            omp.submit(slow_op(rt, 10.0), name="foreign-device-op")
+            tg = omp.taskgroup_begin()
+            omp.task(host_child)
+            yield from omp.taskgroup_end(tg)
+            return omp.sim.now
+
+        assert rt.run(program) == pytest.approx(1.0)
+
+    def test_drain_covers_ops_issued_while_waiting(self):
+        """Device operations issued by other tasks *during* the drain are
+        collected too (the wait loops until nothing is pending)."""
+        rt = make_rt(drain=True)
+
+        def late_issuer(ctx):
+            yield ctx.sim.timeout(5.0)
+            ctx.submit(slow_op(rt, 5.0), name="late")
+
+        def program(omp):
+            omp.task(late_issuer)
+            tg = omp.taskgroup_begin()
+            omp.submit(slow_op(rt, 8.0), name="member")
+            yield from omp.taskgroup_end(tg)
+            return omp.sim.now
+
+        # member ends at 8; the late op (issued at 5) ends at 10
+        assert rt.run(program) == pytest.approx(10.0)
+
+    def test_empty_group_is_instant(self):
+        rt = make_rt(drain=True)
+
+        def program(omp):
+            omp.submit(slow_op(rt, 10.0), name="foreign")
+            tg = omp.taskgroup_begin()
+            yield from omp.taskgroup_end(tg)
+            return omp.sim.now
+
+        # no device-op members -> no drain
+        assert rt.run(program) == pytest.approx(0.0)

@@ -1,0 +1,264 @@
+"""Unit tests for tasks, taskwait, taskgroup and taskloop."""
+
+import pytest
+
+from repro.openmp.runtime import OpenMPRuntime
+from repro.sim.costmodel import CostModel
+from repro.sim.topology import uniform_node
+from repro.util.errors import OmpRuntimeError
+
+
+def make_rt(**kwargs):
+    # zero host-task overhead so assertions on virtual times are exact
+    return OpenMPRuntime(topology=uniform_node(1, memory_bytes=1e9),
+                         cost_model=CostModel(host_task_overhead=0.0),
+                         **kwargs)
+
+
+class TestTask:
+    def test_task_runs_async_and_returns_value(self):
+        rt = make_rt()
+        log = []
+
+        def child(ctx, tag):
+            yield ctx.sim.timeout(1.0)
+            log.append(tag)
+            return tag * 2
+
+        def program(omp):
+            handle = omp.task(child, 21)
+            log.append("spawned")
+            value = yield handle
+            return value
+
+        assert rt.run(program) == 42
+        assert log == ["spawned", 21]
+
+    def test_task_exception_reaches_joiner(self):
+        rt = make_rt()
+
+        def child(ctx):
+            yield ctx.sim.timeout(0.5)
+            raise RuntimeError("child failed")
+
+        def program(omp):
+            yield omp.task(child)
+
+        with pytest.raises(RuntimeError, match="child failed"):
+            rt.run(program)
+
+    def test_unjoined_failed_task_surfaces_at_run_end(self):
+        rt = make_rt()
+
+        def child(ctx):
+            yield ctx.sim.timeout(0.5)
+            raise ValueError("lost")
+
+        def program(omp):
+            omp.task(child)
+            yield omp.sim.timeout(0.1)
+
+        with pytest.raises(ValueError, match="lost"):
+            rt.run(program)
+
+
+class TestTaskwait:
+    def test_waits_direct_children(self):
+        rt = make_rt()
+        done = []
+
+        def child(ctx, delay):
+            yield ctx.sim.timeout(delay)
+            done.append(delay)
+
+        def program(omp):
+            omp.task(child, 3.0)
+            omp.task(child, 1.0)
+            yield from omp.taskwait()
+            return (sorted(done), omp.sim.now)
+
+        result = rt.run(program)
+        assert result == ([1.0, 3.0], 3.0)
+
+    def test_does_not_wait_grandchildren(self):
+        rt = make_rt()
+        log = []
+
+        def grandchild(ctx):
+            yield ctx.sim.timeout(10.0)
+            log.append("grand")
+
+        def child(ctx):
+            ctx.task(grandchild)
+            yield ctx.sim.timeout(1.0)
+
+        def program(omp):
+            omp.task(child)
+            yield from omp.taskwait()
+            return omp.sim.now
+
+        assert rt.run(program) == 1.0
+
+
+class TestTaskgroup:
+    def test_waits_descendants(self):
+        rt = make_rt()
+        log = []
+
+        def grandchild(ctx):
+            yield ctx.sim.timeout(5.0)
+            log.append("grand")
+
+        def child(ctx):
+            ctx.task(grandchild)
+            yield ctx.sim.timeout(1.0)
+            log.append("child")
+
+        def program(omp):
+            tg = omp.taskgroup_begin()
+            omp.task(child)
+            yield from omp.taskgroup_end(tg)
+            return omp.sim.now
+
+        assert rt.run(program) == 5.0
+        assert log == ["child", "grand"]
+
+    def test_members_spawned_while_waiting_are_collected(self):
+        rt = make_rt()
+
+        def late_child(ctx):
+            yield ctx.sim.timeout(4.0)
+
+        def late_spawner(ctx):
+            yield ctx.sim.timeout(1.0)
+            ctx.task(late_child)
+
+        def program(omp):
+            tg = omp.taskgroup_begin()
+            omp.task(late_spawner)
+            yield from omp.taskgroup_end(tg)
+            return omp.sim.now
+
+        assert rt.run(program) == 5.0
+
+    def test_nested_groups_close_innermost_first(self):
+        rt = make_rt()
+
+        def program(omp):
+            outer = omp.taskgroup_begin()
+            inner = omp.taskgroup_begin()
+            with pytest.raises(OmpRuntimeError, match="innermost"):
+                next(omp.taskgroup_end(outer), None)
+            yield from omp.taskgroup_end(inner)
+            yield from omp.taskgroup_end(outer)
+
+        rt.run(program)
+
+    def test_tasks_outside_group_not_waited(self):
+        rt = make_rt()
+
+        def slow(ctx):
+            yield ctx.sim.timeout(50.0)
+
+        def quick(ctx):
+            yield ctx.sim.timeout(1.0)
+
+        def program(omp):
+            omp.task(slow)  # outside any group
+            tg = omp.taskgroup_begin()
+            omp.task(quick)
+            yield from omp.taskgroup_end(tg)
+            return omp.sim.now
+
+        assert rt.run(program) == 1.0
+
+
+class TestTaskloop:
+    def test_num_tasks_contiguous_split(self):
+        rt = make_rt()
+        seen = {}
+
+        def body(ctx, item):
+            seen.setdefault(id(ctx), []).append(item)
+            yield ctx.sim.timeout(0.1)
+
+        def program(omp):
+            yield from omp.taskloop(list(range(6)), body, num_tasks=2)
+
+        rt.run(program)
+        groups = sorted(seen.values())
+        assert groups == [[0, 1, 2], [3, 4, 5]]
+
+    def test_uneven_split(self):
+        rt = make_rt()
+        counts = []
+
+        def body(ctx, item):
+            counts.append(item)
+            yield ctx.sim.timeout(0.0)
+
+        def program(omp):
+            yield from omp.taskloop(list(range(7)), body, num_tasks=3)
+
+        rt.run(program)
+        assert sorted(counts) == list(range(7))
+
+    def test_grainsize(self):
+        rt = make_rt()
+        seen = {}
+
+        def body(ctx, item):
+            seen.setdefault(id(ctx), []).append(item)
+            yield ctx.sim.timeout(0.0)
+
+        def program(omp):
+            yield from omp.taskloop(list(range(5)), body, grainsize=2)
+
+        rt.run(program)
+        sizes = sorted(len(v) for v in seen.values())
+        assert sizes == [1, 2, 2]
+
+    def test_implicit_taskgroup_waits(self):
+        rt = make_rt()
+
+        def body(ctx, item):
+            yield ctx.sim.timeout(item)
+
+        def program(omp):
+            yield from omp.taskloop([1.0, 2.0, 3.0], body, num_tasks=3)
+            return omp.sim.now
+
+        assert rt.run(program) == 3.0
+
+    def test_nogroup_returns_immediately(self):
+        rt = make_rt()
+
+        def body(ctx, item):
+            yield ctx.sim.timeout(5.0)
+
+        def program(omp):
+            yield from omp.taskloop([1, 2], body, num_tasks=2, nogroup=True)
+            return omp.sim.now
+
+        assert rt.run(program) == 0.0
+
+    def test_num_tasks_and_grainsize_exclusive(self):
+        rt = make_rt()
+
+        def body(ctx, item):
+            yield ctx.sim.timeout(0.0)
+
+        def program(omp):
+            yield from omp.taskloop([1], body, num_tasks=1, grainsize=1)
+
+        with pytest.raises(OmpRuntimeError, match="mutually exclusive"):
+            rt.run(program)
+
+    def test_bad_num_tasks(self):
+        rt = make_rt()
+
+        def program(omp):
+            yield from omp.taskloop([1], lambda c, i: iter(()), num_tasks=0)
+
+        with pytest.raises(OmpRuntimeError):
+            rt.run(program)

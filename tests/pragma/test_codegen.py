@@ -1,0 +1,203 @@
+"""Unit tests for pragma codegen (lowering to the runtime)."""
+
+import numpy as np
+import pytest
+
+from repro.device.kernel import KernelSpec
+from repro.openmp import OpenMPRuntime, Var
+from repro.pragma import parse_pragma
+from repro.pragma.codegen import eval_expr, eval_int, execute_pragma
+from repro.pragma import ast_nodes as A
+from repro.sim.topology import cte_power_node, uniform_node
+from repro.spread.sections import SpreadExpr
+from repro.util.errors import OmpSemaError
+
+
+def make_rt(n=4):
+    return OpenMPRuntime(topology=cte_power_node(n, memory_bytes=1e9))
+
+
+def stencil():
+    def body(lo, hi, env):
+        a, b = env["A"], env["B"]
+        b[lo:hi] = a[lo - 1:hi - 1] + a[lo:hi] + a[lo + 1:hi + 1]
+
+    return KernelSpec("stencil", body)
+
+
+class TestEvalExpr:
+    def get(self, text):
+        return parse_pragma(f"omp target device({text})").find(
+            A.DeviceClause).device
+
+    def test_arithmetic(self):
+        assert eval_expr(self.get("2*3+1"), {}) == 7
+
+    def test_symbols_resolved(self):
+        assert eval_expr(self.get("N-2"), {"N": 14}) == 12
+
+    def test_numpy_int_symbol(self):
+        assert eval_expr(self.get("N"), {"N": np.int32(5)}) == 5
+
+    def test_spread_symbols_build_affine_exprs(self):
+        expr = eval_expr(self.get("omp_spread_start - 1"), {})
+        assert isinstance(expr, SpreadExpr)
+        assert expr.evaluate(5, 0) == 4
+
+    def test_undefined_symbol(self):
+        with pytest.raises(OmpSemaError, match="undefined identifier"):
+            eval_expr(self.get("M"), {})
+
+    def test_array_in_scalar_position_rejected(self):
+        with pytest.raises(OmpSemaError, match="integer scalar"):
+            eval_expr(self.get("A"), {"A": Var("A", np.zeros(3))})
+
+    def test_nonaffine_product_rejected(self):
+        with pytest.raises(OmpSemaError, match="affine"):
+            eval_expr(self.get("omp_spread_start*omp_spread_size"), {})
+
+    def test_eval_int_rejects_symbolic(self):
+        with pytest.raises(OmpSemaError, match="integer expression"):
+            eval_int(self.get("omp_spread_size"), {}, "chunk")
+
+
+class TestExecutePragma:
+    def test_listing_4_end_to_end(self):
+        n = 14
+        rt = make_rt()
+        A, B = np.arange(float(n)), np.zeros(n)
+        symbols = {"A": Var("A", A), "B": Var("B", B), "N": n}
+
+        def program(omp):
+            yield from execute_pragma(
+                omp,
+                "omp target spread teams distribute parallel for "
+                "devices(2,0,1) spread_schedule(static, 4) num_teams(2) "
+                "map(to: A[omp_spread_start-1:omp_spread_size+2]) "
+                "map(from: B[omp_spread_start:omp_spread_size])",
+                symbols, body=stencil(), loop=(1, n - 1))
+
+        rt.run(program)
+        expect = np.zeros(n)
+        expect[1:n - 1] = A[0:n - 2] + A[1:n - 1] + A[2:n]
+        assert np.array_equal(B, expect)
+
+    def test_enter_compute_exit_flow(self):
+        n = 26
+        rt = make_rt()
+        A = np.arange(float(n))
+        symbols = {"A": Var("A", A), "N": n}
+
+        def plus(lo, hi, env):
+            env["A"][lo:hi] = env["A"][lo:hi] + 1
+
+        def program(omp):
+            yield from execute_pragma(
+                omp,
+                "omp target enter data spread devices(0,1) range(0:N) "
+                "chunk_size(13) map(to: A[omp_spread_start:omp_spread_size])",
+                symbols)
+            yield from execute_pragma(
+                omp,
+                "omp target spread devices(0,1) "
+                "spread_schedule(static, 13) "
+                "map(to: A[omp_spread_start:omp_spread_size])",
+                symbols, body=KernelSpec("plus", plus), loop=(0, n))
+            yield from execute_pragma(
+                omp,
+                "omp target exit data spread devices(0,1) range(0:N) "
+                "chunk_size(13) "
+                "map(from: A[omp_spread_start:omp_spread_size])",
+                symbols)
+
+        rt.run(program)
+        assert np.array_equal(A, np.arange(float(n)) + 1)
+
+    def test_single_device_target_with_device_expr(self):
+        n = 10
+        rt = make_rt()
+        A, B = np.arange(float(n)), np.zeros(n)
+        symbols = {"A": Var("A", A), "B": Var("B", B), "d": 1}
+
+        def program(omp):
+            yield from execute_pragma(
+                omp,
+                "omp target teams distribute parallel for device(d) "
+                "map(to: A) map(from: B[1:8])",
+                symbols, body=stencil(), loop=(1, n - 1))
+
+        rt.run(program)
+        assert rt.devices[1].kernels_launched == 1
+
+    def test_update_pragma(self):
+        n = 8
+        rt = make_rt(1)
+        A = np.arange(float(n))
+        symbols = {"A": Var("A", A), "N": n}
+
+        def program(omp):
+            yield from execute_pragma(
+                omp, "omp target enter data device(0) map(to: A)", symbols)
+            A[:] = 5.0
+            yield from execute_pragma(
+                omp, "omp target update device(0) to(A[0:N])", symbols)
+            yield from execute_pragma(
+                omp, "omp target exit data device(0) map(from: A)", symbols)
+
+        rt.run(program)
+        assert np.all(A == 5.0)
+
+    def test_structured_data_region_object_returned(self):
+        rt = make_rt(1)
+        A = np.arange(4.0)
+        symbols = {"A": Var("A", A)}
+
+        def program(omp):
+            region = yield from execute_pragma(
+                omp, "omp target data device(0) map(tofrom: A)", symbols)
+            yield from region.end()
+
+        rt.run(program)
+        assert rt.dataenvs[0].is_empty()
+
+    def test_executable_without_loop_rejected(self):
+        rt = make_rt()
+
+        def program(omp):
+            yield from execute_pragma(
+                omp, "omp target spread devices(0)", {})
+
+        with pytest.raises(OmpSemaError, match="must be a loop"):
+            rt.run(program)
+
+    def test_raw_ndarray_symbol_gets_helpful_error(self):
+        rt = make_rt()
+
+        def program(omp):
+            yield from execute_pragma(
+                omp, "omp target enter data device(0) map(to: A)",
+                {"A": np.zeros(4)})
+
+        with pytest.raises(OmpSemaError, match="wrap it in"):
+            rt.run(program)
+
+    def test_sema_runs_with_runtime_extensions(self):
+        """A runtime with data_depend enabled accepts Listing 13."""
+        from repro.spread import extensions as ext
+        n = 8
+        rt = make_rt(1)
+        ext.enable(rt, data_depend=True)
+        A = np.arange(float(n))
+        symbols = {"A": Var("A", A), "N": n}
+
+        def program(omp):
+            yield from execute_pragma(
+                omp,
+                "omp target enter data spread devices(0) range(0:N) "
+                "chunk_size(4) nowait "
+                "map(to: A[omp_spread_start:omp_spread_size]) "
+                "depend(out: A[omp_spread_start:omp_spread_size])",
+                symbols)
+            yield from omp.taskwait()
+
+        rt.run(program)

@@ -1,0 +1,71 @@
+"""Unit tests for the pragma lexer."""
+
+import pytest
+
+from repro.pragma.lexer import Token, TokenKind, tokenize
+from repro.util.errors import OmpSyntaxError
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_directive_words(self):
+        toks = tokenize("omp target spread")
+        assert [t.text for t in toks[:-1]] == ["omp", "target", "spread"]
+        assert toks[-1].kind is TokenKind.EOF
+
+    def test_punctuation(self):
+        assert kinds("( ) [ ] : , + - *")[:-1] == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACKET,
+            TokenKind.RBRACKET, TokenKind.COLON, TokenKind.COMMA,
+            TokenKind.PLUS, TokenKind.MINUS, TokenKind.STAR]
+
+    def test_numbers(self):
+        toks = tokenize("devices(2,0,1)")
+        nums = [t.text for t in toks if t.kind is TokenKind.NUM]
+        assert nums == ["2", "0", "1"]
+
+    def test_identifiers_with_underscores(self):
+        assert "omp_spread_start" in texts("A[omp_spread_start-1:4]")
+
+    def test_positions_recorded(self):
+        toks = tokenize("map(to: A)")
+        m = toks[0]
+        assert m.text == "map" and m.pos == 0
+        a = [t for t in toks if t.text == "A"][0]
+        assert a.pos == 8
+
+    def test_line_continuations_ignored(self):
+        src = "omp target \\\n  device(0) \\\n  map(to: A[0:4])"
+        assert "device" in texts(src)
+
+    def test_whitespace_insensitive(self):
+        assert texts("a ( 1 )") == texts("a(1)")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(OmpSyntaxError, match="unexpected character"):
+            tokenize("map(to: A@B)")
+
+    def test_malformed_number(self):
+        with pytest.raises(OmpSyntaxError, match="malformed number"):
+            tokenize("device(2x)")
+
+    def test_error_carries_caret(self):
+        try:
+            tokenize("abc $")
+        except OmpSyntaxError as err:
+            assert "^" in str(err)
+        else:  # pragma: no cover
+            pytest.fail("expected OmpSyntaxError")
+
+    def test_empty_input_just_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is TokenKind.EOF

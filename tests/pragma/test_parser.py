@@ -1,0 +1,188 @@
+"""Unit tests for the pragma parser."""
+
+import pytest
+
+from repro.pragma import ast_nodes as A
+from repro.pragma.parser import parse_pragma
+from repro.util.errors import OmpSyntaxError
+
+_D = A.DirectiveKind
+
+
+class TestDirectiveNames:
+    @pytest.mark.parametrize("src,kind", [
+        ("omp target", _D.TARGET),
+        ("omp target teams distribute parallel for", _D.TARGET_TEAMS_DPF),
+        ("omp target teams distribute parallel for simd",
+         _D.TARGET_TEAMS_DPF),
+        ("omp target data", _D.TARGET_DATA),
+        ("omp target enter data", _D.TARGET_ENTER_DATA),
+        ("omp target exit data", _D.TARGET_EXIT_DATA),
+        ("omp target update", _D.TARGET_UPDATE),
+        ("omp target spread", _D.TARGET_SPREAD),
+        ("omp target spread teams distribute parallel for",
+         _D.TARGET_SPREAD_TEAMS_DPF),
+        ("omp target data spread", _D.TARGET_DATA_SPREAD),
+        ("omp target enter data spread", _D.TARGET_ENTER_DATA_SPREAD),
+        ("omp target exit data spread", _D.TARGET_EXIT_DATA_SPREAD),
+        ("omp target update spread", _D.TARGET_UPDATE_SPREAD),
+    ])
+    def test_all_kinds(self, src, kind):
+        assert parse_pragma(src).kind is kind
+
+    def test_pragma_prefix_tolerated(self):
+        assert parse_pragma("#pragma omp target").kind is _D.TARGET
+        assert parse_pragma("pragma omp target").kind is _D.TARGET
+
+    def test_kind_classification(self):
+        assert _D.TARGET_SPREAD.is_spread and _D.TARGET_SPREAD.is_executable
+        assert _D.TARGET_ENTER_DATA_SPREAD.is_data
+        assert not _D.TARGET.is_spread
+
+    def test_missing_omp_rejected(self):
+        with pytest.raises(OmpSyntaxError):
+            parse_pragma("target spread")
+
+    def test_incomplete_combined_rejected(self):
+        with pytest.raises(OmpSyntaxError, match="distribute"):
+            parse_pragma("omp target teams parallel for")
+
+
+class TestClauses:
+    def test_devices_list(self):
+        d = parse_pragma("omp target spread devices(2,0,1)")
+        clause = d.find(A.DevicesClause)
+        assert [e.value for e in clause.devices] == [2, 0, 1]
+
+    def test_device_expr(self):
+        d = parse_pragma("omp target device(1+2)")
+        clause = d.find(A.DeviceClause)
+        assert isinstance(clause.device, A.BinOp)
+
+    def test_spread_schedule(self):
+        d = parse_pragma("omp target spread devices(0) "
+                         "spread_schedule(static, 4)")
+        clause = d.find(A.SpreadScheduleClause)
+        assert clause.kind == "static"
+        assert clause.chunk == A.Num(4)
+
+    def test_spread_schedule_without_chunk(self):
+        d = parse_pragma("omp target spread devices(0) "
+                         "spread_schedule(static)")
+        assert d.find(A.SpreadScheduleClause).chunk is None
+
+    def test_range_and_chunk_size(self):
+        d = parse_pragma("omp target data spread devices(0) range(1:12) "
+                         "chunk_size(4)")
+        rng = d.find(A.RangeClause)
+        assert rng.start == A.Num(1) and rng.length == A.Num(12)
+        assert d.find(A.ChunkSizeClause).chunk == A.Num(4)
+
+    def test_map_with_type_and_sections(self):
+        d = parse_pragma(
+            "omp target enter data spread devices(0) range(1:12) "
+            "chunk_size(4) "
+            "map(to: A[omp_spread_start-1:omp_spread_size+2], B[0:4])")
+        m = d.find(A.MapClauseNode)
+        assert m.map_type == "to"
+        assert [s.name for s in m.items] == ["A", "B"]
+        assert isinstance(m.items[0].start, A.BinOp)
+
+    def test_map_default_tofrom(self):
+        d = parse_pragma("omp target map(A[0:4])")
+        assert d.find(A.MapClauseNode).map_type == "tofrom"
+
+    def test_map_whole_array(self):
+        d = parse_pragma("omp target map(to: A)")
+        item = d.find(A.MapClauseNode).items[0]
+        assert item.whole_array
+
+    def test_update_motion(self):
+        d = parse_pragma("omp target update to(A[0:4]) from(B[1:3])")
+        motions = d.find_all(A.MotionClause)
+        assert {m.direction for m in motions} == {"to", "from"}
+
+    def test_depend(self):
+        d = parse_pragma("omp target spread devices(0) "
+                         "depend(out: B[omp_spread_start:omp_spread_size])")
+        dep = d.find(A.DependClause)
+        assert dep.kind == "out"
+        assert dep.items[0].name == "B"
+
+    def test_depend_bad_kind(self):
+        with pytest.raises(OmpSyntaxError, match="dependence kind"):
+            parse_pragma("omp target depend(onto: A[0:1])")
+
+    def test_nowait_num_teams_thread_limit(self):
+        d = parse_pragma("omp target teams distribute parallel for "
+                         "num_teams(2) thread_limit(64) nowait")
+        assert d.find(A.NowaitClause) is not None
+        assert d.find(A.NumTeamsClause).value == A.Num(2)
+        assert d.find(A.ThreadLimitClause).value == A.Num(64)
+
+    def test_unknown_clause(self):
+        with pytest.raises(OmpSyntaxError, match="unknown clause"):
+            parse_pragma("omp target foobar(3)")
+
+
+class TestExpressions:
+    def get_expr(self, text):
+        d = parse_pragma(f"omp target device({text})")
+        return d.find(A.DeviceClause).device
+
+    def test_precedence_mul_over_add(self):
+        expr = self.get_expr("1+2*3")
+        assert isinstance(expr, A.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, A.BinOp) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self.get_expr("(1+2)*3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, A.BinOp) and expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = self.get_expr("-N")
+        assert isinstance(expr, A.BinOp) and expr.op == "-"
+        assert expr.left == A.Num(0)
+
+    def test_idents_collected(self):
+        expr = self.get_expr("N*M - omp_spread_start")
+        assert expr.idents() == {"N", "M"}
+
+    def test_left_associative_subtraction(self):
+        expr = self.get_expr("10-3-2")
+        # (10-3)-2
+        assert expr.op == "-" and isinstance(expr.left, A.BinOp)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(OmpSyntaxError):
+            parse_pragma("omp target device(1))")
+
+
+class TestListingsVerbatim:
+    def test_listing_3(self):
+        src = (r"omp target spread devices(2,0,1) "
+               r"spread_schedule(static, 4) "
+               r"map(to: A[omp_spread_start-1:omp_spread_size+2]) "
+               r"map(from:B[omp_spread_start :omp_spread_size ])")
+        d = parse_pragma(src)
+        assert d.kind is _D.TARGET_SPREAD
+        assert len(d.find_all(A.MapClauseNode)) == 2
+
+    def test_listing_5(self):
+        src = ("omp target data spread devices(2,0,1) range(1:12) "
+               "chunk_size(4) "
+               "map(tofrom:A[omp_spread_start-1:omp_spread_size+2], "
+               "B[omp_spread_start:omp_spread_size])")
+        d = parse_pragma(src)
+        assert d.kind is _D.TARGET_DATA_SPREAD
+        assert len(d.find(A.MapClauseNode).items) == 2
+
+    def test_listing_7(self):
+        src = ("omp target update spread devices(2,0,1) range(1:12) "
+               "chunk_size(4) nowait "
+               "to( A[omp_spread_start-1:omp_spread_size+2]) "
+               "from(B[omp_spread_start :omp_spread_size ])")
+        d = parse_pragma(src)
+        assert d.kind is _D.TARGET_UPDATE_SPREAD
+        assert len(d.find_all(A.MotionClause)) == 2

@@ -1,0 +1,128 @@
+"""Unit tests for semantic checking of directives."""
+
+import pytest
+
+from repro.pragma.parser import parse_pragma
+from repro.pragma.sema import check_directive
+from repro.spread.extensions import Extensions
+from repro.util.errors import OmpSemaError
+
+
+def check(src, ext=None):
+    check_directive(parse_pragma(src), extensions=ext)
+
+
+def rejects(src, match, ext=None):
+    with pytest.raises(OmpSemaError, match=match):
+        check(src, ext=ext)
+
+
+class TestClauseAdmissibility:
+    def test_device_on_spread_rejected(self):
+        rejects("omp target spread devices(0) device(1)", "not allowed")
+
+    def test_devices_on_plain_target_rejected(self):
+        rejects("omp target devices(0,1)", "not allowed")
+
+    def test_num_teams_needs_combined_directive(self):
+        rejects("omp target num_teams(2)", "not allowed")
+        check("omp target teams distribute parallel for num_teams(2)")
+
+    def test_range_only_on_data_spread(self):
+        rejects("omp target spread devices(0) range(0:4)", "not allowed")
+
+    def test_spread_schedule_not_on_data_spread(self):
+        rejects("omp target data spread devices(0) range(0:4) chunk_size(2) "
+                "spread_schedule(static, 2)", "not allowed")
+
+    def test_duplicate_singleton_clause(self):
+        rejects("omp target device(0) device(1)", "more than once")
+        rejects("omp target spread devices(0) nowait nowait", "more than once")
+
+
+class TestRequiredClauses:
+    def test_spread_requires_devices(self):
+        rejects("omp target spread", "devices")
+
+    def test_data_spread_requires_range_and_chunk(self):
+        rejects("omp target data spread devices(0) chunk_size(2)", "range")
+        rejects("omp target data spread devices(0) range(0:4)", "chunk_size")
+        check("omp target data spread devices(0) range(0:4) chunk_size(2)")
+
+    def test_update_requires_motion(self):
+        rejects("omp target update device(0)", "motion")
+
+    def test_empty_devices_rejected(self):
+        # devices() with no args fails in the parser as an expression error
+        from repro.util.errors import OmpSyntaxError
+        with pytest.raises(OmpSyntaxError):
+            parse_pragma("omp target spread devices()")
+
+
+class TestPaperRestrictions:
+    def test_no_nowait_on_target_data_spread(self):
+        rejects("omp target data spread devices(0) range(0:4) chunk_size(2) "
+                "nowait", "not allowed")
+
+    def test_no_depend_on_target_data_spread(self):
+        rejects("omp target data spread devices(0) range(0:4) chunk_size(2) "
+                "depend(in: A[0:4])", "not allowed")
+
+    def test_depend_on_enter_data_spread_is_future_work(self):
+        src = ("omp target enter data spread devices(0) range(0:4) "
+               "chunk_size(2) map(to: A[0:2]) depend(out: A[0:2])")
+        rejects(src, "future work")
+        check(src, ext=Extensions(data_depend=True))
+
+    def test_depend_on_update_spread_is_future_work(self):
+        src = ("omp target update spread devices(0) range(0:4) "
+               "chunk_size(2) to(A[0:2]) depend(in: A[0:2])")
+        rejects(src, "future work")
+        check(src, ext=Extensions(data_depend=True))
+
+    def test_only_static_schedule(self):
+        src = "omp target spread devices(0) spread_schedule(dynamic, 4)"
+        rejects(src, "only 'static'")
+        check(src, ext=Extensions(schedules=True))
+
+    def test_unknown_schedule_kind_always_rejected(self):
+        rejects("omp target spread devices(0) spread_schedule(guided, 4)",
+                "unknown", ext=Extensions(schedules=True))
+
+
+class TestMapTypes:
+    def test_enter_accepts_to_alloc_only(self):
+        check("omp target enter data device(0) map(to: A) map(alloc: B)")
+        rejects("omp target enter data device(0) map(from: A)", "map type")
+        rejects("omp target enter data device(0) map(tofrom: A)", "map type")
+
+    def test_exit_accepts_from_release_delete(self):
+        check("omp target exit data device(0) map(from: A) "
+              "map(release: B) map(delete: C)")
+        rejects("omp target exit data device(0) map(to: A)", "map type")
+
+    def test_target_accepts_region_types(self):
+        check("omp target map(to: A) map(from: B) map(tofrom: C) "
+              "map(alloc: D)")
+        rejects("omp target map(release: A)", "map type")
+
+
+class TestSpreadSymbols:
+    def test_allowed_in_spread_sections(self):
+        check("omp target spread devices(0) "
+              "map(to: A[omp_spread_start:omp_spread_size])")
+
+    def test_rejected_in_non_spread_sections(self):
+        rejects("omp target map(to: A[omp_spread_start:4])", "spread")
+
+    def test_rejected_in_scalar_clauses(self):
+        rejects("omp target spread devices(0) "
+                "spread_schedule(static, omp_spread_size)",
+                "array sections")
+        rejects("omp target spread devices(omp_spread_start)",
+                "devices clause")
+
+    def test_rejected_in_range(self):
+        rejects("omp target data spread devices(0) "
+                "range(omp_spread_start:4) chunk_size(2)",
+                "array sections")

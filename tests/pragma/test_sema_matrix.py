@@ -1,0 +1,136 @@
+"""Exhaustive clause-admissibility matrix across all 12 directives.
+
+For every (directive, clause) pair, sema must accept exactly the
+combinations the reference table in ``docs/directives.md`` documents.
+Parameterized into ~100 individual cases so a regression pinpoints the
+exact broken pair.
+"""
+
+import pytest
+
+from repro.pragma.parser import parse_pragma
+from repro.pragma.sema import check_directive
+from repro.spread.extensions import Extensions
+from repro.util.errors import OmpSemaError
+
+#: minimal valid clause text per clause name
+CLAUSE_TEXT = {
+    "device": "device(0)",
+    "devices": "devices(0,1)",
+    "spread_schedule": "spread_schedule(static, 4)",
+    "range": "range(0:8)",
+    "chunk_size": "chunk_size(2)",
+    "map": "map(tofrom: A[0:4])",
+    "to": "to(A[0:4])",
+    "from": "from(A[0:4])",
+    "depend": "depend(in: A[0:4])",
+    "nowait": "nowait",
+    "num_teams": "num_teams(2)",
+    "thread_limit": "thread_limit(8)",
+}
+
+#: required boilerplate so each directive parses/validates on its own
+BOILERPLATE = {
+    "target": "",
+    "target teams distribute parallel for": "",
+    "target data": "map(to: A[0:4])",
+    "target enter data": "map(to: A[0:4])",
+    "target exit data": "map(from: A[0:4])",
+    "target update": "to(A[0:4])",
+    "target spread": "devices(0,1)",
+    "target spread teams distribute parallel for": "devices(0,1)",
+    "target data spread": "devices(0,1) range(0:8) chunk_size(2)",
+    "target enter data spread": "devices(0,1) range(0:8) chunk_size(2)",
+    "target exit data spread":
+        "devices(0,1) range(0:8) chunk_size(2) map(from: A[0:4])",
+    "target update spread":
+        "devices(0,1) range(0:8) chunk_size(2) to(A[0:4])",
+}
+
+#: clause -> directives where it is ALLOWED (everything else must reject)
+ALLOWED = {
+    "device": {"target", "target teams distribute parallel for",
+               "target data", "target enter data", "target exit data",
+               "target update"},
+    "devices": {"target spread",
+                "target spread teams distribute parallel for",
+                "target data spread", "target enter data spread",
+                "target exit data spread", "target update spread"},
+    "spread_schedule": {"target spread",
+                        "target spread teams distribute parallel for"},
+    "range": {"target data spread", "target enter data spread",
+              "target exit data spread", "target update spread"},
+    "chunk_size": {"target data spread", "target enter data spread",
+                   "target exit data spread", "target update spread"},
+    "nowait": {"target", "target teams distribute parallel for",
+               "target enter data", "target exit data", "target update",
+               "target spread", "target spread teams distribute parallel for",
+               "target enter data spread", "target exit data spread",
+               "target update spread"},
+    "num_teams": {"target teams distribute parallel for",
+                  "target spread teams distribute parallel for"},
+    "thread_limit": {"target teams distribute parallel for",
+                     "target spread teams distribute parallel for"},
+    "to": {"target update", "target update spread"},
+    "from": {"target update", "target update spread"},
+}
+
+#: map types acceptable per data-directive family
+MAP_ALLOWED = {
+    "target": "tofrom", "target teams distribute parallel for": "tofrom",
+    "target data": "tofrom", "target data spread": "tofrom",
+    "target spread": "tofrom",
+    "target spread teams distribute parallel for": "tofrom",
+    "target enter data": "to", "target enter data spread": "to",
+    "target exit data": "from", "target exit data spread": "from",
+}
+
+DIRECTIVES = list(BOILERPLATE)
+MATRIX_CLAUSES = [c for c in CLAUSE_TEXT if c not in ("map", "depend")]
+
+
+def build(directive: str, clause: str) -> str:
+    boiler = BOILERPLATE[directive]
+    text = CLAUSE_TEXT[clause]
+    # avoid duplicating a clause already in the boilerplate
+    if text.split("(")[0] in boiler:
+        pytest.skip("clause already part of the directive's boilerplate")
+    return f"omp {directive} {boiler} {text}"
+
+
+@pytest.mark.parametrize("directive", DIRECTIVES)
+@pytest.mark.parametrize("clause", MATRIX_CLAUSES)
+def test_admissibility_matrix(directive, clause):
+    src = build(directive, clause)
+    allowed = directive in ALLOWED.get(clause, set())
+    if allowed:
+        check_directive(parse_pragma(src))
+    else:
+        with pytest.raises(OmpSemaError):
+            check_directive(parse_pragma(src))
+
+
+@pytest.mark.parametrize("directive,map_type", sorted(MAP_ALLOWED.items()))
+def test_map_accepted_with_family_type(directive, map_type):
+    boiler = BOILERPLATE[directive]
+    if "map(" in boiler:
+        boiler = boiler[:boiler.index("map(")]
+    src = f"omp {directive} {boiler} map({map_type}: B[0:4])"
+    check_directive(parse_pragma(src))
+
+
+@pytest.mark.parametrize("directive", ["target update",
+                                       "target update spread"])
+def test_map_rejected_on_update(directive):
+    src = f"omp {directive} {BOILERPLATE[directive]} map(to: B[0:4])"
+    with pytest.raises(OmpSemaError):
+        check_directive(parse_pragma(src))
+
+
+def test_matrix_is_complete():
+    """Every directive appears in the matrix and every clause is covered
+    somewhere (guards against the tables drifting apart)."""
+    for clause, dirs in ALLOWED.items():
+        assert dirs <= set(DIRECTIVES), clause
+    accepted_anywhere = set().union(*ALLOWED.values())
+    assert accepted_anywhere == set(DIRECTIVES)

@@ -1,0 +1,36 @@
+"""The optional ``simd`` suffix of the combined directives is preserved."""
+
+import pytest
+
+from repro.pragma.parser import parse_pragma
+from repro.pragma.unparse import unparse_directive
+
+
+class TestSimdSuffix:
+    def test_recorded_on_combined(self):
+        d = parse_pragma("omp target teams distribute parallel for simd")
+        assert d.simd_suffix
+
+    def test_absent_by_default(self):
+        d = parse_pragma("omp target teams distribute parallel for")
+        assert not d.simd_suffix
+        assert not parse_pragma("omp target").simd_suffix
+
+    def test_recorded_on_spread_combined(self):
+        d = parse_pragma(
+            "omp target spread teams distribute parallel for simd "
+            "devices(0)")
+        assert d.simd_suffix
+
+    def test_unparse_round_trips_suffix(self):
+        src = ("omp target spread teams distribute parallel for simd "
+               "devices(0, 1) nowait")
+        d = parse_pragma(src)
+        text = unparse_directive(d)
+        assert " simd " in text + " "
+        d2 = parse_pragma(text)
+        assert d2.simd_suffix and d2.kind is d.kind
+
+    def test_unparse_omits_when_absent(self):
+        d = parse_pragma("omp target teams distribute parallel for")
+        assert "simd" not in unparse_directive(d)

@@ -1,0 +1,114 @@
+"""Unit + property tests for directive unparsing (round-trip guarantees)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pragma import ast_nodes as A
+from repro.pragma.parser import parse_pragma
+from repro.pragma.unparse import unparse_directive, unparse_expr
+
+_D = A.DirectiveKind
+
+
+class TestUnparseExamples:
+    @pytest.mark.parametrize("src", [
+        "omp target device(0) map(to: A) nowait",
+        "omp target spread devices(2, 0, 1) spread_schedule(static, 4) "
+        "map(to: A[omp_spread_start-1:omp_spread_size+2]) "
+        "map(from: B[omp_spread_start:omp_spread_size])",
+        "omp target data spread devices(0) range(1:N-2) chunk_size(4) "
+        "map(tofrom: A[omp_spread_start:omp_spread_size])",
+        "omp target update spread devices(1, 3) range(100:M) "
+        "chunk_size(10) nowait to(B[omp_spread_start:omp_spread_size])",
+        "omp target teams distribute parallel for num_teams(2) "
+        "thread_limit(64) depend(out: C[0:4])",
+    ])
+    def test_round_trip_equals_ast(self, src):
+        d1 = parse_pragma(src)
+        d2 = parse_pragma(unparse_directive(d1))
+        assert d2.kind is d1.kind
+        assert d2.clauses == d1.clauses
+
+    def test_parenthesization(self):
+        d = parse_pragma("omp target device((1+2)*3)")
+        text = unparse_directive(d)
+        assert "(1+2)*3" in text
+        assert parse_pragma(text).clauses == d.clauses
+
+    def test_subtraction_associativity(self):
+        d = parse_pragma("omp target device(10-(3-2))")
+        text = unparse_directive(d)
+        assert parse_pragma(text).clauses == d.clauses
+        d2 = parse_pragma("omp target device(10-3-2)")
+        text2 = unparse_directive(d2)
+        assert parse_pragma(text2).clauses == d2.clauses
+        assert text != text2  # structurally different stays different
+
+
+# ---------------------------------------------------------------------------
+# property-based round trip over generated ASTs
+# ---------------------------------------------------------------------------
+
+idents = st.sampled_from(["N", "M", "omp_spread_start", "omp_spread_size"])
+
+
+def exprs(depth=2):
+    base = st.one_of(st.integers(0, 99).map(A.Num), idents.map(A.Ident))
+    if depth == 0:
+        return base
+    sub = exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: A.BinOp(*t)),
+    )
+
+
+sections = st.one_of(
+    st.sampled_from(["A", "B", "C"]).map(A.SectionNode),
+    st.tuples(st.sampled_from(["A", "B", "C"]), exprs(), exprs()).map(
+        lambda t: A.SectionNode(*t)),
+)
+
+
+@st.composite
+def directives(draw):
+    kind = draw(st.sampled_from(list(_D)))
+    clauses = []
+    if draw(st.booleans()):
+        if kind.is_spread:
+            devs = draw(st.lists(st.integers(0, 3).map(A.Num), min_size=1,
+                                 max_size=4))
+            clauses.append(A.DevicesClause(devices=tuple(devs)))
+        else:
+            clauses.append(A.DeviceClause(device=draw(exprs())))
+    for _ in range(draw(st.integers(0, 3))):
+        clauses.append(A.MapClauseNode(
+            map_type=draw(st.sampled_from(
+                ["to", "from", "tofrom", "alloc", "release", "delete"])),
+            items=tuple(draw(st.lists(sections, min_size=1, max_size=3)))))
+    if draw(st.booleans()):
+        clauses.append(A.NowaitClause())
+    if draw(st.booleans()):
+        clauses.append(A.DependClause(
+            kind=draw(st.sampled_from(["in", "out", "inout"])),
+            items=tuple(draw(st.lists(sections, min_size=1, max_size=2)))))
+    return A.Directive(kind=kind, clauses=tuple(clauses))
+
+
+class TestRoundTripProperty:
+    @given(directives())
+    @settings(max_examples=150, deadline=None)
+    def test_parse_unparse_fixpoint(self, directive):
+        text = unparse_directive(directive)
+        reparsed = parse_pragma(text)
+        assert reparsed.kind is directive.kind
+        assert reparsed.clauses == directive.clauses
+
+    @given(exprs(3))
+    @settings(max_examples=150, deadline=None)
+    def test_expr_round_trip(self, expr):
+        text = unparse_expr(expr)
+        d = parse_pragma(f"omp target device({text})")
+        assert d.find(A.DeviceClause).device == expr

@@ -1,0 +1,91 @@
+"""Property-based tests for cost-model monotonicity.
+
+Performance models must be sane under any parameters: more bytes never
+transfer faster, more parallelism never computes slower, scaling the
+problem scales the accounting linearly.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.costmodel import CostModel
+from repro.sim.topology import DeviceSpec, LinkSpec
+
+bytes_ = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+iters = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+pos = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+
+class TestTransferMonotone:
+    @given(bytes_, bytes_)
+    @settings(max_examples=100, deadline=None)
+    def test_more_bytes_never_faster(self, a, b):
+        cm = CostModel()
+        link = LinkSpec()
+        lo, hi = sorted((a, b))
+        assert cm.transfer(link, lo).total <= cm.transfer(link, hi).total
+
+    @given(bytes_, pos)
+    @settings(max_examples=100, deadline=None)
+    def test_scale_is_linear_in_wire_time(self, n, scale):
+        link = LinkSpec(per_call_latency=0.0)
+        base = CostModel(scale=1.0).transfer(link, n)
+        scaled = CostModel(scale=scale).transfer(link, n)
+        assert scaled.wire_time == pytest.approx(base.wire_time * scale,
+                                                 rel=1e-9, abs=1e-18)
+
+    @given(bytes_)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_independent_of_size(self, n):
+        cm = CostModel()
+        link = LinkSpec(per_call_latency=5e-6)
+        assert cm.transfer(link, n).latency == 5e-6
+
+
+class TestKernelMonotone:
+    DEV = DeviceSpec(num_sms=16, max_threads_per_sm=128, simd_width=8,
+                     iters_per_second=1e8)
+
+    @given(iters, iters)
+    @settings(max_examples=100, deadline=None)
+    def test_more_iterations_never_faster(self, a, b):
+        cm = CostModel()
+        lo, hi = sorted((a, b))
+        assert cm.kernel(self.DEV, lo).total <= cm.kernel(self.DEV, hi).total
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_more_teams_never_slower(self, a, b):
+        cm = CostModel()
+        lo, hi = sorted((a, b))
+        t_low = cm.kernel(self.DEV, 1e6, num_teams=lo).compute_time
+        t_high = cm.kernel(self.DEV, 1e6, num_teams=hi).compute_time
+        assert t_high <= t_low * (1 + 1e-12)
+
+    @given(st.integers(1, 32), st.integers(1, 256))
+    @settings(max_examples=100, deadline=None)
+    def test_simd_never_slower_than_scalar(self, teams, threads):
+        cm = CostModel()
+        simd = cm.kernel(self.DEV, 1e6, num_teams=teams,
+                         threads_per_team=threads, simd=True)
+        scalar = cm.kernel(self.DEV, 1e6, num_teams=teams,
+                           threads_per_team=threads, simd=False)
+        assert simd.compute_time <= scalar.compute_time * (1 + 1e-12)
+
+    @given(iters, pos)
+    @settings(max_examples=60, deadline=None)
+    def test_work_per_iter_linear(self, n, w):
+        cm = CostModel()
+        base = cm.kernel(self.DEV, n, work_per_iter=1.0).compute_time
+        weighted = cm.kernel(self.DEV, n, work_per_iter=w).compute_time
+        assert weighted == pytest.approx(base * w, rel=1e-9, abs=1e-18)
+
+    @given(st.integers(1, 10_000), st.integers(1, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_caps_at_device_peak(self, teams, threads):
+        cm = CostModel()
+        capped = cm.kernel(self.DEV, 1e6, num_teams=teams,
+                           threads_per_team=threads)
+        peak = cm.kernel(self.DEV, 1e6)
+        assert capped.compute_time >= peak.compute_time * (1 - 1e-12)

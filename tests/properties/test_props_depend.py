@@ -1,0 +1,106 @@
+"""Property-based tests for dependence resolution.
+
+The tracker's pruning must never lose an ordering edge: for any random
+program of sectioned reads/writes, the transitive closure of the edges the
+tracker produces must contain every conflict pair (computed naively).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openmp.depend import DepKind, DependTracker
+from repro.openmp.mapping import Var
+from repro.sim.engine import Simulator
+from repro.util.intervals import Interval
+
+accesses = st.lists(
+    st.tuples(
+        st.sampled_from([DepKind.IN, DepKind.OUT, DepKind.INOUT]),
+        st.integers(0, 40),
+        st.integers(1, 10),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def naive_conflicts(program):
+    """All (i, j) pairs i<j that must be ordered."""
+    pairs = set()
+    for j, (kj, aj, lj) in enumerate(program):
+        for i in range(j):
+            ki, ai, li = program[i]
+            overlap = ai < aj + lj and aj < ai + li
+            if overlap and (ki.writes or kj.writes):
+                pairs.add((i, j))
+    return pairs
+
+
+@given(accesses)
+@settings(max_examples=80, deadline=None)
+def test_transitive_closure_covers_all_conflicts(program):
+    sim = Simulator()
+    tracker = DependTracker()
+    var = Var("A", np.zeros(64))
+    events = []
+    direct_edges = set()
+    for j, (kind, a, ln) in enumerate(program):
+        deps = [(kind, var, Interval(a, a + ln))]
+        waits = tracker.resolve(deps)
+        ev = sim.event()
+        tracker.register(deps, ev)
+        for w in waits:
+            direct_edges.add((events.index(w), j))
+        events.append(ev)
+
+    # transitive closure of the produced edges
+    reach = {i: set() for i in range(len(program))}
+    for i, j in sorted(direct_edges):
+        reach[j].add(i)
+    changed = True
+    while changed:
+        changed = False
+        for j in range(len(program)):
+            extra = set()
+            for i in reach[j]:
+                extra |= reach[i]
+            if not extra <= reach[j]:
+                reach[j] |= extra
+                changed = True
+
+    for i, j in naive_conflicts(program):
+        assert i in reach[j], (
+            f"ordering {i} -> {j} lost (program: {program})")
+
+
+@given(accesses)
+@settings(max_examples=50, deadline=None)
+def test_no_self_or_forward_edges(program):
+    sim = Simulator()
+    tracker = DependTracker()
+    var = Var("A", np.zeros(64))
+    events = []
+    for kind, a, ln in program:
+        deps = [(kind, var, Interval(a, a + ln))]
+        waits = tracker.resolve(deps)
+        ev = sim.event()
+        tracker.register(deps, ev)
+        for w in waits:
+            assert w in events  # only earlier tasks
+        events.append(ev)
+
+
+@given(st.integers(1, 8), st.integers(1, 12), st.integers(2, 30))
+@settings(max_examples=40, deadline=None)
+def test_frontier_bounded_for_tiled_sweeps(chunks, sweeps, chunk_size):
+    """Repeated identical tiled writes keep the frontier at one record per
+    tile (the pruning property that keeps Somier runs O(1) per step)."""
+    sim = Simulator()
+    tracker = DependTracker()
+    var = Var("A", np.zeros(chunks * chunk_size))
+    for _ in range(sweeps):
+        for c in range(chunks):
+            iv = Interval(c * chunk_size, (c + 1) * chunk_size)
+            deps = [(DepKind.OUT, var, iv)]
+            tracker.resolve_and_register(deps, sim.event())
+    assert tracker.frontier_size(var) == chunks

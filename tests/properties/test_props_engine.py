@@ -1,0 +1,108 @@
+"""Property-based tests for the simulation engine and resources."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+delays = st.lists(st.floats(min_value=0.0, max_value=10.0,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=1, max_size=15)
+
+
+class TestClockProperties:
+    @given(delays)
+    @settings(max_examples=80, deadline=None)
+    def test_clock_monotone_and_ends_at_max(self, ds):
+        sim = Simulator()
+        seen = []
+
+        def proc(d):
+            yield sim.timeout(d)
+            seen.append(sim.now)
+
+        for d in ds:
+            sim.process(proc(d))
+        sim.run()
+        assert seen == sorted(seen)
+        assert sim.now == max(ds)
+
+    @given(delays)
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_timeouts_sum(self, ds):
+        sim = Simulator()
+
+        def proc():
+            for d in ds:
+                yield sim.timeout(d)
+            return sim.now
+
+        total = sim.run(sim.process(proc()))
+        assert total <= sum(ds) * (1 + 1e-12) + 1e-12
+        assert total >= sum(ds) * (1 - 1e-12) - 1e-12
+
+
+class TestResourceProperties:
+    @given(st.integers(1, 4),
+           st.lists(st.floats(min_value=0.01, max_value=5.0,
+                              allow_nan=False), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, capacity, holds):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        max_seen = [0]
+
+        def user(hold):
+            req = res.request()
+            yield req
+            max_seen[0] = max(max_seen[0], res.in_use)
+            assert res.in_use <= capacity
+            yield sim.timeout(hold)
+            res.release(req)
+
+        for h in holds:
+            sim.process(user(h))
+        sim.run()
+        assert res.in_use == 0
+        assert max_seen[0] <= capacity
+        assert res.grant_count == len(holds)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=2.0,
+                              allow_nan=False), min_size=2, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_grants_in_request_order(self, holds):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            req = res.request()
+            yield req
+            order.append(tag)
+            yield sim.timeout(hold)
+            res.release(req)
+
+        for i, h in enumerate(holds):
+            sim.process(user(i, h))
+        sim.run()
+        assert order == list(range(len(holds)))
+
+    @given(st.integers(1, 3),
+           st.lists(st.floats(min_value=0.1, max_value=2.0,
+                              allow_nan=False), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounded_by_serial_and_ideal(self, capacity, holds):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+
+        def user(hold):
+            yield from res.use(hold)
+
+        for h in holds:
+            sim.process(user(h))
+        sim.run()
+        serial = sum(holds)
+        ideal = max(max(holds), serial / capacity)
+        assert sim.now <= serial + 1e-9
+        assert sim.now >= ideal - 1e-9

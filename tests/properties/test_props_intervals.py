@@ -1,0 +1,95 @@
+"""Property-based tests for the interval algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intervals import Interval, IntervalSet
+
+bounds = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(bounds)
+    b = draw(bounds)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def interval_lists(draw):
+    return draw(st.lists(intervals(), max_size=12))
+
+
+class TestIntervalProperties:
+    @given(intervals(), intervals())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals(), intervals())
+    def test_contains_implies_overlap_or_empty(self, a, b):
+        if a.contains(b) and not b.empty:
+            assert a.overlaps(b)
+
+    @given(intervals(), intervals())
+    def test_extends_never_when_contained(self, a, b):
+        if b.contains(a):
+            assert not a.extends(b)
+
+    @given(intervals(), intervals())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if not inter.empty:
+            assert a.contains(inter) and b.contains(inter)
+
+    @given(intervals(), intervals())
+    def test_hull_contains_both(self, a, b):
+        hull = a.union_hull(b)
+        assert hull.contains(a) and hull.contains(b)
+
+    @given(intervals(), st.integers(min_value=-100, max_value=100))
+    def test_shift_preserves_length(self, iv, d):
+        assert len(iv.shift(d)) == len(iv)
+
+    @given(intervals(), bounds)
+    def test_split_partitions(self, iv, p):
+        left, right = iv.split_at(p)
+        assert len(left) + len(right) == len(iv)
+        if not left.empty and not right.empty:
+            assert left.stop == right.start
+
+    @given(intervals(), intervals())
+    def test_overlap_iff_nonempty_intersection(self, a, b):
+        assert a.overlaps(b) == (not a.intersection(b).empty)
+
+
+class TestIntervalSetProperties:
+    @given(interval_lists())
+    def test_canonical_form(self, ivs):
+        s = IntervalSet(ivs)
+        items = list(s)
+        for x, y in zip(items, items[1:]):
+            assert x.stop < y.start  # disjoint and non-adjacent
+
+    @given(interval_lists())
+    def test_total_matches_point_count(self, ivs):
+        s = IntervalSet(ivs)
+        points = set()
+        for iv in ivs:
+            points.update(range(iv.start, iv.stop))
+        assert s.total() == len(points)
+
+    @given(interval_lists(), intervals())
+    def test_add_then_covers(self, ivs, extra):
+        s = IntervalSet(ivs)
+        s.add(extra)
+        assert s.covers(extra)
+
+    @given(interval_lists(), intervals())
+    def test_remove_then_disjoint(self, ivs, removed):
+        s = IntervalSet(ivs)
+        s.remove(removed)
+        assert not s.overlaps(removed)
+
+    @given(interval_lists())
+    def test_order_independent_construction(self, ivs):
+        assert IntervalSet(ivs) == IntervalSet(list(reversed(ivs)))

@@ -1,0 +1,99 @@
+"""Property-based tests at the runtime level: determinism and functional
+correctness of spread execution for arbitrary chunkings."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.kernel import KernelSpec
+from repro.openmp import Map, OpenMPRuntime, Var
+from repro.sim.topology import cte_power_node
+from repro.spread import (
+    omp_spread_size,
+    omp_spread_start,
+    spread_schedule,
+    target_spread_teams_distribute_parallel_for,
+)
+
+S, Z = omp_spread_start, omp_spread_size
+
+
+def run_stencil(n, chunk, devices, values):
+    rt = OpenMPRuntime(topology=cte_power_node(4, memory_bytes=1e9))
+    A = np.array(values, dtype=np.float64)
+    B = np.zeros(n)
+    vA, vB = Var("A", A), Var("B", B)
+
+    def body(lo, hi, env):
+        a, b = env["A"], env["B"]
+        b[lo:hi] = a[lo - 1:hi - 1] + a[lo:hi] + a[lo + 1:hi + 1]
+
+    def program(omp):
+        yield from target_spread_teams_distribute_parallel_for(
+            omp, KernelSpec("stencil", body), 1, n - 1, devices,
+            schedule=spread_schedule("static", chunk),
+            maps=[Map.to(vA, (S - 1, Z + 2)), Map.from_(vB, (S, Z))])
+
+    rt.run(program)
+    return B, rt
+
+
+@st.composite
+def stencil_cases(draw):
+    n = draw(st.integers(8, 60))
+    ndev = draw(st.integers(2, 4))
+    devices = draw(st.permutations(list(range(ndev))))
+    # keep same-device halo maps disjoint: gap (ndev-1)*chunk >= 2
+    min_chunk = 2 if ndev == 2 else 1
+    chunk = draw(st.integers(min_chunk, max(min_chunk, (n - 2))))
+    values = draw(st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=n, max_size=n))
+    return n, chunk, list(devices), values
+
+
+class TestSpreadProperties:
+    @given(stencil_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_result_independent_of_chunking(self, case):
+        n, chunk, devices, values = case
+        B, _rt = run_stencil(n, chunk, devices, values)
+        A = np.array(values)
+        expect = np.zeros(n)
+        expect[1:n - 1] = A[0:n - 2] + A[1:n - 1] + A[2:n]
+        assert np.array_equal(B, expect)
+
+    @given(stencil_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_simulation_deterministic(self, case):
+        n, chunk, devices, values = case
+        b1, rt1 = run_stencil(n, chunk, devices, values)
+        b2, rt2 = run_stencil(n, chunk, devices, values)
+        assert rt1.elapsed == rt2.elapsed
+        assert np.array_equal(b1, b2)
+        t1 = [(e.category, e.name, e.lane, e.start, e.end)
+              for e in rt1.trace.events]
+        t2 = [(e.category, e.name, e.lane, e.start, e.end)
+              for e in rt2.trace.events]
+        assert t1 == t2
+
+    @given(stencil_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_trace_lane_intervals_never_overlap(self, case):
+        """Per-lane busy intervals are disjoint: the in-order queue is
+        physically consistent."""
+        n, chunk, devices, values = case
+        _b, rt = run_stencil(n, chunk, devices, values)
+        for lane, events in rt.trace.by_lane().items():
+            for a, b in zip(events, events[1:]):
+                assert a.end <= b.start + 1e-12, (lane, a, b)
+
+    @given(stencil_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_data_envs_empty_and_memory_freed(self, case):
+        n, chunk, devices, values = case
+        _b, rt = run_stencil(n, chunk, devices, values)
+        for env in rt.dataenvs:
+            assert env.is_empty()
+        for dev in rt.devices:
+            assert dev.allocator.used_bytes == 0

@@ -1,0 +1,98 @@
+"""Property-based tests for spread schedules — the paper's distribution
+invariants must hold for every range/chunk/device-list combination."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spread.schedule import (
+    DynamicSchedule,
+    IrregularStaticSchedule,
+    StaticSchedule,
+)
+
+ranges = st.tuples(st.integers(0, 500), st.integers(0, 200)).map(
+    lambda t: (t[0], t[0] + t[1]))
+chunk_sizes = st.integers(min_value=1, max_value=50)
+
+
+@st.composite
+def device_lists(draw):
+    n = draw(st.integers(1, 6))
+    devs = draw(st.permutations(list(range(n))))
+    return list(devs)
+
+
+class TestStaticScheduleProperties:
+    @given(ranges, chunk_sizes, device_lists())
+    def test_chunks_partition_range_exactly(self, rng, chunk, devices):
+        lo, hi = rng
+        chunks = StaticSchedule(chunk).chunks(lo, hi, devices)
+        pos = lo
+        for c in chunks:
+            assert c.interval.start == pos
+            pos = c.interval.stop
+        assert pos == hi
+
+    @given(ranges, chunk_sizes, device_lists())
+    def test_round_robin_assignment(self, rng, chunk, devices):
+        lo, hi = rng
+        chunks = StaticSchedule(chunk).chunks(lo, hi, devices)
+        for c in chunks:
+            assert c.device == devices[c.index % len(devices)]
+
+    @given(ranges, chunk_sizes, device_lists())
+    def test_all_chunks_sized_except_last(self, rng, chunk, devices):
+        lo, hi = rng
+        chunks = StaticSchedule(chunk).chunks(lo, hi, devices)
+        for c in chunks[:-1]:
+            assert c.size == chunk
+        if chunks:
+            assert 1 <= chunks[-1].size <= chunk
+
+    @given(ranges, chunk_sizes, device_lists())
+    def test_no_empty_chunks(self, rng, chunk, devices):
+        lo, hi = rng
+        for c in StaticSchedule(chunk).chunks(lo, hi, devices):
+            assert c.size >= 1
+
+    @given(ranges, device_lists())
+    def test_default_chunk_at_most_one_per_device(self, rng, devices):
+        lo, hi = rng
+        chunks = StaticSchedule(None).chunks(lo, hi, devices)
+        assert len(chunks) <= len(devices)
+        seen = [c.device for c in chunks]
+        assert len(seen) == len(set(seen))
+
+    @given(ranges, chunk_sizes, device_lists())
+    def test_same_device_chunks_have_gap(self, rng, chunk, devices):
+        """Round-robin guarantees the gap the paper relies on: a device's
+        consecutive chunks are separated by (ndev-1)*chunk iterations."""
+        lo, hi = rng
+        chunks = StaticSchedule(chunk).chunks(lo, hi, devices)
+        per_dev = {}
+        for c in chunks:
+            per_dev.setdefault(c.device, []).append(c)
+        for dev_chunks in per_dev.values():
+            for a, b in zip(dev_chunks, dev_chunks[1:]):
+                gap = b.interval.start - a.interval.stop
+                assert gap == (len(devices) - 1) * chunk
+
+
+class TestIrregularProperties:
+    @given(ranges, st.lists(st.integers(1, 20), min_size=1, max_size=5),
+           device_lists())
+    def test_partition_and_sizes(self, rng, sizes, devices):
+        lo, hi = rng
+        chunks = IrregularStaticSchedule(sizes).chunks(lo, hi, devices)
+        assert sum(c.size for c in chunks) == hi - lo
+        for c in chunks[:-1]:
+            assert c.size == sizes[c.index % len(sizes)]
+
+
+class TestDynamicProperties:
+    @given(ranges, chunk_sizes)
+    def test_partition_without_devices(self, rng, chunk):
+        lo, hi = rng
+        chunks = DynamicSchedule(chunk).chunks(lo, hi, [0, 1])
+        assert sum(c.size for c in chunks) == hi - lo
+        assert all(c.device is None for c in chunks)

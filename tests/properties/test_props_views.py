@@ -1,0 +1,78 @@
+"""Property-based tests: GlobalView is exactly a shifted ndarray.
+
+For any mapped window and any in-window access, reads and writes through a
+GlobalView must agree with the same operations on the underlying global
+array; any out-of-window access must fault.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.views import GlobalView
+
+
+@st.composite
+def windows(draw):
+    n = draw(st.integers(4, 64))
+    start = draw(st.integers(0, n - 2))
+    stop = draw(st.integers(start + 1, n))
+    return n, start, stop
+
+
+class TestEquivalence:
+    @given(windows(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_int_reads_match_global(self, window, data):
+        n, start, stop = window
+        host = np.arange(float(n))
+        view = GlobalView(host[start:stop].copy(), offset=start)
+        g = data.draw(st.integers(start, stop - 1))
+        assert view[g] == host[g]
+
+    @given(windows(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_slice_reads_match_global(self, window, data):
+        n, start, stop = window
+        host = np.arange(float(n))
+        view = GlobalView(host[start:stop].copy(), offset=start)
+        a = data.draw(st.integers(start, stop))
+        b = data.draw(st.integers(a, stop))
+        assert np.array_equal(view[a:b], host[a:b])
+
+    @given(windows(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_writes_land_at_global_position(self, window, data):
+        n, start, stop = window
+        buf = np.zeros(stop - start)
+        view = GlobalView(buf, offset=start)
+        g = data.draw(st.integers(start, stop - 1))
+        view[g] = 7.5
+        assert buf[g - start] == 7.5
+        assert (buf != 0).sum() == 1
+
+    @given(windows(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_out_of_window_faults(self, window, data):
+        n, start, stop = window
+        view = GlobalView(np.zeros(stop - start), offset=start)
+        outside = data.draw(st.one_of(
+            st.integers(0, max(0, start - 1)).filter(lambda g: g < start),
+            st.integers(stop, n + 5),
+        ))
+        try:
+            view[outside]
+        except IndexError:
+            return
+        raise AssertionError(f"access at {outside} outside "
+                             f"[{start},{stop}) did not fault")
+
+    @given(windows())
+    @settings(max_examples=60, deadline=None)
+    def test_full_window_round_trip(self, window):
+        n, start, stop = window
+        host = np.arange(float(n))
+        buf = host[start:stop].copy()
+        view = GlobalView(buf, offset=start)
+        view[start:stop] = view[start:stop] * 2
+        assert np.array_equal(buf, host[start:stop] * 2)

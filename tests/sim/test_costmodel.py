@@ -1,0 +1,82 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.sim.costmodel import CostModel
+from repro.sim.topology import DeviceSpec, LinkSpec
+
+
+class TestTransferCost:
+    def test_wire_time_is_bytes_over_bandwidth(self):
+        cm = CostModel()
+        link = LinkSpec(bandwidth_bytes_per_s=10e9, per_call_latency=1e-5)
+        cost = cm.transfer(link, 1e9)
+        assert cost.wire_time == pytest.approx(0.1)
+        assert cost.latency == 1e-5
+        assert cost.total == pytest.approx(0.1 + 1e-5)
+
+    def test_scale_multiplies_bytes(self):
+        cm = CostModel(scale=100.0)
+        link = LinkSpec(bandwidth_bytes_per_s=10e9, per_call_latency=0.0)
+        cost = cm.transfer(link, 1e6)
+        assert cost.bytes == pytest.approx(1e8)
+        assert cost.wire_time == pytest.approx(0.01)
+        assert cm.virtual_bytes(2.0) == 200.0
+
+    def test_negative_bytes_rejected(self):
+        cm = CostModel()
+        with pytest.raises(ValueError):
+            cm.transfer(LinkSpec(), -1)
+
+
+class TestKernelCost:
+    def setup_method(self):
+        self.dev = DeviceSpec(num_sms=10, max_threads_per_sm=100,
+                              simd_width=4, iters_per_second=1e6,
+                              kernel_launch_latency=1e-6)
+        self.cm = CostModel()
+
+    def test_saturated_default(self):
+        cost = self.cm.kernel(self.dev, 1e6)
+        assert cost.compute_time == pytest.approx(1.0)
+        assert cost.total == pytest.approx(1.0 + 1e-6)
+
+    def test_work_per_iter_scales_linearly(self):
+        a = self.cm.kernel(self.dev, 1e6, work_per_iter=1.0)
+        b = self.cm.kernel(self.dev, 1e6, work_per_iter=3.0)
+        assert b.compute_time == pytest.approx(3 * a.compute_time)
+
+    def test_partial_teams_derate(self):
+        # 5 of 10 SMs requested -> half throughput
+        full = self.cm.kernel(self.dev, 1e6)
+        half = self.cm.kernel(self.dev, 1e6, num_teams=5)
+        assert half.compute_time == pytest.approx(2 * full.compute_time)
+
+    def test_oversubscription_caps_at_peak(self):
+        over = self.cm.kernel(self.dev, 1e6, num_teams=1000,
+                              threads_per_team=1000)
+        full = self.cm.kernel(self.dev, 1e6)
+        assert over.compute_time == pytest.approx(full.compute_time)
+
+    def test_simd_off_divides_parallelism(self):
+        simd = self.cm.kernel(self.dev, 1e6, num_teams=1,
+                              threads_per_team=100, simd=True)
+        scalar = self.cm.kernel(self.dev, 1e6, num_teams=1,
+                                threads_per_team=100, simd=False)
+        assert scalar.compute_time == pytest.approx(4 * simd.compute_time)
+
+    def test_serial_config_is_slowest(self):
+        serial = self.cm.kernel(self.dev, 1e3, num_teams=1,
+                                threads_per_team=1, simd=False)
+        # parallelism 1 of 1000 -> throughput 1e3 iters/s -> 1 s
+        assert serial.compute_time == pytest.approx(1.0)
+
+    def test_scale_multiplies_iterations(self):
+        cm = CostModel(scale=10.0)
+        cost = cm.kernel(self.dev, 1e5)
+        assert cost.iterations == pytest.approx(1e6)
+        assert cost.compute_time == pytest.approx(1.0)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            self.cm.kernel(self.dev, -5)

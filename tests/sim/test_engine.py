@@ -1,0 +1,245 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestTimeoutsAndClock:
+    def test_timeout_advances_clock(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+            return sim.now
+
+        p = sim.process(proc())
+        assert sim.run(p) == 5.0
+        assert sim.now == 5.0
+
+    def test_zero_timeout_runs_same_time(self, sim):
+        def proc():
+            yield sim.timeout(0.0)
+            return "done"
+
+        assert sim.run(sim.process(proc())) == "done"
+        assert sim.now == 0.0
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.5)
+
+        sim.run(sim.process(proc()))
+        assert sim.now == 3.5
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_two_identical_runs_identical_traces(self):
+        def build():
+            s = Simulator()
+            log = []
+
+            def worker(tag, delay):
+                yield s.timeout(delay)
+                log.append((s.now, tag))
+                yield s.timeout(delay)
+                log.append((s.now, tag))
+
+            for i in range(5):
+                s.process(worker(i, 0.5 + 0.1 * i))
+            s.run()
+            return log
+
+        assert build() == build()
+
+
+class TestEvents:
+    def test_manual_trigger_wakes_waiter(self, sim):
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        sim.process(waiter())
+        sim.schedule_call(2.0, lambda: ev.trigger(42))
+        sim.run()
+        assert got == [42]
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.trigger(1)
+        with pytest.raises(SimulationError):
+            ev.trigger(2)
+
+    def test_fail_propagates_into_process(self, sim):
+        ev = sim.event()
+
+        def waiter():
+            yield ev
+
+        p = sim.process(waiter())
+        sim.schedule_call(1.0, lambda: ev.fail(ValueError("boom")))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run(p)
+
+    def test_value_before_trigger_is_error(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_yield_already_processed_event_continues(self, sim):
+        ev = sim.event()
+        ev.trigger("v")
+
+        def late():
+            yield sim.timeout(1.0)
+            value = yield ev
+            return value
+
+        assert sim.run(sim.process(late())) == "v"
+
+
+class TestProcess:
+    def test_process_is_joinable_event(self, sim):
+        def child():
+            yield sim.timeout(3.0)
+            return "child-result"
+
+        def parent():
+            value = yield sim.process(child())
+            return value
+
+        assert sim.run(sim.process(parent())) == "child-result"
+
+    def test_exception_propagates_to_joiner(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner")
+
+        def parent():
+            yield sim.process(child())
+
+        with pytest.raises(RuntimeError, match="inner"):
+            sim.run(sim.process(parent()))
+
+    def test_yield_non_event_raises(self, sim):
+        def bad():
+            yield 42
+
+        with pytest.raises(SimulationError, match="non-Event"):
+            sim.run(sim.process(bad()))
+
+    def test_interrupt_delivers_exception(self, sim):
+        caught = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                caught.append((intr.cause, sim.now))
+
+        p = sim.process(sleeper())
+        sim.schedule_call(1.0, lambda: p.interrupt("wake"))
+        sim.run(p)
+        assert caught == [("wake", 1.0)]
+        assert sim.now == 1.0  # the process ended at the interrupt
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def quick():
+            yield sim.timeout(0.5)
+
+        p = sim.process(quick())
+        sim.run(p)
+        p.interrupt()  # must not raise
+        sim.run()
+
+
+class TestCombinators:
+    def test_all_of_collects_values_in_order(self, sim):
+        def worker(value, delay):
+            yield sim.timeout(delay)
+            return value
+
+        procs = [sim.process(worker(i, 3.0 - i)) for i in range(3)]
+        result = sim.run(sim.all_of(procs))
+        assert result == [0, 1, 2]
+        assert sim.now == 3.0
+
+    def test_all_of_empty_triggers_immediately(self, sim):
+        ev = sim.all_of([])
+        sim.run()
+        assert ev.value == []
+
+    def test_all_of_fails_fast(self, sim):
+        def ok():
+            yield sim.timeout(10.0)
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise KeyError("x")
+
+        combo = sim.all_of([sim.process(ok()), sim.process(bad())])
+        with pytest.raises(KeyError):
+            sim.run(combo)
+
+    def test_any_of_returns_first(self, sim):
+        def worker(value, delay):
+            yield sim.timeout(delay)
+            return value
+
+        combo = sim.any_of([sim.process(worker("slow", 9.0)),
+                            sim.process(worker("fast", 1.0))])
+        assert sim.run(combo) == "fast"
+        assert sim.now == 1.0
+
+
+class TestRun:
+    def test_run_until_deadline(self, sim):
+        def ticker():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        sim.run(until=5.5)
+        assert sim.now == 5.5
+
+    def test_run_until_event_deadlock_detected(self, sim):
+        ev = sim.event()  # never triggered
+
+        def waiter():
+            yield ev
+
+        p = sim.process(waiter())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(p)
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(4.0)
+        assert sim.peek() == 4.0

@@ -1,0 +1,94 @@
+"""Unit tests for node topologies."""
+
+import pytest
+
+from repro.sim.topology import (
+    DeviceSpec,
+    HostSpec,
+    LinkSpec,
+    NodeTopology,
+    cte_power_node,
+    uniform_node,
+)
+
+
+class TestCtePowerNode:
+    def test_four_devices_two_sockets(self):
+        topo = cte_power_node(4)
+        assert topo.num_devices == 4
+        assert topo.socket_of(0) == 0 and topo.socket_of(1) == 0
+        assert topo.socket_of(2) == 1 and topo.socket_of(3) == 1
+        assert topo.devices_on_socket(0) == (0, 1)
+
+    def test_two_devices_single_socket(self):
+        topo = cte_power_node(2)
+        assert topo.num_devices == 2
+        assert len(topo.sockets) == 1
+        assert topo.socket_of(1) == 0
+
+    def test_one_device(self):
+        topo = cte_power_node(1)
+        assert topo.num_devices == 1
+        assert len(topo.link_specs) == 1
+
+    def test_device_count_bounds(self):
+        with pytest.raises(ValueError):
+            cte_power_node(0)
+        with pytest.raises(ValueError):
+            cte_power_node(5)
+
+    def test_v100_memory_default(self):
+        topo = cte_power_node(4)
+        assert topo.device_specs[0].memory_bytes == pytest.approx(16e9)
+
+
+class TestUniformNode:
+    def test_socket_grouping(self):
+        topo = uniform_node(5, devices_per_socket=2)
+        assert topo.sockets == [[0, 1], [2, 3], [4]]
+        assert len(topo.link_specs) == 3
+
+    def test_link_of(self):
+        topo = uniform_node(2, devices_per_socket=1)
+        assert topo.link_of(0) is topo.link_specs[0]
+        assert topo.link_of(1) is topo.link_specs[1]
+
+    def test_custom_device_specs(self):
+        fast = DeviceSpec(iters_per_second=2e9)
+        slow = DeviceSpec(iters_per_second=1e9)
+        topo = uniform_node(2, device_specs=[fast, slow])
+        assert topo.device_specs[0].iters_per_second == 2e9
+        assert topo.device_specs[1].iters_per_second == 1e9
+
+    def test_device_specs_length_mismatch(self):
+        with pytest.raises(ValueError):
+            uniform_node(2, device_specs=[DeviceSpec()])
+
+
+class TestValidation:
+    def test_duplicate_device_on_two_sockets(self):
+        with pytest.raises(ValueError, match="two sockets"):
+            NodeTopology(device_specs=[DeviceSpec()] * 2,
+                         sockets=[[0, 1], [1]],
+                         link_specs=[LinkSpec(), LinkSpec()])
+
+    def test_non_dense_device_ids(self):
+        with pytest.raises(ValueError, match="cover device ids"):
+            NodeTopology(device_specs=[DeviceSpec()] * 2,
+                         sockets=[[0, 2]],
+                         link_specs=[LinkSpec()])
+
+    def test_link_count_mismatch(self):
+        with pytest.raises(ValueError, match="one LinkSpec per socket"):
+            NodeTopology(device_specs=[DeviceSpec()],
+                         sockets=[[0]],
+                         link_specs=[])
+
+    def test_unknown_device_lookup(self):
+        topo = uniform_node(1)
+        with pytest.raises(ValueError):
+            topo.socket_of(7)
+
+    def test_max_parallelism(self):
+        spec = DeviceSpec(num_sms=80, max_threads_per_sm=2048)
+        assert spec.max_parallelism == 80 * 2048

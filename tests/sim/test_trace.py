@@ -1,0 +1,147 @@
+"""Unit tests for trace recording and analysis."""
+
+import json
+
+import pytest
+
+from repro.sim.trace import (
+    D2H,
+    H2D,
+    HOST,
+    KERNEL,
+    Trace,
+    TraceAnalysis,
+    _intersect,
+    _merge_intervals,
+    _total,
+)
+
+
+def make_trace():
+    tr = Trace()
+    tr.record(H2D, "cp1", lane="gpu0", start=0.0, end=2.0, device=0,
+              wire_start=0.5, wire_end=2.0)
+    tr.record(KERNEL, "k1", lane="gpu0", start=2.0, end=5.0, device=0)
+    tr.record(D2H, "cp2", lane="gpu0", start=5.0, end=6.0, device=0,
+              wire_start=5.0, wire_end=6.0)
+    tr.record(H2D, "cp3", lane="gpu1", start=1.0, end=3.0, device=1,
+              wire_start=2.0, wire_end=3.0)
+    tr.record(KERNEL, "k2", lane="gpu1", start=3.0, end=4.0, device=1)
+    return tr
+
+
+class TestTraceRecording:
+    def test_makespan(self):
+        assert make_trace().makespan() == 6.0
+
+    def test_by_lane_sorted(self):
+        lanes = make_trace().by_lane()
+        assert set(lanes) == {"gpu0", "gpu1"}
+        starts = [e.start for e in lanes["gpu0"]]
+        assert starts == sorted(starts)
+
+    def test_by_device(self):
+        evs = make_trace().by_device(1)
+        assert [e.name for e in evs] == ["cp3", "k2"]
+
+    def test_disabled_trace_records_nothing(self):
+        tr = Trace(enabled=False)
+        tr.record(H2D, "x", lane="gpu0", start=0, end=1, device=0)
+        assert tr.events == []
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(ValueError):
+            Trace().record("bogus", "x", lane="l", start=0, end=1)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Trace().record(H2D, "x", lane="l", start=2, end=1)
+
+
+class TestExporters:
+    def test_chrome_trace_json(self):
+        doc = json.loads(make_trace().to_chrome_trace())
+        events = doc["traceEvents"]
+        assert len(events) == 5
+        assert all(e["ph"] == "X" for e in events)
+        k1 = next(e for e in events if e["name"] == "k1")
+        assert k1["ts"] == pytest.approx(2.0e6)
+        assert k1["dur"] == pytest.approx(3.0e6)
+
+    def test_ascii_contains_lanes_and_legend(self):
+        out = make_trace().to_ascii(width=40)
+        assert "gpu0" in out and "gpu1" in out
+        assert "legend" in out
+        assert "#" in out  # kernel glyph
+        assert ">" in out  # h2d glyph
+
+    def test_ascii_empty(self):
+        assert Trace().to_ascii() == "(empty trace)"
+
+
+class TestIntervalHelpers:
+    def test_merge(self):
+        assert _merge_intervals([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_intersect(self):
+        assert _intersect([(0, 5)], [(3, 8)]) == [(3, 5)]
+        assert _intersect([(0, 1)], [(2, 3)]) == []
+
+    def test_total(self):
+        assert _total([(0, 2), (5, 6)]) == 3
+
+
+class TestAnalysis:
+    def test_device_summary(self):
+        ta = TraceAnalysis(make_trace())
+        s = ta.device_summary(0)
+        assert s[H2D] == pytest.approx(2.0)
+        assert s[D2H] == pytest.approx(1.0)
+        assert s[KERNEL] == pytest.approx(3.0)
+        assert s["transfer"] == pytest.approx(3.0)
+
+    def test_transfer_dominance(self):
+        ta = TraceAnalysis(make_trace())
+        agg = ta.transfer_dominance([0, 1])
+        assert agg["transfer"] == pytest.approx(5.0)
+        assert agg["kernel"] == pytest.approx(4.0)
+        assert agg["ratio"] == pytest.approx(5.0 / 4.0)
+
+    def test_compute_transfer_overlap_same_device(self):
+        tr = Trace()
+        tr.record(KERNEL, "k", lane="gpu0", start=0, end=4, device=0)
+        tr.record(H2D, "c", lane="gpu0:x", start=3, end=6, device=0)
+        assert TraceAnalysis(tr).compute_transfer_overlap(0) == pytest.approx(1.0)
+
+    def test_wire_intervals_use_meta(self):
+        ta = TraceAnalysis(make_trace())
+        assert ta.wire_intervals(0) == [(0.5, 2.0), (5.0, 6.0)]
+
+    def test_transfer_transfer_overlap_wire_only(self):
+        ta = TraceAnalysis(make_trace())
+        # dev0 wire (0.5,2.0) vs dev1 wire (2.0,3.0): disjoint
+        assert ta.transfer_transfer_overlap([0, 1]) == 0.0
+        # full spans overlap (1,2)
+        assert ta.transfer_transfer_overlap([0, 1], wire_only=False) == \
+            pytest.approx(1.0)
+
+    def test_interleave_count(self):
+        tr = Trace()
+        for i, cat in enumerate([H2D, KERNEL, H2D, KERNEL, D2H]):
+            tr.record(cat, f"e{i}", lane="gpu0", start=i, end=i + 1, device=0)
+        assert TraceAnalysis(tr).interleave_count(0) == 4
+
+    def test_interleave_ignores_host_events(self):
+        tr = Trace()
+        tr.record(H2D, "a", lane="gpu0", start=0, end=1, device=0)
+        tr.record(HOST, "h", lane="host", start=1, end=2, device=0)
+        tr.record(H2D, "b", lane="gpu0", start=2, end=3, device=0)
+        assert TraceAnalysis(tr).interleave_count(0) == 0
+
+    def test_idle_fraction(self):
+        tr = Trace()
+        tr.record(KERNEL, "k", lane="gpu0", start=0, end=2, device=0)
+        tr.record(KERNEL, "pad", lane="gpu1", start=0, end=8, device=1)
+        ta = TraceAnalysis(tr)
+        assert ta.idle_fraction(0) == pytest.approx(0.75)
+        assert ta.idle_fraction(1) == pytest.approx(0.0)

@@ -1,0 +1,117 @@
+"""Tests for driver options and the shared implementation tables."""
+
+import numpy as np
+import pytest
+
+from repro.openmp.mapping import MapType
+from repro.sim.topology import cte_power_node
+from repro.somier import SomierConfig, SomierState, run_reference, run_somier
+from repro.somier import impl_common as common
+from repro.somier.plan import chunk_footprint_bytes
+
+CFG = SomierConfig(n=18, steps=2)
+
+
+def topo(rows=4, n=4):
+    return cte_power_node(n, memory_bytes=chunk_footprint_bytes(CFG, rows) / 0.8)
+
+
+class TestDriverOptions:
+    def test_fill_controls_chunk_size(self):
+        tight = run_somier("one_buffer", CFG, devices=[0], topology=topo(8),
+                           fill=0.4)
+        roomy = run_somier("one_buffer", CFG, devices=[0], topology=topo(8),
+                           fill=0.85)
+        assert tight.plan.chunk_rows < roomy.plan.chunk_rows
+        # both still correct
+        for res in (tight, roomy):
+            ref = SomierState(CFG)
+            run_reference(ref, res.plan.buffers)
+            assert np.array_equal(res.state.grids["pos_z"],
+                                  ref.grids["pos_z"])
+
+    def test_fuse_transfers_functionally_identical(self):
+        plain = run_somier("one_buffer", CFG, devices=[0, 1], topology=topo())
+        fused = run_somier("one_buffer", CFG, devices=[0, 1], topology=topo(),
+                           fuse_transfers=True)
+        for name in plain.state.grids:
+            assert np.array_equal(plain.state.grids[name],
+                                  fused.state.grids[name])
+        assert fused.stats["memcpy_calls"] < plain.stats["memcpy_calls"] / 5
+
+    def test_global_drain_flag_functionally_identical(self):
+        drain = run_somier("two_buffers", CFG, devices=[0, 1, 2, 3],
+                           topology=topo(8))
+        pure = run_somier("two_buffers", CFG, devices=[0, 1, 2, 3],
+                          topology=topo(8), taskgroup_global_drain=False)
+        # physics agrees to rounding (scheduling differs, races shift)
+        for name in drain.state.grids:
+            assert np.allclose(drain.state.grids[name],
+                               pure.state.grids[name], atol=1e-6)
+
+    def test_trace_flag_off_records_nothing(self):
+        res = run_somier("one_buffer", CFG, devices=[0], topology=topo(),
+                         trace=False)
+        assert res.runtime.trace.events == []
+        assert res.elapsed > 0
+
+
+class TestImplCommonTables:
+    def setup_method(self):
+        self.state = SomierState(CFG)
+
+    def test_enter_maps_cover_thirteen_entries(self):
+        maps = common.enter_maps(self.state)
+        assert len(maps) == 13
+        types = [m.map_type for m in maps]
+        assert types.count(MapType.TO) == 12
+        assert types.count(MapType.ALLOC) == 1  # partials
+
+    def test_positions_enter_with_halo(self):
+        maps = common.enter_maps(self.state)
+        pos_maps = [m for m in maps if m.var.name.startswith("pos_")]
+        for m in pos_maps:
+            start, length = m.section
+            assert start.evaluate(5, 4) == 4      # S - 1
+            assert length.evaluate(5, 4) == 6     # Z + 2
+
+    def test_exit_maps_all_from_exact_chunk(self):
+        maps = common.exit_maps(self.state)
+        assert len(maps) == 13
+        assert all(m.map_type is MapType.FROM for m in maps)
+        for m in maps:
+            start, length = m.section
+            assert start.evaluate(5, 4) == 5
+            assert length.evaluate(5, 4) == 4
+
+    def test_kernel_table_order_and_deps(self):
+        table = common.kernel_table(self.state)
+        assert len(table) == 5
+        # forces reads the position halo
+        _sel, maps_of, deps_of = table[0]
+        deps = deps_of(self.state)
+        ins = [d for d in deps if d.kind.name == "IN"]
+        assert all(d.var.name.startswith("pos_") for d in ins)
+        start, length = ins[0].section
+        assert start.evaluate(5, 4) == 4 and length.evaluate(5, 4) == 6
+        # centers writes partials
+        _sel, _maps_of, deps_of = table[4]
+        outs = [d for d in deps_of(self.state) if d.kind.name == "OUT"]
+        assert outs[0].var.name == "partials"
+
+    def test_materialize_maps_concrete(self):
+        maps = common.materialize_maps(common.enter_maps(self.state), 5, 4)
+        pos = next(m for m in maps if m.var.name == "pos_x")
+        assert pos.section == (4, 6)
+        vel = next(m for m in maps if m.var.name == "vel_x")
+        assert vel.section == (5, 4)
+
+    def test_enter_depends_use_exact_chunks_plus_halo_reads(self):
+        deps = common.enter_depends(self.state)
+        outs = [d for d in deps if d.kind.name == "OUT"]
+        assert len(outs) == 13
+        for d in outs:
+            start, _l = d.section
+            assert start.evaluate(5, 4) == 5   # never the halo
+        ins = [d for d in deps if d.kind.name == "IN"]
+        assert len(ins) == 3  # pos halo reads

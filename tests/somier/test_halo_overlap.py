@@ -1,0 +1,42 @@
+"""The paper's §V-B restriction: half-buffer variants cannot run on 1 GPU.
+
+"If we had only one GPU, the halo memories might overlap in space and the
+runtime will detect it as an explicit extension of an array, which is
+forbidden in OpenMP.  In order to avoid this situation, more than one GPU
+has to be used."
+"""
+
+import pytest
+
+from repro.sim.topology import cte_power_node
+from repro.somier import SomierConfig, run_somier
+from repro.somier.plan import chunk_footprint_bytes
+from repro.util.errors import OmpMappingError
+
+CFG = SomierConfig(n=18, steps=2)
+
+
+def topo(n_dev, rows=4):
+    cap = chunk_footprint_bytes(CFG, rows) / 0.8
+    return cte_power_node(n_dev, memory_bytes=cap)
+
+
+@pytest.mark.parametrize("impl", ["two_buffers", "double_buffering"])
+class TestSingleGpuForbidden:
+    def test_one_gpu_raises_extension_error(self, impl):
+        with pytest.raises(OmpMappingError, match="extend"):
+            run_somier(impl, CFG, devices=[0],
+                       topology=topo(1, rows=8))
+
+    def test_two_gpus_fine(self, impl):
+        # "the round-robin schedule makes sure there is always a gap
+        # between the array sections mapped to a particular device"
+        res = run_somier(impl, CFG, devices=[0, 1], topology=topo(2, rows=8))
+        assert res.elapsed > 0
+
+
+class TestOneBufferSingleGpuAllowed:
+    def test_one_buffer_one_gpu_is_legal(self):
+        # buffers are processed strictly one at a time -> no halo coexistence
+        res = run_somier("one_buffer", CFG, devices=[0], topology=topo(1))
+        assert res.elapsed > 0

@@ -1,0 +1,107 @@
+"""Unit tests for the Somier buffer planner."""
+
+import pytest
+
+from repro.somier.config import SomierConfig
+from repro.somier.plan import chunk_footprint_bytes, plan_buffers
+from repro.util.errors import OmpAllocationError
+
+
+def footprint(n, rows):
+    return chunk_footprint_bytes(SomierConfig(n=n), rows)
+
+
+class TestFootprint:
+    def test_formula(self):
+        cfg = SomierConfig(n=10)
+        plane = 100 * 8
+        expected = 3 * (4 + 2) * plane + 9 * 4 * plane + 4 * 24
+        assert chunk_footprint_bytes(cfg, 4) == expected
+
+    def test_monotone_in_rows(self):
+        assert footprint(10, 5) > footprint(10, 4)
+
+
+class TestPlanBuffers:
+    def test_partition_covers_interior_exactly(self):
+        cfg = SomierConfig(n=20)
+        plan = plan_buffers(cfg, 2, capacity_bytes=footprint(20, 4) * 2.5)
+        covered = []
+        for start, size in plan.buffers:
+            covered.extend(range(start, start + size))
+        assert covered == list(range(1, 19))
+
+    def test_chunk_respects_capacity(self):
+        cfg = SomierConfig(n=20)
+        cap = footprint(20, 3) / 0.85 + 1
+        plan = plan_buffers(cfg, 1, capacity_bytes=cap)
+        assert plan.chunk_rows == 3
+        assert plan.rows_per_buffer == 3
+
+    def test_buffer_scales_with_devices(self):
+        cfg = SomierConfig(n=20)
+        cap = footprint(20, 3) / 0.85 + 1
+        plan1 = plan_buffers(cfg, 1, capacity_bytes=cap)
+        plan4 = plan_buffers(cfg, 4, capacity_bytes=cap)
+        assert plan4.rows_per_buffer == 4 * plan1.rows_per_buffer
+        assert plan4.num_buffers < plan1.num_buffers
+
+    def test_chunk_capped_by_total_rows(self):
+        cfg = SomierConfig(n=10)
+        plan = plan_buffers(cfg, 2, capacity_bytes=1e15)
+        # 8 interior rows over 2 devices -> 4 rows per chunk, one buffer
+        assert plan.chunk_rows == 4
+        assert plan.num_buffers == 1
+
+    def test_scale_applies_to_virtual_bytes(self):
+        cfg = SomierConfig(n=20)
+        cap = footprint(20, 6) / 0.85 + 1
+        with_scale = plan_buffers(cfg, 1, capacity_bytes=cap, scale=2.0)
+        without = plan_buffers(cfg, 1, capacity_bytes=cap, scale=1.0)
+        assert without.chunk_rows == 6
+        # doubling virtual bytes at least halves the rows (halo overhead
+        # makes two 3-row chunks cost more than one 6-row chunk)
+        assert with_scale.chunk_rows == 2
+
+    def test_concurrent_chunks_halves_budget(self):
+        cfg = SomierConfig(n=20)
+        cap = footprint(20, 6) / 0.85 + 1
+        one = plan_buffers(cfg, 1, capacity_bytes=cap, concurrent_chunks=1)
+        two = plan_buffers(cfg, 1, capacity_bytes=cap, concurrent_chunks=2)
+        assert two.chunk_rows <= one.chunk_rows
+
+    def test_too_small_capacity_raises(self):
+        cfg = SomierConfig(n=20)
+        with pytest.raises(OmpAllocationError, match="exceeds"):
+            plan_buffers(cfg, 1, capacity_bytes=footprint(20, 1) * 0.5)
+
+    def test_parameter_validation(self):
+        cfg = SomierConfig(n=10)
+        with pytest.raises(ValueError):
+            plan_buffers(cfg, 0, capacity_bytes=1e9)
+        with pytest.raises(ValueError):
+            plan_buffers(cfg, 1, capacity_bytes=1e9, fill=0.0)
+        with pytest.raises(ValueError):
+            plan_buffers(cfg, 1, capacity_bytes=1e9, concurrent_chunks=0)
+
+
+class TestHalves:
+    def test_halves_cover_buffers(self):
+        cfg = SomierConfig(n=20)
+        plan = plan_buffers(cfg, 2, capacity_bytes=footprint(20, 4) * 3)
+        halves = plan.halves()
+        assert len(halves) == 2 * plan.num_buffers
+        covered = []
+        for start, size in halves:
+            covered.extend(range(start, start + size))
+        assert covered == list(range(1, 19))
+
+    def test_odd_buffer_splits_front_heavy(self):
+        from repro.somier.plan import BufferPlan
+        plan = BufferPlan(buffers=((1, 5),), chunk_rows=5, num_devices=1)
+        assert plan.halves() == [(1, 3), (4, 2)]
+
+    def test_single_row_buffer_has_one_half(self):
+        from repro.somier.plan import BufferPlan
+        plan = BufferPlan(buffers=((1, 1),), chunk_rows=1, num_devices=1)
+        assert plan.halves() == [(1, 1)]

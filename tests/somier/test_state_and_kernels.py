@@ -1,0 +1,156 @@
+"""Unit tests for Somier state, kernels and physics invariants."""
+
+import numpy as np
+import pytest
+
+from repro.somier.config import SomierConfig
+from repro.somier.kernels import make_kernels
+from repro.somier.state import GRID_NAMES, SomierState
+
+
+@pytest.fixture
+def cfg():
+    return SomierConfig(n=10, steps=2)
+
+
+@pytest.fixture
+def state(cfg):
+    return SomierState(cfg)
+
+
+def host_env(state):
+    env = dict(state.grids)
+    env["partials"] = state.partials
+    return env
+
+
+class TestConfig:
+    def test_loop_bounds(self, cfg):
+        assert cfg.loop_lo == 1 and cfg.loop_hi == 9
+
+    def test_byte_accounting(self):
+        cfg = SomierConfig(n=1200, steps=31)
+        # the paper's 154.5 GB: 8 bytes x 1200^3 x 3 x 4
+        assert cfg.total_bytes == 8 * 1200 ** 3 * 3 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SomierConfig(n=3)
+        with pytest.raises(ValueError):
+            SomierConfig(steps=0)
+        with pytest.raises(ValueError):
+            SomierConfig(dt=-1.0)
+
+
+class TestState:
+    def test_twelve_grids(self, state):
+        assert len(state.grids) == 12
+        assert set(state.grids) == set(GRID_NAMES)
+        for arr in state.grids.values():
+            assert arr.shape == (10, 10, 10)
+
+    def test_lattice_initialization(self, state, cfg):
+        px = state.grids["pos_x"]
+        assert px[3, 0, 0] == pytest.approx(3 * cfg.spacing)
+        py = state.grids["pos_y"]
+        assert py[0, 7, 0] == pytest.approx(7 * cfg.spacing)
+
+    def test_perturbation_vanishes_at_boundary(self, state):
+        pz = state.grids["pos_z"]
+        idx = np.arange(10) * state.config.spacing
+        assert np.allclose(pz[0], idx[None, :] * 0 + idx[None, :].T * 0
+                           + idx[None, :] * 0 + pz[0])
+        # boundary planes must be the unperturbed lattice
+        assert np.allclose(pz[0, :, :], np.broadcast_to(idx, (10, 10)))
+        assert np.allclose(pz[-1, :, :], np.broadcast_to(idx, (10, 10)))
+
+    def test_interior_is_perturbed(self, state):
+        pz = state.grids["pos_z"]
+        idx = np.arange(10) * state.config.spacing
+        assert not np.allclose(pz[5, :, :], np.broadcast_to(idx, (10, 10)))
+
+    def test_copy_is_independent(self, state):
+        clone = state.copy()
+        clone.grids["pos_x"][2, 2, 2] = 999.0
+        assert state.grids["pos_x"][2, 2, 2] != 999.0
+
+    def test_snapshot_contains_all(self, state):
+        snap = state.snapshot()
+        assert set(snap) == set(GRID_NAMES) | {"partials"}
+
+
+class TestKernels:
+    def test_forces_zero_at_rest_without_perturbation(self):
+        cfg = SomierConfig(n=8, steps=1, amplitude=0.0)
+        state = SomierState(cfg)
+        kernels = make_kernels(cfg)
+        env = host_env(state)
+        kernels.forces.run(1, 7, env)
+        assert np.allclose(state.grids["force_x"], 0.0)
+        assert np.allclose(state.grids["force_y"], 0.0)
+        assert np.allclose(state.grids["force_z"], 0.0)
+
+    def test_forces_pull_perturbed_node_back(self):
+        cfg = SomierConfig(n=8, steps=1, amplitude=0.0)
+        state = SomierState(cfg)
+        state.grids["pos_z"][4, 4, 4] += 0.2  # displaced upward
+        kernels = make_kernels(cfg)
+        kernels.forces.run(1, 7, host_env(state))
+        assert state.grids["force_z"][4, 4, 4] < 0  # restoring force
+
+    def test_forces_symmetric_on_neighbours(self):
+        cfg = SomierConfig(n=8, steps=1, amplitude=0.0)
+        state = SomierState(cfg)
+        state.grids["pos_z"][4, 4, 4] += 0.2
+        kernels = make_kernels(cfg)
+        kernels.forces.run(1, 7, host_env(state))
+        fz = state.grids["force_z"]
+        # the two axis-0 neighbours feel equal upward pulls
+        assert fz[3, 4, 4] == pytest.approx(fz[5, 4, 4])
+        assert fz[3, 4, 4] > 0
+
+    def test_pointwise_chain(self):
+        cfg = SomierConfig(n=8, steps=1)
+        state = SomierState(cfg)
+        env = host_env(state)
+        kernels = make_kernels(cfg)
+        state.grids["force_x"][2] = 4.0
+        kernels.accelerations.run(2, 3, env)
+        assert np.allclose(state.grids["acc_x"][2], 4.0 / cfg.mass)
+        kernels.velocities.run(2, 3, env)
+        assert np.allclose(state.grids["vel_x"][2], cfg.dt * 4.0 / cfg.mass)
+        before = state.grids["pos_x"][2].copy()
+        kernels.positions.run(2, 3, env)
+        assert np.allclose(state.grids["pos_x"][2] - before,
+                           cfg.dt * state.grids["vel_x"][2])
+
+    def test_centers_row_sums(self):
+        cfg = SomierConfig(n=8, steps=1)
+        state = SomierState(cfg)
+        kernels = make_kernels(cfg)
+        kernels.centers.run(1, 7, host_env(state))
+        for i in range(1, 7):
+            assert state.partials[i, 0] == pytest.approx(
+                state.grids["pos_x"][i].sum())
+        assert np.all(state.partials[0] == 0.0)
+
+    def test_reduce_centers_normalizes(self):
+        cfg = SomierConfig(n=8, steps=1, amplitude=0.0)
+        state = SomierState(cfg)
+        kernels = make_kernels(cfg)
+        kernels.centers.run(1, 7, host_env(state))
+        centers = state.reduce_centers()
+        # at rest, the x-center over interior rows is the mean row coord
+        assert centers[0] == pytest.approx(np.arange(1, 7).mean()
+                                           * 8 ** 2 / 8 ** 2)
+
+    def test_kernel_order(self):
+        kernels = make_kernels(SomierConfig(n=8, steps=1))
+        names = [k.name for k in kernels.in_order()]
+        assert names == ["forces", "accelerations", "velocities",
+                         "positions", "centers"]
+
+    def test_work_weights(self):
+        kernels = make_kernels(SomierConfig(n=8, steps=1))
+        assert kernels.forces.work_per_iter == 6.0 * 64
+        assert kernels.positions.work_per_iter == 1.0 * 64

@@ -1,0 +1,49 @@
+"""Unit tests for the §IX extension gates."""
+
+import pytest
+
+from repro.openmp.runtime import OpenMPRuntime
+from repro.sim.topology import uniform_node
+from repro.spread.extensions import Extensions, enable, get_extensions, require
+from repro.util.errors import OmpSemaError
+
+
+def make_rt():
+    return OpenMPRuntime(topology=uniform_node(1))
+
+
+class TestGates:
+    def test_default_all_off(self):
+        ext = get_extensions(make_rt())
+        assert not ext.data_depend
+        assert not ext.schedules
+        assert not ext.reduction
+
+    def test_enable_sets_flags(self):
+        rt = make_rt()
+        enable(rt, data_depend=True, reduction=True)
+        ext = get_extensions(rt)
+        assert ext.data_depend and ext.reduction and not ext.schedules
+
+    def test_enable_unknown_flag_rejected(self):
+        with pytest.raises(OmpSemaError, match="unknown"):
+            enable(make_rt(), warp_speed=True)
+
+    def test_require_raises_with_paper_message(self):
+        rt = make_rt()
+        with pytest.raises(OmpSemaError, match="future work"):
+            require(rt, "data_depend", "the depend clause")
+
+    def test_require_passes_when_enabled(self):
+        rt = make_rt()
+        enable(rt, schedules=True)
+        require(rt, "schedules", "dynamic schedule")  # no raise
+
+    def test_extensions_instance_cached_on_runtime(self):
+        rt = make_rt()
+        assert get_extensions(rt) is get_extensions(rt)
+
+    def test_dataclass_defaults(self):
+        ext = Extensions()
+        assert (ext.data_depend, ext.schedules, ext.reduction) == \
+            (False, False, False)

@@ -1,0 +1,89 @@
+"""Tests for SpreadHandle and SpreadDataRegion handle semantics."""
+
+import numpy as np
+import pytest
+
+from repro.device.kernel import KernelSpec
+from repro.openmp import Map, OpenMPRuntime, Var
+from repro.sim.topology import cte_power_node
+from repro.spread import (
+    omp_spread_size as Z,
+    omp_spread_start as S,
+    spread_schedule,
+    target_enter_data_spread,
+    target_exit_data_spread,
+    target_spread,
+)
+
+
+def make_rt():
+    return OpenMPRuntime(topology=cte_power_node(4, memory_bytes=1e9))
+
+
+def noop_kernel():
+    return KernelSpec("noop", lambda lo, hi, env: None)
+
+
+class TestSpreadHandle:
+    def test_len_is_chunk_count(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(24))
+
+        def program(omp):
+            h = yield from target_spread(
+                omp, noop_kernel(), 0, 24, [0, 1, 2, 3],
+                schedule=spread_schedule("static", 3),
+                maps=[Map.to(vA, (S, Z))], nowait=True)
+            assert len(h) == 8
+            yield from h.wait()
+            return h
+
+        h = rt.run(program)
+        assert h.done
+
+    def test_wait_is_idempotent(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(8))
+
+        def program(omp):
+            h = yield from target_spread(
+                omp, noop_kernel(), 0, 8, [0, 1],
+                maps=[Map.to(vA, (S, Z))], nowait=True)
+            yield from h.wait()
+            t1 = omp.sim.now
+            yield from h.wait()  # second wait: no-op
+            assert omp.sim.now == t1
+
+        rt.run(program)
+
+    def test_chunks_carry_device_and_interval(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(12))
+
+        def program(omp):
+            h = yield from target_spread(
+                omp, noop_kernel(), 0, 12, [2, 0],
+                schedule=spread_schedule("static", 3),
+                maps=[Map.to(vA, (S, Z))])
+            return h
+
+        h = rt.run(program)
+        assert [(c.device, c.start, c.size) for c in h.chunks] == [
+            (2, 0, 3), (0, 3, 3), (2, 6, 3), (0, 9, 3)]
+
+    def test_data_handle_exposes_distribution(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(20))
+
+        def program(omp):
+            h = yield from target_enter_data_spread(
+                omp, devices=[1, 3], range_=(0, 20), chunk_size=5,
+                maps=[Map.to(vA, (S, Z))])
+            yield from target_exit_data_spread(
+                omp, devices=[1, 3], range_=(0, 20), chunk_size=5,
+                maps=[Map.release(vA, (S, Z))])
+            return h
+
+        h = rt.run(program)
+        assert [c.device for c in h.chunks] == [1, 3, 1, 3]
+        assert h.done

@@ -1,0 +1,63 @@
+"""Unit tests for the Reduction clause object itself."""
+
+import numpy as np
+import pytest
+
+from repro.openmp.mapping import Var
+from repro.spread.reduction import Reduction
+from repro.util.errors import OmpSemaError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("op,identity", [
+        ("+", 0.0), ("sum", 0.0), ("*", 1.0), ("prod", 1.0),
+        ("min", np.inf), ("max", -np.inf),
+    ])
+    def test_identities(self, op, identity):
+        red = Reduction(op, Var("a", np.zeros(1)))
+        assert red.identity == identity or (
+            np.isinf(red.identity) and np.isinf(identity))
+
+    def test_unknown_op(self):
+        with pytest.raises(OmpSemaError, match="unsupported operator"):
+            Reduction("avg", Var("a", np.zeros(1)))
+
+
+class TestFold:
+    def test_sum_fold_order_independent_value(self):
+        acc = Var("acc", np.zeros(3))
+        partials = [np.array([1.0, 2.0, 3.0]), np.array([10.0, 20.0, 30.0])]
+        Reduction("sum", acc).fold_into_host(partials)
+        assert np.array_equal(acc.array, [11.0, 22.0, 33.0])
+
+    def test_fold_accumulates_into_existing(self):
+        acc = Var("acc", np.full(2, 5.0))
+        Reduction("+", acc).fold_into_host([np.array([1.0, 1.0])])
+        assert np.array_equal(acc.array, [6.0, 6.0])
+
+    def test_prod_fold(self):
+        acc = Var("acc", np.full(1, 2.0))
+        Reduction("prod", acc).fold_into_host([np.array([3.0]),
+                                               np.array([4.0])])
+        assert acc.array[0] == 24.0
+
+    def test_min_max_fold(self):
+        lo = Var("lo", np.full(1, np.inf))
+        Reduction("min", lo).fold_into_host([np.array([4.0]),
+                                             np.array([2.0]),
+                                             np.array([9.0])])
+        assert lo.array[0] == 2.0
+        hi = Var("hi", np.full(1, -np.inf))
+        Reduction("max", hi).fold_into_host([np.array([4.0]),
+                                             np.array([9.0])])
+        assert hi.array[0] == 9.0
+
+    def test_deterministic_fold_order(self):
+        """Folding happens in the order given (chunk order): for floats the
+        bit pattern depends on it, so the runtime must pass chunk order."""
+        acc1 = Var("a", np.zeros(1))
+        acc2 = Var("b", np.zeros(1))
+        parts = [np.array([1.0]), np.array([1e16]), np.array([-1e16])]
+        Reduction("sum", acc1).fold_into_host(parts)
+        Reduction("sum", acc2).fold_into_host(list(reversed(parts)))
+        assert acc1.array[0] != acc2.array[0]  # order matters for FP

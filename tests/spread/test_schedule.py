@@ -1,0 +1,145 @@
+"""Unit tests for spread schedules — including the paper's worked examples."""
+
+import pytest
+
+from repro.spread.schedule import (
+    DynamicSchedule,
+    IrregularStaticSchedule,
+    StaticSchedule,
+    spread_schedule,
+    validate_devices,
+)
+from repro.util.errors import OmpScheduleError
+from repro.util.intervals import Interval
+
+
+class TestPaperExamples:
+    """Listing 3's distribution examples, N=14, loop 1..N-1, devices(2,0,1)."""
+
+    def test_chunk_four(self):
+        chunks = StaticSchedule(4).chunks(1, 13, [2, 0, 1])
+        assert [(c.interval.start, c.interval.stop, c.device)
+                for c in chunks] == [(1, 5, 2), (5, 9, 0), (9, 13, 1)]
+
+    def test_chunk_two(self):
+        chunks = StaticSchedule(2).chunks(1, 13, [2, 0, 1])
+        assert [(c.interval.start, c.interval.stop, c.device)
+                for c in chunks] == [
+            (1, 3, 2), (3, 5, 0), (5, 7, 1),
+            (7, 9, 2), (9, 11, 0), (11, 13, 1),
+        ]
+
+
+class TestStaticSchedule:
+    def test_partitions_exactly(self):
+        chunks = StaticSchedule(5).chunks(0, 17, [0, 1])
+        assert chunks[0].interval == Interval(0, 5)
+        assert chunks[-1].interval == Interval(15, 17)  # truncated tail
+        assert sum(c.size for c in chunks) == 17
+
+    def test_default_chunk_one_per_device(self):
+        chunks = StaticSchedule(None).chunks(0, 10, [0, 1, 2])
+        assert len(chunks) == 3
+        assert [c.size for c in chunks] == [4, 4, 2]
+        assert [c.device for c in chunks] == [0, 1, 2]
+
+    def test_empty_range(self):
+        assert StaticSchedule(4).chunks(5, 5, [0]) == []
+
+    def test_invalid_range(self):
+        with pytest.raises(OmpScheduleError):
+            StaticSchedule(4).chunks(5, 3, [0])
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(OmpScheduleError):
+            StaticSchedule(0)
+
+    def test_indices_sequential(self):
+        chunks = StaticSchedule(1).chunks(0, 5, [0, 1])
+        assert [c.index for c in chunks] == [0, 1, 2, 3, 4]
+
+    def test_single_device_gets_everything(self):
+        chunks = StaticSchedule(3).chunks(0, 9, [7])
+        assert all(c.device == 7 for c in chunks)
+
+
+class TestIrregularSchedule:
+    def test_sizes_consumed_in_order_and_cycled(self):
+        chunks = IrregularStaticSchedule([3, 1]).chunks(0, 9, [0, 1])
+        assert [c.size for c in chunks] == [3, 1, 3, 1, 1]
+        assert [c.device for c in chunks] == [0, 1, 0, 1, 0]
+
+    def test_is_extension(self):
+        assert IrregularStaticSchedule([1]).is_extension
+
+    def test_bad_sizes(self):
+        with pytest.raises(OmpScheduleError):
+            IrregularStaticSchedule([])
+        with pytest.raises(OmpScheduleError):
+            IrregularStaticSchedule([2, 0])
+
+
+class TestDynamicSchedule:
+    def test_chunks_have_no_device(self):
+        chunks = DynamicSchedule(4).chunks(0, 10, [0, 1])
+        assert all(c.device is None for c in chunks)
+        assert sum(c.size for c in chunks) == 10
+
+    def test_is_extension(self):
+        assert DynamicSchedule(4).is_extension
+
+    def test_chunk_size_required_positive(self):
+        with pytest.raises(OmpScheduleError):
+            DynamicSchedule(0)
+
+
+class TestFactory:
+    def test_static(self):
+        sched = spread_schedule("static", 4)
+        assert isinstance(sched, StaticSchedule)
+        assert sched.chunk_size == 4
+
+    def test_static_without_chunk(self):
+        assert spread_schedule("static").chunk_size is None
+
+    def test_static_with_list_rejected(self):
+        with pytest.raises(OmpScheduleError, match="static_irregular"):
+            spread_schedule("static", [1, 2])
+
+    def test_irregular(self):
+        sched = spread_schedule("static_irregular", [2, 3])
+        assert isinstance(sched, IrregularStaticSchedule)
+
+    def test_irregular_needs_list(self):
+        with pytest.raises(OmpScheduleError):
+            spread_schedule("static_irregular", 4)
+
+    def test_dynamic(self):
+        assert isinstance(spread_schedule("dynamic", 4), DynamicSchedule)
+        with pytest.raises(OmpScheduleError):
+            spread_schedule("dynamic")
+
+    def test_unknown_kind(self):
+        with pytest.raises(OmpScheduleError, match="unknown"):
+            spread_schedule("guided", 4)
+
+
+class TestValidateDevices:
+    def test_valid(self):
+        assert validate_devices([2, 0, 1], 4) == [2, 0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(OmpScheduleError, match="at least one"):
+            validate_devices([], 4)
+
+    def test_out_of_range(self):
+        with pytest.raises(OmpScheduleError, match="out of range"):
+            validate_devices([0, 4], 4)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(OmpScheduleError, match="duplicate"):
+            validate_devices([0, 1, 0], 4)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(OmpScheduleError, match="non-integer"):
+            validate_devices([0, "1"], 4)  # type: ignore[list-item]

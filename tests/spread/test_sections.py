@@ -1,0 +1,77 @@
+"""Unit tests for the symbolic spread identifiers."""
+
+import pytest
+
+from repro.spread.sections import (
+    SpreadExpr,
+    omp_spread_size,
+    omp_spread_start,
+    spread_section,
+)
+
+
+class TestArithmetic:
+    def test_singletons_evaluate(self):
+        assert omp_spread_start.evaluate(7, 3) == 7
+        assert omp_spread_size.evaluate(7, 3) == 3
+
+    def test_halo_pattern(self):
+        start = omp_spread_start - 1
+        size = omp_spread_size + 2
+        assert start.evaluate(10, 4) == 9
+        assert size.evaluate(10, 4) == 6
+
+    def test_radd_rsub(self):
+        assert (1 + omp_spread_start).evaluate(5, 0) == 6
+        assert (10 - omp_spread_size).evaluate(0, 3) == 7
+
+    def test_multiplication_by_int(self):
+        expr = 2 * omp_spread_start + omp_spread_size * 3 - 4
+        assert expr.evaluate(5, 2) == 2 * 5 + 3 * 2 - 4
+
+    def test_negation(self):
+        assert (-omp_spread_start).evaluate(4, 0) == -4
+
+    def test_combined_symbols(self):
+        end = omp_spread_start + omp_spread_size
+        assert end.evaluate(10, 4) == 14
+
+    def test_constant_detection(self):
+        assert SpreadExpr(const=5).is_constant
+        assert not omp_spread_start.is_constant
+
+    def test_float_operand_not_supported(self):
+        with pytest.raises(TypeError):
+            omp_spread_start + 1.5  # type: ignore[operator]
+        with pytest.raises(TypeError):
+            omp_spread_start * 2.0  # type: ignore[operator]
+
+
+class TestEqualityHash:
+    def test_equality_with_int(self):
+        assert SpreadExpr(const=4) == 4
+        assert not (omp_spread_start == 4)
+
+    def test_structural_equality(self):
+        assert omp_spread_start + 1 == 1 + omp_spread_start
+        assert omp_spread_start != omp_spread_size
+
+    def test_hashable(self):
+        s = {omp_spread_start, omp_spread_start + 0, omp_spread_size}
+        assert len(s) == 2
+
+    def test_repr_mentions_symbols(self):
+        assert "omp_spread_start" in repr(omp_spread_start - 1)
+        assert "omp_spread_size" in repr(omp_spread_size + 2)
+
+
+class TestSpreadSection:
+    def test_halo_helper(self):
+        start, size = spread_section(-1, +2)
+        assert start.evaluate(5, 4) == 4
+        assert size.evaluate(5, 4) == 6
+
+    def test_default_exact_chunk(self):
+        start, size = spread_section()
+        assert start.evaluate(5, 4) == 5
+        assert size.evaluate(5, 4) == 4

@@ -1,0 +1,264 @@
+"""Unit tests for the spread data directives (Listings 5-8)."""
+
+import numpy as np
+import pytest
+
+from repro.device.kernel import KernelSpec
+from repro.openmp import Map, OpenMPRuntime, Var
+from repro.openmp.depend import Dep
+from repro.sim.topology import cte_power_node
+from repro.spread import (
+    omp_spread_size,
+    omp_spread_start,
+    spread_schedule,
+    target_data_spread,
+    target_enter_data_spread,
+    target_exit_data_spread,
+    target_spread_teams_distribute_parallel_for,
+    target_update_spread,
+)
+from repro.spread import extensions as ext
+from repro.util.errors import OmpMappingError, OmpSemaError
+
+S, Z = omp_spread_start, omp_spread_size
+N = 26
+
+
+def make_rt():
+    return OpenMPRuntime(topology=cte_power_node(4, memory_bytes=1e9))
+
+
+def plus_one_kernel():
+    def body(lo, hi, env):
+        env["A"][lo:hi] = env["A"][lo:hi] + 1.0
+
+    return KernelSpec("plus-one", body)
+
+
+class TestEnterExitDataSpread:
+    def test_round_trip_whole_range(self):
+        rt = make_rt()
+        A = np.arange(float(N))
+        vA = Var("A", A)
+
+        def program(omp):
+            h = yield from target_enter_data_spread(
+                omp, devices=[1, 0, 3, 2], range_=(0, N), chunk_size=7,
+                maps=[Map.to(vA, (S, Z))])
+            assert len(h) == 4  # ceil(26/7) chunks
+            yield from target_spread_teams_distribute_parallel_for(
+                omp, plus_one_kernel(), 0, N, [1, 0, 3, 2],
+                schedule=spread_schedule("static", 7),
+                maps=[Map.to(vA, (S, Z))])
+            yield from target_exit_data_spread(
+                omp, devices=[1, 0, 3, 2], range_=(0, N), chunk_size=7,
+                maps=[Map.from_(vA, (S, Z))])
+
+        rt.run(program)
+        assert np.array_equal(A, np.arange(float(N)) + 1)
+        for env in rt.dataenvs:
+            assert env.is_empty()
+
+    def test_distribution_matches_static_round_robin(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(N))
+
+        def program(omp):
+            h = yield from target_enter_data_spread(
+                omp, devices=[2, 0], range_=(1, N - 2), chunk_size=6,
+                maps=[Map.alloc(vA, (S, Z))])
+            return h
+
+        h = rt.run(program)
+        assert [c.device for c in h.chunks] == [2, 0, 2, 0]
+        assert h.chunks[0].interval.start == 1
+
+    def test_enter_map_types_checked(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(N))
+
+        def program(omp):
+            yield from target_enter_data_spread(
+                omp, devices=[0], range_=(0, N), chunk_size=N,
+                maps=[Map.from_(vA, (S, Z))])
+
+        with pytest.raises(OmpSemaError, match="not allowed"):
+            rt.run(program)
+
+    def test_depend_gated_without_extension(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(N))
+
+        def program(omp):
+            yield from target_enter_data_spread(
+                omp, devices=[0], range_=(0, N), chunk_size=N,
+                maps=[Map.to(vA, (S, Z))],
+                depends=[Dep.out(vA, (S, Z))])
+
+        with pytest.raises(OmpSemaError, match="future work"):
+            rt.run(program)
+
+    def test_depend_orders_enter_then_kernel_without_barrier(self):
+        """Listing 13: chunk-level depends replace the taskgroup barrier."""
+        rt = make_rt()
+        ext.enable(rt, data_depend=True)
+        A = np.arange(float(N))
+        vA = Var("A", A)
+
+        def program(omp):
+            yield from target_enter_data_spread(
+                omp, devices=[0, 1], range_=(0, N), chunk_size=13,
+                maps=[Map.to(vA, (S, Z))], nowait=True,
+                depends=[Dep.out(vA, (S, Z))])
+            yield from target_spread_teams_distribute_parallel_for(
+                omp, plus_one_kernel(), 0, N, [0, 1],
+                schedule=spread_schedule("static", 13),
+                maps=[Map.to(vA, (S, Z))], nowait=True,
+                depends=[Dep.inout(vA, (S, Z))])
+            yield from target_exit_data_spread(
+                omp, devices=[0, 1], range_=(0, N), chunk_size=13,
+                maps=[Map.from_(vA, (S, Z))], nowait=True,
+                depends=[Dep.out(vA, (S, Z))])
+            yield from omp.taskwait()
+
+        rt.run(program)
+        assert np.array_equal(A, np.arange(float(N)) + 1)
+
+    def test_negative_range_length_rejected(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(N))
+
+        def program(omp):
+            yield from target_enter_data_spread(
+                omp, devices=[0], range_=(0, -3), chunk_size=2,
+                maps=[Map.to(vA, (S, Z))])
+
+        with pytest.raises(OmpSemaError, match="negative"):
+            rt.run(program)
+
+
+class TestDataSpreadRegion:
+    def test_structured_region_tofrom(self):
+        rt = make_rt()
+        A = np.arange(float(N))
+        vA = Var("A", A)
+
+        def program(omp):
+            region = yield from target_data_spread(
+                omp, devices=[1, 0], range_=(0, N), chunk_size=13,
+                maps=[Map.tofrom(vA, (S, Z))])
+            yield from target_spread_teams_distribute_parallel_for(
+                omp, plus_one_kernel(), 0, N, [1, 0],
+                schedule=spread_schedule("static", 13),
+                maps=[Map.to(vA, (S, Z))])
+            yield from region.end()
+
+        rt.run(program)
+        assert np.array_equal(A, np.arange(float(N)) + 1)
+        for env in rt.dataenvs:
+            assert env.is_empty()
+
+    def test_region_double_end_rejected(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(N))
+
+        def program(omp):
+            region = yield from target_data_spread(
+                omp, devices=[0], range_=(0, N), chunk_size=N,
+                maps=[Map.alloc(vA, (S, Z))])
+            yield from region.end()
+            yield from region.end()
+
+        with pytest.raises(OmpSemaError, match="already closed"):
+            rt.run(program)
+
+
+class TestUpdateSpread:
+    def test_distributed_update_to_and_from(self):
+        rt = make_rt()
+        A = np.arange(float(N))
+        vA = Var("A", A)
+
+        def program(omp):
+            yield from target_enter_data_spread(
+                omp, devices=[0, 1], range_=(0, N), chunk_size=13,
+                maps=[Map.to(vA, (S, Z))])
+            A[:] = -1.0  # host changes; push them to the devices
+            yield from target_update_spread(
+                omp, devices=[0, 1], range_=(0, N), chunk_size=13,
+                to=[(vA, (S, Z))])
+            yield from target_spread_teams_distribute_parallel_for(
+                omp, plus_one_kernel(), 0, N, [0, 1],
+                schedule=spread_schedule("static", 13),
+                maps=[Map.to(vA, (S, Z))])
+            yield from target_update_spread(
+                omp, devices=[0, 1], range_=(0, N), chunk_size=13,
+                from_=[(vA, (S, Z))])
+            yield from target_exit_data_spread(
+                omp, devices=[0, 1], range_=(0, N), chunk_size=13,
+                maps=[Map.release(vA, (S, Z))])
+
+        rt.run(program)
+        assert np.all(A == 0.0)
+
+    def test_update_requires_presence(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(N))
+
+        def program(omp):
+            yield from target_update_spread(
+                omp, devices=[0], range_=(0, N), chunk_size=N,
+                to=[(vA, (S, Z))])
+
+        with pytest.raises(OmpMappingError, match="not present"):
+            rt.run(program)
+
+    def test_update_needs_direction(self):
+        rt = make_rt()
+
+        def program(omp):
+            yield from target_update_spread(omp, devices=[0],
+                                            range_=(0, N), chunk_size=N)
+
+        with pytest.raises(OmpSemaError, match="at least one"):
+            rt.run(program)
+
+    def test_update_depend_gated(self):
+        rt = make_rt()
+        vA = Var("A", np.zeros(N))
+
+        def program(omp):
+            yield from target_update_spread(
+                omp, devices=[0], range_=(0, N), chunk_size=N,
+                to=[(vA, (S, Z))], depends=[Dep.in_(vA)])
+
+        with pytest.raises(OmpSemaError, match="future work"):
+            rt.run(program)
+
+
+class TestDifferentMappingsListing8:
+    def test_two_directives_different_devices_and_ranges(self):
+        """Listing 8: two enter-data-spread with different device lists."""
+        rt = make_rt()
+        A, B = np.arange(float(N)), np.arange(float(N)) * 2
+        vA, vB = Var("A", A), Var("B", B)
+
+        def program(omp):
+            tg = omp.taskgroup_begin()
+            yield from target_enter_data_spread(
+                omp, devices=[2, 0], range_=(1, N - 2), chunk_size=4,
+                nowait=True, maps=[Map.to(vA, (S - 1, Z + 2))])
+            yield from target_enter_data_spread(
+                omp, devices=[1, 3], range_=(10, 12), chunk_size=10,
+                nowait=True, maps=[Map.to(vB, (S, Z))])
+            yield from omp.taskgroup_end(tg)
+            yield from target_exit_data_spread(
+                omp, devices=[2, 0], range_=(1, N - 2), chunk_size=4,
+                maps=[Map.release(vA, (S - 1, Z + 2))])
+            yield from target_exit_data_spread(
+                omp, devices=[1, 3], range_=(10, 12), chunk_size=10,
+                maps=[Map.release(vB, (S, Z))])
+
+        rt.run(program)
+        for env in rt.dataenvs:
+            assert env.is_empty()

@@ -1,0 +1,318 @@
+"""Integration-grade unit tests for the executable spread directives."""
+
+import numpy as np
+import pytest
+
+from repro.device.kernel import KernelSpec
+from repro.openmp import Map, OpenMPRuntime, Var
+from repro.openmp.depend import Dep
+from repro.sim.costmodel import CostModel
+from repro.sim.topology import DeviceSpec, cte_power_node, uniform_node
+from repro.spread import (
+    Reduction,
+    omp_spread_size,
+    omp_spread_start,
+    spread_schedule,
+    target_spread,
+    target_spread_teams_distribute_parallel_for,
+)
+from repro.spread import extensions as ext
+from repro.util.errors import OmpScheduleError, OmpSemaError
+
+S, Z = omp_spread_start, omp_spread_size
+
+
+def make_rt(n=4):
+    return OpenMPRuntime(topology=cte_power_node(n, memory_bytes=1e9))
+
+
+def stencil_kernel():
+    def body(lo, hi, env):
+        a, b = env["A"], env["B"]
+        b[lo:hi] = a[lo - 1:hi - 1] + a[lo:hi] + a[lo + 1:hi + 1]
+
+    return KernelSpec("stencil", body)
+
+
+def expected_stencil(A, n):
+    out = np.zeros(n)
+    out[1:n - 1] = A[0:n - 2] + A[1:n - 1] + A[2:n]
+    return out
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("devices", [[0], [1, 0], [2, 0, 1], [0, 1, 2, 3]])
+    def test_stencil_any_device_count(self, devices):
+        n = 26
+        rt = make_rt()
+        A, B = np.arange(float(n)), np.zeros(n)
+        vA, vB = Var("A", A), Var("B", B)
+        # chunk = one per device, so same-device chunks never carry
+        # overlapping halo maps (the paper's gap restriction, §V-B)
+        def program(omp):
+            yield from target_spread(
+                omp, stencil_kernel(), 1, n - 1, devices,
+                maps=[Map.to(vA, (S - 1, Z + 2)), Map.from_(vB, (S, Z))])
+
+        rt.run(program)
+        assert np.array_equal(B, expected_stencil(A, n))
+        for env in rt.dataenvs:
+            assert env.is_empty()
+
+    def test_same_device_halo_chunks_rejected(self):
+        """Round-robin with 1 device and a small chunk puts adjacent halo
+        maps on the same data environment — the overlap-extension error
+        the paper's Section V-B describes."""
+        from repro.util.errors import OmpMappingError
+
+        n = 26
+        rt = make_rt()
+        A, B = np.arange(float(n)), np.zeros(n)
+        vA, vB = Var("A", A), Var("B", B)
+
+        def program(omp):
+            yield from target_spread(
+                omp, stencil_kernel(), 1, n - 1, [0],
+                schedule=spread_schedule("static", 4),
+                maps=[Map.to(vA, (S - 1, Z + 2)), Map.from_(vB, (S, Z))])
+
+        with pytest.raises(OmpMappingError, match="extend"):
+            rt.run(program)
+
+    def test_devices_list_order_controls_distribution(self):
+        rt = make_rt()
+        n = 14
+        A, B = np.arange(float(n)), np.zeros(n)
+        vA, vB = Var("A", A), Var("B", B)
+
+        def program(omp):
+            handle = yield from target_spread(
+                omp, stencil_kernel(), 1, n - 1, [2, 0, 1],
+                schedule=spread_schedule("static", 4),
+                maps=[Map.to(vA, (S - 1, Z + 2)), Map.from_(vB, (S, Z))])
+            return handle
+
+        handle = rt.run(program)
+        assert [c.device for c in handle.chunks] == [2, 0, 1]
+
+    def test_nowait_requires_explicit_sync(self):
+        rt = make_rt()
+        n = 14
+        A, B = np.arange(float(n)), np.zeros(n)
+        vA, vB = Var("A", A), Var("B", B)
+
+        def program(omp):
+            handle = yield from target_spread(
+                omp, stencil_kernel(), 1, n - 1, [0, 1],
+                schedule=spread_schedule("static", 4),
+                maps=[Map.to(vA, (S - 1, Z + 2)), Map.from_(vB, (S, Z))],
+                nowait=True)
+            assert not handle.done
+            yield from handle.wait()
+            assert handle.done
+
+        rt.run(program)
+        assert np.array_equal(B, expected_stencil(A, n))
+
+    def test_chunk_deps_pipeline_two_kernels(self):
+        rt = make_rt()
+        n = 26
+        A, B, C = np.arange(float(n)), np.zeros(n), np.zeros(n)
+        vA, vB, vC = Var("A", A), Var("B", B), Var("C", C)
+
+        def scale(lo, hi, env):
+            env["C"][lo:hi] = env["B"][lo:hi] * 10
+
+        def program(omp):
+            yield from target_spread(
+                omp, stencil_kernel(), 1, n - 1, [0, 1, 2, 3],
+                schedule=spread_schedule("static", 6),
+                maps=[Map.to(vA, (S - 1, Z + 2)), Map.from_(vB, (S, Z))],
+                nowait=True, depends=[Dep.out(vB, (S, Z))])
+            yield from target_spread(
+                omp, KernelSpec("scale", scale), 1, n - 1, [0, 1, 2, 3],
+                schedule=spread_schedule("static", 6),
+                maps=[Map.to(vB, (S, Z)), Map.from_(vC, (S, Z))],
+                nowait=True,
+                depends=[Dep.in_(vB, (S, Z)), Dep.out(vC, (S, Z))])
+            yield from omp.taskwait()
+
+        rt.run(program)
+        assert np.array_equal(C, expected_stencil(A, n) * 10)
+
+    def test_bad_devices_rejected(self):
+        rt = make_rt(2)
+
+        def program(omp):
+            yield from target_spread(omp, stencil_kernel(), 0, 4, [0, 5],
+                                     maps=[])
+
+        with pytest.raises(OmpScheduleError):
+            rt.run(program)
+
+
+class TestCombined:
+    def test_combined_faster_than_bare_spread(self):
+        n = 66
+
+        def run(combined):
+            rt = make_rt()
+            A, B = np.arange(float(n)), np.zeros(n)
+            vA, vB = Var("A", A), Var("B", B)
+
+            def program(omp):
+                fn = (target_spread_teams_distribute_parallel_for
+                      if combined else target_spread)
+                yield from fn(omp, stencil_kernel(), 1, n - 1, [0, 1],
+                              schedule=spread_schedule("static", 16),
+                              maps=[Map.to(vA, (S - 1, Z + 2)),
+                                    Map.from_(vB, (S, Z))])
+
+            rt.run(program)
+            return rt.elapsed
+
+        assert run(True) < run(False)
+
+    def test_num_teams_applies_per_device(self):
+        """Halving teams must slow the kernels (per-device derating)."""
+        n = 66
+
+        def run(teams):
+            rt = OpenMPRuntime(topology=uniform_node(
+                2, device_specs=[DeviceSpec(num_sms=8), DeviceSpec(num_sms=8)]))
+            A, B = np.arange(float(n)), np.zeros(n)
+            vA, vB = Var("A", A), Var("B", B)
+
+            def program(omp):
+                yield from target_spread_teams_distribute_parallel_for(
+                    omp, stencil_kernel(), 1, n - 1, [0, 1],
+                    schedule=spread_schedule("static", 33),
+                    num_teams=teams,
+                    maps=[Map.to(vA, (S - 1, Z + 2)), Map.from_(vB, (S, Z))])
+
+            rt.run(program)
+            return rt.elapsed
+
+        assert run(4) < run(2)
+
+
+class TestDynamicScheduleExtension:
+    def test_gated_by_default(self):
+        rt = make_rt()
+
+        def program(omp):
+            yield from target_spread(omp, stencil_kernel(), 1, 13, [0, 1],
+                                     schedule=spread_schedule("dynamic", 4),
+                                     maps=[])
+
+        with pytest.raises(OmpSemaError, match="not supported yet"):
+            rt.run(program)
+
+    def test_dynamic_balances_unequal_devices(self):
+        n = 98
+        fast = DeviceSpec(iters_per_second=1e7)
+        slow = DeviceSpec(iters_per_second=1e6)
+
+        def run(kind):
+            rt = OpenMPRuntime(topology=uniform_node(
+                2, device_specs=[fast, slow], memory_bytes=1e9))
+            ext.enable(rt, schedules=True)
+            A, B = np.arange(float(n)), np.zeros(n)
+            vA, vB = Var("A", A), Var("B", B)
+
+            def program(omp):
+                yield from target_spread(
+                    omp, stencil_kernel(), 1, n - 1, [0, 1],
+                    schedule=spread_schedule(kind, 8),
+                    maps=[Map.to(vA, (S - 1, Z + 2)), Map.from_(vB, (S, Z))])
+
+            rt.run(program)
+            assert np.array_equal(B, expected_stencil(A, n))
+            return rt.elapsed
+
+        assert run("dynamic") < run("static")
+
+    def test_dynamic_with_depend_rejected(self):
+        rt = make_rt()
+        ext.enable(rt, schedules=True)
+        vA = Var("A", np.zeros(20))
+
+        def program(omp):
+            yield from target_spread(omp, stencil_kernel(), 1, 19, [0, 1],
+                                     schedule=spread_schedule("dynamic", 4),
+                                     maps=[], depends=[Dep.out(vA)])
+
+        with pytest.raises(OmpSemaError, match="dynamic"):
+            rt.run(program)
+
+
+class TestReductionExtension:
+    def test_gated_by_default(self):
+        rt = make_rt()
+        acc = Var("acc", np.zeros(1))
+
+        def program(omp):
+            yield from target_spread(omp, stencil_kernel(), 1, 13, [0, 1],
+                                     maps=[], reductions=[Reduction("sum", acc)])
+
+        with pytest.raises(OmpSemaError, match="not supported yet"):
+            rt.run(program)
+
+    def test_sum_reduction_across_devices(self):
+        n = 34
+        rt = make_rt()
+        ext.enable(rt, reduction=True)
+        A = np.arange(float(n))
+        vA = Var("A", A)
+        acc = Var("acc", np.zeros(1))
+
+        def body(lo, hi, env):
+            env["acc"][0] += env["A"][lo:hi].sum()
+
+        def program(omp):
+            yield from target_spread(
+                omp, KernelSpec("sum", body), 0, n, [0, 1, 2, 3],
+                schedule=spread_schedule("static", 5),
+                maps=[Map.to(vA, (S, Z))],
+                reductions=[Reduction("sum", acc)])
+
+        rt.run(program)
+        assert acc.array[0] == pytest.approx(A.sum())
+
+    def test_max_reduction(self):
+        n = 20
+        rt = make_rt()
+        ext.enable(rt, reduction=True)
+        rng = np.arange(float(n))[::-1].copy()
+        vA = Var("A", rng)
+        acc = Var("m", np.full(1, -np.inf))
+
+        def body(lo, hi, env):
+            env["m"][0] = max(env["m"][0], env["A"][lo:hi].max())
+
+        def program(omp):
+            yield from target_spread(
+                omp, KernelSpec("max", body), 0, n, [0, 1],
+                schedule=spread_schedule("static", 4),
+                maps=[Map.to(vA, (S, Z))],
+                reductions=[Reduction("max", acc)])
+
+        rt.run(program)
+        assert acc.array[0] == rng.max()
+
+    def test_reduction_with_nowait_rejected(self):
+        rt = make_rt()
+        ext.enable(rt, reduction=True)
+        acc = Var("acc", np.zeros(1))
+
+        def program(omp):
+            yield from target_spread(omp, stencil_kernel(), 1, 13, [0],
+                                     maps=[], nowait=True,
+                                     reductions=[Reduction("sum", acc)])
+
+        with pytest.raises(OmpSemaError, match="nowait"):
+            rt.run(program)
+
+    def test_bad_operator(self):
+        with pytest.raises(OmpSemaError):
+            Reduction("xor", Var("a", np.zeros(1)))

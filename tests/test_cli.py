@@ -1,0 +1,102 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestListing3:
+    def test_default_reproduces_paper_example(self, capsys):
+        assert main(["listing3"]) == 0
+        out = capsys.readouterr().out
+        assert "1..4" in out and "9..12" in out
+
+    def test_custom_distribution(self, capsys):
+        assert main(["listing3", "--lo", "0", "--hi", "6", "--chunk", "2",
+                     "--devices", "1,0"]) == 0
+        out = capsys.readouterr().out
+        assert "0..1" in out and "4..5" in out
+
+
+class TestCheck:
+    def test_valid_pragma(self, capsys):
+        rc = main(["check", "omp target spread devices(0,1) nowait"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK: target spread" in out
+        assert "normalized:" in out
+
+    def test_sema_error_returns_1(self, capsys):
+        rc = main(["check", "omp target data spread devices(0) range(0:4) "
+                            "chunk_size(2) nowait"])
+        assert rc == 1
+        assert "not allowed" in capsys.readouterr().err
+
+    def test_syntax_error_returns_1(self, capsys):
+        rc = main(["check", "omp target devices(0,1"])
+        assert rc == 1
+
+    def test_extension_flags_unlock_future_work(self, capsys):
+        src = ("omp target enter data spread devices(0) range(0:4) "
+               "chunk_size(2) map(to: A[omp_spread_start:omp_spread_size]) "
+               "depend(out: A[omp_spread_start:omp_spread_size])")
+        assert main(["check", src]) == 1
+        capsys.readouterr()
+        assert main(["check", src, "--extensions", "data_depend"]) == 0
+
+    def test_unknown_extension_returns_2(self, capsys):
+        rc = main(["check", "omp target", "--extensions", "warp"])
+        assert rc == 2
+
+
+class TestSomier:
+    def test_small_run_with_verification(self, capsys):
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "2", "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bitwise identical" in out
+        assert "virtual" in out
+
+    def test_trace_output(self, capsys):
+        rc = main(["somier", "--impl", "target", "--gpus", "1",
+                   "--n-functional", "24", "--steps", "1", "--trace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "legend" in out  # the ASCII timeline
+
+    def test_runtime_error_becomes_exit_code(self, capsys):
+        # two_buffers on one device is infeasible (halo overlap, or the
+        # chunk no longer fits once halved) — either way, a clean error
+        rc = main(["somier", "--impl", "two_buffers", "--gpus", "1",
+                   "--n-functional", "24", "--steps", "1"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "extend" in err or "exceeds" in err
+
+    def test_explicit_device_order(self, capsys):
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--devices", "1,0", "--n-functional", "24",
+                   "--steps", "1"])
+        assert rc == 0
+        assert "[1, 0]" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_table1_tiny(self, capsys):
+        rc = main(["table1", "--n-functional", "24", "--steps", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "sim/paper" in out
+
+
+class TestParser:
+    def test_devices_arg_validation(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["somier", "--devices", "a,b"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,48 @@
+"""CLI coverage for the table2 subcommand and fuse/data-depend flags."""
+
+from repro.cli import main
+
+
+class TestTable2Cli:
+    def test_table2_tiny(self, capsys):
+        # half-buffer variants need chunks of >= 2 rows, hence the
+        # larger functional grid
+        rc = main(["table2", "--n-functional", "96", "--steps", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+        assert "double_buffering" in out
+
+
+class TestSomierFlags:
+    def test_data_depend_flag(self, capsys):
+        # dependence mode keeps consecutive buffers in flight, so the
+        # same >= 2-row chunk rule applies
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "48", "--steps", "1",
+                   "--data-depend", "--verify"])
+        assert rc == 0
+        assert "bitwise identical" in capsys.readouterr().out
+
+    def test_fuse_transfers_flag(self, capsys):
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1",
+                   "--fuse-transfers", "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bitwise identical" in out
+
+
+class TestMachineCli:
+    def test_machine_description(self, capsys):
+        rc = main(["machine", "--gpus", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 socket(s)" in out
+        assert "host staging" in out
+        assert "V100" in out
+
+    def test_machine_two_gpus_one_socket(self, capsys):
+        rc = main(["machine", "--gpus", "2"])
+        assert rc == 0
+        assert "1 socket(s)" in capsys.readouterr().out

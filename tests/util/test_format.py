@@ -1,0 +1,43 @@
+"""Unit tests for formatting helpers."""
+
+from repro.util.format import format_bytes, format_hms, format_table
+
+
+class TestFormatHms:
+    def test_paper_style(self):
+        assert format_hms(17 * 60 + 40.231) == "17m40.231s"
+        assert format_hms(8 * 60 + 22.019) == "8m22.019s"
+
+    def test_sub_minute(self):
+        assert format_hms(3.5) == "3.500s"
+
+    def test_zero_and_negative(self):
+        assert format_hms(0.0) == "0.000s"
+        assert format_hms(-61.0) == "-1m01.000s"
+
+    def test_minute_padding(self):
+        assert format_hms(60.5) == "1m00.500s"
+        assert format_hms(13 * 60 + 4.053) == "13m04.053s"
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(154.5e9) == "154.50 GB"
+        assert format_bytes(2_000_000) == "2.00 MB"
+        assert format_bytes(1500) == "1.50 KB"
+        assert format_bytes(12) == "12 B"
+        assert format_bytes(3.2e12) == "3.20 TB"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["a", "long"], [["xxx", 1], ["y", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a  ")
+        # all rows equally wide
+        assert len(set(map(len, lines))) == 1
+
+    def test_rows_longer_than_header(self):
+        out = format_table(["h"], [["wider-cell"]])
+        assert "wider-cell" in out

@@ -1,0 +1,129 @@
+"""Unit tests for the half-open interval algebra."""
+
+import pytest
+
+from repro.util.intervals import Interval, IntervalSet
+
+
+class TestInterval:
+    def test_basic_length_and_contains(self):
+        iv = Interval(2, 7)
+        assert len(iv) == 5
+        assert 2 in iv and 6 in iv
+        assert 7 not in iv and 1 not in iv
+        assert not iv.empty
+
+    def test_empty_interval(self):
+        iv = Interval(5, 5)
+        assert iv.empty
+        assert len(iv) == 0
+        assert 5 not in iv
+        assert Interval(7, 3).empty
+
+    def test_non_int_bounds_rejected(self):
+        with pytest.raises(TypeError):
+            Interval(0.5, 3)  # type: ignore[arg-type]
+
+    def test_containment(self):
+        outer = Interval(0, 10)
+        assert outer.contains(Interval(0, 10))
+        assert outer.contains(Interval(3, 7))
+        assert not outer.contains(Interval(5, 11))
+        # the empty interval is contained everywhere
+        assert outer.contains(Interval(4, 4))
+
+    def test_overlap(self):
+        a = Interval(0, 5)
+        assert a.overlaps(Interval(4, 9))
+        assert a.overlaps(Interval(0, 1))
+        assert not a.overlaps(Interval(5, 9))  # half-open: touching != overlap
+        assert not a.overlaps(Interval(7, 7))
+
+    def test_extends_is_overlap_without_containment(self):
+        entry = Interval(0, 8)
+        assert Interval(4, 12).extends(entry)
+        assert not Interval(2, 6).extends(entry)       # contained
+        assert not Interval(8, 12).extends(entry)      # disjoint
+        assert not Interval(0, 8).extends(entry)       # equal
+
+    def test_adjacent(self):
+        assert Interval(0, 3).adjacent(Interval(3, 5))
+        assert Interval(3, 5).adjacent(Interval(0, 3))
+        assert not Interval(0, 3).adjacent(Interval(4, 5))
+        assert not Interval(0, 3).adjacent(Interval(2, 5))
+
+    def test_intersection_and_hull(self):
+        a, b = Interval(0, 6), Interval(4, 10)
+        assert a.intersection(b) == Interval(4, 6)
+        assert a.union_hull(b) == Interval(0, 10)
+        assert a.intersection(Interval(8, 9)).empty
+
+    def test_shift_clamp_split(self):
+        iv = Interval(2, 8)
+        assert iv.shift(3) == Interval(5, 11)
+        assert iv.clamp(4, 6) == Interval(4, 6)
+        left, right = iv.split_at(5)
+        assert left == Interval(2, 5) and right == Interval(5, 8)
+        left, right = iv.split_at(100)
+        assert left == iv and right.empty
+
+    def test_as_slice(self):
+        assert Interval(1, 4).as_slice() == slice(1, 4)
+
+    def test_ordering(self):
+        assert Interval(1, 3) < Interval(2, 3)
+        assert sorted([Interval(5, 6), Interval(0, 9)])[0] == Interval(0, 9)
+
+
+class TestIntervalSet:
+    def test_add_merges_overlapping(self):
+        s = IntervalSet([Interval(0, 3), Interval(2, 6)])
+        assert list(s) == [Interval(0, 6)]
+
+    def test_add_merges_adjacent(self):
+        s = IntervalSet([Interval(0, 3), Interval(3, 5)])
+        assert list(s) == [Interval(0, 5)]
+
+    def test_add_keeps_disjoint_sorted(self):
+        s = IntervalSet([Interval(6, 8), Interval(0, 2)])
+        assert list(s) == [Interval(0, 2), Interval(6, 8)]
+        assert s.total() == 4
+
+    def test_add_empty_is_noop(self):
+        s = IntervalSet()
+        s.add(Interval(3, 3))
+        assert not s
+
+    def test_remove_splits(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.remove(Interval(3, 6))
+        assert list(s) == [Interval(0, 3), Interval(6, 10)]
+        assert s.total() == 7
+
+    def test_remove_entire(self):
+        s = IntervalSet([Interval(0, 4)])
+        s.remove(Interval(0, 4))
+        assert not s
+
+    def test_covers(self):
+        s = IntervalSet([Interval(0, 4), Interval(6, 9)])
+        assert s.covers(Interval(1, 3))
+        assert s.covers(Interval(8, 8))  # empty
+        assert not s.covers(Interval(3, 7))  # spans the gap
+
+    def test_find_overlapping(self):
+        s = IntervalSet([Interval(0, 4), Interval(6, 9)])
+        assert s.find_overlapping(Interval(3, 7)) == [Interval(0, 4),
+                                                      Interval(6, 9)]
+        assert s.find_overlapping(Interval(4, 6)) == []
+
+    def test_first_gap(self):
+        occupied = IntervalSet([Interval(0, 4), Interval(6, 9)])
+        assert occupied.first_gap(2) == 4
+        assert occupied.first_gap(3) == 9
+        assert occupied.first_gap(3, hi=9) is None
+        assert occupied.first_gap(0) == 0
+
+    def test_equality(self):
+        assert IntervalSet([Interval(0, 3)]) == IntervalSet([Interval(0, 2),
+                                                             Interval(2, 3)])
