@@ -21,6 +21,7 @@ from repro.bench.machines import (
     paper_machine,
     paper_somier_config,
 )
+from repro.obs import MetricsTool
 from repro.somier import run_somier
 
 #: functional grid standing in for the paper's 1200^3 (see repro.bench)
@@ -42,10 +43,13 @@ class PaperRuns:
         if key not in self._cache:
             topo, cm = paper_machine(gpus, n_functional=n_functional)
             cfg = paper_somier_config(n_functional=n_functional, steps=steps)
+            # Attach the metrics tool so BENCH_*.json runs carry counter
+            # snapshots (tool callbacks never advance virtual time, so the
+            # reported elapsed seconds are unaffected).
             self._cache[key] = run_somier(
                 impl, cfg, devices=paper_devices(gpus), topology=topo,
                 cost_model=cm, trace=trace, data_depend=data_depend,
-                fuse_transfers=fuse_transfers)
+                fuse_transfers=fuse_transfers, tools=(MetricsTool(),))
         return self._cache[key]
 
 
@@ -57,8 +61,12 @@ def paper_runs():
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark a simulation exactly once (runs are seconds-long and
     deterministic, repetition adds nothing)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1)
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    metrics = getattr(result, "metrics", None)
+    if metrics:
+        benchmark.extra_info["metrics"] = metrics["counters"]
+    return result
 
 
 def paper_seconds(impl: str, gpus: int) -> float:

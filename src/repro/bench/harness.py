@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench import machines
+from repro.obs.builtin import MetricsTool
 from repro.somier import run_somier
 from repro.somier.driver import SomierResult
 from repro.util.format import format_hms, format_table
@@ -38,35 +39,41 @@ class Experiment:
 
 def _run_one(impl: str, gpus: int, n_functional: int, steps: int,
              data_depend: bool = False, fuse_transfers: bool = False,
-             trace: bool = False) -> SomierResult:
+             trace: bool = False, metrics: bool = False) -> SomierResult:
     topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
     cfg = machines.paper_somier_config(n_functional=n_functional, steps=steps)
+    # Tool callbacks never touch virtual time, so metrics=True changes only
+    # what is *reported* (SomierResult.metrics), never the elapsed numbers.
+    tools = (MetricsTool(),) if metrics else ()
     return run_somier(impl, cfg, devices=machines.paper_devices(gpus),
                       topology=topo, cost_model=cm,
                       data_depend=data_depend,
-                      fuse_transfers=fuse_transfers, trace=trace)
+                      fuse_transfers=fuse_transfers, trace=trace,
+                      tools=tools)
 
 
 def run_table1(n_functional: int = 96, steps: int = machines.PAPER_STEPS,
-               trace: bool = False) -> List[Experiment]:
+               trace: bool = False, metrics: bool = False) -> List[Experiment]:
     """Table I: One Buffer — target (1 GPU) vs target spread (1/2/4)."""
     rows = [("target", 1), ("one_buffer", 1), ("one_buffer", 2),
             ("one_buffer", 4)]
     out = []
     for impl, gpus in rows:
-        result = _run_one(impl, gpus, n_functional, steps, trace=trace)
+        result = _run_one(impl, gpus, n_functional, steps, trace=trace,
+                          metrics=metrics)
         out.append(Experiment(impl=impl, gpus=gpus, result=result,
                               paper_seconds=machines.PAPER_TABLE1[(impl, gpus)]))
     return out
 
 
 def run_table2(n_functional: int = 96, steps: int = machines.PAPER_STEPS,
-               trace: bool = False) -> List[Experiment]:
+               trace: bool = False, metrics: bool = False) -> List[Experiment]:
     """Table II / Fig. 2: One Buffer vs Two Buffers vs Double Buffering."""
     out = []
     for impl in ("one_buffer", "two_buffers", "double_buffering"):
         for gpus in (2, 4):
-            result = _run_one(impl, gpus, n_functional, steps, trace=trace)
+            result = _run_one(impl, gpus, n_functional, steps, trace=trace,
+                              metrics=metrics)
             out.append(Experiment(
                 impl=impl, gpus=gpus, result=result,
                 paper_seconds=machines.PAPER_TABLE2[(impl, gpus)]))

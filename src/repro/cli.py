@@ -4,6 +4,8 @@ Subcommands:
 
 * ``somier``   — run one Somier experiment and print the result
                  (implementation, device count, optional extensions, trace);
+* ``stats``    — run a Somier experiment with the metrics tool attached and
+                 print the per-directive / per-device profiling report;
 * ``table1``   — regenerate the paper's Table I;
 * ``table2``   — regenerate the paper's Table II;
 * ``listing3`` — print the chunk distribution of the paper's worked example
@@ -14,6 +16,8 @@ Subcommands:
 Examples::
 
     python -m repro somier --impl one_buffer --gpus 4 --steps 8 --trace
+    python -m repro somier --steps 2 --profile --trace-json /tmp/t.json
+    python -m repro stats --impl one_buffer --gpus 4
     python -m repro table1 --n-functional 64
     python -m repro listing3 --lo 1 --hi 13 --chunk 4 --devices 2,0,1
     python -m repro check "omp target spread devices(0,1) nowait"
@@ -65,6 +69,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print an ASCII timeline of the run")
     p.add_argument("--verify", action="store_true",
                    help="check the result against the sequential reference")
+    p.add_argument("--profile", action="store_true",
+                   help="attach the metrics tool and print the "
+                        "per-directive/per-device profiling report")
+    p.add_argument("--trace-json", metavar="PATH", default=None,
+                   help="write the Chrome-trace JSON (with nested "
+                        "directive spans when profiling) to PATH")
+    p.add_argument("--metrics-json", metavar="PATH", default=None,
+                   help="write the profile report JSON to PATH")
+
+    p = sub.add_parser("stats",
+                       help="run Somier with the metrics tool and print "
+                            "the profiling report")
+    p.add_argument("--impl", default="one_buffer",
+                   choices=["target", "one_buffer", "two_buffers",
+                            "double_buffering"])
+    p.add_argument("--gpus", type=int, default=4, choices=[1, 2, 3, 4])
+    p.add_argument("--devices", type=_devices_arg, default=None)
+    p.add_argument("--n-functional", type=int, default=48)
+    p.add_argument("--steps", type=int, default=8)
+    p.add_argument("--data-depend", action="store_true")
+    p.add_argument("--fuse-transfers", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text tables")
+    p.add_argument("--full", action="store_true",
+                   help="also print the raw metrics catalogue")
 
     for name, help_text in (("table1", "regenerate the paper's Table I"),
                             ("table2", "regenerate the paper's Table II")):
@@ -93,14 +122,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_somier(args) -> int:
+    from repro.obs import Profiler
+
     topo, cm = machines.paper_machine(args.gpus,
                                       n_functional=args.n_functional)
     cfg = machines.paper_somier_config(n_functional=args.n_functional,
                                        steps=args.steps)
     devices = args.devices if args.devices else machines.paper_devices(args.gpus)
+    profiling = args.profile or args.trace_json or args.metrics_json
+    prof = Profiler() if profiling else None
     res = run_somier(args.impl, cfg, devices=devices, topology=topo,
                      cost_model=cm, data_depend=args.data_depend,
-                     fuse_transfers=args.fuse_transfers, trace=args.trace)
+                     fuse_transfers=args.fuse_transfers,
+                     trace=args.trace or bool(args.trace_json),
+                     tools=prof.tools if prof else ())
     print(f"{args.impl} on {len(devices)} device(s) {devices}: "
           f"{format_hms(res.elapsed)} virtual")
     print(f"plan: {res.plan.num_buffers} buffer(s) x "
@@ -128,6 +163,46 @@ def cmd_somier(args) -> int:
     if args.trace:
         print()
         print(res.runtime.trace.to_ascii(width=100))
+    if prof is not None:
+        report = prof.report(makespan=res.elapsed)
+        if args.profile:
+            print()
+            print(report.render_text())
+        if args.trace_json:
+            with open(args.trace_json, "w") as f:
+                f.write(prof.chrome_trace(res.runtime.trace))
+            print(f"chrome trace written to {args.trace_json}")
+        if args.metrics_json:
+            with open(args.metrics_json, "w") as f:
+                f.write(report.to_json(indent=2))
+            print(f"profile JSON written to {args.metrics_json}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.obs import Profiler
+
+    topo, cm = machines.paper_machine(args.gpus,
+                                      n_functional=args.n_functional)
+    cfg = machines.paper_somier_config(n_functional=args.n_functional,
+                                       steps=args.steps)
+    devices = args.devices if args.devices else machines.paper_devices(args.gpus)
+    prof = Profiler()
+    res = run_somier(args.impl, cfg, devices=devices, topology=topo,
+                     cost_model=cm, data_depend=args.data_depend,
+                     fuse_transfers=args.fuse_transfers,
+                     tools=prof.tools)
+    report = prof.report(makespan=res.elapsed)
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    print(f"{args.impl} on {len(devices)} device(s) {devices}: "
+          f"{format_hms(res.elapsed)} virtual")
+    print()
+    print(report.render_text())
+    if args.full:
+        print()
+        print(prof.registry.render_text())
     return 0
 
 
@@ -202,6 +277,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "somier":
             return cmd_somier(args)
+        if args.command == "stats":
+            return cmd_stats(args)
         if args.command == "table1":
             return cmd_table(args, 1)
         if args.command == "table2":
@@ -213,6 +290,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "machine":
             return cmd_machine(args)
     except OmpError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except OSError as err:
+        # e.g. an unwritable --trace-json/--metrics-json destination
         print(f"error: {err}", file=sys.stderr)
         return 1
     return 2  # pragma: no cover - argparse enforces the choices

@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.device.kernel import KernelSpec, LaunchConfig
 from repro.device.memory import Allocation, DeviceAllocator
+from repro.obs.tool import (DATA_OP, KERNEL_COMPLETE, KERNEL_LAUNCH,
+                            ToolRegistry)
 from repro.sim import trace as tr
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Simulator
@@ -45,8 +47,12 @@ class Device:
     def __init__(self, sim: Simulator, device_id: int, spec: DeviceSpec,
                  link: Resource, link_spec: LinkSpec,
                  staging: Resource, host_spec: HostSpec,
-                 cost_model: CostModel, trace: tr.Trace):
+                 cost_model: CostModel, trace: tr.Trace,
+                 tools: Optional[ToolRegistry] = None):
         self.sim = sim
+        #: OMPT-style dispatch target; an empty registry is falsy, so every
+        #: dispatch site below is a no-op truthiness check when untooled
+        self.tools = tools if tools is not None else ToolRegistry()
         self.device_id = device_id
         self.spec = spec
         self.link = link
@@ -71,12 +77,23 @@ class Device:
                  virtual_bytes: Optional[float] = None,
                  label: str = "") -> Allocation:
         """Allocate a device buffer (instantaneous; see DESIGN.md)."""
-        return self.allocator.allocate(shape, dtype=dtype,
-                                       virtual_bytes=virtual_bytes,
-                                       label=label)
+        alloc = self.allocator.allocate(shape, dtype=dtype,
+                                        virtual_bytes=virtual_bytes,
+                                        label=label)
+        tools = self.tools
+        if tools:
+            tools.dispatch(DATA_OP, op="alloc", device=self.device_id,
+                           bytes=alloc.virtual_bytes, name=label,
+                           time=self.sim.now)
+        return alloc
 
     def free(self, alloc: Allocation) -> None:
         self.allocator.free(alloc)
+        tools = self.tools
+        if tools:
+            tools.dispatch(DATA_OP, op="free", device=self.device_id,
+                           bytes=alloc.virtual_bytes, name=alloc.label,
+                           time=self.sim.now)
         waiters, self._free_waiters = self._free_waiters, []
         for ev in waiters:
             ev.trigger(None)
@@ -212,6 +229,12 @@ class Device:
                           issue=issue_ts, wire_start=wire_start,
                           wire_end=wire_end,
                           fused=len(copies) if fused else 0)
+        tools = self.tools
+        if tools:
+            tools.dispatch(DATA_OP, op="h2d", device=self.device_id,
+                           bytes=cost.bytes, name=name, start=start,
+                           end=self.sim.now, wire_start=wire_start,
+                           wire_end=wire_end, time=self.sim.now)
 
     def _copy_d2h_batch(self, copies, name: str, fused: bool) -> Generator:
         if not copies:
@@ -279,6 +302,14 @@ class Device:
                           issue=issue_ts, wire_start=wire_start,
                           wire_end=wire_end,
                           fused=len(copies) if fused else 0)
+        tools = self.tools
+        if tools:
+            # end matches the trace record (wire_end): the tail staging
+            # piece happens on the host side, off the device queue
+            tools.dispatch(DATA_OP, op="d2h", device=self.device_id,
+                           bytes=cost.bytes, name=name, start=start,
+                           end=wire_end, wire_start=wire_start,
+                           wire_end=wire_end, time=self.sim.now)
 
     # -- kernels ------------------------------------------------------------------
 
@@ -300,6 +331,10 @@ class Device:
                                       threads_per_team=launch.threads_per_team,
                                       simd=launch.simd,
                                       work_per_iter=spec.work_per_iter)
+        tools = self.tools
+        if tools:
+            tools.dispatch(KERNEL_LAUNCH, device=self.device_id,
+                           name=spec.name, lo=lo, hi=hi, time=self.sim.now)
         # Host-side dispatch/marshalling happens before the kernel claims
         # its stream slot — a concurrently issued memcpy wins the race to
         # the queue (see DeviceSpec.kernel_issue_latency).
@@ -319,6 +354,11 @@ class Device:
                           start=start, end=self.sim.now,
                           device=self.device_id,
                           lo=lo, hi=hi, iterations=cost.iterations)
+        tools = self.tools
+        if tools:
+            tools.dispatch(KERNEL_COMPLETE, device=self.device_id,
+                           name=spec.name, start=start, end=self.sim.now,
+                           time=self.sim.now)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Device {self.device_id} ({self.spec.name})>"

@@ -1,0 +1,237 @@
+"""The runtime metrics registry: counters, gauges and timer-histograms.
+
+All instruments are label-addressed (``registry.counter("bytes_moved",
+device=0, dir="h2d")``) and live in virtual time: timers observe *simulated*
+seconds, so their buckets describe what the modelled hardware did, not what
+the Python process did.  ``snapshot()`` produces a plain JSON-able dict —
+the payload the bench harness attaches to its result files and the CLI
+serializes behind ``--metrics-json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.format import format_table
+
+#: Default timer-histogram bucket boundaries, in virtual seconds.  The span
+#: from microseconds (per-call latencies) to tens of seconds (full buffers)
+#: covers every operation class the cost model produces.
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _qualified(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing value (floats allowed: byte counts,
+    busy-seconds)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+    @property
+    def key(self) -> str:
+        return _qualified(self.name, self.labels)
+
+
+class Gauge:
+    """A settable value tracking its high-water mark."""
+
+    __slots__ = ("name", "labels", "value", "max_value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+        self.max_value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.max_value = max(self.max_value, self.value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    @property
+    def key(self) -> str:
+        return _qualified(self.name, self.labels)
+
+
+class TimerHist:
+    """A histogram of virtual-time durations.
+
+    ``buckets`` are upper bounds (seconds); observations fall into the
+    first bucket whose bound is >= the duration, with an implicit +inf
+    overflow bucket — cumulative counts, Prometheus-style.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
+                 "sum", "min", "max")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds or any(b <= 0 for b in bounds):
+            raise ValueError("timer buckets must be positive and non-empty")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"timer {self.name}: negative duration")
+        self.count += 1
+        self.sum += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+        for i, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def key(self) -> str:
+        return _qualified(self.name, self.labels)
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, tuple], Counter] = {}
+        self._gauges: Dict[Tuple[str, tuple], Gauge] = {}
+        self._timers: Dict[Tuple[str, tuple], TimerHist] = {}
+
+    # -- instruments ------------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, key[1])
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, key[1])
+        return inst
+
+    def timer(self, name: str, buckets: Optional[Sequence[float]] = None,
+              **labels: Any) -> TimerHist:
+        key = (name, _label_key(labels))
+        inst = self._timers.get(key)
+        if inst is None:
+            inst = self._timers[key] = TimerHist(
+                name, key[1], buckets=buckets or DEFAULT_BUCKETS)
+        return inst
+
+    # -- queries ----------------------------------------------------------------
+
+    def counters(self, name: Optional[str] = None) -> List[Counter]:
+        return [c for c in self._counters.values()
+                if name is None or c.name == name]
+
+    def gauges(self, name: Optional[str] = None) -> List[Gauge]:
+        return [g for g in self._gauges.values()
+                if name is None or g.name == name]
+
+    def timers(self, name: Optional[str] = None) -> List[TimerHist]:
+        return [t for t in self._timers.values()
+                if name is None or t.name == name]
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """The current value, 0.0 if the counter was never touched."""
+        inst = self._counters.get((name, _label_key(labels)))
+        return inst.value if inst is not None else 0.0
+
+    def sum_counter(self, name: str, **labels: Any) -> float:
+        """Sum of a counter family over all label sets matching *labels*."""
+        want = dict(_label_key(labels))
+        total = 0.0
+        for c in self._counters.values():
+            if c.name != name:
+                continue
+            have = dict(c.labels)
+            if all(have.get(k) == v for k, v in want.items()):
+                total += c.value
+        return total
+
+    # -- export -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-JSON view of every instrument (sorted, deterministic)."""
+        counters = {c.key: c.value
+                    for c in sorted(self._counters.values(),
+                                    key=lambda c: c.key)}
+        gauges = {g.key: {"value": g.value, "max": g.max_value}
+                  for g in sorted(self._gauges.values(), key=lambda g: g.key)}
+        timers = {}
+        for t in sorted(self._timers.values(), key=lambda t: t.key):
+            timers[t.key] = {
+                "count": t.count,
+                "sum": t.sum,
+                "mean": t.mean,
+                "min": t.min if t.count else 0.0,
+                "max": t.max,
+                "buckets": {f"le_{b:g}": n for b, n in
+                            zip(t.buckets, t.bucket_counts)},
+                "overflow": t.bucket_counts[-1],
+            }
+        return {"counters": counters, "gauges": gauges, "timers": timers}
+
+    def render_text(self) -> str:
+        """Aligned text tables of every instrument."""
+        parts = []
+        if self._counters:
+            rows = [(c.key, f"{c.value:g}")
+                    for c in sorted(self._counters.values(),
+                                    key=lambda c: c.key)]
+            parts.append(format_table(["counter", "value"], rows))
+        if self._gauges:
+            rows = [(g.key, f"{g.value:g}", f"{g.max_value:g}")
+                    for g in sorted(self._gauges.values(),
+                                    key=lambda g: g.key)]
+            parts.append(format_table(["gauge", "value", "max"], rows))
+        if self._timers:
+            rows = [(t.key, t.count, f"{t.sum:.6f}", f"{t.mean:.6f}",
+                     f"{t.min if t.count else 0.0:.6f}", f"{t.max:.6f}")
+                    for t in sorted(self._timers.values(),
+                                    key=lambda t: t.key)]
+            parts.append(format_table(
+                ["timer", "count", "sum_s", "mean_s", "min_s", "max_s"],
+                rows))
+        return "\n\n".join(parts) if parts else "(no metrics recorded)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<MetricsRegistry counters={len(self._counters)} "
+                f"gauges={len(self._gauges)} timers={len(self._timers)}>")

@@ -1,0 +1,202 @@
+"""Profiling reports: per-directive and per-device breakdowns.
+
+The text renderer mimics ``LIBOMPTARGET_PROFILE``'s end-of-run summary
+(aligned tables of region timers and data-movement counters); ``to_json``
+emits the machine-readable equivalent that CLI ``--metrics-json`` and the
+bench harness persist.  :class:`Profiler` is the convenience bundle the CLI
+uses: one :class:`~repro.obs.builtin.MetricsTool` plus one
+:class:`~repro.obs.spans.SpanRecorder`, registered together.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.builtin import MetricsTool
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+from repro.util.format import format_bytes, format_table
+
+PROFILE_SCHEMA = "repro-profile-1"
+
+
+def _label(inst: Any, key: str) -> Optional[str]:
+    return dict(inst.labels).get(key)
+
+
+class ProfileReport:
+    """Aggregated view over one run's metrics (and optionally its spans)."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 spans: Optional[SpanRecorder] = None,
+                 makespan: float = 0.0):
+        self.registry = registry
+        self.spans = spans
+        self.makespan = makespan
+
+    # -- per-directive ----------------------------------------------------------
+
+    def directive_kinds(self) -> List[str]:
+        kinds = {_label(t, "kind") for t in self.registry.timers("directive_time")}
+        kinds |= {_label(c, "kind") for c in self.registry.counters("directives")}
+        return sorted(k for k in kinds if k is not None)
+
+    def per_directive_rows(self) -> List[Dict[str, Any]]:
+        reg = self.registry
+        # The encountering-task window (directive_time) is ~0 for nowait
+        # directives; finalized spans cover the fanned-out chunk tasks too,
+        # so prefer them when a SpanRecorder rode along.
+        span_durs: Dict[str, List[float]] = {}
+        if self.spans is not None:
+            for span in self.spans.directive_spans():
+                span_durs.setdefault(span.name, []).append(span.duration)
+        rows = []
+        for kind in self.directive_kinds():
+            durs = span_durs.get(kind)
+            if durs:
+                total, peak = sum(durs), max(durs)
+                count = len(durs)
+            else:
+                timer = reg.timer("directive_time", kind=kind)
+                total, peak = timer.sum, timer.max
+                count = int(reg.counter_value("directives", kind=kind))
+            rows.append({
+                "kind": kind,
+                "count": count,
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+                "max_s": peak,
+                "chunks": int(reg.counter_value("spread_chunks", kind=kind)),
+            })
+        return rows
+
+    # -- per-device -------------------------------------------------------------
+
+    def device_ids(self) -> List[int]:
+        devs = set()
+        for c in self.registry.counters():
+            d = _label(c, "device")
+            if d is not None:
+                devs.add(int(d))
+        for g in self.registry.gauges("device_memory_bytes"):
+            d = _label(g, "device")
+            if d is not None:
+                devs.add(int(d))
+        return sorted(devs)
+
+    def per_device_rows(self) -> List[Dict[str, Any]]:
+        reg = self.registry
+        rows = []
+        for d in self.device_ids():
+            kernel_timer = reg.timer("kernel_time", device=d)
+            rows.append({
+                "device": d,
+                "h2d_bytes": reg.counter_value("bytes_moved", device=d,
+                                               dir="h2d"),
+                "d2h_bytes": reg.counter_value("bytes_moved", device=d,
+                                               dir="d2h"),
+                "memcpys": int(reg.sum_counter("memcpy_calls", device=d)),
+                "kernels": int(reg.counter_value("kernels_launched",
+                                                 device=d)),
+                "kernel_s": kernel_timer.sum,
+                "queue_busy_s": reg.counter_value("queue_busy_seconds",
+                                                  device=d),
+                "link_busy_s": reg.counter_value("link_busy_seconds",
+                                                 device=d),
+                "present_hits": int(reg.counter_value("present_hits",
+                                                      device=d)),
+                "present_misses": int(reg.counter_value("present_misses",
+                                                        device=d)),
+                "submits": int(reg.counter_value("target_submits",
+                                                 device=d)),
+            })
+        return rows
+
+    # -- rendering --------------------------------------------------------------
+
+    def render_text(self) -> str:
+        parts = []
+        drows = self.per_directive_rows()
+        if drows:
+            parts.append("Per-directive profile")
+            parts.append(format_table(
+                ["directive", "count", "total_s", "mean_s", "max_s",
+                 "chunks"],
+                [(r["kind"], r["count"], f"{r['total_s']:.6f}",
+                  f"{r['mean_s']:.6f}", f"{r['max_s']:.6f}", r["chunks"])
+                 for r in drows]))
+        vrows = self.per_device_rows()
+        if vrows:
+            parts.append("")
+            parts.append("Per-device profile")
+            parts.append(format_table(
+                ["device", "h2d", "d2h", "memcpys", "kernels", "kernel_s",
+                 "queue_s", "link_s", "hits", "misses", "submits"],
+                [(f"gpu{r['device']}", format_bytes(r["h2d_bytes"]),
+                  format_bytes(r["d2h_bytes"]), r["memcpys"], r["kernels"],
+                  f"{r['kernel_s']:.6f}", f"{r['queue_busy_s']:.6f}",
+                  f"{r['link_busy_s']:.6f}", r["present_hits"],
+                  r["present_misses"], r["submits"])
+                 for r in vrows]))
+        totals = [
+            f"makespan: {self.makespan:.6f}s (virtual)",
+            f"tasks spawned: {int(self.registry.counter_value('tasks_spawned')):d}"
+            f" (deferred: {int(self.registry.counter_value('tasks_deferred')):d})",
+            f"dependence edges: {int(self.registry.counter_value('dependence_edges')):d}",
+        ]
+        parts.append("")
+        parts.extend(totals)
+        return "\n".join(parts) if (drows or vrows) else (
+            "\n".join(["(no profile data recorded)"] + totals))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """LIBOMPTARGET_PROFILE-style JSON; round-trips ``json.loads``."""
+        payload = {
+            "schema": PROFILE_SCHEMA,
+            "makespan_s": self.makespan,
+            "directives": self.per_directive_rows(),
+            "devices": self.per_device_rows(),
+            "counters": self.registry.snapshot(),
+        }
+        if self.spans is not None:
+            self.spans.finalize()
+            payload["spans"] = {
+                "directives": len(self.spans.directives),
+                "tasks": len(self.spans.tasks),
+                "ops": len(self.spans.ops),
+            }
+        return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+class Profiler:
+    """The CLI/bench bundle: metrics tool + span recorder, one register call.
+
+    ::
+
+        prof = Profiler()
+        result = run_somier(..., tools=prof.tools)
+        print(prof.report(result.elapsed).render_text())
+        path.write_text(prof.chrome_trace(result.runtime.trace))
+    """
+
+    def __init__(self) -> None:
+        self.metrics = MetricsTool()
+        self.spans = SpanRecorder()
+
+    @property
+    def tools(self) -> Tuple[MetricsTool, SpanRecorder]:
+        return (self.metrics, self.spans)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.metrics.registry
+
+    def report(self, makespan: float = 0.0) -> ProfileReport:
+        return ProfileReport(self.registry, spans=self.spans,
+                             makespan=makespan)
+
+    def chrome_trace(self, trace: Any) -> str:
+        """The run's Chrome trace with nested spans merged in."""
+        return trace.to_chrome_trace(
+            extra_records=self.spans.to_chrome_records())

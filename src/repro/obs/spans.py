@@ -1,0 +1,247 @@
+"""Nested span recording: directive → chunk task → device op causality.
+
+The paper reads causality off nsys timelines; chrome://tracing / Perfetto
+can show the same thing if the exporter emits *nested* intervals.  The
+:class:`SpanRecorder` tool reconstructs three levels from the callback
+stream:
+
+* **directive spans** — one per ``directive_begin``/``directive_end`` pair;
+  a directive's interval is extended to cover its chunk tasks, so a
+  ``nowait`` directive still encloses the work it fanned out (Perfetto's
+  async-span convention);
+* **task spans** — one per chunk/device-op task
+  (``task_schedule`` → ``task_complete``), parented to the directive that
+  submitted it;
+* **op spans** — kernels and transfers (``kernel_complete`` / ``data_op``),
+  parented to the innermost task span on the same device whose interval
+  contains them (a task's ops execute strictly inside its
+  schedule→complete window, so containment is exact).
+
+``to_chrome_records()`` renders the three levels as extra lanes of the
+existing Chrome-trace export; ``finalize()`` resolves parents and is
+idempotent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.tool import Tool
+
+DIRECTIVE = "directive"
+TASK = "task"
+OP = "op"
+
+
+@dataclass
+class Span:
+    """One node of the causality forest."""
+
+    span_id: int
+    kind: str                      # directive | task | op
+    name: str
+    start: float
+    end: float
+    parent_id: Optional[int] = None
+    device: Optional[int] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def contains(self, other: "Span") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+
+class SpanRecorder(Tool):
+    """Builds the directive→chunk→op span forest from callbacks."""
+
+    def __init__(self) -> None:
+        self._next_span_id = 0
+        self.directives: Dict[int, Span] = {}   # directive id -> span
+        self.tasks: Dict[int, Span] = {}        # task id -> span
+        self.ops: List[Span] = []
+        self._task_directive: Dict[int, Optional[int]] = {}
+        self._task_device: Dict[int, Optional[int]] = {}
+        self._task_name: Dict[int, str] = {}
+        self._finalized = False
+
+    def _new_span(self, kind: str, name: str, start: float, end: float,
+                  **kw: Any) -> Span:
+        self._next_span_id += 1
+        return Span(span_id=self._next_span_id, kind=kind, name=name,
+                    start=start, end=end, **kw)
+
+    # -- callbacks --------------------------------------------------------------
+
+    def on_directive_begin(self, *, directive: int, kind: str,
+                           time: float = 0.0, **kw: Any) -> None:
+        span = self._new_span(DIRECTIVE, kind, time, time,
+                              meta={k: v for k, v in kw.items()
+                                    if k in ("name", "devices", "device",
+                                             "lo", "hi")})
+        self.directives[directive] = span
+        self._finalized = False
+
+    def on_directive_end(self, *, directive: int, time: float = 0.0,
+                         **kw: Any) -> None:
+        span = self.directives.get(directive)
+        if span is not None:
+            span.end = max(span.end, time)
+            span.meta.update({k: v for k, v in kw.items() if k == "chunks"})
+
+    def on_task_create(self, *, task: Optional[int] = None,
+                       directive: Optional[int] = None,
+                       device: Optional[int] = None,
+                       name: str = "", **kw: Any) -> None:
+        if task is None:
+            return
+        self._task_directive[task] = directive
+        self._task_device[task] = device
+        self._task_name[task] = name
+
+    def on_task_schedule(self, *, task: Optional[int] = None,
+                         time: float = 0.0, name: str = "",
+                         **kw: Any) -> None:
+        if task is None:
+            return
+        span = self._new_span(
+            TASK, name or self._task_name.get(task, "task"), time, time,
+            device=self._task_device.get(task))
+        did = self._task_directive.get(task)
+        if did is not None and did in self.directives:
+            span.parent_id = self.directives[did].span_id
+        self.tasks[task] = span
+        self._finalized = False
+
+    def on_task_complete(self, *, task: Optional[int] = None,
+                         time: float = 0.0, **kw: Any) -> None:
+        if task is None:
+            return
+        span = self.tasks.get(task)
+        if span is not None:
+            span.end = max(span.end, time)
+
+    def on_kernel_complete(self, *, device: int, name: str = "kernel",
+                           start: float = 0.0, end: float = 0.0,
+                           **kw: Any) -> None:
+        self.ops.append(self._new_span(OP, name, start, end, device=device,
+                                       meta={"category": "kernel"}))
+        self._finalized = False
+
+    def on_data_op(self, *, op: str, device: int, name: str = "",
+                   start: Optional[float] = None,
+                   end: Optional[float] = None,
+                   bytes: float = 0.0, **kw: Any) -> None:
+        if op not in ("h2d", "d2h") or start is None or end is None:
+            return  # alloc/present traffic is instantaneous metadata
+        self.ops.append(self._new_span(
+            OP, name or op, start, end, device=device,
+            meta={"category": op, "bytes": bytes}))
+        self._finalized = False
+
+    # -- resolution -------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Resolve op parents and extend directive intervals (idempotent)."""
+        if self._finalized:
+            return
+        by_span_id: Dict[int, Span] = {}
+        for span in self.directives.values():
+            span.children = []
+            by_span_id[span.span_id] = span
+        # task -> directive linkage; directives cover their tasks
+        task_spans = sorted(self.tasks.values(), key=lambda s: s.span_id)
+        for span in task_spans:
+            span.children = []
+            by_span_id[span.span_id] = span
+            parent = by_span_id.get(span.parent_id)
+            if parent is not None:
+                parent.children.append(span)
+                parent.start = min(parent.start, span.start)
+                parent.end = max(parent.end, span.end)
+        # op -> innermost containing task span on the same device
+        for op in self.ops:
+            best: Optional[Span] = None
+            for cand in task_spans:
+                if cand.device != op.device:
+                    continue
+                if cand.start <= op.start and op.end <= cand.end:
+                    if best is None or cand.start >= best.start:
+                        best = cand
+            if best is not None:
+                op.parent_id = best.span_id
+                best.children.append(op)
+            else:
+                op.parent_id = None
+        self._finalized = True
+
+    def directive_spans(self, kind: Optional[str] = None) -> List[Span]:
+        self.finalize()
+        out = sorted(self.directives.values(), key=lambda s: s.span_id)
+        if kind is not None:
+            out = [s for s in out if s.name == kind]
+        return out
+
+    # -- export -----------------------------------------------------------------
+
+    #: pid used for span lanes in the merged Chrome trace (the raw device
+    #: lanes stay on pid 0)
+    CHROME_PID = 1
+
+    def to_chrome_records(self) -> List[dict]:
+        """Chrome-trace records for the span forest (M metadata + X spans).
+
+        Lanes: tid 0 = directives; tid 100+d = chunk tasks of device *d*;
+        tid 200+d = ops of device *d*.  Each X record's args carry
+        ``span_id``/``parent`` so causality survives even without visual
+        nesting.
+        """
+        self.finalize()
+        records: List[dict] = [{
+            "name": "process_name", "ph": "M", "pid": self.CHROME_PID,
+            "tid": 0, "args": {"name": "directive spans"},
+        }]
+        lanes = {0: "directives"}
+
+        def emit(span: Span, tid: int) -> None:
+            records.append({
+                "name": span.name,
+                "cat": f"span:{span.kind}",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": self.CHROME_PID,
+                "tid": tid,
+                "args": dict(span.meta, span_id=span.span_id,
+                             parent=span.parent_id),
+            })
+
+        for span in sorted(self.directives.values(),
+                           key=lambda s: s.span_id):
+            emit(span, 0)
+        for span in sorted(self.tasks.values(), key=lambda s: s.span_id):
+            tid = 100 + (span.device if span.device is not None else 99)
+            lanes.setdefault(tid, f"chunks@gpu{span.device}"
+                             if span.device is not None else "chunks@host")
+            emit(span, tid)
+        for span in self.ops:
+            tid = 200 + (span.device if span.device is not None else 99)
+            lanes.setdefault(tid, f"ops@gpu{span.device}"
+                             if span.device is not None else "ops@host")
+            emit(span, tid)
+        for tid, name in sorted(lanes.items()):
+            records.append({"name": "thread_name", "ph": "M",
+                            "pid": self.CHROME_PID, "tid": tid,
+                            "args": {"name": name}})
+            records.append({"name": "thread_sort_index", "ph": "M",
+                            "pid": self.CHROME_PID, "tid": tid,
+                            "args": {"sort_index": tid}})
+        return records
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<SpanRecorder directives={len(self.directives)} "
+                f"tasks={len(self.tasks)} ops={len(self.ops)}>")

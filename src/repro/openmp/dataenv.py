@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.device.device import Device
 from repro.device.views import GlobalView
+from repro.obs.tool import DATA_OP
 from repro.openmp.mapping import Var
 from repro.util.errors import OmpMappingError
 from repro.util.intervals import Interval
@@ -135,6 +136,13 @@ class DeviceDataEnv:
             if entry.section.contains(section):
                 entry.refcount += 1
                 self.reuse_count += 1
+                tools = self.device.tools
+                if tools:
+                    tools.dispatch(DATA_OP, op="present_hit",
+                                   device=self.device.device_id,
+                                   name=var.name,
+                                   refcount=entry.refcount,
+                                   time=self.device.sim.now)
                 return entry, False
         for entry in lst:
             if entry.section.overlaps(section):
@@ -152,6 +160,12 @@ class DeviceDataEnv:
         entry = MappedEntry(var=var, section=section, alloc=alloc, refcount=1)
         lst.append(entry)
         self.enter_count += 1
+        tools = self.device.tools
+        if tools:
+            tools.dispatch(DATA_OP, op="present_miss",
+                           device=self.device.device_id, name=var.name,
+                           bytes=alloc.virtual_bytes,
+                           time=self.device.sim.now)
         return entry, True
 
     def exit(self, var: Var, section: Interval,
@@ -169,11 +183,22 @@ class DeviceDataEnv:
             entry.refcount = 0
         else:
             entry.refcount -= 1
+        tools = self.device.tools
         if entry.refcount <= 0:
             self._entries[var.key].remove(entry)
             if not self._entries[var.key]:
                 del self._entries[var.key]
+            if tools:
+                tools.dispatch(DATA_OP, op="delete",
+                               device=self.device.device_id, name=var.name,
+                               bytes=entry.alloc.virtual_bytes,
+                               time=self.device.sim.now)
             return entry, True
+        if tools:
+            tools.dispatch(DATA_OP, op="release",
+                           device=self.device.device_id, name=var.name,
+                           refcount=entry.refcount,
+                           time=self.device.sim.now)
         return entry, False
 
     def release_storage(self, entry: MappedEntry) -> None:

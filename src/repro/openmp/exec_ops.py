@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Sequence, Tuple
 
 from repro.device.kernel import KernelSpec, LaunchConfig
+from repro.obs.tool import DEPENDENCE_RESOLVED, TARGET_SUBMIT
 from repro.openmp.dataenv import MappedEntry
 from repro.openmp.depend import ConcreteDep
 from repro.openmp.mapping import MapClause, MapType, Var
@@ -311,14 +312,21 @@ def _issue_copies(dev, copies, h2d: bool, fuse: bool, label: str) -> Generator:
 def submit_op(ctx: TaskCtx, device_id: int, opgen: Generator,
               concrete_maps: Sequence[ConcreteMap] = (),
               concrete_deps: Sequence[ConcreteDep] = (),
-              name: str = "") -> Process:
+              name: str = "",
+              directive_id: Optional[int] = None) -> Process:
     """Spawn a device operation with depend + per-entry consistency."""
+    tools = ctx.rt.tools
+    if tools:
+        tools.dispatch(TARGET_SUBMIT, device=device_id, name=name,
+                       directive=directive_id, time=ctx.rt.sim.now)
     waits, registrars = gather_entry_waits(ctx.rt, device_id, concrete_maps)
     return ctx.submit(opgen, name=name, concrete_deps=concrete_deps,
-                      extra_waits=waits, inflight_registrars=registrars)
+                      extra_waits=waits, inflight_registrars=registrars,
+                      device=device_id, directive_id=directive_id)
 
 
-def submit_spread(ctx: TaskCtx, items) -> List[Process]:
+def submit_spread(ctx: TaskCtx, items,
+                  directive_id: Optional[int] = None) -> List[Process]:
     """Spawn the chunk tasks of one spread directive.
 
     ``items`` is a sequence of ``(device_id, opgen, concrete_maps,
@@ -330,15 +338,25 @@ def submit_spread(ctx: TaskCtx, items) -> List[Process]:
     they write distinct per-device copies.
     """
     rt = ctx.rt
+    tools = rt.tools
     procs: List[Process] = []
     to_register = []
     for device_id, opgen, concrete_maps, concrete_deps, name in items:
         waits, registrars = gather_entry_waits(rt, device_id, concrete_maps)
         deps = list(concrete_deps)
         if deps:
-            waits = list(waits) + rt.depend.resolve(deps)
+            resolved = rt.depend.resolve(deps)
+            if tools:
+                tools.dispatch(DEPENDENCE_RESOLVED, task=None, name=name,
+                               edges=len(resolved), deps=len(deps),
+                               time=rt.sim.now)
+            waits = list(waits) + resolved
+        if tools:
+            tools.dispatch(TARGET_SUBMIT, device=device_id, name=name,
+                           directive=directive_id, time=rt.sim.now)
         proc = ctx.submit(opgen, name=name, extra_waits=waits,
-                          inflight_registrars=registrars)
+                          inflight_registrars=registrars,
+                          device=device_id, directive_id=directive_id)
         if deps:
             to_register.append((deps, proc))
         procs.append(proc)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.device.device import Device
+from repro.obs.tool import ToolRegistry
 from repro.openmp.dataenv import DeviceDataEnv
 from repro.openmp.depend import DependTracker
 from repro.openmp.tasks import TaskCtx
@@ -44,6 +45,9 @@ class OpenMPRuntime:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.sim = Simulator()
         self.trace = Trace(enabled=trace_enabled)
+        #: OMPT-style tool registry; empty (and falsy) until a tool
+        #: registers, so instrumented code paths stay zero-cost by default
+        self.tools = ToolRegistry(runtime=self)
         self.links: List[Resource] = [
             Resource(self.sim, capacity=1, name=spec.name)
             for spec in self.topology.link_specs
@@ -55,7 +59,7 @@ class OpenMPRuntime:
                    self.links[self.topology.socket_of(d)],
                    self.topology.link_of(d),
                    self.staging, self.topology.host_spec,
-                   self.cost_model, self.trace)
+                   self.cost_model, self.trace, tools=self.tools)
             for d in range(self.topology.num_devices)
         ]
         self.dataenvs: List[DeviceDataEnv] = [

@@ -57,14 +57,23 @@ def target(ctx: TaskCtx, device: int, kernel: KernelSpec,
     cdeps = concretize_deps(depends)
     cfg = launch if launch is not None else LaunchConfig(
         num_teams=1, threads_per_team=1, simd=False)
+    tools = ctx.rt.tools
+    did = None
+    if tools:
+        did = tools.directive_begin("target", device=device,
+                                    name=kernel.name, lo=lo, hi=hi,
+                                    time=ctx.rt.sim.now)
     op = exec_ops.kernel_op(ctx.rt, device, kernel, lo, hi, concrete,
                             launch=cfg, iterations=iterations,
                             label=f"target@{device}")
     proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
                               concrete_deps=cdeps,
-                              name=f"target:{kernel.name}@{device}")
+                              name=f"target:{kernel.name}@{device}",
+                              directive_id=did)
     if not nowait:
         yield proc
+    if did is not None:
+        tools.directive_end(did, time=ctx.rt.sim.now)
     return proc
 
 
@@ -92,11 +101,13 @@ def target_teams_distribute_parallel_for(
 class TargetDataRegion:
     """Handle for a structured ``target data`` region (close with ``end``)."""
 
-    def __init__(self, ctx: TaskCtx, device: int, concrete_maps):
+    def __init__(self, ctx: TaskCtx, device: int, concrete_maps,
+                 directive_id=None):
         self._ctx = ctx
         self._device = device
         self._concrete = concrete_maps
         self._closed = False
+        self._directive_id = directive_id
 
     def end(self) -> Generator:
         """Exit the region: copy-backs for ``from``/``tofrom`` maps."""
@@ -107,8 +118,14 @@ class TargetDataRegion:
                               label=f"target-data-end@{self._device}")
         proc = exec_ops.submit_op(self._ctx, self._device, op,
                                   concrete_maps=self._concrete,
-                                  name=f"target-data-end@{self._device}")
+                                  name=f"target-data-end@{self._device}",
+                                  directive_id=self._directive_id)
         yield proc
+        if self._directive_id is not None:
+            tools = self._ctx.rt.tools
+            if tools:
+                tools.directive_end(self._directive_id,
+                                    time=self._ctx.rt.sim.now)
         return proc
 
 
@@ -122,12 +139,20 @@ def target_data(ctx: TaskCtx, device: int,
     """
     exec_ops.region_map_types(maps, "target data")
     concrete = _concretize_maps(maps, "target data")
+    tools = ctx.rt.tools
+    did = None
+    if tools:
+        # directive_end fires when the returned region's end() is driven —
+        # a structured region's window spans its whole body
+        did = tools.directive_begin("target data", device=device,
+                                    time=ctx.rt.sim.now)
     op = exec_ops.enter_op(ctx.rt, device, concrete,
                            label=f"target-data@{device}")
     proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
-                              name=f"target-data@{device}")
+                              name=f"target-data@{device}",
+                              directive_id=did)
     yield proc
-    return TargetDataRegion(ctx, device, concrete)
+    return TargetDataRegion(ctx, device, concrete, directive_id=did)
 
 
 def target_enter_data(ctx: TaskCtx, device: int,
@@ -138,13 +163,21 @@ def target_enter_data(ctx: TaskCtx, device: int,
     exec_ops.enter_map_types(maps, "target enter data")
     concrete = _concretize_maps(maps, "target enter data")
     cdeps = concretize_deps(depends)
+    tools = ctx.rt.tools
+    did = None
+    if tools:
+        did = tools.directive_begin("target enter data", device=device,
+                                    time=ctx.rt.sim.now)
     op = exec_ops.enter_op(ctx.rt, device, concrete,
                            label=f"enter-data@{device}")
     proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
                               concrete_deps=cdeps,
-                              name=f"enter-data@{device}")
+                              name=f"enter-data@{device}",
+                              directive_id=did)
     if not nowait:
         yield proc
+    if did is not None:
+        tools.directive_end(did, time=ctx.rt.sim.now)
     return proc
 
 
@@ -156,13 +189,21 @@ def target_exit_data(ctx: TaskCtx, device: int,
     exec_ops.exit_map_types(maps, "target exit data")
     concrete = _concretize_maps(maps, "target exit data")
     cdeps = concretize_deps(depends)
+    tools = ctx.rt.tools
+    did = None
+    if tools:
+        did = tools.directive_begin("target exit data", device=device,
+                                    time=ctx.rt.sim.now)
     op = exec_ops.exit_op(ctx.rt, device, concrete,
                           label=f"exit-data@{device}")
     proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
                               concrete_deps=cdeps,
-                              name=f"exit-data@{device}")
+                              name=f"exit-data@{device}",
+                              directive_id=did)
     if not nowait:
         yield proc
+    if did is not None:
+        tools.directive_end(did, time=ctx.rt.sim.now)
     return proc
 
 
@@ -186,11 +227,19 @@ def target_update(ctx: TaskCtx, device: int,
     from repro.openmp.mapping import Map
     pseudo = ([(Map.to(var), interval) for var, interval in to_c] +
               [(Map.from_(var), interval) for var, interval in from_c])
+    tools = ctx.rt.tools
+    did = None
+    if tools:
+        did = tools.directive_begin("target update", device=device,
+                                    time=ctx.rt.sim.now)
     op = exec_ops.update_op(ctx.rt, device, to_c, from_c,
                             label=f"update@{device}")
     proc = exec_ops.submit_op(ctx, device, op, concrete_maps=pseudo,
                               concrete_deps=cdeps,
-                              name=f"update@{device}")
+                              name=f"update@{device}",
+                              directive_id=did)
     if not nowait:
         yield proc
+    if did is not None:
+        tools.directive_end(did, time=ctx.rt.sim.now)
     return proc

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
 
+from repro.obs.tool import (DEPENDENCE_RESOLVED, TASK_COMPLETE, TASK_CREATE,
+                            TASK_SCHEDULE)
 from repro.openmp.depend import ConcreteDep
 from repro.sim.engine import Event, Process
 from repro.util.errors import OmpRuntimeError
@@ -96,13 +98,24 @@ class TaskCtx:
         """
         child = TaskCtx(self.rt, self, self.groups)
         child.name = name or getattr(fn, "__name__", "task")
+        tools = self.rt.tools
+        tid = None
+        if tools:
+            tid = tools.next_task_id()
+            tools.dispatch(TASK_CREATE, task=tid, name=child.name,
+                           kind="explicit", device=None, directive=None,
+                           deferred=False, time=self.sim.now)
 
         def body() -> Generator:
-            overhead = self.rt.cost_model.host_task_overhead
-            if overhead > 0:
-                yield self.sim.timeout(overhead)
-            result = yield from fn(child, *args)
-            return result
+            self._task_scheduled(tid, child.name)
+            try:
+                overhead = self.rt.cost_model.host_task_overhead
+                if overhead > 0:
+                    yield self.sim.timeout(overhead)
+                result = yield from fn(child, *args)
+                return result
+            finally:
+                self._task_completed(tid, child.name)
 
         proc = self.sim.process(body(), name=child.name)
         self._register_child(proc)
@@ -112,6 +125,8 @@ class TaskCtx:
                concrete_deps: Sequence[ConcreteDep] = (),
                extra_waits: Iterable[Event] = (),
                inflight_registrars: Iterable[Callable[[Event], None]] = (),
+               device: Optional[int] = None,
+               directive_id: Optional[int] = None,
                ) -> Process:
         """Spawn a *device operation* task (used by the directive layer).
 
@@ -120,24 +135,43 @@ class TaskCtx:
         (e.g. per-entry consistency: a D2H copy waits for kernels still
         writing that device buffer).  ``inflight_registrars`` are callbacks
         receiving the new task's event, letting data-environment entries
-        record it as in flight.
+        record it as in flight.  ``device``/``directive_id`` only label the
+        tool callbacks (which device the op targets, which directive spawned
+        it) — they do not affect execution.
         """
         deps = list(concrete_deps)
         waits = list(self.rt.depend.resolve(deps)) if deps else []
+        tools = self.rt.tools
+        if tools and deps:
+            tools.dispatch(DEPENDENCE_RESOLVED, task=None, name=name,
+                           edges=len(waits), deps=len(deps),
+                           time=self.sim.now)
         for ev in extra_waits:
             if not ev.processed and ev not in waits:
                 waits.append(ev)
+        task_name = name or "device-op"
+        tid = None
+        if tools:
+            tid = tools.next_task_id()
+            tools.dispatch(TASK_CREATE, task=tid, name=task_name,
+                           kind="device_op", device=device,
+                           directive=directive_id, deferred=bool(waits),
+                           time=self.sim.now)
 
         def body() -> Generator:
-            overhead = self.rt.cost_model.host_task_overhead
-            if overhead > 0:
-                yield self.sim.timeout(overhead)
-            if waits:
-                yield self.sim.all_of(waits)
-            result = yield from opgen
-            return result
+            self._task_scheduled(tid, task_name)
+            try:
+                overhead = self.rt.cost_model.host_task_overhead
+                if overhead > 0:
+                    yield self.sim.timeout(overhead)
+                if waits:
+                    yield self.sim.all_of(waits)
+                result = yield from opgen
+                return result
+            finally:
+                self._task_completed(tid, task_name)
 
-        proc = self.sim.process(body(), name=name or "device-op")
+        proc = self.sim.process(body(), name=task_name)
         if deps:
             self.rt.depend.register(deps, proc)
         for registrar in inflight_registrars:
@@ -145,6 +179,24 @@ class TaskCtx:
         self._register_child(proc, device_op=True)
         self.rt.note_device_op(proc)
         return proc
+
+    def _task_scheduled(self, tid: Optional[int], name: str) -> None:
+        """Fire ``task_schedule`` as a task body first runs (if tooled)."""
+        if tid is None:
+            return
+        tools = self.rt.tools
+        if tools:
+            tools.dispatch(TASK_SCHEDULE, task=tid, name=name,
+                           time=self.sim.now)
+
+    def _task_completed(self, tid: Optional[int], name: str) -> None:
+        """Fire ``task_complete`` (from a finally: failed tasks close too)."""
+        if tid is None:
+            return
+        tools = self.rt.tools
+        if tools:
+            tools.dispatch(TASK_COMPLETE, task=tid, name=name,
+                           time=self.sim.now)
 
     def _register_child(self, proc: Process, device_op: bool = False) -> None:
         self.children.append(proc)

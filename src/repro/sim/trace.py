@@ -64,7 +64,12 @@ class Trace:
         if category not in _CATEGORIES:
             raise ValueError(f"unknown trace category {category!r}")
         if end < start:
-            raise ValueError("trace event ends before it starts")
+            # Tolerate float round-off from cost arithmetic: clamp to a
+            # zero-duration event (rendered one cell wide by to_ascii).
+            if start - end <= 1e-12:
+                end = start
+            else:
+                raise ValueError("trace event ends before it starts")
         self.events.append(TraceEvent(category=category, name=name,
                                       lane=lane, start=start, end=end,
                                       device=device, meta=dict(meta)))
@@ -91,10 +96,28 @@ class Trace:
 
     # -- exporters -------------------------------------------------------------
 
-    def to_chrome_trace(self) -> str:
-        """Serialize as Chrome-trace JSON (microsecond timestamps)."""
-        records = []
+    def to_chrome_trace(self,
+                        extra_records: Optional[Sequence[dict]] = None) -> str:
+        """Serialize as Chrome-trace JSON (microsecond timestamps).
+
+        Lanes are assigned tids in deterministic sorted order and each one
+        is named with an ``"M"`` metadata record (``thread_name`` +
+        ``thread_sort_index``), so Perfetto / chrome://tracing shows
+        ``device:engine`` labels instead of bare tids.  *extra_records*
+        (e.g. :meth:`repro.obs.spans.SpanRecorder.to_chrome_records`) are
+        appended verbatim — they use their own pid, leaving the raw device
+        lanes on pid 0.
+        """
         lane_ids = {lane: i for i, lane in enumerate(sorted(self.by_lane()))}
+        records: List[dict] = [{
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": "simulated node"},
+        }]
+        for lane, tid in sorted(lane_ids.items()):
+            records.append({"name": "thread_name", "ph": "M", "pid": 0,
+                            "tid": tid, "args": {"name": lane}})
+            records.append({"name": "thread_sort_index", "ph": "M", "pid": 0,
+                            "tid": tid, "args": {"sort_index": tid}})
         for ev in self.events:
             records.append({
                 "name": ev.name,
@@ -106,6 +129,8 @@ class Trace:
                 "tid": lane_ids[ev.lane],
                 "args": dict(ev.meta, lane=ev.lane),
             })
+        if extra_records:
+            records.extend(extra_records)
         return json.dumps({"traceEvents": records}, indent=None)
 
     def to_ascii(self, width: int = 100,
@@ -126,7 +151,7 @@ class Trace:
             hi = lo + 1.0
         span = hi - lo
         glyph = {H2D: ">", D2H: "<", KERNEL: "#", HOST: "."}
-        name_w = max(len(name) for name in lanes)
+        name_w = max(len("lane"), max(len(name) for name in lanes))
         lines = [f"{'lane'.ljust(name_w)} |{'-' * width}| "
                  f"[{lo:.3f}s .. {hi:.3f}s]"]
         for lane in sorted(lanes):

@@ -10,10 +10,12 @@ statistics the benchmarks report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.builtin import MetricsTool
+from repro.obs.tool import Tool
 from repro.openmp.runtime import OpenMPRuntime
 from repro.sim.costmodel import CostModel
 from repro.sim.topology import NodeTopology, cte_power_node
@@ -56,6 +58,8 @@ class SomierResult:
     state: SomierState
     runtime: OpenMPRuntime
     stats: Dict[str, float] = field(default_factory=dict)
+    #: snapshot of the first registered MetricsTool, if any tool was passed
+    metrics: Optional[Dict[str, Any]] = None
 
 
 def run_somier(impl: str, config: SomierConfig,
@@ -66,7 +70,8 @@ def run_somier(impl: str, config: SomierConfig,
                fuse_transfers: bool = False,
                data_depend: bool = False,
                taskgroup_global_drain: bool = True,
-               trace: bool = True) -> SomierResult:
+               trace: bool = True,
+               tools: Sequence[Tool] = ()) -> SomierResult:
     """Run one Somier experiment; see the module docstring.
 
     ``devices`` defaults to every device of the topology, in id order; the
@@ -75,6 +80,9 @@ def run_somier(impl: str, config: SomierConfig,
     ``taskgroup_global_drain=False`` switches the runtime to spec-pure
     taskgroups (members only) instead of the paper's all-device barrier —
     the counterfactual the global-drain ablation benchmark measures.
+    ``tools`` are observability tools registered with the runtime before
+    the program starts; if any is a :class:`MetricsTool`, its snapshot
+    lands on ``SomierResult.metrics``.
     """
     if impl not in IMPLEMENTATIONS:
         raise OmpRuntimeError(
@@ -85,6 +93,8 @@ def run_somier(impl: str, config: SomierConfig,
                        trace_enabled=trace,
                        taskgroup_global_drain=taskgroup_global_drain)
     devs = list(devices) if devices is not None else list(range(topo.num_devices))
+    for tool in tools:
+        rt.tools.register(tool)
     if data_depend:
         ext.enable(rt, data_depend=True)
     capacity = min(topo.device_specs[d].memory_bytes for d in devs)
@@ -106,7 +116,9 @@ def run_somier(impl: str, config: SomierConfig,
         "kernels_launched": sum(rt.devices[d].kernels_launched for d in devs),
         "tasks": rt.task_count,
     }
+    metrics = next((t.snapshot() for t in tools
+                    if isinstance(t, MetricsTool)), None)
     return SomierResult(impl=impl, devices=devs, config=config, plan=plan,
                         elapsed=rt.elapsed,
                         centers=np.array(state.centers), state=state,
-                        runtime=rt, stats=stats)
+                        runtime=rt, stats=stats, metrics=metrics)

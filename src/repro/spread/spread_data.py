@@ -62,7 +62,8 @@ def _concretize(maps: Sequence[MapClause], chunk: Chunk):
 def _fan_out(ctx: TaskCtx, chunks: Sequence[Chunk],
              maps: Sequence[MapClause], depends: Sequence[Dep],
              op_factory, name: str, nowait: bool,
-             fuse_transfers: bool) -> Generator:
+             fuse_transfers: bool,
+             directive_id: Optional[int] = None) -> Generator:
     items = []
     for chunk in chunks:
         concrete = _concretize(maps, chunk)
@@ -71,11 +72,28 @@ def _fan_out(ctx: TaskCtx, chunks: Sequence[Chunk],
         op = op_factory(chunk, concrete)
         items.append((chunk.device, op, concrete, cdeps,
                       f"{name}#{chunk.index}@{chunk.device}"))
-    procs = exec_ops.submit_spread(ctx, items)
+    procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
     handle = SpreadHandle(ctx, procs, chunks)
     if not nowait:
         yield from handle.wait()
     return handle
+
+
+def _directive_begin(ctx: TaskCtx, kind: str, chunks: Sequence[Chunk]):
+    tools = ctx.rt.tools
+    if not tools:
+        return None
+    return tools.directive_begin(kind,
+                                 devices=sorted({c.device for c in chunks}),
+                                 time=ctx.rt.sim.now)
+
+
+def _directive_end(ctx: TaskCtx, did: Optional[int],
+                   chunks: Sequence[Chunk]) -> None:
+    if did is not None:
+        tools = ctx.rt.tools
+        if tools:
+            tools.directive_end(did, chunks=len(chunks), time=ctx.rt.sim.now)
 
 
 def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
@@ -97,8 +115,11 @@ def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
                                  fuse_transfers=fuse_transfers,
                                  label=f"enter-spread@{chunk.device}")
 
+    did = _directive_begin(ctx, "target enter data spread", chunks)
     handle = yield from _fan_out(ctx, chunks, maps, depends, factory,
-                                 "enter-spread", nowait, fuse_transfers)
+                                 "enter-spread", nowait, fuse_transfers,
+                                 directive_id=did)
+    _directive_end(ctx, did, chunks)
     return handle
 
 
@@ -120,8 +141,11 @@ def target_exit_data_spread(ctx: TaskCtx, devices: Sequence[int],
                                 fuse_transfers=fuse_transfers,
                                 label=f"exit-spread@{chunk.device}")
 
+    did = _directive_begin(ctx, "target exit data spread", chunks)
     handle = yield from _fan_out(ctx, chunks, maps, depends, factory,
-                                 "exit-spread", nowait, fuse_transfers)
+                                 "exit-spread", nowait, fuse_transfers,
+                                 directive_id=did)
+    _directive_end(ctx, did, chunks)
     return handle
 
 
@@ -129,12 +153,14 @@ class SpreadDataRegion:
     """Handle for a structured ``target data spread`` region."""
 
     def __init__(self, ctx: TaskCtx, chunks: Sequence[Chunk],
-                 maps: Sequence[MapClause], fuse_transfers: bool):
+                 maps: Sequence[MapClause], fuse_transfers: bool,
+                 directive_id: Optional[int] = None):
         self._ctx = ctx
         self._chunks = list(chunks)
         self._maps = list(maps)
         self._fuse = fuse_transfers
         self._closed = False
+        self._directive_id = directive_id
 
     def end(self) -> Generator:
         """Leave the region: distributed copy-backs, synchronously."""
@@ -150,7 +176,9 @@ class SpreadDataRegion:
         handle = yield from _fan_out(self._ctx, self._chunks, self._maps,
                                      (), factory, "data-spread-end",
                                      nowait=False,
-                                     fuse_transfers=self._fuse)
+                                     fuse_transfers=self._fuse,
+                                     directive_id=self._directive_id)
+        _directive_end(self._ctx, self._directive_id, self._chunks)
         return handle
 
 
@@ -176,9 +204,12 @@ def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
                                  fuse_transfers=fuse_transfers,
                                  label=f"data-spread@{chunk.device}")
 
+    did = _directive_begin(ctx, "target data spread", chunks)
     yield from _fan_out(ctx, chunks, maps, (), factory, "data-spread",
-                        nowait=False, fuse_transfers=fuse_transfers)
-    return SpreadDataRegion(ctx, chunks, maps, fuse_transfers)
+                        nowait=False, fuse_transfers=fuse_transfers,
+                        directive_id=did)
+    return SpreadDataRegion(ctx, chunks, maps, fuse_transfers,
+                            directive_id=did)
 
 
 def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
@@ -221,8 +252,10 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
                                 label=f"update-spread@{chunk.device}")
         items.append((chunk.device, op, pseudo, cdeps,
                       f"update-spread#{chunk.index}@{chunk.device}"))
-    procs = exec_ops.submit_spread(ctx, items)
+    did = _directive_begin(ctx, "target update spread", chunks)
+    procs = exec_ops.submit_spread(ctx, items, directive_id=did)
     handle = SpreadHandle(ctx, procs, chunks)
     if not nowait:
         yield from handle.wait()
+    _directive_end(ctx, did, chunks)
     return handle

@@ -112,6 +112,12 @@ def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
         num_teams=1, threads_per_team=1, simd=False)
 
     chunks = sched.chunks(lo, hi, devs)
+    tools = rt.tools
+    did = None
+    if tools:
+        did = tools.directive_begin("target spread", name=kernel.name,
+                                    devices=list(devs), lo=lo, hi=hi,
+                                    time=rt.sim.now)
 
     if isinstance(sched, DynamicSchedule):
         if depends:
@@ -119,16 +125,19 @@ def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
                 "target spread: depend is not supported with the dynamic "
                 "schedule extension")
         handle = _launch_dynamic(ctx, kernel, chunks, devs, maps, cfg,
-                                 fuse_transfers)
+                                 fuse_transfers, directive_id=did)
     else:
         handle = _launch_static(ctx, kernel, chunks, maps, depends, cfg,
-                                reductions, fuse_transfers)
+                                reductions, fuse_transfers, directive_id=did)
 
     if reductions:
         yield from handle.wait()
         _fold_reductions(handle, reductions)
     elif not nowait:
         yield from handle.wait()
+    if did is not None:
+        tools.directive_end(did, chunks=len(handle.chunks),
+                            time=rt.sim.now)
     return handle
 
 
@@ -166,7 +175,8 @@ def target_spread_teams_distribute_parallel_for(
 def _launch_static(ctx: TaskCtx, kernel: KernelSpec, chunks: Sequence[Chunk],
                    maps: Sequence[MapClause], depends: Sequence[Dep],
                    cfg: LaunchConfig, reductions: Sequence[Reduction],
-                   fuse_transfers: bool) -> SpreadHandle:
+                   fuse_transfers: bool,
+                   directive_id: Optional[int] = None) -> SpreadHandle:
     rt = ctx.rt
     items = []
     for chunk in chunks:
@@ -184,7 +194,7 @@ def _launch_static(ctx: TaskCtx, kernel: KernelSpec, chunks: Sequence[Chunk],
                                     label=f"spread@{chunk.device}")
         items.append((chunk.device, op, concrete, cdeps,
                       f"spread:{kernel.name}#{chunk.index}@{chunk.device}"))
-    procs = exec_ops.submit_spread(ctx, items)
+    procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
     return SpreadHandle(ctx, procs, chunks)
 
 
@@ -195,7 +205,8 @@ def _launch_static(ctx: TaskCtx, kernel: KernelSpec, chunks: Sequence[Chunk],
 def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
                     chunks: Sequence[Chunk], devices: Sequence[int],
                     maps: Sequence[MapClause], cfg: LaunchConfig,
-                    fuse_transfers: bool) -> SpreadHandle:
+                    fuse_transfers: bool,
+                    directive_id: Optional[int] = None) -> SpreadHandle:
     rt = ctx.rt
     queue: List[Chunk] = list(chunks)
     assigned: List[Chunk] = []
@@ -211,7 +222,8 @@ def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
                 concrete, launch=cfg, fuse_transfers=fuse_transfers,
                 label=f"spread-dyn@{device_id}")
 
-    procs = [ctx.submit(worker(d), name=f"spread-dyn:{kernel.name}@{d}")
+    procs = [ctx.submit(worker(d), name=f"spread-dyn:{kernel.name}@{d}",
+                        device=d, directive_id=directive_id)
              for d in devices]
     return SpreadHandle(ctx, procs, assigned)
 

@@ -1,0 +1,126 @@
+"""Unit tests for the metrics registry instruments."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("bytes_moved", device=0, dir="h2d")
+        c.inc(100.0)
+        c.inc(0.5)
+        assert c.value == 100.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        # label order must not matter
+        a = reg.counter("bytes_moved", device=0, dir="h2d")
+        b = reg.counter("bytes_moved", dir="h2d", device=0)
+        assert a is b
+
+    def test_qualified_key(self):
+        c = MetricsRegistry().counter("bytes_moved", device=3, dir="d2h")
+        assert c.key == "bytes_moved{device=3,dir=d2h}"
+        assert MetricsRegistry().counter("plain").key == "plain"
+
+    def test_counter_value_defaults_to_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_value("never_touched", device=7) == 0.0
+
+    def test_sum_counter_over_label_subset(self):
+        reg = MetricsRegistry()
+        reg.counter("memcpy_calls", device=0, dir="h2d").inc(3)
+        reg.counter("memcpy_calls", device=0, dir="d2h").inc(2)
+        reg.counter("memcpy_calls", device=1, dir="h2d").inc(10)
+        assert reg.sum_counter("memcpy_calls", device=0) == 5
+        assert reg.sum_counter("memcpy_calls") == 15
+
+
+class TestGauge:
+    def test_set_and_high_water_mark(self):
+        g = MetricsRegistry().gauge("tasks_in_flight")
+        g.set(3)
+        g.set(1)
+        assert g.value == 1 and g.max_value == 3
+
+    def test_add_tracks_max(self):
+        g = MetricsRegistry().gauge("tasks_in_flight")
+        g.add(1)
+        g.add(1)
+        g.add(-2)
+        assert g.value == 0 and g.max_value == 2
+
+
+class TestTimerHist:
+    def test_cumulative_buckets_and_overflow(self):
+        t = MetricsRegistry().timer("lat", buckets=(1e-3, 1.0))
+        t.observe(1e-4)   # first bucket
+        t.observe(0.5)    # second bucket
+        t.observe(50.0)   # overflow
+        assert t.bucket_counts == [1, 1, 1]
+        assert t.count == 3
+        assert t.sum == pytest.approx(50.5001)
+        assert t.min == pytest.approx(1e-4)
+        assert t.max == 50.0
+        assert t.mean == pytest.approx(50.5001 / 3)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            MetricsRegistry().timer("lat").observe(-0.1)
+
+    def test_bad_buckets_rejected(self):
+        from repro.obs.metrics import TimerHist
+
+        with pytest.raises(ValueError, match="positive"):
+            TimerHist("a", buckets=())
+        with pytest.raises(ValueError, match="positive"):
+            TimerHist("b", buckets=(0.0, 1.0))
+        # the registry falls back to the defaults for an empty spec
+        assert MetricsRegistry().timer("c", buckets=()).buckets == \
+            DEFAULT_BUCKETS
+
+    def test_default_buckets_cover_cost_model_span(self):
+        assert DEFAULT_BUCKETS[0] <= 1e-6 and DEFAULT_BUCKETS[-1] >= 100.0
+
+
+class TestSnapshot:
+    def make(self):
+        reg = MetricsRegistry()
+        reg.counter("kernels_launched", device=1).inc(4)
+        reg.counter("kernels_launched", device=0).inc(2)
+        reg.gauge("tasks_in_flight").set(5)
+        reg.timer("kernel_time", device=0).observe(0.25)
+        return reg
+
+    def test_snapshot_is_sorted_and_jsonable(self):
+        snap = self.make().snapshot()
+        assert list(snap) == ["counters", "gauges", "timers"]
+        assert list(snap["counters"]) == [
+            "kernels_launched{device=0}", "kernels_launched{device=1}"]
+        timer = snap["timers"]["kernel_time{device=0}"]
+        assert timer["count"] == 1 and timer["sum"] == 0.25
+        assert timer["overflow"] == 0
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_snapshot_deterministic_across_instances(self):
+        assert self.make().snapshot() == self.make().snapshot()
+
+    def test_render_text_tables(self):
+        text = self.make().render_text()
+        assert "counter" in text and "gauge" in text and "timer" in text
+        assert "kernels_launched{device=0}" in text
+        # aligned: every table row shares its header's separator width
+        lines = text.splitlines()
+        sep_lines = [l for l in lines if set(l) <= {"-", "+"} and "-" in l]
+        assert len(sep_lines) == 3  # one per counter/gauge/timer table
+
+    def test_render_text_empty(self):
+        assert MetricsRegistry().render_text() == "(no metrics recorded)"

@@ -1,0 +1,110 @@
+"""Unit tests for the profiling report layer (text tables + JSON)."""
+
+import json
+
+import pytest
+
+from repro.bench.machines import (
+    paper_devices,
+    paper_machine,
+    paper_somier_config,
+)
+from repro.obs import MetricsRegistry, ProfileReport, Profiler
+from repro.obs.report import PROFILE_SCHEMA
+from repro.somier import run_somier
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    topo, cm = paper_machine(2, n_functional=24)
+    cfg = paper_somier_config(n_functional=24, steps=2)
+    prof = Profiler()
+    result = run_somier("one_buffer", cfg, devices=paper_devices(2),
+                        topology=topo, cost_model=cm, tools=prof.tools)
+    return result, prof
+
+
+class TestRows:
+    def test_per_directive_rows(self, profiled):
+        result, prof = profiled
+        rows = prof.report(result.elapsed).per_directive_rows()
+        by_kind = {r["kind"]: r for r in rows}
+        assert "target spread" in by_kind
+        spread = by_kind["target spread"]
+        assert spread["count"] > 0
+        # span-extended totals: nowait directives still show real time
+        assert spread["total_s"] > 0
+        assert spread["mean_s"] == pytest.approx(
+            spread["total_s"] / spread["count"])
+        assert spread["max_s"] <= spread["total_s"] + 1e-12
+        assert spread["chunks"] > 0
+
+    def test_per_device_rows(self, profiled):
+        result, prof = profiled
+        rows = prof.report(result.elapsed).per_device_rows()
+        assert [r["device"] for r in rows] == [0, 1]
+        for r in rows:
+            assert r["h2d_bytes"] > 0 and r["d2h_bytes"] > 0
+            assert r["memcpys"] > 0 and r["kernels"] > 0
+            assert r["kernel_s"] > 0 and r["queue_busy_s"] > 0
+            assert r["present_hits"] > 0 and r["submits"] > 0
+
+
+class TestRenderText:
+    def test_tables_present_and_aligned(self, profiled):
+        result, prof = profiled
+        text = prof.report(result.elapsed).render_text()
+        assert "Per-directive profile" in text
+        assert "Per-device profile" in text
+        assert "makespan:" in text and "tasks spawned:" in text
+        lines = text.splitlines()
+        # alignment: each table's header and dashed separator agree on the
+        # column boundaries
+        for first_col in ("directive ", "device "):
+            idx = next(i for i, l in enumerate(lines)
+                       if l.startswith(first_col))
+            header, sep = lines[idx], lines[idx + 1]
+            assert set(sep) <= {"-", "+"}
+            assert len(sep) == len(header)
+            assert [i for i, ch in enumerate(header) if ch == "|"] == \
+                [i for i, ch in enumerate(sep) if ch == "+"]
+
+    def test_empty_registry_renders_placeholder(self):
+        text = ProfileReport(MetricsRegistry()).render_text()
+        assert "(no profile data recorded)" in text
+        assert "makespan: 0.000000s" in text
+
+
+class TestJson:
+    def test_round_trip(self, profiled):
+        result, prof = profiled
+        payload = json.loads(prof.report(result.elapsed).to_json(indent=2))
+        assert payload["schema"] == PROFILE_SCHEMA
+        assert payload["makespan_s"] == pytest.approx(result.elapsed)
+        assert payload["directives"] and payload["devices"]
+        assert payload["counters"]["counters"]
+        assert payload["spans"]["directives"] > 0
+        assert payload["spans"]["tasks"] > 0
+        assert payload["spans"]["ops"] > 0
+        # re-serializable (no exotic types leaked through)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_json_without_spans(self):
+        reg = MetricsRegistry()
+        reg.counter("directives", kind="target").inc()
+        payload = json.loads(ProfileReport(reg, makespan=1.5).to_json())
+        assert "spans" not in payload
+        assert payload["makespan_s"] == 1.5
+
+
+class TestProfilerBundle:
+    def test_tools_and_registry(self):
+        prof = Profiler()
+        assert prof.tools == (prof.metrics, prof.spans)
+        assert prof.registry is prof.metrics.registry
+
+    def test_chrome_trace_merges_spans(self, profiled):
+        result, prof = profiled
+        doc = json.loads(prof.chrome_trace(result.runtime.trace))
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {0, 1}  # raw device lanes + span lanes

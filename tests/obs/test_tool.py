@@ -1,0 +1,111 @@
+"""Unit tests for the OMPT-style tool registry and dispatch."""
+
+import pytest
+
+from repro.obs.tool import (
+    CALLBACK_POINTS,
+    DATA_OP,
+    DEVICE_INIT,
+    DIRECTIVE_BEGIN,
+    Tool,
+    ToolRegistry,
+)
+from repro.openmp import OpenMPRuntime
+from repro.sim.topology import cte_power_node
+
+
+class RecordingTool(Tool):
+    """Collects every payload it receives, per point."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_data_op(self, **kw):
+        self.calls.append((DATA_OP, kw))
+
+    def on_device_init(self, **kw):
+        self.calls.append((DEVICE_INIT, kw))
+
+
+class TestRegistry:
+    def test_empty_registry_is_falsy(self):
+        reg = ToolRegistry()
+        assert not reg
+        reg.register(RecordingTool())
+        assert reg
+
+    def test_register_requires_some_callback(self):
+        class Useless(Tool):
+            pass
+
+        with pytest.raises(ValueError, match="no on_"):
+            ToolRegistry().register(Useless())
+
+    def test_unregister_restores_emptiness(self):
+        reg = ToolRegistry()
+        tool = reg.register(RecordingTool())
+        reg.unregister(tool)
+        assert not reg
+        with pytest.raises(ValueError, match="not registered"):
+            reg.unregister(tool)
+
+    def test_set_callback_raw_function(self):
+        reg = ToolRegistry()
+        seen = []
+        reg.set_callback(DATA_OP, lambda **kw: seen.append(kw))
+        assert reg
+        reg.dispatch(DATA_OP, op="h2d", device=0, time=1.0)
+        assert seen == [{"op": "h2d", "device": 0, "time": 1.0}]
+
+    def test_set_callback_rejects_unknown_point(self):
+        with pytest.raises(ValueError, match="unknown callback point"):
+            ToolRegistry().set_callback("on_fire", print)
+
+    def test_dispatch_rejects_unknown_point(self):
+        with pytest.raises(ValueError, match="unknown callback point"):
+            ToolRegistry().dispatch("quantum_flux")
+
+    def test_dispatch_order_and_count(self):
+        reg = ToolRegistry()
+        order = []
+        reg.set_callback(DATA_OP, lambda **kw: order.append("first"))
+        reg.set_callback(DATA_OP, lambda **kw: order.append("second"))
+        reg.dispatch(DATA_OP, op="alloc", device=0)
+        assert order == ["first", "second"]
+        assert reg.dispatch_count == 1
+
+    def test_tool_callbacks_discovers_only_known_points(self):
+        tool = RecordingTool()
+        assert set(tool.callbacks()) == {DATA_OP, DEVICE_INIT}
+        for point in tool.callbacks():
+            assert point in CALLBACK_POINTS
+
+
+class TestIdAllocation:
+    def test_directive_ids_are_sequential(self):
+        reg = ToolRegistry()
+        seen = []
+        reg.set_callback(DIRECTIVE_BEGIN, lambda **kw: seen.append(kw))
+        ids = [reg.directive_begin("target", time=0.0) for _ in range(3)]
+        assert ids == [1, 2, 3]
+        assert [kw["directive"] for kw in seen] == [1, 2, 3]
+        assert all(kw["kind"] == "target" for kw in seen)
+
+    def test_task_ids_are_sequential(self):
+        reg = ToolRegistry()
+        assert [reg.next_task_id() for _ in range(3)] == [1, 2, 3]
+
+
+class TestDeviceInitReplay:
+    def test_late_registration_replays_device_init(self):
+        rt = OpenMPRuntime(topology=cte_power_node(2, memory_bytes=1e9))
+        tool = RecordingTool()
+        rt.tools.register(tool)
+        inits = [kw for point, kw in tool.calls if point == DEVICE_INIT]
+        assert [kw["device"] for kw in inits] == [0, 1]
+        assert all(kw["memory_bytes"] == 1e9 for kw in inits)
+        assert all("name" in kw and "num_sms" in kw for kw in inits)
+
+    def test_runtime_registry_is_falsy_by_default(self):
+        rt = OpenMPRuntime(topology=cte_power_node(2, memory_bytes=1e9))
+        assert not rt.tools

@@ -61,12 +61,18 @@ class TestTraceRecording:
 class TestExporters:
     def test_chrome_trace_json(self):
         doc = json.loads(make_trace().to_chrome_trace())
-        events = doc["traceEvents"]
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
         assert len(events) == 5
-        assert all(e["ph"] == "X" for e in events)
         k1 = next(e for e in events if e["name"] == "k1")
         assert k1["ts"] == pytest.approx(2.0e6)
         assert k1["dur"] == pytest.approx(3.0e6)
+
+    def test_chrome_trace_lane_metadata(self):
+        doc = json.loads(make_trace().to_chrome_trace())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta
+                 if e["name"] == "thread_name"}
+        assert {"gpu0", "gpu1"} <= names
 
     def test_ascii_contains_lanes_and_legend(self):
         out = make_trace().to_ascii(width=40)

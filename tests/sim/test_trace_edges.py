@@ -5,7 +5,7 @@ import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
-from repro.sim.trace import H2D, KERNEL, Trace
+from repro.sim.trace import D2H, H2D, HOST, KERNEL, Trace, TraceAnalysis
 
 
 class TestAsciiEdges:
@@ -36,6 +36,78 @@ class TestAsciiEdges:
         tr.record(KERNEL, "k", lane="gpu0", start=0.0, end=0.0, device=0)
         # zero-length makespan: must not divide by zero
         assert "gpu0" in tr.to_ascii(width=10)
+
+    def test_short_lane_names_still_align(self):
+        # lane names shorter than the word "lane" must not shear the
+        # timeline columns
+        tr = Trace()
+        tr.record(KERNEL, "k", lane="g0", start=0.0, end=1.0, device=0)
+        lines = tr.to_ascii(width=10).splitlines()
+        header, row = lines[0], lines[1]
+        assert header.startswith("lane |")
+        assert row.startswith("g0   |")
+        assert header.index("|") == row.index("|")
+
+
+class TestRecordClamp:
+    def test_float_roundoff_clamps_to_zero_duration(self):
+        tr = Trace()
+        tr.record(H2D, "c", lane="gpu0", start=1.0, end=1.0 - 1e-13,
+                  device=0)
+        assert tr.events[0].duration == 0.0
+        assert tr.events[0].end == tr.events[0].start == 1.0
+
+    def test_genuinely_reversed_interval_rejected(self):
+        tr = Trace()
+        with pytest.raises(ValueError, match="ends before it starts"):
+            tr.record(H2D, "c", lane="gpu0", start=1.0, end=0.5, device=0)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace category"):
+            Trace().record("dma", "x", lane="gpu0", start=0.0, end=1.0)
+
+
+class TestAnalysisEdges:
+    def test_idle_fraction_empty_trace(self):
+        # zero makespan must not divide by zero
+        assert TraceAnalysis(Trace()).idle_fraction(0) == 0.0
+
+    def test_idle_fraction_fully_busy(self):
+        tr = Trace()
+        tr.record(KERNEL, "k", lane="gpu0", start=0.0, end=2.0, device=0)
+        assert TraceAnalysis(tr).idle_fraction(0) == pytest.approx(0.0)
+
+    def test_wire_intervals_fall_back_to_full_span(self):
+        tr = Trace()
+        tr.record(H2D, "a", lane="gpu0", start=0.0, end=2.0, device=0)
+        tr.record(H2D, "b", lane="gpu0", start=3.0, end=4.0, device=0,
+                  wire_start=3.5, wire_end=4.0)
+        ivs = TraceAnalysis(tr).wire_intervals(0)
+        assert ivs == [(0.0, 2.0), (3.5, 4.0)]
+
+    def test_transfer_overlap_wire_vs_full_span(self):
+        # queues overlap for 2s but the wire occupancy is disjoint — the
+        # paper's "transfers did not overlap" claim holds only wire-only
+        tr = Trace()
+        tr.record(H2D, "a", lane="gpu0", start=0.0, end=3.0, device=0,
+                  wire_start=0.0, wire_end=1.0)
+        tr.record(D2H, "b", lane="gpu1", start=1.0, end=4.0, device=1,
+                  wire_start=3.0, wire_end=4.0)
+        an = TraceAnalysis(tr)
+        assert an.transfer_transfer_overlap([0, 1]) == pytest.approx(0.0)
+        assert an.transfer_transfer_overlap(
+            [0, 1], wire_only=False) == pytest.approx(2.0)
+
+    def test_interleave_count_ignores_host_events(self):
+        tr = Trace()
+        tr.record(HOST, "t1", lane="host", start=0.0, end=1.0, device=0)
+        tr.record(HOST, "t2", lane="host", start=1.0, end=2.0, device=0)
+        assert TraceAnalysis(tr).interleave_count(0) == 0
+        # a host event between kernel and copy must not break the pair
+        tr.record(KERNEL, "k", lane="gpu0", start=2.0, end=3.0, device=0)
+        tr.record(HOST, "t3", lane="host", start=3.0, end=3.5, device=0)
+        tr.record(H2D, "c", lane="gpu0", start=4.0, end=5.0, device=0)
+        assert TraceAnalysis(tr).interleave_count(0) == 1
 
 
 class TestBatchD2H:

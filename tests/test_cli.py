@@ -82,6 +82,82 @@ class TestSomier:
         assert "[1, 0]" in capsys.readouterr().out
 
 
+class TestSomierProfiling:
+    def test_profile_flag_prints_report(self, capsys):
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "2", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Per-directive profile" in out
+        assert "Per-device profile" in out
+        assert "target spread" in out
+        assert "gpu0" in out and "gpu1" in out
+
+    def test_trace_json_written(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "2",
+                   "--trace-json", str(path)])
+        assert rc == 0
+        assert f"chrome trace written to {path}" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "X" and e["pid"] == 0 for e in events)
+        assert any(e["ph"] == "X" and e["pid"] == 1 for e in events)
+        assert any(e["ph"] == "M" and e["name"] == "thread_name"
+                   for e in events)
+
+    def test_metrics_json_written(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "2",
+                   "--metrics-json", str(path)])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-profile-1"
+        assert payload["directives"] and payload["devices"]
+
+
+    def test_unwritable_destination_is_clean_error(self, capsys):
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1",
+                   "--trace-json", "/nonexistent/dir/t.json"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_text_report(self, capsys):
+        rc = main(["stats", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "virtual" in out
+        assert "Per-directive profile" in out
+        assert "makespan:" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        rc = main(["stats", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-profile-1"
+        assert payload["spans"]["directives"] > 0
+
+    def test_full_adds_raw_catalogue(self, capsys):
+        rc = main(["stats", "--impl", "target", "--gpus", "1",
+                   "--n-functional", "24", "--steps", "1", "--full"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bytes_moved{device=0,dir=h2d}" in out
+
+
 class TestTables:
     def test_table1_tiny(self, capsys):
         rc = main(["table1", "--n-functional", "24", "--steps", "1"])
