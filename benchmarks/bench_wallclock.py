@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark script: spread launch-plan cache speedup.
+
+Unlike the pytest-benchmark modules next to it (which report *virtual*
+seconds), this script measures **real** host-side seconds — the cost of
+lowering spread directives with and without the launch-plan cache — and
+persists the result as ``BENCH_wallclock.json``::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --repeats 10 --n-functional 18 --steps 6 --out /tmp/bench.json
+
+See ``docs/performance.md`` for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.wallclock import run_wallclock
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_wallclock.json",
+                    help="where to write the JSON result")
+    ap.add_argument("--n", type=int, default=4096,
+                    help="microbench loop extent")
+    ap.add_argument("--devices", type=int, default=4,
+                    help="microbench device count")
+    ap.add_argument("--repeats", type=int, default=30,
+                    help="microbench batches (first is the cold sample)")
+    ap.add_argument("--launches", type=int, default=5,
+                    help="nowait launches per timed batch")
+    ap.add_argument("--n-functional", type=int, default=24,
+                    help="end-to-end Somier functional grid edge")
+    ap.add_argument("--steps", type=int, default=12,
+                    help="end-to-end Somier timesteps")
+    args = ap.parse_args(argv)
+
+    result = run_wallclock(
+        n=args.n, num_devices=args.devices, repeats=args.repeats,
+        launches=args.launches, n_functional=args.n_functional,
+        steps=args.steps,
+        timestamp=time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+
+    micro = result["launch_microbench"]
+    on, off = micro["cache_on"], micro["cache_off"]
+    print(f"warm launch (cache on):  {on['warm_launch_s'] * 1e6:8.1f} us "
+          f"({on['warm_launches_per_s']:.0f} launches/s, "
+          f"{on['cache_hits']} hits / {on['cache_misses']} misses)")
+    print(f"warm launch (cache off): {off['warm_launch_s'] * 1e6:8.1f} us "
+          f"({off['warm_launches_per_s']:.0f} launches/s)")
+    print(f"warm-launch speedup:     {result['warm_launch_speedup']:.2f}x")
+    e2e = result["end_to_end"]
+    print(f"end-to-end somier:       "
+          f"{e2e['cache_on']['wall_s']:.3f}s on vs "
+          f"{e2e['cache_off']['wall_s']:.3f}s off "
+          f"({result['end_to_end_speedup']:.2f}x)")
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,19 +36,29 @@ class Experiment:
             return None
         return self.seconds / self.paper_seconds
 
+    @property
+    def plan_cache_stats(self) -> Tuple[int, int]:
+        """(hits, misses) of the spread launch-plan cache for this run."""
+        return (int(self.result.stats.get("plan_cache_hits", 0)),
+                int(self.result.stats.get("plan_cache_misses", 0)))
+
 
 def _run_one(impl: str, gpus: int, n_functional: int, steps: int,
              data_depend: bool = False, fuse_transfers: bool = False,
-             trace: bool = False, metrics: bool = False) -> SomierResult:
+             trace: bool = False, metrics: bool = False,
+             plan_cache: bool = True) -> SomierResult:
     topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
     cfg = machines.paper_somier_config(n_functional=n_functional, steps=steps)
     # Tool callbacks never touch virtual time, so metrics=True changes only
     # what is *reported* (SomierResult.metrics), never the elapsed numbers.
+    # Likewise plan_cache=False changes host-side lowering work only — the
+    # virtual timeline is bit-identical either way (tests assert this).
     tools = (MetricsTool(),) if metrics else ()
     return run_somier(impl, cfg, devices=machines.paper_devices(gpus),
                       topology=topo, cost_model=cm,
                       data_depend=data_depend,
                       fuse_transfers=fuse_transfers, trace=trace,
+                      plan_cache=plan_cache,
                       tools=tools)
 
 

@@ -1,0 +1,149 @@
+"""Wall-clock benchmark track: host-side launch cost of spread directives.
+
+Everything else in :mod:`repro.bench` reports *virtual* seconds — the
+simulator's scientific output.  This module measures **real** seconds: the
+Python-side cost of lowering a spread directive (validation, chunking, map/
+depend concretization, task submission), which is exactly what the
+launch-plan cache (:mod:`repro.spread.plan_cache`) attacks.  It is the
+simulated analogue of the libomptarget "launch overhead" microbenchmarks:
+the directive under test is issued ``nowait`` against data that is already
+present, so the timed region never blocks and never moves bytes — it is
+pure host lowering.
+
+Two measurements:
+
+* :func:`launch_microbench` — repeated identical ``target spread teams
+  distribute parallel for`` launches against pre-mapped buffers; reports
+  cold (first, cache-miss) and warm (steady-state) per-launch cost.
+* :func:`end_to_end` — a small Somier run; reports wall seconds and
+  timesteps/second.
+
+:func:`run_wallclock` runs both with the cache on and off and computes the
+speedups that ``benchmarks/bench_wallclock.py`` persists to
+``BENCH_wallclock.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench import machines
+from repro.device.kernel import KernelSpec
+from repro.openmp import Map, OpenMPRuntime, Var
+from repro.sim.topology import cte_power_node
+from repro.somier import run_somier
+from repro.spread import (
+    omp_spread_size,
+    omp_spread_start,
+    target_enter_data_spread,
+    target_exit_data_spread,
+    target_spread_teams_distribute_parallel_for,
+)
+
+S, Z = omp_spread_start, omp_spread_size
+
+
+def launch_microbench(plan_cache: bool = True, n: int = 4096,
+                      num_devices: int = 4, repeats: int = 30,
+                      launches: int = 5) -> Dict[str, Any]:
+    """Per-launch host cost of an identical, already-mapped spread kernel.
+
+    The program maps both arrays across *num_devices* once, then times
+    ``repeats`` batches of ``launches`` ``nowait`` launches each.  A
+    ``nowait`` static spread never yields, so ``perf_counter`` around the
+    batch captures pure host-side lowering; the untimed ``taskwait``
+    between batches drains the simulated devices.  Batch 0 is the cold
+    (plan-building) sample; the warm figure is the mean of the rest.
+    """
+    rt = OpenMPRuntime(
+        topology=cte_power_node(num_devices, memory_bytes=4e9),
+        trace_enabled=False, plan_cache=plan_cache)
+    devices = list(range(num_devices))
+    A, B = np.arange(float(n)), np.zeros(n)
+    vA, vB = Var("A", A), Var("B", B)
+    kern = KernelSpec("saxpy", lambda lo, hi, env: None)
+    samples: List[float] = []
+
+    def program(omp):
+        yield from target_enter_data_spread(
+            omp, devices, (0, n), None,
+            [Map.to(vA, (S, Z)), Map.alloc(vB, (S, Z))])
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(launches):
+                yield from target_spread_teams_distribute_parallel_for(
+                    omp, kern, 0, n, devices,
+                    maps=[Map.to(vA, (S, Z)), Map.from_(vB, (S, Z))],
+                    nowait=True)
+            samples.append(time.perf_counter() - t0)
+            yield from omp.taskwait()
+        yield from target_exit_data_spread(
+            omp, devices, (0, n), None,
+            [Map.release(vA, (S, Z)), Map.from_(vB, (S, Z))])
+
+    rt.run(program)
+    warm = samples[1:]
+    warm_mean = statistics.mean(warm) / launches
+    return {
+        "plan_cache": plan_cache,
+        "n": n,
+        "devices": num_devices,
+        "repeats": repeats,
+        "launches_per_batch": launches,
+        "cold_launch_s": samples[0] / launches,
+        "warm_launch_s": warm_mean,
+        "warm_launches_per_s": 1.0 / warm_mean if warm_mean else 0.0,
+        "warm_launch_min_s": min(warm) / launches,
+        "cache_hits": rt.plan_cache.hits,
+        "cache_misses": rt.plan_cache.misses,
+    }
+
+
+def end_to_end(plan_cache: bool = True, n_functional: int = 24,
+               steps: int = 12, gpus: int = 4) -> Dict[str, Any]:
+    """Wall seconds of a small Somier run (whole stack, trace off)."""
+    topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
+    cfg = machines.paper_somier_config(n_functional=n_functional,
+                                       steps=steps)
+    t0 = time.perf_counter()
+    res = run_somier("one_buffer", cfg, devices=machines.paper_devices(gpus),
+                     topology=topo, cost_model=cm, trace=False,
+                     plan_cache=plan_cache)
+    wall = time.perf_counter() - t0
+    return {
+        "plan_cache": plan_cache,
+        "n_functional": n_functional,
+        "steps": steps,
+        "gpus": gpus,
+        "wall_s": wall,
+        "steps_per_s": steps / wall if wall else 0.0,
+        "virtual_s": res.elapsed,
+        "cache_hits": res.stats["plan_cache_hits"],
+        "cache_misses": res.stats["plan_cache_misses"],
+    }
+
+
+def run_wallclock(n: int = 4096, num_devices: int = 4, repeats: int = 30,
+                  launches: int = 5, n_functional: int = 24,
+                  steps: int = 12,
+                  timestamp: Optional[str] = None) -> Dict[str, Any]:
+    """The full track: microbench + end-to-end, cache on vs off."""
+    micro_on = launch_microbench(True, n=n, num_devices=num_devices,
+                                 repeats=repeats, launches=launches)
+    micro_off = launch_microbench(False, n=n, num_devices=num_devices,
+                                  repeats=repeats, launches=launches)
+    e2e_on = end_to_end(True, n_functional=n_functional, steps=steps)
+    e2e_off = end_to_end(False, n_functional=n_functional, steps=steps)
+    return {
+        "schema": "repro-wallclock-1",
+        "timestamp": timestamp,
+        "launch_microbench": {"cache_on": micro_on, "cache_off": micro_off},
+        "end_to_end": {"cache_on": e2e_on, "cache_off": e2e_off},
+        "warm_launch_speedup":
+            micro_off["warm_launch_s"] / micro_on["warm_launch_s"],
+        "end_to_end_speedup": e2e_off["wall_s"] / e2e_on["wall_s"],
+    }

@@ -65,6 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable the §IX depend-on-data-directives extension")
     p.add_argument("--fuse-transfers", action="store_true",
                    help="coalesce each chunk's memcpys into one call")
+    p.add_argument("--no-plan-cache", action="store_true",
+                   help="disable spread launch-plan caching (replay); "
+                        "every directive takes the full lowering path")
     p.add_argument("--trace", action="store_true",
                    help="print an ASCII timeline of the run")
     p.add_argument("--verify", action="store_true",
@@ -90,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=8)
     p.add_argument("--data-depend", action="store_true")
     p.add_argument("--fuse-transfers", action="store_true")
+    p.add_argument("--no-plan-cache", action="store_true")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text tables")
     p.add_argument("--full", action="store_true",
@@ -135,6 +139,7 @@ def cmd_somier(args) -> int:
                      cost_model=cm, data_depend=args.data_depend,
                      fuse_transfers=args.fuse_transfers,
                      trace=args.trace or bool(args.trace_json),
+                     plan_cache=not args.no_plan_cache,
                      tools=prof.tools if prof else ())
     print(f"{args.impl} on {len(devices)} device(s) {devices}: "
           f"{format_hms(res.elapsed)} virtual")
@@ -191,6 +196,7 @@ def cmd_stats(args) -> int:
     res = run_somier(args.impl, cfg, devices=devices, topology=topo,
                      cost_model=cm, data_depend=args.data_depend,
                      fuse_transfers=args.fuse_transfers,
+                     plan_cache=not args.no_plan_cache,
                      tools=prof.tools)
     report = prof.report(makespan=res.elapsed)
     if args.json:

@@ -26,6 +26,10 @@ metric                              populated from
 ``spread_chunks{kind}``             ``directive_end`` chunk counts
 ``target_submits{device}``          ``target_submit``
 ``devices_initialized``             ``device_init``
+``plan_cache_hits/misses{kind}``    ``plan_cache`` (spread launch-plan
+                                    replay vs full lowering)
+``present_memo_hits{device}``       ``data_op`` (present_memo_hit: last-hit
+                                    present-table lookups)
 =================================  ==========================================
 """
 
@@ -107,6 +111,15 @@ class MetricsTool(Tool):
         elif op == "delete":
             reg.counter("present_deletes", device=device).inc()
             reg.counter("refcount_churn", device=device).inc()
+        elif op == "present_memo_hit":
+            reg.counter("present_memo_hits", device=device).inc()
+
+    # -- plan cache ---------------------------------------------------------------
+
+    def on_plan_cache(self, *, hit: bool, kind: str = "unknown",
+                      **kw: Any) -> None:
+        name = "plan_cache_hits" if hit else "plan_cache_misses"
+        self.registry.counter(name, kind=kind).inc()
 
     # -- tasks ------------------------------------------------------------------
 

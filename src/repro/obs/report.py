@@ -108,6 +108,8 @@ class ProfileReport:
                                                       device=d)),
                 "present_misses": int(reg.counter_value("present_misses",
                                                         device=d)),
+                "memo_hits": int(reg.counter_value("present_memo_hits",
+                                                   device=d)),
                 "submits": int(reg.counter_value("target_submits",
                                                  device=d)),
             })
@@ -132,18 +134,21 @@ class ProfileReport:
             parts.append("Per-device profile")
             parts.append(format_table(
                 ["device", "h2d", "d2h", "memcpys", "kernels", "kernel_s",
-                 "queue_s", "link_s", "hits", "misses", "submits"],
+                 "queue_s", "link_s", "hits", "misses", "memo", "submits"],
                 [(f"gpu{r['device']}", format_bytes(r["h2d_bytes"]),
                   format_bytes(r["d2h_bytes"]), r["memcpys"], r["kernels"],
                   f"{r['kernel_s']:.6f}", f"{r['queue_busy_s']:.6f}",
                   f"{r['link_busy_s']:.6f}", r["present_hits"],
-                  r["present_misses"], r["submits"])
+                  r["present_misses"], r["memo_hits"], r["submits"])
                  for r in vrows]))
+        reg = self.registry
         totals = [
             f"makespan: {self.makespan:.6f}s (virtual)",
-            f"tasks spawned: {int(self.registry.counter_value('tasks_spawned')):d}"
-            f" (deferred: {int(self.registry.counter_value('tasks_deferred')):d})",
-            f"dependence edges: {int(self.registry.counter_value('dependence_edges')):d}",
+            f"tasks spawned: {int(reg.counter_value('tasks_spawned')):d}"
+            f" (deferred: {int(reg.counter_value('tasks_deferred')):d})",
+            f"dependence edges: {int(reg.counter_value('dependence_edges')):d}",
+            f"plan cache: {int(reg.sum_counter('plan_cache_hits')):d} hits,"
+            f" {int(reg.sum_counter('plan_cache_misses')):d} misses",
         ]
         parts.append("")
         parts.extend(totals)

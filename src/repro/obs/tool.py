@@ -31,6 +31,9 @@ Callback points (→ closest OMPT event):
 ``kernel_launch``         submission half of ``target_submit`` on-device
 ``kernel_complete``       device-side completion record
 ``device_init``           ``ompt_callback_device_initialize``
+``plan_cache``            spread launch-plan cache hit/miss (no OMPT
+                          equivalent; analogous to a runtime's launch-state
+                          memoization trace records)
 =======================  ==================================================
 """
 
@@ -51,6 +54,7 @@ DEPENDENCE_RESOLVED = "dependence_resolved"
 KERNEL_LAUNCH = "kernel_launch"
 KERNEL_COMPLETE = "kernel_complete"
 DEVICE_INIT = "device_init"
+PLAN_CACHE = "plan_cache"
 
 CALLBACK_POINTS = (
     DIRECTIVE_BEGIN,
@@ -64,11 +68,12 @@ CALLBACK_POINTS = (
     KERNEL_LAUNCH,
     KERNEL_COMPLETE,
     DEVICE_INIT,
+    PLAN_CACHE,
 )
 
 #: kinds carried by ``data_op`` payloads (the ``op=`` field)
 DATA_OP_KINDS = ("alloc", "free", "h2d", "d2h", "delete", "release",
-                 "present_hit", "present_miss")
+                 "present_hit", "present_miss", "present_memo_hit")
 
 
 class Tool:

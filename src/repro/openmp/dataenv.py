@@ -55,9 +55,16 @@ class MappedEntry:
         return self.alloc.array
 
     def wait_list(self) -> List["object"]:
-        """Unfinished operations currently pending on this buffer."""
-        self.inflight = [ev for ev in self.inflight if not ev.processed]
-        return list(self.inflight)
+        """Unfinished operations currently pending on this buffer.
+
+        Prunes completed events in place and returns the pruned list
+        itself; callers only read it (``waits.extend(...)``), so the extra
+        defensive copy the hot submit path used to pay is dropped.
+        """
+        inflight = self.inflight
+        if inflight:
+            inflight[:] = [ev for ev in inflight if not ev.processed]
+        return inflight
 
     def track(self, event: "object") -> None:
         self.inflight.append(event)
@@ -84,9 +91,17 @@ class DeviceDataEnv:
     def __init__(self, device: Device):
         self.device = device
         self._entries: Dict[int, List[MappedEntry]] = {}
+        # Last-hit memo: var.key -> the entry that satisfied the last
+        # lookup/enter.  Safe because the overlap-extension rule keeps a
+        # variable's entries pairwise disjoint — at most one entry can
+        # contain any section, so a memoized containment hit is always the
+        # same entry the linear scan would find.
+        self._memo: Dict[int, MappedEntry] = {}
         # statistics for benchmark reports
         self.enter_count = 0
         self.reuse_count = 0
+        self.memo_hits = 0
+        self.slow_lookups = 0
 
     # -- lookup ---------------------------------------------------------------
 
@@ -99,9 +114,20 @@ class DeviceDataEnv:
         A section that only *partially* hits existing entries is an error:
         device code would fault on the unmapped part.
         """
+        memo = self._memo.get(var.key)
+        if memo is not None and memo.section.contains(section):
+            self.memo_hits += 1
+            tools = self.device.tools
+            if tools:
+                tools.dispatch(DATA_OP, op="present_memo_hit",
+                               device=self.device.device_id, name=var.name,
+                               time=self.device.sim.now)
+            return memo
+        self.slow_lookups += 1
         lst = self._entries.get(var.key, ())
         for entry in lst:
             if entry.section.contains(section):
+                self._memo[var.key] = entry
                 return entry
         for entry in lst:
             if entry.section.overlaps(section):
@@ -131,9 +157,26 @@ class DeviceDataEnv:
         if section.empty:
             raise OmpMappingError(
                 f"cannot map empty section of {var.name!r}")
+        memo = self._memo.get(var.key)
+        if memo is not None and memo.section.contains(section):
+            # Same outcome as the scan below (entries are disjoint), same
+            # present_hit record — only the linear scan is skipped.
+            memo.refcount += 1
+            self.reuse_count += 1
+            self.memo_hits += 1
+            tools = self.device.tools
+            if tools:
+                tools.dispatch(DATA_OP, op="present_hit",
+                               device=self.device.device_id,
+                               name=var.name,
+                               refcount=memo.refcount,
+                               time=self.device.sim.now)
+            return memo, False
+        self.slow_lookups += 1
         lst = self._entries.setdefault(var.key, [])
         for entry in lst:
             if entry.section.contains(section):
+                self._memo[var.key] = entry
                 entry.refcount += 1
                 self.reuse_count += 1
                 tools = self.device.tools
@@ -159,6 +202,7 @@ class DeviceDataEnv:
             label=f"{var.name}[{section.start}:{section.stop}]")
         entry = MappedEntry(var=var, section=section, alloc=alloc, refcount=1)
         lst.append(entry)
+        self._memo[var.key] = entry
         self.enter_count += 1
         tools = self.device.tools
         if tools:
@@ -188,6 +232,8 @@ class DeviceDataEnv:
             self._entries[var.key].remove(entry)
             if not self._entries[var.key]:
                 del self._entries[var.key]
+            if self._memo.get(var.key) is entry:
+                del self._memo[var.key]
             if tools:
                 tools.dispatch(DATA_OP, op="delete",
                                device=self.device.device_id, name=var.name,

@@ -86,6 +86,7 @@ class DependTracker:
         self._records: Dict[int, List[_Record]] = {}
         # statistics
         self.resolved_edges = 0
+        self.fast_resolves = 0
 
     def resolve(self, deps: Sequence[ConcreteDep]) -> List[Event]:
         """Compute the wait-set for a task about to be created.
@@ -98,6 +99,18 @@ class DependTracker:
         seen: set = set()
         for kind, var, section in deps:
             records = self._records.get(var.key, ())
+            if len(records) == 1:
+                # Common steady-state shape after writer pruning: one
+                # covering writer per variable.  It conflicts with every
+                # dependence kind, so the overlap scan collapses to a
+                # single containment check.
+                rec = records[0]
+                if rec.writes and rec.section.contains(section):
+                    self.fast_resolves += 1
+                    if id(rec.event) not in seen:
+                        seen.add(id(rec.event))
+                        waits.append(rec.event)
+                    continue
             for rec in records:
                 if not rec.section.overlaps(section):
                     continue

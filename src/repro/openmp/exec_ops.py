@@ -93,6 +93,10 @@ def gather_entry_waits(rt, device_id: int,
             waits.extend(entry.wait_list())
             entries.append(entry)
 
+    if not entries:
+        # Nothing to track: skip allocating a closure per submitted chunk.
+        return waits, ()
+
     def registrar(event) -> None:
         for entry in entries:
             entry.track(event)

@@ -31,6 +31,7 @@ from repro.sim.engine import Process, Simulator
 from repro.sim.resources import Resource
 from repro.sim.topology import NodeTopology, cte_power_node
 from repro.sim.trace import Trace
+from repro.spread.plan_cache import SpreadPlanCache
 from repro.util.errors import OmpDeviceError, OmpRuntimeError
 
 
@@ -40,7 +41,8 @@ class OpenMPRuntime:
     def __init__(self, topology: Optional[NodeTopology] = None,
                  cost_model: Optional[CostModel] = None,
                  trace_enabled: bool = True,
-                 taskgroup_global_drain: bool = True):
+                 taskgroup_global_drain: bool = True,
+                 plan_cache: bool = True):
         self.topology = topology if topology is not None else cte_power_node(4)
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.sim = Simulator()
@@ -66,6 +68,10 @@ class OpenMPRuntime:
             DeviceDataEnv(dev) for dev in self.devices
         ]
         self.depend = DependTracker()
+        #: spread launch-plan cache (replay of repeated directives);
+        #: ``plan_cache=False`` (CLI ``--no-plan-cache``) forces every
+        #: directive down the full lowering path.
+        self.plan_cache = SpreadPlanCache(enabled=plan_cache)
         self.default_device = 0
         #: reproduce the paper's taskgroup behaviour: closing a taskgroup
         #: that contains device operations drains *all* devices ("a barrier

@@ -96,7 +96,7 @@ class Event:
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         if self._processed:
             # Late subscription: deliver immediately at current time.
-            self.sim.schedule_call(0.0, lambda: cb(self))
+            self.sim._schedule_fn(lambda: cb(self))
         else:
             assert self.callbacks is not None
             self.callbacks.append(cb)
@@ -137,13 +137,14 @@ class Process(Event):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
         self._interrupts: List[Interrupt] = []
-        # Kick off at the current time.
-        init = Event(sim)
-        init.trigger(None)
-        self._waiting_on = init
-        init.add_callback(self._resume)
+        # Kick off at the current time.  The shared pre-triggered sentinel
+        # stands in for the per-process init event the engine used to
+        # allocate; _start() checks it the same way _resume() checks a real
+        # wait target, so an interrupt landing before the first step still
+        # wins the race.
+        self._waiting_on: Optional[Event] = sim._proc_init
+        sim._schedule_fn(self._start)
 
     @property
     def is_alive(self) -> bool:
@@ -157,9 +158,15 @@ class Process(Event):
         waiting = self._waiting_on
         if waiting is not None:
             self._waiting_on = None
-            self.sim.schedule_call(0.0, lambda: self._step(None, None))
+            self.sim._schedule_fn(lambda: self._step(None, None))
 
     # -- internal --------------------------------------------------------------
+
+    def _start(self) -> None:
+        if self._waiting_on is not self.sim._proc_init:
+            return  # stale wakeup (process was interrupted before starting)
+        self._waiting_on = None
+        self._step(None, None)
 
     def _resume(self, ev: Event) -> None:
         if self._waiting_on is not ev:
@@ -256,6 +263,23 @@ class AnyOf(Event):
             self.fail(ev.value)
 
 
+class _Call:
+    """A bare deferred function on the heap (no Event bookkeeping).
+
+    Internal scheduling (process start, late callbacks, interrupts,
+    :meth:`Simulator.schedule_call`) only ever needs "run this at time t";
+    pushing a plain callable avoids the Event allocation, its callback
+    list, and the processed-state transition on every hot-path launch.
+    Each push still consumes exactly one ``seq``, so interleaving with
+    real events is byte-identical to the Event-based encoding.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+
+
 class Simulator:
     """The event loop: a heap of ``(time, seq, event)`` entries.
 
@@ -269,6 +293,12 @@ class Simulator:
         self._heap: List[tuple] = []
         self._seq = 0
         self._running = False
+        # Shared already-processed event used as every Process's initial
+        # wait target (see Process.__init__ / Process._start).
+        self._proc_init = Event(self)
+        self._proc_init._triggered = True
+        self._proc_init._processed = True
+        self._proc_init.callbacks = None
 
     # -- scheduling ------------------------------------------------------------
 
@@ -276,16 +306,13 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
 
-    def schedule_call(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Run *fn* after *delay*; returns the trigger event."""
-        ev = Event(self)
-        ev._triggered = True
-        ev._ok = True
-        ev._value = None
-        ev.add_callback(lambda _ev: fn())
+    def _schedule_fn(self, fn: Callable[[], None], delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
-        return ev
+        heapq.heappush(self._heap, (self.now + delay, self._seq, _Call(fn)))
+
+    def schedule_call(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run *fn* after *delay* virtual seconds."""
+        self._schedule_fn(fn, delay)
 
     # -- factories -------------------------------------------------------------
 
@@ -307,11 +334,14 @@ class Simulator:
     # -- execution -------------------------------------------------------------
 
     def step(self) -> None:
-        """Process one event from the heap."""
+        """Process one entry from the heap."""
         time, _seq, ev = heapq.heappop(self._heap)
         if time < self.now:
             raise SimulationError("time went backwards")
         self.now = time
+        if type(ev) is _Call:
+            ev.fn()
+            return
         callbacks = ev.callbacks
         ev.callbacks = None
         ev._processed = True

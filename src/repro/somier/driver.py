@@ -71,6 +71,7 @@ def run_somier(impl: str, config: SomierConfig,
                data_depend: bool = False,
                taskgroup_global_drain: bool = True,
                trace: bool = True,
+               plan_cache: bool = True,
                tools: Sequence[Tool] = ()) -> SomierResult:
     """Run one Somier experiment; see the module docstring.
 
@@ -82,7 +83,8 @@ def run_somier(impl: str, config: SomierConfig,
     the counterfactual the global-drain ablation benchmark measures.
     ``tools`` are observability tools registered with the runtime before
     the program starts; if any is a :class:`MetricsTool`, its snapshot
-    lands on ``SomierResult.metrics``.
+    lands on ``SomierResult.metrics``.  ``plan_cache=False`` (CLI
+    ``--no-plan-cache``) disables spread launch-plan replay.
     """
     if impl not in IMPLEMENTATIONS:
         raise OmpRuntimeError(
@@ -91,7 +93,8 @@ def run_somier(impl: str, config: SomierConfig,
     topo = topology if topology is not None else cte_power_node(4)
     rt = OpenMPRuntime(topology=topo, cost_model=cost_model,
                        trace_enabled=trace,
-                       taskgroup_global_drain=taskgroup_global_drain)
+                       taskgroup_global_drain=taskgroup_global_drain,
+                       plan_cache=plan_cache)
     devs = list(devices) if devices is not None else list(range(topo.num_devices))
     for tool in tools:
         rt.tools.register(tool)
@@ -115,6 +118,8 @@ def run_somier(impl: str, config: SomierConfig,
         "memcpy_calls": sum(rt.devices[d].memcpy_calls for d in devs),
         "kernels_launched": sum(rt.devices[d].kernels_launched for d in devs),
         "tasks": rt.task_count,
+        "plan_cache_hits": rt.plan_cache.hits,
+        "plan_cache_misses": rt.plan_cache.misses,
     }
     metrics = next((t.snapshot() for t in tools
                     if isinstance(t, MetricsTool)), None)

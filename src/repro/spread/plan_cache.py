@@ -1,0 +1,221 @@
+"""Launch-plan caching for the spread directives (directive replay).
+
+The Somier programs re-execute structurally identical spread directives
+every timestep: same kernel, same bounds, same devices clause, same
+schedule, same symbolic map/depend sections.  Lowering one of those
+directives — device-clause validation, chunking, per-chunk section
+concretization, name formatting — is pure host-side work whose result
+depends only on those inputs, so it can be computed once and replayed.
+This is the simulated analogue of what production offload runtimes do for
+repeated launches (JACC caches kernel/launch state across invocations; the
+LLVM/OpenMP GPU runtime memoizes the launch path).
+
+:class:`SpreadPlanCache` maps a structural *key* of the directive to a
+:class:`SpreadPlan` holding the fully-lowered, immutable launch recipe:
+the chunk list and, per chunk, the concretized map intervals, the
+concretized depend skeleton and the task-name strings.  The directive
+layer replays a plan by rebuilding only the per-call pieces (the operation
+generators), so a replayed directive issues bit-identical work to a cold
+one — same ops, same order, same names, same virtual-time trace.
+
+Cache keys and invalidation
+---------------------------
+
+Keys are structural tuples built from:
+
+* the kernel (by identity — :class:`~repro.device.kernel.KernelSpec`
+  carries an unhashable scalars dict, so the plan anchors a strong
+  reference and the key uses ``id()``),
+* the iteration range / data range and the devices clause,
+* the schedule signature (kind + chunk sizes; the dynamic schedule has no
+  signature and is never cached — its chunk→device assignment is decided
+  at execution time),
+* a map signature: per clause ``(map_type, var, var extent, section)``
+  where variables compare by identity and sections structurally
+  (:class:`~repro.spread.sections.SpreadExpr` hashes structurally),
+* a depend signature of the same shape.
+
+There is no invalidation protocol: entries never go stale because every
+input that could change the lowering is part of the key.  Rebinding a name
+to a *new* :class:`~repro.openmp.mapping.Var` (or changing an array's
+extent) changes the key, so the old entry is simply never hit again.
+Anything the key cannot prove stable (an unhashable section, a dynamic
+schedule) falls back to the uncached slow path.  ``plan_cache=False`` on
+the runtime (CLI ``--no-plan-cache``) disables lookup and store entirely.
+
+Extension gates and per-call semantic checks (reduction×nowait conflicts)
+stay *outside* the cached region: a cache hit only skips work whose
+outcome is fully determined by the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.obs.tool import PLAN_CACHE
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """The lowered launch recipe of one chunk of a spread directive.
+
+    ``maps`` holds ``(MapClause, Interval)`` pairs (concretized for this
+    chunk), ``deps`` the concretized dependence skeleton, ``name`` the task
+    name and ``label`` the op label.  ``extra`` carries directive-specific
+    precomputation (``target update spread`` keeps its concrete to/from
+    section lists here).
+    """
+
+    chunk: Any
+    maps: Tuple[Any, ...]
+    deps: Tuple[Any, ...]
+    name: str
+    label: str = ""
+    extra: Any = None
+
+
+@dataclass(frozen=True)
+class SpreadPlan:
+    """One directive's fully-lowered plan: validated devices + chunk plans.
+
+    ``anchors`` pins objects whose ``id()`` participates in the cache key
+    (the kernel), so a key can never alias a recycled id.
+    """
+
+    devices: Tuple[int, ...]
+    chunks: Tuple[Any, ...]
+    chunk_plans: Tuple[ChunkPlan, ...]
+    anchors: Tuple[Any, ...] = ()
+
+
+class SpreadPlanCache:
+    """Keyed store of :class:`SpreadPlan` objects with hit/miss counters."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._plans: Dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached plan for *key*, or None (counting a miss).
+
+        ``key=None`` marks an uncacheable directive and is never counted.
+        """
+        if key is None or not self.enabled:
+            return None
+        try:
+            plan = self._plans.get(key)
+        except TypeError:  # unhashable key component: uncacheable
+            return None
+        if plan is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return plan
+
+    def store(self, key: Any, plan: Any) -> None:
+        if key is None or not self.enabled:
+            return
+        try:
+            self._plans[key] = plan
+        except TypeError:  # unhashable key component: skip silently
+            pass
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._plans)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<SpreadPlanCache enabled={self.enabled} "
+                f"entries={len(self._plans)} hits={self.hits} "
+                f"misses={self.misses}>")
+
+
+# ---------------------------------------------------------------------------
+# key builders
+# ---------------------------------------------------------------------------
+
+def _section_key(section: Any) -> Any:
+    if section is None:
+        return None
+    if isinstance(section, (tuple, list)):
+        return tuple(section)
+    return section
+
+
+def maps_signature(maps: Sequence[Any]) -> Tuple[Any, ...]:
+    """Structural signature of a map-clause list.
+
+    The variable's extent rides along so growing/shrinking the underlying
+    array (were a Var ever rebuilt around one) changes the signature.
+    """
+    return tuple((c.map_type, c.var, c.var.extent, _section_key(c.section))
+                 for c in maps)
+
+
+def deps_signature(deps: Sequence[Any]) -> Tuple[Any, ...]:
+    return tuple((d.kind, d.var, d.var.extent, _section_key(d.section))
+                 for d in deps)
+
+
+def sections_signature(pairs: Sequence[Tuple[Any, Any]]) -> Tuple[Any, ...]:
+    """Signature of ``(var, section)`` pairs (``target update spread``)."""
+    return tuple((var, var.extent, _section_key(section))
+                 for var, section in pairs)
+
+
+def exec_key(kernel: Any, lo: int, hi: int, devices: Sequence[int],
+             sched_signature: Any, maps: Sequence[Any],
+             depends: Sequence[Any]) -> Optional[Any]:
+    """Cache key of an executable spread directive, or None if uncacheable
+    (dynamic schedule, malformed bounds)."""
+    if sched_signature is None:
+        return None
+    try:
+        return ("exec", id(kernel), int(lo), int(hi), tuple(devices),
+                sched_signature, maps_signature(maps),
+                deps_signature(depends))
+    except (TypeError, ValueError, AttributeError):
+        return None
+
+
+def data_key(kind: str, devices: Sequence[int], range_: Tuple[int, int],
+             chunk_size: Optional[int], maps: Sequence[Any],
+             depends: Sequence[Any] = ()) -> Optional[Any]:
+    """Cache key of a spread data directive (enter/exit/data region)."""
+    try:
+        return ("data", kind, tuple(devices), int(range_[0]), int(range_[1]),
+                chunk_size, maps_signature(maps), deps_signature(depends))
+    except (TypeError, ValueError, IndexError, AttributeError):
+        return None
+
+
+def update_key(devices: Sequence[int], range_: Tuple[int, int],
+               chunk_size: Optional[int], to: Sequence[Tuple[Any, Any]],
+               from_: Sequence[Tuple[Any, Any]],
+               depends: Sequence[Any] = ()) -> Optional[Any]:
+    """Cache key of ``target update spread``."""
+    try:
+        return ("update", tuple(devices), int(range_[0]), int(range_[1]),
+                chunk_size, sections_signature(to),
+                sections_signature(from_), deps_signature(depends))
+    except (TypeError, ValueError, IndexError, AttributeError):
+        return None
+
+
+def note_plan_cache(rt, kind: str, key: Any, hit: bool) -> None:
+    """Fire the ``plan_cache`` tool callback for a cacheable directive."""
+    if key is None:
+        return
+    tools = rt.tools
+    if tools:
+        tools.dispatch(PLAN_CACHE, kind=kind, hit=hit, time=rt.sim.now)

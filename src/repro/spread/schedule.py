@@ -72,6 +72,13 @@ class SpreadSchedule:
     kind = "abstract"
     is_extension = False
 
+    @property
+    def signature(self):
+        """Hashable structural identity for launch-plan caching, or None
+        when the chunking is not a pure function of the schedule parameters
+        (the dynamic schedule assigns devices at execution time)."""
+        return None
+
     def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
         raise NotImplementedError
 
@@ -96,6 +103,10 @@ class StaticSchedule(SpreadSchedule):
                 f"spread_schedule(static, {chunk_size}): chunk size must "
                 "be >= 1")
         self.chunk_size = chunk_size
+
+    @property
+    def signature(self):
+        return ("static", self.chunk_size)
 
     def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
         self._check_range(lo, hi)
@@ -136,6 +147,10 @@ class IrregularStaticSchedule(SpreadSchedule):
             raise OmpScheduleError(
                 "irregular static schedule needs positive chunk sizes")
         self.sizes = sizes
+
+    @property
+    def signature(self):
+        return ("static_irregular", tuple(self.sizes))
 
     def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
         self._check_range(lo, hi)

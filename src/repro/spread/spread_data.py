@@ -14,6 +14,11 @@ policy so data placement is reproducible):
 
 ``range`` follows OpenMP array-section convention: ``range(1:N-2)`` is
 ``range_=(1, N-2)`` — start 1, *length* N-2.
+
+Like the executable directives, each data directive lowers through the
+runtime's :class:`~repro.spread.plan_cache.SpreadPlanCache`: the chunking
+and per-chunk section concretization are computed on first execution and
+replayed bit-identically on structurally identical invocations.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import Generator, List, Optional, Sequence, Tuple
 from repro.openmp import exec_ops
 from repro.openmp.depend import Dep, concretize_deps
 from repro.openmp.mapping import (
+    Map,
     MapClause,
     Var,
     concretize_section,
@@ -30,6 +36,7 @@ from repro.openmp.mapping import (
 )
 from repro.openmp.tasks import TaskCtx
 from repro.spread import extensions as ext
+from repro.spread import plan_cache as pc
 from repro.spread.schedule import Chunk, StaticSchedule, validate_devices
 from repro.spread.spread_target import SpreadHandle
 from repro.util.errors import OmpSemaError
@@ -59,21 +66,30 @@ def _concretize(maps: Sequence[MapClause], chunk: Chunk):
             for clause in maps]
 
 
-def _fan_out(ctx: TaskCtx, chunks: Sequence[Chunk],
-             maps: Sequence[MapClause], depends: Sequence[Dep],
-             op_factory, name: str, nowait: bool,
-             fuse_transfers: bool,
+def _build_data_plan(chunks: Sequence[Chunk], maps: Sequence[MapClause],
+                     depends: Sequence[Dep], name: str) -> pc.SpreadPlan:
+    """Lower one data directive to its replayable plan."""
+    chunk_plans = []
+    for chunk in chunks:
+        concrete = tuple(_concretize(maps, chunk))
+        cdeps = tuple(concretize_deps(depends, spread_start=chunk.start,
+                                      spread_size=chunk.size))
+        chunk_plans.append(pc.ChunkPlan(
+            chunk=chunk, maps=concrete, deps=cdeps,
+            name=f"{name}#{chunk.index}@{chunk.device}"))
+    return pc.SpreadPlan(devices=tuple(sorted({c.device for c in chunks})),
+                         chunks=tuple(chunks),
+                         chunk_plans=tuple(chunk_plans))
+
+
+def _fan_out(ctx: TaskCtx, plan: pc.SpreadPlan, op_factory, nowait: bool,
              directive_id: Optional[int] = None) -> Generator:
     items = []
-    for chunk in chunks:
-        concrete = _concretize(maps, chunk)
-        cdeps = concretize_deps(depends, spread_start=chunk.start,
-                                spread_size=chunk.size)
-        op = op_factory(chunk, concrete)
-        items.append((chunk.device, op, concrete, cdeps,
-                      f"{name}#{chunk.index}@{chunk.device}"))
+    for cp in plan.chunk_plans:
+        op = op_factory(cp.chunk, cp.maps)
+        items.append((cp.chunk.device, op, cp.maps, cp.deps, cp.name))
     procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
-    handle = SpreadHandle(ctx, procs, chunks)
+    handle = SpreadHandle(ctx, procs, plan.chunks)
     if not nowait:
         yield from handle.wait()
     return handle
@@ -105,21 +121,32 @@ def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
                              fuse_transfers: bool = False) -> Generator:
     """``#pragma omp target enter data spread devices(...) range(...)
     chunk_size(...) [nowait] map(to/alloc: ...)`` (Listing 6)."""
-    exec_ops.enter_map_types(maps, "target enter data spread")
-    validate_unique_vars(maps, "target enter data spread")
-    _check_data_depends(ctx, depends, "target enter data spread")
-    chunks = _data_chunks(ctx, devices, range_, chunk_size)
+    rt = ctx.rt
+    kind = "target enter data spread"
+    cache = rt.plan_cache
+    key = (pc.data_key(kind, devices, range_, chunk_size, maps, depends)
+           if cache.enabled else None)
+    plan = cache.get(key)
+    if plan is None:
+        exec_ops.enter_map_types(maps, kind)
+        validate_unique_vars(maps, kind)
+        _check_data_depends(ctx, depends, kind)
+        chunks = _data_chunks(ctx, devices, range_, chunk_size)
+        plan = _build_data_plan(chunks, maps, depends, "enter-spread")
+        cache.store(key, plan)
+        pc.note_plan_cache(rt, kind, key, hit=False)
+    else:
+        pc.note_plan_cache(rt, kind, key, hit=True)
 
     def factory(chunk: Chunk, concrete):
-        return exec_ops.enter_op(ctx.rt, chunk.device, concrete,
+        return exec_ops.enter_op(rt, chunk.device, concrete,
                                  fuse_transfers=fuse_transfers,
                                  label=f"enter-spread@{chunk.device}")
 
-    did = _directive_begin(ctx, "target enter data spread", chunks)
-    handle = yield from _fan_out(ctx, chunks, maps, depends, factory,
-                                 "enter-spread", nowait, fuse_transfers,
+    did = _directive_begin(ctx, kind, plan.chunks)
+    handle = yield from _fan_out(ctx, plan, factory, nowait,
                                  directive_id=did)
-    _directive_end(ctx, did, chunks)
+    _directive_end(ctx, did, plan.chunks)
     return handle
 
 
@@ -131,33 +158,43 @@ def target_exit_data_spread(ctx: TaskCtx, devices: Sequence[int],
                             depends: Sequence[Dep] = (),
                             fuse_transfers: bool = False) -> Generator:
     """``#pragma omp target exit data spread ... map(from/release/delete: ...)``."""
-    exec_ops.exit_map_types(maps, "target exit data spread")
-    validate_unique_vars(maps, "target exit data spread")
-    _check_data_depends(ctx, depends, "target exit data spread")
-    chunks = _data_chunks(ctx, devices, range_, chunk_size)
+    rt = ctx.rt
+    kind = "target exit data spread"
+    cache = rt.plan_cache
+    key = (pc.data_key(kind, devices, range_, chunk_size, maps, depends)
+           if cache.enabled else None)
+    plan = cache.get(key)
+    if plan is None:
+        exec_ops.exit_map_types(maps, kind)
+        validate_unique_vars(maps, kind)
+        _check_data_depends(ctx, depends, kind)
+        chunks = _data_chunks(ctx, devices, range_, chunk_size)
+        plan = _build_data_plan(chunks, maps, depends, "exit-spread")
+        cache.store(key, plan)
+        pc.note_plan_cache(rt, kind, key, hit=False)
+    else:
+        pc.note_plan_cache(rt, kind, key, hit=True)
 
     def factory(chunk: Chunk, concrete):
-        return exec_ops.exit_op(ctx.rt, chunk.device, concrete,
+        return exec_ops.exit_op(rt, chunk.device, concrete,
                                 fuse_transfers=fuse_transfers,
                                 label=f"exit-spread@{chunk.device}")
 
-    did = _directive_begin(ctx, "target exit data spread", chunks)
-    handle = yield from _fan_out(ctx, chunks, maps, depends, factory,
-                                 "exit-spread", nowait, fuse_transfers,
+    did = _directive_begin(ctx, kind, plan.chunks)
+    handle = yield from _fan_out(ctx, plan, factory, nowait,
                                  directive_id=did)
-    _directive_end(ctx, did, chunks)
+    _directive_end(ctx, did, plan.chunks)
     return handle
 
 
 class SpreadDataRegion:
     """Handle for a structured ``target data spread`` region."""
 
-    def __init__(self, ctx: TaskCtx, chunks: Sequence[Chunk],
-                 maps: Sequence[MapClause], fuse_transfers: bool,
+    def __init__(self, ctx: TaskCtx, end_plan: pc.SpreadPlan,
+                 fuse_transfers: bool,
                  directive_id: Optional[int] = None):
         self._ctx = ctx
-        self._chunks = list(chunks)
-        self._maps = list(maps)
+        self._end_plan = end_plan
         self._fuse = fuse_transfers
         self._closed = False
         self._directive_id = directive_id
@@ -167,18 +204,17 @@ class SpreadDataRegion:
         if self._closed:
             raise OmpSemaError("target data spread region already closed")
         self._closed = True
+        rt = self._ctx.rt
 
         def factory(chunk: Chunk, concrete):
-            return exec_ops.exit_op(self._ctx.rt, chunk.device, concrete,
+            return exec_ops.exit_op(rt, chunk.device, concrete,
                                     fuse_transfers=self._fuse,
                                     label=f"data-spread-end@{chunk.device}")
 
-        handle = yield from _fan_out(self._ctx, self._chunks, self._maps,
-                                     (), factory, "data-spread-end",
+        handle = yield from _fan_out(self._ctx, self._end_plan, factory,
                                      nowait=False,
-                                     fuse_transfers=self._fuse,
                                      directive_id=self._directive_id)
-        _directive_end(self._ctx, self._directive_id, self._chunks)
+        _directive_end(self._ctx, self._directive_id, self._end_plan.chunks)
         return handle
 
 
@@ -195,20 +231,35 @@ def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
     mappings distribute round-robin and stay valid until the returned
     region's ``end()`` is driven.
     """
-    exec_ops.region_map_types(maps, "target data spread")
-    validate_unique_vars(maps, "target data spread")
-    chunks = _data_chunks(ctx, devices, range_, chunk_size)
+    rt = ctx.rt
+    kind = "target data spread"
+    cache = rt.plan_cache
+    key = (pc.data_key(kind, devices, range_, chunk_size, maps)
+           if cache.enabled else None)
+    plans = cache.get(key)
+    if plans is None:
+        exec_ops.region_map_types(maps, kind)
+        validate_unique_vars(maps, kind)
+        chunks = _data_chunks(ctx, devices, range_, chunk_size)
+        # The region end reuses the same chunks/maps lowering under its own
+        # task names, so both halves are lowered (and cached) together.
+        plans = (_build_data_plan(chunks, maps, (), "data-spread"),
+                 _build_data_plan(chunks, maps, (), "data-spread-end"))
+        cache.store(key, plans)
+        pc.note_plan_cache(rt, kind, key, hit=False)
+    else:
+        pc.note_plan_cache(rt, kind, key, hit=True)
+    enter_plan, end_plan = plans
 
     def factory(chunk: Chunk, concrete):
-        return exec_ops.enter_op(ctx.rt, chunk.device, concrete,
+        return exec_ops.enter_op(rt, chunk.device, concrete,
                                  fuse_transfers=fuse_transfers,
                                  label=f"data-spread@{chunk.device}")
 
-    did = _directive_begin(ctx, "target data spread", chunks)
-    yield from _fan_out(ctx, chunks, maps, (), factory, "data-spread",
-                        nowait=False, fuse_transfers=fuse_transfers,
+    did = _directive_begin(ctx, kind, enter_plan.chunks)
+    yield from _fan_out(ctx, enter_plan, factory, nowait=False,
                         directive_id=did)
-    return SpreadDataRegion(ctx, chunks, maps, fuse_transfers,
+    return SpreadDataRegion(ctx, end_plan, fuse_transfers,
                             directive_id=did)
 
 
@@ -226,36 +277,55 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
     Sections use ``omp_spread_start``/``omp_spread_size`` and must already
     be present on the owning device.
     """
-    if not to and not from_:
-        raise OmpSemaError(
-            "target update spread: needs at least one to()/from()")
-    _check_data_depends(ctx, depends, "target update spread")
-    chunks = _data_chunks(ctx, devices, range_, chunk_size)
-    from repro.openmp.mapping import Map
+    rt = ctx.rt
+    kind = "target update spread"
+    cache = rt.plan_cache
+    key = (pc.update_key(devices, range_, chunk_size, to, from_, depends)
+           if cache.enabled else None)
+    plan = cache.get(key)
+    if plan is None:
+        if not to and not from_:
+            raise OmpSemaError(
+                "target update spread: needs at least one to()/from()")
+        _check_data_depends(ctx, depends, kind)
+        chunks = _data_chunks(ctx, devices, range_, chunk_size)
+        chunk_plans = []
+        for chunk in chunks:
+            to_c = tuple((var, concretize_section(var, section,
+                                                  spread_start=chunk.start,
+                                                  spread_size=chunk.size))
+                         for var, section in to)
+            from_c = tuple((var, concretize_section(var, section,
+                                                    spread_start=chunk.start,
+                                                    spread_size=chunk.size))
+                           for var, section in from_)
+            pseudo = tuple([(Map.to(var), iv) for var, iv in to_c] +
+                           [(Map.from_(var), iv) for var, iv in from_c])
+            cdeps = tuple(concretize_deps(depends, spread_start=chunk.start,
+                                          spread_size=chunk.size))
+            chunk_plans.append(pc.ChunkPlan(
+                chunk=chunk, maps=pseudo, deps=cdeps,
+                name=f"update-spread#{chunk.index}@{chunk.device}",
+                extra=(to_c, from_c)))
+        plan = pc.SpreadPlan(devices=tuple(sorted({c.device for c in chunks})),
+                             chunks=tuple(chunks),
+                             chunk_plans=tuple(chunk_plans))
+        cache.store(key, plan)
+        pc.note_plan_cache(rt, kind, key, hit=False)
+    else:
+        pc.note_plan_cache(rt, kind, key, hit=True)
 
     items = []
-    for chunk in chunks:
-        to_c = [(var, concretize_section(var, section,
-                                         spread_start=chunk.start,
-                                         spread_size=chunk.size))
-                for var, section in to]
-        from_c = [(var, concretize_section(var, section,
-                                           spread_start=chunk.start,
-                                           spread_size=chunk.size))
-                  for var, section in from_]
-        pseudo = ([(Map.to(var), iv) for var, iv in to_c] +
-                  [(Map.from_(var), iv) for var, iv in from_c])
-        cdeps = concretize_deps(depends, spread_start=chunk.start,
-                                spread_size=chunk.size)
-        op = exec_ops.update_op(ctx.rt, chunk.device, to_c, from_c,
+    for cp in plan.chunk_plans:
+        to_c, from_c = cp.extra
+        op = exec_ops.update_op(rt, cp.chunk.device, to_c, from_c,
                                 fuse_transfers=fuse_transfers,
-                                label=f"update-spread@{chunk.device}")
-        items.append((chunk.device, op, pseudo, cdeps,
-                      f"update-spread#{chunk.index}@{chunk.device}"))
-    did = _directive_begin(ctx, "target update spread", chunks)
+                                label=f"update-spread@{cp.chunk.device}")
+        items.append((cp.chunk.device, op, cp.maps, cp.deps, cp.name))
+    did = _directive_begin(ctx, kind, plan.chunks)
     procs = exec_ops.submit_spread(ctx, items, directive_id=did)
-    handle = SpreadHandle(ctx, procs, chunks)
+    handle = SpreadHandle(ctx, procs, plan.chunks)
     if not nowait:
         yield from handle.wait()
-    _directive_end(ctx, did, chunks)
+    _directive_end(ctx, did, plan.chunks)
     return handle

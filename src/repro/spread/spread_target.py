@@ -18,6 +18,7 @@ Restrictions reproduced from the paper:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Generator, List, Optional, Sequence
 
 import numpy as np
@@ -33,6 +34,7 @@ from repro.openmp.mapping import (
 from repro.openmp.tasks import TaskCtx
 from repro.sim.engine import Process
 from repro.spread import extensions as ext
+from repro.spread import plan_cache as pc
 from repro.spread.reduction import Reduction
 from repro.spread.schedule import (
     Chunk,
@@ -95,7 +97,6 @@ def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
     ``taskgroup``), exactly as the paper describes.
     """
     rt = ctx.rt
-    devs = validate_devices(devices, rt.num_devices)
     sched = schedule if schedule is not None else StaticSchedule(None)
     if sched.is_extension:
         ext.require(rt, "schedules",
@@ -106,30 +107,71 @@ def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
             raise OmpSemaError(
                 "target spread: reduction requires synchronous execution "
                 "(drop nowait)")
-    validate_unique_vars(maps, "target spread")
-    exec_ops.region_map_types(maps, "target spread")
     cfg = launch if launch is not None else LaunchConfig(
         num_teams=1, threads_per_team=1, simd=False)
 
-    chunks = sched.chunks(lo, hi, devs)
+    cache = rt.plan_cache
+    key = (pc.exec_key(kernel, lo, hi, devices, sched.signature, maps,
+                       depends)
+           if cache.enabled else None)
+    plan = cache.get(key)
+    if plan is None:
+        # Cold path: full validation + lowering (and, for the dynamic
+        # schedule, direct launch — its chunk→device assignment happens at
+        # execution time, so there is no replayable plan).
+        devs = validate_devices(devices, rt.num_devices)
+        validate_unique_vars(maps, "target spread")
+        exec_ops.region_map_types(maps, "target spread")
+        chunks = sched.chunks(lo, hi, devs)
+        if isinstance(sched, DynamicSchedule):
+            if depends:
+                raise OmpSemaError(
+                    "target spread: depend is not supported with the "
+                    "dynamic schedule extension")
+            handle = yield from _run_dynamic(ctx, kernel, chunks, devs,
+                                             maps, cfg, nowait, reductions,
+                                             fuse_transfers, lo, hi)
+            return handle
+        plan = _build_exec_plan(kernel, devs, chunks, maps, depends)
+        cache.store(key, plan)
+        pc.note_plan_cache(rt, "target spread", key, hit=False)
+    else:
+        pc.note_plan_cache(rt, "target spread", key, hit=True)
+
+    tools = rt.tools
+    did = None
+    if tools:
+        did = tools.directive_begin("target spread", name=kernel.name,
+                                    devices=list(plan.devices), lo=lo, hi=hi,
+                                    time=rt.sim.now)
+    handle = _launch_static(ctx, kernel, plan, cfg, reductions,
+                            fuse_transfers, directive_id=did)
+    if reductions:
+        yield from handle.wait()
+        _fold_reductions(handle, reductions)
+    elif not nowait:
+        yield from handle.wait()
+    if did is not None:
+        tools.directive_end(did, chunks=len(handle.chunks),
+                            time=rt.sim.now)
+    return handle
+
+
+def _run_dynamic(ctx: TaskCtx, kernel: KernelSpec, chunks: Sequence[Chunk],
+                 devs: Sequence[int], maps: Sequence[MapClause],
+                 cfg: LaunchConfig, nowait: bool,
+                 reductions: Sequence[Reduction], fuse_transfers: bool,
+                 lo: int, hi: int) -> Generator:
+    """The uncached dynamic-schedule execution of ``target spread``."""
+    rt = ctx.rt
     tools = rt.tools
     did = None
     if tools:
         did = tools.directive_begin("target spread", name=kernel.name,
                                     devices=list(devs), lo=lo, hi=hi,
                                     time=rt.sim.now)
-
-    if isinstance(sched, DynamicSchedule):
-        if depends:
-            raise OmpSemaError(
-                "target spread: depend is not supported with the dynamic "
-                "schedule extension")
-        handle = _launch_dynamic(ctx, kernel, chunks, devs, maps, cfg,
-                                 fuse_transfers, directive_id=did)
-    else:
-        handle = _launch_static(ctx, kernel, chunks, maps, depends, cfg,
-                                reductions, fuse_transfers, directive_id=did)
-
+    handle = _launch_dynamic(ctx, kernel, chunks, devs, maps, cfg,
+                             fuse_transfers, directive_id=did)
     if reductions:
         yield from handle.wait()
         _fold_reductions(handle, reductions)
@@ -169,33 +211,46 @@ def target_spread_teams_distribute_parallel_for(
 
 
 # ---------------------------------------------------------------------------
-# static fan-out
+# static fan-out (plan-driven: lowered once, replayed on cache hits)
 # ---------------------------------------------------------------------------
 
-def _launch_static(ctx: TaskCtx, kernel: KernelSpec, chunks: Sequence[Chunk],
-                   maps: Sequence[MapClause], depends: Sequence[Dep],
+def _build_exec_plan(kernel: KernelSpec, devs: Sequence[int],
+                     chunks: Sequence[Chunk], maps: Sequence[MapClause],
+                     depends: Sequence[Dep]) -> pc.SpreadPlan:
+    """Lower a static spread directive to its replayable plan."""
+    chunk_plans = []
+    for chunk in chunks:
+        concrete = tuple(_concretize_for_chunk(maps, chunk))
+        cdeps = tuple(concretize_deps(depends, spread_start=chunk.start,
+                                      spread_size=chunk.size))
+        chunk_plans.append(pc.ChunkPlan(
+            chunk=chunk, maps=concrete, deps=cdeps,
+            name=f"spread:{kernel.name}#{chunk.index}@{chunk.device}",
+            label=f"spread@{chunk.device}"))
+    return pc.SpreadPlan(devices=tuple(devs), chunks=tuple(chunks),
+                         chunk_plans=tuple(chunk_plans), anchors=(kernel,))
+
+
+def _launch_static(ctx: TaskCtx, kernel: KernelSpec, plan: pc.SpreadPlan,
                    cfg: LaunchConfig, reductions: Sequence[Reduction],
                    fuse_transfers: bool,
                    directive_id: Optional[int] = None) -> SpreadHandle:
     rt = ctx.rt
     items = []
-    for chunk in chunks:
-        concrete = _concretize_for_chunk(maps, chunk)
-        cdeps = concretize_deps(depends, spread_start=chunk.start,
-                                spread_size=chunk.size)
+    for cp in plan.chunk_plans:
+        chunk = cp.chunk
         if reductions:
-            op = _chunk_op_with_reductions(rt, chunk, kernel, concrete, cfg,
+            op = _chunk_op_with_reductions(rt, chunk, kernel, cp.maps, cfg,
                                            reductions, fuse_transfers)
         else:
             op = exec_ops.kernel_op(rt, chunk.device, kernel,
                                     chunk.start, chunk.interval.stop,
-                                    concrete, launch=cfg,
+                                    cp.maps, launch=cfg,
                                     fuse_transfers=fuse_transfers,
-                                    label=f"spread@{chunk.device}")
-        items.append((chunk.device, op, concrete, cdeps,
-                      f"spread:{kernel.name}#{chunk.index}@{chunk.device}"))
+                                    label=cp.label)
+        items.append((chunk.device, op, cp.maps, cp.deps, cp.name))
     procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
-    return SpreadHandle(ctx, procs, chunks)
+    return SpreadHandle(ctx, procs, plan.chunks)
 
 
 # ---------------------------------------------------------------------------
@@ -208,12 +263,12 @@ def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
                     fuse_transfers: bool,
                     directive_id: Optional[int] = None) -> SpreadHandle:
     rt = ctx.rt
-    queue: List[Chunk] = list(chunks)
+    queue = deque(chunks)
     assigned: List[Chunk] = []
 
     def worker(device_id: int) -> Generator:
         while queue:
-            chunk = queue.pop(0)
+            chunk = queue.popleft()
             assigned.append(Chunk(index=chunk.index, interval=chunk.interval,
                                   device=device_id))
             concrete = _concretize_for_chunk(maps, chunk)

@@ -135,3 +135,54 @@ class TestConcretizeDeps:
     def test_non_dep_rejected(self, var):
         with pytest.raises(OmpSemaError):
             concretize_deps(["nope"])  # type: ignore[list-item]
+
+
+class TestFastResolve:
+    """The single-covering-writer fast path must be an exact shortcut."""
+
+    def test_fast_path_taken_and_correct(self, tracker, var):
+        writer = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 100))], writer)
+        assert tracker.fast_resolves == 0
+        waits = tracker.resolve([(DepKind.IN, var, Interval(10, 20))])
+        assert waits == [writer]
+        assert tracker.fast_resolves == 1
+        # writers take it too (a writer conflicts with a writer anyway)
+        waits = tracker.resolve([(DepKind.OUT, var, Interval(0, 100))])
+        assert waits == [writer]
+        assert tracker.fast_resolves == 2
+
+    def test_fast_path_skipped_for_single_reader(self, tracker, var):
+        reader = ev()
+        tracker.register([(DepKind.IN, var, Interval(0, 100))], reader)
+        waits = tracker.resolve([(DepKind.OUT, var, Interval(10, 20))])
+        assert waits == [reader]  # via the general scan
+        assert tracker.fast_resolves == 0
+
+    def test_fast_path_skipped_without_containment(self, tracker, var):
+        writer = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 50))], writer)
+        # overlapping but not containing: general scan must decide
+        waits = tracker.resolve([(DepKind.IN, var, Interval(40, 60))])
+        assert waits == [writer]
+        assert tracker.fast_resolves == 0
+
+    def test_dedup_across_deps(self, tracker, var):
+        writer = ev()
+        tracker.register([(DepKind.OUT, var, Interval(0, 100))], writer)
+        waits = tracker.resolve([(DepKind.IN, var, Interval(0, 10)),
+                                 (DepKind.IN, var, Interval(20, 30))])
+        assert waits == [writer]  # one event, two fast hits
+        assert tracker.fast_resolves == 2
+
+    def test_frontier_independent_of_timestep_count(self, tracker, var):
+        """Regression: O(chunks) frontier, not O(timesteps x chunks)."""
+        sizes = []
+        for steps in (10, 100):
+            tracker.clear()
+            for _ in range(steps):
+                for lo in range(0, 100, 25):
+                    tracker.resolve_and_register(
+                        [(DepKind.OUT, var, Interval(lo, lo + 25))], ev())
+            sizes.append(tracker.frontier_size(var))
+        assert sizes[0] == sizes[1] == 4

@@ -243,3 +243,57 @@ class TestRun:
         assert sim.peek() == float("inf")
         sim.timeout(4.0)
         assert sim.peek() == 4.0
+
+
+class TestSchedulingFastPaths:
+    """Edge cases of the _Call-based internal scheduling."""
+
+    def test_interrupt_before_first_step(self, sim):
+        log = []
+
+        def proc():
+            log.append("ran")
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        # interrupt lands before the process's start entry is popped: the
+        # interrupt wins and the generator sees Interrupt on its first step
+        p.interrupt("early")
+        with pytest.raises(Interrupt):
+            sim.run(p)
+        assert log == []  # body never entered normally
+
+    def test_late_callback_on_processed_event(self, sim):
+        ev = sim.event()
+        ev.trigger(41)
+        sim.run()
+        assert ev.processed
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == []  # delivered via the loop, not synchronously
+        sim.run()
+        assert got == [41]
+
+    def test_yield_processed_event_continues_synchronously(self, sim):
+        ev = sim.event()
+        ev.trigger("v")
+        sim.run()
+
+        def proc():
+            value = yield ev
+            return value
+
+        assert sim.run(sim.process(proc())) == "v"
+
+    def test_two_processes_start_in_creation_order(self, sim):
+        order = []
+
+        def proc(tag):
+            order.append(tag)
+            yield sim.timeout(0.0)
+
+        a = sim.process(proc("a"))
+        b = sim.process(proc("b"))
+        sim.run()
+        assert order == ["a", "b"]
+        assert a.processed and b.processed
