@@ -39,12 +39,22 @@ def main(argv=None) -> int:
                     help="end-to-end Somier functional grid edge")
     ap.add_argument("--steps", type=int, default=12,
                     help="end-to-end Somier timesteps")
+    ap.add_argument("--workers", default="1,2,4",
+                    help="comma-separated workers values for the sweep")
+    ap.add_argument("--sweep-n-functional", type=int, default=144,
+                    help="functional grid edge for the workers sweep "
+                         "(kernel-dominated)")
+    ap.add_argument("--sweep-steps", type=int, default=2,
+                    help="timesteps for the workers sweep")
     args = ap.parse_args(argv)
 
     result = run_wallclock(
         n=args.n, num_devices=args.devices, repeats=args.repeats,
         launches=args.launches, n_functional=args.n_functional,
         steps=args.steps,
+        workers_list=[int(w) for w in args.workers.split(",")],
+        sweep_n_functional=args.sweep_n_functional,
+        sweep_steps=args.sweep_steps,
         timestamp=time.strftime("%Y-%m-%dT%H:%M:%S%z"))
 
     micro = result["launch_microbench"]
@@ -60,6 +70,14 @@ def main(argv=None) -> int:
           f"{e2e['cache_on']['wall_s']:.3f}s on vs "
           f"{e2e['cache_off']['wall_s']:.3f}s off "
           f"({result['end_to_end_speedup']:.2f}x)")
+    sweep = result["workers_sweep"]
+    print(f"workers sweep (n={sweep['n_functional']}, "
+          f"steps={sweep['steps']}, {sweep['cpu_count']} cpu cores):")
+    for r in sweep["runs"]:
+        util = r.get("executor_utilization")
+        util_s = f", util {util:.0%}" if util is not None else ""
+        print(f"  workers={r['workers']}: {r['wall_s']:.3f}s "
+              f"({r['speedup_vs_1']:.2f}x vs serial{util_s})")
 
     with open(args.out, "w") as f:
         json.dump(result, f, indent=2)

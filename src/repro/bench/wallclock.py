@@ -10,15 +10,18 @@ the directive under test is issued ``nowait`` against data that is already
 present, so the timed region never blocks and never moves bytes — it is
 pure host lowering.
 
-Two measurements:
+Three measurements:
 
 * :func:`launch_microbench` — repeated identical ``target spread teams
   distribute parallel for`` launches against pre-mapped buffers; reports
   cold (first, cache-miss) and warm (steady-state) per-launch cost.
 * :func:`end_to_end` — a small Somier run; reports wall seconds and
   timesteps/second.
+* :func:`workers_sweep` — the end-to-end run at a kernel-dominated size
+  under the parallel host backend (``workers`` = 1, 2, 4); reports the
+  wall-clock speedup curve of :mod:`repro.sim.executor`.
 
-:func:`run_wallclock` runs both with the cache on and off and computes the
+:func:`run_wallclock` runs all three (the cache benches on and off) and computes the
 speedups that ``benchmarks/bench_wallclock.py`` persists to
 ``BENCH_wallclock.json``.
 """
@@ -104,7 +107,8 @@ def launch_microbench(plan_cache: bool = True, n: int = 4096,
 
 
 def end_to_end(plan_cache: bool = True, n_functional: int = 24,
-               steps: int = 12, gpus: int = 4) -> Dict[str, Any]:
+               steps: int = 12, gpus: int = 4,
+               workers: Optional[int] = None) -> Dict[str, Any]:
     """Wall seconds of a small Somier run (whole stack, trace off)."""
     topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
     cfg = machines.paper_somier_config(n_functional=n_functional,
@@ -112,37 +116,80 @@ def end_to_end(plan_cache: bool = True, n_functional: int = 24,
     t0 = time.perf_counter()
     res = run_somier("one_buffer", cfg, devices=machines.paper_devices(gpus),
                      topology=topo, cost_model=cm, trace=False,
-                     plan_cache=plan_cache)
+                     plan_cache=plan_cache, workers=workers)
     wall = time.perf_counter() - t0
-    return {
+    out = {
         "plan_cache": plan_cache,
         "n_functional": n_functional,
         "steps": steps,
         "gpus": gpus,
+        "workers": res.stats["workers"],
         "wall_s": wall,
         "steps_per_s": steps / wall if wall else 0.0,
         "virtual_s": res.elapsed,
         "cache_hits": res.stats["plan_cache_hits"],
         "cache_misses": res.stats["plan_cache_misses"],
     }
+    for key in ("executor_epochs", "executor_parallel_ops",
+                "executor_inline_fallbacks", "executor_utilization"):
+        if key in res.stats:
+            out[key] = res.stats[key]
+    return out
+
+
+def workers_sweep(workers_list: Sequence[int] = (1, 2, 4),
+                  n_functional: int = 144, steps: int = 2,
+                  gpus: int = 4) -> Dict[str, Any]:
+    """End-to-end wall time vs ``workers`` at a kernel-dominated size.
+
+    Uses a larger functional grid than the cache benchmark so the NumPy
+    kernel bodies and ``np.copyto`` payloads (the work the executor
+    offloads) dominate over directive lowering.  Speedups are relative to
+    ``workers=1`` (serial inline execution); results are bit-identical
+    across the sweep by construction, so only wall time varies.  On a
+    single-core host the sweep is expected to be flat — ``cpu_count`` is
+    recorded so readers can judge the curve.
+    """
+    import os
+
+    runs = []
+    for w in workers_list:
+        r = end_to_end(True, n_functional=n_functional, steps=steps,
+                       gpus=gpus, workers=w)
+        runs.append(r)
+    base = runs[0]["wall_s"]
+    for r in runs:
+        r["speedup_vs_1"] = base / r["wall_s"] if r["wall_s"] else 0.0
+    return {
+        "n_functional": n_functional,
+        "steps": steps,
+        "gpus": gpus,
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+        "best_speedup": max(r["speedup_vs_1"] for r in runs),
+    }
 
 
 def run_wallclock(n: int = 4096, num_devices: int = 4, repeats: int = 30,
                   launches: int = 5, n_functional: int = 24,
-                  steps: int = 12,
+                  steps: int = 12, workers_list: Sequence[int] = (1, 2, 4),
+                  sweep_n_functional: int = 144, sweep_steps: int = 2,
                   timestamp: Optional[str] = None) -> Dict[str, Any]:
-    """The full track: microbench + end-to-end, cache on vs off."""
+    """The full track: microbench + end-to-end + workers sweep."""
     micro_on = launch_microbench(True, n=n, num_devices=num_devices,
                                  repeats=repeats, launches=launches)
     micro_off = launch_microbench(False, n=n, num_devices=num_devices,
                                   repeats=repeats, launches=launches)
     e2e_on = end_to_end(True, n_functional=n_functional, steps=steps)
     e2e_off = end_to_end(False, n_functional=n_functional, steps=steps)
+    sweep = workers_sweep(workers_list, n_functional=sweep_n_functional,
+                          steps=sweep_steps)
     return {
-        "schema": "repro-wallclock-1",
+        "schema": "repro-wallclock-2",
         "timestamp": timestamp,
         "launch_microbench": {"cache_on": micro_on, "cache_off": micro_off},
         "end_to_end": {"cache_on": e2e_on, "cache_off": e2e_off},
+        "workers_sweep": sweep,
         "warm_launch_speedup":
             micro_off["warm_launch_s"] / micro_on["warm_launch_s"],
         "end_to_end_speedup": e2e_off["wall_s"] / e2e_on["wall_s"],

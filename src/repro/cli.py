@@ -68,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-plan-cache", action="store_true",
                    help="disable spread launch-plan caching (replay); "
                         "every directive takes the full lowering path")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="size of the parallel host execution backend "
+                        "(real kernel/memcpy work on N threads; default: "
+                        "$REPRO_WORKERS or 1 = serial). Results and traces "
+                        "are identical for any N.")
     p.add_argument("--trace", action="store_true",
                    help="print an ASCII timeline of the run")
     p.add_argument("--verify", action="store_true",
@@ -94,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-depend", action="store_true")
     p.add_argument("--fuse-transfers", action="store_true")
     p.add_argument("--no-plan-cache", action="store_true")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="parallel host backend width (default: "
+                        "$REPRO_WORKERS or 1)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text tables")
     p.add_argument("--full", action="store_true",
@@ -140,6 +148,7 @@ def cmd_somier(args) -> int:
                      fuse_transfers=args.fuse_transfers,
                      trace=args.trace or bool(args.trace_json),
                      plan_cache=not args.no_plan_cache,
+                     workers=args.workers,
                      tools=prof.tools if prof else ())
     print(f"{args.impl} on {len(devices)} device(s) {devices}: "
           f"{format_hms(res.elapsed)} virtual")
@@ -197,6 +206,7 @@ def cmd_stats(args) -> int:
                      cost_model=cm, data_depend=args.data_depend,
                      fuse_transfers=args.fuse_transfers,
                      plan_cache=not args.no_plan_cache,
+                     workers=args.workers,
                      tools=prof.tools)
     report = prof.report(makespan=res.elapsed)
     if args.json:

@@ -34,11 +34,31 @@ from repro.device.kernel import KernelSpec, LaunchConfig
 from repro.device.memory import Allocation, DeviceAllocator
 from repro.obs.tool import (DATA_OP, KERNEL_COMPLETE, KERNEL_LAUNCH,
                             ToolRegistry)
+from repro.sim import executor as hx
 from repro.sim import trace as tr
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.sim.topology import DeviceSpec, HostSpec, LinkSpec
+
+
+def _section_accesses(triples):
+    """Access set for ``(owner, key, write)`` array sections.
+
+    Returns None (→ the work item becomes an inline barrier) when any
+    section cannot be proven to be a view into its owner — advanced
+    indexing yields a copy, whose address says nothing about the owner.
+    """
+    out = []
+    for owner, key, write in triples:
+        view = owner if key is None else owner[key]
+        if view is not owner and view.base is None:
+            return None
+        acc = hx.array_access(view, write)
+        if acc is None:
+            return None
+        out.append(acc)
+    return tuple(out)
 
 
 class Device:
@@ -127,6 +147,48 @@ class Device:
     def _staging_time(self, virtual_bytes: float) -> float:
         return virtual_bytes / self.host_spec.staging_bandwidth_bytes_per_s
 
+    # -- real work (decide here, execute via the backend) --------------------------
+    #
+    # The two helpers below are the decide/do split for transfers: shapes
+    # and access sets are computed inline (decisions), the actual byte
+    # movement goes through Simulator.run_work, which either runs it on
+    # the spot (serial) or defers it into the parallel backend's window.
+
+    def _snapshot_sections(self, sections, name: str):
+        """Allocate snapshot buffers for ``(owner, key)`` sections and
+        defer the reads that fill them."""
+        snaps = [np.empty_like(src[sk]) for src, sk in sections]
+
+        def work() -> None:
+            for snap, (src, sk) in zip(snaps, sections):
+                np.copyto(snap, src[sk])
+
+        def accesses():
+            acc = _section_accesses(
+                [(src, sk, False) for src, sk in sections])
+            if acc is None:
+                return None
+            return acc + tuple(hx.array_access(s, write=True) for s in snaps)
+
+        self.sim.run_work(work, accesses, name=name)
+        return snaps
+
+    def _commit_sections(self, targets, snapshots, name: str) -> None:
+        """Defer the writes ``owner[key] = snapshot`` for paired lists."""
+        def work() -> None:
+            for (dst, dk), snap in zip(targets, snapshots):
+                dst[dk] = snap
+
+        def accesses():
+            acc = _section_accesses(
+                [(dst, dk, True) for dst, dk in targets])
+            if acc is None:
+                return None
+            return acc + tuple(hx.array_access(s, write=False)
+                               for s in snapshots)
+
+        self.sim.run_work(work, accesses, name=name)
+
     # -- transfers ---------------------------------------------------------------
 
     def copy_h2d(self, src: np.ndarray, src_key: Any,
@@ -187,8 +249,9 @@ class Device:
         try:
             if lead > 0:
                 yield self.sim.timeout(lead)
-            snapshots = [np.array(src[sk], copy=True)
-                         for src, sk, _d, _dk in copies]
+            snapshots = self._snapshot_sections(
+                [(src, sk) for src, sk, _d, _dk in copies],
+                name=f"{name}:stage")
         finally:
             self.staging.release(staging_req)
         # Wire: device queue + socket link, in order.
@@ -209,6 +272,7 @@ class Device:
                         self.staging.release(req2)
 
                 helper = self.sim.process(hold_staging())
+                helper.work_safe = True
             try:
                 if cost.wire_time > 0:
                     yield self.sim.timeout(cost.wire_time)
@@ -217,8 +281,9 @@ class Device:
                 self.link.release(link_req)
             if helper is not None:
                 yield helper
-            for (src, sk, dst, dk), snap in zip(copies, snapshots):
-                dst[dk] = snap
+            self._commit_sections(
+                [(dst, dk) for _s, _sk, dst, dk in copies], snapshots,
+                name=f"{name}:commit")
         finally:
             self.queue.release(queue_req)
         self.memcpy_calls += 1
@@ -272,6 +337,7 @@ class Device:
                         self.staging.release(req2)
 
                 helper = self.sim.process(hold_staging())
+                helper.work_safe = True
             try:
                 if cost.wire_time > 0:
                     yield self.sim.timeout(cost.wire_time)
@@ -280,8 +346,9 @@ class Device:
                 self.link.release(link_req)
             if helper is not None:
                 yield helper
-            snapshots = [np.array(src[sk], copy=True)
-                         for src, sk, _d, _dk in copies]
+            snapshots = self._snapshot_sections(
+                [(src, sk) for src, sk, _d, _dk in copies],
+                name=f"{name}:stage")
         finally:
             self.queue.release(queue_req)
         # Stage the trailing piece back into host memory.
@@ -290,8 +357,9 @@ class Device:
         try:
             if tail > 0:
                 yield self.sim.timeout(tail)
-            for (src, sk, dst, dk), snap in zip(copies, snapshots):
-                dst[dk] = snap
+            self._commit_sections(
+                [(dst, dk) for _s, _sk, dst, dk in copies], snapshots,
+                name=f"{name}:commit")
         finally:
             self.staging.release(staging_req)
         self.memcpy_calls += 1
@@ -346,7 +414,14 @@ class Device:
         try:
             if cost.total > 0:
                 yield self.sim.timeout(cost.total)
-            spec.run(lo, hi, env)
+            # The functional body is the op's real work: run it through the
+            # backend (inline when serial).  Its access set conservatively
+            # writes every array reachable from the env and the spec's
+            # bound scalars — kernel bodies touch arrays only via their env.
+            self.sim.run_work(
+                lambda: spec.run(lo, hi, env),
+                lambda: hx.env_accesses(env, spec.scalars),
+                name=spec.name)
         finally:
             self.queue.release(req)
         self.kernels_launched += 1

@@ -34,6 +34,10 @@ Callback points (→ closest OMPT event):
 ``plan_cache``            spread launch-plan cache hit/miss (no OMPT
                           equivalent; analogous to a runtime's launch-state
                           memoization trace records)
+``executor_epoch``        one executed wave of the parallel host backend
+                          (no OMPT equivalent; fired synchronously by
+                          :mod:`repro.sim.executor`, never touches the
+                          simulator)
 =======================  ==================================================
 """
 
@@ -55,6 +59,9 @@ KERNEL_LAUNCH = "kernel_launch"
 KERNEL_COMPLETE = "kernel_complete"
 DEVICE_INIT = "device_init"
 PLAN_CACHE = "plan_cache"
+# Kept in sync with repro.sim.executor.EXECUTOR_EPOCH (the executor sits
+# below the obs layer and must not import it).
+EXECUTOR_EPOCH = "executor_epoch"
 
 CALLBACK_POINTS = (
     DIRECTIVE_BEGIN,
@@ -69,6 +76,7 @@ CALLBACK_POINTS = (
     KERNEL_COMPLETE,
     DEVICE_INIT,
     PLAN_CACHE,
+    EXECUTOR_EPOCH,
 )
 
 #: kinds carried by ``data_op`` payloads (the ``op=`` field)

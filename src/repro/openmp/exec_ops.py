@@ -305,7 +305,11 @@ def _issue_copies(dev, copies, h2d: bool, fuse: bool, label: str) -> Generator:
         name = f"{label or 'map'}:{vname}"
         gen = (dev.copy_h2d(src, sk, dst, dk, name=name) if h2d
                else dev.copy_d2h(src, sk, dst, dk, name=name))
-        procs.append(dev.sim.process(gen, name=name))
+        proc = dev.sim.process(gen, name=name)
+        # pure copy machinery: real work goes through run_work, so these
+        # resumptions need not close the parallel backend's work window
+        proc.work_safe = True
+        procs.append(proc)
     yield dev.sim.all_of(procs)
 
 

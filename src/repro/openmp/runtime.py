@@ -19,6 +19,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.device.device import Device
@@ -28,11 +29,37 @@ from repro.openmp.depend import DependTracker
 from repro.openmp.tasks import TaskCtx
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Process, Simulator
+from repro.sim.executor import HostExecutor
 from repro.sim.resources import Resource
 from repro.sim.topology import NodeTopology, cte_power_node
 from repro.sim.trace import Trace
 from repro.spread.plan_cache import SpreadPlanCache
 from repro.util.errors import OmpDeviceError, OmpRuntimeError
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize and validate the ``workers`` knob.
+
+    ``None`` consults the ``REPRO_WORKERS`` environment variable (so CI can
+    flip the whole suite onto the parallel backend), defaulting to 1 — the
+    serial path.  Anything that is not a positive integer is rejected.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise OmpRuntimeError(
+                f"REPRO_WORKERS must be a positive integer, got {raw!r}")
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise OmpRuntimeError(
+            f"workers must be a positive integer, got {workers!r}")
+    if workers < 1:
+        raise OmpRuntimeError(
+            f"workers must be >= 1 (1 = serial execution), got {workers}")
+    return workers
 
 
 class OpenMPRuntime:
@@ -42,7 +69,8 @@ class OpenMPRuntime:
                  cost_model: Optional[CostModel] = None,
                  trace_enabled: bool = True,
                  taskgroup_global_drain: bool = True,
-                 plan_cache: bool = True):
+                 plan_cache: bool = True,
+                 workers: Optional[int] = None):
         self.topology = topology if topology is not None else cte_power_node(4)
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.sim = Simulator()
@@ -72,6 +100,14 @@ class OpenMPRuntime:
         #: ``plan_cache=False`` (CLI ``--no-plan-cache``) forces every
         #: directive down the full lowering path.
         self.plan_cache = SpreadPlanCache(enabled=plan_cache)
+        #: parallel host execution backend (repro.sim.executor): with
+        #: ``workers > 1`` the real NumPy work of kernels and transfers
+        #: runs on a thread pool; 1 keeps the serial inline path.
+        self.workers = resolve_workers(workers)
+        self.executor: Optional[HostExecutor] = None
+        if self.workers > 1:
+            self.executor = HostExecutor(self.workers, tools=self.tools)
+            self.sim.set_executor(self.executor)
         self.default_device = 0
         #: reproduce the paper's taskgroup behaviour: closing a taskgroup
         #: that contains device operations drains *all* devices ("a barrier
@@ -136,11 +172,15 @@ class OpenMPRuntime:
         root = TaskCtx(self, parent=None)
         main = self.sim.process(program(root, *args), name="main")
         self._tasks.append(main)
-        result = self.sim.run(until=main)
-        # Drain stragglers (nowait tasks nobody joined).
-        self.sim.run()
-        self._raise_lost_failures()
-        return result
+        try:
+            result = self.sim.run(until=main)
+            # Drain stragglers (nowait tasks nobody joined).
+            self.sim.run()
+            self._raise_lost_failures()
+            return result
+        finally:
+            if self.executor is not None:
+                self.executor.shutdown()
 
     def _raise_lost_failures(self) -> None:
         unfinished = [p for p in self._tasks if not p.triggered]

@@ -14,7 +14,8 @@ costs through :mod:`repro.sim.costmodel` and advances this clock.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
 
 class SimulationError(RuntimeError):
@@ -131,13 +132,18 @@ class Process(Event):
     Other processes can therefore ``yield proc`` to join it.
     """
 
-    __slots__ = ("gen", "name", "_waiting_on", "_interrupts")
+    __slots__ = ("gen", "name", "work_safe", "_waiting_on", "_interrupts")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
-        self._interrupts: List[Interrupt] = []
+        # Processes that only *register* deferred real work (device
+        # operations) and never observe host arrays inline set this True;
+        # resuming any other process closes the current work window so the
+        # arrays it may read are up to date (see Simulator.run_work).
+        self.work_safe = False
+        self._interrupts: Deque[Interrupt] = deque()
         # Kick off at the current time.  The shared pre-triggered sentinel
         # stands in for the per-process init event the engine used to
         # allocate; _start() checks it the same way _resume() checks a real
@@ -178,10 +184,20 @@ class Process(Event):
             self._step(None, ev.value)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self.work_safe:
+            ex = self.sim._executor
+            if ex is not None and ex.pending:
+                try:
+                    ex.flush()
+                except BaseException as err:  # noqa: BLE001
+                    # A deferred kernel/copy body failed; deliver it into
+                    # the resuming process, where the serial backend would
+                    # have surfaced it.
+                    value, exc = None, err
         while True:
             try:
                 if self._interrupts:
-                    intr = self._interrupts.pop(0)
+                    intr = self._interrupts.popleft()
                     target = self.gen.throw(intr)
                 elif exc is not None:
                     target = self.gen.throw(exc)
@@ -293,6 +309,10 @@ class Simulator:
         self._heap: List[tuple] = []
         self._seq = 0
         self._running = False
+        # Optional parallel host backend (repro.sim.executor.HostExecutor).
+        # The engine never imports it: anything with submit/flush/pending
+        # works, which keeps this module free of NumPy and pool concerns.
+        self._executor: Any = None
         # Shared already-processed event used as every Process's initial
         # wait target (see Process.__init__ / Process._start).
         self._proc_init = Event(self)
@@ -313,6 +333,41 @@ class Simulator:
     def schedule_call(self, delay: float, fn: Callable[[], None]) -> None:
         """Run *fn* after *delay* virtual seconds."""
         self._schedule_fn(fn, delay)
+
+    # -- real (host) work -------------------------------------------------------
+
+    @property
+    def executor(self) -> Any:
+        """The attached parallel host backend, or None (serial)."""
+        return self._executor
+
+    def set_executor(self, executor: Any) -> None:
+        """Attach a :class:`repro.sim.executor.HostExecutor` (or None)."""
+        self._executor = executor
+        if executor is not None:
+            executor.sim = self
+
+    def run_work(self, fn: Callable[[], None], accesses: Any = None,
+                 name: str = "") -> None:
+        """Execute real host work attached to the current simulated op.
+
+        With no executor attached this is exactly ``fn()`` — the serial
+        backend.  With one, *fn* is deferred into the current epoch window;
+        *accesses* is the work item's access set (or a zero-argument
+        callable producing it, evaluated only on this path, so the serial
+        hot path pays nothing for access extraction).
+        """
+        ex = self._executor
+        if ex is None:
+            fn()
+            return
+        ex.submit(fn, accesses() if callable(accesses) else accesses, name)
+
+    def flush_work(self) -> None:
+        """Force any deferred real work to execute now."""
+        ex = self._executor
+        if ex is not None and ex.pending:
+            ex.flush()
 
     # -- factories -------------------------------------------------------------
 
@@ -384,6 +439,9 @@ class Simulator:
             return None
         finally:
             self._running = False
+            # Close the work window at the run boundary: whoever called
+            # run() is host code and may observe arrays next.
+            self.flush_work()
 
     def peek(self) -> float:
         """Time of the next scheduled event (inf if none)."""

@@ -1,0 +1,302 @@
+"""The parallel host execution backend: real work on a real worker pool.
+
+The discrete-event engine owns virtual time, event ordering and the trace;
+what it does *not* need to own is the real NumPy computation attached to the
+simulated operations — kernel bodies and the memcpy payloads.  NumPy
+releases the GIL for array operations, so chunks that the paper runs on
+four V100s can run their functional work on four host threads here, exactly
+the worker-per-device execution model of multi-GPU runtimes (JACC, the
+OpenMP 5.1 GPU runtimes), without perturbing the simulation.
+
+The contract:
+
+* **Decide/trace vs do.**  The device layer performs all *decisions*
+  (costs, queueing, present-table bookkeeping, trace records) inline as
+  before, and hands the *real work* — ``spec.run`` bodies, snapshot/commit
+  ``np.copyto`` payloads — to :meth:`Simulator.run_work` as a plain
+  callable plus an access set.
+* **Epoch windows.**  Deferred items accumulate while device-operation
+  processes run; the engine closes the window (flushes) before any host
+  task resumes, at run boundaries, and at a pending-size cap.  Within a
+  window the items are grouped into *waves*: a new item joins the earliest
+  wave it does not interfere with, and interfering items land in strictly
+  later waves — so every conflicting pair still executes in registration
+  order, which is the serial execution order.
+* **Non-interference proof.**  Each access is the byte interval of one
+  array section (axis-0 slices of C-contiguous arrays are contiguous, so
+  the spread section arithmetic maps 1:1 to disjoint byte intervals,
+  compared with :class:`repro.util.intervals.Interval`).  Two items
+  interfere iff some access pair overlaps and at least one side writes.
+  An item whose accesses cannot be proven (``None``) is a barrier: it
+  interferes with everything and executes inline.
+* **Determinism.**  A wave is mutually non-interfering, so its items
+  commute bit-for-bit; conflicting items are ordered; nothing here touches
+  the simulator.  Traces, task names and final arrays are identical to the
+  serial backend (``tests/somier/test_parallel_backend.py`` asserts it).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.intervals import Interval
+
+EXECUTOR_EPOCH = "executor_epoch"  # re-exported by repro.obs.tool
+
+#: Flush automatically once this many items are pending (bounds how long
+#: snapshot buffers and their references are retained).
+DEFAULT_MAX_PENDING = 1024
+
+
+class Access:
+    """One byte-interval access of a work item (read or write)."""
+
+    __slots__ = ("interval", "write")
+
+    def __init__(self, interval: Interval, write: bool):
+        self.interval = interval
+        self.write = write
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Access {'W' if self.write else 'R'} {self.interval!r}>"
+
+
+def array_interval(arr: np.ndarray) -> Optional[Interval]:
+    """The byte interval *arr* occupies, or None if it cannot be proven.
+
+    C-contiguous arrays (and axis-0 slices of them — every section the
+    mapping layer produces) cover exactly ``[ptr, ptr + nbytes)``.  A
+    non-contiguous view is covered conservatively by its owning base
+    buffer; anything without a resolvable ndarray base is unknown.
+    """
+    try:
+        if arr.flags["C_CONTIGUOUS"]:
+            ptr = arr.__array_interface__["data"][0]
+            return Interval(int(ptr), int(ptr) + int(arr.nbytes))
+        base = arr
+        while isinstance(base.base, np.ndarray):
+            base = base.base
+        if not base.flags["C_CONTIGUOUS"]:
+            return None
+        ptr = base.__array_interface__["data"][0]
+        return Interval(int(ptr), int(ptr) + int(base.nbytes))
+    except (AttributeError, TypeError, KeyError):
+        return None
+
+
+def array_access(arr: np.ndarray, write: bool) -> Optional[Access]:
+    iv = array_interval(arr)
+    return Access(iv, write) if iv is not None else None
+
+
+def collect_accesses(reads: Iterable[np.ndarray] = (),
+                     writes: Iterable[np.ndarray] = (),
+                     ) -> Optional[Tuple[Access, ...]]:
+    """Build an access set; None (unknown → inline barrier) if any array
+    cannot be proven."""
+    out: List[Access] = []
+    for arr in reads:
+        acc = array_access(arr, write=False)
+        if acc is None:
+            return None
+        out.append(acc)
+    for arr in writes:
+        acc = array_access(arr, write=True)
+        if acc is None:
+            return None
+        out.append(acc)
+    return tuple(out)
+
+
+def env_accesses(*envs: Any) -> Optional[Tuple[Access, ...]]:
+    """Conservative access set of a kernel environment.
+
+    Every array reachable from the env mappings — raw ndarrays and
+    ``GlobalView``-style wrappers exposing a ``buffer`` ndarray — is
+    treated as written (write ⊇ read for interference).  Scalars are
+    ignored.  Kernel bodies must touch arrays only through their env,
+    which is already the :class:`~repro.device.kernel.KernelSpec`
+    contract.
+    """
+    arrays: List[np.ndarray] = []
+    for env in envs:
+        if env is None:
+            continue
+        for value in env.values():
+            buf = getattr(value, "buffer", value)
+            if isinstance(buf, np.ndarray):
+                arrays.append(buf)
+    return collect_accesses(writes=arrays)
+
+
+class WorkItem:
+    """One deferred unit of real work."""
+
+    __slots__ = ("fn", "accesses", "name", "conflicted")
+
+    def __init__(self, fn: Callable[[], None],
+                 accesses: Optional[Sequence[Access]], name: str):
+        self.fn = fn
+        self.accesses = accesses
+        self.name = name
+        #: placement was constrained by interference with an earlier item
+        self.conflicted = False
+
+
+def _interferes(a: Optional[Sequence[Access]],
+                b: Optional[Sequence[Access]]) -> bool:
+    if a is None or b is None:
+        return True  # unproven accesses act as a barrier
+    for x in a:
+        for y in b:
+            if (x.write or y.write) and x.interval.overlaps(y.interval):
+                return True
+    return False
+
+
+class HostExecutor:
+    """Wave-scheduled thread-pool backend behind one :class:`Simulator`.
+
+    ``workers`` is the pool width; the pool itself is created lazily on
+    the first multi-item wave, so a run with no exploitable parallelism
+    never starts a thread.  ``tools`` (a
+    :class:`~repro.obs.tool.ToolRegistry`) receives one
+    ``executor_epoch`` callback per executed wave.
+    """
+
+    def __init__(self, workers: int, tools: Any = None,
+                 max_pending: int = DEFAULT_MAX_PENDING):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.tools = tools
+        self.max_pending = max_pending
+        self.sim: Any = None  # set by Simulator.set_executor
+        self._waves: List[List[WorkItem]] = []
+        self.pending = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        # cumulative statistics (mirrored into metrics via the tool event)
+        self.epochs = 0
+        self.parallel_ops = 0
+        self.serial_ops = 0
+        self.inline_fallbacks = 0
+        self.busy_seconds = 0.0
+        self.span_seconds = 0.0
+
+    # -- registration -----------------------------------------------------------
+
+    def submit(self, fn: Callable[[], None],
+               accesses: Optional[Sequence[Access]],
+               name: str = "") -> None:
+        """Defer *fn*; it joins the earliest wave it does not interfere
+        with, strictly after the last wave it does."""
+        item = WorkItem(fn, accesses, name)
+        waves = self._waves
+        last_conflict = -1
+        for i in range(len(waves) - 1, -1, -1):
+            if any(_interferes(item.accesses, other.accesses)
+                   for other in waves[i]):
+                last_conflict = i
+                break
+        if last_conflict >= 0:
+            item.conflicted = True
+        target = last_conflict + 1
+        if target == len(waves):
+            waves.append([item])
+        else:
+            waves[target].append(item)
+        self.pending += 1
+        if self.pending >= self.max_pending:
+            self.flush()
+
+    # -- execution --------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Run every pending wave, in order; empties the window."""
+        if not self.pending:
+            return
+        waves, self._waves = self._waves, []
+        self.pending = 0
+        for wave in waves:
+            self._run_wave(wave)
+
+    def _run_wave(self, wave: List[WorkItem]) -> None:
+        t0 = time.perf_counter()
+        busy = 0.0
+        if len(wave) > 1 and self.workers > 1:
+            mode = "parallel"
+            pool = self._ensure_pool()
+            futures = [pool.submit(self._timed, item) for item in wave]
+            first_error: Optional[BaseException] = None
+            for fut in futures:
+                try:
+                    busy += fut.result()
+                except BaseException as err:  # noqa: BLE001 - re-raise first
+                    if first_error is None:
+                        first_error = err
+            self.parallel_ops += len(wave)
+            if first_error is not None:
+                self._note_wave(wave, mode, 0, busy,
+                                time.perf_counter() - t0)
+                raise first_error
+            inline = 0
+        else:
+            mode = "serial"
+            for item in wave:
+                busy += self._timed(item)
+            self.serial_ops += len(wave)
+            # an op alone in its wave *because of* interference (or
+            # unprovable accesses) is a forced inline fallback; a lone
+            # straggler op is merely serial
+            inline = sum(1 for item in wave
+                         if item.conflicted or item.accesses is None)
+            self.inline_fallbacks += inline
+        self._note_wave(wave, mode, inline, busy, time.perf_counter() - t0)
+
+    @staticmethod
+    def _timed(item: WorkItem) -> float:
+        t0 = time.perf_counter()
+        item.fn()
+        return time.perf_counter() - t0
+
+    def _note_wave(self, wave: List[WorkItem], mode: str, inline: int,
+                   busy: float, span: float) -> None:
+        self.epochs += 1
+        self.busy_seconds += busy
+        self.span_seconds += span
+        tools = self.tools
+        if tools:
+            now = self.sim.now if self.sim is not None else 0.0
+            tools.dispatch(EXECUTOR_EPOCH, ops=len(wave), mode=mode,
+                           workers=self.workers, inline=inline,
+                           busy_s=busy, span_s=span, time=now)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-exec")
+        return self._pool
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Cumulative worker utilization over all executed waves."""
+        capacity = self.span_seconds * self.workers
+        return self.busy_seconds / capacity if capacity > 0 else 0.0
+
+    def shutdown(self) -> None:
+        """Flush what is left and stop the pool."""
+        self.flush()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<HostExecutor workers={self.workers} pending={self.pending} "
+                f"epochs={self.epochs}>")

@@ -9,7 +9,8 @@ never overlap on the same link (Section VI-B, Fig. 4).
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
 
 from repro.sim.engine import Event, Simulator
 
@@ -44,7 +45,9 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._users: List[Request] = []
-        self._queue: List[Request] = []
+        # FIFO waiters; a deque so the release-time dequeue is O(1) even
+        # with hundreds of queued chunk launches on one device.
+        self._queue: Deque[Request] = deque()
         # statistics
         self.grant_count = 0
         self.busy_time = 0.0
@@ -82,7 +85,7 @@ class Resource:
             self.busy_time += self.sim.now - self._busy_since
             self._busy_since = None
         if self._queue:
-            nxt = self._queue.pop(0)
+            nxt = self._queue.popleft()
             self._grant(nxt)
 
     def _grant(self, req: Request) -> None:

@@ -72,6 +72,7 @@ def run_somier(impl: str, config: SomierConfig,
                taskgroup_global_drain: bool = True,
                trace: bool = True,
                plan_cache: bool = True,
+               workers: Optional[int] = None,
                tools: Sequence[Tool] = ()) -> SomierResult:
     """Run one Somier experiment; see the module docstring.
 
@@ -85,6 +86,9 @@ def run_somier(impl: str, config: SomierConfig,
     the program starts; if any is a :class:`MetricsTool`, its snapshot
     lands on ``SomierResult.metrics``.  ``plan_cache=False`` (CLI
     ``--no-plan-cache``) disables spread launch-plan replay.
+    ``workers`` (CLI ``--workers``) sizes the parallel host execution
+    backend; None consults ``REPRO_WORKERS``, and 1 (the default) keeps
+    the serial inline path.  Results and traces are identical either way.
     """
     if impl not in IMPLEMENTATIONS:
         raise OmpRuntimeError(
@@ -94,7 +98,7 @@ def run_somier(impl: str, config: SomierConfig,
     rt = OpenMPRuntime(topology=topo, cost_model=cost_model,
                        trace_enabled=trace,
                        taskgroup_global_drain=taskgroup_global_drain,
-                       plan_cache=plan_cache)
+                       plan_cache=plan_cache, workers=workers)
     devs = list(devices) if devices is not None else list(range(topo.num_devices))
     for tool in tools:
         rt.tools.register(tool)
@@ -120,7 +124,16 @@ def run_somier(impl: str, config: SomierConfig,
         "tasks": rt.task_count,
         "plan_cache_hits": rt.plan_cache.hits,
         "plan_cache_misses": rt.plan_cache.misses,
+        "workers": rt.workers,
     }
+    if rt.executor is not None:
+        stats.update({
+            "executor_epochs": rt.executor.epochs,
+            "executor_parallel_ops": rt.executor.parallel_ops,
+            "executor_serial_ops": rt.executor.serial_ops,
+            "executor_inline_fallbacks": rt.executor.inline_fallbacks,
+            "executor_utilization": rt.executor.utilization,
+        })
     metrics = next((t.snapshot() for t in tools
                     if isinstance(t, MetricsTool)), None)
     return SomierResult(impl=impl, devices=devs, config=config, plan=plan,

@@ -1,0 +1,27 @@
+"""Smoke tests for the wall-clock track (tiny sizes; numbers not asserted)."""
+
+from repro.bench.wallclock import end_to_end, workers_sweep
+
+
+class TestEndToEnd:
+    def test_serial_record_shape(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        r = end_to_end(True, n_functional=24, steps=1)
+        assert r["workers"] == 1
+        assert r["wall_s"] > 0
+        assert "executor_epochs" not in r
+
+    def test_parallel_record_carries_executor_stats(self):
+        r = end_to_end(True, n_functional=24, steps=1, workers=2)
+        assert r["workers"] == 2
+        assert r["executor_epochs"] > 0
+        assert r["executor_parallel_ops"] > 0
+
+
+class TestWorkersSweep:
+    def test_sweep_structure_and_speedups(self):
+        s = workers_sweep((1, 2), n_functional=24, steps=1)
+        assert [r["workers"] for r in s["runs"]] == [1, 2]
+        assert s["runs"][0]["speedup_vs_1"] == 1.0
+        assert s["cpu_count"] >= 1
+        assert s["best_speedup"] > 0

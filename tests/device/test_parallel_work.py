@@ -1,0 +1,105 @@
+"""Device ops on the parallel backend: batching and the aliasing fallback.
+
+Two kernels whose envs touch disjoint arrays may share a pool wave; a
+pair aliasing the same array must be detected and executed inline, in
+issue order — the non-interference rule at the device layer.
+"""
+
+import numpy as np
+
+from repro.device.device import Device
+from repro.device.kernel import KernelSpec
+from repro.sim.costmodel import CostModel
+from repro.sim.resources import Resource
+from repro.sim.topology import DeviceSpec, HostSpec, LinkSpec
+from repro.sim.trace import Trace
+from repro.sim.executor import HostExecutor
+
+
+def make_device(sim, device_id=0):
+    spec = DeviceSpec(memory_bytes=1e9, iters_per_second=1e9,
+                      kernel_launch_latency=0.0, kernel_issue_latency=0.0,
+                      alloc_sync=True)
+    link_spec = LinkSpec(bandwidth_bytes_per_s=1e9, per_call_latency=0.0)
+    host = HostSpec(staging_bandwidth_bytes_per_s=1e12)
+    link = Resource(sim, 1, name=f"link{device_id}")
+    staging = Resource(sim, 1, name=f"st{device_id}")
+    return Device(sim, device_id, spec, link, link_spec, staging, host,
+                  CostModel(), Trace())
+
+
+def attach_executor(sim, workers=2):
+    ex = HostExecutor(workers)
+    sim.set_executor(ex)
+    return ex
+
+
+def spawn(sim, gen):
+    # device-op processes only register deferred work (like the OpenMP
+    # layer's nowait tasks); mark them so resuming one doesn't flush
+    proc = sim.process(gen)
+    proc.work_safe = True
+    return proc
+
+
+class TestKernelPairs:
+    def test_disjoint_kernels_share_a_wave(self, sim):
+        ex = attach_executor(sim)
+        d0 = make_device(sim, device_id=0)
+        d1 = make_device(sim, device_id=1)
+        a, b = np.zeros(8), np.zeros(8)
+        ka = KernelSpec("ka", lambda lo, hi, env: env["x"].__iadd__(1.0))
+        kb = KernelSpec("kb", lambda lo, hi, env: env["x"].__iadd__(2.0))
+        spawn(sim, d0.launch_kernel(ka, 0, 8, {"x": a}))
+        spawn(sim, d1.launch_kernel(kb, 0, 8, {"x": b}))
+        sim.run()
+        assert np.all(a == 1.0) and np.all(b == 2.0)
+        assert ex.parallel_ops == 2
+        assert ex.inline_fallbacks == 0
+
+    def test_aliasing_kernel_pair_forced_inline_in_issue_order(self, sim):
+        ex = attach_executor(sim)
+        d0 = make_device(sim, device_id=0)
+        d1 = make_device(sim, device_id=1)
+        shared = np.zeros(8)
+        add = KernelSpec("add", lambda lo, hi, env: env["x"].__iadd__(1.0))
+        dbl = KernelSpec("dbl", lambda lo, hi, env: env["x"].__imul__(2.0))
+        spawn(sim, d0.launch_kernel(add, 0, 8, {"x": shared}))
+        spawn(sim, d1.launch_kernel(dbl, 0, 8, {"x": shared}))
+        sim.run()
+        # issue order preserved: (0 + 1) * 2, never 0 * 2 + 1 racing
+        assert np.all(shared == 2.0)
+        assert ex.parallel_ops == 0
+        assert ex.inline_fallbacks >= 1
+
+    def test_overlapping_copyback_pair_forced_inline(self, sim):
+        ex = attach_executor(sim)
+        d0 = make_device(sim, device_id=0)
+        d1 = make_device(sim, device_id=1)
+        host = np.zeros(8)
+        src0, src1 = np.full(6, 1.0), np.full(6, 2.0)
+        # D2H write-backs overlapping on host[2:6]: must apply in order
+        spawn(sim, d0.copy_d2h(src0, slice(0, 6), host, slice(0, 6)))
+        spawn(sim, d1.copy_d2h(src1, slice(0, 6), host, slice(2, 8)))
+        sim.run()
+        assert np.all(host[0:2] == 1.0)
+        assert np.all(host[2:8] == 2.0)
+
+    def test_serial_and_parallel_kernel_results_match(self, sim):
+        # same program twice: no executor vs workers=2
+        def run(with_pool):
+            import repro.sim.engine as eng
+            s = eng.Simulator()
+            if with_pool:
+                attach_executor(s)
+            dev0 = make_device(s, device_id=0)
+            dev1 = make_device(s, device_id=1)
+            a, b = np.arange(8.0), np.arange(8.0)
+            k = KernelSpec("k", lambda lo, hi, env: env["x"].__imul__(3.0))
+            spawn(s, dev0.launch_kernel(k, 0, 8, {"x": a}))
+            spawn(s, dev1.launch_kernel(k, 0, 8, {"x": b}))
+            s.run()
+            return a, b
+
+        (a1, b1), (a2, b2) = run(False), run(True)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)

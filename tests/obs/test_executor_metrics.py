@@ -1,0 +1,102 @@
+"""Executor epoch events flow into MetricsTool and the profiling report."""
+
+import json
+
+import pytest
+
+from repro.obs import Profiler
+from repro.obs.builtin import MetricsTool
+from repro.sim.topology import cte_power_node
+from repro.somier import SomierConfig, run_somier
+from repro.somier.plan import chunk_footprint_bytes
+
+CFG = SomierConfig(n=18, steps=3)
+
+
+@pytest.fixture(scope="module")
+def profiled_parallel():
+    cap = chunk_footprint_bytes(CFG, 4) / 0.8
+    topo = cte_power_node(4, memory_bytes=cap)
+    prof = Profiler()
+    result = run_somier("one_buffer", CFG, topology=topo, workers=3,
+                        tools=prof.tools)
+    return result, prof
+
+
+def counter_value(reg, name):
+    counters = reg.counters(name)
+    return sum(c.value for c in counters)
+
+
+class TestMetricCounters:
+    def test_epoch_and_op_counters_populated(self, profiled_parallel):
+        result, prof = profiled_parallel
+        reg = prof.registry
+        assert counter_value(reg, "executor_epochs") > 0
+        assert counter_value(reg, "executor_parallel_ops") > 0
+        # counters cross-check against the driver's stats block
+        assert counter_value(reg, "executor_epochs") == \
+            result.stats["executor_epochs"]
+        assert counter_value(reg, "executor_parallel_ops") == \
+            result.stats["executor_parallel_ops"]
+        assert counter_value(reg, "executor_inline_fallbacks") == \
+            result.stats["executor_inline_fallbacks"]
+
+    def test_utilization_gauge_in_range(self, profiled_parallel):
+        _result, prof = profiled_parallel
+        gauges = prof.registry.gauges("executor_worker_utilization")
+        assert len(gauges) == 1
+        assert 0.0 <= gauges[0].value <= 1.0
+
+    def test_direct_callback_accumulates(self):
+        tool = MetricsTool()
+        tool.on_executor_epoch(ops=4, mode="parallel", workers=2,
+                               busy_s=2.0, span_s=2.0, inline=0)
+        tool.on_executor_epoch(ops=1, mode="serial", workers=2,
+                               busy_s=0.5, span_s=0.5, inline=1)
+        reg = tool.registry
+        assert counter_value(reg, "executor_epochs") == 2
+        assert counter_value(reg, "executor_parallel_ops") == 4
+        assert counter_value(reg, "executor_serial_ops") == 1
+        assert counter_value(reg, "executor_inline_fallbacks") == 1
+        # utilization reflects the parallel wave only: 2.0 / (2.0 * 2)
+        util = reg.gauges("executor_worker_utilization")[0]
+        assert util.value == pytest.approx(0.5)
+
+
+class TestReportSurface:
+    def test_summary_block(self, profiled_parallel):
+        result, prof = profiled_parallel
+        ex = prof.report(result.elapsed).executor_summary()
+        assert ex is not None
+        assert ex["epochs"] == result.stats["executor_epochs"]
+        assert ex["parallel_ops"] == result.stats["executor_parallel_ops"]
+        assert 0.0 <= ex["worker_utilization"] <= 1.0
+
+    def test_text_report_mentions_executor(self, profiled_parallel):
+        result, prof = profiled_parallel
+        text = prof.report(result.elapsed).render_text()
+        assert "executor:" in text
+        assert "parallel ops" in text
+        assert "utilization" in text
+
+    def test_json_report_has_executor_block(self, profiled_parallel):
+        result, prof = profiled_parallel
+        payload = json.loads(prof.report(result.elapsed).to_json())
+        assert "executor" in payload
+        block = payload["executor"]
+        for key in ("epochs", "parallel_ops", "serial_ops",
+                    "inline_fallbacks", "worker_utilization"):
+            assert key in block
+
+    def test_serial_report_omits_executor_block(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        cap = chunk_footprint_bytes(CFG, 4) / 0.8
+        topo = cte_power_node(4, memory_bytes=cap)
+        prof = Profiler()
+        result = run_somier("one_buffer", CFG, topology=topo,
+                            tools=prof.tools)
+        report = prof.report(result.elapsed)
+        assert report.executor_summary() is None
+        assert "executor:" not in report.render_text()
+        assert "executor" not in json.loads(report.to_json())

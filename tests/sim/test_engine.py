@@ -297,3 +297,28 @@ class TestSchedulingFastPaths:
         sim.run()
         assert order == ["a", "b"]
         assert a.processed and b.processed
+
+
+class TestInterruptQueueOrder:
+    def test_multiple_interrupts_delivered_fifo(self, sim):
+        """Interrupts queued against one process arrive in the order they
+        were raised (the queue is a deque; popleft must stay FIFO)."""
+        causes = []
+
+        def sleeper():
+            while len(causes) < 3:
+                try:
+                    yield sim.timeout(100.0)
+                except Interrupt as intr:
+                    causes.append(intr.cause)
+
+        p = sim.process(sleeper())
+
+        def storm():
+            p.interrupt("first")
+            p.interrupt("second")
+            p.interrupt("third")
+
+        sim.schedule_call(1.0, storm)
+        sim.run(p)
+        assert causes == ["first", "second", "third"]

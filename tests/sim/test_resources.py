@@ -137,3 +137,25 @@ class TestStats:
         sim.run()
         # 'early' requested first -> holds the slot; 'late' waits for it.
         assert order == [("early", 5.0), ("late", 5.0)]
+
+
+class TestDequeRegression:
+    def test_fifo_order_holds_at_scale(self, sim):
+        """Pin the grant order with a long queue (the waiter list is a
+        deque; O(1) dequeue must not change arrival-order semantics)."""
+        res = Resource(sim, capacity=1, name="queue")
+        granted = []
+
+        def user(tag):
+            req = res.request(tag=tag)
+            yield req
+            granted.append(tag)
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        n = 200
+        for i in range(n):
+            sim.process(user(i))
+        sim.run()
+        assert granted == list(range(n))
+        assert res.max_queue_len == n - 1

@@ -1,0 +1,103 @@
+"""The parallel host backend against the serial backend: bit-identity.
+
+The executor's whole contract is that ``workers=N`` changes wall-clock
+behaviour only: every Somier decomposition must produce bit-identical
+grids, centers history, virtual makespan and trace events whether the real
+work ran inline or on the pool.  Also covered: the aliasing fallback (two
+kernels sharing a buffer are never run concurrently), workers-knob
+validation, the ``REPRO_WORKERS`` environment default, and the executor
+statistics surfaced on ``SomierResult.stats``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.topology import cte_power_node
+from repro.somier import SomierConfig, run_somier
+from repro.somier.plan import chunk_footprint_bytes
+from repro.util.errors import OmpRuntimeError
+
+CFG = SomierConfig(n=18, steps=3)
+
+
+def topo(n_dev=4, rows=4):
+    cap = chunk_footprint_bytes(CFG, rows) / 0.8
+    return cte_power_node(n_dev, memory_bytes=cap)
+
+
+def assert_bit_identical(a, b):
+    for name in a.state.grids:
+        assert np.array_equal(a.state.grids[name], b.state.grids[name]), name
+    assert np.array_equal(a.centers, b.centers)
+    assert a.elapsed == b.elapsed
+    assert a.runtime.trace.events == b.runtime.trace.events
+
+
+@pytest.mark.parametrize("impl", ["target", "one_buffer", "two_buffers",
+                                  "double_buffering"])
+def test_parallel_matches_serial_bitwise(impl):
+    devices = [0] if impl == "target" else None
+    t = topo(1 if impl == "target" else 4)
+    serial = run_somier(impl, CFG, devices=devices, topology=t, workers=1)
+    parallel = run_somier(impl, CFG, devices=devices, topology=t, workers=3)
+    assert_bit_identical(serial, parallel)
+    assert parallel.stats["workers"] == 3
+    assert parallel.stats["executor_epochs"] > 0
+    assert parallel.stats["executor_parallel_ops"] > 0
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"data_depend": True},
+    {"fuse_transfers": True},
+    {"taskgroup_global_drain": False},
+])
+def test_parallel_matches_serial_across_options(kwargs):
+    serial = run_somier("one_buffer", CFG, topology=topo(), workers=1,
+                        **kwargs)
+    parallel = run_somier("one_buffer", CFG, topology=topo(), workers=4,
+                          **kwargs)
+    assert_bit_identical(serial, parallel)
+
+
+def test_parallel_run_is_repeatable():
+    a = run_somier("one_buffer", CFG, topology=topo(), workers=4)
+    b = run_somier("one_buffer", CFG, topology=topo(), workers=4)
+    assert_bit_identical(a, b)
+
+
+class TestWorkersValidation:
+    def test_zero_rejected(self):
+        with pytest.raises(OmpRuntimeError, match="workers must be >= 1"):
+            run_somier("one_buffer", CFG, topology=topo(), workers=0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(OmpRuntimeError, match="workers must be >= 1"):
+            run_somier("one_buffer", CFG, topology=topo(), workers=-3)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(OmpRuntimeError, match="positive integer"):
+            run_somier("one_buffer", CFG, topology=topo(), workers=2.5)
+
+    def test_env_default_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        res = run_somier("one_buffer", CFG, topology=topo())
+        assert res.stats["workers"] == 3
+        assert res.stats["executor_parallel_ops"] > 0
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(OmpRuntimeError, match="REPRO_WORKERS"):
+            run_somier("one_buffer", CFG, topology=topo())
+
+    def test_explicit_workers_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        res = run_somier("one_buffer", CFG, topology=topo(), workers=1)
+        assert res.stats["workers"] == 1
+        assert "executor_epochs" not in res.stats  # serial: no executor
+
+
+def test_serial_default_has_no_executor(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    res = run_somier("one_buffer", CFG, topology=topo())
+    assert res.stats["workers"] == 1
+    assert res.runtime.executor is None

@@ -176,3 +176,34 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestWorkersFlag:
+    def test_somier_accepts_workers(self, capsys):
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "2", "--verify",
+                   "--workers", "2"])
+        assert rc == 0
+        assert "bitwise identical" in capsys.readouterr().out
+
+    def test_stats_accepts_workers(self, capsys):
+        import json
+
+        rc = main(["stats", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1", "--json",
+                   "--workers", "2"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "executor" in payload
+
+    def test_invalid_workers_is_clean_error(self, capsys):
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1",
+                   "--workers", "0"])
+        assert rc == 1
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_workers_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["somier", "--help"])
+        assert "--workers" in capsys.readouterr().out
