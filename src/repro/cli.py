@@ -73,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(real kernel/memcpy work on N threads; default: "
                         "$REPRO_WORKERS or 1 = serial). Results and traces "
                         "are identical for any N.")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="inject seeded faults, e.g. 'transfer:0.01' or "
+                        "'device@1:#3' (default: $REPRO_FAULTS or off); "
+                        "see docs/robustness.md")
+    p.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                   help="fault-injection RNG seed (default: "
+                        "$REPRO_FAULT_SEED or 0)")
     p.add_argument("--trace", action="store_true",
                    help="print an ASCII timeline of the run")
     p.add_argument("--verify", action="store_true",
@@ -102,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="parallel host backend width (default: "
                         "$REPRO_WORKERS or 1)")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="inject seeded faults (default: $REPRO_FAULTS "
+                        "or off)")
+    p.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                   help="fault-injection RNG seed (default: "
+                        "$REPRO_FAULT_SEED or 0)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text tables")
     p.add_argument("--full", action="store_true",
@@ -149,6 +162,7 @@ def cmd_somier(args) -> int:
                      trace=args.trace or bool(args.trace_json),
                      plan_cache=not args.no_plan_cache,
                      workers=args.workers,
+                     faults=args.faults, fault_seed=args.fault_seed,
                      tools=prof.tools if prof else ())
     print(f"{args.impl} on {len(devices)} device(s) {devices}: "
           f"{format_hms(res.elapsed)} virtual")
@@ -207,6 +221,7 @@ def cmd_stats(args) -> int:
                      fuse_transfers=args.fuse_transfers,
                      plan_cache=not args.no_plan_cache,
                      workers=args.workers,
+                     faults=args.faults, fault_seed=args.fault_seed,
                      tools=prof.tools)
     report = prof.report(makespan=res.elapsed)
     if args.json:

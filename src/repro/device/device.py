@@ -32,14 +32,17 @@ import numpy as np
 
 from repro.device.kernel import KernelSpec, LaunchConfig
 from repro.device.memory import Allocation, DeviceAllocator
-from repro.obs.tool import (DATA_OP, KERNEL_COMPLETE, KERNEL_LAUNCH,
-                            ToolRegistry)
+from repro.obs.tool import (DATA_OP, FAULT_EVENT, KERNEL_COMPLETE,
+                            KERNEL_LAUNCH, ToolRegistry)
 from repro.sim import executor as hx
 from repro.sim import trace as tr
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultInjector
 from repro.sim.resources import Resource
 from repro.sim.topology import DeviceSpec, HostSpec, LinkSpec
+from repro.util.errors import (DeviceLostError, KernelFaultError,
+                               TransferFaultError)
 
 
 def _section_accesses(triples):
@@ -82,6 +85,12 @@ class Device:
         self.cost_model = cost_model
         self.trace = trace
         self.allocator = DeviceAllocator(spec.memory_bytes, device_id)
+        #: fault source consulted at the top of every device op, or None
+        #: (set by the runtime when fault injection is configured)
+        self.fault_injector: Optional[FaultInjector] = None
+        #: once True, every new operation fails immediately with
+        #: :class:`DeviceLostError` — the device is gone for good
+        self.lost = False
         #: the device's single in-order execution queue (copies + kernels)
         self.queue = Resource(sim, 1, name=f"gpu{device_id}")
         self._free_waiters: list = []
@@ -141,6 +150,46 @@ class Device:
         ev = self.sim.event()
         self._free_waiters.append(ev)
         return ev
+
+    # -- fault surfacing -----------------------------------------------------------
+
+    def _check_fault(self, op: str, name: str) -> None:
+        """Raise the typed fault for *op* if the injector fires (or the
+        device is already lost).
+
+        Called at the very top of every device operation, *before* any
+        resource request — a raised fault can never leave a queue, link or
+        staging slot held.
+        """
+        if self.lost:
+            raise DeviceLostError(
+                f"device {self.device_id} is lost",
+                device=self.device_id, op=op, name=name)
+        inj = self.fault_injector
+        if inj is None:
+            return
+        rule = inj.draw(op, self.device_id)
+        if rule is None:
+            return
+        tools = self.tools
+        if tools:
+            tools.dispatch(FAULT_EVENT, kind="inject", fault=rule.op_class,
+                           device=self.device_id, op=op, name=name,
+                           time=self.sim.now)
+        if rule.op_class == "device":
+            self.lost = True
+            raise DeviceLostError(
+                f"device {self.device_id} lost "
+                f"(injected at {op} {name!r})",
+                device=self.device_id, op=op, name=name)
+        if op == "kernel":
+            raise KernelFaultError(
+                f"injected kernel-launch fault on device "
+                f"{self.device_id} ({name!r})",
+                device=self.device_id, op=op, name=name)
+        raise TransferFaultError(
+            f"injected {op} fault on device {self.device_id} ({name!r})",
+            device=self.device_id, op=op, name=name)
 
     # -- staging helper ------------------------------------------------------------
 
@@ -222,6 +271,7 @@ class Device:
     def _copy_h2d_batch(self, copies, name: str, fused: bool) -> Generator:
         if not copies:
             return
+        self._check_fault("h2d", name)
         nbytes = sum(src[sk].nbytes for src, sk, _d, _dk in copies)
         cost = self.cost_model.transfer(self.link_spec, nbytes)
         issue_ts = self.sim.now
@@ -304,6 +354,7 @@ class Device:
     def _copy_d2h_batch(self, copies, name: str, fused: bool) -> Generator:
         if not copies:
             return
+        self._check_fault("d2h", name)
         nbytes = sum(src[sk].nbytes for src, sk, _d, _dk in copies)
         cost = self.cost_model.transfer(self.link_spec, nbytes)
         issue_ts = self.sim.now
@@ -393,6 +444,7 @@ class Device:
         """
         if hi < lo:
             raise ValueError(f"empty-negative kernel range [{lo}, {hi})")
+        self._check_fault("kernel", spec.name)
         iters = float(iterations) if iterations is not None else float(hi - lo)
         cost = self.cost_model.kernel(self.spec, iters,
                                       num_teams=launch.num_teams,

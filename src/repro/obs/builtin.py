@@ -40,6 +40,15 @@ metric                              populated from
                                     wave span)
 ``executor_worker_utilization``     gauge: busy / (span × workers), over
                                     parallel waves
+``faults_injected{device,fault}``   ``fault_event`` (kind=inject)
+``fault_retries{device}``           ``fault_event`` (kind=retry)
+``fault_backoff_seconds``           ``fault_event`` (retry backoff charged
+                                    to virtual time)
+``fault_giveups{device}``           ``fault_event`` (kind=giveup: retry
+                                    budget exhausted)
+``devices_lost``                    ``fault_event`` (kind=device_lost)
+``fault_failovers{device}``         ``fault_event`` (kind=failover: chunk
+                                    re-routed to a survivor)
 =================================  ==========================================
 """
 
@@ -180,6 +189,24 @@ class MetricsTool(Tool):
             reg.counter("executor_inline_fallbacks").inc(inline)
         reg.counter("executor_busy_seconds").inc(busy_s)
         reg.counter("executor_span_seconds").inc(span_s)
+
+    # -- fault injection ----------------------------------------------------------
+
+    def on_fault_event(self, *, kind: str, device: int = -1,
+                       fault: str = "", delay: float = 0.0,
+                       **kw: Any) -> None:
+        reg = self.registry
+        if kind == "inject":
+            reg.counter("faults_injected", device=device, fault=fault).inc()
+        elif kind == "retry":
+            reg.counter("fault_retries", device=device).inc()
+            reg.counter("fault_backoff_seconds").inc(delay)
+        elif kind == "giveup":
+            reg.counter("fault_giveups", device=device).inc()
+        elif kind == "device_lost":
+            reg.counter("devices_lost").inc()
+        elif kind == "failover":
+            reg.counter("fault_failovers", device=device).inc()
 
     # -- convenience --------------------------------------------------------------
 

@@ -137,6 +137,27 @@ class ProfileReport:
                                    if util_gauges else 0.0),
         }
 
+    # -- fault injection ----------------------------------------------------------
+
+    def fault_summary(self) -> Optional[Dict[str, Any]]:
+        """Resilience counters, or None if the run saw no fault activity."""
+        reg = self.registry
+        injected = int(reg.sum_counter("faults_injected"))
+        retries = int(reg.sum_counter("fault_retries"))
+        lost = int(reg.counter_value("devices_lost"))
+        failovers = int(reg.sum_counter("fault_failovers"))
+        giveups = int(reg.sum_counter("fault_giveups"))
+        if not (injected or retries or lost or failovers or giveups):
+            return None
+        return {
+            "injected": injected,
+            "retries": retries,
+            "backoff_s": reg.counter_value("fault_backoff_seconds"),
+            "giveups": giveups,
+            "devices_lost": lost,
+            "failovers": failovers,
+        }
+
     # -- rendering --------------------------------------------------------------
 
     def render_text(self) -> str:
@@ -180,6 +201,15 @@ class ProfileReport:
                 f"{ex['serial_ops']:d} serial ops "
                 f"({ex['inline_fallbacks']:d} inline fallbacks), "
                 f"utilization {ex['worker_utilization']:.0%}")
+        fa = self.fault_summary()
+        if fa is not None:
+            totals.append(
+                f"faults: {fa['injected']:d} injected, "
+                f"{fa['retries']:d} retries "
+                f"({fa['backoff_s'] * 1e6:.0f}us backoff), "
+                f"{fa['giveups']:d} giveups, "
+                f"{fa['devices_lost']:d} devices lost, "
+                f"{fa['failovers']:d} failovers")
         parts.append("")
         parts.extend(totals)
         return "\n".join(parts) if (drows or vrows) else (
@@ -197,6 +227,9 @@ class ProfileReport:
         ex = self.executor_summary()
         if ex is not None:
             payload["executor"] = ex
+        fa = self.fault_summary()
+        if fa is not None:
+            payload["faults"] = fa
         if self.spans is not None:
             self.spans.finalize()
             payload["spans"] = {

@@ -38,6 +38,11 @@ Callback points (→ closest OMPT event):
                           (no OMPT equivalent; fired synchronously by
                           :mod:`repro.sim.executor`, never touches the
                           simulator)
+``fault_event``           fault-injection lifecycle (no OMPT equivalent):
+                          ``kind`` ∈ inject / retry / giveup /
+                          device_lost / failover, fired by the device
+                          layer, the retry wrapper and the spread
+                          failover path
 =======================  ==================================================
 """
 
@@ -62,6 +67,7 @@ PLAN_CACHE = "plan_cache"
 # Kept in sync with repro.sim.executor.EXECUTOR_EPOCH (the executor sits
 # below the obs layer and must not import it).
 EXECUTOR_EPOCH = "executor_epoch"
+FAULT_EVENT = "fault_event"
 
 CALLBACK_POINTS = (
     DIRECTIVE_BEGIN,
@@ -77,7 +83,11 @@ CALLBACK_POINTS = (
     DEVICE_INIT,
     PLAN_CACHE,
     EXECUTOR_EPOCH,
+    FAULT_EVENT,
 )
+
+#: kinds carried by ``fault_event`` payloads (the ``kind=`` field)
+FAULT_EVENT_KINDS = ("inject", "retry", "giveup", "device_lost", "failover")
 
 #: kinds carried by ``data_op`` payloads (the ``op=`` field)
 DATA_OP_KINDS = ("alloc", "free", "h2d", "d2h", "delete", "release",

@@ -86,10 +86,19 @@ class MappedEntry:
 
 
 class DeviceDataEnv:
-    """The present table of one device."""
+    """The present table of one device.
 
-    def __init__(self, device: Device):
+    ``scratch=True`` marks a throwaway environment used for failover
+    re-execution (see :func:`repro.openmp.exec_ops.kernel_op`): its
+    buffers are zero-copy host-backed scratch — transfer and kernel time
+    are charged as usual, but no *device* capacity is consumed.  Charging
+    capacity would deadlock: the survivor's resident chunks only free at
+    the exit-data barrier, which in turn waits for the re-routed chunk.
+    """
+
+    def __init__(self, device: Device, scratch: bool = False):
         self.device = device
+        self.scratch = scratch
         self._entries: Dict[int, List[MappedEntry]] = {}
         # Last-hit memo: var.key -> the entry that satisfied the last
         # lookup/enter.  Safe because the overlap-extension rule keeps a
@@ -173,7 +182,11 @@ class DeviceDataEnv:
                                time=self.device.sim.now)
             return memo, False
         self.slow_lookups += 1
-        lst = self._entries.setdefault(var.key, [])
+        # NOTE: the entry list is only inserted into the table *after* the
+        # allocation succeeds — ``allocate`` can raise (capacity), and a
+        # failed enter must leave the table exactly as it found it (no
+        # empty lists corrupting is_empty()/live_entries).
+        lst = self._entries.get(var.key, ())
         for entry in lst:
             if entry.section.contains(section):
                 self._memo[var.key] = entry
@@ -198,10 +211,11 @@ class DeviceDataEnv:
         nbytes = len(section) * var.row_nbytes
         alloc = self.device.allocate(
             shape, dtype=var.array.dtype,
-            virtual_bytes=self.device.cost_model.virtual_bytes(nbytes),
+            virtual_bytes=0.0 if self.scratch
+            else self.device.cost_model.virtual_bytes(nbytes),
             label=f"{var.name}[{section.start}:{section.stop}]")
         entry = MappedEntry(var=var, section=section, alloc=alloc, refcount=1)
-        lst.append(entry)
+        self._entries.setdefault(var.key, []).append(entry)
         self._memo[var.key] = entry
         self.enter_count += 1
         tools = self.device.tools
@@ -250,6 +264,23 @@ class DeviceDataEnv:
     def release_storage(self, entry: MappedEntry) -> None:
         """Free the device buffer of a deleted entry (post copy-back)."""
         self.device.free(entry.alloc)
+
+    def purge(self) -> int:
+        """Drop every entry without copy-back; returns how many were live.
+
+        Called when the device is *lost*: its resident data is gone, so
+        there is nothing to copy back — entries, in-flight tracking and the
+        last-hit memo are all discarded, and the storage accounting is
+        released so the allocator and metrics stay consistent.
+        """
+        count = 0
+        entries = [e for lst in self._entries.values() for e in lst]
+        self._entries.clear()
+        self._memo.clear()
+        for entry in entries:
+            count += 1
+            self.device.free(entry.alloc)
+        return count
 
     # -- introspection -----------------------------------------------------------
 

@@ -25,13 +25,13 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Sequence, Tuple
 
 from repro.device.kernel import KernelSpec, LaunchConfig
-from repro.obs.tool import DEPENDENCE_RESOLVED, TARGET_SUBMIT
-from repro.openmp.dataenv import MappedEntry
+from repro.obs.tool import DEPENDENCE_RESOLVED, FAULT_EVENT, TARGET_SUBMIT
+from repro.openmp.dataenv import DeviceDataEnv, MappedEntry
 from repro.openmp.depend import ConcreteDep
 from repro.openmp.mapping import MapClause, MapType, Var
 from repro.openmp.tasks import TaskCtx
 from repro.sim.engine import Process
-from repro.util.errors import OmpMappingError, OmpSemaError
+from repro.util.errors import DeviceFaultError, OmpMappingError, OmpSemaError
 from repro.util.intervals import Interval
 
 #: A map clause whose section has been evaluated for a specific chunk.
@@ -105,11 +105,67 @@ def gather_entry_waits(rt, device_id: int,
 
 
 # ---------------------------------------------------------------------------
+# fault retry
+# ---------------------------------------------------------------------------
+
+def _run_with_retry(rt, device_id: int, factory, op: str,
+                    name: str) -> Generator:
+    """Re-attempt a device operation on transient injected faults.
+
+    *factory* builds a fresh op generator per attempt (a generator cannot
+    be restarted).  Retryable :class:`DeviceFaultError`\\ s are retried up
+    to ``rt.retry_policy.max_attempts`` with the policy's exponential
+    backoff charged to virtual time; a non-retryable fault (device loss)
+    or an exhausted budget propagates to the caller — for spread chunks
+    that is the failover layer (:mod:`repro.spread.failover`).
+
+    Safe to re-run because a fault fires at the *top* of a device op,
+    before any resource is acquired or array byte is moved.
+    """
+    policy = rt.retry_policy
+    attempt = 1
+    while True:
+        try:
+            return (yield from factory())
+        except DeviceFaultError as err:
+            if not err.retryable:
+                raise
+            tools = rt.tools
+            if attempt >= policy.max_attempts:
+                if tools:
+                    tools.dispatch(FAULT_EVENT, kind="giveup",
+                                   device=device_id, op=op, name=name,
+                                   attempts=attempt, time=rt.sim.now)
+                raise
+            delay = policy.delay(attempt)
+            rt.fault_retries += 1
+            if tools:
+                tools.dispatch(FAULT_EVENT, kind="retry", device=device_id,
+                               op=op, name=name, attempt=attempt,
+                               delay=delay, time=rt.sim.now)
+            if delay > 0:
+                yield rt.sim.timeout(delay)
+            attempt += 1
+
+
+def _maybe_retry(rt, device_id: int, factory, op: str, name: str) -> Generator:
+    """The retry wrapper, engaged only when faults can actually occur.
+
+    Without an injector the factory's generator is returned as-is — the
+    zero-fault hot path pays one attribute check, no extra generator frame.
+    """
+    if rt.fault_injector is None:
+        return factory()
+    return _run_with_retry(rt, device_id, factory, op, name)
+
+
+# ---------------------------------------------------------------------------
 # operation generators
 # ---------------------------------------------------------------------------
 
 def _enter_backpressured(rt, device_id: int, clause: MapClause,
-                         interval: Interval) -> Generator:
+                         interval: Interval,
+                         env: Optional[DeviceDataEnv] = None) -> Generator:
     """``env.enter`` with back-pressure on transient memory exhaustion.
 
     A request that could never fit (bigger than the whole device) raises
@@ -119,7 +175,8 @@ def _enter_backpressured(rt, device_id: int, clause: MapClause,
     """
     from repro.util.errors import OmpAllocationError
 
-    env = rt.dataenv(device_id)
+    if env is None:
+        env = rt.dataenv(device_id)
     dev = rt.device(device_id)
     while True:
         try:
@@ -131,14 +188,16 @@ def _enter_backpressured(rt, device_id: int, clause: MapClause,
 
 
 def _maybe_alloc_sync(rt, device_id: int,
-                      concrete_maps: Sequence[ConcreteMap]) -> Generator:
+                      concrete_maps: Sequence[ConcreteMap],
+                      env: Optional[DeviceDataEnv] = None) -> Generator:
     """Charge cudaMalloc costs for the maps that will allocate.
 
     On the simulated device (as on real CUDA) an allocation synchronizes
     the device queue and costs a fixed latency per call.  Maps that are
     already present allocate nothing and stay free.
     """
-    env = rt.dataenv(device_id)
+    if env is None:
+        env = rt.dataenv(device_id)
     dev = rt.device(device_id)
     spec = dev.spec
     absent = 0
@@ -156,7 +215,8 @@ def _maybe_alloc_sync(rt, device_id: int,
 
 
 def _release_with_sync(rt, device_id: int,
-                       to_release: Sequence[MappedEntry]) -> Generator:
+                       to_release: Sequence[MappedEntry],
+                       env: Optional[DeviceDataEnv] = None) -> Generator:
     """cudaFree: device-wide synchronization + per-call latency, then the
     actual storage release (which wakes back-pressured enters)."""
     if not to_release:
@@ -167,7 +227,8 @@ def _release_with_sync(rt, device_id: int,
         yield from dev.synchronize()
     if spec.free_latency > 0:
         yield dev.sim.timeout(spec.free_latency * len(to_release))
-    env = rt.dataenv(device_id)
+    if env is None:
+        env = rt.dataenv(device_id)
     for entry in to_release:
         env.release_storage(entry)
 
@@ -186,15 +247,25 @@ def enter_op(rt, device_id: int, concrete_maps: Sequence[ConcreteMap],
             copies.append((clause.var.array, interval.as_slice(),
                            entry.buffer, entry.local_slice(interval),
                            clause.var.name))
-    yield from _issue_copies(dev, copies, h2d=True, fuse=fuse_transfers,
+    yield from _issue_copies(rt, dev, copies, h2d=True, fuse=fuse_transfers,
                              label=label)
 
 
 def exit_op(rt, device_id: int, concrete_maps: Sequence[ConcreteMap],
             fuse_transfers: bool = False, label: str = "") -> Generator:
-    """Present-table exit + copy-back transfers + storage release."""
+    """Present-table exit + copy-back transfers + storage release.
+
+    Validation is two-phase: every clause's presence is checked *before*
+    the first refcount is touched, so a malformed exit leaves the present
+    table untouched instead of half-unmapped.  (A failed-over chunk never
+    reaches this op: its re-routed exit is a no-op — the chunk has no
+    residency on the replacement device, and any entry that *would* match
+    belongs to the survivor's own chunks.)
+    """
     env = rt.dataenv(device_id)
     dev = rt.device(device_id)
+    for clause, interval in concrete_maps:
+        env.require(clause.var, interval)
     copies = []
     to_release: List[MappedEntry] = []
     for clause, interval in concrete_maps:
@@ -206,7 +277,7 @@ def exit_op(rt, device_id: int, concrete_maps: Sequence[ConcreteMap],
                                clause.var.array, interval.as_slice(),
                                clause.var.name))
             to_release.append(entry)
-    yield from _issue_copies(dev, copies, h2d=False, fuse=fuse_transfers,
+    yield from _issue_copies(rt, dev, copies, h2d=False, fuse=fuse_transfers,
                              label=label)
     yield from _release_with_sync(rt, device_id, to_release)
 
@@ -215,7 +286,13 @@ def update_op(rt, device_id: int,
               to_sections: Sequence[Tuple[Var, Interval]],
               from_sections: Sequence[Tuple[Var, Interval]],
               fuse_transfers: bool = False, label: str = "") -> Generator:
-    """``target update`` copies; every section must already be present."""
+    """``target update`` copies; every section must already be present.
+
+    (A failed-over chunk never reaches this op: its re-routed update is a
+    no-op — the host copy is authoritative for the lost chunk, and an
+    ``update from`` against a survivor's own halo'd entry would copy
+    stale halo rows over newer host data.)
+    """
     env = rt.dataenv(device_id)
     dev = rt.device(device_id)
     h2d = []
@@ -228,9 +305,9 @@ def update_op(rt, device_id: int,
         entry = env.require(var, interval)
         d2h.append((entry.buffer, entry.local_slice(interval),
                     var.array, interval.as_slice(), var.name))
-    yield from _issue_copies(dev, h2d, h2d=True, fuse=fuse_transfers,
+    yield from _issue_copies(rt, dev, h2d, h2d=True, fuse=fuse_transfers,
                              label=label)
-    yield from _issue_copies(dev, d2h, h2d=False, fuse=fuse_transfers,
+    yield from _issue_copies(rt, dev, d2h, h2d=False, fuse=fuse_transfers,
                              label=label)
 
 
@@ -239,27 +316,47 @@ def kernel_op(rt, device_id: int, kernel: KernelSpec, lo: int, hi: int,
               launch: LaunchConfig = LaunchConfig(),
               iterations: Optional[float] = None,
               fuse_transfers: bool = False, label: str = "",
-              extra_env=None) -> Generator:
+              extra_env=None, standalone: bool = False) -> Generator:
     """The ``target`` construct: implicit enter, launch, implicit exit.
 
     ``extra_env`` adds non-mapped objects to the kernel environment (used by
     the reduction extension for per-chunk partial buffers).
+
+    ``standalone=True`` (failover: the chunk was re-routed off a lost
+    device) runs the whole op against a throwaway private data environment
+    instead of the device's shared present table.  The op becomes fully
+    self-contained, with the host carrying the chunk's data between
+    kernels: *every* map copies in from the host (``alloc`` included — the
+    host array is the best surviving approximation of the lost device's
+    state), and the implicit exit copies back each map's intersection with
+    the chunk's owned range ``[lo, hi)`` regardless of map type.  Owned
+    rows only: halo rows belong to neighbour chunks that are still
+    resident elsewhere, and writing them back would clobber newer host
+    data with this chunk's stale copy.  This also sidesteps the
+    overlap-extension rule a re-routed halo'd section would hit in the
+    survivor's shared table.  The throwaway env is ``scratch``: its
+    buffers cost transfer/kernel time but no device capacity (see
+    :class:`DeviceDataEnv`) — the survivor's own resident chunks free only
+    at a barrier that waits for this very op, so charging capacity could
+    never make progress.
     """
-    env = rt.dataenv(device_id)
+    env = DeviceDataEnv(rt.device(device_id), scratch=True) if standalone \
+        else rt.dataenv(device_id)
     dev = rt.device(device_id)
     # Implicit entry phase.
-    yield from _maybe_alloc_sync(rt, device_id, concrete_maps)
+    yield from _maybe_alloc_sync(rt, device_id, concrete_maps, env=env)
     copies = []
     held: List[ConcreteMap] = []
     for clause, interval in concrete_maps:
         entry, is_new = yield from _enter_backpressured(rt, device_id,
-                                                        clause, interval)
+                                                        clause, interval,
+                                                        env=env)
         held.append((clause, interval))
-        if is_new and clause.map_type.copies_in:
+        if is_new and (standalone or clause.map_type.copies_in):
             copies.append((clause.var.array, interval.as_slice(),
                            entry.buffer, entry.local_slice(interval),
                            clause.var.name))
-    yield from _issue_copies(dev, copies, h2d=True, fuse=fuse_transfers,
+    yield from _issue_copies(rt, dev, copies, h2d=True, fuse=fuse_transfers,
                              label=label)
     # Kernel launch on the mapped views.
     kenv = {}
@@ -268,34 +365,47 @@ def kernel_op(rt, device_id: int, kernel: KernelSpec, lo: int, hi: int,
         kenv[clause.var.name] = entry.view()
     if extra_env:
         kenv.update(extra_env)
-    yield from dev.launch_kernel(kernel, lo, hi, kenv, launch=launch,
-                                 iterations=iterations)
+    yield from _maybe_retry(
+        rt, device_id,
+        lambda: dev.launch_kernel(kernel, lo, hi, kenv, launch=launch,
+                                  iterations=iterations),
+        "kernel", kernel.name)
     # Implicit exit phase.
+    owned = Interval(lo, hi)
     copyback = []
     to_release: List[MappedEntry] = []
     for clause, interval in held:
         entry, deleted = env.exit(clause.var, interval)
         if deleted:
-            if clause.map_type.copies_out:
+            if standalone:
+                back = interval.intersection(owned)
+                if not back.empty:
+                    copyback.append((entry.buffer, entry.local_slice(back),
+                                     clause.var.array, back.as_slice(),
+                                     clause.var.name))
+            elif clause.map_type.copies_out:
                 copyback.append((entry.buffer, entry.local_slice(interval),
                                  clause.var.array, interval.as_slice(),
                                  clause.var.name))
             to_release.append(entry)
-    yield from _issue_copies(dev, copyback, h2d=False, fuse=fuse_transfers,
-                             label=label)
-    yield from _release_with_sync(rt, device_id, to_release)
+    yield from _issue_copies(rt, dev, copyback, h2d=False,
+                             fuse=fuse_transfers, label=label)
+    yield from _release_with_sync(rt, device_id, to_release, env=env)
 
 
-def _issue_copies(dev, copies, h2d: bool, fuse: bool, label: str) -> Generator:
+def _issue_copies(rt, dev, copies, h2d: bool, fuse: bool,
+                  label: str) -> Generator:
     if not copies:
         return
+    op = "h2d" if h2d else "d2h"
     if fuse and len(copies) > 1:
         batch = [(src, sk, dst, dk) for src, sk, dst, dk, _name in copies]
         name = f"{label or 'map'}(fused x{len(batch)})"
         if h2d:
-            yield from dev.copy_h2d_batch(batch, name=name)
+            factory = lambda: dev.copy_h2d_batch(batch, name=name)  # noqa: E731
         else:
-            yield from dev.copy_d2h_batch(batch, name=name)
+            factory = lambda: dev.copy_d2h_batch(batch, name=name)  # noqa: E731
+        yield from _maybe_retry(rt, dev.device_id, factory, op, name)
         return
     # Issue all memcpys at once (what a runtime enqueuing async copies
     # does); the staging path and the device queue serialize them, but the
@@ -303,9 +413,17 @@ def _issue_copies(dev, copies, h2d: bool, fuse: bool, label: str) -> Generator:
     procs = []
     for src, sk, dst, dk, vname in copies:
         name = f"{label or 'map'}:{vname}"
-        gen = (dev.copy_h2d(src, sk, dst, dk, name=name) if h2d
-               else dev.copy_d2h(src, sk, dst, dk, name=name))
-        proc = dev.sim.process(gen, name=name)
+
+        def factory(s=src, sl=sk, d=dst, dl=dk, n=name):
+            return (dev.copy_h2d(s, sl, d, dl, name=n) if h2d
+                    else dev.copy_d2h(s, sl, d, dl, name=n))
+
+        # The retry wrapper rides inside the spawned process, so transient
+        # faults are absorbed there; a DeviceLostError fails the process
+        # and all_of re-raises it here (fail-fast), into the failover
+        # layer for spread chunks.
+        proc = dev.sim.process(
+            _maybe_retry(rt, dev.device_id, factory, op, name), name=name)
         # pure copy machinery: real work goes through run_work, so these
         # resumptions need not close the parallel backend's work window
         proc.work_safe = True

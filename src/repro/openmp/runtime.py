@@ -20,16 +20,17 @@ Typical use::
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional, Union
 
 from repro.device.device import Device
-from repro.obs.tool import ToolRegistry
+from repro.obs.tool import FAULT_EVENT, ToolRegistry
 from repro.openmp.dataenv import DeviceDataEnv
 from repro.openmp.depend import DependTracker
 from repro.openmp.tasks import TaskCtx
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Process, Simulator
 from repro.sim.executor import HostExecutor
+from repro.sim.faults import FaultInjector, FaultRule, RetryPolicy
 from repro.sim.resources import Resource
 from repro.sim.topology import NodeTopology, cte_power_node
 from repro.sim.trace import Trace
@@ -62,6 +63,51 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+#: types accepted by the ``faults`` knob
+FaultsSpec = Union[None, str, FaultInjector, "list[FaultRule]",
+                   "tuple[FaultRule, ...]"]
+
+
+def resolve_faults(faults: FaultsSpec,
+                   fault_seed: Optional[int]) -> Optional[FaultInjector]:
+    """Normalize the ``faults`` knob to a :class:`FaultInjector` (or None).
+
+    ``None`` consults the ``REPRO_FAULTS`` environment variable (so CI can
+    run the whole suite with a low-rate spec), with ``REPRO_FAULT_SEED``
+    supplying the seed when ``fault_seed`` is not given; an empty/unset
+    variable disables injection.  A string is parsed with the
+    :func:`repro.sim.faults.parse_fault_spec` grammar; a ready-made
+    injector passes through; a rule sequence is wrapped.
+    """
+    if fault_seed is None:
+        raw_seed = os.environ.get("REPRO_FAULT_SEED", "").strip()
+        if raw_seed:
+            try:
+                fault_seed = int(raw_seed)
+            except ValueError:
+                raise OmpRuntimeError(
+                    f"REPRO_FAULT_SEED must be an integer, got {raw_seed!r}")
+        else:
+            fault_seed = 0
+    if not isinstance(fault_seed, int) or isinstance(fault_seed, bool):
+        raise OmpRuntimeError(
+            f"fault_seed must be an integer, got {fault_seed!r}")
+    source = "faults"
+    if faults is None:
+        faults = os.environ.get("REPRO_FAULTS", "").strip()
+        if not faults:
+            return None
+        source = "REPRO_FAULTS"
+    if isinstance(faults, FaultInjector):
+        return faults
+    try:
+        if isinstance(faults, str):
+            return FaultInjector.from_spec(faults, seed=fault_seed)
+        return FaultInjector(tuple(faults), seed=fault_seed)
+    except (ValueError, TypeError) as err:
+        raise OmpRuntimeError(f"invalid {source} spec: {err}")
+
+
 class OpenMPRuntime:
     """A fully wired simulated node plus the OpenMP host runtime state."""
 
@@ -70,7 +116,10 @@ class OpenMPRuntime:
                  trace_enabled: bool = True,
                  taskgroup_global_drain: bool = True,
                  plan_cache: bool = True,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 faults: FaultsSpec = None,
+                 fault_seed: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None):
         self.topology = topology if topology is not None else cte_power_node(4)
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.sim = Simulator()
@@ -108,6 +157,19 @@ class OpenMPRuntime:
         if self.workers > 1:
             self.executor = HostExecutor(self.workers, tools=self.tools)
             self.sim.set_executor(self.executor)
+        #: deterministic fault source shared by all devices (or None);
+        #: ``faults``/``fault_seed`` default to $REPRO_FAULTS and
+        #: $REPRO_FAULT_SEED (see :mod:`repro.sim.faults` for the grammar)
+        self.fault_injector = resolve_faults(faults, fault_seed)
+        for dev in self.devices:
+            dev.fault_injector = self.fault_injector
+        #: transient faults (transfer/kernel) are retried per this policy,
+        #: with the backoff charged to virtual time
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        self._lost_devices: set = set()
+        # resilience counters mirrored into SomierResult.stats
+        self.fault_retries = 0
+        self.fault_failovers = 0
         self.default_device = 0
         #: reproduce the paper's taskgroup behaviour: closing a taskgroup
         #: that contains device operations drains *all* devices ("a barrier
@@ -133,6 +195,42 @@ class OpenMPRuntime:
     def dataenv(self, device_id: int) -> DeviceDataEnv:
         self.device(device_id)  # bounds check
         return self.dataenvs[device_id]
+
+    # -- device loss --------------------------------------------------------------
+
+    @property
+    def lost_devices(self) -> "frozenset[int]":
+        return frozenset(self._lost_devices)
+
+    def is_lost(self, device_id: int) -> bool:
+        return device_id in self._lost_devices
+
+    def mark_device_lost(self, device_id: int, op: str = "",
+                         name: str = "") -> None:
+        """Take *device_id* out of service (idempotent).
+
+        The device is flagged so every further operation on it fails fast;
+        its present table is purged (resident data is unrecoverable, no
+        copy-backs); and every cached spread plan that routed chunks to it
+        is invalidated.  Spread-level failover
+        (:mod:`repro.spread.failover`) re-routes the device's remaining
+        chunks onto the survivors.
+        """
+        self.device(device_id)  # bounds check
+        if device_id in self._lost_devices:
+            return
+        self._lost_devices.add(device_id)
+        self.devices[device_id].lost = True
+        purged = self.dataenvs[device_id].purge()
+        dropped = self.plan_cache.invalidate_device(device_id)
+        tools = self.tools
+        if tools:
+            tools.dispatch(FAULT_EVENT, kind="device_lost",
+                           device=device_id, op=op, name=name,
+                           purged_entries=purged, dropped_plans=dropped,
+                           survivors=self.num_devices - len(
+                               self._lost_devices),
+                           time=self.sim.now)
 
     # -- bookkeeping -------------------------------------------------------------
 

@@ -216,22 +216,40 @@ class HostExecutor:
     # -- execution --------------------------------------------------------------
 
     def flush(self) -> None:
-        """Run every pending wave, in order; empties the window."""
+        """Run every pending wave, in order; empties the window.
+
+        A failing wave does not abort the flush: every already-registered
+        item still executes (matching what the pool would have done had
+        the failure landed last), the window ends empty, and the *first*
+        error is re-raised once no work is left behind — so the executor
+        stays usable for subsequent ``submit`` calls.
+        """
         if not self.pending:
             return
         waves, self._waves = self._waves, []
         self.pending = 0
+        first_error: Optional[BaseException] = None
         for wave in waves:
-            self._run_wave(wave)
+            try:
+                self._run_wave(wave)
+            except BaseException as err:  # noqa: BLE001 - re-raise first
+                if first_error is None:
+                    first_error = err
+        if first_error is not None:
+            raise first_error
 
     def _run_wave(self, wave: List[WorkItem]) -> None:
+        """Execute one wave; every item runs (and every future is awaited)
+        even when one raises, the epoch is counted exactly once, and the
+        first error is re-raised only after the bookkeeping settled."""
         t0 = time.perf_counter()
         busy = 0.0
+        first_error: Optional[BaseException] = None
         if len(wave) > 1 and self.workers > 1:
             mode = "parallel"
+            inline = 0
             pool = self._ensure_pool()
             futures = [pool.submit(self._timed, item) for item in wave]
-            first_error: Optional[BaseException] = None
             for fut in futures:
                 try:
                     busy += fut.result()
@@ -239,15 +257,14 @@ class HostExecutor:
                     if first_error is None:
                         first_error = err
             self.parallel_ops += len(wave)
-            if first_error is not None:
-                self._note_wave(wave, mode, 0, busy,
-                                time.perf_counter() - t0)
-                raise first_error
-            inline = 0
         else:
             mode = "serial"
             for item in wave:
-                busy += self._timed(item)
+                try:
+                    busy += self._timed(item)
+                except BaseException as err:  # noqa: BLE001 - re-raise first
+                    if first_error is None:
+                        first_error = err
             self.serial_ops += len(wave)
             # an op alone in its wave *because of* interference (or
             # unprovable accesses) is a forced inline fallback; a lone
@@ -256,6 +273,8 @@ class HostExecutor:
                          if item.conflicted or item.accesses is None)
             self.inline_fallbacks += inline
         self._note_wave(wave, mode, inline, busy, time.perf_counter() - t0)
+        if first_error is not None:
+            raise first_error
 
     @staticmethod
     def _timed(item: WorkItem) -> float:

@@ -1,0 +1,217 @@
+"""Seeded, deterministic fault injection for the simulated device layer.
+
+Real multi-GPU runtimes devote substantial machinery to surviving device
+failures (JACC's multi-GPU runtime resubmits failed work; the OpenMP 5.1
+portable GPU runtime experience reports retry loops around transfers).
+This module provides the *source* of those failures for the simulation: a
+:class:`FaultInjector` the device layer consults at the top of every
+device operation (H2D/D2H transfer, kernel launch), configured by a small
+spec grammar and a seed.
+
+Spec grammar (``--faults`` / ``REPRO_FAULTS``)::
+
+    SPEC    ::= RULE ("," RULE)*
+    RULE    ::= CLASS ["@" DEVICE] ":" TRIGGER
+    CLASS   ::= "h2d" | "d2h" | "transfer" | "kernel" | "device"
+    TRIGGER ::= RATE | "#" COUNT
+
+``transfer`` matches both copy directions; ``device`` marks the whole
+device lost (its resident data is gone) at the matching op.  A ``RATE``
+trigger fires with that probability at every matching op; a ``#COUNT``
+trigger fires exactly once, at the COUNT-th matching op (1-based) — the
+deterministic way to place a fault at a precise site.  Examples::
+
+    transfer:0.01           # 1% of all memcpys fail (then get retried)
+    kernel@2:0.05           # 5% of kernel launches on device 2 fail
+    device@1:#12            # device 1 dies at its 12th operation
+    h2d:0.02,device@3:#40   # rules compose; first match wins
+
+Determinism: each rule owns its own :class:`random.Random` seeded from
+``(seed, rule index)``, and draws happen inline in simulator processes
+whose order is fixed by the engine's ``(time, seq)`` heap — so the same
+seed and spec reproduce bit-identical fault placements run after run and
+across host worker counts.  A rate of ``0.0`` draws but never fires and
+leaves the simulation byte-identical to an uninjected run.
+
+:class:`RetryPolicy` is the companion knob consumed by the OpenMP
+runtime's device-op execution: transient faults are retried up to
+``max_attempts`` with an exponential backoff charged to *virtual* time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: op classes accepted by the spec grammar
+OP_CLASSES = ("h2d", "d2h", "transfer", "kernel", "device")
+
+#: op kinds reported by the device layer (`transfer`/`device` match several)
+_TRANSFER_OPS = ("h2d", "d2h")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed rule: which ops it matches and when it fires.
+
+    Exactly one of ``rate`` / ``count`` is active (``count`` wins when
+    set).  ``device=None`` matches every device.
+    """
+
+    op_class: str
+    device: Optional[int] = None
+    rate: float = 0.0
+    count: Optional[int] = None
+
+    def matches(self, op: str, device: int) -> bool:
+        if self.device is not None and device != self.device:
+            return False
+        if self.op_class == "device":
+            return True  # any op on the device can take it down
+        if self.op_class == "transfer":
+            return op in _TRANSFER_OPS
+        return self.op_class == op
+
+    def __str__(self) -> str:
+        head = self.op_class
+        if self.device is not None:
+            head += f"@{self.device}"
+        trig = f"#{self.count}" if self.count is not None else f"{self.rate:g}"
+        return f"{head}:{trig}"
+
+
+def parse_fault_spec(spec: str) -> Tuple[FaultRule, ...]:
+    """Parse a spec string into rules; raises ``ValueError`` with a
+    pointed message on malformed input."""
+    rules: List[FaultRule] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        head, sep, trig = part.partition(":")
+        if not sep or not trig.strip():
+            raise ValueError(
+                f"fault rule {part!r}: expected CLASS[@DEVICE]:TRIGGER "
+                f"(e.g. transfer:0.01 or device@1:#12)")
+        cls, at, dev_text = head.partition("@")
+        cls = cls.strip().lower()
+        if cls not in OP_CLASSES:
+            raise ValueError(
+                f"fault rule {part!r}: unknown op class {cls!r} "
+                f"(expected one of {'/'.join(OP_CLASSES)})")
+        device: Optional[int] = None
+        if at:
+            try:
+                device = int(dev_text)
+            except ValueError:
+                raise ValueError(
+                    f"fault rule {part!r}: device must be an integer, "
+                    f"got {dev_text!r}")
+            if device < 0:
+                raise ValueError(
+                    f"fault rule {part!r}: device must be >= 0")
+        trig = trig.strip()
+        if trig.startswith("#"):
+            try:
+                count = int(trig[1:])
+            except ValueError:
+                raise ValueError(
+                    f"fault rule {part!r}: count trigger must be #N with "
+                    f"integer N, got {trig!r}")
+            if count < 1:
+                raise ValueError(
+                    f"fault rule {part!r}: count trigger must be >= 1")
+            rules.append(FaultRule(cls, device, count=count))
+        else:
+            try:
+                rate = float(trig)
+            except ValueError:
+                raise ValueError(
+                    f"fault rule {part!r}: trigger must be a probability "
+                    f"or #N count, got {trig!r}")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"fault rule {part!r}: rate must be in [0, 1], "
+                    f"got {rate!r}")
+            rules.append(FaultRule(cls, device, rate=rate))
+    return tuple(rules)
+
+
+class FaultInjector:
+    """Deterministic per-rule fault source the device layer consults.
+
+    ``draw(op, device)`` returns the first rule that fires for this op (or
+    None); the *device layer* turns a firing into the matching typed
+    exception.  Rule state — match counters and the per-rule RNG stream —
+    lives here, so one injector shared by all devices of a runtime yields
+    one global deterministic fault schedule.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0):
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = int(seed)
+        # String seeding is version-stable and accepts any rule index.
+        self._rngs = [random.Random(f"repro-faults:{self.seed}:{i}")
+                      for i in range(len(self.rules))]
+        self._matches = [0] * len(self.rules)
+        self.injected = 0
+        self.by_class: Dict[str, int] = {}
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultInjector":
+        return cls(parse_fault_spec(spec), seed=seed)
+
+    def draw(self, op: str, device: int) -> Optional[FaultRule]:
+        """The first rule firing at this ``(op, device)``, or None.
+
+        Rate rules consume one RNG draw per *match* whether or not they
+        fire, so rule streams stay independent of each other and of the
+        op outcome; count rules consume no randomness at all.
+        """
+        for i, rule in enumerate(self.rules):
+            if not rule.matches(op, device):
+                continue
+            self._matches[i] += 1
+            if rule.count is not None:
+                fired = self._matches[i] == rule.count
+            else:
+                fired = self._rngs[i].random() < rule.rate
+            if fired:
+                self.injected += 1
+                self.by_class[rule.op_class] = (
+                    self.by_class.get(rule.op_class, 0) + 1)
+                return rule
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        spec = ",".join(str(r) for r in self.rules)
+        return (f"<FaultInjector seed={self.seed} rules={spec!r} "
+                f"injected={self.injected}>")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry knob for transient device faults.
+
+    A failed transfer/launch is re-attempted up to ``max_attempts`` times
+    total; before attempt ``k+1`` the op sleeps
+    ``backoff * multiplier**(k-1)`` *virtual* seconds — the resubmission
+    latency a driver-level retry would cost, charged to the simulation
+    clock so fault runs have honest makespans.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 50e-6
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff < 0 or self.multiplier < 0:
+            raise ValueError("backoff and multiplier must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Virtual backoff before the retry following *attempt* (1-based)."""
+        return self.backoff * (self.multiplier ** (attempt - 1))

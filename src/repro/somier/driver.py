@@ -73,6 +73,8 @@ def run_somier(impl: str, config: SomierConfig,
                trace: bool = True,
                plan_cache: bool = True,
                workers: Optional[int] = None,
+               faults: Optional[str] = None,
+               fault_seed: Optional[int] = None,
                tools: Sequence[Tool] = ()) -> SomierResult:
     """Run one Somier experiment; see the module docstring.
 
@@ -89,6 +91,9 @@ def run_somier(impl: str, config: SomierConfig,
     ``workers`` (CLI ``--workers``) sizes the parallel host execution
     backend; None consults ``REPRO_WORKERS``, and 1 (the default) keeps
     the serial inline path.  Results and traces are identical either way.
+    ``faults``/``fault_seed`` (CLI ``--faults``/``--fault-seed``) enable
+    seeded fault injection; None consults ``REPRO_FAULTS`` and
+    ``REPRO_FAULT_SEED`` — see :mod:`repro.sim.faults`.
     """
     if impl not in IMPLEMENTATIONS:
         raise OmpRuntimeError(
@@ -98,7 +103,8 @@ def run_somier(impl: str, config: SomierConfig,
     rt = OpenMPRuntime(topology=topo, cost_model=cost_model,
                        trace_enabled=trace,
                        taskgroup_global_drain=taskgroup_global_drain,
-                       plan_cache=plan_cache, workers=workers)
+                       plan_cache=plan_cache, workers=workers,
+                       faults=faults, fault_seed=fault_seed)
     devs = list(devices) if devices is not None else list(range(topo.num_devices))
     for tool in tools:
         rt.tools.register(tool)
@@ -126,6 +132,14 @@ def run_somier(impl: str, config: SomierConfig,
         "plan_cache_misses": rt.plan_cache.misses,
         "workers": rt.workers,
     }
+    if rt.fault_injector is not None or rt.lost_devices:
+        stats.update({
+            "faults_injected": (rt.fault_injector.injected
+                                if rt.fault_injector is not None else 0),
+            "fault_retries": rt.fault_retries,
+            "fault_failovers": rt.fault_failovers,
+            "devices_lost": len(rt.lost_devices),
+        })
     if rt.executor is not None:
         stats.update({
             "executor_epochs": rt.executor.epochs,

@@ -1,0 +1,111 @@
+"""Spread-level failover: re-route a lost device's chunks to survivors.
+
+When fault injection marks a device *lost* mid-run
+(:meth:`~repro.openmp.runtime.OpenMPRuntime.mark_device_lost`), the spread
+directives keep going: every chunk that would run on a lost device is
+re-routed — at launch time, per chunk — onto a surviving device, down to a
+single survivor.  Only when **no** device survives does the directive fail,
+with a clean :class:`~repro.util.errors.SpreadExecutionError`.
+
+Design notes
+------------
+
+* **Launch-time re-routing, not devices-clause filtering.**  Dropping the
+  lost device from the clause and re-chunking would shift *healthy* chunks
+  onto different devices, away from their resident data.  Instead every
+  directive keeps its original chunking and only the chunks of lost
+  devices move.
+
+* **One routing formula everywhere.**  A moved chunk lands on
+  ``sorted(survivors)[chunk.index % len(survivors)]``.  Every directive —
+  enter, kernel, update, exit — computes the same replacement for the same
+  chunk, so a failed-over chunk keeps one consistent home for as long as
+  the survivor set is stable.
+
+* **The host carries the data.**  A lost device's present table is purged
+  (its bytes are gone), so a re-routed chunk starts cold: its kernel's
+  implicit enter re-maps from the host copy, and the implicit exit copies
+  results straight back to the host.  Re-routed *data* directives
+  (enter/exit/update spread) are complete no-ops: the lost chunk has no
+  residency on the replacement (kernels use private scratch envs), so any
+  present-table entry a lookup would find there belongs to the survivor's
+  *own* chunks — e.g. a halo'd section that happens to contain the lost
+  chunk's rows — and releasing or copying from it would corrupt the
+  survivor's state.  The host copy is authoritative for re-routed chunks.
+  Consequence: results are bit-identical to the fault-free run whenever
+  the host copy of the chunk's inputs is current at the moment of loss
+  (see ``docs/robustness.md`` for the caveat).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence, Tuple
+
+from repro.obs.tool import FAULT_EVENT
+from repro.util.errors import DeviceLostError, SpreadExecutionError
+
+
+def survivors_of(rt, devices: Sequence[int]) -> Tuple[int, ...]:
+    """The devices of the clause still alive, sorted.
+
+    Sorted — not clause order — so executable spreads (clause-order device
+    tuples) and data spreads (sorted tuples) route a moved chunk to the
+    same survivor.
+    """
+    return tuple(sorted(d for d in set(devices) if not rt.is_lost(d)))
+
+
+def route_chunk(rt, chunk, devices: Sequence[int],
+                name: str = "") -> Tuple[int, bool]:
+    """The device *chunk* should run on now: ``(device_id, rerouted)``.
+
+    The chunk's assigned device while it lives; otherwise the survivor at
+    ``chunk.index % len(survivors)``.  Raises
+    :class:`SpreadExecutionError` when the clause has no survivors left.
+    """
+    if not rt.is_lost(chunk.device):
+        return chunk.device, False
+    survivors = survivors_of(rt, devices)
+    if not survivors:
+        raise SpreadExecutionError(
+            f"no surviving device for chunk {chunk.index} "
+            f"({name or 'spread'}): all of {sorted(set(devices))} are lost")
+    replacement = survivors[chunk.index % len(survivors)]
+    rt.fault_failovers += 1
+    tools = rt.tools
+    if tools:
+        tools.dispatch(FAULT_EVENT, kind="failover", device=replacement,
+                       from_device=chunk.device, chunk=chunk.index,
+                       op="route", name=name, time=rt.sim.now)
+    return replacement, True
+
+
+def failover_op(rt, chunk, devices: Sequence[int], op_factory,
+                name: str = "", initial=None) -> Generator:
+    """Run one chunk's op with device-loss failover.
+
+    ``op_factory(device_id, rerouted)`` builds the chunk's op generator
+    for a given target device (``rerouted=True`` → run self-contained, or
+    not at all for data directives; see the module docstring).  The first
+    attempt runs at
+    *initial* — the ``(device_id, rerouted)`` the caller got from
+    :func:`route_chunk` at submit time — or wherever a fresh routing
+    points.  If the device dies *mid-op* (a non-retryable
+    :class:`DeviceLostError` escapes the retry layer), the device is
+    marked lost and the op is rebuilt on the next survivor, until it
+    completes or no device remains.
+    """
+    route = initial
+    while True:
+        if route is None:
+            route = route_chunk(rt, chunk, devices, name=name)
+        device_id, rerouted = route
+        route = None
+        if rt.is_lost(device_id):
+            # Routed at submit time, device died before we ran: re-route.
+            continue
+        try:
+            return (yield from op_factory(device_id, rerouted))
+        except DeviceLostError as err:
+            lost = err.device if err.device is not None else device_id
+            rt.mark_device_lost(lost, op=err.op, name=name or err.name)

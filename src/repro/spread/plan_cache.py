@@ -35,10 +35,16 @@ Keys are structural tuples built from:
   (:class:`~repro.spread.sections.SpreadExpr` hashes structurally),
 * a depend signature of the same shape.
 
-There is no invalidation protocol: entries never go stale because every
-input that could change the lowering is part of the key.  Rebinding a name
-to a *new* :class:`~repro.openmp.mapping.Var` (or changing an array's
-extent) changes the key, so the old entry is simply never hit again.
+Entries almost never go stale because every input that could change the
+lowering is part of the key.  Rebinding a name to a *new*
+:class:`~repro.openmp.mapping.Var` (or changing an array's extent)
+changes the key, so the old entry is simply never hit again.  The one
+event that does invalidate is *device loss* (fault injection):
+:meth:`SpreadPlanCache.invalidate_device` drops every plan that routed
+chunks to the lost device.  This is hygiene more than correctness —
+failover re-routes chunks at launch time regardless of what the plan
+says — but it keeps the cache from pinning plans that will never replay
+verbatim again and keeps its entry count honest.
 Anything the key cannot prove stable (an unhashable section, a dynamic
 schedule) falls back to the uncached slow path.  ``plan_cache=False`` on
 the runtime (CLI ``--no-plan-cache``) disables lookup and store entirely.
@@ -97,6 +103,7 @@ class SpreadPlanCache:
         self._plans: Dict[Any, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def get(self, key: Any) -> Optional[Any]:
         """The cached plan for *key*, or None (counting a miss).
@@ -126,13 +133,38 @@ class SpreadPlanCache:
     def clear(self) -> None:
         self._plans.clear()
 
+    def invalidate_device(self, device_id: int) -> int:
+        """Drop every cached plan that routes work to *device_id*.
+
+        Called by :meth:`OpenMPRuntime.mark_device_lost`.  Returns the
+        number of cache entries dropped.  Some entries hold a tuple of
+        plans (a spread data region caches its enter and exit plans
+        together); such an entry is dropped if *any* member references
+        the device.
+        """
+        def _references(plan: Any) -> bool:
+            if isinstance(plan, tuple):
+                return any(_references(p) for p in plan)
+            if device_id in getattr(plan, "devices", ()):
+                return True
+            return any(getattr(c, "device", None) == device_id
+                       for c in getattr(plan, "chunks", ()))
+
+        stale = [key for key, plan in self._plans.items()
+                 if _references(plan)]
+        for key in stale:
+            del self._plans[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._plans)
 
     @property
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._plans)}
+                "entries": len(self._plans),
+                "invalidations": self.invalidations}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<SpreadPlanCache enabled={self.enabled} "

@@ -36,6 +36,7 @@ from repro.openmp.mapping import (
 )
 from repro.openmp.tasks import TaskCtx
 from repro.spread import extensions as ext
+from repro.spread import failover as fo
 from repro.spread import plan_cache as pc
 from repro.spread.schedule import Chunk, StaticSchedule, validate_devices
 from repro.spread.spread_target import SpreadHandle
@@ -82,12 +83,41 @@ def _build_data_plan(chunks: Sequence[Chunk], maps: Sequence[MapClause],
                          chunk_plans=tuple(chunk_plans))
 
 
+def _noop_op() -> Generator:
+    """Placeholder op for a re-routed chunk's skipped data directive.
+
+    A chunk re-routed off a lost device establishes no residency on its
+    replacement (its kernels run standalone; the host carries its data),
+    so enter-style directives degrade to an empty task — present for
+    dependence wiring and trace structure, moving no bytes.
+    """
+    return
+    yield  # pragma: no cover - makes this a generator
+
+
 def _fan_out(ctx: TaskCtx, plan: pc.SpreadPlan, op_factory, nowait: bool,
              directive_id: Optional[int] = None) -> Generator:
+    """Submit one op per chunk plan; ``op_factory(chunk, concrete,
+    device_id, rerouted)`` builds the op for the (possibly failed-over)
+    target device."""
+    rt = ctx.rt
+    resilient = rt.fault_injector is not None or rt.lost_devices
     items = []
     for cp in plan.chunk_plans:
-        op = op_factory(cp.chunk, cp.maps)
-        items.append((cp.chunk.device, op, cp.maps, cp.deps, cp.name))
+        if not resilient:
+            # Zero-fault hot path: no routing, no failover wrapper.
+            op = op_factory(cp.chunk, cp.maps, cp.chunk.device, False)
+            items.append((cp.chunk.device, op, cp.maps, cp.deps, cp.name))
+            continue
+
+        def factory(device_id, rerouted, cp=cp):
+            return op_factory(cp.chunk, cp.maps, device_id, rerouted)
+
+        device_id, rerouted = fo.route_chunk(rt, cp.chunk, plan.devices,
+                                             name=cp.name)
+        op = fo.failover_op(rt, cp.chunk, plan.devices, factory,
+                            name=cp.name, initial=(device_id, rerouted))
+        items.append((device_id, op, cp.maps, cp.deps, cp.name))
     procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
     handle = SpreadHandle(ctx, procs, plan.chunks)
     if not nowait:
@@ -138,10 +168,12 @@ def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
     else:
         pc.note_plan_cache(rt, kind, key, hit=True)
 
-    def factory(chunk: Chunk, concrete):
-        return exec_ops.enter_op(rt, chunk.device, concrete,
+    def factory(chunk: Chunk, concrete, device_id: int, rerouted: bool):
+        if rerouted:
+            return _noop_op()
+        return exec_ops.enter_op(rt, device_id, concrete,
                                  fuse_transfers=fuse_transfers,
-                                 label=f"enter-spread@{chunk.device}")
+                                 label=f"enter-spread@{device_id}")
 
     did = _directive_begin(ctx, kind, plan.chunks)
     handle = yield from _fan_out(ctx, plan, factory, nowait,
@@ -175,10 +207,18 @@ def target_exit_data_spread(ctx: TaskCtx, devices: Sequence[int],
     else:
         pc.note_plan_cache(rt, kind, key, hit=True)
 
-    def factory(chunk: Chunk, concrete):
-        return exec_ops.exit_op(rt, chunk.device, concrete,
+    def factory(chunk: Chunk, concrete, device_id: int, rerouted: bool):
+        if rerouted:
+            # The chunk's data died with its device; nothing of it is
+            # resident on the replacement (re-routed enters are no-ops,
+            # standalone kernels use private scratch).  Any entry a
+            # lookup would find here belongs to the *survivor's own*
+            # chunks — e.g. a halo'd section containing this chunk's
+            # rows — and releasing it would corrupt the survivor.
+            return _noop_op()
+        return exec_ops.exit_op(rt, device_id, concrete,
                                 fuse_transfers=fuse_transfers,
-                                label=f"exit-spread@{chunk.device}")
+                                label=f"exit-spread@{device_id}")
 
     did = _directive_begin(ctx, kind, plan.chunks)
     handle = yield from _fan_out(ctx, plan, factory, nowait,
@@ -206,10 +246,14 @@ class SpreadDataRegion:
         self._closed = True
         rt = self._ctx.rt
 
-        def factory(chunk: Chunk, concrete):
-            return exec_ops.exit_op(rt, chunk.device, concrete,
+        def factory(chunk: Chunk, concrete, device_id: int, rerouted: bool):
+            if rerouted:
+                # See target_exit_data_spread: a re-routed exit must not
+                # touch the survivor's own entries.
+                return _noop_op()
+            return exec_ops.exit_op(rt, device_id, concrete,
                                     fuse_transfers=self._fuse,
-                                    label=f"data-spread-end@{chunk.device}")
+                                    label=f"data-spread-end@{device_id}")
 
         handle = yield from _fan_out(self._ctx, self._end_plan, factory,
                                      nowait=False,
@@ -251,10 +295,12 @@ def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
         pc.note_plan_cache(rt, kind, key, hit=True)
     enter_plan, end_plan = plans
 
-    def factory(chunk: Chunk, concrete):
-        return exec_ops.enter_op(rt, chunk.device, concrete,
+    def factory(chunk: Chunk, concrete, device_id: int, rerouted: bool):
+        if rerouted:
+            return _noop_op()
+        return exec_ops.enter_op(rt, device_id, concrete,
                                  fuse_transfers=fuse_transfers,
-                                 label=f"data-spread@{chunk.device}")
+                                 label=f"data-spread@{device_id}")
 
     did = _directive_begin(ctx, kind, enter_plan.chunks)
     yield from _fan_out(ctx, enter_plan, factory, nowait=False,
@@ -315,13 +361,34 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
     else:
         pc.note_plan_cache(rt, kind, key, hit=True)
 
+    resilient = rt.fault_injector is not None or rt.lost_devices
     items = []
     for cp in plan.chunk_plans:
         to_c, from_c = cp.extra
-        op = exec_ops.update_op(rt, cp.chunk.device, to_c, from_c,
-                                fuse_transfers=fuse_transfers,
-                                label=f"update-spread@{cp.chunk.device}")
-        items.append((cp.chunk.device, op, cp.maps, cp.deps, cp.name))
+        if not resilient:
+            op = exec_ops.update_op(rt, cp.chunk.device, to_c, from_c,
+                                    fuse_transfers=fuse_transfers,
+                                    label=f"update-spread@{cp.chunk.device}")
+            items.append((cp.chunk.device, op, cp.maps, cp.deps, cp.name))
+            continue
+
+        def factory(device_id, rerouted, to_c=to_c, from_c=from_c):
+            if rerouted:
+                # A re-routed update is a no-op: the lost chunk has no
+                # residency anywhere and the host copy is authoritative.
+                # An ``update from`` that hit a survivor's own halo'd
+                # entry would even copy *stale* halo rows over newer
+                # host data.
+                return _noop_op()
+            return exec_ops.update_op(rt, device_id, to_c, from_c,
+                                      fuse_transfers=fuse_transfers,
+                                      label=f"update-spread@{device_id}")
+
+        device_id, rerouted = fo.route_chunk(rt, cp.chunk, plan.devices,
+                                             name=cp.name)
+        op = fo.failover_op(rt, cp.chunk, plan.devices, factory,
+                            name=cp.name, initial=(device_id, rerouted))
+        items.append((device_id, op, cp.maps, cp.deps, cp.name))
     did = _directive_begin(ctx, kind, plan.chunks)
     procs = exec_ops.submit_spread(ctx, items, directive_id=did)
     handle = SpreadHandle(ctx, procs, plan.chunks)

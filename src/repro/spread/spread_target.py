@@ -34,6 +34,7 @@ from repro.openmp.mapping import (
 from repro.openmp.tasks import TaskCtx
 from repro.sim.engine import Process
 from repro.spread import extensions as ext
+from repro.spread import failover as fo
 from repro.spread import plan_cache as pc
 from repro.spread.reduction import Reduction
 from repro.spread.schedule import (
@@ -43,7 +44,11 @@ from repro.spread.schedule import (
     StaticSchedule,
     validate_devices,
 )
-from repro.util.errors import OmpSemaError
+from repro.util.errors import (
+    DeviceLostError,
+    OmpSemaError,
+    SpreadExecutionError,
+)
 
 
 class SpreadHandle:
@@ -54,6 +59,9 @@ class SpreadHandle:
         self._ctx = ctx
         self.procs = list(procs)
         self.chunks = list(chunks)
+        #: chunks still queued when every worker retired (dynamic schedule
+        #: under device loss); empty for the static schedule
+        self.unfinished: Sequence[Chunk] = ()
 
     def wait(self) -> Generator:
         """Block until every chunk task has completed."""
@@ -177,6 +185,11 @@ def _run_dynamic(ctx: TaskCtx, kernel: KernelSpec, chunks: Sequence[Chunk],
         _fold_reductions(handle, reductions)
     elif not nowait:
         yield from handle.wait()
+    if not nowait and handle.unfinished:
+        # Every worker retired (device loss) with chunks still queued.
+        raise SpreadExecutionError(
+            f"target spread ({kernel.name}): {len(handle.unfinished)} "
+            f"chunk(s) left unexecuted after device loss")
     if did is not None:
         tools.directive_end(did, chunks=len(handle.chunks),
                             time=rt.sim.now)
@@ -236,19 +249,40 @@ def _launch_static(ctx: TaskCtx, kernel: KernelSpec, plan: pc.SpreadPlan,
                    fuse_transfers: bool,
                    directive_id: Optional[int] = None) -> SpreadHandle:
     rt = ctx.rt
+    resilient = rt.fault_injector is not None or rt.lost_devices
     items = []
     for cp in plan.chunk_plans:
         chunk = cp.chunk
-        if reductions:
-            op = _chunk_op_with_reductions(rt, chunk, kernel, cp.maps, cfg,
-                                           reductions, fuse_transfers)
-        else:
-            op = exec_ops.kernel_op(rt, chunk.device, kernel,
-                                    chunk.start, chunk.interval.stop,
-                                    cp.maps, launch=cfg,
-                                    fuse_transfers=fuse_transfers,
-                                    label=cp.label)
-        items.append((chunk.device, op, cp.maps, cp.deps, cp.name))
+        if not resilient:
+            # Zero-fault hot path: identical to the pre-failover launch.
+            if reductions:
+                op = _chunk_op_with_reductions(rt, chunk, chunk.device,
+                                               kernel, cp.maps, cfg,
+                                               reductions, fuse_transfers)
+            else:
+                op = exec_ops.kernel_op(rt, chunk.device, kernel,
+                                        chunk.start, chunk.interval.stop,
+                                        cp.maps, launch=cfg,
+                                        fuse_transfers=fuse_transfers,
+                                        label=cp.label)
+            items.append((chunk.device, op, cp.maps, cp.deps, cp.name))
+            continue
+
+        def op_factory(device_id, rerouted, cp=cp, chunk=chunk):
+            if reductions:
+                return _chunk_op_with_reductions(
+                    rt, chunk, device_id, kernel, cp.maps, cfg, reductions,
+                    fuse_transfers, standalone=rerouted)
+            return exec_ops.kernel_op(
+                rt, device_id, kernel, chunk.start, chunk.interval.stop,
+                cp.maps, launch=cfg, fuse_transfers=fuse_transfers,
+                label=cp.label, standalone=rerouted)
+
+        device_id, rerouted = fo.route_chunk(rt, chunk, plan.devices,
+                                             name=cp.name)
+        op = fo.failover_op(rt, chunk, plan.devices, op_factory,
+                            name=cp.name, initial=(device_id, rerouted))
+        items.append((device_id, op, cp.maps, cp.deps, cp.name))
     procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
     return SpreadHandle(ctx, procs, plan.chunks)
 
@@ -267,31 +301,52 @@ def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
     assigned: List[Chunk] = []
 
     def worker(device_id: int) -> Generator:
+        # Dynamic failover is naturally work-stealing shaped: a worker
+        # whose device dies puts the chunk back and retires; the surviving
+        # workers drain the queue.
         while queue:
+            if rt.is_lost(device_id):
+                return
             chunk = queue.popleft()
-            assigned.append(Chunk(index=chunk.index, interval=chunk.interval,
-                                  device=device_id))
+            record = Chunk(index=chunk.index, interval=chunk.interval,
+                           device=device_id)
+            assigned.append(record)
             concrete = _concretize_for_chunk(maps, chunk)
-            yield from exec_ops.kernel_op(
-                rt, device_id, kernel, chunk.start, chunk.interval.stop,
-                concrete, launch=cfg, fuse_transfers=fuse_transfers,
-                label=f"spread-dyn@{device_id}")
+            try:
+                yield from exec_ops.kernel_op(
+                    rt, device_id, kernel, chunk.start, chunk.interval.stop,
+                    concrete, launch=cfg, fuse_transfers=fuse_transfers,
+                    label=f"spread-dyn@{device_id}")
+            except DeviceLostError as err:
+                lost = err.device if err.device is not None else device_id
+                rt.mark_device_lost(lost, op=err.op, name=err.name)
+                assigned.remove(record)
+                queue.append(chunk)
+                return
 
     procs = [ctx.submit(worker(d), name=f"spread-dyn:{kernel.name}@{d}",
                         device=d, directive_id=directive_id)
-             for d in devices]
-    return SpreadHandle(ctx, procs, assigned)
+             for d in devices if not rt.is_lost(d)]
+    if not procs:
+        raise SpreadExecutionError(
+            f"target spread ({kernel.name}): all devices of the clause "
+            f"{sorted(set(devices))} are lost")
+    handle = SpreadHandle(ctx, procs, assigned)
+    handle.unfinished = queue
+    return handle
 
 
 # ---------------------------------------------------------------------------
 # reduction plumbing
 # ---------------------------------------------------------------------------
 
-def _chunk_op_with_reductions(rt, chunk: Chunk, kernel: KernelSpec,
+def _chunk_op_with_reductions(rt, chunk: Chunk, device_id: int,
+                              kernel: KernelSpec,
                               concrete_maps, cfg: LaunchConfig,
                               reductions: Sequence[Reduction],
-                              fuse_transfers: bool) -> Generator:
-    dev = rt.device(chunk.device)
+                              fuse_transfers: bool,
+                              standalone: bool = False) -> Generator:
+    dev = rt.device(device_id)
     partial_allocs = []
     extra_env = {}
     for red in reductions:
@@ -300,18 +355,22 @@ def _chunk_op_with_reductions(rt, chunk: Chunk, kernel: KernelSpec,
         alloc.array[...] = red.identity
         extra_env[red.var.name] = alloc.array
         partial_allocs.append((red, alloc))
-    yield from exec_ops.kernel_op(rt, chunk.device, kernel,
+    yield from exec_ops.kernel_op(rt, device_id, kernel,
                                   chunk.start, chunk.interval.stop,
                                   concrete_maps, launch=cfg,
                                   fuse_transfers=fuse_transfers,
-                                  label=f"spread@{chunk.device}",
-                                  extra_env=extra_env)
+                                  label=f"spread@{device_id}",
+                                  extra_env=extra_env,
+                                  standalone=standalone)
     staged = []
     for red, alloc in partial_allocs:
         staging = np.empty_like(alloc.array)
-        yield from dev.copy_d2h(alloc.array, slice(None),
-                                staging, slice(None),
-                                name=f"reduction:{red.var.name}")
+        name = f"reduction:{red.var.name}"
+        yield from exec_ops._maybe_retry(
+            rt, device_id,
+            lambda a=alloc, s=staging, n=name: dev.copy_d2h(
+                a.array, slice(None), s, slice(None), name=n),
+            "d2h", name)
         dev.free(alloc)
         staged.append(staging)
     return staged

@@ -80,3 +80,46 @@ class OmpAllocationError(OmpRuntimeError):
 class OmpScheduleError(OmpRuntimeError):
     """Invalid spread schedule specification (bad chunk size, empty device
     list, unknown schedule kind at runtime level)."""
+
+
+class DeviceFaultError(OmpRuntimeError):
+    """An injected device-operation failure (see :mod:`repro.sim.faults`).
+
+    Carries the device id, the op class (``h2d``/``d2h``/``kernel``) and
+    the op name so retry/failover layers and tools can attribute it.
+    ``retryable`` distinguishes transient faults (a resubmitted transfer or
+    launch may succeed) from terminal ones (the device is gone).
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, device: int | None = None,
+                 op: str = "", name: str = ""):
+        super().__init__(message)
+        self.device = device
+        self.op = op
+        self.name = name
+
+
+class TransferFaultError(DeviceFaultError):
+    """An H2D/D2H memcpy failed (injected); the transfer may be retried."""
+
+
+class KernelFaultError(DeviceFaultError):
+    """A kernel launch failed (injected); the launch may be retried."""
+
+
+class DeviceLostError(DeviceFaultError):
+    """The whole device is gone (injected); its resident data is lost.
+
+    Never retryable on the same device — recovery is spread-level failover
+    onto the surviving devices (:mod:`repro.spread.failover`).
+    """
+
+    retryable = False
+
+
+class SpreadExecutionError(OmpRuntimeError):
+    """A spread directive cannot make progress: every device in its
+    ``devices(...)`` clause has been lost, so there is nowhere left to
+    re-spread the remaining chunks."""

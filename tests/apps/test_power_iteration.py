@@ -1,5 +1,7 @@
 """Tests for the distributed power-iteration workload."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -76,6 +78,9 @@ class TestRuntimeBehaviour:
         for dev in res.runtime.devices:
             assert dev.allocator.used_bytes == 0
 
+    @pytest.mark.skipif(bool(os.environ.get("REPRO_FAULTS")),
+                        reason="injected retry backoff perturbs the "
+                               "makespans this comparison relies on")
     def test_more_devices_faster(self):
         t1 = run_power_iteration(CFG, devices=[0], topology=topo()).elapsed
         t4 = run_power_iteration(CFG, devices=[0, 1, 2, 3],

@@ -1,0 +1,109 @@
+"""Regression tests: the last-hit present-table memo vs deletion paths.
+
+The PR 2 memo caches the entry that satisfied the last lookup per var.
+Every path that removes an entry — ``map(delete:)`` (``force_delete``),
+refcount-zero exit, and the device-loss ``purge`` — must drop the memo,
+or a later lookup would return a freed entry (stale buffer, wrong
+refcounts).  Also pinned: a failed ``enter`` (allocation error) leaves
+the table byte-for-byte as it found it — no empty entry list corrupting
+``is_empty()``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device.device import Device
+from repro.openmp.dataenv import DeviceDataEnv
+from repro.openmp.mapping import Var
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.topology import DeviceSpec, HostSpec, LinkSpec
+from repro.sim.trace import Trace
+from repro.util.errors import OmpAllocationError
+from repro.util.intervals import Interval
+
+
+def make_env(memory_bytes=1e6):
+    sim = Simulator()
+    spec = DeviceSpec(memory_bytes=memory_bytes)
+    dev = Device(sim, 0, spec, Resource(sim, 1), LinkSpec(),
+                 Resource(sim, 1), HostSpec(), CostModel(), Trace())
+    return DeviceDataEnv(dev)
+
+
+@pytest.fixture
+def env():
+    return make_env()
+
+
+@pytest.fixture
+def var():
+    return Var("A", np.arange(100.0))
+
+
+class TestMemoInvalidation:
+    def test_force_delete_then_remap_is_a_fresh_entry(self, env, var):
+        """map(delete:) followed by re-mapping the same var/section must
+        miss the memo and allocate anew — the pre-audit stale-hit bug."""
+        first, _ = env.enter(var, Interval(0, 50))
+        assert env.lookup(var, Interval(0, 50)) is first  # memo primed
+        entry, deleted = env.exit(var, Interval(0, 50), force_delete=True)
+        assert deleted and entry is first
+        env.release_storage(entry)
+        assert env.lookup(var, Interval(0, 50)) is None  # no stale hit
+        again, is_new = env.enter(var, Interval(0, 50))
+        assert is_new and again is not first
+        assert again.refcount == 1
+
+    def test_force_delete_zeroes_refcount_above_one(self, env, var):
+        env.enter(var, Interval(0, 50))
+        env.enter(var, Interval(0, 50))  # refcount 2
+        entry, deleted = env.exit(var, Interval(0, 50), force_delete=True)
+        assert deleted and entry.refcount == 0
+        assert env.is_empty()
+
+    def test_refcount_zero_exit_drops_memo(self, env, var):
+        entry, _ = env.enter(var, Interval(10, 20))
+        env.lookup(var, Interval(10, 20))  # memoized
+        env.exit(var, Interval(10, 20))  # require() hits the memo, then
+        env.release_storage(entry)       # deletion must drop it
+        hits_after_exit = env.memo_hits
+        assert env.lookup(var, Interval(10, 20)) is None
+        assert env.memo_hits == hits_after_exit  # slow path, no stale hit
+
+    def test_deleting_one_entry_keeps_siblings_memo_valid(self, env, var):
+        a, _ = env.enter(var, Interval(0, 10))
+        b, _ = env.enter(var, Interval(50, 60))
+        assert env.lookup(var, Interval(50, 60)) is b  # memo -> b
+        env.exit(var, Interval(0, 10))  # deletes a, not b
+        env.release_storage(a)
+        assert env.lookup(var, Interval(50, 60)) is b
+        assert env.live_entries == 1
+
+    def test_purge_clears_memo_and_entries(self, env, var):
+        env.enter(var, Interval(0, 50))
+        env.lookup(var, Interval(0, 50))
+        assert env.purge() == 1
+        assert env.is_empty()
+        assert env.lookup(var, Interval(0, 50)) is None
+        # allocator accounting was released
+        assert env.device.allocator.used_bytes == 0
+
+
+class TestFailedEnterLeavesTableClean:
+    def test_allocation_error_leaves_no_empty_list(self, var):
+        env = make_env(memory_bytes=100.0)  # too small for 50 doubles
+        with pytest.raises(OmpAllocationError):
+            env.enter(var, Interval(0, 50))
+        assert env.is_empty()
+        assert env.live_entries == 0
+        assert var.key not in env._entries  # no empty-list residue
+
+    def test_small_enter_succeeds_after_failed_big_one(self, var):
+        env = make_env(memory_bytes=100.0)
+        with pytest.raises(OmpAllocationError):
+            env.enter(var, Interval(0, 50))
+        entry, is_new = env.enter(var, Interval(0, 10))  # 80 B: fits
+        assert is_new and entry.refcount == 1
+        assert env.live_entries == 1

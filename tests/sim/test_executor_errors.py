@@ -1,0 +1,135 @@
+"""Regression tests for the HostExecutor error paths.
+
+The pre-fix behaviour these pin against: a raising item in a *serial*
+wave aborted the wave mid-loop (remaining items silently dropped, the
+epoch never counted), and a raising wave aborted ``flush`` (later waves
+silently dropped while ``pending`` already read 0).  The contract now:
+every registered item executes, every future is awaited, counters tick
+exactly once per wave, the first error is re-raised after the window is
+empty, and the pool remains usable for subsequent submits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.executor import Access, HostExecutor
+from repro.util.intervals import Interval
+
+
+def _acc(lo, hi, write=True):
+    return (Access(Interval(lo, hi), write),)
+
+
+def make_ex(workers):
+    return HostExecutor(workers)
+
+
+class _Boom(RuntimeError):
+    pass
+
+
+def boom():
+    raise _Boom("injected")
+
+
+class TestSerialWaveErrors:
+    def test_remaining_items_still_run(self):
+        ex = make_ex(workers=1)
+        ran = []
+        ex.submit(boom, _acc(0, 10), name="bad")
+        ex.submit(lambda: ran.append("a"), _acc(0, 10), name="a")
+        ex.submit(lambda: ran.append("b"), _acc(0, 10), name="b")
+        with pytest.raises(_Boom):
+            ex.flush()
+        assert ran == ["a", "b"]
+
+    def test_counters_tick_once_per_wave(self):
+        ex = make_ex(workers=1)
+        ex.submit(boom, _acc(0, 10))
+        ex.submit(lambda: None, _acc(0, 10))  # interferes: second wave
+        with pytest.raises(_Boom):
+            ex.flush()
+        assert ex.epochs == 2
+        assert ex.serial_ops == 2
+        assert ex.pending == 0
+
+    def test_first_of_several_errors_is_raised(self):
+        ex = make_ex(workers=1)
+        ex.submit(boom, _acc(0, 10))
+        ex.submit(lambda: (_ for _ in ()).throw(ValueError("later")),
+                  _acc(0, 10))
+        with pytest.raises(_Boom):
+            ex.flush()
+
+
+class TestParallelWaveErrors:
+    def test_all_futures_awaited_and_pool_survives(self):
+        ex = make_ex(workers=4)
+        ran = []
+        # disjoint accesses: one parallel wave of four
+        ex.submit(boom, _acc(0, 10))
+        for i in range(1, 4):
+            ex.submit(lambda i=i: ran.append(i), _acc(i * 10, i * 10 + 10))
+        with pytest.raises(_Boom):
+            ex.flush()
+        assert sorted(ran) == [1, 2, 3]
+        assert ex.epochs == 1
+        assert ex.parallel_ops == 4
+        # the pool is still usable afterwards
+        ex.submit(lambda: ran.append("after"), _acc(0, 10))
+        ex.submit(lambda: ran.append("after2"), _acc(10, 20))
+        ex.flush()
+        assert "after" in ran and "after2" in ran
+        ex.shutdown()
+
+    def test_error_wave_counts_busy_time_once(self):
+        ex = make_ex(workers=2)
+        ex.submit(lambda: None, _acc(0, 10))
+        ex.submit(boom, _acc(10, 20))
+        epochs_before = ex.epochs
+        with pytest.raises(_Boom):
+            ex.flush()
+        assert ex.epochs == epochs_before + 1
+        assert ex.span_seconds > 0.0
+
+
+class TestFlushErrors:
+    def test_later_waves_still_run_after_failing_wave(self):
+        ex = make_ex(workers=1)
+        ran = []
+        ex.submit(boom, _acc(0, 10))
+        ex.submit(lambda: ran.append("w2"), _acc(0, 10))  # wave 2
+        ex.submit(lambda: ran.append("w3"), _acc(0, 10))  # wave 3
+        with pytest.raises(_Boom):
+            ex.flush()
+        assert ran == ["w2", "w3"]
+        assert ex.pending == 0 and not ex._waves
+
+    def test_executor_usable_after_failed_flush(self):
+        ex = make_ex(workers=2)
+        ex.submit(boom, _acc(0, 10))
+        with pytest.raises(_Boom):
+            ex.flush()
+        done = []
+        ex.submit(lambda: done.append(1), _acc(0, 10))
+        ex.flush()  # must not re-raise the old error
+        assert done == [1]
+
+    def test_real_array_work_completes_despite_error(self):
+        """End-to-end shape: the failing item must not leave sibling
+        updates half-applied (arrays written by other items complete)."""
+        ex = make_ex(workers=4)
+        arrays = [np.zeros(64) for _ in range(4)]
+
+        def writer(a):
+            a += 1.0
+
+        from repro.sim.executor import collect_accesses
+        ex.submit(boom, None)  # unprovable: barrier wave of its own
+        for a in arrays:
+            ex.submit(lambda a=a: writer(a),
+                      collect_accesses(writes=[a]))
+        with pytest.raises(_Boom):
+            ex.flush()
+        for a in arrays:
+            assert np.array_equal(a, np.ones(64))

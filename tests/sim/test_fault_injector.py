@@ -1,0 +1,161 @@
+"""Unit tests for the seeded fault injector (`repro.sim.faults`).
+
+The injector is the deterministic *source* of every failure scenario the
+resilience tests replay, so its own contract is pinned tightly: the spec
+grammar (with pointed errors on malformed input), rate vs count triggers,
+first-match-wins rule composition, per-rule RNG independence, and the
+retry policy's backoff schedule.
+"""
+
+import pytest
+
+from repro.sim.faults import (
+    FaultInjector,
+    FaultRule,
+    RetryPolicy,
+    parse_fault_spec,
+)
+
+
+class TestSpecGrammar:
+    def test_single_rate_rule(self):
+        (rule,) = parse_fault_spec("transfer:0.01")
+        assert rule == FaultRule("transfer", None, rate=0.01)
+
+    def test_device_scoped_count_rule(self):
+        (rule,) = parse_fault_spec("device@1:#12")
+        assert rule == FaultRule("device", 1, count=12)
+
+    def test_rules_compose_in_order(self):
+        rules = parse_fault_spec("h2d:0.02, device@3:#40")
+        assert [r.op_class for r in rules] == ["h2d", "device"]
+        assert rules[1].device == 3 and rules[1].count == 40
+
+    def test_empty_parts_skipped(self):
+        assert parse_fault_spec("") == ()
+        assert parse_fault_spec(" , ,kernel:0.5,") == \
+            (FaultRule("kernel", None, rate=0.5),)
+
+    def test_roundtrips_through_str(self):
+        for spec in ("transfer:0.01", "kernel@2:0.05", "device@1:#12"):
+            (rule,) = parse_fault_spec(spec)
+            assert parse_fault_spec(str(rule)) == (rule,)
+
+    @pytest.mark.parametrize("bad, match", [
+        ("transfer", "expected CLASS"),
+        ("transfer:", "expected CLASS"),
+        ("warp:0.1", "unknown op class"),
+        ("h2d@x:0.1", "device must be an integer"),
+        ("h2d@-1:0.1", "device must be >= 0"),
+        ("h2d:#x", "count trigger"),
+        ("h2d:#0", "count trigger must be >= 1"),
+        ("h2d:1.5", "rate must be in"),
+        ("h2d:-0.1", "rate must be in"),
+        ("h2d:often", "trigger must be a probability"),
+    ])
+    def test_malformed_specs_raise_pointed_errors(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            parse_fault_spec(bad)
+
+
+class TestRuleMatching:
+    def test_transfer_matches_both_directions_only(self):
+        rule = FaultRule("transfer", rate=1.0)
+        assert rule.matches("h2d", 0) and rule.matches("d2h", 3)
+        assert not rule.matches("kernel", 0)
+
+    def test_device_class_matches_any_op(self):
+        rule = FaultRule("device", 2, count=1)
+        for op in ("h2d", "d2h", "kernel"):
+            assert rule.matches(op, 2)
+            assert not rule.matches(op, 1)
+
+    def test_device_filter_applies_to_op_classes(self):
+        rule = FaultRule("kernel", 1, rate=1.0)
+        assert rule.matches("kernel", 1)
+        assert not rule.matches("kernel", 0)
+
+
+class TestTriggers:
+    def test_count_trigger_fires_exactly_once_at_nth_match(self):
+        inj = FaultInjector.from_spec("kernel:#3")
+        fired = [inj.draw("kernel", 0) is not None for _ in range(6)]
+        assert fired == [False, False, True, False, False, False]
+        assert inj.injected == 1
+
+    def test_count_trigger_counts_only_matching_ops(self):
+        inj = FaultInjector.from_spec("d2h:#2")
+        assert inj.draw("h2d", 0) is None   # not a match: no progress
+        assert inj.draw("d2h", 0) is None   # match #1
+        assert inj.draw("d2h", 0) is not None  # match #2: fires
+
+    def test_rate_one_always_fires(self):
+        inj = FaultInjector.from_spec("h2d:1.0")
+        assert all(inj.draw("h2d", d) is not None for d in range(4))
+
+    def test_rate_zero_never_fires(self):
+        inj = FaultInjector.from_spec("transfer:0.0")
+        assert all(inj.draw(op, 0) is None
+                   for op in ("h2d", "d2h") for _ in range(100))
+        assert inj.injected == 0
+
+    def test_first_matching_rule_wins(self):
+        inj = FaultInjector.from_spec("h2d:#1,transfer:#1")
+        rule = inj.draw("h2d", 0)
+        assert rule is not None and rule.op_class == "h2d"
+
+    def test_by_class_attribution(self):
+        inj = FaultInjector.from_spec("h2d:#1,kernel:#1")
+        inj.draw("h2d", 0)
+        inj.draw("kernel", 1)
+        assert inj.by_class == {"h2d": 1, "kernel": 1}
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            inj = FaultInjector.from_spec("transfer:0.3", seed=seed)
+            return [inj.draw("h2d", i % 4) is not None for i in range(200)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)  # astronomically unlikely to tie
+
+    def test_rule_streams_are_independent(self):
+        # Adding a rule in front must not perturb the second rule's
+        # stream: each rule owns its own seeded RNG.
+        solo = FaultInjector.from_spec("kernel:0.3", seed=5)
+        pair = FaultInjector.from_spec("h2d:0.5,kernel:0.3", seed=5)
+        # rule index differs (0 vs 1), so streams differ by construction;
+        # what must hold is that interleaving h2d draws does not shift
+        # the kernel rule's own sequence.
+        a = [pair.draw("kernel", 0) is not None for _ in range(50)]
+        pair2 = FaultInjector.from_spec("h2d:0.5,kernel:0.3", seed=5)
+        b = []
+        for i in range(50):
+            pair2.draw("h2d", 0)  # consumes rule 0's stream only
+            b.append(pair2.draw("kernel", 0) is not None)
+        assert a == b
+        assert solo.rules[0] == pair.rules[1]
+
+    def test_count_rules_consume_no_randomness(self):
+        # Two injectors whose rate rule sits at the same index but whose
+        # leading count rule differs (and never fires): identical streams.
+        a_inj = FaultInjector.from_spec("kernel:#1000,kernel:0.4", seed=3)
+        b_inj = FaultInjector.from_spec("kernel:#2000,kernel:0.4", seed=3)
+        a = [a_inj.draw("kernel", 0) is not None for _ in range(100)]
+        b = [b_inj.draw("kernel", 0) is not None for _ in range(100)]
+        assert a == b
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_schedule(self):
+        pol = RetryPolicy(max_attempts=4, backoff=10e-6, multiplier=2.0)
+        assert pol.delay(1) == pytest.approx(10e-6)
+        assert pol.delay(2) == pytest.approx(20e-6)
+        assert pol.delay(3) == pytest.approx(40e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match=">= 0"):
+            RetryPolicy(backoff=-1.0)

@@ -184,20 +184,23 @@ class TestCacheBehaviour:
         cache.store(("k",), "plan")
         assert cache.get(("k",)) is None
         assert len(cache) == 0
-        assert cache.stats == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats == {"hits": 0, "misses": 0, "entries": 0,
+                               "invalidations": 0}
 
     def test_unhashable_key_falls_back_silently(self):
         cache = SpreadPlanCache()
         key = ("exec", [1, 2])  # list: unhashable
         cache.store(key, "plan")
         assert cache.get(key) is None
-        assert cache.stats == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats == {"hits": 0, "misses": 0, "entries": 0,
+                               "invalidations": 0}
 
     def test_none_key_not_counted(self):
         cache = SpreadPlanCache()
         assert cache.get(None) is None
         cache.store(None, "plan")
-        assert cache.stats == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats == {"hits": 0, "misses": 0, "entries": 0,
+                               "invalidations": 0}
 
 
 class TestKeySensitivity:

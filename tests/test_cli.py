@@ -207,3 +207,68 @@ class TestWorkersFlag:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["somier", "--help"])
         assert "--workers" in capsys.readouterr().out
+
+
+class TestWorkersEnv:
+    def test_invalid_env_value_is_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "abc")
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "REPRO_WORKERS must be a positive integer" in err
+        assert "'abc'" in err
+
+    def test_empty_env_value_means_serial(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1"])
+        assert rc == 0
+
+    def test_cli_flag_overrides_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "abc")  # never consulted
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1",
+                   "--workers", "2"])
+        assert rc == 0
+
+
+class TestFaultsFlag:
+    def test_zero_rate_run_succeeds(self, capsys):
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "2", "--verify",
+                   "--faults", "transfer:0.0"])
+        assert rc == 0
+        assert "bitwise identical" in capsys.readouterr().out
+
+    def test_bad_spec_is_clean_error(self, capsys):
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1",
+                   "--faults", "warp:0.1"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown op class" in err
+
+    def test_bad_env_spec_is_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "transfer:")
+        rc = main(["somier", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1"])
+        assert rc == 1
+        assert "invalid REPRO_FAULTS spec" in capsys.readouterr().err
+
+    def test_stats_renders_fault_block(self, capsys):
+        import json
+
+        rc = main(["stats", "--impl", "one_buffer", "--gpus", "2",
+                   "--n-functional", "24", "--steps", "1", "--json",
+                   "--faults", "h2d:#1", "--fault-seed", "5"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"]["injected"] == 1
+        assert payload["faults"]["retries"] == 1
+
+    def test_faults_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["somier", "--help"])
+        out = capsys.readouterr().out
+        assert "--faults" in out and "--fault-seed" in out
