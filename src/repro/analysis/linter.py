@@ -1,0 +1,675 @@
+"""spreadlint: static whole-program analysis of directive listings.
+
+The linter replays a ``.omp`` program (see :mod:`repro.analysis.program`)
+through the real pragma front end, evaluates every section's
+``omp_spread_start``/``omp_spread_size`` arithmetic **per chunk** into
+concrete :class:`~repro.util.intervals.Interval` footprints — the same
+chunking the runtime's :class:`~repro.spread.schedule.StaticSchedule`
+would produce — and runs four pass families over the result:
+
+* **intra-directive races** (SL2xx): chunks of one spread directive run
+  concurrently, so overlapping chunk writes (or a chunk write against a
+  sibling chunk read) are schedule-dependent corruption;
+* **inter-directive races** (SL3xx): directives not ordered by host
+  synchronization (non-``nowait`` completion, ``taskwait``) or a
+  ``depend`` edge are concurrent; conflicting whole-directive footprints
+  are reported with both lines;
+* **map flow** (SL4xx): a reference-counted present-table simulation per
+  device catches use-before-map, statically detectable illegal section
+  extension (the paper's single-GPU Two Buffers restriction, §V-B),
+  dead ``to`` maps and redundant releases;
+* **depend graph** (SL5xx): ``in``/``inout`` dependences that no earlier
+  directive produces — either produced only *later* (task ordering can
+  never satisfy them) or never at all (the clause is dead).
+
+Host-access semantics match the runtime sanitizer
+(:mod:`repro.analysis.sanitizer`): ``to``/``tofrom`` sections are host
+reads, ``from``/``tofrom`` sections are host writes, ``alloc``/
+``release``/``delete`` touch no bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.program import (DirectiveStmt, OmpProgram, TaskwaitStmt,
+                                    eval_expr_int, parse_program)
+from repro.pragma import ast_nodes as A
+from repro.pragma.parser import parse_pragma
+from repro.pragma.sema import check_directive
+from repro.spread.extensions import Extensions
+from repro.spread.schedule import (SpreadSchedule, StaticSchedule,
+                                   spread_schedule)
+from repro.util.errors import OmpScheduleError, OmpSemaError, OmpSyntaxError
+from repro.util.intervals import Interval
+
+_D = A.DirectiveKind
+
+#: sema extensions the simulator supports; lint checks the full language
+_LINT_EXTENSIONS = Extensions(schedules=True, data_depend=True)
+
+_KERNEL_KINDS = (_D.TARGET, _D.TARGET_TEAMS_DPF, _D.TARGET_SPREAD,
+                 _D.TARGET_SPREAD_TEAMS_DPF)
+_ENTER_KINDS = (_D.TARGET_ENTER_DATA, _D.TARGET_ENTER_DATA_SPREAD,
+                _D.TARGET_DATA, _D.TARGET_DATA_SPREAD)
+_EXIT_KINDS = (_D.TARGET_EXIT_DATA, _D.TARGET_EXIT_DATA_SPREAD)
+_UPDATE_KINDS = (_D.TARGET_UPDATE, _D.TARGET_UPDATE_SPREAD)
+
+
+@dataclass
+class _ChunkFoot:
+    """Concrete footprint of one chunk of one directive."""
+
+    index: int
+    device: Optional[int]           # None for dynamically scheduled chunks
+    reads: List[Tuple[str, Interval]] = field(default_factory=list)
+    writes: List[Tuple[str, Interval]] = field(default_factory=list)
+    #: concrete map sections for the present-table simulation
+    maps: List[Tuple[str, str, Interval]] = field(default_factory=list)
+
+
+@dataclass
+class _Node:
+    """One analyzed directive occurrence."""
+
+    index: int
+    stmt: DirectiveStmt
+    directive: A.Directive
+    nowait: bool
+    chunks: List[_ChunkFoot] = field(default_factory=list)
+    #: concrete depend items: (consumes, produces, var, interval)
+    deps: List[Tuple[bool, bool, str, Interval]] = field(default_factory=list)
+
+    @property
+    def kind(self) -> A.DirectiveKind:
+        return self.directive.kind
+
+    def reads(self):
+        for chunk in self.chunks:
+            yield from chunk.reads
+
+    def writes(self):
+        for chunk in self.chunks:
+            yield from chunk.writes
+
+
+@dataclass
+class _Entry:
+    """Present-table simulation entry (one device, one array section)."""
+
+    var: str
+    section: Interval
+    refcount: int
+    is_to: bool
+    node_line: int
+    node_text: str
+    read_hits: int = 0
+
+
+class _Linter:
+    def __init__(self, program: OmpProgram):
+        self.program = program
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def _diag(self, code: str, message: str, stmt: DirectiveStmt,
+              offset: Optional[int] = None, source: Optional[str] = None,
+              related: Sequence[str] = ()) -> None:
+        text = source if source is not None else _pragma_text(stmt.text)
+        self.diagnostics.append(Diagnostic(
+            code=code, message=message, path=self.program.path,
+            line=stmt.line, source=text, offset=offset,
+            related=tuple(related)))
+
+    def _env(self, chunk=None) -> Dict[str, int]:
+        env = dict(self.program.scalars)
+        if chunk is not None:
+            env["omp_spread_start"] = chunk.interval.start
+            env["omp_spread_size"] = len(chunk.interval)
+        return env
+
+    def _eval(self, expr: A.Expr, stmt: DirectiveStmt, what: str,
+              chunk=None) -> Optional[int]:
+        try:
+            return eval_expr_int(expr, self._env(chunk))
+        except KeyError as exc:
+            self._diag("SL101", f"undefined identifier {exc.args[0]!r} "
+                       f"in {what}", stmt)
+            return None
+
+    def _section_interval(self, section: A.SectionNode, stmt: DirectiveStmt,
+                          chunk=None) -> Optional[Interval]:
+        """Concretize one section for one chunk; SL101/SL102 on failure."""
+        extent = self.program.arrays.get(section.name)
+        if extent is None:
+            self._diag("SL101", f"undefined array {section.name!r}", stmt,
+                       offset=section.pos)
+            return None
+        if section.whole_array:
+            return Interval(0, extent)
+        start = self._eval(section.start, stmt, f"section of {section.name}",
+                           chunk)
+        length = self._eval(section.length, stmt,
+                            f"section of {section.name}", chunk)
+        if start is None or length is None:
+            return None
+        if length < 0 or start < 0 or start + length > extent:
+            where = (f" at chunk {chunk.index} "
+                     f"(omp_spread_start={chunk.interval.start}, "
+                     f"omp_spread_size={len(chunk.interval)})"
+                     if chunk is not None else "")
+            self._diag("SL102",
+                       f"section {section.name}[{start}:{start + length}] "
+                       f"outside array extent {extent}{where}", stmt,
+                       offset=section.pos)
+            return None
+        return Interval(start, start + length)
+
+    # -- per-directive lowering ----------------------------------------------
+
+    def _devices(self, directive: A.Directive,
+                 stmt: DirectiveStmt) -> Optional[List[int]]:
+        clause = directive.find(A.DevicesClause)
+        if clause is None:
+            # single-device directives: device(n) or default device 0
+            dev_clause = directive.find(A.DeviceClause)
+            if dev_clause is None:
+                return [0]
+            device = self._eval(dev_clause.device, stmt, "device clause")
+            if device is None:
+                return None
+            devices = [device]
+            pos = dev_clause.pos
+        else:
+            devices = []
+            for expr in clause.devices:
+                value = self._eval(expr, stmt, "devices clause")
+                if value is None:
+                    return None
+                devices.append(value)
+            pos = clause.pos
+        seen: Set[int] = set()
+        for device in devices:
+            if device < 0 or (self.program.machine is not None
+                              and device >= self.program.machine):
+                self._diag("SL103", f"device id {device} out of range "
+                           f"(machine has {self.program.machine} devices)",
+                           stmt, offset=pos)
+                return None
+            if device in seen:
+                self._diag("SL103", f"duplicate device id {device}", stmt,
+                           offset=pos)
+                return None
+            seen.add(device)
+        return devices
+
+    def _schedule(self, directive: A.Directive,
+                  stmt: DirectiveStmt) -> Optional[SpreadSchedule]:
+        clause = directive.find(A.SpreadScheduleClause)
+        if clause is None:
+            return StaticSchedule()
+        chunk = None
+        if clause.chunk is not None:
+            chunk = self._eval(clause.chunk, stmt, "spread_schedule clause")
+            if chunk is None:
+                return None
+        try:
+            return spread_schedule(clause.kind, chunk)
+        except OmpScheduleError as exc:
+            self._diag("SL104", str(exc), stmt, offset=clause.pos)
+            return None
+
+    def _data_chunking(self, directive: A.Directive, stmt: DirectiveStmt,
+                       devices: List[int]):
+        range_clause = directive.find(A.RangeClause)
+        chunk_clause = directive.find(A.ChunkSizeClause)
+        start = self._eval(range_clause.start, stmt, "range clause")
+        length = self._eval(range_clause.length, stmt, "range clause")
+        size = self._eval(chunk_clause.chunk, stmt, "chunk_size clause")
+        if start is None or length is None or size is None:
+            return None
+        if length < 0:
+            self._diag("SL104", f"range({start}:{length}): negative length",
+                       stmt, offset=range_clause.pos)
+            return None
+        try:
+            return StaticSchedule(size).chunks(start, start + length, devices)
+        except OmpScheduleError as exc:
+            self._diag("SL104", str(exc), stmt, offset=chunk_clause.pos)
+            return None
+
+    def _chunk_list(self, directive: A.Directive,
+                    stmt: DirectiveStmt) -> Optional[list]:
+        kind = directive.kind
+        devices = self._devices(directive, stmt)
+        if devices is None:
+            return None
+        if kind in _KERNEL_KINDS:
+            if kind.is_spread:
+                if stmt.loop is None:
+                    self._diag("SL105", "spread directive needs an "
+                               "associated loop(start : length) statement",
+                               stmt)
+                    return None
+                schedule = self._schedule(directive, stmt)
+                if schedule is None:
+                    return None
+                try:
+                    return schedule.chunks(stmt.loop[0], stmt.loop[1],
+                                           devices)
+                except OmpScheduleError as exc:
+                    self._diag("SL104", str(exc), stmt)
+                    return None
+            # single-device kernel: one chunk spanning the loop (or a
+            # degenerate point when no loop was given — maps carry no
+            # spread symbols here, so the interval is unused)
+            loop = stmt.loop or (0, 0)
+            from repro.spread.schedule import Chunk
+            return [Chunk(index=0, interval=Interval(loop[0], loop[1]),
+                          device=devices[0])]
+        if kind.is_spread:
+            return self._data_chunking(directive, stmt, devices)
+        from repro.spread.schedule import Chunk
+        return [Chunk(index=0, interval=Interval(0, 0), device=devices[0])]
+
+    def _build_node(self, index: int, stmt: DirectiveStmt) -> Optional[_Node]:
+        text = _pragma_text(stmt.text)
+        try:
+            directive = parse_pragma(stmt.text)
+        except OmpSyntaxError as exc:
+            self._diag("SL001", _first_line(exc), stmt, offset=exc.offset,
+                       source=exc.source or text)
+            return None
+        try:
+            check_directive(directive, extensions=_LINT_EXTENSIONS)
+        except OmpSemaError as exc:
+            self._diag("SL002", _first_line(exc), stmt, offset=exc.offset,
+                       source=exc.source or text)
+            return None
+        chunks = self._chunk_list(directive, stmt)
+        if chunks is None:
+            return None
+        node = _Node(index=index, stmt=stmt, directive=directive,
+                     nowait=directive.find(A.NowaitClause) is not None)
+        for chunk in chunks:
+            foot = _ChunkFoot(index=chunk.index, device=chunk.device)
+            spread_chunk = chunk if directive.kind.is_spread else None
+            for clause in directive.find_all(A.MapClauseNode):
+                for item in clause.items:
+                    interval = self._section_interval(item, stmt,
+                                                      spread_chunk)
+                    if interval is None:
+                        continue
+                    foot.maps.append((clause.map_type, item.name, interval))
+                    if clause.map_type in ("to", "tofrom"):
+                        foot.reads.append((item.name, interval))
+                    if clause.map_type in ("from", "tofrom"):
+                        foot.writes.append((item.name, interval))
+            for clause in directive.find_all(A.MotionClause):
+                for item in clause.items:
+                    interval = self._section_interval(item, stmt,
+                                                      spread_chunk)
+                    if interval is None:
+                        continue
+                    kind = "to" if clause.direction == "to" else "from"
+                    foot.maps.append((f"update_{kind}", item.name, interval))
+                    if clause.direction == "to":
+                        foot.reads.append((item.name, interval))
+                    else:
+                        foot.writes.append((item.name, interval))
+            node.chunks.append(foot)
+            for clause in directive.find_all(A.DependClause):
+                for item in clause.items:
+                    interval = self._section_interval(item, stmt,
+                                                      spread_chunk)
+                    if interval is None:
+                        continue
+                    consumes = clause.kind in ("in", "inout")
+                    produces = clause.kind in ("out", "inout")
+                    node.deps.append((consumes, produces, item.name,
+                                      interval))
+        return node
+
+    # -- pass: intra-directive chunk races (SL2xx) ---------------------------
+
+    def _check_intra(self, node: _Node) -> None:
+        if len(node.chunks) < 2:
+            return
+        reported: Set[Tuple[str, str]] = set()
+        for i, a in enumerate(node.chunks):
+            for b in node.chunks[i + 1:]:
+                for var, wa in a.writes:
+                    for wvar, wb in b.writes:
+                        if var == wvar and wa.overlaps(wb):
+                            key = ("SL201", var)
+                            if key in reported:
+                                continue
+                            reported.add(key)
+                            self._diag(
+                                "SL201",
+                                f"chunks {a.index} and {b.index} both write "
+                                f"{var}{wa} and {var}{wb}; spread chunks "
+                                "run concurrently", node.stmt)
+                for (ra, wb_) in ((a.reads, b.writes), (b.reads, a.writes)):
+                    for var, r in ra:
+                        for wvar, w in wb_:
+                            if var == wvar and r.overlaps(w):
+                                key = ("SL202", var)
+                                if key in reported:
+                                    continue
+                                reported.add(key)
+                                self._diag(
+                                    "SL202",
+                                    f"one chunk reads {var}{r} while a "
+                                    f"sibling chunk writes {var}{w}; spread "
+                                    "chunks run concurrently", node.stmt)
+
+    # -- pass: inter-directive races (SL3xx) ---------------------------------
+
+    @staticmethod
+    def _dep_conflict(earlier: _Node, later: _Node) -> bool:
+        for (_, e_prod, e_var, e_iv) in earlier.deps:
+            for (l_cons, l_prod, l_var, l_iv) in later.deps:
+                if e_var != l_var or not e_iv.overlaps(l_iv):
+                    continue
+                if e_prod or l_prod:
+                    return True
+        return False
+
+    def _check_inter(self, nodes: List[_Node],
+                     order: List[object]) -> None:
+        hb: Dict[int, Set[int]] = {}
+        joined: Set[int] = set()
+        seen: List[_Node] = []
+        for stmt_obj in order:
+            if isinstance(stmt_obj, TaskwaitStmt):
+                joined = {n.index for n in seen}
+                continue
+            node = stmt_obj
+            direct: Set[int] = set(joined)
+            for earlier in seen:
+                if not earlier.nowait or self._dep_conflict(earlier, node):
+                    direct.add(earlier.index)
+            closure = set(direct)
+            for idx in direct:
+                closure |= hb.get(idx, set())
+            hb[node.index] = closure
+            for earlier in seen:
+                if earlier.index in closure:
+                    continue
+                self._conflict_between(earlier, node)
+            seen.append(node)
+
+    def _conflict_between(self, earlier: _Node, later: _Node) -> None:
+        e_writes = list(earlier.writes())
+        l_writes = list(later.writes())
+        note = (f"conflicts with '{_pragma_text(earlier.stmt.text)}' "
+                f"(line {earlier.stmt.line}); order them with depend "
+                "clauses or a taskwait")
+        for var, wa in e_writes:
+            for lvar, wb in l_writes:
+                if var == lvar and wa.overlaps(wb):
+                    self._diag("SL301",
+                               f"both this directive and line "
+                               f"{earlier.stmt.line} write {var}"
+                               f"{wa.intersection(wb)} with no ordering "
+                               "between them", later.stmt, related=(note,))
+                    return
+        for (reads, writes) in ((earlier.reads(), l_writes),
+                                (later.reads(), e_writes)):
+            for var, r in reads:
+                for wvar, w in writes:
+                    if var == wvar and r.overlaps(w):
+                        self._diag(
+                            "SL302",
+                            f"{var}{r.intersection(w)} is read and written "
+                            f"by unordered directives (lines "
+                            f"{earlier.stmt.line} and {later.stmt.line})",
+                            later.stmt, related=(note,))
+                        return
+
+    # -- pass: map flow (SL4xx) ----------------------------------------------
+
+    def _check_map_flow(self, nodes: List[_Node]) -> None:
+        tables: Dict[int, List[_Entry]] = {}
+        pragma_of = {n.index: _pragma_text(n.stmt.text) for n in nodes}
+
+        def entries(device: int) -> List[_Entry]:
+            return tables.setdefault(device, [])
+
+        def find(device: int, var: str,
+                 section: Interval) -> Optional[_Entry]:
+            for entry in entries(device):
+                if entry.var == var and entry.section.contains(section):
+                    return entry
+            return None
+
+        def find_extension(device: int, var: str,
+                           section: Interval) -> Optional[_Entry]:
+            for entry in entries(device):
+                if (entry.var == var and section.overlaps(entry.section)
+                        and not entry.section.contains(section)):
+                    return entry
+            return None
+
+        def retire(device: int, entry: _Entry) -> None:
+            entries(device).remove(entry)
+            if entry.is_to and entry.read_hits == 0:
+                self.diagnostics.append(Diagnostic(
+                    code="SL403",
+                    message=f"{entry.var}{entry.section} is copied to "
+                            f"device {device} but no kernel reads it before "
+                            "it is unmapped",
+                    path=self.program.path, line=entry.node_line,
+                    source=entry.node_text))
+
+        for node in nodes:
+            kind = node.kind
+            for chunk in node.chunks:
+                device = chunk.device
+                for map_type, var, section in chunk.maps:
+                    if kind in _ENTER_KINDS:
+                        if device is None or section.empty:
+                            continue
+                        hit = find(device, var, section)
+                        if hit is not None:
+                            hit.refcount += 1
+                            continue
+                        ext_entry = find_extension(device, var, section)
+                        if ext_entry is not None:
+                            self._diag(
+                                "SL402",
+                                f"mapping {var}{section} on device {device} "
+                                f"would extend the mapped section "
+                                f"{var}{ext_entry.section}; OpenMP forbids "
+                                "extending a present array section",
+                                node.stmt)
+                            continue
+                        entries(device).append(_Entry(
+                            var=var, section=section, refcount=1,
+                            is_to=map_type in ("to", "tofrom"),
+                            node_line=node.stmt.line,
+                            node_text=pragma_of[node.index]))
+                    elif kind in _KERNEL_KINDS:
+                        if device is None or section.empty:
+                            continue
+                        hit = find(device, var, section)
+                        if hit is not None:
+                            if map_type in ("to", "tofrom"):
+                                hit.read_hits += 1
+                            continue
+                        ext_entry = find_extension(device, var, section)
+                        if ext_entry is not None:
+                            self._diag(
+                                "SL402",
+                                f"the kernel's map of {var}{section} on "
+                                f"device {device} would extend the mapped "
+                                f"section {var}{ext_entry.section}",
+                                node.stmt)
+                    elif kind in _EXIT_KINDS:
+                        if device is None or section.empty:
+                            continue
+                        hit = find(device, var, section)
+                        if hit is None:
+                            if map_type == "from":
+                                self._diag(
+                                    "SL401",
+                                    f"copy-back of {var}{section} from "
+                                    f"device {device}, but that section "
+                                    "was never mapped", node.stmt)
+                            else:
+                                self._diag(
+                                    "SL404",
+                                    f"{map_type} of {var}{section} on "
+                                    f"device {device}, but that section is "
+                                    "not mapped", node.stmt)
+                            continue
+                        if map_type == "delete":
+                            retire(device, hit)
+                            continue
+                        hit.refcount -= 1
+                        if hit.refcount <= 0:
+                            retire(device, hit)
+                    elif kind in _UPDATE_KINDS:
+                        if device is None or section.empty:
+                            continue
+                        if find(device, var, section) is None:
+                            direction = ("to" if map_type == "update_to"
+                                         else "from")
+                            self._diag(
+                                "SL401",
+                                f"update {direction}({var}{section}) on "
+                                f"device {device} requires the section to "
+                                "be mapped first", node.stmt)
+                # Halo'd sections of one directive landing on the same
+                # device overlap-extend each other — the single-GPU
+                # restriction of paper §V-B.
+            if kind in _ENTER_KINDS or kind in _KERNEL_KINDS:
+                self._check_same_device_extension(node)
+
+        for device, lst in tables.items():
+            for entry in list(lst):
+                if entry.is_to and entry.read_hits == 0:
+                    self.diagnostics.append(Diagnostic(
+                        code="SL403",
+                        message=f"{entry.var}{entry.section} is copied to "
+                                f"device {device} but never read by any "
+                                "kernel",
+                        path=self.program.path, line=entry.node_line,
+                        source=entry.node_text))
+
+    def _check_same_device_extension(self, node: _Node) -> None:
+        reported: Set[Tuple[int, str]] = set()
+        by_device: Dict[int, List[Tuple[str, Interval]]] = {}
+        for chunk in node.chunks:
+            if chunk.device is None:
+                continue
+            for map_type, var, section in chunk.maps:
+                if map_type in ("release", "delete") or section.empty:
+                    continue
+                for prev_var, prev in by_device.get(chunk.device, ()):
+                    if (prev_var == var and section.overlaps(prev)
+                            and not (prev.contains(section)
+                                     or section.contains(prev))):
+                        key = (chunk.device, var)
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        self._diag(
+                            "SL402",
+                            f"two chunks of this directive map overlapping "
+                            f"sections of {var} ({prev} and {section}) on "
+                            f"device {chunk.device}; overlapping sections "
+                            "cannot coexist on one device (paper §V-B)",
+                            node.stmt)
+                by_device.setdefault(chunk.device, []).append((var, section))
+
+    # -- pass: depend graph (SL5xx) ------------------------------------------
+
+    def _check_depend_graph(self, nodes: List[_Node]) -> None:
+        for i, node in enumerate(nodes):
+            for (consumes, produces, var, interval) in node.deps:
+                if not consumes or produces:
+                    # pure out deps always register; an inout with no
+                    # earlier producer legally becomes the first producer
+                    continue
+                earlier = any(
+                    e_prod and e_var == var and e_iv.overlaps(interval)
+                    for prev in nodes[:i]
+                    for (_, e_prod, e_var, e_iv) in prev.deps)
+                if earlier:
+                    continue
+                later_line = next(
+                    (nxt.stmt.line for nxt in nodes[i + 1:]
+                     for (_, l_prod, l_var, l_iv) in nxt.deps
+                     if l_prod and l_var == var and l_iv.overlaps(interval)),
+                    None)
+                if later_line is not None:
+                    self._diag(
+                        "SL501",
+                        f"depend(in: {var}{interval}) is produced only by a "
+                        f"later directive (line {later_line}); task "
+                        "dependences only look backward, so this ordering "
+                        "can never be satisfied", node.stmt)
+                else:
+                    self._diag(
+                        "SL502",
+                        f"depend(in: {var}{interval}) is never produced by "
+                        "any directive; the clause has no effect",
+                        node.stmt)
+                break  # one report per directive is enough
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> List[Diagnostic]:
+        nodes: List[_Node] = []
+        order: List[object] = []
+        for stmt in self.program.statements:
+            if isinstance(stmt, TaskwaitStmt):
+                order.append(stmt)
+                continue
+            node = self._build_node(len(nodes), stmt)
+            if node is None:
+                continue
+            nodes.append(node)
+            order.append(node)
+        for node in nodes:
+            self._check_intra(node)
+        self._check_inter(nodes, order)
+        self._check_map_flow(nodes)
+        self._check_depend_graph(nodes)
+        return self.diagnostics
+
+
+def _pragma_text(text: str) -> str:
+    # Must mirror parse_pragma's stripping exactly: token offsets are
+    # relative to this processed text, so carets stay aligned.
+    stripped = text.strip()
+    if stripped.startswith("#"):
+        stripped = stripped[1:]
+    return stripped
+
+
+def _first_line(exc: Exception) -> str:
+    return str(exc).splitlines()[0]
+
+
+def lint_program(program: OmpProgram,
+                 structural: Sequence[Diagnostic] = ()) -> List[Diagnostic]:
+    """Run every lint pass over a parsed program."""
+    diagnostics = list(structural)
+    diagnostics.extend(_sorted_diags(_Linter(program).run()))
+    return diagnostics
+
+
+def _sorted_diags(diags: List[Diagnostic]) -> List[Diagnostic]:
+    return sorted(diags, key=lambda d: (d.line, d.code))
+
+
+def lint_source(source: str, path: str = "") -> List[Diagnostic]:
+    """Parse and lint one ``.omp`` listing."""
+    program, structural = parse_program(source, path=path)
+    return lint_program(program, structural)

@@ -1,0 +1,251 @@
+r"""The ``.omp`` mini-language: whole directive programs for spreadlint.
+
+A program file is a line-oriented listing that captures exactly the
+information the static analyzer needs from the surrounding host code —
+array extents, scalar constants, the associated loop of each executable
+directive, and host synchronization points::
+
+    // Somier-style halo exchange (comments run to end of line)
+    declare N = 64
+    declare pos[N]
+    declare force[N]
+    machine 2                      // optional: number of devices
+
+    #pragma omp target enter data spread devices(0,1) \
+        range(1:N-2) chunk_size(16) \
+        map(to: pos[omp_spread_start-1 : omp_spread_size+2])
+
+    #pragma omp target spread devices(0,1) \
+        map(to: pos[omp_spread_start-1 : omp_spread_size+2]) \
+        map(from: force[omp_spread_start : omp_spread_size])
+    loop(1 : N-2)
+
+    taskwait
+
+Statements:
+
+* ``declare NAME = expr`` — integer scalar constant (exprs may use
+  previously declared scalars, ``+ - *`` and parentheses);
+* ``declare NAME[expr]`` — host array with the given extent;
+* ``machine N`` — the node has ``N`` devices (enables device-id range
+  checks); optional;
+* a pragma line (leading ``#pragma``/``#``/``omp`` accepted, ``\``
+  continuations joined) — parsed with the real
+  :mod:`repro.pragma` front end;
+* ``loop(start : length)`` — the associated loop of the **preceding**
+  executable directive;
+* ``taskwait`` — host joins all in-flight work.
+
+Bad-fixture files annotate their expected findings with
+``// expect: SL201 SL202`` comments (anywhere in the file); ``repro lint
+--expect`` checks emitted codes against them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.pragma import ast_nodes as A
+from repro.pragma.parser import _Parser
+from repro.pragma.lexer import TokenKind
+from repro.util.errors import OmpSyntaxError
+
+_EXPECT_RE = re.compile(r"//\s*expect:\s*((?:SL\d{3}[\s,]*)+)")
+_CODE_RE = re.compile(r"SL\d{3}")
+
+
+@dataclass
+class DirectiveStmt:
+    """One pragma statement (continuations already joined)."""
+
+    line: int                      # 1-based line of the first pragma line
+    text: str                      # joined pragma text, continuations removed
+    loop: Optional[Tuple[int, int]] = None   # (lo, hi) of the associated loop
+    loop_line: int = 0
+
+
+@dataclass
+class TaskwaitStmt:
+    line: int
+
+
+@dataclass
+class OmpProgram:
+    """A structurally parsed ``.omp`` listing."""
+
+    path: str = ""
+    scalars: Dict[str, int] = field(default_factory=dict)
+    arrays: Dict[str, int] = field(default_factory=dict)   # name -> extent
+    machine: Optional[int] = None
+    statements: List[object] = field(default_factory=list)
+    expected_codes: Tuple[str, ...] = ()
+
+
+def parse_expr_text(text: str) -> A.Expr:
+    """Parse one expression with the pragma front end (must consume all)."""
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    tok = parser.peek()
+    if tok.kind is not TokenKind.EOF:
+        raise OmpSyntaxError(f"unexpected {tok.text!r} after expression",
+                             text, tok.pos)
+    return expr
+
+
+def eval_expr_int(expr: A.Expr, env: Dict[str, int]) -> int:
+    """Evaluate an AST expression to an int over an integer environment.
+
+    ``env`` supplies scalar constants and, per chunk, concrete values for
+    ``omp_spread_start``/``omp_spread_size``.  Raises :class:`KeyError`
+    with the missing name for undefined identifiers.
+    """
+    if isinstance(expr, A.Num):
+        return expr.value
+    if isinstance(expr, A.Ident):
+        return env[expr.name]
+    if isinstance(expr, A.BinOp):
+        left = eval_expr_int(expr.left, env)
+        right = eval_expr_int(expr.right, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        return left * right
+    raise TypeError(f"unsupported expression node {expr!r}")
+
+
+def _join_continuations(lines: List[str]) -> List[Tuple[int, str]]:
+    """Join ``\\``-continued lines; returns ``(first_line_no, text)``."""
+    out: List[Tuple[int, str]] = []
+    i = 0
+    while i < len(lines):
+        start = i + 1
+        text = lines[i]
+        while text.rstrip().endswith("\\") and i + 1 < len(lines):
+            text = text.rstrip()[:-1] + " " + lines[i + 1]
+            i += 1
+        out.append((start, text))
+        i += 1
+    return out
+
+
+def _strip_comment(text: str) -> str:
+    idx = text.find("//")
+    return text if idx < 0 else text[:idx]
+
+
+def parse_program(source: str, path: str = "") -> Tuple[OmpProgram,
+                                                        List[Diagnostic]]:
+    """Structurally parse a ``.omp`` listing.
+
+    Pragma statements are kept as text — the linter parses them with the
+    real front end so syntax/sema findings carry the statement context.
+    Structural problems (bad declares, stray ``loop``) come back as
+    ``SL003``/``SL101`` diagnostics alongside the partial program.
+    """
+    program = OmpProgram(path=path)
+    diagnostics: List[Diagnostic] = []
+    expected: List[str] = []
+    for match in _EXPECT_RE.finditer(source):
+        expected.extend(_CODE_RE.findall(match.group(1)))
+    program.expected_codes = tuple(dict.fromkeys(expected))
+
+    def err(code: str, message: str, line: int, text: str,
+            offset: Optional[int] = None) -> None:
+        diagnostics.append(Diagnostic(code=code, message=message, path=path,
+                                      line=line, source=text.strip(),
+                                      offset=offset))
+
+    def eval_scalar(text: str, line: int, stmt_text: str) -> Optional[int]:
+        try:
+            expr = parse_expr_text(text)
+        except OmpSyntaxError as exc:
+            err("SL003", f"bad expression: {exc.args[0].splitlines()[0]}",
+                line, stmt_text)
+            return None
+        try:
+            return eval_expr_int(expr, program.scalars)
+        except KeyError as exc:
+            err("SL101", f"undefined identifier {exc.args[0]!r}", line,
+                stmt_text)
+            return None
+
+    for line_no, raw in _join_continuations(source.splitlines()):
+        text = _strip_comment(raw).strip()
+        if not text:
+            continue
+        head = text.split(None, 1)[0]
+
+        if head == "declare":
+            rest = text[len("declare"):].strip()
+            m = re.fullmatch(r"(\w+)\s*\[\s*(.+?)\s*\]", rest)
+            if m:
+                extent = eval_scalar(m.group(2), line_no, text)
+                if extent is not None:
+                    if extent < 0:
+                        err("SL003", f"array {m.group(1)!r} has negative "
+                            f"extent {extent}", line_no, text)
+                    else:
+                        program.arrays[m.group(1)] = extent
+                continue
+            m = re.fullmatch(r"(\w+)\s*=\s*(.+)", rest)
+            if m:
+                value = eval_scalar(m.group(2), line_no, text)
+                if value is not None:
+                    program.scalars[m.group(1)] = value
+                continue
+            err("SL003", "expected 'declare NAME = expr' or "
+                "'declare NAME[expr]'", line_no, text)
+            continue
+
+        if head == "machine":
+            rest = text[len("machine"):].strip()
+            value = eval_scalar(rest, line_no, text) if rest else None
+            if rest and value is not None:
+                if value < 1:
+                    err("SL003", f"machine needs at least 1 device, got "
+                        f"{value}", line_no, text)
+                else:
+                    program.machine = value
+            elif not rest:
+                err("SL003", "expected 'machine N'", line_no, text)
+            continue
+
+        if head == "taskwait":
+            if text != "taskwait":
+                err("SL003", "taskwait takes no arguments", line_no, text)
+            program.statements.append(TaskwaitStmt(line=line_no))
+            continue
+
+        if head.startswith("loop"):
+            m = re.fullmatch(r"loop\s*\(\s*(.+?)\s*:\s*(.+?)\s*\)", text)
+            if not m:
+                err("SL003", "expected 'loop(start : length)'", line_no, text)
+                continue
+            prev = program.statements[-1] if program.statements else None
+            if not isinstance(prev, DirectiveStmt) or prev.loop is not None:
+                err("SL003", "loop(...) must directly follow an executable "
+                    "directive", line_no, text)
+                continue
+            lo = eval_scalar(m.group(1), line_no, text)
+            length = eval_scalar(m.group(2), line_no, text)
+            if lo is None or length is None:
+                continue
+            if length < 0:
+                err("SL003", f"loop length is negative ({length})",
+                    line_no, text)
+                continue
+            prev.loop = (lo, lo + length)
+            prev.loop_line = line_no
+            continue
+
+        if head in ("#pragma", "pragma", "omp") or text.startswith("#"):
+            program.statements.append(DirectiveStmt(line=line_no, text=text))
+            continue
+
+        err("SL003", f"unrecognized statement {head!r}", line_no, text)
+
+    return program, diagnostics

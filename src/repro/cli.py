@@ -11,16 +11,25 @@ Subcommands:
 * ``listing3`` — print the chunk distribution of the paper's worked example
                  for a given range/chunk/device list;
 * ``check``    — parse + semantically check a pragma string (a tiny
-                 "compiler driver" exposing the frontend diagnostics).
+                 "compiler driver" exposing the frontend diagnostics);
+* ``lint``     — run the spreadlint static analyzer over ``.omp`` program
+                 listings (see docs/static-analysis.md).
+
+Exit codes follow compiler-driver convention: 0 on success (or
+warnings-only lint), 1 when any error diagnostic is emitted, 2 on usage
+errors.
 
 Examples::
 
     python -m repro somier --impl one_buffer --gpus 4 --steps 8 --trace
     python -m repro somier --steps 2 --profile --trace-json /tmp/t.json
+    python -m repro somier --steps 2 --sanitize
     python -m repro stats --impl one_buffer --gpus 4
     python -m repro table1 --n-functional 64
     python -m repro listing3 --lo 1 --hi 13 --chunk 4 --devices 2,0,1
     python -m repro check "omp target spread devices(0,1) nowait"
+    python -m repro lint examples/omp tests/fixtures/lint/good
+    python -m repro lint --expect tests/fixtures/lint/bad
 """
 
 from __future__ import annotations
@@ -80,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=None, metavar="N",
                    help="fault-injection RNG seed (default: "
                         "$REPRO_FAULT_SEED or 0)")
+    p.add_argument("--sanitize", nargs="?", const="on", default=None,
+                   choices=["on", "strict"], metavar="MODE",
+                   help="enable the interval race sanitizer (MODE 'strict' "
+                        "also fails the run on races; default: "
+                        "$REPRO_SANITIZE or off)")
     p.add_argument("--trace", action="store_true",
                    help="print an ASCII timeline of the run")
     p.add_argument("--verify", action="store_true",
@@ -115,6 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=None, metavar="N",
                    help="fault-injection RNG seed (default: "
                         "$REPRO_FAULT_SEED or 0)")
+    p.add_argument("--sanitize", nargs="?", const="on", default=None,
+                   choices=["on", "strict"], metavar="MODE",
+                   help="enable the interval race sanitizer (default: "
+                        "$REPRO_SANITIZE or off)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text tables")
     p.add_argument("--full", action="store_true",
@@ -138,6 +156,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--extensions", type=str, default="",
                    help="comma-separated extension flags to enable "
                         "(data_depend,schedules,reduction)")
+
+    p = sub.add_parser("lint",
+                       help="run the spreadlint static analyzer over "
+                            ".omp program listings")
+    p.add_argument("paths", nargs="+", metavar="PATH",
+                   help=".omp files, or directories scanned recursively")
+    p.add_argument("--json", action="store_true",
+                   help="emit diagnostics as JSON")
+    p.add_argument("--expect", action="store_true",
+                   help="fixture mode: every file must emit (at least) the "
+                        "codes its '// expect: SL...' comments announce; "
+                        "files without annotations must lint clean")
 
     p = sub.add_parser("machine",
                        help="describe the calibrated simulated node")
@@ -163,6 +193,7 @@ def cmd_somier(args) -> int:
                      plan_cache=not args.no_plan_cache,
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
+                     sanitize=args.sanitize,
                      tools=prof.tools if prof else ())
     print(f"{args.impl} on {len(devices)} device(s) {devices}: "
           f"{format_hms(res.elapsed)} virtual")
@@ -175,6 +206,8 @@ def cmd_somier(args) -> int:
     centers = res.centers[-1]
     print(f"final centers: ({centers[0]:.6f}, {centers[1]:.6f}, "
           f"{centers[2]:.6f})")
+    if res.runtime.sanitizer is not None:
+        print(res.runtime.sanitizer.summary())
     if args.verify:
         import numpy as np
 
@@ -222,6 +255,7 @@ def cmd_stats(args) -> int:
                      plan_cache=not args.no_plan_cache,
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
+                     sanitize=args.sanitize,
                      tools=prof.tools)
     report = prof.report(makespan=res.elapsed)
     if args.json:
@@ -276,6 +310,85 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import json as json_mod
+    import os
+
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.linter import lint_program
+    from repro.analysis.program import parse_program
+
+    files: List[str] = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            found = sorted(
+                os.path.join(root, fn)
+                for root, _dirs, fns in os.walk(path)
+                for fn in fns if fn.endswith(".omp"))
+            if not found:
+                print(f"error: no .omp files under {path!r}", file=sys.stderr)
+                return 2
+            files.extend(found)
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            print(f"error: no such file or directory: {path!r}",
+                  file=sys.stderr)
+            return 2
+
+    exit_code = 0
+    payload = []
+    errors = warnings = 0
+    for fpath in files:
+        with open(fpath) as f:
+            source = f.read()
+        program, structural = parse_program(source, path=fpath)
+        diags = lint_program(program, structural)
+        emitted = {d.code for d in diags}
+        errors += sum(1 for d in diags if d.severity is Severity.ERROR)
+        warnings += sum(1 for d in diags if d.severity is Severity.WARNING)
+        entry = {"path": fpath,
+                 "diagnostics": [d.to_dict() for d in diags]}
+        if args.expect:
+            expected = set(program.expected_codes)
+            missing = sorted(expected - emitted)
+            # A file with annotations must emit every announced code; a
+            # file without them must lint completely clean.
+            ok = not missing if expected else not diags
+            entry["expected"] = sorted(expected)
+            entry["ok"] = ok
+            if not ok:
+                exit_code = 1
+            if not args.json:
+                if ok:
+                    detail = (f"emits {', '.join(sorted(expected))}"
+                              if expected else "clean")
+                    print(f"PASS {fpath}: {detail}")
+                elif missing:
+                    print(f"FAIL {fpath}: missing expected "
+                          f"{', '.join(missing)} (emitted: "
+                          f"{', '.join(sorted(emitted)) or 'none'})")
+                else:
+                    print(f"FAIL {fpath}: expected a clean program, got "
+                          f"{', '.join(sorted(emitted))}")
+                    for diag in diags:
+                        print(diag.render())
+        else:
+            if any(d.severity is Severity.ERROR for d in diags):
+                exit_code = 1
+            if not args.json:
+                for diag in diags:
+                    print(diag.render())
+        payload.append(entry)
+    if args.json:
+        print(json_mod.dumps({"files": payload, "errors": errors,
+                              "warnings": warnings}, indent=2))
+    elif not args.expect:
+        print(f"{len(files)} file(s): {errors} error(s), "
+              f"{warnings} warning(s)")
+    return exit_code
+
+
 def cmd_machine(args) -> int:
     from repro.util.format import format_bytes
 
@@ -318,6 +431,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_listing3(args)
         if args.command == "check":
             return cmd_check(args)
+        if args.command == "lint":
+            return cmd_lint(args)
         if args.command == "machine":
             return cmd_machine(args)
     except OmpError as err:

@@ -49,6 +49,11 @@ metric                              populated from
 ``devices_lost``                    ``fault_event`` (kind=device_lost)
 ``fault_failovers{device}``         ``fault_event`` (kind=failover: chunk
                                     re-routed to a survivor)
+``analysis_ops_recorded{device}``   ``sanitizer_op`` (race-sanitizer
+                                    footprints recorded)
+``analysis_access_checks``          ``sanitizer_op`` (frontier comparisons)
+``analysis_races``                  ``sanitizer_race`` (conflicting
+                                    unordered access pairs reported)
 =================================  ==========================================
 """
 
@@ -207,6 +212,18 @@ class MetricsTool(Tool):
             reg.counter("devices_lost").inc()
         elif kind == "failover":
             reg.counter("fault_failovers", device=device).inc()
+
+    # -- race sanitizer -----------------------------------------------------------
+
+    def on_sanitizer_op(self, *, device: Optional[int] = None,
+                        checks: int = 0, **kw: Any) -> None:
+        reg = self.registry
+        reg.counter("analysis_ops_recorded",
+                    device=-1 if device is None else device).inc()
+        reg.counter("analysis_access_checks").inc(checks)
+
+    def on_sanitizer_race(self, **kw: Any) -> None:
+        self.registry.counter("analysis_races").inc()
 
     # -- convenience --------------------------------------------------------------
 

@@ -158,6 +158,20 @@ class ProfileReport:
             "failovers": failovers,
         }
 
+    # -- race sanitizer -----------------------------------------------------------
+
+    def analysis_summary(self) -> Optional[Dict[str, Any]]:
+        """Race-sanitizer counters, or None if the sanitizer was off."""
+        reg = self.registry
+        ops = int(reg.sum_counter("analysis_ops_recorded"))
+        if ops == 0:
+            return None
+        return {
+            "ops_recorded": ops,
+            "access_checks": int(reg.counter_value("analysis_access_checks")),
+            "races": int(reg.counter_value("analysis_races")),
+        }
+
     # -- rendering --------------------------------------------------------------
 
     def render_text(self) -> str:
@@ -210,6 +224,12 @@ class ProfileReport:
                 f"{fa['giveups']:d} giveups, "
                 f"{fa['devices_lost']:d} devices lost, "
                 f"{fa['failovers']:d} failovers")
+        an = self.analysis_summary()
+        if an is not None:
+            totals.append(
+                f"sanitizer: {an['ops_recorded']:d} ops recorded, "
+                f"{an['access_checks']:d} access checks, "
+                f"{an['races']:d} race(s)")
         parts.append("")
         parts.extend(totals)
         return "\n".join(parts) if (drows or vrows) else (
@@ -230,6 +250,9 @@ class ProfileReport:
         fa = self.fault_summary()
         if fa is not None:
             payload["faults"] = fa
+        an = self.analysis_summary()
+        if an is not None:
+            payload["analysis"] = an
         if self.spans is not None:
             self.spans.finalize()
             payload["spans"] = {

@@ -43,6 +43,14 @@ Callback points (→ closest OMPT event):
                           device_lost / failover, fired by the device
                           layer, the retry wrapper and the spread
                           failover path
+``sanitizer_op``          the race sanitizer recorded one op footprint
+                          (closest analogue: an Archer/TSan access
+                          annotation); payload carries the access and
+                          check counts
+``sanitizer_race``        the race sanitizer reported one pair of
+                          conflicting unordered accesses
+                          (``ompt_callback_error`` is the nearest OMPT
+                          event)
 =======================  ==================================================
 """
 
@@ -68,6 +76,8 @@ PLAN_CACHE = "plan_cache"
 # below the obs layer and must not import it).
 EXECUTOR_EPOCH = "executor_epoch"
 FAULT_EVENT = "fault_event"
+SANITIZER_OP = "sanitizer_op"
+SANITIZER_RACE = "sanitizer_race"
 
 CALLBACK_POINTS = (
     DIRECTIVE_BEGIN,
@@ -84,6 +94,8 @@ CALLBACK_POINTS = (
     PLAN_CACHE,
     EXECUTOR_EPOCH,
     FAULT_EVENT,
+    SANITIZER_OP,
+    SANITIZER_RACE,
 )
 
 #: kinds carried by ``fault_event`` payloads (the ``kind=`` field)

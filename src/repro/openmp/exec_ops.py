@@ -104,6 +104,39 @@ def gather_entry_waits(rt, device_id: int,
     return waits, [registrar]
 
 
+def kernel_accesses(rt, device_id: int,
+                    concrete_maps: Sequence[ConcreteMap]):
+    """Residency-precise sanitizer footprint of one kernel op.
+
+    Sections already resident on *device_id* at submit time make the
+    kernel's implicit-entry copy-in a present hit — no host read happens —
+    so their reads are dropped from the recorded footprint.  The resilient
+    launch path uses this: a failed-over sibling's standalone write-back
+    genuinely writes the host, and the default over-approximated halo
+    reads of healthy chunks would spuriously race against it.
+
+    Residency is the present table *or* the sanitizer's submit-order
+    entered set: a depend-ordered prefetch enter (§IX ``data_depend``) is
+    submitted nowait and has not populated the table yet, but it is
+    ordered before this kernel, so the copy-in is still a present hit.
+    """
+    from repro.analysis.sanitizer import accesses_from_maps
+    san = rt.sanitizer
+    env = rt.dataenv(device_id)
+    resident = set()
+    for i, (clause, interval) in enumerate(concrete_maps):
+        try:
+            if env.lookup(clause.var, interval) is not None:
+                resident.add(i)
+                continue
+        except OmpMappingError:
+            pass
+        if san is not None and san.entered_covers(device_id,
+                                                  clause.var.name, interval):
+            resident.add(i)
+    return accesses_from_maps(concrete_maps, resident=resident)
+
+
 # ---------------------------------------------------------------------------
 # fault retry
 # ---------------------------------------------------------------------------
@@ -446,9 +479,16 @@ def submit_op(ctx: TaskCtx, device_id: int, opgen: Generator,
         tools.dispatch(TARGET_SUBMIT, device=device_id, name=name,
                        directive=directive_id, time=ctx.rt.sim.now)
     waits, registrars = gather_entry_waits(ctx.rt, device_id, concrete_maps)
-    return ctx.submit(opgen, name=name, concrete_deps=concrete_deps,
+    proc = ctx.submit(opgen, name=name, concrete_deps=concrete_deps,
                       extra_waits=waits, inflight_registrars=registrars,
                       device=device_id, directive_id=directive_id)
+    san = ctx.rt.sanitizer
+    if san is not None:
+        from repro.analysis.sanitizer import accesses_from_maps
+
+        san.record_op(proc, accesses_from_maps(concrete_maps),
+                      device=device_id, directive=directive_id, name=name)
+    return proc
 
 
 def submit_spread(ctx: TaskCtx, items,
@@ -462,12 +502,23 @@ def submit_spread(ctx: TaskCtx, items,
     of one directive are conceptually simultaneous and must not order
     against each other — their sections may overlap (position halos) yet
     they write distinct per-device copies.
+
+    An item may carry an optional sixth element: the sanitizer footprint
+    to record instead of the maps' default one.  Failover uses it — a
+    re-routed data directive is a no-op (empty footprint) and a re-routed
+    kernel runs standalone (every map read, owned rows written), so the
+    planned maps no longer describe what touches the host.
     """
     rt = ctx.rt
     tools = rt.tools
+    san = rt.sanitizer
+    if san is not None:
+        from repro.analysis.sanitizer import accesses_from_maps
     procs: List[Process] = []
     to_register = []
-    for device_id, opgen, concrete_maps, concrete_deps, name in items:
+    for item in items:
+        device_id, opgen, concrete_maps, concrete_deps, name = item[:5]
+        accesses = item[5] if len(item) > 5 else None
         waits, registrars = gather_entry_waits(rt, device_id, concrete_maps)
         deps = list(concrete_deps)
         if deps:
@@ -483,6 +534,12 @@ def submit_spread(ctx: TaskCtx, items,
         proc = ctx.submit(opgen, name=name, extra_waits=waits,
                           inflight_registrars=registrars,
                           device=device_id, directive_id=directive_id)
+        if san is not None:
+            san.record_op(proc,
+                          accesses_from_maps(concrete_maps)
+                          if accesses is None else accesses,
+                          device=device_id, directive=directive_id,
+                          name=name)
         if deps:
             to_register.append((deps, proc))
         procs.append(proc)

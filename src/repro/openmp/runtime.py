@@ -119,7 +119,8 @@ class OpenMPRuntime:
                  workers: Optional[int] = None,
                  faults: FaultsSpec = None,
                  fault_seed: Optional[int] = None,
-                 retry: Optional[RetryPolicy] = None):
+                 retry: Optional[RetryPolicy] = None,
+                 sanitize=None):
         self.topology = topology if topology is not None else cte_power_node(4)
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.sim = Simulator()
@@ -175,6 +176,20 @@ class OpenMPRuntime:
         #: that contains device operations drains *all* devices ("a barrier
         #: that synchronizes all devices", Discussion section).
         self.taskgroup_global_drain = taskgroup_global_drain
+        #: interval race sanitizer (repro.analysis.sanitizer) or None;
+        #: ``sanitize`` defaults to $REPRO_SANITIZE ("1"/"on"/"strict").
+        #: Lazily imported so unsanitized runs never load the analysis
+        #: package.
+        self.sanitizer = None
+        if sanitize is not None or os.environ.get("REPRO_SANITIZE"):
+            from repro.analysis.sanitizer import (RaceSanitizer,
+                                                  resolve_sanitize)
+
+            mode = resolve_sanitize(sanitize)
+            if mode is not None:
+                self.sanitizer = RaceSanitizer(rt=self,
+                                               strict=mode == "strict")
+                self.sanitizer.install(self.sim)
         self._tasks: List[Process] = []
         self._device_ops: List[Process] = []
         self._ran = False
@@ -269,12 +284,19 @@ class OpenMPRuntime:
         self._ran = True
         root = TaskCtx(self, parent=None)
         main = self.sim.process(program(root, *args), name="main")
+        if self.sanitizer is not None:
+            root._san_proc = main
         self._tasks.append(main)
         try:
             result = self.sim.run(until=main)
             # Drain stragglers (nowait tasks nobody joined).
             self.sim.run()
             self._raise_lost_failures()
+            if self.sanitizer is not None and self.sanitizer.strict \
+                    and self.sanitizer.reports:
+                from repro.util.errors import DataRaceError
+
+                raise DataRaceError(self.sanitizer.summary())
             return result
         finally:
             if self.executor is not None:

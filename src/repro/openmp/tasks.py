@@ -79,6 +79,11 @@ class TaskCtx:
         self.groups: List[Taskgroup] = list(groups)
         self.children: List[Event] = []
         self.name = "main" if parent is None else "task"
+        # The simulator process currently executing this context's body;
+        # the race sanitizer seeds new tasks from its clock.  Set by
+        # OpenMPRuntime.run for the root context and by task() for
+        # explicit children; stays None when the sanitizer is off.
+        self._san_proc: Optional[Process] = None
 
     # -- properties -------------------------------------------------------------
 
@@ -118,6 +123,10 @@ class TaskCtx:
                 self._task_completed(tid, child.name)
 
         proc = self.sim.process(body(), name=child.name)
+        san = self.rt.sanitizer
+        if san is not None:
+            child._san_proc = proc
+            san.seed(proc, self._san_proc)
         self._register_child(proc)
         return proc
 
@@ -176,6 +185,12 @@ class TaskCtx:
         # never observe host arrays inline — so resuming them must not
         # close the parallel backend's work window (see Process.work_safe).
         proc.work_safe = True
+        san = self.rt.sanitizer
+        if san is not None:
+            # Every happens-before source of this op is fixed here: the
+            # submitter's history plus the wait-set (depend edges and
+            # per-buffer in-flight waits).
+            san.seed(proc, self._san_proc, waits)
         if deps:
             self.rt.depend.register(deps, proc)
         for registrar in inflight_registrars:

@@ -4,12 +4,18 @@ A parsed pragma is a :class:`Directive`: a kind (which directive of the
 ``target`` / ``target spread`` families it is) plus a list of typed clause
 nodes.  Expressions are tiny affine trees over integer literals, host-code
 identifiers, and the two special spread identifiers.
+
+Clause and section nodes carry a ``pos`` — the character offset of the
+node in the (stripped) pragma text — so sema and lint diagnostics can
+point a caret at the offending clause.  ``pos`` is excluded from equality
+so that two parses of equivalent text (e.g. a round-trip through unparse,
+which reflows the clauses) still compare AST-equal.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 
@@ -65,6 +71,7 @@ class SectionNode:
     name: str
     start: Optional[Expr] = None
     length: Optional[Expr] = None
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
     @property
     def whole_array(self) -> bool:
@@ -114,12 +121,14 @@ class Clause:
 class DeviceClause(Clause):
     name = "device"
     device: Expr = Num(0)
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class DevicesClause(Clause):
     name = "devices"
     devices: Tuple[Expr, ...] = ()
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -127,6 +136,7 @@ class SpreadScheduleClause(Clause):
     name = "spread_schedule"
     kind: str = "static"
     chunk: Optional[Expr] = None
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -134,12 +144,14 @@ class RangeClause(Clause):
     name = "range"
     start: Expr = Num(0)
     length: Expr = Num(0)
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class ChunkSizeClause(Clause):
     name = "chunk_size"
     chunk: Expr = Num(1)
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -147,6 +159,7 @@ class MapClauseNode(Clause):
     name = "map"
     map_type: str = "tofrom"  # to / from / tofrom / alloc / release / delete
     items: Tuple[SectionNode, ...] = ()
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -156,6 +169,7 @@ class MotionClause(Clause):
     name = "motion"
     direction: str = "to"  # 'to' | 'from'
     items: Tuple[SectionNode, ...] = ()
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -163,23 +177,27 @@ class DependClause(Clause):
     name = "depend"
     kind: str = "inout"  # in / out / inout
     items: Tuple[SectionNode, ...] = ()
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class NowaitClause(Clause):
     name = "nowait"
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class NumTeamsClause(Clause):
     name = "num_teams"
     value: Expr = Num(1)
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class ThreadLimitClause(Clause):
     name = "thread_limit"
     value: Expr = Num(1)
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)

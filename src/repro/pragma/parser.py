@@ -18,6 +18,7 @@ Grammar (clauses may appear in any order after the directive name)::
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional, Tuple
 
 from repro.pragma import ast_nodes as A
@@ -158,15 +159,16 @@ class _Parser:
     # -- sections -----------------------------------------------------------------
 
     def parse_section(self) -> A.SectionNode:
-        name = self.expect(TokenKind.IDENT, "array name").text
+        tok = self.expect(TokenKind.IDENT, "array name")
+        name = tok.text
         if self.peek().kind is not TokenKind.LBRACKET:
-            return A.SectionNode(name)
+            return A.SectionNode(name, pos=tok.pos)
         self.advance()
         start = self.parse_expr()
         self.expect(TokenKind.COLON, "':' in array section")
         length = self.parse_expr()
         self.expect(TokenKind.RBRACKET, "']'")
-        return A.SectionNode(name, start, length)
+        return A.SectionNode(name, start, length, pos=tok.pos)
 
     def parse_section_list(self) -> Tuple[A.SectionNode, ...]:
         items = [self.parse_section()]
@@ -192,7 +194,10 @@ class _Parser:
         if handler is None:
             raise self.error(f"unknown clause {name!r}")
         self.advance()
-        return handler()
+        clause = handler()
+        # Stamp the clause-keyword offset; pos compares equal regardless
+        # (compare=False) so round-trip AST equality is unaffected.
+        return dataclasses.replace(clause, pos=tok.pos)
 
     def _paren_open(self) -> None:
         self.expect(TokenKind.LPAREN, "'('")

@@ -101,8 +101,18 @@ _DEPEND_IS_EXTENSION = (_D.TARGET_ENTER_DATA_SPREAD,
                         _D.TARGET_UPDATE_SPREAD)
 
 
-def _err(directive: A.Directive, message: str) -> OmpSemaError:
-    return OmpSemaError(f"{directive.kind.value}: {message}")
+def _pragma_text(directive: A.Directive) -> str:
+    """The text node positions are offsets into (see ``parse_pragma``)."""
+    text = directive.source.strip()
+    if text.startswith("#"):
+        text = text[1:]
+    return text
+
+
+def _err(directive: A.Directive, message: str,
+         pos: Optional[int] = None) -> OmpSemaError:
+    return OmpSemaError(f"{directive.kind.value}: {message}",
+                        source=_pragma_text(directive), offset=pos)
 
 
 def _expr_uses_spread_symbols(expr: Optional[A.Expr]) -> bool:
@@ -134,11 +144,13 @@ def check_directive(directive: A.Directive,
     for clause in directive.clauses:
         if not isinstance(clause, allowed):
             raise _err(directive,
-                       f"clause {clause.name!r} is not allowed here")
+                       f"clause {clause.name!r} is not allowed here",
+                       pos=clause.pos)
         if isinstance(clause, _AT_MOST_ONCE):
             if type(clause) in seen_once:
                 raise _err(directive,
-                           f"clause {clause.name!r} appears more than once")
+                           f"clause {clause.name!r} appears more than once",
+                           pos=clause.pos)
             seen_once.add(type(clause))
 
     # required clauses
@@ -150,7 +162,8 @@ def check_directive(directive: A.Directive,
     # devices list must be non-empty
     devices = directive.find(A.DevicesClause)
     if devices is not None and not devices.devices:
-        raise _err(directive, "devices() needs at least one device")
+        raise _err(directive, "devices() needs at least one device",
+                   pos=devices.pos)
 
     # spread_schedule kind restriction (static only; extensions gated)
     sched = directive.find(A.SpreadScheduleClause)
@@ -162,10 +175,12 @@ def check_directive(directive: A.Directive,
                 raise _err(directive,
                            f"spread_schedule({sched.kind}, ...) is not "
                            "supported yet (paper supports only 'static'; "
-                           "enable the schedules extension)")
+                           "enable the schedules extension)",
+                           pos=sched.pos)
         else:
             raise _err(directive,
-                       f"unknown spread_schedule kind {sched.kind!r}")
+                       f"unknown spread_schedule kind {sched.kind!r}",
+                       pos=sched.pos)
 
     # depend on data-spread directives is future work (§IX)
     if kind in _DEPEND_IS_EXTENSION and directive.find(A.DependClause):
@@ -173,7 +188,8 @@ def check_directive(directive: A.Directive,
             raise _err(directive,
                        "the depend clause is not supported yet on this "
                        "directive (paper §IX future work; enable the "
-                       "data_depend extension)")
+                       "data_depend extension)",
+                       pos=directive.find(A.DependClause).pos)
 
     # map-type admissibility
     for clause in directive.find_all(A.MapClauseNode):
@@ -181,13 +197,15 @@ def check_directive(directive: A.Directive,
         if clause.map_type not in allowed_types:
             raise _err(directive,
                        f"map type {clause.map_type!r} not allowed "
-                       f"(expected {'/'.join(sorted(allowed_types))})")
+                       f"(expected {'/'.join(sorted(allowed_types))})",
+                       pos=clause.pos)
 
     # update motion directions
     for clause in directive.find_all(A.MotionClause):
         if clause.direction not in ("to", "from"):
             raise _err(directive,
-                       f"unknown update direction {clause.direction!r}")
+                       f"unknown update direction {clause.direction!r}",
+                       pos=clause.pos)
 
     # spread symbols only inside spread-directive sections
     for clause in directive.clauses:
@@ -197,17 +215,20 @@ def check_directive(directive: A.Directive,
             if uses and not kind.is_spread:
                 raise _err(directive,
                            "omp_spread_start/omp_spread_size are only "
-                           "defined inside spread directives")
+                           "defined inside spread directives",
+                           pos=section.pos)
         # ... and nowhere outside sections
         for attr in ("device", "chunk", "start", "length", "value"):
             expr = getattr(clause, attr, None)
             if isinstance(expr, A.Expr) and _expr_uses_spread_symbols(expr):
                 raise _err(directive,
                            "omp_spread_start/omp_spread_size may only "
-                           "appear inside array sections")
+                           "appear inside array sections",
+                           pos=clause.pos)
         if isinstance(clause, A.DevicesClause):
             for expr in clause.devices:
                 if _expr_uses_spread_symbols(expr):
                     raise _err(directive,
                                "omp_spread_start/omp_spread_size may not "
-                               "appear in the devices clause")
+                               "appear in the devices clause",
+                               pos=clause.pos)

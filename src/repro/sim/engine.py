@@ -132,12 +132,17 @@ class Process(Event):
     Other processes can therefore ``yield proc`` to join it.
     """
 
-    __slots__ = ("gen", "name", "work_safe", "_waiting_on", "_interrupts")
+    __slots__ = ("gen", "name", "work_safe", "san_clock", "_waiting_on",
+                 "_interrupts")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        # Race-sanitizer vector clock: a bitmask of the access-record bits
+        # this process is ordered after (see repro.analysis.sanitizer).
+        # Plain int OR operations; dead weight unless sim.san_hook is set.
+        self.san_clock = 0
         # Processes that only *register* deferred real work (device
         # operations) and never observe host arrays inline set this True;
         # resuming any other process closes the current work window so the
@@ -178,6 +183,9 @@ class Process(Event):
         if self._waiting_on is not ev:
             return  # stale wakeup (process was interrupted or finished)
         self._waiting_on = None
+        hook = self.sim.san_hook
+        if hook is not None:
+            hook(self, ev)
         if ev.ok:
             self._step(ev.value, None)
         else:
@@ -216,6 +224,9 @@ class Process(Event):
                 continue
             if target._processed:
                 # Already fully delivered: continue synchronously.
+                hook = self.sim.san_hook
+                if hook is not None:
+                    hook(self, target)
                 if target._ok:
                     value, exc = target._value, None
                 else:
@@ -313,6 +324,11 @@ class Simulator:
         # The engine never imports it: anything with submit/flush/pending
         # works, which keeps this module free of NumPy and pool concerns.
         self._executor: Any = None
+        # Optional race-sanitizer join hook: called as hook(process, event)
+        # whenever a process receives a completed event, so the sanitizer
+        # can merge the event's clock into the process (happens-before
+        # join).  None keeps the hot path untouched.
+        self.san_hook: Optional[Callable[["Process", Event], None]] = None
         # Shared already-processed event used as every Process's initial
         # wait target (see Process.__init__ / Process._start).
         self._proc_init = Event(self)

@@ -75,6 +75,7 @@ def run_somier(impl: str, config: SomierConfig,
                workers: Optional[int] = None,
                faults: Optional[str] = None,
                fault_seed: Optional[int] = None,
+               sanitize=None,
                tools: Sequence[Tool] = ()) -> SomierResult:
     """Run one Somier experiment; see the module docstring.
 
@@ -94,6 +95,8 @@ def run_somier(impl: str, config: SomierConfig,
     ``faults``/``fault_seed`` (CLI ``--faults``/``--fault-seed``) enable
     seeded fault injection; None consults ``REPRO_FAULTS`` and
     ``REPRO_FAULT_SEED`` — see :mod:`repro.sim.faults`.
+    ``sanitize`` (CLI ``--sanitize``) enables the interval race sanitizer;
+    None consults ``REPRO_SANITIZE`` — see :mod:`repro.analysis.sanitizer`.
     """
     if impl not in IMPLEMENTATIONS:
         raise OmpRuntimeError(
@@ -104,7 +107,8 @@ def run_somier(impl: str, config: SomierConfig,
                        trace_enabled=trace,
                        taskgroup_global_drain=taskgroup_global_drain,
                        plan_cache=plan_cache, workers=workers,
-                       faults=faults, fault_seed=fault_seed)
+                       faults=faults, fault_seed=fault_seed,
+                       sanitize=sanitize)
     devs = list(devices) if devices is not None else list(range(topo.num_devices))
     for tool in tools:
         rt.tools.register(tool)
@@ -139,6 +143,12 @@ def run_somier(impl: str, config: SomierConfig,
             "fault_retries": rt.fault_retries,
             "fault_failovers": rt.fault_failovers,
             "devices_lost": len(rt.lost_devices),
+        })
+    if rt.sanitizer is not None:
+        stats.update({
+            "sanitizer_ops": rt.sanitizer.ops_recorded,
+            "sanitizer_checks": rt.sanitizer.access_checks,
+            "sanitizer_races": rt.sanitizer.races,
         })
     if rt.executor is not None:
         stats.update({

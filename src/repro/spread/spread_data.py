@@ -83,6 +83,17 @@ def _build_data_plan(chunks: Sequence[Chunk], maps: Sequence[MapClause],
                          chunk_plans=tuple(chunk_plans))
 
 
+def _note_residency(san, residency: Optional[str], device_id: int,
+                    concrete_maps) -> None:
+    """Tell the sanitizer a data directive moved sections in or out."""
+    if san is None or residency is None:
+        return
+    if residency == "enter":
+        san.note_enter(device_id, concrete_maps)
+    else:
+        san.note_exit(device_id, concrete_maps)
+
+
 def _noop_op() -> Generator:
     """Placeholder op for a re-routed chunk's skipped data directive.
 
@@ -96,11 +107,14 @@ def _noop_op() -> Generator:
 
 
 def _fan_out(ctx: TaskCtx, plan: pc.SpreadPlan, op_factory, nowait: bool,
-             directive_id: Optional[int] = None) -> Generator:
+             directive_id: Optional[int] = None,
+             residency: Optional[str] = None) -> Generator:
     """Submit one op per chunk plan; ``op_factory(chunk, concrete,
     device_id, rerouted)`` builds the op for the (possibly failed-over)
-    target device."""
+    target device.  ``residency`` ("enter"/"exit") tells the sanitizer
+    which way this directive moves the submit-order present set."""
     rt = ctx.rt
+    san = rt.sanitizer
     resilient = rt.fault_injector is not None or rt.lost_devices
     items = []
     for cp in plan.chunk_plans:
@@ -108,6 +122,7 @@ def _fan_out(ctx: TaskCtx, plan: pc.SpreadPlan, op_factory, nowait: bool,
             # Zero-fault hot path: no routing, no failover wrapper.
             op = op_factory(cp.chunk, cp.maps, cp.chunk.device, False)
             items.append((cp.chunk.device, op, cp.maps, cp.deps, cp.name))
+            _note_residency(san, residency, cp.chunk.device, cp.maps)
             continue
 
         def factory(device_id, rerouted, cp=cp):
@@ -117,7 +132,13 @@ def _fan_out(ctx: TaskCtx, plan: pc.SpreadPlan, op_factory, nowait: bool,
                                              name=cp.name)
         op = fo.failover_op(rt, cp.chunk, plan.devices, factory,
                             name=cp.name, initial=(device_id, rerouted))
-        items.append((device_id, op, cp.maps, cp.deps, cp.name))
+        # A re-routed data directive is a no-op (see repro.spread.failover):
+        # it moves no host bytes, so its sanitizer footprint is empty and
+        # it establishes no residency on the replacement device.
+        items.append((device_id, op, cp.maps, cp.deps, cp.name,
+                      [] if rerouted else None))
+        if not rerouted:
+            _note_residency(san, residency, device_id, cp.maps)
     procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
     handle = SpreadHandle(ctx, procs, plan.chunks)
     if not nowait:
@@ -177,7 +198,7 @@ def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
 
     did = _directive_begin(ctx, kind, plan.chunks)
     handle = yield from _fan_out(ctx, plan, factory, nowait,
-                                 directive_id=did)
+                                 directive_id=did, residency="enter")
     _directive_end(ctx, did, plan.chunks)
     return handle
 
@@ -222,7 +243,7 @@ def target_exit_data_spread(ctx: TaskCtx, devices: Sequence[int],
 
     did = _directive_begin(ctx, kind, plan.chunks)
     handle = yield from _fan_out(ctx, plan, factory, nowait,
-                                 directive_id=did)
+                                 directive_id=did, residency="exit")
     _directive_end(ctx, did, plan.chunks)
     return handle
 
@@ -257,7 +278,8 @@ class SpreadDataRegion:
 
         handle = yield from _fan_out(self._ctx, self._end_plan, factory,
                                      nowait=False,
-                                     directive_id=self._directive_id)
+                                     directive_id=self._directive_id,
+                                     residency="exit")
         _directive_end(self._ctx, self._directive_id, self._end_plan.chunks)
         return handle
 
@@ -304,7 +326,7 @@ def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
 
     did = _directive_begin(ctx, kind, enter_plan.chunks)
     yield from _fan_out(ctx, enter_plan, factory, nowait=False,
-                        directive_id=did)
+                        directive_id=did, residency="enter")
     return SpreadDataRegion(ctx, end_plan, fuse_transfers,
                             directive_id=did)
 
@@ -388,7 +410,9 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
                                              name=cp.name)
         op = fo.failover_op(rt, cp.chunk, plan.devices, factory,
                             name=cp.name, initial=(device_id, rerouted))
-        items.append((device_id, op, cp.maps, cp.deps, cp.name))
+        # Re-routed updates are no-ops too: empty sanitizer footprint.
+        items.append((device_id, op, cp.maps, cp.deps, cp.name,
+                      [] if rerouted else None))
     did = _directive_begin(ctx, kind, plan.chunks)
     procs = exec_ops.submit_spread(ctx, items, directive_id=did)
     handle = SpreadHandle(ctx, procs, plan.chunks)

@@ -282,7 +282,17 @@ def _launch_static(ctx: TaskCtx, kernel: KernelSpec, plan: pc.SpreadPlan,
                                              name=cp.name)
         op = fo.failover_op(rt, chunk, plan.devices, op_factory,
                             name=cp.name, initial=(device_id, rerouted))
-        items.append((device_id, op, cp.maps, cp.deps, cp.name))
+        accesses = None
+        if rt.sanitizer is not None:
+            if rerouted:
+                # A re-routed chunk runs standalone: its host footprint is
+                # the scratch-env one, not what the planned map types say.
+                from repro.analysis.sanitizer import standalone_accesses
+                accesses = standalone_accesses(cp.maps, chunk.start,
+                                               chunk.interval.stop)
+            else:
+                accesses = exec_ops.kernel_accesses(rt, device_id, cp.maps)
+        items.append((device_id, op, cp.maps, cp.deps, cp.name, accesses))
     procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
     return SpreadHandle(ctx, procs, plan.chunks)
 
@@ -300,10 +310,12 @@ def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
     queue = deque(chunks)
     assigned: List[Chunk] = []
 
-    def worker(device_id: int) -> Generator:
+    def worker(device_id: int, cell: List[Process]) -> Generator:
         # Dynamic failover is naturally work-stealing shaped: a worker
         # whose device dies puts the chunk back and retires; the surviving
-        # workers drain the queue.
+        # workers drain the queue.  ``cell`` holds the worker's own process
+        # (filled right after submit) so the sanitizer can attribute each
+        # pulled chunk's footprint to it.
         while queue:
             if rt.is_lost(device_id):
                 return
@@ -312,6 +324,14 @@ def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
                            device=device_id)
             assigned.append(record)
             concrete = _concretize_for_chunk(maps, chunk)
+            san = rt.sanitizer
+            if san is not None:
+                from repro.analysis.sanitizer import accesses_from_maps
+
+                san.record_op(cell[0], accesses_from_maps(concrete),
+                              device=device_id, directive=directive_id,
+                              name=f"spread-dyn:{kernel.name}"
+                                   f"#{chunk.index}@{device_id}")
             try:
                 yield from exec_ops.kernel_op(
                     rt, device_id, kernel, chunk.start, chunk.interval.stop,
@@ -324,9 +344,16 @@ def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
                 queue.append(chunk)
                 return
 
-    procs = [ctx.submit(worker(d), name=f"spread-dyn:{kernel.name}@{d}",
-                        device=d, directive_id=directive_id)
-             for d in devices if not rt.is_lost(d)]
+    procs = []
+    for d in devices:
+        if rt.is_lost(d):
+            continue
+        cell: List[Process] = []
+        proc = ctx.submit(worker(d, cell),
+                          name=f"spread-dyn:{kernel.name}@{d}",
+                          device=d, directive_id=directive_id)
+        cell.append(proc)
+        procs.append(proc)
     if not procs:
         raise SpreadExecutionError(
             f"target spread ({kernel.name}): all devices of the clause "

@@ -12,6 +12,14 @@ class OmpError(Exception):
     """Base class for every error raised by the repro OpenMP stack."""
 
 
+def _located(message: str, source: str, offset: int | None) -> str:
+    """Append a caret line pointing at *offset* inside *source*."""
+    if source and offset is not None:
+        caret = " " * offset + "^"
+        message = f"{message}\n  {source}\n  {caret}"
+    return message
+
+
 class OmpSyntaxError(OmpError):
     """A pragma string failed to tokenize or parse.
 
@@ -22,10 +30,7 @@ class OmpSyntaxError(OmpError):
     def __init__(self, message: str, source: str = "", offset: int | None = None):
         self.source = source
         self.offset = offset
-        if source and offset is not None:
-            caret = " " * offset + "^"
-            message = f"{message}\n  {source}\n  {caret}"
-        super().__init__(message)
+        super().__init__(_located(message, source, offset))
 
 
 class OmpSemaError(OmpError):
@@ -35,7 +40,15 @@ class OmpSemaError(OmpError):
     non-``static`` kind, ``depend`` on ``target enter data spread``
     (unsupported), ``nowait`` on ``target data spread`` (unsupported),
     a ``target spread`` whose associated block is not a loop.
+
+    Like :class:`OmpSyntaxError`, optionally carries the pragma text and
+    the offset of the offending clause/section for caret rendering.
     """
+
+    def __init__(self, message: str, source: str = "", offset: int | None = None):
+        self.source = source
+        self.offset = offset
+        super().__init__(_located(message, source, offset))
 
 
 class OmpRuntimeError(OmpError):
@@ -123,3 +136,13 @@ class SpreadExecutionError(OmpRuntimeError):
     """A spread directive cannot make progress: every device in its
     ``devices(...)`` clause has been lost, so there is nowhere left to
     re-spread the remaining chunks."""
+
+
+class DataRaceError(OmpRuntimeError):
+    """The race sanitizer found conflicting unordered accesses.
+
+    Raised at the end of :meth:`repro.openmp.runtime.OpenMPRuntime.run`
+    when the sanitizer runs in ``strict`` mode; the individual
+    :class:`repro.analysis.sanitizer.RaceReport` records stay available on
+    ``rt.sanitizer.reports`` either way.
+    """

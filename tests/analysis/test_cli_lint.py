@@ -1,0 +1,144 @@
+"""CLI contract for ``repro lint`` (exit codes, JSON, --expect) and the
+caret-located diagnostics of ``repro check`` (satellite: source spans)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+BAD = REPO / "tests" / "fixtures" / "lint" / "bad"
+GOOD = REPO / "tests" / "fixtures" / "lint" / "good"
+
+
+class TestExitCodes:
+    def test_clean_files_exit_zero(self, capsys):
+        assert main(["lint", str(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_error_diagnostics_exit_one(self, capsys):
+        rc = main(["lint", str(BAD / "sl201_intra_ww.omp")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "SL201" in out
+
+    def test_warning_only_file_exits_zero(self, capsys):
+        rc = main(["lint", str(BAD / "sl404_redundant_release.omp")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SL404" in out and "warning" in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        rc = main(["lint", str(REPO / "no" / "such" / "dir")])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_directory_without_omp_files_is_usage_error(self, tmp_path,
+                                                        capsys):
+        rc = main(["lint", str(tmp_path)])
+        assert rc == 2
+        assert "no .omp files" in capsys.readouterr().err
+
+
+class TestExpectMode:
+    def test_bad_corpus_passes(self, capsys):
+        assert main(["lint", "--expect", str(BAD)]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+        assert out.count("PASS") == len(list(BAD.glob("*.omp")))
+
+    def test_missing_expected_code_fails(self, tmp_path, capsys):
+        f = tmp_path / "clean_but_annotated.omp"
+        f.write_text("// expect: SL201\n"
+                     "declare N = 8\n"
+                     "declare a[N]\n\n"
+                     "#pragma omp target device(0) map(tofrom: a[0 : N])\n"
+                     "loop(0 : N)\n")
+        rc = main(["lint", "--expect", str(f)])
+        assert rc == 1
+        assert "missing expected SL201" in capsys.readouterr().out
+
+    def test_unannotated_file_must_be_clean(self, tmp_path, capsys):
+        f = tmp_path / "dirty_without_header.omp"
+        f.write_text("declare N = 8\n"
+                     "declare out[N]\n\n"
+                     "#pragma omp target spread devices(0,1) "
+                     "map(from: out[0 : N])\n"
+                     "loop(0 : N)\n")
+        rc = main(["lint", "--expect", str(f)])
+        assert rc == 1
+        assert "expected a clean program" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_structure_and_severity_counts(self, capsys):
+        rc = main(["lint", "--json", str(BAD / "sl301_inter_ww.omp"),
+                   str(BAD / "sl404_redundant_release.omp")])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["path"].split("/")[-1] for f in payload["files"]} == {
+            "sl301_inter_ww.omp", "sl404_redundant_release.omp"}
+        assert payload["errors"] >= 1 and payload["warnings"] >= 1
+        diag = payload["files"][0]["diagnostics"][0]
+        assert {"code", "severity", "message", "path", "line",
+                "source", "offset"} <= set(diag)
+
+    def test_json_expect_mode_reports_ok_flags(self, capsys):
+        rc = main(["lint", "--json", "--expect",
+                   str(BAD / "sl102_bounds.omp")])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        entry = payload["files"][0]
+        assert entry["ok"] is True
+        assert entry["expected"] == ["SL102"]
+
+
+class TestDiagnosticRendering:
+    def test_caret_points_at_offending_clause(self, capsys):
+        rc = main(["lint", str(BAD / "sl002_sema.omp")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        caret_lines = [ln for ln in lines if ln.strip() == "^"]
+        assert caret_lines, out
+        # The caret column lands inside the rendered source line, on the
+        # 'from' that makes the enter-data pragma ill-formed.
+        idx = lines.index(caret_lines[0])
+        src_line, caret = lines[idx - 1], lines[idx]
+        col = len(caret) - 1  # column of the caret; both lines share indent
+        assert col < len(src_line)
+        assert src_line[col:].startswith("map(from")
+
+    def test_location_prefix_has_path_and_line(self, capsys):
+        main(["lint", str(BAD / "sl201_intra_ww.omp")])
+        out = capsys.readouterr().out
+        assert "sl201_intra_ww.omp:" in out
+
+
+class TestCheckCommand:
+    """Satellite: ``repro check`` reports located, caret-rendered errors
+    and exits nonzero on any diagnostic."""
+
+    def test_sema_error_carries_caret(self, capsys):
+        rc = main(["check", "omp target data spread devices(0) range(0:4) "
+                            "chunk_size(2) nowait"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "^" in err
+        # caret line points at the offending clause inside the echoed source
+        src = next(l for l in err.splitlines()
+                   if "nowait" in l and not l.startswith("error"))
+        caret = next(l for l in err.splitlines() if l.strip() == "^")
+        col = len(caret) - 1  # both lines share the "  " indent
+        assert src[col:].startswith("nowait")
+
+    def test_syntax_error_carries_caret(self, capsys):
+        rc = main(["check", "omp target devices(0,1"])
+        assert rc == 1
+        assert "^" in capsys.readouterr().err
+
+    def test_valid_pragma_exits_zero(self, capsys):
+        assert main(["check", "omp target spread devices(0,1) nowait"]) == 0

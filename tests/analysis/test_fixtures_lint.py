@@ -1,0 +1,91 @@
+"""The curated fixture corpus is the linter's acceptance contract.
+
+Every ``bad/`` fixture announces the diagnostics it must trigger in a
+``// expect: SLnnn`` header; every ``good/`` fixture and shipped example
+must lint completely clean.  Together the bad corpus covers the entire
+diagnostic catalogue, so a new code cannot be added without a fixture.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import CATALOG, Severity
+from repro.analysis.linter import lint_source
+from repro.analysis.program import parse_program
+
+REPO = Path(__file__).resolve().parents[2]
+BAD = sorted((REPO / "tests" / "fixtures" / "lint" / "bad").glob("*.omp"))
+GOOD = sorted((REPO / "tests" / "fixtures" / "lint" / "good").glob("*.omp"))
+EXAMPLES = sorted((REPO / "examples" / "omp").glob("*.omp"))
+
+
+def _codes(path: Path):
+    diags = lint_source(path.read_text(), path=str(path))
+    return diags, {d.code for d in diags}
+
+
+class TestBadFixtures:
+    @pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
+    def test_emits_every_expected_code(self, path):
+        program, _ = parse_program(path.read_text(), path=str(path))
+        expected = set(program.expected_codes)
+        assert expected, f"{path.name} has no // expect: header"
+        diags, emitted = _codes(path)
+        assert expected <= emitted, (
+            f"{path.name}: missing {sorted(expected - emitted)}, "
+            f"emitted {sorted(emitted)}")
+        # No stray diagnostics either: the header documents the file fully.
+        assert emitted <= expected, (
+            f"{path.name}: unannounced {sorted(emitted - expected)}")
+
+    @pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
+    def test_severities_match_catalog(self, path):
+        diags, _ = _codes(path)
+        for d in diags:
+            assert d.severity is CATALOG[d.code][0]
+            assert d.line > 0
+            assert d.path == str(path)
+
+    def test_corpus_covers_whole_catalog(self):
+        covered = set()
+        for path in BAD:
+            program, _ = parse_program(path.read_text(), path=str(path))
+            covered |= set(program.expected_codes)
+        assert covered == set(CATALOG), (
+            f"uncovered codes: {sorted(set(CATALOG) - covered)}")
+
+
+class TestGoodFixturesAndExamples:
+    @pytest.mark.parametrize("path", GOOD + EXAMPLES, ids=lambda p: p.stem)
+    def test_lints_clean(self, path):
+        diags, _ = _codes(path)
+        assert diags == [], "\n".join(d.render() for d in diags)
+
+    def test_corpus_is_nonempty(self):
+        assert len(BAD) >= 13
+        assert len(GOOD) >= 4
+        assert len(EXAMPLES) >= 2
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("path", BAD[:4], ids=lambda p: p.stem)
+    def test_repeated_lint_is_stable(self, path):
+        first = [d.to_dict() for d in lint_source(path.read_text(),
+                                                  path=str(path))]
+        second = [d.to_dict() for d in lint_source(path.read_text(),
+                                                   path=str(path))]
+        assert first == second
+
+    def test_diagnostics_sorted_by_line(self):
+        for path in BAD:
+            diags, _ = _codes(path)
+            assert [(d.line, d.code) for d in diags] == sorted(
+                (d.line, d.code) for d in diags)
+
+
+class TestSeverity:
+    def test_warning_only_fixture_has_no_errors(self):
+        path = next(p for p in BAD if p.stem == "sl404_redundant_release")
+        diags, _ = _codes(path)
+        assert diags and all(d.severity is Severity.WARNING for d in diags)

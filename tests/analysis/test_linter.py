@@ -1,0 +1,332 @@
+"""Targeted unit tests for the spreadlint passes (inline sources)."""
+
+import textwrap
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.linter import lint_source
+
+
+def lint(src: str):
+    return lint_source(textwrap.dedent(src), path="<test>")
+
+
+def codes(src: str):
+    return [d.code for d in lint(src)]
+
+
+KERNEL_WW = """\
+    declare N = 16
+    declare out[N]
+
+    #pragma omp target spread devices(0,1) \\
+        map(from: out[omp_spread_start : omp_spread_size])
+    loop(0 : N)
+"""
+
+
+class TestIntraDirective:
+    def test_chunk_overlapping_writes(self):
+        src = """\
+            declare N = 16
+            declare out[N]
+
+            #pragma omp target spread devices(0,1) map(from: out[0 : N])
+            loop(0 : N)
+        """
+        assert codes(src) == ["SL201"]
+
+    def test_halo_read_into_sibling_write(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+
+            #pragma omp target spread devices(0,1) \\
+                map(to: a[omp_spread_start - 1 : omp_spread_size + 2]) \\
+                map(from: a[omp_spread_start : omp_spread_size])
+            loop(1 : N - 2)
+        """
+        assert codes(src) == ["SL202"]
+
+    def test_disjoint_chunk_writes_are_clean(self):
+        assert codes(KERNEL_WW) == []
+
+    def test_one_diagnostic_per_var_not_per_chunk_pair(self):
+        src = """\
+            declare N = 32
+            declare out[N]
+
+            #pragma omp target spread devices(0,1,2,3) map(from: out[0 : N])
+            loop(0 : N)
+        """
+        assert codes(src) == ["SL201"]  # deduped across the 6 chunk pairs
+
+
+class TestInterDirective:
+    NOWAIT_PAIR = """\
+        declare N = 16
+        declare out[N]
+
+        #pragma omp target spread devices(0,1) nowait \\
+            map(from: out[omp_spread_start : omp_spread_size])
+        loop(0 : N)
+
+        #pragma omp target spread devices(0,1) {SECOND}\\
+            map(from: out[omp_spread_start : omp_spread_size])
+        loop(0 : N)
+        {TAIL}
+    """
+
+    def test_unordered_nowait_writes_conflict(self):
+        src = self.NOWAIT_PAIR.format(SECOND="nowait ", TAIL="")
+        assert codes(src) == ["SL301"]
+
+    def test_taskwait_between_orders_them(self):
+        src = """\
+            declare N = 16
+            declare out[N]
+
+            #pragma omp target spread devices(0,1) nowait \\
+                map(from: out[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            taskwait
+
+            #pragma omp target spread devices(0,1) nowait \\
+                map(from: out[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+        """
+        assert codes(src) == []
+
+    def test_later_sync_directive_does_not_flush_earlier_nowait(self):
+        # OpenMP semantics: a non-nowait directive makes the host wait for
+        # *its own* completion; it does not join earlier in-flight tasks.
+        src = self.NOWAIT_PAIR.format(SECOND="", TAIL="")
+        assert codes(src) == ["SL301"]
+
+    def test_earlier_sync_directive_orders_later_ones(self):
+        src = """\
+            declare N = 16
+            declare out[N]
+
+            #pragma omp target spread devices(0,1) \\
+                map(from: out[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            #pragma omp target spread devices(0,1) nowait \\
+                map(from: out[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            taskwait
+        """
+        assert codes(src) == []
+
+    def test_depend_edge_orders_nowait_pair(self):
+        src = """\
+            declare N = 16
+            declare out[N]
+
+            #pragma omp target spread devices(0,1) nowait \\
+                depend(out: out[omp_spread_start : omp_spread_size]) \\
+                map(from: out[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            #pragma omp target spread devices(0,1) nowait \\
+                depend(inout: out[omp_spread_start : omp_spread_size]) \\
+                map(from: out[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            taskwait
+        """
+        assert codes(src) == []
+
+    def test_read_against_inflight_write(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+            declare b[N]
+
+            #pragma omp target spread devices(0,1) nowait \\
+                map(from: a[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            #pragma omp target spread devices(0,1) \\
+                map(to: a[omp_spread_start : omp_spread_size]) \\
+                map(from: b[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+        """
+        diags = lint(src)
+        assert [d.code for d in diags] == ["SL302"]
+        assert diags[0].related  # points back at the first directive
+
+
+class TestMapFlow:
+    def test_exit_from_unmapped_array(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+
+            #pragma omp target exit data spread devices(0,1) \\
+                range(0 : N) chunk_size(8) \\
+                map(from: a[omp_spread_start : omp_spread_size])
+        """
+        assert set(codes(src)) == {"SL401"}
+
+    def test_dead_to_entry_warns(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+
+            #pragma omp target enter data spread devices(0,1) \\
+                range(0 : N) chunk_size(8) \\
+                map(to: a[omp_spread_start : omp_spread_size])
+        """
+        diags = lint(src)
+        assert {d.code for d in diags} == {"SL403"}
+        assert all(d.severity is Severity.WARNING for d in diags)
+
+    def test_kernel_read_keeps_to_entry_alive(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+
+            #pragma omp target enter data spread devices(0,1) \\
+                range(0 : N) chunk_size(8) \\
+                map(to: a[omp_spread_start : omp_spread_size])
+
+            #pragma omp target spread devices(0,1) spread_schedule(static, 8) \\
+                map(to: a[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            #pragma omp target exit data spread devices(0,1) \\
+                range(0 : N) chunk_size(8) \\
+                map(release: a[omp_spread_start : omp_spread_size])
+        """
+        assert codes(src) == []
+
+    def test_release_of_unmapped_is_redundant(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+
+            #pragma omp target exit data spread devices(0,1) \\
+                range(0 : N) chunk_size(8) \\
+                map(release: a[omp_spread_start : omp_spread_size])
+        """
+        diags = lint(src)
+        assert {d.code for d in diags} == {"SL404"}
+        assert all(d.severity is Severity.WARNING for d in diags)
+
+    def test_same_device_halo_extension(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+            machine 1
+
+            #pragma omp target enter data spread devices(0) \\
+                range(1 : N - 2) chunk_size(7) \\
+                map(to: a[omp_spread_start - 1 : omp_spread_size + 2])
+        """
+        assert "SL402" in codes(src)
+
+
+class TestDependGraph:
+    def test_forward_only_producer(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+
+            #pragma omp target spread devices(0,1) nowait \\
+                depend(in: a[omp_spread_start : omp_spread_size]) \\
+                map(to: a[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            #pragma omp target spread devices(0,1) nowait \\
+                depend(out: a[omp_spread_start : omp_spread_size]) \\
+                map(from: a[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            taskwait
+        """
+        assert codes(src) == ["SL501"]
+
+    def test_never_produced_sink(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+            declare b[N]
+
+            #pragma omp target spread devices(0,1) \\
+                depend(in: b[omp_spread_start : omp_spread_size]) \\
+                map(tofrom: a[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+        """
+        diags = lint(src)
+        assert [d.code for d in diags] == ["SL502"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_satisfied_pipeline_is_clean(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+            declare b[N]
+
+            #pragma omp target spread devices(0,1) nowait \\
+                depend(out: a[omp_spread_start : omp_spread_size]) \\
+                map(tofrom: a[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            #pragma omp target spread devices(0,1) nowait \\
+                depend(in: a[omp_spread_start : omp_spread_size]) \\
+                depend(out: b[omp_spread_start : omp_spread_size]) \\
+                map(to: a[omp_spread_start : omp_spread_size]) \\
+                map(from: b[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+
+            taskwait
+        """
+        assert codes(src) == []
+
+
+class TestEvaluation:
+    def test_undefined_identifier(self):
+        src = """\
+            declare a[16]
+
+            #pragma omp target spread devices(0,1) \\
+                map(to: a[M : omp_spread_size])
+            loop(0 : 16)
+        """
+        assert set(codes(src)) == {"SL101"}
+
+    def test_section_out_of_bounds(self):
+        src = """\
+            declare N = 16
+            declare pos[N]
+
+            #pragma omp target spread devices(0,1) \\
+                map(to: pos[omp_spread_start - 1 : omp_spread_size + 2])
+            loop(0 : N)
+        """
+        assert set(codes(src)) == {"SL102"}
+
+    def test_invalid_device_id(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+            machine 2
+
+            #pragma omp target spread devices(0,2) \\
+                map(to: a[omp_spread_start : omp_spread_size])
+            loop(0 : N)
+        """
+        assert codes(src) == ["SL103"]
+
+    def test_spread_kernel_without_loop(self):
+        src = """\
+            declare N = 16
+            declare a[N]
+
+            #pragma omp target spread devices(0,1) \\
+                map(to: a[omp_spread_start : omp_spread_size])
+        """
+        assert codes(src) == ["SL105"]

@@ -1,0 +1,130 @@
+"""Property: ``parse(unparse(parse(s)))`` is AST-equal to ``parse(s)``.
+
+The unparser is the normalizer the CLI prints and the linter's fixture
+tooling relies on; a directive that survives one parse must survive the
+round trip with an identical AST (``pos`` is excluded from equality by
+design).  The corpus enumerates every clause the grammar knows, and a
+hypothesis stage composes random clause subsets on top.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pragma.parser import parse_pragma
+from repro.pragma.unparse import unparse_directive
+
+SECTION = "[omp_spread_start - 1 : omp_spread_size + 2]"
+
+#: every clause and head the grammar accepts, exercised at least once
+CORPUS = [
+    # heads
+    "omp target device(0)",
+    "omp target spread devices(0,1) nowait",
+    "omp target data spread devices(0) range(0:16) chunk_size(4) "
+    "map(tofrom: A[omp_spread_start:omp_spread_size])",
+    "omp target enter data spread devices(0,1) range(1:N-2) chunk_size(8) "
+    f"map(to: A{SECTION}) map(alloc: F[omp_spread_start:omp_spread_size])",
+    "omp target exit data spread devices(0,1) range(1:N-2) chunk_size(8) "
+    "map(from: F[omp_spread_start:omp_spread_size]) "
+    f"map(release: A{SECTION})",
+    "omp target update spread devices(1,3) range(100:M) chunk_size(10) "
+    "nowait to(B[omp_spread_start:omp_spread_size])",
+    "omp target update spread devices(0) range(0:8) chunk_size(2) "
+    "from(B[omp_spread_start:omp_spread_size])",
+    "omp target teams distribute parallel for num_teams(4) "
+    "thread_limit(128)",
+    "omp target spread teams distribute parallel for simd devices(0,1,2,3) "
+    "spread_schedule(static, 16) map(to: A[omp_spread_start:"
+    "omp_spread_size]) map(from: B[omp_spread_start:omp_spread_size])",
+    # schedules, incl. the §IX extension kinds
+    "omp target spread devices(0,1) spread_schedule(static, 4)",
+    "omp target spread devices(0,1) spread_schedule(static)",
+    "omp target spread devices(0,1) spread_schedule(static_irregular, 4)",
+    "omp target spread devices(0,1) spread_schedule(dynamic, 2)",
+    # depend kinds and sections
+    "omp target spread devices(0,1) depend(in: A[0:4])",
+    "omp target spread devices(0,1) depend(out: A[omp_spread_start:"
+    "omp_spread_size]) depend(inout: B[0:8])",
+    "omp target device(1) depend(out: C)",
+    # map types and whole-array maps
+    "omp target device(0) map(to: A) map(from: B) map(tofrom: C) "
+    "map(alloc: D) map(release: E) map(delete: G)",
+    # expression grammar in clause arguments
+    "omp target device((1+2)*3)",
+    "omp target device(10-(3-2))",
+    "omp target spread devices(0,1) map(to: A[N-2*M : (K+1)*4])",
+    "omp target data spread devices(0) range(N*2 : M-3) chunk_size(K)",
+]
+
+
+def round_trip(src: str):
+    d1 = parse_pragma(src)
+    d2 = parse_pragma(unparse_directive(d1))
+    return d1, d2
+
+
+class TestCorpusRoundTrip:
+    @pytest.mark.parametrize("src", CORPUS, ids=range(len(CORPUS)))
+    def test_ast_equal(self, src):
+        d1, d2 = round_trip(src)
+        assert d2.kind is d1.kind
+        assert d2.simd_suffix == d1.simd_suffix
+        assert d2.clauses == d1.clauses
+
+    @pytest.mark.parametrize("src", CORPUS, ids=range(len(CORPUS)))
+    def test_unparse_is_a_fixed_point(self, src):
+        d1, d2 = round_trip(src)
+        assert unparse_directive(d1) == unparse_directive(d2)
+
+
+# -- randomized clause composition ------------------------------------------
+
+HEADS = [
+    "omp target",
+    "omp target spread",
+    "omp target data spread",
+    "omp target teams distribute parallel for",
+]
+
+_expr = st.sampled_from(["0", "1", "N", "N-2", "2*M+1", "(N+1)*2"])
+_var = st.sampled_from(["A", "B", "C"])
+_section = st.sampled_from([
+    "", "[0:4]", "[omp_spread_start:omp_spread_size]",
+    "[omp_spread_start-1:omp_spread_size+2]", "[N-2:M]",
+])
+_map_type = st.sampled_from(["to", "from", "tofrom", "alloc"])
+_dep_kind = st.sampled_from(["in", "out", "inout"])
+
+
+@st.composite
+def pragmas(draw):
+    head = draw(st.sampled_from(HEADS))
+    clauses = []
+    if "spread" in head:
+        ids = draw(st.lists(st.integers(0, 3), min_size=1, max_size=4,
+                            unique=True))
+        clauses.append(f"devices({','.join(map(str, ids))})")
+        if head == "omp target data spread":
+            clauses.append(f"range({draw(_expr)}:{draw(_expr)})")
+            clauses.append(f"chunk_size({draw(_expr)})")
+    else:
+        clauses.append(f"device({draw(_expr)})")
+    for _ in range(draw(st.integers(0, 3))):
+        clauses.append(
+            f"map({draw(_map_type)}: {draw(_var)}{draw(_section)})")
+    if draw(st.booleans()) and head != "omp target data spread":
+        clauses.append(f"depend({draw(_dep_kind)}: "
+                       f"{draw(_var)}{draw(_section)})")
+    if draw(st.booleans()) and head != "omp target data spread":
+        clauses.append("nowait")
+    return head + " " + " ".join(clauses)
+
+
+class TestRandomizedRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(pragmas())
+    def test_ast_equal(self, src):
+        d1, d2 = round_trip(src)
+        assert d2.kind is d1.kind
+        assert d2.clauses == d1.clauses

@@ -127,3 +127,108 @@ class TestIntervalSet:
     def test_equality(self):
         assert IntervalSet([Interval(0, 3)]) == IntervalSet([Interval(0, 2),
                                                              Interval(2, 3)])
+
+
+class TestIntervalEdgeCases:
+    """Boundary semantics the analysis passes lean on."""
+
+    def test_touching_intervals_do_not_overlap(self):
+        a, b = Interval(0, 4), Interval(4, 8)
+        assert not a.overlaps(b) and not b.overlaps(a)
+        assert a.adjacent(b) and b.adjacent(a)
+
+    def test_one_element_overlap_is_overlap(self):
+        assert Interval(0, 5).overlaps(Interval(4, 8))
+
+    def test_empty_interval_is_contained_in_anything(self):
+        empty = Interval(3, 3)
+        assert Interval(10, 12).contains(empty)
+        assert empty.contains(empty)
+        assert not empty.overlaps(Interval(0, 100))
+        assert not empty.adjacent(Interval(3, 5))
+
+    def test_intersection_of_disjoint_is_empty(self):
+        inter = Interval(0, 3).intersection(Interval(7, 9))
+        assert inter.empty and len(inter) == 0
+
+    def test_union_hull_with_empty_side(self):
+        a, empty = Interval(2, 5), Interval(9, 9)
+        assert a.union_hull(empty) == a
+        assert empty.union_hull(a) == a
+
+    def test_union_hull_spans_gap(self):
+        assert Interval(0, 2).union_hull(Interval(8, 9)) == Interval(0, 9)
+
+    def test_clamp_can_produce_empty(self):
+        assert Interval(0, 4).clamp(6, 10).empty
+
+    def test_split_at_out_of_range_clamps(self):
+        a = Interval(2, 8)
+        left, right = a.split_at(100)
+        assert (left, right) == (Interval(2, 8), Interval(8, 8))
+        left, right = a.split_at(-5)
+        assert (left, right) == (Interval(2, 2), Interval(2, 8))
+
+    def test_negative_coordinates(self):
+        a = Interval(-8, -2)
+        assert len(a) == 6 and -3 in a and -9 not in a
+        assert a.shift(10) == Interval(2, 8)
+
+    def test_extends_requires_partial_overlap(self):
+        entry = Interval(4, 8)
+        assert Interval(6, 10).extends(entry)   # reaches beyond
+        assert Interval(0, 6).extends(entry)    # reaches before
+        assert not Interval(5, 7).extends(entry)  # contained
+        assert not Interval(8, 12).extends(entry)  # only adjacent
+
+
+class TestIntervalSetEdgeCases:
+    def test_covers_requires_a_single_entry(self):
+        # A gap of one element defeats coverage even though both ends are in.
+        s = IntervalSet([Interval(0, 5), Interval(6, 10)])
+        assert not s.covers(Interval(0, 10))
+        assert s.covers(Interval(1, 4)) and s.covers(Interval(6, 10))
+
+    def test_adjacent_adds_coalesce_into_coverage(self):
+        s = IntervalSet()
+        s.add(Interval(0, 5))
+        s.add(Interval(5, 10))
+        assert len(s) == 1 and s.covers(Interval(2, 9))
+
+    def test_covers_empty_always(self):
+        assert IntervalSet().covers(Interval(4, 4))
+
+    def test_remove_punches_hole(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.remove(Interval(3, 6))
+        assert list(s) == [Interval(0, 3), Interval(6, 10)]
+        assert s.total() == 7
+
+    def test_remove_empty_and_disjoint_are_noops(self):
+        s = IntervalSet([Interval(0, 4)])
+        s.remove(Interval(2, 2))
+        s.remove(Interval(10, 20))
+        assert list(s) == [Interval(0, 4)]
+
+    def test_remove_everything_leaves_falsy_set(self):
+        s = IntervalSet([Interval(0, 4), Interval(6, 8)])
+        s.remove(Interval(0, 8))
+        assert not s and len(s) == 0 and s.total() == 0
+
+    def test_add_bridging_merges_three_entries(self):
+        s = IntervalSet([Interval(0, 2), Interval(4, 6), Interval(8, 10)])
+        s.add(Interval(2, 8))
+        assert list(s) == [Interval(0, 10)]
+
+    def test_first_gap_respects_hi_bound(self):
+        occupied = IntervalSet([Interval(0, 4)])
+        assert occupied.first_gap(4, lo=0, hi=8) == 4
+        assert occupied.first_gap(5, lo=0, hi=8) is None
+        assert occupied.first_gap(5, lo=0) == 4  # unbounded above
+
+    def test_equality_ignores_construction_order(self):
+        a = IntervalSet([Interval(4, 6), Interval(0, 2)])
+        b = IntervalSet([Interval(0, 2), Interval(4, 6)])
+        assert a == b
+        assert a != IntervalSet([Interval(0, 6)])
+        assert a.__eq__(42) is NotImplemented
