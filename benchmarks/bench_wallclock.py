@@ -46,6 +46,15 @@ def main(argv=None) -> int:
                          "(kernel-dominated)")
     ap.add_argument("--sweep-steps", type=int, default=2,
                     help="timesteps for the workers sweep")
+    ap.add_argument("--analyzer-runs", type=int, default=3,
+                    help="repeats per arm of the analyzer-overhead bench "
+                         "(min is reported)")
+    ap.add_argument("--max-analyze-overhead", type=float, default=None,
+                    metavar="FRAC",
+                    help="fail (exit 1) if causal-edge recording costs more "
+                         "than FRAC of the traced wall time (the documented "
+                         "budget is 0.05; CI passes headroom for noisy "
+                         "runners)")
     args = ap.parse_args(argv)
 
     result = run_wallclock(
@@ -55,6 +64,7 @@ def main(argv=None) -> int:
         workers_list=[int(w) for w in args.workers.split(",")],
         sweep_n_functional=args.sweep_n_functional,
         sweep_steps=args.sweep_steps,
+        analyzer_runs=args.analyzer_runs,
         timestamp=time.strftime("%Y-%m-%dT%H:%M:%S%z"))
 
     micro = result["launch_microbench"]
@@ -79,10 +89,24 @@ def main(argv=None) -> int:
         print(f"  workers={r['workers']}: {r['wall_s']:.3f}s "
               f"({r['speedup_vs_1']:.2f}x vs serial{util_s})")
 
+    ana = result["analyzer_overhead"]
+    print(f"analyzer overhead:       "
+          f"{ana['analyze_wall_s']:.3f}s recording vs "
+          f"{ana['trace_only_wall_s']:.3f}s trace-only "
+          f"({ana['recording_overhead']:+.1%}, budget "
+          f"{ana['overhead_target']:.0%}); analysis {ana['analysis_s']:.3f}s "
+          f"over {ana['events']} events / {ana['dep_edges']} dep edges")
+
     with open(args.out, "w") as f:
         json.dump(result, f, indent=2)
         f.write("\n")
     print(f"written to {args.out}")
+    if args.max_analyze_overhead is not None and \
+            ana["recording_overhead"] > args.max_analyze_overhead:
+        print(f"FAIL: recording overhead {ana['recording_overhead']:.1%} "
+              f"exceeds --max-analyze-overhead "
+              f"{args.max_analyze_overhead:.1%}", file=sys.stderr)
+        return 1
     return 0
 
 

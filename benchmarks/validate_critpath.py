@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Validate a ``repro analyze --json`` payload against its checked-in schema.
+
+Stdlib-only (CI's non-test jobs install nothing beyond numpy): implements
+the draft-07 subset the schema uses — ``type`` (including union lists),
+``required``, ``properties``, ``items``, ``const``, ``minimum`` and local
+``$ref`` into ``definitions`` — then asserts the analyzer's numeric
+invariants, which no structural schema can express:
+
+* the critical path tiles the run: ``critical_path.length_s`` equals
+  ``makespan_s`` within tolerance;
+* attribution is exhaustive: every lane's compute + transfer + retry +
+  contention + idle buckets sum to ``makespan_s``, and the totals row sums
+  to ``makespan_s`` x lanes.
+
+Usage::
+
+    PYTHONPATH=src python -m repro analyze --gpus 4 --json > critpath.json
+    python benchmarks/validate_critpath.py critpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, List
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+_BUCKETS = ("compute_s", "transfer_s", "retry_s", "contention_s", "idle_s")
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[name])
+
+
+def validate(value: Any, schema: dict, root: dict, path: str,
+             errors: List[str]) -> None:
+    ref = schema.get("$ref")
+    if ref is not None:
+        node = root
+        for part in ref.lstrip("#/").split("/"):
+            node = node[part]
+        validate(value, node, root, path, errors)
+        return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    stype = schema.get("type")
+    if stype is not None:
+        names = stype if isinstance(stype, list) else [stype]
+        if not any(_type_ok(value, n) for n in names):
+            errors.append(f"{path}: expected {'/'.join(names)}, "
+                          f"got {type(value).__name__}")
+            return
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, root, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]", errors)
+
+
+def check_invariants(payload: dict, tolerance: float,
+                     errors: List[str]) -> None:
+    makespan = payload["makespan_s"]
+    scale = max(1.0, abs(makespan))
+    cp = payload["critical_path"]
+    if abs(cp["length_s"] - makespan) > tolerance * scale:
+        errors.append(f"critical_path.length_s {cp['length_s']} != "
+                      f"makespan_s {makespan}")
+    lanes = payload["attribution"]["lanes"]
+    for row in lanes:
+        total = sum(row[k] for k in _BUCKETS)
+        if abs(total - makespan) > tolerance * scale:
+            errors.append(f"attribution lane {row['lane']}: buckets sum to "
+                          f"{total}, expected makespan {makespan}")
+    totals = payload["attribution"]["totals"]
+    lane_seconds = makespan * len(lanes)
+    grand = sum(totals[k] for k in _BUCKETS)
+    if abs(grand - lane_seconds) > tolerance * scale * max(1, len(lanes)):
+        errors.append(f"attribution totals sum to {grand}, expected "
+                      f"makespan x lanes = {lane_seconds}")
+    if abs(totals["lane_seconds"] - lane_seconds) > \
+            tolerance * scale * max(1, len(lanes)):
+        errors.append(f"totals.lane_seconds {totals['lane_seconds']} != "
+                      f"makespan x lanes = {lane_seconds}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="repro analyze --json output file")
+    ap.add_argument("--schema",
+                    default=os.path.join(os.path.dirname(__file__), "..",
+                                         "docs", "schemas",
+                                         "critpath-1.schema.json"),
+                    help="schema file (default: the checked-in copy)")
+    ap.add_argument("--tolerance", type=float, default=1e-6,
+                    help="relative tolerance for the numeric invariants")
+    args = ap.parse_args(argv)
+
+    with open(args.report) as f:
+        payload = json.load(f)
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    errors: List[str] = []
+    validate(payload, schema, schema, "$", errors)
+    if not errors:
+        check_invariants(payload, args.tolerance, errors)
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    lanes = len(payload["attribution"]["lanes"])
+    print(f"OK: {args.report} valid against {payload['schema']}; "
+          f"critical path tiles makespan {payload['makespan_s']:.6f}s, "
+          f"{lanes} lane(s) of attribution buckets sum exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,9 @@ class Experiment:
     gpus: int
     result: SomierResult
     paper_seconds: Optional[float] = None
+    #: critical-path headline + bottleneck verdict when the run was
+    #: analyzed (``run_table*(analyze=True)``), else None
+    critpath: Optional[Dict[str, object]] = None
 
     @property
     def seconds(self) -> float:
@@ -42,61 +45,99 @@ class Experiment:
         return (int(self.result.stats.get("plan_cache_hits", 0)),
                 int(self.result.stats.get("plan_cache_misses", 0)))
 
+    @property
+    def slackness(self) -> Optional[float]:
+        if self.critpath is None:
+            return None
+        return float(self.critpath["slackness"])  # type: ignore[arg-type]
+
+    @property
+    def bottleneck(self) -> Optional[str]:
+        if self.critpath is None:
+            return None
+        return self.critpath.get("bottleneck")  # type: ignore[return-value]
+
+
+def _critpath_info(result: SomierResult) -> Optional[Dict[str, object]]:
+    """Headline + bottleneck verdict of an analyzed run, or None."""
+    rt = result.runtime
+    if rt.causal is None:
+        return None
+    analysis = rt.analysis()
+    info: Dict[str, object] = dict(analysis.headline())
+    what_if = analysis.what_if()
+    info["bottleneck"] = what_if.get("bottleneck")
+    info["bottleneck_speedup"] = what_if.get("bottleneck_speedup")
+    return info
+
 
 def _run_one(impl: str, gpus: int, n_functional: int, steps: int,
              data_depend: bool = False, fuse_transfers: bool = False,
              trace: bool = False, metrics: bool = False,
-             plan_cache: bool = True) -> SomierResult:
+             plan_cache: bool = True,
+             analyze: bool = False) -> SomierResult:
     topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
     cfg = machines.paper_somier_config(n_functional=n_functional, steps=steps)
     # Tool callbacks never touch virtual time, so metrics=True changes only
     # what is *reported* (SomierResult.metrics), never the elapsed numbers.
     # Likewise plan_cache=False changes host-side lowering work only — the
-    # virtual timeline is bit-identical either way (tests assert this).
+    # virtual timeline is bit-identical either way (tests assert this), and
+    # the causal recorder (analyze=True) only observes.
     tools = (MetricsTool(),) if metrics else ()
     return run_somier(impl, cfg, devices=machines.paper_devices(gpus),
                       topology=topo, cost_model=cm,
                       data_depend=data_depend,
                       fuse_transfers=fuse_transfers, trace=trace,
                       plan_cache=plan_cache,
+                      analyze=analyze or None,
                       tools=tools)
 
 
 def run_table1(n_functional: int = 96, steps: int = machines.PAPER_STEPS,
-               trace: bool = False, metrics: bool = False) -> List[Experiment]:
+               trace: bool = False, metrics: bool = False,
+               analyze: bool = False) -> List[Experiment]:
     """Table I: One Buffer — target (1 GPU) vs target spread (1/2/4)."""
     rows = [("target", 1), ("one_buffer", 1), ("one_buffer", 2),
             ("one_buffer", 4)]
     out = []
     for impl, gpus in rows:
         result = _run_one(impl, gpus, n_functional, steps, trace=trace,
-                          metrics=metrics)
+                          metrics=metrics, analyze=analyze)
         out.append(Experiment(impl=impl, gpus=gpus, result=result,
-                              paper_seconds=machines.PAPER_TABLE1[(impl, gpus)]))
+                              paper_seconds=machines.PAPER_TABLE1[(impl, gpus)],
+                              critpath=_critpath_info(result)))
     return out
 
 
 def run_table2(n_functional: int = 96, steps: int = machines.PAPER_STEPS,
-               trace: bool = False, metrics: bool = False) -> List[Experiment]:
+               trace: bool = False, metrics: bool = False,
+               analyze: bool = False) -> List[Experiment]:
     """Table II / Fig. 2: One Buffer vs Two Buffers vs Double Buffering."""
     out = []
     for impl in ("one_buffer", "two_buffers", "double_buffering"):
         for gpus in (2, 4):
             result = _run_one(impl, gpus, n_functional, steps, trace=trace,
-                              metrics=metrics)
+                              metrics=metrics, analyze=analyze)
             out.append(Experiment(
                 impl=impl, gpus=gpus, result=result,
-                paper_seconds=machines.PAPER_TABLE2[(impl, gpus)]))
+                paper_seconds=machines.PAPER_TABLE2[(impl, gpus)],
+                critpath=_critpath_info(result)))
     return out
 
 
 def comparison_rows(experiments: Sequence[Experiment]):
-    """(impl, gpus, simulated, paper, sim/paper) rows for reporting."""
+    """(impl, gpus, simulated, paper, sim/paper) rows for reporting, plus
+    (slackness, bottleneck) columns when the runs were analyzed."""
+    analyzed = any(e.critpath is not None for e in experiments)
     rows = []
     for e in experiments:
-        rows.append((e.impl, e.gpus, format_hms(e.seconds),
-                     format_hms(e.paper_seconds) if e.paper_seconds else "-",
-                     f"{e.paper_ratio:.3f}" if e.paper_ratio else "-"))
+        row = [e.impl, e.gpus, format_hms(e.seconds),
+               format_hms(e.paper_seconds) if e.paper_seconds else "-",
+               f"{e.paper_ratio:.3f}" if e.paper_ratio else "-"]
+        if analyzed:
+            row.append(f"{e.slackness:.2f}x" if e.slackness else "-")
+            row.append(e.bottleneck or "-")
+        rows.append(tuple(row))
     return rows
 
 
@@ -111,7 +152,8 @@ def speedup_table(experiments: Sequence[Experiment],
 
 def format_experiments(experiments: Sequence[Experiment],
                        title: str = "") -> str:
-    table = format_table(
-        ["implementation", "GPUs", "simulated", "paper", "sim/paper"],
-        comparison_rows(experiments))
+    headers = ["implementation", "GPUs", "simulated", "paper", "sim/paper"]
+    if any(e.critpath is not None for e in experiments):
+        headers += ["slack", "bottleneck"]
+    table = format_table(headers, comparison_rows(experiments))
     return f"{title}\n{table}" if title else table

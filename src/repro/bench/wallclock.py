@@ -20,6 +20,10 @@ Three measurements:
 * :func:`workers_sweep` — the end-to-end run at a kernel-dominated size
   under the parallel host backend (``workers`` = 1, 2, 4); reports the
   wall-clock speedup curve of :mod:`repro.sim.executor`.
+* :func:`analyzer_overhead` — the end-to-end run with tracing on, with and
+  without the causal recorder (:mod:`repro.obs.critpath`); reports the
+  recording overhead (budget: 5% of traced wall time) and the post-run
+  analysis cost.
 
 :func:`run_wallclock` runs all three (the cache benches on and off) and computes the
 speedups that ``benchmarks/bench_wallclock.py`` persists to
@@ -170,12 +174,66 @@ def workers_sweep(workers_list: Sequence[int] = (1, 2, 4),
     }
 
 
+#: wall-clock budget for causal edge recording, relative to a traced run
+ANALYZER_OVERHEAD_TARGET = 0.05
+
+
+def analyzer_overhead(runs: int = 3, n_functional: int = 24,
+                      steps: int = 12, gpus: int = 4) -> Dict[str, Any]:
+    """Wall-clock cost of causal edge recording.
+
+    Both arms trace (analysis requires a trace, so the fair baseline is a
+    traced run); the only delta is the causal recorder — process-frontier
+    propagation, per-op dependency capture, resource-grant edges.  Each arm
+    takes the min over *runs* repeats to shed scheduler noise.  The post-run
+    analysis itself (critical path, attribution, what-if replay) is timed
+    separately: it is pure reporting, off the recording hot path.
+    """
+    topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
+    cfg = machines.paper_somier_config(n_functional=n_functional,
+                                       steps=steps)
+    devices = machines.paper_devices(gpus)
+
+    def best_of(analyze: bool):
+        best, res = float("inf"), None
+        for _ in range(max(1, runs)):
+            t0 = time.perf_counter()
+            res = run_somier("one_buffer", cfg, devices=devices,
+                             topology=topo, cost_model=cm, trace=True,
+                             analyze=analyze)
+            best = min(best, time.perf_counter() - t0)
+        return best, res
+
+    trace_s, trace_res = best_of(False)
+    analyze_s, analyze_res = best_of(True)
+    t0 = time.perf_counter()
+    analyze_res.runtime.analysis().report()
+    analysis_s = time.perf_counter() - t0
+    causal = analyze_res.runtime.causal
+    return {
+        "n_functional": n_functional,
+        "steps": steps,
+        "gpus": gpus,
+        "runs": runs,
+        "trace_only_wall_s": trace_s,
+        "analyze_wall_s": analyze_s,
+        "recording_overhead": (analyze_s / trace_s - 1.0) if trace_s else 0.0,
+        "overhead_target": ANALYZER_OVERHEAD_TARGET,
+        "analysis_s": analysis_s,
+        "events": len(analyze_res.runtime.trace.events),
+        "dep_edges": causal.dep_edge_count,
+        "res_edges": len(causal.res_edges),
+        "virtual_identical": trace_res.elapsed == analyze_res.elapsed,
+    }
+
+
 def run_wallclock(n: int = 4096, num_devices: int = 4, repeats: int = 30,
                   launches: int = 5, n_functional: int = 24,
                   steps: int = 12, workers_list: Sequence[int] = (1, 2, 4),
                   sweep_n_functional: int = 144, sweep_steps: int = 2,
+                  analyzer_runs: int = 3,
                   timestamp: Optional[str] = None) -> Dict[str, Any]:
-    """The full track: microbench + end-to-end + workers sweep."""
+    """The full track: microbench + end-to-end + workers sweep + analyzer."""
     micro_on = launch_microbench(True, n=n, num_devices=num_devices,
                                  repeats=repeats, launches=launches)
     micro_off = launch_microbench(False, n=n, num_devices=num_devices,
@@ -184,12 +242,15 @@ def run_wallclock(n: int = 4096, num_devices: int = 4, repeats: int = 30,
     e2e_off = end_to_end(False, n_functional=n_functional, steps=steps)
     sweep = workers_sweep(workers_list, n_functional=sweep_n_functional,
                           steps=sweep_steps)
+    analyzer = analyzer_overhead(runs=analyzer_runs,
+                                 n_functional=n_functional, steps=steps)
     return {
-        "schema": "repro-wallclock-2",
+        "schema": "repro-wallclock-3",
         "timestamp": timestamp,
         "launch_microbench": {"cache_on": micro_on, "cache_off": micro_off},
         "end_to_end": {"cache_on": e2e_on, "cache_off": e2e_off},
         "workers_sweep": sweep,
+        "analyzer_overhead": analyzer,
         "warm_launch_speedup":
             micro_off["warm_launch_s"] / micro_on["warm_launch_s"],
         "end_to_end_speedup": e2e_off["wall_s"] / e2e_on["wall_s"],

@@ -6,6 +6,10 @@ Subcommands:
                  (implementation, device count, optional extensions, trace);
 * ``stats``    — run a Somier experiment with the metrics tool attached and
                  print the per-directive / per-device profiling report;
+* ``analyze``  — run a Somier experiment with the causal recorder attached
+                 and print the critical-path / bottleneck-attribution /
+                 what-if report (``--json`` for the machine-readable
+                 ``repro-critpath-1`` payload);
 * ``table1``   — regenerate the paper's Table I;
 * ``table2``   — regenerate the paper's Table II;
 * ``listing3`` — print the chunk distribution of the paper's worked example
@@ -25,6 +29,8 @@ Examples::
     python -m repro somier --steps 2 --profile --trace-json /tmp/t.json
     python -m repro somier --steps 2 --sanitize
     python -m repro stats --impl one_buffer --gpus 4
+    python -m repro analyze --gpus 4 --json
+    python -m repro analyze --gpus 4 --trace-json /tmp/flow.json
     python -m repro table1 --n-functional 64
     python -m repro listing3 --lo 1 --hi 13 --chunk 4 --devices 2,0,1
     python -m repro check "omp target spread devices(0,1) nowait"
@@ -94,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable the interval race sanitizer (MODE 'strict' "
                         "also fails the run on races; default: "
                         "$REPRO_SANITIZE or off)")
+    p.add_argument("--analyze", action="store_true",
+                   help="attach the causal recorder and print the "
+                        "parallelism-slackness line (implies tracing; see "
+                        "'repro analyze' for the full report)")
     p.add_argument("--trace", action="store_true",
                    help="print an ASCII timeline of the run")
     p.add_argument("--verify", action="store_true",
@@ -137,6 +147,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the report as JSON instead of text tables")
     p.add_argument("--full", action="store_true",
                    help="also print the raw metrics catalogue")
+
+    p = sub.add_parser("analyze",
+                       help="run Somier with the causal recorder and print "
+                            "the critical-path / bottleneck report")
+    p.add_argument("--impl", default="one_buffer",
+                   choices=["target", "one_buffer", "two_buffers",
+                            "double_buffering"])
+    p.add_argument("--gpus", type=int, default=4, choices=[1, 2, 3, 4])
+    p.add_argument("--devices", type=_devices_arg, default=None)
+    p.add_argument("--n-functional", type=int, default=48)
+    p.add_argument("--steps", type=int, default=8)
+    p.add_argument("--data-depend", action="store_true")
+    p.add_argument("--fuse-transfers", action="store_true")
+    p.add_argument("--no-plan-cache", action="store_true")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="parallel host backend width (default: "
+                        "$REPRO_WORKERS or 1)")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="inject seeded faults (default: $REPRO_FAULTS "
+                        "or off)")
+    p.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                   help="fault-injection RNG seed (default: "
+                        "$REPRO_FAULT_SEED or 0)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro-critpath-1 JSON payload instead of "
+                        "the text report")
+    p.add_argument("--top", type=int, default=8, metavar="N",
+                   help="path segments / stragglers listed in the text "
+                        "report (default: 8)")
+    p.add_argument("--trace-json", metavar="PATH", default=None,
+                   help="write the Chrome-trace JSON with causal flow "
+                        "arrows (Perfetto renders them as s/f arrows) "
+                        "to PATH")
 
     for name, help_text in (("table1", "regenerate the paper's Table I"),
                             ("table2", "regenerate the paper's Table II")):
@@ -194,6 +237,7 @@ def cmd_somier(args) -> int:
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
                      sanitize=args.sanitize,
+                     analyze=args.analyze or None,
                      tools=prof.tools if prof else ())
     print(f"{args.impl} on {len(devices)} device(s) {devices}: "
           f"{format_hms(res.elapsed)} virtual")
@@ -208,6 +252,8 @@ def cmd_somier(args) -> int:
           f"{centers[2]:.6f})")
     if res.runtime.sanitizer is not None:
         print(res.runtime.sanitizer.summary())
+    if res.runtime.causal is not None:
+        print(res.runtime.analysis().summary_line())
     if args.verify:
         import numpy as np
 
@@ -230,8 +276,11 @@ def cmd_somier(args) -> int:
             print()
             print(report.render_text())
         if args.trace_json:
+            flows = (res.runtime.analysis().flow_records()
+                     if res.runtime.causal is not None else ())
             with open(args.trace_json, "w") as f:
-                f.write(prof.chrome_trace(res.runtime.trace))
+                f.write(prof.chrome_trace(res.runtime.trace,
+                                          extra_records=flows))
             print(f"chrome trace written to {args.trace_json}")
         if args.metrics_json:
             with open(args.metrics_json, "w") as f:
@@ -255,9 +304,11 @@ def cmd_stats(args) -> int:
                      plan_cache=not args.no_plan_cache,
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
-                     sanitize=args.sanitize,
+                     sanitize=args.sanitize, analyze=True,
                      tools=prof.tools)
-    report = prof.report(makespan=res.elapsed)
+    analysis = res.runtime.analysis()
+    report = prof.report(makespan=res.elapsed,
+                         critpath=analysis.headline())
     if args.json:
         print(report.to_json(indent=2))
         return 0
@@ -265,9 +316,45 @@ def cmd_stats(args) -> int:
           f"{format_hms(res.elapsed)} virtual")
     print()
     print(report.render_text())
+    print(analysis.summary_line())
     if args.full:
         print()
         print(prof.registry.render_text())
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.obs import Profiler
+
+    topo, cm = machines.paper_machine(args.gpus,
+                                      n_functional=args.n_functional)
+    cfg = machines.paper_somier_config(n_functional=args.n_functional,
+                                       steps=args.steps)
+    devices = args.devices if args.devices else machines.paper_devices(args.gpus)
+    prof = Profiler() if args.trace_json else None
+    res = run_somier(args.impl, cfg, devices=devices, topology=topo,
+                     cost_model=cm, data_depend=args.data_depend,
+                     fuse_transfers=args.fuse_transfers,
+                     plan_cache=not args.no_plan_cache,
+                     workers=args.workers,
+                     faults=args.faults, fault_seed=args.fault_seed,
+                     analyze=True,
+                     tools=prof.tools if prof else ())
+    analysis = res.runtime.analysis()
+    if args.trace_json:
+        # span forest (pid 1) + causal flow arrows, like somier --trace-json
+        with open(args.trace_json, "w") as f:
+            f.write(prof.chrome_trace(res.runtime.trace,
+                                      extra_records=analysis.flow_records()))
+    if args.json:
+        print(analysis.to_json(indent=2))
+        return 0
+    print(f"{args.impl} on {len(devices)} device(s) {devices}: "
+          f"{format_hms(res.elapsed)} virtual")
+    print()
+    print(analysis.render_text(top=args.top))
+    if args.trace_json:
+        print(f"chrome trace written to {args.trace_json}")
     return 0
 
 
@@ -423,6 +510,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_somier(args)
         if args.command == "stats":
             return cmd_stats(args)
+        if args.command == "analyze":
+            return cmd_analyze(args)
         if args.command == "table1":
             return cmd_table(args, 1)
         if args.command == "table2":

@@ -45,6 +45,31 @@ from repro.util.errors import (DeviceLostError, KernelFaultError,
                                TransferFaultError)
 
 
+def _prov_meta(proc) -> dict:
+    """Directive/chunk/retry trace meta from the issuing process.
+
+    Provenance rides on :class:`~repro.sim.engine.Process` (set by the
+    directive layers, inherited by copy sub-processes) so it survives
+    failover re-routing.  Recorded unconditionally — traces are
+    bit-identical whether or not the critical-path recorder is attached.
+    """
+    meta: dict = {}
+    if proc is None:
+        return meta
+    prov = proc.prov
+    if prov is not None:
+        meta["directive"] = prov[0]
+        if prov[1] is not None:
+            meta["chunk"] = prov[1]
+        if len(prov) > 2 and prov[2] is not None:
+            meta["rerouted_from"] = prov[2]
+    retry = proc.retry
+    if retry:
+        meta["attempt"] = retry[0]
+        meta["retry_of"] = retry[1]
+    return meta
+
+
 def _section_accesses(triples):
     """Access set for ``(owner, key, write)`` array sections.
 
@@ -272,6 +297,9 @@ class Device:
         if not copies:
             return
         self._check_fault("h2d", name)
+        proc = self.sim.current_process
+        rec = self.sim.recorder
+        op = rec.op_begin(proc) if rec is not None else None
         nbytes = sum(src[sk].nbytes for src, sk, _d, _dk in copies)
         cost = self.cost_model.transfer(self.link_spec, nbytes)
         issue_ts = self.sim.now
@@ -281,10 +309,12 @@ class Device:
         # what pins a buffer's kernels *behind* the next buffer's already
         # issued transfers (the paper's Fig. 4 interleaving).
         queue_req = self.queue.request(tag=name)
+        queue_req.owner = op
         if cost.latency > 0:
             yield self.sim.timeout(cost.latency)
         # Stage: snapshot the host sections through the shared staging path.
         staging_req = self.staging.request(tag=name)
+        staging_req.owner = op
         yield staging_req
         st = self._staging_time(cost.bytes)
         if fused and len(copies) > 1:
@@ -305,10 +335,12 @@ class Device:
         finally:
             self.staging.release(staging_req)
         # Wire: device queue + socket link, in order.
+        ready_ts = self.sim.now
         yield queue_req
         start = self.sim.now
         try:
             link_req = self.link.request(tag=name)
+            link_req.owner = op
             yield link_req
             wire_start = self.sim.now
             helper = None
@@ -338,12 +370,15 @@ class Device:
             self.queue.release(queue_req)
         self.memcpy_calls += 1
         self.h2d_bytes += cost.bytes
-        self.trace.record(tr.H2D, name, lane=self.queue.name,
-                          start=start, end=self.sim.now,
-                          device=self.device_id, bytes=cost.bytes,
-                          issue=issue_ts, wire_start=wire_start,
-                          wire_end=wire_end,
-                          fused=len(copies) if fused else 0)
+        idx = self.trace.record(tr.H2D, name, lane=self.queue.name,
+                                start=start, end=self.sim.now,
+                                device=self.device_id, bytes=cost.bytes,
+                                issue=issue_ts, ready=ready_ts,
+                                wire_start=wire_start, wire_end=wire_end,
+                                fused=len(copies) if fused else 0,
+                                **_prov_meta(proc))
+        if rec is not None:
+            rec.op_end(op, proc, idx)
         tools = self.tools
         if tools:
             tools.dispatch(DATA_OP, op="h2d", device=self.device_id,
@@ -355,6 +390,9 @@ class Device:
         if not copies:
             return
         self._check_fault("d2h", name)
+        proc = self.sim.current_process
+        rec = self.sim.recorder
+        op = rec.op_begin(proc) if rec is not None else None
         nbytes = sum(src[sk].nbytes for src, sk, _d, _dk in copies)
         cost = self.cost_model.transfer(self.link_spec, nbytes)
         issue_ts = self.sim.now
@@ -368,13 +406,16 @@ class Device:
         rest = st - tail
         # Stream slot claimed at issue time (see _copy_h2d_batch).
         queue_req = self.queue.request(tag=name)
+        queue_req.owner = op
         if cost.latency > 0:
             yield self.sim.timeout(cost.latency)
         # Wire: device queue + socket link; snapshot the device sections.
+        ready_ts = self.sim.now
         yield queue_req
         start = self.sim.now
         try:
             link_req = self.link.request(tag=name)
+            link_req.owner = op
             yield link_req
             wire_start = self.sim.now
             helper = None
@@ -404,6 +445,7 @@ class Device:
             self.queue.release(queue_req)
         # Stage the trailing piece back into host memory.
         staging_req = self.staging.request(tag=name)
+        staging_req.owner = op
         yield staging_req
         try:
             if tail > 0:
@@ -415,12 +457,18 @@ class Device:
             self.staging.release(staging_req)
         self.memcpy_calls += 1
         self.d2h_bytes += cost.bytes
-        self.trace.record(tr.D2H, name, lane=self.queue.name,
-                          start=start, end=wire_end,
-                          device=self.device_id, bytes=cost.bytes,
-                          issue=issue_ts, wire_start=wire_start,
-                          wire_end=wire_end,
-                          fused=len(copies) if fused else 0)
+        # ``done`` > ``end`` for D2H: the trailing staging piece drains on
+        # the host after the device queue slot is released.
+        idx = self.trace.record(tr.D2H, name, lane=self.queue.name,
+                                start=start, end=wire_end,
+                                device=self.device_id, bytes=cost.bytes,
+                                issue=issue_ts, ready=ready_ts,
+                                wire_start=wire_start, wire_end=wire_end,
+                                done=self.sim.now,
+                                fused=len(copies) if fused else 0,
+                                **_prov_meta(proc))
+        if rec is not None:
+            rec.op_end(op, proc, idx)
         tools = self.tools
         if tools:
             # end matches the trace record (wire_end): the tail staging
@@ -445,6 +493,10 @@ class Device:
         if hi < lo:
             raise ValueError(f"empty-negative kernel range [{lo}, {hi})")
         self._check_fault("kernel", spec.name)
+        proc = self.sim.current_process
+        rec = self.sim.recorder
+        op = rec.op_begin(proc) if rec is not None else None
+        issue_ts = self.sim.now
         iters = float(iterations) if iterations is not None else float(hi - lo)
         cost = self.cost_model.kernel(self.spec, iters,
                                       num_teams=launch.num_teams,
@@ -460,7 +512,9 @@ class Device:
         # the queue (see DeviceSpec.kernel_issue_latency).
         if self.spec.kernel_issue_latency > 0:
             yield self.sim.timeout(self.spec.kernel_issue_latency)
+        ready_ts = self.sim.now
         req = self.queue.request(tag=spec.name)
+        req.owner = op
         yield req
         start = self.sim.now
         try:
@@ -477,10 +531,14 @@ class Device:
         finally:
             self.queue.release(req)
         self.kernels_launched += 1
-        self.trace.record(tr.KERNEL, spec.name, lane=self.queue.name,
-                          start=start, end=self.sim.now,
-                          device=self.device_id,
-                          lo=lo, hi=hi, iterations=cost.iterations)
+        idx = self.trace.record(tr.KERNEL, spec.name, lane=self.queue.name,
+                                start=start, end=self.sim.now,
+                                device=self.device_id,
+                                lo=lo, hi=hi, iterations=cost.iterations,
+                                issue=issue_ts, ready=ready_ts,
+                                **_prov_meta(proc))
+        if rec is not None:
+            rec.op_end(op, proc, idx)
         tools = self.tools
         if tools:
             tools.dispatch(KERNEL_COMPLETE, device=self.device_id,

@@ -8,6 +8,8 @@ metrics registry (:mod:`repro.obs.metrics`), the built-in metrics tool
 """
 
 from repro.obs.builtin import MetricsTool
+from repro.obs.critpath import (CausalRecorder, CritPathAnalysis,
+                                CRITPATH_SCHEMA)
 from repro.obs.metrics import (Counter, Gauge, MetricsRegistry, TimerHist,
                                DEFAULT_BUCKETS)
 from repro.obs.report import ProfileReport, Profiler, PROFILE_SCHEMA
@@ -19,10 +21,12 @@ from repro.obs.tool import (CALLBACK_POINTS, DATA_OP, DATA_OP_KINDS,
                             TASK_CREATE, TASK_SCHEDULE, Tool, ToolRegistry)
 
 __all__ = [
-    "CALLBACK_POINTS", "DATA_OP", "DATA_OP_KINDS", "DEFAULT_BUCKETS",
+    "CALLBACK_POINTS", "CRITPATH_SCHEMA", "DATA_OP", "DATA_OP_KINDS",
+    "DEFAULT_BUCKETS",
     "DEPENDENCE_RESOLVED", "DEVICE_INIT", "DIRECTIVE_BEGIN", "DIRECTIVE_END",
     "KERNEL_COMPLETE", "KERNEL_LAUNCH", "PROFILE_SCHEMA", "TARGET_SUBMIT",
     "TASK_COMPLETE", "TASK_CREATE", "TASK_SCHEDULE",
-    "Counter", "Gauge", "MetricsRegistry", "MetricsTool", "ProfileReport",
+    "CausalRecorder", "Counter", "CritPathAnalysis", "Gauge",
+    "MetricsRegistry", "MetricsTool", "ProfileReport",
     "Profiler", "Span", "SpanRecorder", "TimerHist", "Tool", "ToolRegistry",
 ]

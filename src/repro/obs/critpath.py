@@ -1,0 +1,707 @@
+"""Critical-path analysis with bottleneck attribution and what-if projection.
+
+The paper reads its nsys timelines by hand to explain *why* a multi-device
+run takes as long as it does (Figs. 3-4).  This module automates that:
+
+* :class:`CausalRecorder` — attached to the simulator, it records *why every
+  device op started when it did*: dependency edges (the op's process was
+  ordered after predecessor ops via joins and spawn inheritance) and
+  contention edges (a FIFO resource grant handed the op the slot another op
+  just released).
+* :class:`CritPathAnalysis` — over the edge-annotated trace it extracts the
+  critical path (the causal chain that tiles ``[0, makespan]``), attributes
+  every device-lane second into compute / transfer / retry / contention /
+  idle buckets, ranks stragglers per spread directive, computes overlap
+  efficiency per directive, and replays the causal DAG with modified costs
+  ("what if transfers were free?") to bound speedups per bottleneck class.
+
+Recording is strictly opt-in (``OpenMPRuntime(analyze=True)`` or
+``REPRO_ANALYZE=1``); results and traces are bit-identical either way — the
+recorder only *observes*.  The what-if replay relaxes cross-lane link and
+staging contention, so its projections are upper bounds on the achievable
+speedup (exact for the zero-transfer scenario, where no wire time remains
+to contend).
+"""
+
+from __future__ import annotations
+
+import json
+from heapq import nlargest
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import (D2H, H2D, KERNEL, Trace, _intersect,
+                             _merge_intervals, _total)
+
+#: JSON schema tag of :meth:`CritPathAnalysis.report` payloads
+CRITPATH_SCHEMA = "repro-critpath-1"
+
+_TRANSFERS = (H2D, D2H)
+
+
+def _issue(ev) -> float:
+    return ev.meta.get("issue", ev.start)
+
+
+def _ready(ev) -> float:
+    return ev.meta.get("ready", ev.start)
+
+
+def _done(ev) -> float:
+    return ev.meta.get("done", ev.end)
+
+
+def _attempt(ev) -> int:
+    return ev.meta.get("attempt", 0)
+
+
+def _subtract(xs: Sequence[Tuple[float, float]],
+              ys: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Disjoint sorted intervals *xs* minus disjoint sorted intervals *ys*."""
+    out: List[Tuple[float, float]] = []
+    for a, b in xs:
+        cur = a
+        for ya, yb in ys:
+            if yb <= cur or ya >= b:
+                continue
+            if ya > cur:
+                out.append((cur, ya))
+            cur = max(cur, yb)
+            if cur >= b:
+                break
+        if cur < b:
+            out.append((cur, b))
+    return out
+
+
+class CausalRecorder:
+    """Records the causal edges between device ops as a run executes.
+
+    Ops get sequential ids at :meth:`op_begin`; each op's *dependency
+    predecessors* are the issuing process's causal frontier (``cp_heads``)
+    at that moment.  Frontiers propagate by spawn inheritance
+    (:class:`~repro.sim.engine.Process`) and merge at joins via the
+    simulator's ``cp_hook``.  FIFO resources report *contention edges*
+    (released slot → granted waiter) through :meth:`contention`.
+    """
+
+    #: frontier cap: joins keep the most recent ops; the max-completion
+    #: predecessor the critical path needs is always among them
+    MAX_HEADS = 64
+
+    def __init__(self) -> None:
+        self.ops = 0
+        #: op id -> its dependency predecessors (the issuing process's
+        #: frontier tuple, stored by reference — frontiers are shared by
+        #: inheritance, so this costs one pointer per op, not one edge)
+        self.op_deps: Dict[int, Tuple[int, ...]] = {}
+        #: (blocked_op, blocker_op, resource): blocked was granted the
+        #: slot blocker released
+        self.res_edges: List[Tuple[int, int, str]] = []
+        #: op id -> trace event index (bound at op_end)
+        self.op_event: Dict[int, int] = {}
+
+    @property
+    def dep_edge_count(self) -> int:
+        return sum(len(v) for v in self.op_deps.values())
+
+    def install(self, sim) -> None:
+        sim.recorder = self
+        sim.cp_hook = self.on_join
+
+    # -- device-op protocol ------------------------------------------------
+
+    def op_begin(self, proc) -> int:
+        self.ops += 1
+        op = self.ops
+        if proc is not None and proc.cp_heads:
+            self.op_deps[op] = proc.cp_heads
+        return op
+
+    def op_end(self, op: int, proc, event_index: Optional[int]) -> None:
+        if event_index is not None:
+            self.op_event[op] = event_index
+        if proc is not None:
+            proc.cp_heads = (op,)
+
+    def contention(self, blocked_op: int, blocker_op: Optional[int],
+                   resource: str) -> None:
+        if blocker_op is not None:
+            self.res_edges.append((blocked_op, blocker_op, resource))
+
+    # -- join hook ---------------------------------------------------------
+
+    def on_join(self, proc, heads) -> None:
+        """Merge a delivered event's causal frontier into the receiver's.
+
+        The engine calls this only for non-empty frontiers (a one-attribute
+        check), so plain timeouts and resource grants cost nothing extra.
+        """
+        cur = proc.cp_heads
+        if not cur:
+            # Frontier adoption: share the tuple, dedup join lists.
+            proc.cp_heads = (heads if type(heads) is tuple
+                             else tuple(set(heads)))
+            return
+        if heads is cur:
+            return
+        merged = set(cur)
+        merged.update(heads)
+        if len(merged) == len(cur):
+            return
+        if len(merged) > self.MAX_HEADS:
+            proc.cp_heads = tuple(nlargest(self.MAX_HEADS, merged))
+        else:
+            proc.cp_heads = tuple(merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<CausalRecorder ops={self.ops} dep={self.dep_edge_count} "
+                f"res={len(self.res_edges)}>")
+
+
+class CritPathAnalysis:
+    """Causality-aware analysis of one recorded run."""
+
+    def __init__(self, trace: Trace, recorder: CausalRecorder,
+                 directive_info: Optional[Dict[int, dict]] = None,
+                 num_devices: Optional[int] = None):
+        self.trace = trace
+        self.recorder = recorder
+        self.directive_info = directive_info or {}
+        self.num_devices = num_devices
+        self.events = trace.events
+        self.makespan = trace.makespan()
+        #: event index -> sorted dependency predecessor event indices
+        self.dep_preds: Dict[int, List[int]] = {}
+        #: event index -> [(predecessor event index, resource name)]
+        self.res_preds: Dict[int, List[Tuple[int, str]]] = {}
+        op_event = recorder.op_event
+        # Frontier tuples are shared across ops by inheritance (see
+        # CausalRecorder.op_deps), so expansion memoizes on tuple identity;
+        # the tuples stay alive in op_deps, keeping ids stable.  An op's own
+        # id can never appear in its frontier (ids are assigned at begin,
+        # frontiers hold completed ops), so the lists need no per-dst copy.
+        expanded: Dict[int, List[int]] = {}
+        for dst_op, heads in recorder.op_deps.items():
+            dst = op_event.get(dst_op)
+            if dst is None:
+                continue
+            preds = expanded.get(id(heads))
+            if preds is None:
+                preds = sorted({op_event[h] for h in heads if h in op_event})
+                expanded[id(heads)] = preds
+            if preds:
+                self.dep_preds[dst] = preds
+        for blocked_op, blocker_op, rname in recorder.res_edges:
+            dst = op_event.get(blocked_op)
+            src = op_event.get(blocker_op)
+            if dst is None or src is None or src == dst:
+                continue
+            self.res_preds.setdefault(dst, []).append((src, rname))
+        self._cp: Optional[dict] = None
+        self._attr: Optional[dict] = None
+
+    # -- critical path -----------------------------------------------------
+
+    def critical_path(self) -> dict:
+        """The causal chain ending at the makespan, tiling ``[0, makespan]``.
+
+        Walks backwards from the last-finishing event.  Each hop explains
+        the current event's start: a *queue contention* hop when the lane
+        slot was granted by another op's release exactly at our start, else
+        the event's own prep (``[issue, start]``), its latest-completing
+        dependency predecessor, and the host gap between the two.  Segment
+        lengths therefore sum to the makespan exactly — the satellite's
+        headline invariant.
+        """
+        if self._cp is not None:
+            return self._cp
+        events = self.events
+        if not events:
+            self._cp = {"segments": [], "length_s": 0.0, "work_s": 0.0,
+                        "makespan_s": 0.0, "events": 0, "slackness": 1.0,
+                        "busy_fraction": 0.0}
+            return self._cp
+        last = max(range(len(events)), key=lambda i: (events[i].end, i))
+        eps = 1e-9 * max(1.0, self.makespan)
+        segments: List[dict] = []
+        on_path: List[int] = []
+        cur: Optional[int] = last
+        attach = events[last].end
+        seen = set()
+        while cur is not None and cur not in seen:
+            seen.add(cur)
+            ev = events[cur]
+            on_path.append(cur)
+            segments.append({
+                "kind": ev.category, "event": cur, "name": ev.name,
+                "lane": ev.lane, "device": ev.device,
+                "directive": ev.meta.get("directive"),
+                "chunk": ev.meta.get("chunk"),
+                "start": ev.start, "end": attach,
+            })
+            issue, ready = _issue(ev), _ready(ev)
+            blocker = None
+            if ev.start - ready > eps:
+                # The op was ready before it ran: find the lane-slot
+                # release that granted it (queued behind same-lane work).
+                for pred, rname in self.res_preds.get(cur, ()):
+                    if rname == ev.lane and pred < cur and \
+                            abs(events[pred].end - ev.start) <= eps:
+                        blocker = pred
+                        break
+            if blocker is not None:
+                cur = blocker
+                attach = events[blocker].end
+                continue
+            if ev.start - issue > 0:
+                segments.append({
+                    "kind": "prep", "event": cur, "name": ev.name,
+                    "lane": ev.lane, "device": ev.device,
+                    "directive": ev.meta.get("directive"),
+                    "chunk": ev.meta.get("chunk"),
+                    "start": issue, "end": ev.start,
+                })
+            preds = [p for p in self.dep_preds.get(cur, ()) if p < cur]
+            if preds:
+                pred = max(preds, key=lambda q: (_done(events[q]), q))
+                gap_start = min(_done(events[pred]), issue)
+                if issue - gap_start > 0:
+                    segments.append({"kind": "host", "event": None,
+                                     "name": "host", "lane": None,
+                                     "device": None, "directive": None,
+                                     "chunk": None,
+                                     "start": gap_start, "end": issue})
+                cur = pred
+                attach = gap_start
+            else:
+                if issue > 0:
+                    segments.append({"kind": "host", "event": None,
+                                     "name": "host", "lane": None,
+                                     "device": None, "directive": None,
+                                     "chunk": None,
+                                     "start": 0.0, "end": issue})
+                cur = None
+        segments.reverse()
+        length = sum(s["end"] - s["start"] for s in segments)
+        work = sum(events[i].duration for i in set(on_path))
+        busy_fraction = work / self.makespan if self.makespan > 0 else 0.0
+        slackness = self.makespan / work if work > 0 else 1.0
+        self._cp = {
+            "segments": segments,
+            "length_s": length,
+            "makespan_s": self.makespan,
+            "work_s": work,
+            "busy_fraction": busy_fraction,
+            "slackness": slackness,
+            "events": len(on_path),
+        }
+        return self._cp
+
+    # -- attribution ---------------------------------------------------------
+
+    def attribution(self) -> dict:
+        """Every device-lane second bucketed: compute / transfer / retry /
+        contention / idle.  Buckets sum to the makespan per lane exactly
+        (lane events never overlap: device queues are capacity 1)."""
+        if self._attr is not None:
+            return self._attr
+        rows = []
+        for lane, evs in sorted(self.trace.by_lane().items()):
+            device = next((e.device for e in evs if e.device is not None),
+                          None)
+            if device is None:
+                continue  # host lane: not device time
+            compute_iv, transfer_iv, retry_iv = [], [], []
+            busy_iv, stall_iv = [], []
+            for e in evs:
+                iv = (e.start, e.end)
+                busy_iv.append(iv)
+                if _attempt(e):
+                    retry_iv.append(iv)
+                elif e.category == KERNEL:
+                    compute_iv.append(iv)
+                else:
+                    transfer_iv.append(iv)
+                stall_iv.append((_issue(e), e.start))
+            busy = _merge_intervals(busy_iv)
+            busy_s = _total(busy)
+            contention = _total(_subtract(_merge_intervals(stall_iv), busy))
+            idle = max(0.0, self.makespan - busy_s - contention)
+            rows.append({
+                "lane": lane, "device": device,
+                "compute_s": _total(_merge_intervals(compute_iv)),
+                "transfer_s": _total(_merge_intervals(transfer_iv)),
+                "retry_s": _total(_merge_intervals(retry_iv)),
+                "contention_s": contention,
+                "idle_s": idle,
+                "busy_s": busy_s,
+                "events": len(evs),
+            })
+        keys = ("compute_s", "transfer_s", "retry_s", "contention_s",
+                "idle_s", "busy_s")
+        totals = {k: sum(r[k] for r in rows) for k in keys}
+        totals["lane_seconds"] = self.makespan * len(rows)
+        self._attr = {"lanes": rows, "totals": totals,
+                      "makespan_s": self.makespan}
+        return self._attr
+
+    # -- stragglers ----------------------------------------------------------
+
+    def stragglers(self, top: Optional[int] = 5) -> List[dict]:
+        """Per-spread-directive chunk dispersion, worst offenders first."""
+        groups: Dict[int, Dict[int, List]] = {}
+        for e in self.events:
+            did = e.meta.get("directive")
+            chunk = e.meta.get("chunk")
+            if did is None or chunk is None or e.category != KERNEL:
+                continue
+            groups.setdefault(did, {}).setdefault(chunk, []).append(e)
+        out = []
+        for did, chunks in sorted(groups.items()):
+            if len(chunks) < 2:
+                continue
+            per = []
+            for chunk, evs in sorted(chunks.items()):
+                per.append({"chunk": chunk,
+                            "seconds": sum(e.duration for e in evs),
+                            "device": evs[-1].device})
+            mean = sum(p["seconds"] for p in per) / len(per)
+            worst = max(per, key=lambda p: (p["seconds"], p["chunk"]))
+            info = self.directive_info.get(did, {})
+            out.append({
+                "directive": did,
+                "kind": info.get("kind", ""),
+                "name": info.get("name", ""),
+                "chunks": len(per),
+                "mean_s": mean,
+                "max_s": worst["seconds"],
+                "imbalance": worst["seconds"] / mean if mean > 0 else 1.0,
+                "lost_s": worst["seconds"] - mean,
+                "slowest_chunk": worst["chunk"],
+                "slowest_device": worst["device"],
+            })
+        out.sort(key=lambda r: (-r["lost_s"], r["directive"]))
+        return out[:top] if top else out
+
+    # -- overlap efficiency ---------------------------------------------------
+
+    def overlap(self) -> List[dict]:
+        """Per-directive lane-busy efficiency over the directive's window."""
+        groups: Dict[int, List] = {}
+        for e in self.events:
+            did = e.meta.get("directive")
+            if did is None:
+                continue
+            groups.setdefault(did, []).append(e)
+        rows = []
+        for did, evs in sorted(groups.items()):
+            w0 = min(_issue(e) for e in evs)
+            w1 = max(_done(e) for e in evs)
+            window = w1 - w0
+            lanes: Dict[str, List] = {}
+            comp: Dict[Any, List] = {}
+            xfer: Dict[Any, List] = {}
+            for e in evs:
+                lanes.setdefault(e.lane, []).append((e.start, e.end))
+                tgt = comp if e.category == KERNEL else xfer
+                tgt.setdefault(e.device, []).append((e.start, e.end))
+            busy = sum(_total(_merge_intervals(iv)) for iv in lanes.values())
+            denom = window * len(lanes)
+            ct_overlap = sum(
+                _total(_intersect(_merge_intervals(comp.get(d, [])),
+                                  _merge_intervals(xfer.get(d, []))))
+                for d in sorted(set(comp) | set(xfer),
+                                key=lambda d: (d is None, d)))
+            info = self.directive_info.get(did, {})
+            rows.append({
+                "directive": did,
+                "kind": info.get("kind", ""),
+                "name": info.get("name", ""),
+                "window_s": window,
+                "lanes": len(lanes),
+                "busy_s": busy,
+                "efficiency": busy / denom if denom > 0 else 0.0,
+                "compute_transfer_overlap_s": ct_overlap,
+            })
+        return rows
+
+    # -- what-if projection ----------------------------------------------------
+
+    def _orig_costs(self, ev) -> Tuple[float, float, float]:
+        """``(prep, hold, tail)``: issue→ready host prep, lane occupancy,
+        post-lane drain (the D2H tail staging)."""
+        return (max(0.0, _ready(ev) - _issue(ev)),
+                max(0.0, ev.end - ev.start),
+                max(0.0, _done(ev) - ev.end))
+
+    def _qjoin(self, i: int) -> float:
+        """Original lane-queue join time: transfers enqueue at issue,
+        kernels after their issue latency."""
+        ev = self.events[i]
+        return _ready(ev) if ev.category == KERNEL else _issue(ev)
+
+    def _replay(self, transform) -> float:
+        """Replay the causal DAG with per-event ``(prep, hold, tail)`` from
+        *transform*; returns the projected makespan.
+
+        Events replay in lane-queue order; an event issues once its latest
+        dependency predecessor completes plus the original host lag, holds
+        its (capacity-1) lane from ``max(lane free, ready)``, and completes
+        ``tail`` after leaving the lane.  Cross-lane link/staging contention
+        is relaxed — projections are upper bounds on fixing the bottleneck.
+        """
+        events = self.events
+        if not events:
+            return 0.0
+        order = sorted(range(len(events)),
+                       key=lambda i: (self._qjoin(i), i))
+        new_end = [0.0] * len(events)
+        new_done = [0.0] * len(events)
+        lane_free: Dict[str, float] = {}
+        for i in order:
+            ev = events[i]
+            preds = self.dep_preds.get(i, ())
+            if preds:
+                base_orig = max(_done(events[p]) for p in preds)
+                base_new = max(new_done[p] for p in preds)
+            else:
+                base_orig = 0.0
+                base_new = 0.0
+            lag = max(0.0, _issue(ev) - base_orig)
+            prep, hold, tail = transform(ev)
+            n_ready = base_new + lag + prep
+            n_start = max(n_ready, lane_free.get(ev.lane, 0.0))
+            n_end = n_start + hold
+            lane_free[ev.lane] = n_end
+            new_end[i] = n_end
+            new_done[i] = n_end + tail
+        return max(new_end)
+
+    def what_if(self) -> dict:
+        """Bound the speedup of fixing each bottleneck class."""
+        orig = self._orig_costs
+        mk = self.makespan
+        out: dict = {
+            "makespan_s": mk,
+            "baseline_replay_s": self._replay(orig),
+            "scenarios": {},
+        }
+        if not self.events:
+            return out
+
+        def scenario(name: str, transform, note: str) -> None:
+            m = self._replay(transform)
+            out["scenarios"][name] = {
+                "makespan_s": m,
+                "speedup": mk / m if m > 0 else float("inf"),
+                "note": note,
+            }
+
+        def zero_transfers(ev):
+            if ev.category in _TRANSFERS:
+                return (0.0, 0.0, 0.0)
+            return orig(ev)
+
+        def infinite_link(ev):
+            prep, hold, tail = orig(ev)
+            if ev.category in _TRANSFERS:
+                wire = max(0.0, ev.meta.get("wire_end", ev.end)
+                           - ev.meta.get("wire_start", ev.start))
+                return (prep, max(0.0, hold - wire), tail)
+            return (prep, hold, tail)
+
+        means: Dict[int, float] = {}
+        durs: Dict[int, List[float]] = {}
+        for e in self.events:
+            did = e.meta.get("directive")
+            if e.category == KERNEL and did is not None and not _attempt(e):
+                durs.setdefault(did, []).append(e.duration)
+        for did, ds in durs.items():
+            means[did] = sum(ds) / len(ds)
+
+        def perfect_balance(ev):
+            prep, hold, tail = orig(ev)
+            if ev.category == KERNEL and not _attempt(ev):
+                mean = means.get(ev.meta.get("directive"))
+                if mean is not None:
+                    return (prep, mean, tail)
+            return (prep, hold, tail)
+
+        scenario("zero_transfers", zero_transfers,
+                 "transfers free: pure compute + host critical path")
+        scenario("infinite_link", infinite_link,
+                 "wire time zero, per-call latency and staging kept")
+        scenario("perfect_balance", perfect_balance,
+                 "every chunk kernel takes its directive's mean duration")
+        devices = {e.device for e in self.events if e.device is not None}
+        nd = len(devices)
+
+        def scaled(factor: float):
+            def transform(ev):
+                prep, hold, tail = orig(ev)
+                return (prep, hold * factor, tail * factor)
+            return transform
+
+        if nd > 0:
+            scenario("plus_one_device", scaled(nd / (nd + 1)),
+                     "analytic: per-chunk work rescaled to one more device")
+            if nd > 1:
+                scenario("minus_one_device", scaled(nd / (nd - 1)),
+                         "analytic: per-chunk work rescaled to one less "
+                         "device")
+        best = max(out["scenarios"].items(),
+                   key=lambda kv: (kv[1]["speedup"], kv[0]),
+                   default=None)
+        if best is not None:
+            out["bottleneck"] = best[0]
+            out["bottleneck_speedup"] = best[1]["speedup"]
+        return out
+
+    # -- Chrome-trace flow events ----------------------------------------------
+
+    def flow_records(self, include_resource_edges: bool = True) -> List[dict]:
+        """Chrome-trace flow events (``ph`` "s"/"f" arrow pairs) along the
+        causal edges, matching :meth:`Trace.to_chrome_trace` lane tids.
+
+        One ``dep`` arrow per event — from its *binding* (latest-completing)
+        dependency predecessor; the transitive rest would bury the timeline
+        in arrows.  ``wait:<resource>`` arrows mark contention grants.
+        """
+        lane_ids = {lane: i
+                    for i, lane in enumerate(sorted(self.trace.by_lane()))}
+        events = self.events
+        records: List[dict] = []
+        flow_id = 0
+
+        def arrow(src: int, dst: int, kind: str) -> None:
+            nonlocal flow_id
+            flow_id += 1
+            s_ev, d_ev = events[src], events[dst]
+            records.append({"name": kind, "cat": "causal", "ph": "s",
+                            "id": flow_id, "pid": 0,
+                            "tid": lane_ids[s_ev.lane],
+                            "ts": s_ev.end * 1e6})
+            records.append({"name": kind, "cat": "causal", "ph": "f",
+                            "bp": "e", "id": flow_id, "pid": 0,
+                            "tid": lane_ids[d_ev.lane],
+                            "ts": d_ev.start * 1e6})
+
+        for dst, preds in sorted(self.dep_preds.items()):
+            src = max(preds, key=lambda q: (_done(events[q]), q))
+            arrow(src, dst, "dep")
+        if include_resource_edges:
+            for dst, entries in sorted(self.res_preds.items()):
+                for src, rname in entries:
+                    arrow(src, dst, f"wait:{rname}")
+        return records
+
+    # -- reports ----------------------------------------------------------------
+
+    def headline(self) -> dict:
+        """The compact critical-path block embedded in profile reports."""
+        cp = self.critical_path()
+        return {k: cp[k] for k in ("makespan_s", "length_s", "work_s",
+                                   "busy_fraction", "slackness", "events")}
+
+    def summary_line(self) -> str:
+        """The one-line slackness headline ``repro stats`` prints."""
+        cp = self.critical_path()
+        return (f"parallelism slackness: makespan {cp['makespan_s']:.6f}s / "
+                f"critical-path work {cp['work_s']:.6f}s = "
+                f"{cp['slackness']:.2f}x "
+                f"({cp['busy_fraction'] * 100.0:.1f}% of the path is busy)")
+
+    def report(self, top_segments: int = 12) -> dict:
+        """The full JSON payload (schema ``repro-critpath-1``)."""
+        cp = self.critical_path()
+        segments = sorted(cp["segments"],
+                          key=lambda s: -(s["end"] - s["start"]))
+        return {
+            "schema": CRITPATH_SCHEMA,
+            "makespan_s": self.makespan,
+            "critical_path": {
+                "length_s": cp["length_s"],
+                "work_s": cp["work_s"],
+                "busy_fraction": cp["busy_fraction"],
+                "slackness": cp["slackness"],
+                "events": cp["events"],
+                "segments": cp["segments"],
+                "top_segments": segments[:top_segments],
+            },
+            "attribution": self.attribution(),
+            "stragglers": self.stragglers(),
+            "overlap": self.overlap(),
+            "what_if": self.what_if(),
+            "recorder": {
+                "ops": self.recorder.ops,
+                "dep_edges": self.recorder.dep_edge_count,
+                "res_edges": len(self.recorder.res_edges),
+                "bound_events": len(self.recorder.op_event),
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.report(), indent=indent)
+
+    def render_text(self, top: int = 8) -> str:
+        """Human-readable report for the ``repro analyze`` command."""
+        cp = self.critical_path()
+        lines = ["critical path"]
+        lines.append(f"  {self.summary_line()}")
+        lines.append(f"  length {cp['length_s']:.6f}s == makespan "
+                     f"{cp['makespan_s']:.6f}s over {cp['events']} events")
+        by_kind: Dict[str, float] = {}
+        for seg in cp["segments"]:
+            by_kind[seg["kind"]] = (by_kind.get(seg["kind"], 0.0)
+                                    + seg["end"] - seg["start"])
+        parts = ", ".join(f"{k} {v:.6f}s"
+                          for k, v in sorted(by_kind.items(),
+                                             key=lambda kv: -kv[1]))
+        lines.append(f"  path time by kind: {parts}")
+        top_segs = sorted(cp["segments"],
+                          key=lambda s: -(s["end"] - s["start"]))[:top]
+        for seg in top_segs:
+            where = seg["lane"] or "host"
+            extra = ""
+            if seg["directive"] is not None:
+                extra = f" d{seg['directive']}"
+                if seg["chunk"] is not None:
+                    extra += f"#{seg['chunk']}"
+            lines.append(f"    {seg['end'] - seg['start']:.6f}s "
+                         f"{seg['kind']:<8} {seg['name']}{extra} @{where}")
+
+        attr = self.attribution()
+        lines.append("attribution (per device lane, sums to makespan)")
+        header = (f"  {'lane':<10} {'compute':>10} {'transfer':>10} "
+                  f"{'retry':>10} {'contention':>10} {'idle':>10}")
+        lines.append(header)
+        for row in attr["lanes"]:
+            lines.append(f"  {row['lane']:<10} {row['compute_s']:>10.6f} "
+                         f"{row['transfer_s']:>10.6f} "
+                         f"{row['retry_s']:>10.6f} "
+                         f"{row['contention_s']:>10.6f} "
+                         f"{row['idle_s']:>10.6f}")
+
+        stragglers = self.stragglers(top=top)
+        if stragglers:
+            lines.append("stragglers (per spread directive)")
+            for s in stragglers:
+                label = s["name"] or s["kind"] or f"directive {s['directive']}"
+                lines.append(
+                    f"  d{s['directive']} {label}: chunk {s['slowest_chunk']}"
+                    f"@gpu{s['slowest_device']} {s['max_s']:.6f}s vs mean "
+                    f"{s['mean_s']:.6f}s (x{s['imbalance']:.2f}, "
+                    f"+{s['lost_s']:.6f}s)")
+
+        wi = self.what_if()
+        if wi.get("scenarios"):
+            lines.append("what-if (upper bounds from causal replay)")
+            for name, sc in sorted(wi["scenarios"].items(),
+                                   key=lambda kv: -kv[1]["speedup"]):
+                marker = " <- bottleneck" if name == wi.get("bottleneck") \
+                    else ""
+                lines.append(f"  {name:<18} {sc['makespan_s']:.6f}s "
+                             f"({sc['speedup']:.2f}x){marker}")
+            lines.append(f"  baseline replay {wi['baseline_replay_s']:.6f}s "
+                         f"(actual {wi['makespan_s']:.6f}s)")
+        return "\n".join(lines)

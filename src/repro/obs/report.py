@@ -30,10 +30,15 @@ class ProfileReport:
 
     def __init__(self, registry: MetricsRegistry,
                  spans: Optional[SpanRecorder] = None,
-                 makespan: float = 0.0):
+                 makespan: float = 0.0,
+                 critpath: Optional[Dict[str, Any]] = None):
         self.registry = registry
         self.spans = spans
         self.makespan = makespan
+        #: compact critical-path headline
+        #: (:meth:`repro.obs.critpath.CritPathAnalysis.headline`), when the
+        #: run was analyzed
+        self.critpath = critpath
 
     # -- per-directive ----------------------------------------------------------
 
@@ -230,6 +235,12 @@ class ProfileReport:
                 f"sanitizer: {an['ops_recorded']:d} ops recorded, "
                 f"{an['access_checks']:d} access checks, "
                 f"{an['races']:d} race(s)")
+        cp = self.critpath
+        if cp is not None:
+            totals.append(
+                f"critical path: {cp['work_s']:.6f}s busy over "
+                f"{cp['events']:d} events, slackness "
+                f"{cp['slackness']:.2f}x")
         parts.append("")
         parts.extend(totals)
         return "\n".join(parts) if (drows or vrows) else (
@@ -253,6 +264,8 @@ class ProfileReport:
         an = self.analysis_summary()
         if an is not None:
             payload["analysis"] = an
+        if self.critpath is not None:
+            payload["critpath"] = self.critpath
         if self.spans is not None:
             self.spans.finalize()
             payload["spans"] = {
@@ -286,11 +299,18 @@ class Profiler:
     def registry(self) -> MetricsRegistry:
         return self.metrics.registry
 
-    def report(self, makespan: float = 0.0) -> ProfileReport:
+    def report(self, makespan: float = 0.0,
+               critpath: Optional[Dict[str, Any]] = None) -> ProfileReport:
         return ProfileReport(self.registry, spans=self.spans,
-                             makespan=makespan)
+                             makespan=makespan, critpath=critpath)
 
-    def chrome_trace(self, trace: Any) -> str:
-        """The run's Chrome trace with nested spans merged in."""
+    def chrome_trace(self, trace: Any,
+                     extra_records: Sequence[dict] = ()) -> str:
+        """The run's Chrome trace with nested spans merged in.
+
+        ``extra_records`` are appended after the span records — the CLI
+        passes the analyzer's causal flow arrows here.
+        """
         return trace.to_chrome_trace(
-            extra_records=self.spans.to_chrome_records())
+            extra_records=self.spans.to_chrome_records()
+            + list(extra_records))

@@ -214,15 +214,20 @@ class ToolRegistry:
 
     # -- id allocation ------------------------------------------------------------
 
-    def directive_begin(self, kind: str, **payload: Any) -> int:
-        """Allocate a directive id and fire ``directive_begin``.
+    def directive_begin(self, kind: str, did: Optional[int] = None,
+                        **payload: Any) -> int:
+        """Fire ``directive_begin``, allocating an id if none is given.
 
         Directive ids are sequential in program order, hence deterministic
         run to run; chunk tasks carry their directive's id so tools can
-        reconstruct directive → chunk → op causality.
+        reconstruct directive → chunk → op causality.  The runtime now
+        allocates ids itself (:meth:`OpenMPRuntime.next_directive_id`, so
+        trace provenance exists even without tools) and passes them in;
+        the local counter remains for direct registry users.
         """
-        self._next_directive_id += 1
-        did = self._next_directive_id
+        if did is None:
+            self._next_directive_id += 1
+            did = self._next_directive_id
         self.dispatch(DIRECTIVE_BEGIN, directive=did, kind=kind, **payload)
         return did
 

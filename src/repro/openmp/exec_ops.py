@@ -157,11 +157,19 @@ def _run_with_retry(rt, device_id: int, factory, op: str,
     """
     policy = rt.retry_policy
     attempt = 1
+    # Tag the executing process so re-attempted ops carry
+    # ``attempt``/``retry_of`` trace meta (their own attribution bucket).
+    proc = rt.sim.current_process
     while True:
         try:
-            return (yield from factory())
+            result = yield from factory()
+            if proc is not None:
+                proc.retry = 0
+            return result
         except DeviceFaultError as err:
             if not err.retryable:
+                if proc is not None:
+                    proc.retry = 0
                 raise
             tools = rt.tools
             if attempt >= policy.max_attempts:
@@ -169,6 +177,8 @@ def _run_with_retry(rt, device_id: int, factory, op: str,
                     tools.dispatch(FAULT_EVENT, kind="giveup",
                                    device=device_id, op=op, name=name,
                                    attempts=attempt, time=rt.sim.now)
+                if proc is not None:
+                    proc.retry = 0
                 raise
             delay = policy.delay(attempt)
             rt.fault_retries += 1
@@ -179,6 +189,8 @@ def _run_with_retry(rt, device_id: int, factory, op: str,
             if delay > 0:
                 yield rt.sim.timeout(delay)
             attempt += 1
+            if proc is not None:
+                proc.retry = (attempt - 1, f"{op}:{name}")
 
 
 def _maybe_retry(rt, device_id: int, factory, op: str, name: str) -> Generator:
@@ -482,6 +494,10 @@ def submit_op(ctx: TaskCtx, device_id: int, opgen: Generator,
     proc = ctx.submit(opgen, name=name, concrete_deps=concrete_deps,
                       extra_waits=waits, inflight_registrars=registrars,
                       device=device_id, directive_id=directive_id)
+    if directive_id is not None:
+        # Trace provenance: the op body only runs once the event loop
+        # steps it, so tagging after submit is race-free.
+        proc.prov = (directive_id, None, None)
     san = ctx.rt.sanitizer
     if san is not None:
         from repro.analysis.sanitizer import accesses_from_maps

@@ -63,6 +63,18 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+def resolve_analyze(analyze: Optional[bool]) -> bool:
+    """Normalize the ``analyze`` knob.
+
+    ``None`` consults the ``REPRO_ANALYZE`` environment variable (so CI can
+    run the whole suite with causal-edge recording on), defaulting to off.
+    """
+    if analyze is None:
+        raw = os.environ.get("REPRO_ANALYZE", "").strip().lower()
+        return raw in ("1", "on", "true", "yes")
+    return bool(analyze)
+
+
 #: types accepted by the ``faults`` knob
 FaultsSpec = Union[None, str, FaultInjector, "list[FaultRule]",
                    "tuple[FaultRule, ...]"]
@@ -120,7 +132,8 @@ class OpenMPRuntime:
                  faults: FaultsSpec = None,
                  fault_seed: Optional[int] = None,
                  retry: Optional[RetryPolicy] = None,
-                 sanitize=None):
+                 sanitize=None,
+                 analyze: Optional[bool] = None):
         self.topology = topology if topology is not None else cte_power_node(4)
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.sim = Simulator()
@@ -190,6 +203,26 @@ class OpenMPRuntime:
                 self.sanitizer = RaceSanitizer(rt=self,
                                                strict=mode == "strict")
                 self.sanitizer.install(self.sim)
+        #: directive ids are allocated here — always, tools or not — so
+        #: trace provenance and the critical-path analyzer see the same
+        #: ids the tool registry dispatches.
+        self._directive_seq = 0
+        self.directive_info: dict = {}
+        #: causal recorder (repro.obs.critpath) or None; ``analyze``
+        #: defaults to $REPRO_ANALYZE.  Recording needs the trace for op
+        #: binding: explicitly asking for analysis without a trace is an
+        #: error, while env-driven analysis silently skips untraced runs.
+        self.causal = None
+        if resolve_analyze(analyze):
+            if not trace_enabled:
+                if analyze is not None:
+                    raise OmpRuntimeError(
+                        "analyze=True requires trace_enabled=True")
+            else:
+                from repro.obs.critpath import CausalRecorder
+
+                self.causal = CausalRecorder()
+                self.causal.install(self.sim)
         self._tasks: List[Process] = []
         self._device_ops: List[Process] = []
         self._ran = False
@@ -248,6 +281,34 @@ class OpenMPRuntime:
                            time=self.sim.now)
 
     # -- bookkeeping -------------------------------------------------------------
+
+    def next_directive_id(self, kind: str = "", name: str = "") -> int:
+        """Allocate the next directive id (sequential in program order).
+
+        Every directive layer draws from this counter whether or not tools
+        are registered, so trace events always carry stable ``directive``
+        provenance and tooled runs see the very same ids.
+        """
+        self._directive_seq += 1
+        did = self._directive_seq
+        self.directive_info[did] = {"kind": kind, "name": name}
+        return did
+
+    def analysis(self):
+        """A :class:`repro.obs.critpath.CritPathAnalysis` over this run.
+
+        Requires the runtime to have been built with ``analyze=True`` (or
+        ``REPRO_ANALYZE=1``) so causal edges were recorded.
+        """
+        if self.causal is None:
+            raise OmpRuntimeError(
+                "no causal recording: construct the runtime with "
+                "analyze=True (or set REPRO_ANALYZE=1) to use analysis()")
+        from repro.obs.critpath import CritPathAnalysis
+
+        return CritPathAnalysis(self.trace, self.causal,
+                                directive_info=self.directive_info,
+                                num_devices=self.num_devices)
 
     def note_task(self, proc: Process) -> None:
         self._tasks.append(proc)

@@ -58,11 +58,11 @@ def target(ctx: TaskCtx, device: int, kernel: KernelSpec,
     cfg = launch if launch is not None else LaunchConfig(
         num_teams=1, threads_per_team=1, simd=False)
     tools = ctx.rt.tools
-    did = None
+    did = ctx.rt.next_directive_id("target", kernel.name)
     if tools:
-        did = tools.directive_begin("target", device=device,
-                                    name=kernel.name, lo=lo, hi=hi,
-                                    time=ctx.rt.sim.now)
+        tools.directive_begin("target", did=did, device=device,
+                              name=kernel.name, lo=lo, hi=hi,
+                              time=ctx.rt.sim.now)
     op = exec_ops.kernel_op(ctx.rt, device, kernel, lo, hi, concrete,
                             launch=cfg, iterations=iterations,
                             label=f"target@{device}")
@@ -72,7 +72,7 @@ def target(ctx: TaskCtx, device: int, kernel: KernelSpec,
                               directive_id=did)
     if not nowait:
         yield proc
-    if did is not None:
+    if tools:
         tools.directive_end(did, time=ctx.rt.sim.now)
     return proc
 
@@ -140,12 +140,12 @@ def target_data(ctx: TaskCtx, device: int,
     exec_ops.region_map_types(maps, "target data")
     concrete = _concretize_maps(maps, "target data")
     tools = ctx.rt.tools
-    did = None
+    did = ctx.rt.next_directive_id("target data")
     if tools:
         # directive_end fires when the returned region's end() is driven —
         # a structured region's window spans its whole body
-        did = tools.directive_begin("target data", device=device,
-                                    time=ctx.rt.sim.now)
+        tools.directive_begin("target data", did=did, device=device,
+                              time=ctx.rt.sim.now)
     op = exec_ops.enter_op(ctx.rt, device, concrete,
                            label=f"target-data@{device}")
     proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
@@ -164,10 +164,10 @@ def target_enter_data(ctx: TaskCtx, device: int,
     concrete = _concretize_maps(maps, "target enter data")
     cdeps = concretize_deps(depends)
     tools = ctx.rt.tools
-    did = None
+    did = ctx.rt.next_directive_id("target enter data")
     if tools:
-        did = tools.directive_begin("target enter data", device=device,
-                                    time=ctx.rt.sim.now)
+        tools.directive_begin("target enter data", did=did, device=device,
+                              time=ctx.rt.sim.now)
     op = exec_ops.enter_op(ctx.rt, device, concrete,
                            label=f"enter-data@{device}")
     proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
@@ -176,7 +176,7 @@ def target_enter_data(ctx: TaskCtx, device: int,
                               directive_id=did)
     if not nowait:
         yield proc
-    if did is not None:
+    if tools:
         tools.directive_end(did, time=ctx.rt.sim.now)
     return proc
 
@@ -190,10 +190,10 @@ def target_exit_data(ctx: TaskCtx, device: int,
     concrete = _concretize_maps(maps, "target exit data")
     cdeps = concretize_deps(depends)
     tools = ctx.rt.tools
-    did = None
+    did = ctx.rt.next_directive_id("target exit data")
     if tools:
-        did = tools.directive_begin("target exit data", device=device,
-                                    time=ctx.rt.sim.now)
+        tools.directive_begin("target exit data", did=did, device=device,
+                              time=ctx.rt.sim.now)
     op = exec_ops.exit_op(ctx.rt, device, concrete,
                           label=f"exit-data@{device}")
     proc = exec_ops.submit_op(ctx, device, op, concrete_maps=concrete,
@@ -202,7 +202,7 @@ def target_exit_data(ctx: TaskCtx, device: int,
                               directive_id=did)
     if not nowait:
         yield proc
-    if did is not None:
+    if tools:
         tools.directive_end(did, time=ctx.rt.sim.now)
     return proc
 
@@ -228,10 +228,10 @@ def target_update(ctx: TaskCtx, device: int,
     pseudo = ([(Map.to(var), interval) for var, interval in to_c] +
               [(Map.from_(var), interval) for var, interval in from_c])
     tools = ctx.rt.tools
-    did = None
+    did = ctx.rt.next_directive_id("target update")
     if tools:
-        did = tools.directive_begin("target update", device=device,
-                                    time=ctx.rt.sim.now)
+        tools.directive_begin("target update", did=did, device=device,
+                              time=ctx.rt.sim.now)
     op = exec_ops.update_op(ctx.rt, device, to_c, from_c,
                             label=f"update@{device}")
     proc = exec_ops.submit_op(ctx, device, op, concrete_maps=pseudo,
@@ -240,6 +240,6 @@ def target_update(ctx: TaskCtx, device: int,
                               directive_id=did)
     if not nowait:
         yield proc
-    if did is not None:
+    if tools:
         tools.directive_end(did, time=ctx.rt.sim.now)
     return proc

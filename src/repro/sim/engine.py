@@ -40,6 +40,12 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
 
+    #: causal frontier consumed by repro.obs.critpath — empty for plain
+    #: events, so the engine's join hook can skip them with one attribute
+    #: read; Process carries a per-instance frontier, AllOf/AnyOf merge
+    #: their processed children on access.
+    cp_heads = ()
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -132,8 +138,8 @@ class Process(Event):
     Other processes can therefore ``yield proc`` to join it.
     """
 
-    __slots__ = ("gen", "name", "work_safe", "san_clock", "_waiting_on",
-                 "_interrupts")
+    __slots__ = ("gen", "name", "work_safe", "san_clock", "prov", "retry",
+                 "cp_heads", "_waiting_on", "_interrupts")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
@@ -143,6 +149,16 @@ class Process(Event):
         # this process is ordered after (see repro.analysis.sanitizer).
         # Plain int OR operations; dead weight unless sim.san_hook is set.
         self.san_clock = 0
+        # Directive/chunk provenance ``(directive_id, chunk_index,
+        # rerouted_from)`` and fault-retry tag, inherited from the spawning
+        # process so copy sub-processes keep their parent op's identity.
+        # ``cp_heads`` holds the causal frontier (op ids of the most recent
+        # completed device ops this process is ordered after) consumed by
+        # repro.obs.critpath; empty tuples unless a recorder is attached.
+        parent = sim.current_process
+        self.prov = parent.prov if parent is not None else None
+        self.retry = parent.retry if parent is not None else 0
+        self.cp_heads = parent.cp_heads if parent is not None else ()
         # Processes that only *register* deferred real work (device
         # operations) and never observe host arrays inline set this True;
         # resuming any other process closes the current work window so the
@@ -186,12 +202,18 @@ class Process(Event):
         hook = self.sim.san_hook
         if hook is not None:
             hook(self, ev)
+        hook = self.sim.cp_hook
+        if hook is not None:
+            heads = ev.cp_heads
+            if heads:
+                hook(self, heads)
         if ev.ok:
             self._step(ev.value, None)
         else:
             self._step(None, ev.value)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        self.sim.current_process = self
         if not self.work_safe:
             ex = self.sim._executor
             if ex is not None and ex.pending:
@@ -227,6 +249,11 @@ class Process(Event):
                 hook = self.sim.san_hook
                 if hook is not None:
                     hook(self, target)
+                hook = self.sim.cp_hook
+                if hook is not None:
+                    heads = target.cp_heads
+                    if heads:
+                        hook(self, heads)
                 if target._ok:
                     value, exc = target._value, None
                 else:
@@ -237,6 +264,19 @@ class Process(Event):
             return
 
 
+def _merged_child_heads(self) -> List[int]:
+    """Causal frontiers of the processed children, concatenated (an AnyOf
+    may deliver before its losers are processed; only settled children have
+    trustworthy frontiers)."""
+    out: List[int] = []
+    for ev in self.events:
+        if ev._processed:
+            heads = ev.cp_heads
+            if heads:
+                out.extend(heads)
+    return out
+
+
 class AllOf(Event):
     """Triggers when every child event has triggered successfully.
 
@@ -245,6 +285,8 @@ class AllOf(Event):
     """
 
     __slots__ = ("events", "_remaining")
+
+    cp_heads = property(_merged_child_heads)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -271,6 +313,8 @@ class AnyOf(Event):
     """Triggers as soon as any child triggers (with that child's value)."""
 
     __slots__ = ("events",)
+
+    cp_heads = property(_merged_child_heads)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -329,6 +373,17 @@ class Simulator:
         # can merge the event's clock into the process (happens-before
         # join).  None keeps the hot path untouched.
         self.san_hook: Optional[Callable[["Process", Event], None]] = None
+        # Optional critical-path join hook (repro.obs.critpath): same call
+        # sites as san_hook, merges causal frontiers across joins.
+        self.cp_hook: Optional[Callable[["Process", Event], None]] = None
+        # Optional causal recorder (repro.obs.critpath.CausalRecorder):
+        # devices and resources report op begin/end and contention grants
+        # through it.  None keeps every hot path untouched.
+        self.recorder: Any = None
+        # The process currently being stepped; lets spawned sub-processes
+        # inherit provenance and lets devices tag trace events with the
+        # issuing process's directive/chunk/retry identity.
+        self.current_process: Optional["Process"] = None
         # Shared already-processed event used as every Process's initial
         # wait target (see Process.__init__ / Process._start).
         self._proc_init = Event(self)
@@ -412,6 +467,7 @@ class Simulator:
         self.now = time
         if type(ev) is _Call:
             ev.fn()
+            self.current_process = None
             return
         callbacks = ev.callbacks
         ev.callbacks = None
@@ -419,6 +475,7 @@ class Simulator:
         if callbacks:
             for cb in callbacks:
                 cb(ev)
+        self.current_process = None
 
     def run(self, until: Optional[Event | float] = None) -> Any:
         """Run until the heap drains, a deadline passes, or an event fires.

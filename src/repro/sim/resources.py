@@ -18,12 +18,16 @@ from repro.sim.engine import Event, Simulator
 class Request(Event):
     """A pending claim on a resource; triggers when the slot is granted."""
 
-    __slots__ = ("resource", "tag")
+    __slots__ = ("resource", "tag", "owner")
 
     def __init__(self, sim: Simulator, resource: "Resource", tag: Any = None):
         super().__init__(sim)
         self.resource = resource
         self.tag = tag
+        # Causal-recorder op id of the device op holding/waiting on this
+        # slot (see repro.obs.critpath); None when analysis is off or the
+        # claimant is an internal helper (device-sync, staging holds).
+        self.owner: Any = None
 
     def release(self) -> None:
         self.resource.release(self)
@@ -86,6 +90,11 @@ class Resource:
             self._busy_since = None
         if self._queue:
             nxt = self._queue.popleft()
+            rec = self.sim.recorder
+            if rec is not None and nxt.owner is not None:
+                # The released slot is what the next waiter was blocked on:
+                # a contention edge from the releasing op to the granted one.
+                rec.contention(nxt.owner, req.owner, self.name)
             self._grant(nxt)
 
     def _grant(self, req: Request) -> None:

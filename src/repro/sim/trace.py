@@ -58,9 +58,14 @@ class Trace:
 
     def record(self, category: str, name: str, lane: str, start: float,
                end: float, device: Optional[int] = None,
-               **meta: Any) -> None:
+               **meta: Any) -> Optional[int]:
+        """Append an event; returns its index (None when disabled).
+
+        The index is the stable handle the critical-path recorder uses to
+        bind causal ops to their trace events.
+        """
         if not self.enabled:
-            return
+            return None
         if category not in _CATEGORIES:
             raise ValueError(f"unknown trace category {category!r}")
         if end < start:
@@ -73,6 +78,7 @@ class Trace:
         self.events.append(TraceEvent(category=category, name=name,
                                       lane=lane, start=start, end=end,
                                       device=device, meta=dict(meta)))
+        return len(self.events) - 1
 
     # -- views ----------------------------------------------------------------
 

@@ -76,6 +76,7 @@ def run_somier(impl: str, config: SomierConfig,
                faults: Optional[str] = None,
                fault_seed: Optional[int] = None,
                sanitize=None,
+               analyze: Optional[bool] = None,
                tools: Sequence[Tool] = ()) -> SomierResult:
     """Run one Somier experiment; see the module docstring.
 
@@ -97,6 +98,11 @@ def run_somier(impl: str, config: SomierConfig,
     ``REPRO_FAULT_SEED`` — see :mod:`repro.sim.faults`.
     ``sanitize`` (CLI ``--sanitize``) enables the interval race sanitizer;
     None consults ``REPRO_SANITIZE`` — see :mod:`repro.analysis.sanitizer`.
+    ``analyze`` (CLI ``--analyze`` / ``repro analyze``) attaches the causal
+    recorder for critical-path analysis; None consults ``REPRO_ANALYZE``.
+    Explicit ``analyze=True`` implies tracing; env-armed analysis respects
+    ``trace=False`` and silently skips recording.  Results and traces are
+    identical either way — see :mod:`repro.obs.critpath`.
     """
     if impl not in IMPLEMENTATIONS:
         raise OmpRuntimeError(
@@ -104,11 +110,11 @@ def run_somier(impl: str, config: SomierConfig,
             f"(available: {sorted(IMPLEMENTATIONS)})")
     topo = topology if topology is not None else cte_power_node(4)
     rt = OpenMPRuntime(topology=topo, cost_model=cost_model,
-                       trace_enabled=trace,
+                       trace_enabled=trace or analyze is True,
                        taskgroup_global_drain=taskgroup_global_drain,
                        plan_cache=plan_cache, workers=workers,
                        faults=faults, fault_seed=fault_seed,
-                       sanitize=sanitize)
+                       sanitize=sanitize, analyze=analyze)
     devs = list(devices) if devices is not None else list(range(topo.num_devices))
     for tool in tools:
         rt.tools.register(tool)
@@ -149,6 +155,14 @@ def run_somier(impl: str, config: SomierConfig,
             "sanitizer_ops": rt.sanitizer.ops_recorded,
             "sanitizer_checks": rt.sanitizer.access_checks,
             "sanitizer_races": rt.sanitizer.races,
+        })
+    if rt.causal is not None:
+        # Counters only — the analysis itself (critical path, attribution,
+        # what-if) is on-demand via rt.analysis(), off the run's hot path.
+        stats.update({
+            "causal_ops": rt.causal.ops,
+            "causal_dep_edges": rt.causal.dep_edge_count,
+            "causal_res_edges": len(rt.causal.res_edges),
         })
     if rt.executor is not None:
         stats.update({

@@ -104,6 +104,12 @@ def failover_op(rt, chunk, devices: Sequence[int], op_factory,
         if rt.is_lost(device_id):
             # Routed at submit time, device died before we ran: re-route.
             continue
+        if rerouted:
+            # Keep trace provenance current across re-routing: the op runs
+            # in this same process, only its target device changed.
+            cur = rt.sim.current_process
+            if cur is not None and cur.prov is not None:
+                cur.prov = cur.prov[:2] + (chunk.device,)
         try:
             return (yield from op_factory(device_id, rerouted))
         except DeviceLostError as err:

@@ -117,11 +117,13 @@ def _fan_out(ctx: TaskCtx, plan: pc.SpreadPlan, op_factory, nowait: bool,
     san = rt.sanitizer
     resilient = rt.fault_injector is not None or rt.lost_devices
     items = []
+    provs = []  # (chunk_index, rerouted_from) aligned with items
     for cp in plan.chunk_plans:
         if not resilient:
             # Zero-fault hot path: no routing, no failover wrapper.
             op = op_factory(cp.chunk, cp.maps, cp.chunk.device, False)
             items.append((cp.chunk.device, op, cp.maps, cp.deps, cp.name))
+            provs.append((cp.chunk.index, None))
             _note_residency(san, residency, cp.chunk.device, cp.maps)
             continue
 
@@ -137,22 +139,26 @@ def _fan_out(ctx: TaskCtx, plan: pc.SpreadPlan, op_factory, nowait: bool,
         # it establishes no residency on the replacement device.
         items.append((device_id, op, cp.maps, cp.deps, cp.name,
                       [] if rerouted else None))
+        provs.append((cp.chunk.index, cp.chunk.device if rerouted else None))
         if not rerouted:
             _note_residency(san, residency, device_id, cp.maps)
     procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
+    for proc, (chunk_index, rerouted_from) in zip(procs, provs):
+        proc.prov = (directive_id, chunk_index, rerouted_from)
     handle = SpreadHandle(ctx, procs, plan.chunks)
     if not nowait:
         yield from handle.wait()
     return handle
 
 
-def _directive_begin(ctx: TaskCtx, kind: str, chunks: Sequence[Chunk]):
+def _directive_begin(ctx: TaskCtx, kind: str, chunks: Sequence[Chunk]) -> int:
+    did = ctx.rt.next_directive_id(kind)
     tools = ctx.rt.tools
-    if not tools:
-        return None
-    return tools.directive_begin(kind,
-                                 devices=sorted({c.device for c in chunks}),
-                                 time=ctx.rt.sim.now)
+    if tools:
+        tools.directive_begin(kind, did=did,
+                              devices=sorted({c.device for c in chunks}),
+                              time=ctx.rt.sim.now)
+    return did
 
 
 def _directive_end(ctx: TaskCtx, did: Optional[int],
@@ -385,6 +391,7 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
 
     resilient = rt.fault_injector is not None or rt.lost_devices
     items = []
+    provs = []  # (chunk_index, rerouted_from) aligned with items
     for cp in plan.chunk_plans:
         to_c, from_c = cp.extra
         if not resilient:
@@ -392,6 +399,7 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
                                     fuse_transfers=fuse_transfers,
                                     label=f"update-spread@{cp.chunk.device}")
             items.append((cp.chunk.device, op, cp.maps, cp.deps, cp.name))
+            provs.append((cp.chunk.index, None))
             continue
 
         def factory(device_id, rerouted, to_c=to_c, from_c=from_c):
@@ -413,8 +421,11 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
         # Re-routed updates are no-ops too: empty sanitizer footprint.
         items.append((device_id, op, cp.maps, cp.deps, cp.name,
                       [] if rerouted else None))
+        provs.append((cp.chunk.index, cp.chunk.device if rerouted else None))
     did = _directive_begin(ctx, kind, plan.chunks)
     procs = exec_ops.submit_spread(ctx, items, directive_id=did)
+    for proc, (chunk_index, rerouted_from) in zip(procs, provs):
+        proc.prov = (did, chunk_index, rerouted_from)
     handle = SpreadHandle(ctx, procs, plan.chunks)
     if not nowait:
         yield from handle.wait()

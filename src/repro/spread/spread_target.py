@@ -147,11 +147,11 @@ def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
         pc.note_plan_cache(rt, "target spread", key, hit=True)
 
     tools = rt.tools
-    did = None
+    did = rt.next_directive_id("target spread", kernel.name)
     if tools:
-        did = tools.directive_begin("target spread", name=kernel.name,
-                                    devices=list(plan.devices), lo=lo, hi=hi,
-                                    time=rt.sim.now)
+        tools.directive_begin("target spread", did=did, name=kernel.name,
+                              devices=list(plan.devices), lo=lo, hi=hi,
+                              time=rt.sim.now)
     handle = _launch_static(ctx, kernel, plan, cfg, reductions,
                             fuse_transfers, directive_id=did)
     if reductions:
@@ -159,7 +159,7 @@ def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
         _fold_reductions(handle, reductions)
     elif not nowait:
         yield from handle.wait()
-    if did is not None:
+    if tools:
         tools.directive_end(did, chunks=len(handle.chunks),
                             time=rt.sim.now)
     return handle
@@ -173,11 +173,11 @@ def _run_dynamic(ctx: TaskCtx, kernel: KernelSpec, chunks: Sequence[Chunk],
     """The uncached dynamic-schedule execution of ``target spread``."""
     rt = ctx.rt
     tools = rt.tools
-    did = None
+    did = rt.next_directive_id("target spread", kernel.name)
     if tools:
-        did = tools.directive_begin("target spread", name=kernel.name,
-                                    devices=list(devs), lo=lo, hi=hi,
-                                    time=rt.sim.now)
+        tools.directive_begin("target spread", did=did, name=kernel.name,
+                              devices=list(devs), lo=lo, hi=hi,
+                              time=rt.sim.now)
     handle = _launch_dynamic(ctx, kernel, chunks, devs, maps, cfg,
                              fuse_transfers, directive_id=did)
     if reductions:
@@ -190,7 +190,7 @@ def _run_dynamic(ctx: TaskCtx, kernel: KernelSpec, chunks: Sequence[Chunk],
         raise SpreadExecutionError(
             f"target spread ({kernel.name}): {len(handle.unfinished)} "
             f"chunk(s) left unexecuted after device loss")
-    if did is not None:
+    if tools:
         tools.directive_end(did, chunks=len(handle.chunks),
                             time=rt.sim.now)
     return handle
@@ -251,6 +251,7 @@ def _launch_static(ctx: TaskCtx, kernel: KernelSpec, plan: pc.SpreadPlan,
     rt = ctx.rt
     resilient = rt.fault_injector is not None or rt.lost_devices
     items = []
+    provs = []  # (chunk_index, rerouted_from) aligned with items
     for cp in plan.chunk_plans:
         chunk = cp.chunk
         if not resilient:
@@ -266,6 +267,7 @@ def _launch_static(ctx: TaskCtx, kernel: KernelSpec, plan: pc.SpreadPlan,
                                         fuse_transfers=fuse_transfers,
                                         label=cp.label)
             items.append((chunk.device, op, cp.maps, cp.deps, cp.name))
+            provs.append((chunk.index, None))
             continue
 
         def op_factory(device_id, rerouted, cp=cp, chunk=chunk):
@@ -293,7 +295,10 @@ def _launch_static(ctx: TaskCtx, kernel: KernelSpec, plan: pc.SpreadPlan,
             else:
                 accesses = exec_ops.kernel_accesses(rt, device_id, cp.maps)
         items.append((device_id, op, cp.maps, cp.deps, cp.name, accesses))
+        provs.append((chunk.index, chunk.device if rerouted else None))
     procs = exec_ops.submit_spread(ctx, items, directive_id=directive_id)
+    for proc, (chunk_index, rerouted_from) in zip(procs, provs):
+        proc.prov = (directive_id, chunk_index, rerouted_from)
     return SpreadHandle(ctx, procs, plan.chunks)
 
 
@@ -323,6 +328,11 @@ def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
             record = Chunk(index=chunk.index, interval=chunk.interval,
                            device=device_id)
             assigned.append(record)
+            # Per-pulled-chunk provenance: the worker process runs each
+            # chunk's ops inline, so re-tagging before the op is exact.
+            # Dynamic assignment is scheduling, not failover — no
+            # rerouted_from tag.
+            cell[0].prov = (directive_id, chunk.index, None)
             concrete = _concretize_for_chunk(maps, chunk)
             san = rt.sanitizer
             if san is not None:
