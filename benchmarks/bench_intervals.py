@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Interval-math microbenchmark: scalar vs vectorized overlap testing.
+
+The macro-op replay engine and the executor's wave planner both lean on
+the NumPy batch helpers in :mod:`repro.util.intervals` (``pack_intervals``,
+``batch_overlap_matrix``, ``batch_widths``).  This script times the
+all-pairs overlap test both ways — per-pair ``Interval.overlaps`` calls vs
+one vectorized matrix — asserts they agree, and updates the ``intervals``
+key of ``BENCH_wallclock.json`` in place (the rest of the file is
+untouched, so the full track does not need to re-run)::
+
+    PYTHONPATH=src python benchmarks/bench_intervals.py
+    PYTHONPATH=src python benchmarks/bench_intervals.py \
+        --n 512 --repeats 9 --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench.wallclock import intervals_bench
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_wallclock.json",
+                    help="JSON file to update (the 'intervals' key); "
+                         "created fresh if missing")
+    ap.add_argument("--n", type=int, default=256,
+                    help="number of pseudo-random intervals (n*n pairs)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="repeats per arm (min is reported)")
+    ap.add_argument("--seed", type=int, default=12345,
+                    help="PRNG seed for the interval set")
+    args = ap.parse_args(argv)
+
+    result = intervals_bench(n=args.n, repeats=args.repeats, seed=args.seed)
+    result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+    print(f"n={result['n']} intervals, {result['pairs']} pairs, "
+          f"best of {result['repeats']}:")
+    print(f"  scalar Interval.overlaps: {result['scalar_s'] * 1e3:8.2f} ms "
+          f"({result['scalar_pairs_per_s']:.2e} pairs/s)")
+    print(f"  batch_overlap_matrix:     {result['vector_s'] * 1e3:8.2f} ms "
+          f"({result['vector_pairs_per_s']:.2e} pairs/s)")
+    print(f"  pack_intervals:           {result['pack_s'] * 1e3:8.2f} ms")
+    print(f"  vectorized speedup:       {result['speedup']:.1f}x")
+
+    doc = {}
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            doc = json.load(f)
+    doc["intervals"] = result
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"updated 'intervals' in {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,10 +41,10 @@ def main(argv=None) -> int:
                     help="end-to-end Somier timesteps")
     ap.add_argument("--workers", default="1,2,4",
                     help="comma-separated workers values for the sweep")
-    ap.add_argument("--sweep-n-functional", type=int, default=144,
+    ap.add_argument("--sweep-n-functional", type=int, default=96,
                     help="functional grid edge for the workers sweep "
                          "(kernel-dominated)")
-    ap.add_argument("--sweep-steps", type=int, default=2,
+    ap.add_argument("--sweep-steps", type=int, default=4,
                     help="timesteps for the workers sweep")
     ap.add_argument("--analyzer-runs", type=int, default=3,
                     help="repeats per arm of the analyzer-overhead bench "
@@ -55,6 +55,12 @@ def main(argv=None) -> int:
                          "than FRAC of the traced wall time (the documented "
                          "budget is 0.05; CI passes headroom for noisy "
                          "runners)")
+    ap.add_argument("--min-warm-speedup", type=float, default=None,
+                    metavar="X",
+                    help="fail (exit 1) if the warm-launch speedup of the "
+                         "cached+macro path over the uncached path falls "
+                         "below X (the plan-cache/macro-replay regression "
+                         "gate; CI uses 5)")
     args = ap.parse_args(argv)
 
     result = run_wallclock(
@@ -69,12 +75,19 @@ def main(argv=None) -> int:
 
     micro = result["launch_microbench"]
     on, off = micro["cache_on"], micro["cache_off"]
-    print(f"warm launch (cache on):  {on['warm_launch_s'] * 1e6:8.1f} us "
+    macro_off = micro["macro_off"]
+    print(f"warm launch (macro on):  {on['warm_launch_s'] * 1e6:8.1f} us "
           f"({on['warm_launches_per_s']:.0f} launches/s, "
-          f"{on['cache_hits']} hits / {on['cache_misses']} misses)")
+          f"{on['macro_replays']} replays / {on['macro_compiles']} compiles)")
+    print(f"warm launch (macro off): {macro_off['warm_launch_s'] * 1e6:8.1f} us "
+          f"({macro_off['warm_launches_per_s']:.0f} launches/s, "
+          f"{macro_off['cache_hits']} hits / "
+          f"{macro_off['cache_misses']} misses)")
     print(f"warm launch (cache off): {off['warm_launch_s'] * 1e6:8.1f} us "
           f"({off['warm_launches_per_s']:.0f} launches/s)")
-    print(f"warm-launch speedup:     {result['warm_launch_speedup']:.2f}x")
+    print(f"warm-launch speedup:     {result['warm_launch_speedup']:.2f}x "
+          f"(macro replay vs object path: "
+          f"{result['warm_macro_speedup']:.2f}x)")
     e2e = result["end_to_end"]
     print(f"end-to-end somier:       "
           f"{e2e['cache_on']['wall_s']:.3f}s on vs "
@@ -88,6 +101,12 @@ def main(argv=None) -> int:
         util_s = f", util {util:.0%}" if util is not None else ""
         print(f"  workers={r['workers']}: {r['wall_s']:.3f}s "
               f"({r['speedup_vs_1']:.2f}x vs serial{util_s})")
+
+    ivals = result["intervals"]
+    print(f"interval math:           "
+          f"{ivals['vector_pairs_per_s']:.2e} pairs/s vectorized vs "
+          f"{ivals['scalar_pairs_per_s']:.2e} scalar "
+          f"({ivals['speedup']:.1f}x, n={ivals['n']})")
 
     ana = result["analyzer_overhead"]
     print(f"analyzer overhead:       "
@@ -106,6 +125,13 @@ def main(argv=None) -> int:
         print(f"FAIL: recording overhead {ana['recording_overhead']:.1%} "
               f"exceeds --max-analyze-overhead "
               f"{args.max_analyze_overhead:.1%}", file=sys.stderr)
+        return 1
+    if args.min_warm_speedup is not None and \
+            result["warm_launch_speedup"] < args.min_warm_speedup:
+        print(f"FAIL: warm-launch speedup "
+              f"{result['warm_launch_speedup']:.2f}x below "
+              f"--min-warm-speedup {args.min_warm_speedup:.2f}x",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -56,7 +56,8 @@ S, Z = omp_spread_start, omp_spread_size
 
 def launch_microbench(plan_cache: bool = True, n: int = 4096,
                       num_devices: int = 4, repeats: int = 30,
-                      launches: int = 5) -> Dict[str, Any]:
+                      launches: int = 5,
+                      macro_ops: Optional[bool] = None) -> Dict[str, Any]:
     """Per-launch host cost of an identical, already-mapped spread kernel.
 
     The program maps both arrays across *num_devices* once, then times
@@ -65,10 +66,12 @@ def launch_microbench(plan_cache: bool = True, n: int = 4096,
     batch captures pure host-side lowering; the untimed ``taskwait``
     between batches drains the simulated devices.  Batch 0 is the cold
     (plan-building) sample; the warm figure is the mean of the rest.
+    ``macro_ops=False`` keeps the plan cache but replays hits through the
+    object path — the ablation arm for the macro-op replay engine.
     """
     rt = OpenMPRuntime(
         topology=cte_power_node(num_devices, memory_bytes=4e9),
-        trace_enabled=False, plan_cache=plan_cache)
+        trace_enabled=False, plan_cache=plan_cache, macro_ops=macro_ops)
     devices = list(range(num_devices))
     A, B = np.arange(float(n)), np.zeros(n)
     vA, vB = Var("A", A), Var("B", B)
@@ -97,6 +100,7 @@ def launch_microbench(plan_cache: bool = True, n: int = 4096,
     warm_mean = statistics.mean(warm) / launches
     return {
         "plan_cache": plan_cache,
+        "macro_ops": rt.macro_ops,
         "n": n,
         "devices": num_devices,
         "repeats": repeats,
@@ -107,12 +111,15 @@ def launch_microbench(plan_cache: bool = True, n: int = 4096,
         "warm_launch_min_s": min(warm) / launches,
         "cache_hits": rt.plan_cache.hits,
         "cache_misses": rt.plan_cache.misses,
+        "macro_compiles": rt.plan_cache.macro_compiles,
+        "macro_replays": rt.plan_cache.macro_replays,
     }
 
 
 def end_to_end(plan_cache: bool = True, n_functional: int = 24,
                steps: int = 12, gpus: int = 4,
-               workers: Optional[int] = None) -> Dict[str, Any]:
+               workers: Optional[int] = None,
+               macro_ops: Optional[bool] = None) -> Dict[str, Any]:
     """Wall seconds of a small Somier run (whole stack, trace off)."""
     topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
     cfg = machines.paper_somier_config(n_functional=n_functional,
@@ -120,7 +127,8 @@ def end_to_end(plan_cache: bool = True, n_functional: int = 24,
     t0 = time.perf_counter()
     res = run_somier("one_buffer", cfg, devices=machines.paper_devices(gpus),
                      topology=topo, cost_model=cm, trace=False,
-                     plan_cache=plan_cache, workers=workers)
+                     plan_cache=plan_cache, macro_ops=macro_ops,
+                     workers=workers)
     wall = time.perf_counter() - t0
     out = {
         "plan_cache": plan_cache,
@@ -133,34 +141,49 @@ def end_to_end(plan_cache: bool = True, n_functional: int = 24,
         "virtual_s": res.elapsed,
         "cache_hits": res.stats["plan_cache_hits"],
         "cache_misses": res.stats["plan_cache_misses"],
+        "macro_compiles": res.stats["macro_compiles"],
+        "macro_replays": res.stats["macro_replays"],
     }
     for key in ("executor_epochs", "executor_parallel_ops",
-                "executor_inline_fallbacks", "executor_utilization"):
+                "executor_inline_fallbacks", "executor_inline_small_ops",
+                "executor_inline_small_bytes", "executor_min_bytes",
+                "executor_utilization"):
         if key in res.stats:
             out[key] = res.stats[key]
     return out
 
 
 def workers_sweep(workers_list: Sequence[int] = (1, 2, 4),
-                  n_functional: int = 144, steps: int = 2,
-                  gpus: int = 4) -> Dict[str, Any]:
+                  n_functional: int = 96, steps: int = 4,
+                  gpus: int = 4, repeats: int = 6) -> Dict[str, Any]:
     """End-to-end wall time vs ``workers`` at a kernel-dominated size.
 
     Uses a larger functional grid than the cache benchmark so the NumPy
     kernel bodies and ``np.copyto`` payloads (the work the executor
     offloads) dominate over directive lowering.  Speedups are relative to
     ``workers=1`` (serial inline execution); results are bit-identical
-    across the sweep by construction, so only wall time varies.  On a
-    single-core host the sweep is expected to be flat — ``cpu_count`` is
-    recorded so readers can judge the curve.
+    across the sweep by construction, so only wall time varies.
+
+    Repeats are *interleaved* round-robin across the arms and each arm
+    takes its best (minimum) wall time: ambient load on a shared host
+    varies on multi-second scales, so running one arm's repeats
+    back-to-back hands an entire load burst to a single worker count and
+    fabricates an inversion.  Round-robin sampling exposes every arm to
+    the same load environments and the minimum discards additive noise.
+    The executor's size-aware small-op floor (``REPRO_EXECUTOR_MIN_BYTES``,
+    deliberately *not* pinned here) keeps sub-floor ops inline, so on a
+    single-core host the sweep is expected to be flat rather than
+    inverted — ``cpu_count`` is recorded so readers can judge the curve.
     """
     import os
 
-    runs = []
-    for w in workers_list:
-        r = end_to_end(True, n_functional=n_functional, steps=steps,
-                       gpus=gpus, workers=w)
-        runs.append(r)
+    runs: List[Optional[Dict[str, Any]]] = [None] * len(workers_list)
+    for _ in range(max(1, repeats)):
+        for i, w in enumerate(workers_list):
+            r = end_to_end(True, n_functional=n_functional, steps=steps,
+                           gpus=gpus, workers=w)
+            if runs[i] is None or r["wall_s"] < runs[i]["wall_s"]:
+                runs[i] = r
     base = runs[0]["wall_s"]
     for r in runs:
         r["speedup_vs_1"] = base / r["wall_s"] if r["wall_s"] else 0.0
@@ -168,9 +191,65 @@ def workers_sweep(workers_list: Sequence[int] = (1, 2, 4),
         "n_functional": n_functional,
         "steps": steps,
         "gpus": gpus,
+        "repeats": repeats,
         "cpu_count": os.cpu_count(),
         "runs": runs,
         "best_speedup": max(r["speedup_vs_1"] for r in runs),
+    }
+
+
+def intervals_bench(n: int = 256, repeats: int = 5,
+                    seed: int = 12345) -> Dict[str, Any]:
+    """Scalar vs vectorized interval math (:mod:`repro.util.intervals`).
+
+    Times the all-pairs overlap test the executor's wave planner and the
+    sanitizer both reduce to: ``n`` pseudo-random byte intervals checked
+    pairwise with scalar :meth:`Interval.overlaps` vs one
+    :func:`batch_overlap_matrix` call over the packed ``(n, 2)`` array.
+    Both paths are asserted to agree before timing; each arm takes the
+    min over *repeats*.
+    """
+    from repro.util.intervals import (
+        Interval,
+        batch_overlap_matrix,
+        pack_intervals,
+    )
+
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, 1 << 20, size=n)
+    widths = rng.integers(0, 4096, size=n)  # includes empty intervals
+    ivs = [Interval(int(s), int(s + w)) for s, w in zip(starts, widths)]
+    packed = pack_intervals(ivs)
+
+    scalar_mat = [[a.overlaps(b) for b in ivs] for a in ivs]
+    if not np.array_equal(np.array(scalar_mat),
+                          batch_overlap_matrix(packed, packed)):
+        raise AssertionError("scalar/vector overlap disagreement")
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    scalar_s = best_of(
+        lambda: [[a.overlaps(b) for b in ivs] for a in ivs])
+    vector_s = best_of(
+        lambda: batch_overlap_matrix(packed, packed))
+    pack_s = best_of(lambda: pack_intervals(ivs))
+    pairs = n * n
+    return {
+        "n": n,
+        "pairs": pairs,
+        "repeats": repeats,
+        "scalar_s": scalar_s,
+        "vector_s": vector_s,
+        "pack_s": pack_s,
+        "scalar_pairs_per_s": pairs / scalar_s if scalar_s else 0.0,
+        "vector_pairs_per_s": pairs / vector_s if vector_s else 0.0,
+        "speedup": scalar_s / vector_s if vector_s else 0.0,
     }
 
 
@@ -230,28 +309,47 @@ def analyzer_overhead(runs: int = 3, n_functional: int = 24,
 def run_wallclock(n: int = 4096, num_devices: int = 4, repeats: int = 30,
                   launches: int = 5, n_functional: int = 24,
                   steps: int = 12, workers_list: Sequence[int] = (1, 2, 4),
-                  sweep_n_functional: int = 144, sweep_steps: int = 2,
+                  sweep_n_functional: int = 96, sweep_steps: int = 4,
                   analyzer_runs: int = 3,
                   timestamp: Optional[str] = None) -> Dict[str, Any]:
-    """The full track: microbench + end-to-end + workers sweep + analyzer."""
+    """The full track: microbench (macro on/off/no-cache) + end-to-end +
+    workers sweep + interval math + analyzer."""
     micro_on = launch_microbench(True, n=n, num_devices=num_devices,
                                  repeats=repeats, launches=launches)
+    micro_macro_off = launch_microbench(True, n=n, num_devices=num_devices,
+                                        repeats=repeats, launches=launches,
+                                        macro_ops=False)
     micro_off = launch_microbench(False, n=n, num_devices=num_devices,
                                   repeats=repeats, launches=launches)
-    e2e_on = end_to_end(True, n_functional=n_functional, steps=steps)
-    e2e_off = end_to_end(False, n_functional=n_functional, steps=steps)
+    # Interleaved best-of: ambient load varies on multi-second scales, so
+    # a single sample per arm can hand one arm an entire load burst and
+    # invert the ratio (the workers sweep docstring tells the same story).
+    e2e_on = e2e_off = None
+    for _ in range(3):
+        on = end_to_end(True, n_functional=n_functional, steps=steps)
+        off = end_to_end(False, n_functional=n_functional, steps=steps)
+        if e2e_on is None or on["wall_s"] < e2e_on["wall_s"]:
+            e2e_on = on
+        if e2e_off is None or off["wall_s"] < e2e_off["wall_s"]:
+            e2e_off = off
     sweep = workers_sweep(workers_list, n_functional=sweep_n_functional,
                           steps=sweep_steps)
+    ivals = intervals_bench()
     analyzer = analyzer_overhead(runs=analyzer_runs,
                                  n_functional=n_functional, steps=steps)
     return {
-        "schema": "repro-wallclock-3",
+        "schema": "repro-wallclock-4",
         "timestamp": timestamp,
-        "launch_microbench": {"cache_on": micro_on, "cache_off": micro_off},
+        "launch_microbench": {"cache_on": micro_on,
+                              "macro_off": micro_macro_off,
+                              "cache_off": micro_off},
         "end_to_end": {"cache_on": e2e_on, "cache_off": e2e_off},
         "workers_sweep": sweep,
+        "intervals": ivals,
         "analyzer_overhead": analyzer,
         "warm_launch_speedup":
             micro_off["warm_launch_s"] / micro_on["warm_launch_s"],
+        "warm_macro_speedup":
+            micro_macro_off["warm_launch_s"] / micro_on["warm_launch_s"],
         "end_to_end_speedup": e2e_off["wall_s"] / e2e_on["wall_s"],
     }

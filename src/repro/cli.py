@@ -83,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-plan-cache", action="store_true",
                    help="disable spread launch-plan caching (replay); "
                         "every directive takes the full lowering path")
+    p.add_argument("--no-macro-ops", action="store_true",
+                   help="keep the plan cache but disable macro-op replay "
+                        "(compiled flat replay programs for cache hits; "
+                        "default: $REPRO_MACRO_OPS or on)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="size of the parallel host execution backend "
                         "(real kernel/memcpy work on N threads; default: "
@@ -130,6 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-depend", action="store_true")
     p.add_argument("--fuse-transfers", action="store_true")
     p.add_argument("--no-plan-cache", action="store_true")
+    p.add_argument("--no-macro-ops", action="store_true",
+                   help="disable macro-op replay of plan-cache hits "
+                        "(default: $REPRO_MACRO_OPS or on)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="parallel host backend width (default: "
                         "$REPRO_WORKERS or 1)")
@@ -161,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-depend", action="store_true")
     p.add_argument("--fuse-transfers", action="store_true")
     p.add_argument("--no-plan-cache", action="store_true")
+    p.add_argument("--no-macro-ops", action="store_true",
+                   help="disable macro-op replay of plan-cache hits "
+                        "(default: $REPRO_MACRO_OPS or on)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="parallel host backend width (default: "
                         "$REPRO_WORKERS or 1)")
@@ -234,6 +244,7 @@ def cmd_somier(args) -> int:
                      fuse_transfers=args.fuse_transfers,
                      trace=args.trace or bool(args.trace_json),
                      plan_cache=not args.no_plan_cache,
+                     macro_ops=False if args.no_macro_ops else None,
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
                      sanitize=args.sanitize,
@@ -302,6 +313,7 @@ def cmd_stats(args) -> int:
                      cost_model=cm, data_depend=args.data_depend,
                      fuse_transfers=args.fuse_transfers,
                      plan_cache=not args.no_plan_cache,
+                     macro_ops=False if args.no_macro_ops else None,
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
                      sanitize=args.sanitize, analyze=True,
@@ -336,6 +348,7 @@ def cmd_analyze(args) -> int:
                      cost_model=cm, data_depend=args.data_depend,
                      fuse_transfers=args.fuse_transfers,
                      plan_cache=not args.no_plan_cache,
+                     macro_ops=False if args.no_macro_ops else None,
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
                      analyze=True,

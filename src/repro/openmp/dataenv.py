@@ -106,6 +106,13 @@ class DeviceDataEnv:
         # contain any section, so a memoized containment hit is always the
         # same entry the linear scan would find.
         self._memo: Dict[int, MappedEntry] = {}
+        # Structural epoch: bumped whenever the set of entries changes
+        # (insert, remove, purge) — NOT on refcount-only traffic.  The
+        # macro-op replay engine (repro.spread.macro) validates its cached
+        # entry/view resolutions against this counter: as long as the epoch
+        # is unchanged, every entry object it captured is still live and
+        # still covers the same section.
+        self.epoch = 0
         # statistics for benchmark reports
         self.enter_count = 0
         self.reuse_count = 0
@@ -217,6 +224,7 @@ class DeviceDataEnv:
         entry = MappedEntry(var=var, section=section, alloc=alloc, refcount=1)
         self._entries.setdefault(var.key, []).append(entry)
         self._memo[var.key] = entry
+        self.epoch += 1
         self.enter_count += 1
         tools = self.device.tools
         if tools:
@@ -248,6 +256,7 @@ class DeviceDataEnv:
                 del self._entries[var.key]
             if self._memo.get(var.key) is entry:
                 del self._memo[var.key]
+            self.epoch += 1
             if tools:
                 tools.dispatch(DATA_OP, op="delete",
                                device=self.device.device_id, name=var.name,
@@ -277,6 +286,7 @@ class DeviceDataEnv:
         entries = [e for lst in self._entries.values() for e in lst]
         self._entries.clear()
         self._memo.clear()
+        self.epoch += 1
         for entry in entries:
             count += 1
             self.device.free(entry.alloc)

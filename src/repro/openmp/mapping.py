@@ -15,7 +15,6 @@ section for a particular chunk and bounds-checks it against the array.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -32,7 +31,7 @@ class Var:
     after aliasing analysis gives up.  Keep one ``Var`` per logical array.
     """
 
-    __slots__ = ("name", "array")
+    __slots__ = ("name", "array", "key", "extent")
 
     def __init__(self, name: str, array: np.ndarray):
         if not isinstance(array, np.ndarray):
@@ -41,15 +40,12 @@ class Var:
             raise ValueError(f"Var {name!r}: zero-dimensional arrays cannot be sectioned")
         self.name = name
         self.array = array
-
-    @property
-    def key(self) -> int:
-        return id(self)
-
-    @property
-    def extent(self) -> int:
-        """Size of the distributed axis (axis 0)."""
-        return self.array.shape[0]
+        # Precomputed: both sit on the directive hot path (cache-key
+        # signatures, present-table lookups) where a property call per
+        # access was measurable.  NumPy arrays cannot change shape[0]
+        # behind a live view, so snapshotting the extent is safe.
+        self.key: int = id(self)
+        self.extent: int = array.shape[0]
 
     @property
     def row_nbytes(self) -> int:
@@ -87,19 +83,40 @@ SectionExpr = Union[int, "object"]
 Section = Optional[Tuple[SectionExpr, SectionExpr]]
 
 
-@dataclass(frozen=True)
 class MapClause:
-    """One variable of a ``map`` clause."""
+    """One variable of a ``map`` clause.
 
-    map_type: MapType
-    var: Var
-    section: Section = None
+    Hand-written immutable-by-convention class rather than a frozen
+    dataclass: map clauses are constructed on every directive call (the
+    pragma-style API builds the list inline), and the frozen-dataclass
+    ``object.__setattr__`` protocol tripled construction cost on the warm
+    launch path.  Equality/hash/repr match the previous dataclass.
+    """
 
-    def __post_init__(self) -> None:
-        if self.section is not None and len(self.section) != 2:
+    __slots__ = ("map_type", "var", "section")
+
+    def __init__(self, map_type: MapType, var: Var,
+                 section: Section = None) -> None:
+        if section is not None and len(section) != 2:
             raise OmpSemaError(
-                f"map({self.map_type.value}: {self.var.name}): section must "
+                f"map({map_type.value}: {var.name}): section must "
                 "be a (start, length) pair")
+        self.map_type = map_type
+        self.var = var
+        self.section = section
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is MapClause:
+            return (self.map_type == other.map_type and self.var == other.var
+                    and self.section == other.section)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.map_type, self.var, self.section))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MapClause(map_type={self.map_type!r}, var={self.var!r}, "
+                f"section={self.section!r})")
 
 
 class Map:

@@ -29,7 +29,7 @@ from repro.openmp.depend import DependTracker
 from repro.openmp.tasks import TaskCtx
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Process, Simulator
-from repro.sim.executor import HostExecutor
+from repro.sim.executor import HostExecutor, resolve_executor_min_bytes
 from repro.sim.faults import FaultInjector, FaultRule, RetryPolicy
 from repro.sim.resources import Resource
 from repro.sim.topology import NodeTopology, cte_power_node
@@ -61,6 +61,22 @@ def resolve_workers(workers: Optional[int]) -> int:
         raise OmpRuntimeError(
             f"workers must be >= 1 (1 = serial execution), got {workers}")
     return workers
+
+
+def resolve_macro_ops(macro_ops: Optional[bool]) -> bool:
+    """Normalize the ``macro_ops`` knob (the macro-op replay engine).
+
+    ``None`` consults the ``REPRO_MACRO_OPS`` environment variable (so CI
+    can force the object path: ``REPRO_MACRO_OPS=0``), defaulting to **on**
+    — replay is bit-identical to the object path and only engages when
+    nothing observable is skipped (see :func:`repro.spread.macro.engaged`).
+    """
+    if macro_ops is None:
+        raw = os.environ.get("REPRO_MACRO_OPS", "").strip().lower()
+        if not raw:
+            return True
+        return raw not in ("0", "off", "false", "no")
+    return bool(macro_ops)
 
 
 def resolve_analyze(analyze: Optional[bool]) -> bool:
@@ -128,7 +144,9 @@ class OpenMPRuntime:
                  trace_enabled: bool = True,
                  taskgroup_global_drain: bool = True,
                  plan_cache: bool = True,
+                 macro_ops: Optional[bool] = None,
                  workers: Optional[int] = None,
+                 executor_min_bytes: Optional[int] = None,
                  faults: FaultsSpec = None,
                  fault_seed: Optional[int] = None,
                  retry: Optional[RetryPolicy] = None,
@@ -163,13 +181,26 @@ class OpenMPRuntime:
         #: ``plan_cache=False`` (CLI ``--no-plan-cache``) forces every
         #: directive down the full lowering path.
         self.plan_cache = SpreadPlanCache(enabled=plan_cache)
+        #: macro-op replay engine (repro.spread.macro): cached spread plans
+        #: are compiled to flat programs and replayed by a tight
+        #: interpreter loop.  ``macro_ops=False`` (CLI ``--no-macro-ops``,
+        #: env ``REPRO_MACRO_OPS=0``) forces the object path.
+        self.macro_ops = resolve_macro_ops(macro_ops)
         #: parallel host execution backend (repro.sim.executor): with
         #: ``workers > 1`` the real NumPy work of kernels and transfers
         #: runs on a thread pool; 1 keeps the serial inline path.
+        #: ``executor_min_bytes`` (env ``REPRO_EXECUTOR_MIN_BYTES``) is the
+        #: bytes-per-op floor below which ops run inline instead of
+        #: crossing the pool boundary.
         self.workers = resolve_workers(workers)
         self.executor: Optional[HostExecutor] = None
         if self.workers > 1:
-            self.executor = HostExecutor(self.workers, tools=self.tools)
+            try:
+                min_bytes = resolve_executor_min_bytes(executor_min_bytes)
+            except ValueError as err:
+                raise OmpRuntimeError(str(err))
+            self.executor = HostExecutor(self.workers, tools=self.tools,
+                                         min_bytes=min_bytes)
             self.sim.set_executor(self.executor)
         #: deterministic fault source shared by all devices (or None);
         #: ``faults``/``fault_seed`` default to $REPRO_FAULTS and
@@ -208,6 +239,9 @@ class OpenMPRuntime:
         #: ids the tool registry dispatches.
         self._directive_seq = 0
         self.directive_info: dict = {}
+        # interned {"kind":…, "name":…} dicts — warm launches allocate a
+        # directive id per call, and the info payload repeats endlessly
+        self._info_memo: dict = {}
         #: causal recorder (repro.obs.critpath) or None; ``analyze``
         #: defaults to $REPRO_ANALYZE.  Recording needs the trace for op
         #: binding: explicitly asking for analysis without a trace is an
@@ -291,7 +325,37 @@ class OpenMPRuntime:
         """
         self._directive_seq += 1
         did = self._directive_seq
-        self.directive_info[did] = {"kind": kind, "name": name}
+        info = self._info_memo.get((kind, name))
+        if info is None:
+            info = {"kind": kind, "name": name}
+            self._info_memo[(kind, name)] = info
+        self.directive_info[did] = info
+        return did
+
+    def directive_info_for(self, kind: str, name: str = "") -> dict:
+        """The interned info dict for a directive kind/name pair.
+
+        Allocating no id; pair with :meth:`alloc_directive_id` on paths
+        that resolve the info once and reuse it (macro-op replay caches it
+        on the compiled program).
+        """
+        key = (kind, name)
+        info = self._info_memo.get(key)
+        if info is None:
+            info = {"kind": kind, "name": name}
+            self._info_memo[key] = info
+        return info
+
+    def alloc_directive_id(self, info: dict) -> int:
+        """Allocate the next directive id for a pre-resolved info dict.
+
+        Equivalent to :meth:`next_directive_id` with the memo lookup
+        hoisted out — the macro-replay hot path calls this with the info
+        cached on the program.
+        """
+        self._directive_seq += 1
+        did = self._directive_seq
+        self.directive_info[did] = info
         return did
 
     def analysis(self):
@@ -315,6 +379,14 @@ class OpenMPRuntime:
 
     def note_device_op(self, proc: Process) -> None:
         self._device_ops.append(proc)
+
+    def note_tasks(self, procs: List[Process]) -> None:
+        """Batch variant of :meth:`note_task` (macro-op replay)."""
+        self._tasks.extend(procs)
+
+    def note_device_ops(self, procs: List[Process]) -> None:
+        """Batch variant of :meth:`note_device_op` (macro-op replay)."""
+        self._device_ops.extend(procs)
 
     def pending_device_ops(self) -> List[Process]:
         """Device operations still in flight (pruned on access)."""

@@ -228,7 +228,13 @@ class TaskCtx:
     def taskwait(self) -> Generator:
         """``#pragma omp taskwait`` — wait for *direct* children created so
         far (not descendants)."""
-        snapshot = [ev for ev in self.children if not ev.processed]
+        # Prune completed children while scanning: a processed event can
+        # never block a later taskwait, and the list otherwise grows with
+        # every task this context ever spawned — the scan was quadratic
+        # over a long-running program.  (_processed is Event's backing
+        # slot; the property call was a measurable share of the scan.)
+        snapshot = [ev for ev in self.children if not ev._processed]
+        self.children[:] = snapshot
         if snapshot:
             yield self.sim.all_of(snapshot)
 

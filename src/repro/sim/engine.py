@@ -141,7 +141,8 @@ class Process(Event):
     __slots__ = ("gen", "name", "work_safe", "san_clock", "prov", "retry",
                  "cp_heads", "_waiting_on", "_interrupts")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "",
+                 defer: bool = False):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
@@ -164,14 +165,54 @@ class Process(Event):
         # resuming any other process closes the current work window so the
         # arrays it may read are up to date (see Simulator.run_work).
         self.work_safe = False
-        self._interrupts: Deque[Interrupt] = deque()
+        # Interrupt queue, allocated lazily on the first interrupt() —
+        # the overwhelming majority of processes are never interrupted.
+        self._interrupts: Optional[Deque[Interrupt]] = None
         # Kick off at the current time.  The shared pre-triggered sentinel
         # stands in for the per-process init event the engine used to
         # allocate; _start() checks it the same way _resume() checks a real
         # wait target, so an interrupt landing before the first step still
-        # wins the race.
+        # wins the race.  ``defer=True`` skips the start push so a caller
+        # can batch many starts into one heap transaction
+        # (see Simulator.schedule_batch); it MUST schedule _start itself.
         self._waiting_on: Optional[Event] = sim._proc_init
-        sim._schedule_fn(self._start)
+        if not defer:
+            sim._schedule_fn(self._start)
+
+    @classmethod
+    def spawn_task(cls, sim: "Simulator", gen: Generator, name: str,
+                   prov) -> "Process":
+        """Slim constructor for the macro-replay fast path.
+
+        Builds a deferred, work-safe task process with explicit provenance
+        in one pass over the slots — no ``super().__init__`` dispatch, no
+        name fallback, no parent ``prov`` read (the caller supplies it).
+        ``retry``/``cp_heads`` inherit from the spawning process exactly as
+        in ``__init__``; the caller MUST schedule ``_start`` itself (see
+        :meth:`Simulator.schedule_batch`).
+        """
+        self = cls.__new__(cls)
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self.gen = gen
+        self.name = name
+        self.san_clock = 0
+        parent = sim.current_process
+        if parent is not None:
+            self.retry = parent.retry
+            self.cp_heads = parent.cp_heads
+        else:
+            self.retry = 0
+            self.cp_heads = ()
+        self.prov = prov
+        self.work_safe = True
+        self._interrupts = None
+        self._waiting_on = sim._proc_init
+        return self
 
     @property
     def is_alive(self) -> bool:
@@ -181,6 +222,8 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             return
+        if self._interrupts is None:
+            self._interrupts = deque()
         self._interrupts.append(Interrupt(cause))
         waiting = self._waiting_on
         if waiting is not None:
@@ -351,6 +394,25 @@ class _Call:
         self.fn = fn
 
 
+class _Batch:
+    """Several deferred functions in one heap entry (one transaction).
+
+    The batch occupies a reserved, contiguous ``seq`` range: pushing
+    ``[f0, .., fK-1]`` as a batch at seq ``s`` is order-identical to K
+    individual :class:`_Call` pushes at seqs ``s..s+K-1`` — no other heap
+    entry can hold a seq inside the reserved range (seqs are handed out
+    monotonically), and anything a batched fn schedules lands after the
+    range, exactly as it would after the corresponding individual push.
+    This is the macro-op replay engine's bulk dispatch primitive: a whole
+    directive's task starts go on the heap with a single heappush.
+    """
+
+    __slots__ = ("fns",)
+
+    def __init__(self, fns):
+        self.fns = fns
+
+
 class Simulator:
     """The event loop: a heap of ``(time, seq, event)`` entries.
 
@@ -405,6 +467,24 @@ class Simulator:
         """Run *fn* after *delay* virtual seconds."""
         self._schedule_fn(fn, delay)
 
+    def schedule_batch(self, fns: List[Callable[[], None]]) -> None:
+        """Run *fns* in order at the current time, in ONE heap transaction.
+
+        Reserves a contiguous sequence range of ``len(fns)`` and pushes a
+        single :class:`_Batch` entry at the range's first seq, which is
+        observably identical to ``len(fns)`` individual ``_schedule_fn``
+        pushes (see :class:`_Batch`) while costing one heappush.
+        """
+        n = len(fns)
+        if n == 0:
+            return
+        if n == 1:
+            self._schedule_fn(fns[0])
+            return
+        seq = self._seq + 1
+        self._seq = seq + n - 1
+        heapq.heappush(self._heap, (self.now, seq, _Batch(fns)))
+
     # -- real (host) work -------------------------------------------------------
 
     @property
@@ -431,6 +511,13 @@ class Simulator:
         ex = self._executor
         if ex is None:
             fn()
+            return
+        if getattr(ex, "inline_all", False):
+            # Nothing ever crosses the pool under an inline-all floor, so
+            # don't even evaluate the accesses thunk — extraction would be
+            # pure overhead on every op.
+            fn()
+            ex.inline_small_ops += 1
             return
         ex.submit(fn, accesses() if callable(accesses) else accesses, name)
 
@@ -468,6 +555,13 @@ class Simulator:
         if type(ev) is _Call:
             ev.fn()
             self.current_process = None
+            return
+        if type(ev) is _Batch:
+            for fn in ev.fns:
+                fn()
+                # Match per-_Call semantics: each fn gets a clean slate,
+                # as if it had been popped from its own heap entry.
+                self.current_process = None
             return
         callbacks = ev.callbacks
         ev.callbacks = None

@@ -37,19 +37,65 @@ The contract:
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.util.intervals import Interval
+from repro.util.intervals import Interval, batch_overlap_matrix
 
 EXECUTOR_EPOCH = "executor_epoch"  # re-exported by repro.obs.tool
 
 #: Flush automatically once this many items are pending (bounds how long
 #: snapshot buffers and their references are retained).
 DEFAULT_MAX_PENDING = 1024
+
+#: ``min_bytes`` value meaning "inline everything" — no op is big enough to
+#: cross the pool boundary.  The default on single-core hosts, where the
+#: pool can only lose.
+INLINE_ALL_BYTES = 1 << 62
+
+#: Default bytes-per-op floor on multi-core hosts: ops touching less than
+#: 1 MiB run inline (thread handoff + GIL churn costs more than the pool
+#: can recover on such ops — BENCH_wallclock's workers sweep was *inverted*
+#: before this floor existed).
+DEFAULT_MULTICORE_MIN_BYTES = 1 << 20
+
+#: Total packed accesses in a wave before interference checks switch from
+#: the scalar pair loop to the vectorized batch predicate.
+_VECTORIZE_MIN_ACCESSES = 16
+
+
+def resolve_executor_min_bytes(min_bytes: Optional[int] = None) -> int:
+    """Normalize the bytes-per-op inline floor.
+
+    ``None`` consults ``REPRO_EXECUTOR_MIN_BYTES``; with that unset the
+    default is machine-aware: inline-everything on single-core hosts,
+    :data:`DEFAULT_MULTICORE_MIN_BYTES` otherwise.  ``0`` disables the
+    floor (every op crosses the pool, the pre-floor behaviour).
+    """
+    if min_bytes is None:
+        raw = os.environ.get("REPRO_EXECUTOR_MIN_BYTES", "").strip()
+        if raw:
+            try:
+                min_bytes = int(raw)
+            except ValueError:
+                raise ValueError(
+                    "REPRO_EXECUTOR_MIN_BYTES must be an integer, "
+                    f"got {raw!r}")
+        else:
+            cores = os.cpu_count() or 1
+            return INLINE_ALL_BYTES if cores <= 1 \
+                else DEFAULT_MULTICORE_MIN_BYTES
+    if isinstance(min_bytes, bool) or not isinstance(min_bytes, int):
+        raise ValueError(
+            f"executor min_bytes must be an integer, got {min_bytes!r}")
+    if min_bytes < 0:
+        raise ValueError(
+            f"executor min_bytes must be >= 0, got {min_bytes}")
+    return min_bytes
 
 
 class Access:
@@ -158,6 +204,61 @@ def _interferes(a: Optional[Sequence[Access]],
     return False
 
 
+def _pack_accesses(accesses: Sequence[Access]) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack an access list to ``((n, 2) bounds, (n,) write-mask)`` arrays."""
+    n = len(accesses)
+    bounds = np.empty((n, 2), dtype=np.int64)
+    writes = np.empty(n, dtype=bool)
+    for i, a in enumerate(accesses):
+        iv = a.interval
+        bounds[i, 0] = iv.start
+        bounds[i, 1] = iv.stop
+        writes[i] = a.write
+    return bounds, writes
+
+
+class _WaveIndex:
+    """Incrementally packed access bounds of one wave.
+
+    Lets the wave-placement scan in :meth:`HostExecutor.submit` run the
+    interference predicate as one vectorized array expression once a wave
+    accumulates enough accesses; small waves keep the scalar pair loop
+    (which is faster below the NumPy call overhead).  Both give identical
+    answers — ``tests/sim/test_executor.py`` cross-checks them.
+    """
+
+    __slots__ = ("barrier", "count", "_fresh", "_bounds", "_writes")
+
+    def __init__(self) -> None:
+        self.barrier = False  # wave holds an item with unproven accesses
+        self.count = 0
+        self._fresh: List[Sequence[Access]] = []
+        self._bounds: Optional[np.ndarray] = None
+        self._writes: Optional[np.ndarray] = None
+
+    def add(self, item: "WorkItem") -> None:
+        if item.accesses is None:
+            self.barrier = True
+        elif item.accesses:
+            self.count += len(item.accesses)
+            self._fresh.append(item.accesses)
+
+    def packed(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._fresh:
+            bounds = [] if self._bounds is None else [self._bounds]
+            writes = [] if self._writes is None else [self._writes]
+            for accs in self._fresh:
+                b, w = _pack_accesses(accs)
+                bounds.append(b)
+                writes.append(w)
+            self._fresh = []
+            self._bounds = bounds[0] if len(bounds) == 1 \
+                else np.concatenate(bounds)
+            self._writes = writes[0] if len(writes) == 1 \
+                else np.concatenate(writes)
+        return self._bounds, self._writes
+
+
 class HostExecutor:
     """Wave-scheduled thread-pool backend behind one :class:`Simulator`.
 
@@ -169,14 +270,25 @@ class HostExecutor:
     """
 
     def __init__(self, workers: int, tools: Any = None,
-                 max_pending: int = DEFAULT_MAX_PENDING):
+                 max_pending: int = DEFAULT_MAX_PENDING,
+                 min_bytes: int = 0):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.tools = tools
         self.max_pending = max_pending
+        #: bytes-per-op floor: a provable op touching fewer bytes runs
+        #: inline at submit instead of joining the pending window.  The
+        #: constructor default is 0 (no floor, the historical behaviour);
+        #: the runtime layer resolves the machine-aware default via
+        #: :func:`resolve_executor_min_bytes`.
+        self.min_bytes = min_bytes
+        #: min_bytes so large that no op ever crosses the pool — lets the
+        #: engine skip access extraction entirely (see Simulator.run_work)
+        self.inline_all = min_bytes >= INLINE_ALL_BYTES
         self.sim: Any = None  # set by Simulator.set_executor
         self._waves: List[List[WorkItem]] = []
+        self._indices: List[_WaveIndex] = []
         self.pending = 0
         self._pool: Optional[ThreadPoolExecutor] = None
         # cumulative statistics (mirrored into metrics via the tool event)
@@ -184,6 +296,8 @@ class HostExecutor:
         self.parallel_ops = 0
         self.serial_ops = 0
         self.inline_fallbacks = 0
+        self.inline_small_ops = 0
+        self.inline_small_bytes = 0
         self.busy_seconds = 0.0
         self.span_seconds = 0.0
 
@@ -193,13 +307,51 @@ class HostExecutor:
                accesses: Optional[Sequence[Access]],
                name: str = "") -> None:
         """Defer *fn*; it joins the earliest wave it does not interfere
-        with, strictly after the last wave it does."""
+        with, strictly after the last wave it does.
+
+        Ops below the ``min_bytes`` floor never enter the window: they run
+        inline right here (after draining the window if anything pending
+        interferes, so conflicting pairs keep registration order).  Small
+        ops lose more to thread handoff than the pool recovers.
+        """
+        min_bytes = self.min_bytes
+        if min_bytes and accesses is not None:
+            size = 0
+            for a in accesses:
+                iv = a.interval
+                if iv.stop > iv.start:
+                    size += iv.stop - iv.start
+            if size < min_bytes:
+                if self.pending:
+                    for wave in self._waves:
+                        if any(_interferes(accesses, other.accesses)
+                               for other in wave):
+                            self.flush()
+                            break
+                fn()
+                self.inline_small_ops += 1
+                self.inline_small_bytes += size
+                return
         item = WorkItem(fn, accesses, name)
         waves = self._waves
+        indices = self._indices
+        packed = None
         last_conflict = -1
         for i in range(len(waves) - 1, -1, -1):
-            if any(_interferes(item.accesses, other.accesses)
-                   for other in waves[i]):
+            idx = indices[i]
+            if accesses is None or idx.barrier:
+                hit = True
+            elif idx.count >= _VECTORIZE_MIN_ACCESSES:
+                if packed is None:
+                    packed = _pack_accesses(accesses)
+                wave_bounds, wave_writes = idx.packed()
+                overlap = batch_overlap_matrix(packed[0], wave_bounds)
+                hit = bool((overlap & (packed[1][:, None]
+                                       | wave_writes[None, :])).any())
+            else:
+                hit = any(_interferes(accesses, other.accesses)
+                          for other in waves[i])
+            if hit:
                 last_conflict = i
                 break
         if last_conflict >= 0:
@@ -207,8 +359,10 @@ class HostExecutor:
         target = last_conflict + 1
         if target == len(waves):
             waves.append([item])
+            indices.append(_WaveIndex())
         else:
             waves[target].append(item)
+        indices[target].add(item)
         self.pending += 1
         if self.pending >= self.max_pending:
             self.flush()
@@ -227,6 +381,7 @@ class HostExecutor:
         if not self.pending:
             return
         waves, self._waves = self._waves, []
+        self._indices = []
         self.pending = 0
         first_error: Optional[BaseException] = None
         for wave in waves:

@@ -72,6 +72,7 @@ def run_somier(impl: str, config: SomierConfig,
                taskgroup_global_drain: bool = True,
                trace: bool = True,
                plan_cache: bool = True,
+               macro_ops: Optional[bool] = None,
                workers: Optional[int] = None,
                faults: Optional[str] = None,
                fault_seed: Optional[int] = None,
@@ -90,6 +91,9 @@ def run_somier(impl: str, config: SomierConfig,
     the program starts; if any is a :class:`MetricsTool`, its snapshot
     lands on ``SomierResult.metrics``.  ``plan_cache=False`` (CLI
     ``--no-plan-cache``) disables spread launch-plan replay.
+    ``macro_ops=False`` (CLI ``--no-macro-ops``) keeps the plan cache but
+    disables compiling cached plans into macro-op replay programs; None
+    consults ``REPRO_MACRO_OPS`` — see :mod:`repro.spread.macro`.
     ``workers`` (CLI ``--workers``) sizes the parallel host execution
     backend; None consults ``REPRO_WORKERS``, and 1 (the default) keeps
     the serial inline path.  Results and traces are identical either way.
@@ -112,7 +116,8 @@ def run_somier(impl: str, config: SomierConfig,
     rt = OpenMPRuntime(topology=topo, cost_model=cost_model,
                        trace_enabled=trace or analyze is True,
                        taskgroup_global_drain=taskgroup_global_drain,
-                       plan_cache=plan_cache, workers=workers,
+                       plan_cache=plan_cache, macro_ops=macro_ops,
+                       workers=workers,
                        faults=faults, fault_seed=fault_seed,
                        sanitize=sanitize, analyze=analyze)
     devs = list(devices) if devices is not None else list(range(topo.num_devices))
@@ -140,6 +145,8 @@ def run_somier(impl: str, config: SomierConfig,
         "tasks": rt.task_count,
         "plan_cache_hits": rt.plan_cache.hits,
         "plan_cache_misses": rt.plan_cache.misses,
+        "macro_compiles": rt.plan_cache.macro_compiles,
+        "macro_replays": rt.plan_cache.macro_replays,
         "workers": rt.workers,
     }
     if rt.fault_injector is not None or rt.lost_devices:
@@ -170,6 +177,9 @@ def run_somier(impl: str, config: SomierConfig,
             "executor_parallel_ops": rt.executor.parallel_ops,
             "executor_serial_ops": rt.executor.serial_ops,
             "executor_inline_fallbacks": rt.executor.inline_fallbacks,
+            "executor_inline_small_ops": rt.executor.inline_small_ops,
+            "executor_inline_small_bytes": rt.executor.inline_small_bytes,
+            "executor_min_bytes": rt.executor.min_bytes,
             "executor_utilization": rt.executor.utilization,
         })
     metrics = next((t.snapshot() for t in tools

@@ -1,0 +1,463 @@
+"""Macro-op replay: the compiled fast path for cached spread plans.
+
+On a :class:`~repro.spread.plan_cache.SpreadPlanCache` hit the directive
+layer normally re-walks the cached plan and rebuilds the full per-chunk
+object graph — task bodies, wait lists, present-table lookups — on every
+launch.  That object churn is what capped warm launches at ~16k/s.
+
+This module compiles a cached plan (once, on first replay) into a flat,
+immutable **macro-op program**: a tuple of slotted records plus parallel
+NumPy arrays of op-kind codes, device ids and byte-interval bounds.  A
+replay then runs a tight interpreter loop over the records:
+
+* present-table resolutions (entry + kernel view per map clause) are cached
+  per record and validated against :attr:`DeviceDataEnv.epoch` — the
+  structural counter the data environment bumps on insert/remove/purge.
+  Unchanged epoch ⟺ every captured entry is still live and still covers the
+  same section, so lookups collapse to one integer compare;
+* all chunk processes of the directive are created deferred and scheduled
+  with a single :meth:`Simulator.schedule_batch` heap transaction (one
+  ``heapq`` push over a reserved sequence range) instead of one push per
+  chunk;
+* per-chunk bookkeeping (task-context children, taskgroup membership,
+  runtime task registries) is batched after the loop.
+
+**Bit identity.** The replay path must be observationally identical to the
+object path: same simulated clock, same trace, same event ordering.  It
+therefore only engages when nothing can observe the (deliberately skipped)
+per-op bookkeeping: no tools registered, no sanitizer, no fault injector,
+no lost devices and no reductions.  Any of those → the object path runs,
+unchanged.  ``depend`` clauses are replayed through the real
+:class:`~repro.openmp.depend.DependTracker` with ``submit_spread``'s exact
+two-phase protocol (all chunks resolve against the pre-directive frontier,
+then register).  The fast kernel body also re-validates the environment
+epoch *at run time* (the present table can change between submit and run)
+and falls back to the generic :func:`repro.openmp.exec_ops.kernel_op`
+generator when it moved.
+
+``REPRO_MACRO_OPS=0`` (or ``--no-macro-ops``) disables the path globally;
+``tests/spread/test_macro_replay.py`` enforces bit identity against it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.openmp import exec_ops
+from repro.sim.engine import Process
+from repro.util.intervals import batch_widths, pack_intervals
+
+# Op-kind codes for the flat program arrays.
+OP_KERNEL = 0
+OP_ENTER = 1
+OP_EXIT = 2
+OP_UPDATE = 3
+
+KIND_NAMES = {OP_KERNEL: "kernel", OP_ENTER: "enter", OP_EXIT: "exit",
+              OP_UPDATE: "update"}
+
+
+class MacroRecord:
+    """One lowered chunk op of a macro program.
+
+    ``steady`` caches the present-table resolution for the record's device:
+    ``(epoch, held, kenv, found)`` where ``held`` is the per-clause
+    ``(clause, interval, entry)`` list, ``kenv`` the kernel view
+    environment, and ``found`` the distinct entries to gather waits from
+    and register in-flight work on.  ``held``/``kenv`` are None when some
+    map was absent at resolution time (the replay then runs the generic op
+    generator).  The cache is validated against the live environment epoch
+    before every use.
+    """
+
+    __slots__ = ("kind", "device_id", "lo", "hi", "maps", "deps", "name",
+                 "label", "chunk_index", "extra", "steady")
+
+    def __init__(self, kind: int, device_id: int, lo: int, hi: int,
+                 maps, deps, name: str, label: str, chunk_index: int,
+                 extra=None) -> None:
+        self.kind = kind
+        self.device_id = device_id
+        self.lo = lo
+        self.hi = hi
+        self.maps = maps
+        self.deps = deps
+        self.name = name
+        self.label = label
+        self.chunk_index = chunk_index
+        self.extra = extra
+        self.steady = None
+
+
+class MacroProgram:
+    """A compiled directive: records plus flat parallel arrays.
+
+    The arrays carry the structural facts of the program — op kinds, target
+    devices, iteration/section bounds and the CSR-packed concrete map
+    intervals — so whole-program checks are single vectorized passes
+    instead of per-op Python loops.
+    """
+
+    __slots__ = ("records", "kinds", "devices", "bounds", "map_bounds",
+                 "map_index", "total_bytes", "info")
+
+    def __init__(self, records: Sequence[MacroRecord]) -> None:
+        self.records: Tuple[MacroRecord, ...] = tuple(records)
+        # memoized directive-info dict (runtime.directive_info_for), filled
+        # in by the directive layer on first replay
+        self.info = None
+        n = len(self.records)
+        self.kinds = np.fromiter((r.kind for r in self.records),
+                                 dtype=np.int8, count=n)
+        self.devices = np.fromiter((r.device_id for r in self.records),
+                                   dtype=np.int32, count=n)
+        self.bounds = np.empty((n, 2), dtype=np.int64)
+        for i, r in enumerate(self.records):
+            self.bounds[i, 0] = r.lo
+            self.bounds[i, 1] = r.hi
+        flat = [iv for r in self.records for _c, iv in r.maps]
+        self.map_bounds = pack_intervals(flat)
+        counts = np.fromiter((len(r.maps) for r in self.records),
+                             dtype=np.int64, count=n)
+        self.map_index = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.map_index[1:])
+        self.total_bytes = int(batch_widths(self.map_bounds).sum()) \
+            if len(flat) else 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def well_formed(self) -> bool:
+        """Vectorized structural validation over the whole program."""
+        if len(self.records) == 0:
+            return True
+        if not bool(np.all(self.bounds[:, 0] <= self.bounds[:, 1])):
+            return False
+        if self.map_bounds.shape[0] and not bool(
+                np.all(self.map_bounds[:, 0] < self.map_bounds[:, 1])):
+            return False
+        return bool(np.all(self.devices >= 0))
+
+
+# ---------------------------------------------------------------------------
+# engagement + compilation
+# ---------------------------------------------------------------------------
+
+def engaged(rt) -> bool:
+    """True when the replay path is observationally safe to use.
+
+    Tools, the sanitizer and the fault injector all observe (or perturb)
+    per-op bookkeeping the fast path skips; lost devices make cached
+    resolutions meaningless.  Any of them present → object path.
+    """
+    return (rt.macro_ops and not rt.tools and rt.sanitizer is None
+            and rt.fault_injector is None and not rt._lost_devices)
+
+
+def _compile(plan, kind: int, label_of, extra_of=None) -> Optional[MacroProgram]:
+    records = []
+    for cp in plan.chunk_plans:
+        chunk = cp.chunk
+        lo = chunk.start if kind == OP_KERNEL else chunk.interval.start
+        records.append(MacroRecord(
+            kind, chunk.device, lo, chunk.interval.stop, cp.maps,
+            tuple(cp.deps), cp.name, cp.label or label_of(chunk),
+            chunk.index, extra=extra_of(cp) if extra_of is not None else None))
+    prog = MacroProgram(records)
+    return prog if prog.well_formed() else None
+
+
+def compile_exec(plan) -> Optional[MacroProgram]:
+    """Compile a ``target spread`` execution plan (kernel per chunk)."""
+    return _compile(plan, OP_KERNEL, lambda c: f"spread@{c.device}")
+
+
+def compile_data(plan, kind: int, label: str) -> Optional[MacroProgram]:
+    """Compile an enter/exit data plan; *label* matches the object path's
+    op labels (e.g. ``enter-spread`` → ``enter-spread@<dev>``)."""
+    return _compile(plan, kind, lambda c: f"{label}@{c.device}")
+
+
+def compile_update(plan) -> Optional[MacroProgram]:
+    """Compile a ``target update spread`` plan (sections in ``extra``)."""
+    return _compile(plan, OP_UPDATE, lambda c: f"update-spread@{c.device}",
+                    extra_of=lambda cp: cp.extra)
+
+
+def program_for(cache, cell, compile_fn):
+    """Cached program from a plan-cache *cell*, compiling on first use.
+
+    The cell is the ``[plan, macro_state]`` pair
+    :meth:`SpreadPlanCache.lookup` returned for the directive's key, so no
+    second key hash is paid.  Uncompilable plans leave a ``False`` sentinel
+    in the cell so the compile attempt is not repeated on every hit.
+    Returns None when the object path must run.
+    """
+    prog = cell[1]
+    if prog is None:
+        prog = compile_fn()
+        cell[1] = prog if prog is not None else False
+        if prog is None:
+            return None
+        cache.macro_compiles += 1
+    elif prog is False:
+        return None
+    cache.macro_replays += 1
+    return prog
+
+
+# ---------------------------------------------------------------------------
+# replay interpreter
+# ---------------------------------------------------------------------------
+
+def _quiet_lookup(env, var, interval):
+    """Side-effect-free present lookup: no counters, no memo writes.
+
+    Returns None for absent *or partial* sections — the latter fall back to
+    the generic op generator, which re-raises the proper mapping error.
+    """
+    memo = env._memo.get(var.key)
+    if memo is not None and memo.section.contains(interval):
+        return memo
+    for entry in env._entries.get(var.key, ()):
+        if entry.section.contains(interval):
+            return entry
+    return None
+
+
+def _resolve_steady(env, rec: MacroRecord):
+    """Resolve a record's maps against the current present table."""
+    held = []
+    found = []
+    kenv = {}
+    complete = True
+    for clause, interval in rec.maps:
+        entry = _quiet_lookup(env, clause.var, interval)
+        if entry is None:
+            complete = False
+            continue
+        found.append(entry)
+        held.append((clause, interval, entry))
+        kenv[clause.var.name] = entry.view()
+    if not complete:
+        held = None
+        kenv = None
+    return (env.epoch, held, kenv, tuple(found))
+
+
+def _gather_waits(found) -> List:
+    """Pending-op waits over *found* entries, pruned and deduplicated.
+
+    Mirrors ``gather_entry_waits`` + the dedup loop in ``TaskCtx.submit``:
+    completed events are pruned in place, order of first occurrence is
+    preserved.
+    """
+    waits: List = []
+    for entry in found:
+        inflight = entry.inflight
+        if inflight:
+            # One fused pass: gather unprocessed events (first-occurrence
+            # order, deduplicated) and note whether a prune is due.
+            # _processed is Event's backing slot; reading it directly
+            # skips one property descriptor call per event, and the prune
+            # rebuild (a listcomp frame on 3.11) only runs when something
+            # actually completed.
+            prune = False
+            for ev in inflight:
+                if ev._processed:
+                    prune = True
+                elif ev not in waits:
+                    waits.append(ev)
+            if prune:
+                inflight[:] = [ev for ev in inflight if not ev._processed]
+    return waits
+
+
+def _merge_dep_waits(waits: List, resolved) -> None:
+    """Append depend-resolved events to *waits* with ``TaskCtx.submit``'s
+    filter: skip completed events and first-occurrence duplicates."""
+    for ev in resolved:
+        if not ev._processed and ev not in waits:
+            waits.append(ev)
+
+
+def _plain_body(rt, waits, opgen) -> Generator:
+    """Task-body wrapper identical to ``TaskCtx.submit``'s (minus tooling).
+
+    Launch-invariant pieces (sim, host overhead) are looked up when the
+    body first runs — the untimed drain — not on the submit fast path.
+    """
+    sim = rt.sim
+    overhead = rt.cost_model.host_task_overhead
+    if overhead > 0:
+        yield sim.timeout(overhead)
+    if waits:
+        yield sim.all_of(waits)
+    return (yield from opgen)
+
+
+def _fast_kernel_body(rt, rec: MacroRecord, kernel, cfg, fuse: bool,
+                      waits, steady) -> Generator:
+    """Steady-state kernel chunk: launch directly on cached views.
+
+    Replicates ``kernel_op``'s phases for the all-present case — refcount
+    holds, launch, refcount releases — with the epoch compare standing in
+    for the per-map lookups.  If the present table changed since submit,
+    delegate to the generic op (generators are lazy, so creating it here is
+    exactly the object path).  *steady* is the resolution captured at
+    submit time; everything else is fetched when the body runs.
+    """
+    sim = rt.sim
+    overhead = rt.cost_model.host_task_overhead
+    if overhead > 0:
+        yield sim.timeout(overhead)
+    if waits:
+        yield sim.all_of(waits)
+    epoch, held, kenv, _found = steady
+    env = rt.dataenvs[rec.device_id]
+    if env.epoch != epoch:
+        yield from exec_ops.kernel_op(
+            rt, rec.device_id, kernel, rec.lo, rec.hi, rec.maps,
+            launch=cfg, fuse_transfers=fuse, label=rec.label)
+        return
+    # Implicit entry: everything present, so no alloc sync, no copies —
+    # just the refcount holds the object path's enter would take.
+    for _clause, _interval, entry in held:
+        entry.refcount += 1
+    dev = rt.devices[rec.device_id]
+    yield from dev.launch_kernel(kernel, rec.lo, rec.hi, kenv, launch=cfg)
+    # Implicit exit: the held refcounts usually just drop back.  A count
+    # hitting zero means this directive was the last user — run the full
+    # exit protocol (copy-back + release) exactly as kernel_op does.
+    copyback = []
+    to_release = []
+    for clause, interval, entry in held:
+        if entry.refcount > 1:
+            entry.refcount -= 1
+        else:
+            entry, deleted = env.exit(clause.var, interval)
+            if deleted:
+                if clause.map_type.copies_out:
+                    copyback.append((entry.buffer,
+                                     entry.local_slice(interval),
+                                     clause.var.array, interval.as_slice(),
+                                     clause.var.name))
+                to_release.append(entry)
+    if copyback:
+        yield from exec_ops._issue_copies(rt, dev, copyback, h2d=False,
+                                          fuse=fuse, label=rec.label)
+    if to_release:
+        yield from exec_ops._release_with_sync(rt, rec.device_id, to_release)
+
+
+def _batch_bookkeeping(ctx, rt, procs) -> None:
+    """The per-task registrations of ``TaskCtx.submit``, batched."""
+    if not procs:
+        return
+    ctx.children.extend(procs)
+    for group in ctx.groups:
+        group.members.extend(procs)
+        group.has_device_ops = True
+    rt.note_tasks(procs)
+    rt.note_device_ops(procs)
+
+
+def replay_exec(ctx, prog: MacroProgram, kernel, cfg, fuse: bool,
+                directive_id: int) -> List[Process]:
+    """Interpret a compiled ``target spread`` program.
+
+    Creates every chunk process deferred, then commits all starts in one
+    ``schedule_batch`` heap transaction.  Per-record resolution is
+    sequential so record *i+1*'s wait gathering sees record *i*'s in-flight
+    registration — the per-entry chaining nowait launches rely on.
+    """
+    rt = ctx.rt
+    sim = rt.sim
+    envs = rt.dataenvs
+    depend = rt.depend
+    procs: List[Process] = []
+    starts = []
+    to_register = []
+    for rec in prog.records:
+        env = envs[rec.device_id]
+        steady = rec.steady
+        if steady is None or steady[0] != env.epoch:
+            steady = _resolve_steady(env, rec)
+            rec.steady = steady
+        found = steady[3]
+        waits = _gather_waits(found)
+        if rec.deps:
+            _merge_dep_waits(waits, depend.resolve(rec.deps))
+        if steady[1] is not None:
+            gen = _fast_kernel_body(rt, rec, kernel, cfg, fuse, waits,
+                                    steady)
+        else:
+            gen = _plain_body(rt, waits, exec_ops.kernel_op(
+                rt, rec.device_id, kernel, rec.lo, rec.hi, rec.maps,
+                launch=cfg, fuse_transfers=fuse, label=rec.label))
+        proc = Process.spawn_task(sim, gen, rec.name,
+                                  (directive_id, rec.chunk_index, None))
+        for entry in found:
+            entry.inflight.append(proc)
+        if rec.deps:
+            to_register.append((rec.deps, proc))
+        starts.append(proc._start)
+        procs.append(proc)
+    # Two-phase depend protocol: sibling chunks all resolved against the
+    # pre-directive frontier above; only now do they register their own
+    # records (submit_spread's exact ordering).
+    for deps, proc in to_register:
+        depend.register(deps, proc)
+    sim.schedule_batch(starts)
+    _batch_bookkeeping(ctx, rt, procs)
+    return procs
+
+
+def replay_data(ctx, prog: MacroProgram, fuse: bool,
+                directive_id: int) -> List[Process]:
+    """Interpret a compiled enter/exit/update data program."""
+    rt = ctx.rt
+    sim = rt.sim
+    envs = rt.dataenvs
+    depend = rt.depend
+    procs: List[Process] = []
+    starts = []
+    to_register = []
+    for rec in prog.records:
+        env = envs[rec.device_id]
+        kind = rec.kind
+        if kind == OP_ENTER:
+            opgen = exec_ops.enter_op(rt, rec.device_id, rec.maps,
+                                      fuse_transfers=fuse, label=rec.label)
+        elif kind == OP_EXIT:
+            opgen = exec_ops.exit_op(rt, rec.device_id, rec.maps,
+                                     fuse_transfers=fuse, label=rec.label)
+        else:
+            to_sections, from_sections = rec.extra
+            opgen = exec_ops.update_op(rt, rec.device_id, to_sections,
+                                       from_sections, fuse_transfers=fuse,
+                                       label=rec.label)
+        found = []
+        for clause, interval in rec.maps:
+            entry = _quiet_lookup(env, clause.var, interval)
+            if entry is not None:
+                found.append(entry)
+        waits = _gather_waits(found)
+        if rec.deps:
+            _merge_dep_waits(waits, depend.resolve(rec.deps))
+        gen = _plain_body(rt, waits, opgen)
+        proc = Process.spawn_task(sim, gen, rec.name,
+                                  (directive_id, rec.chunk_index, None))
+        for entry in found:
+            entry.inflight.append(proc)
+        if rec.deps:
+            to_register.append((rec.deps, proc))
+        starts.append(proc._start)
+        procs.append(proc)
+    for deps, proc in to_register:
+        depend.register(deps, proc)
+    sim.schedule_batch(starts)
+    _batch_bookkeeping(ctx, rt, procs)
+    return procs

@@ -57,7 +57,7 @@ outcome is fully determined by the key.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.tool import PLAN_CACHE
 
@@ -100,35 +100,61 @@ class SpreadPlanCache:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        self._plans: Dict[Any, Any] = {}
+        # key -> [plan, macro_state] cell.  The second slot carries the
+        # compiled macro-op program (repro.spread.macro): None until a
+        # compile is attempted, the program on success, or a ``False``
+        # sentinel for a plan that was tried and found uncompilable so the
+        # attempt is not repeated on every hit.  Keeping it in the same
+        # cell means a hit pays ONE key hash for both lookups and an
+        # evicted plan can never leave a stale program behind.
+        self._plans: Dict[Any, List[Any]] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.macro_compiles = 0
+        self.macro_replays = 0
 
-    def get(self, key: Any) -> Optional[Any]:
-        """The cached plan for *key*, or None (counting a miss).
+    def lookup(self, key: Any) -> Optional[List[Any]]:
+        """The ``[plan, macro_state]`` cell for *key*, or None (a miss).
 
         ``key=None`` marks an uncacheable directive and is never counted.
         """
         if key is None or not self.enabled:
             return None
         try:
-            plan = self._plans.get(key)
+            cell = self._plans.get(key)
         except TypeError:  # unhashable key component: uncacheable
             return None
-        if plan is None:
+        if cell is None:
             self.misses += 1
         else:
             self.hits += 1
-        return plan
+        return cell
+
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached plan for *key*, or None (counting a miss)."""
+        cell = self.lookup(key)
+        return cell[0] if cell is not None else None
 
     def store(self, key: Any, plan: Any) -> None:
         if key is None or not self.enabled:
             return
         try:
-            self._plans[key] = plan
+            self._plans[key] = [plan, None]
         except TypeError:  # unhashable key component: skip silently
             pass
+
+    def get_macro(self, key: Any) -> Any:
+        """Compiled macro program for *key* (or the False sentinel)."""
+        cell = self._plans.get(key)
+        return cell[1] if cell is not None else None
+
+    def store_macro(self, key: Any, prog: Any) -> None:
+        if key is None or not self.enabled:
+            return
+        cell = self._plans.get(key)
+        if cell is not None:
+            cell[1] = prog
 
     def clear(self) -> None:
         self._plans.clear()
@@ -150,9 +176,12 @@ class SpreadPlanCache:
             return any(getattr(c, "device", None) == device_id
                        for c in getattr(plan, "chunks", ()))
 
-        stale = [key for key, plan in self._plans.items()
-                 if _references(plan)]
+        stale = [key for key, cell in self._plans.items()
+                 if _references(cell[0])]
         for key in stale:
+            # the compiled macro program lives in the same cell as the
+            # plan it was derived from, so eviction drops both — a stale
+            # plan's program can never replay again
             del self._plans[key]
         self.invalidations += len(stale)
         return len(stale)
@@ -164,7 +193,12 @@ class SpreadPlanCache:
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self._plans),
-                "invalidations": self.invalidations}
+                "invalidations": self.invalidations,
+                "macro_compiles": self.macro_compiles,
+                "macro_replays": self.macro_replays,
+                "macro_entries": sum(1 for c in self._plans.values()
+                                     if c[1] is not None
+                                     and c[1] is not False)}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<SpreadPlanCache enabled={self.enabled} "
@@ -189,33 +223,61 @@ def maps_signature(maps: Sequence[Any]) -> Tuple[Any, ...]:
 
     The variable's extent rides along so growing/shrinking the underlying
     array (were a Var ever rebuilt around one) changes the signature.
+
+    The ``_section_key`` normalization is inlined: this runs on *every*
+    directive call, hit or miss, and the extra call frame per clause was a
+    measurable share of the hit path (BENCH_wallclock's end_to_end_speedup
+    was below 1.0 before it was flattened).  The map type rides as its
+    value string, not the enum member — ``enum.Enum.__hash__`` is a
+    Python-level call, and the key is hashed on every directive call.
     """
-    return tuple((c.map_type, c.var, c.var.extent, _section_key(c.section))
-                 for c in maps)
+    out = []
+    for c in maps:
+        s = c.section
+        if type(s) is list:
+            s = tuple(s)
+        out.append((c.map_type._value_, c.var, c.var.extent, s))
+    return tuple(out)
 
 
 def deps_signature(deps: Sequence[Any]) -> Tuple[Any, ...]:
-    return tuple((d.kind, d.var, d.var.extent, _section_key(d.section))
-                 for d in deps)
+    if not deps:
+        return ()
+    out = []
+    for d in deps:
+        s = d.section
+        if type(s) is list:
+            s = tuple(s)
+        out.append((d.kind._value_, d.var, d.var.extent, s))
+    return tuple(out)
 
 
 def sections_signature(pairs: Sequence[Tuple[Any, Any]]) -> Tuple[Any, ...]:
     """Signature of ``(var, section)`` pairs (``target update spread``)."""
-    return tuple((var, var.extent, _section_key(section))
-                 for var, section in pairs)
+    out = []
+    for var, section in pairs:
+        if type(section) is list:
+            section = tuple(section)
+        out.append((var, var.extent, section))
+    return tuple(out)
 
 
 def exec_key(kernel: Any, lo: int, hi: int, devices: Sequence[int],
              sched_signature: Any, maps: Sequence[Any],
              depends: Sequence[Any]) -> Optional[Any]:
     """Cache key of an executable spread directive, or None if uncacheable
-    (dynamic schedule, malformed bounds)."""
+    (dynamic schedule, malformed bounds).
+
+    Bounds are *not* forced to Python int: NumPy integers hash and compare
+    equal to the equivalent Python int, so mixed-type callers still land on
+    the same entry and the hit path skips two conversions per call.
+    """
     if sched_signature is None:
         return None
     try:
-        return ("exec", id(kernel), int(lo), int(hi), tuple(devices),
+        return ("exec", id(kernel), lo, hi, tuple(devices),
                 sched_signature, maps_signature(maps),
-                deps_signature(depends))
+                deps_signature(depends) if depends else ())
     except (TypeError, ValueError, AttributeError):
         return None
 
@@ -225,7 +287,7 @@ def data_key(kind: str, devices: Sequence[int], range_: Tuple[int, int],
              depends: Sequence[Any] = ()) -> Optional[Any]:
     """Cache key of a spread data directive (enter/exit/data region)."""
     try:
-        return ("data", kind, tuple(devices), int(range_[0]), int(range_[1]),
+        return ("data", kind, tuple(devices), range_[0], range_[1],
                 chunk_size, maps_signature(maps), deps_signature(depends))
     except (TypeError, ValueError, IndexError, AttributeError):
         return None
@@ -237,7 +299,7 @@ def update_key(devices: Sequence[int], range_: Tuple[int, int],
                depends: Sequence[Any] = ()) -> Optional[Any]:
     """Cache key of ``target update spread``."""
     try:
-        return ("update", tuple(devices), int(range_[0]), int(range_[1]),
+        return ("update", tuple(devices), range_[0], range_[1],
                 chunk_size, sections_signature(to),
                 sections_signature(from_), deps_signature(depends))
     except (TypeError, ValueError, IndexError, AttributeError):

@@ -103,10 +103,13 @@ class StaticSchedule(SpreadSchedule):
                 f"spread_schedule(static, {chunk_size}): chunk size must "
                 "be >= 1")
         self.chunk_size = chunk_size
+        # Schedules are immutable once built; precomputing keeps the
+        # signature tuple off the per-call cache-key path.
+        self._signature = ("static", chunk_size)
 
     @property
     def signature(self):
-        return ("static", self.chunk_size)
+        return self._signature
 
     def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
         self._check_range(lo, hi)
@@ -147,10 +150,11 @@ class IrregularStaticSchedule(SpreadSchedule):
             raise OmpScheduleError(
                 "irregular static schedule needs positive chunk sizes")
         self.sizes = sizes
+        self._signature = ("static_irregular", tuple(sizes))
 
     @property
     def signature(self):
-        return ("static_irregular", tuple(self.sizes))
+        return self._signature
 
     def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
         self._check_range(lo, hi)

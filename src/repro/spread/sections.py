@@ -23,13 +23,16 @@ Number = Union[int, "SpreadExpr"]
 class SpreadExpr:
     """An affine expression ``a*omp_spread_start + b*omp_spread_size + c``."""
 
-    __slots__ = ("start_coeff", "size_coeff", "const")
+    __slots__ = ("start_coeff", "size_coeff", "const", "_hash")
 
     def __init__(self, start_coeff: int = 0, size_coeff: int = 0,
                  const: int = 0):
         self.start_coeff = int(start_coeff)
         self.size_coeff = int(size_coeff)
         self.const = int(const)
+        # Expressions are immutable; the hash is computed once because
+        # plan-cache signatures hash every section on every directive call.
+        self._hash = hash((self.start_coeff, self.size_coeff, self.const))
 
     # -- evaluation ---------------------------------------------------------
 
@@ -100,7 +103,7 @@ class SpreadExpr:
                 and self.const == other.const)
 
     def __hash__(self) -> int:
-        return hash((self.start_coeff, self.size_coeff, self.const))
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = []

@@ -37,6 +37,7 @@ from repro.openmp.mapping import (
 from repro.openmp.tasks import TaskCtx
 from repro.spread import extensions as ext
 from repro.spread import failover as fo
+from repro.spread import macro
 from repro.spread import plan_cache as pc
 from repro.spread.schedule import Chunk, StaticSchedule, validate_devices
 from repro.spread.spread_target import SpreadHandle
@@ -183,7 +184,8 @@ def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
     cache = rt.plan_cache
     key = (pc.data_key(kind, devices, range_, chunk_size, maps, depends)
            if cache.enabled else None)
-    plan = cache.get(key)
+    cell = cache.lookup(key)
+    plan = cell[0] if cell is not None else None
     if plan is None:
         exec_ops.enter_map_types(maps, kind)
         validate_unique_vars(maps, kind)
@@ -193,7 +195,21 @@ def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
         cache.store(key, plan)
         pc.note_plan_cache(rt, kind, key, hit=False)
     else:
-        pc.note_plan_cache(rt, kind, key, hit=True)
+        if rt.tools:
+            pc.note_plan_cache(rt, kind, key, hit=True)
+        if macro.engaged(rt):
+            prog = macro.program_for(cache, cell, lambda: macro.compile_data(
+                plan, macro.OP_ENTER, "enter-spread"))
+            if prog is not None:
+                info = prog.info
+                if info is None:
+                    prog.info = info = rt.directive_info_for(kind)
+                did = rt.alloc_directive_id(info)
+                procs = macro.replay_data(ctx, prog, fuse_transfers, did)
+                handle = SpreadHandle(ctx, procs, plan.chunks)
+                if not nowait:
+                    yield from handle.wait()
+                return handle
 
     def factory(chunk: Chunk, concrete, device_id: int, rerouted: bool):
         if rerouted:
@@ -222,7 +238,8 @@ def target_exit_data_spread(ctx: TaskCtx, devices: Sequence[int],
     cache = rt.plan_cache
     key = (pc.data_key(kind, devices, range_, chunk_size, maps, depends)
            if cache.enabled else None)
-    plan = cache.get(key)
+    cell = cache.lookup(key)
+    plan = cell[0] if cell is not None else None
     if plan is None:
         exec_ops.exit_map_types(maps, kind)
         validate_unique_vars(maps, kind)
@@ -232,7 +249,21 @@ def target_exit_data_spread(ctx: TaskCtx, devices: Sequence[int],
         cache.store(key, plan)
         pc.note_plan_cache(rt, kind, key, hit=False)
     else:
-        pc.note_plan_cache(rt, kind, key, hit=True)
+        if rt.tools:
+            pc.note_plan_cache(rt, kind, key, hit=True)
+        if macro.engaged(rt):
+            prog = macro.program_for(cache, cell, lambda: macro.compile_data(
+                plan, macro.OP_EXIT, "exit-spread"))
+            if prog is not None:
+                info = prog.info
+                if info is None:
+                    prog.info = info = rt.directive_info_for(kind)
+                did = rt.alloc_directive_id(info)
+                procs = macro.replay_data(ctx, prog, fuse_transfers, did)
+                handle = SpreadHandle(ctx, procs, plan.chunks)
+                if not nowait:
+                    yield from handle.wait()
+                return handle
 
     def factory(chunk: Chunk, concrete, device_id: int, rerouted: bool):
         if rerouted:
@@ -259,12 +290,18 @@ class SpreadDataRegion:
 
     def __init__(self, ctx: TaskCtx, end_plan: pc.SpreadPlan,
                  fuse_transfers: bool,
-                 directive_id: Optional[int] = None):
+                 directive_id: Optional[int] = None,
+                 end_prog=None):
         self._ctx = ctx
         self._end_plan = end_plan
         self._fuse = fuse_transfers
         self._closed = False
         self._directive_id = directive_id
+        # Compiled macro program for the region end, when the enter half
+        # replayed through the macro engine.  end() re-checks engagement:
+        # a device loss inside the region must fall back to the object
+        # path (which routes around the lost device).
+        self._end_prog = end_prog
 
     def end(self) -> Generator:
         """Leave the region: distributed copy-backs, synchronously."""
@@ -272,6 +309,14 @@ class SpreadDataRegion:
             raise OmpSemaError("target data spread region already closed")
         self._closed = True
         rt = self._ctx.rt
+        if self._end_prog is not None and macro.engaged(rt):
+            procs = macro.replay_data(self._ctx, self._end_prog, self._fuse,
+                                      self._directive_id)
+            handle = SpreadHandle(self._ctx, procs, self._end_plan.chunks)
+            yield from handle.wait()
+            _directive_end(self._ctx, self._directive_id,
+                           self._end_plan.chunks)
+            return handle
 
         def factory(chunk: Chunk, concrete, device_id: int, rerouted: bool):
             if rerouted:
@@ -288,6 +333,23 @@ class SpreadDataRegion:
                                      residency="exit")
         _directive_end(self._ctx, self._directive_id, self._end_plan.chunks)
         return handle
+
+
+def _compile_region(plans):
+    """Compile both halves of a ``target data spread`` region, or neither.
+
+    The cached value is the (enter, end) program pair; a ``None`` from
+    either half (e.g. malformed bounds) vetoes the whole region so the
+    two halves can never disagree about which path they run on.
+    """
+    enter_plan, end_plan = plans
+    enter_prog = macro.compile_data(enter_plan, macro.OP_ENTER, "data-spread")
+    if enter_prog is None:
+        return None
+    end_prog = macro.compile_data(end_plan, macro.OP_EXIT, "data-spread-end")
+    if end_prog is None:
+        return None
+    return (enter_prog, end_prog)
 
 
 def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
@@ -308,7 +370,8 @@ def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
     cache = rt.plan_cache
     key = (pc.data_key(kind, devices, range_, chunk_size, maps)
            if cache.enabled else None)
-    plans = cache.get(key)
+    cell = cache.lookup(key)
+    plans = cell[0] if cell is not None else None
     if plans is None:
         exec_ops.region_map_types(maps, kind)
         validate_unique_vars(maps, kind)
@@ -320,7 +383,23 @@ def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
         cache.store(key, plans)
         pc.note_plan_cache(rt, kind, key, hit=False)
     else:
-        pc.note_plan_cache(rt, kind, key, hit=True)
+        if rt.tools:
+            pc.note_plan_cache(rt, kind, key, hit=True)
+        if macro.engaged(rt):
+            progs = macro.program_for(cache, cell,
+                                      lambda: _compile_region(plans))
+            if progs is not None:
+                enter_prog, end_prog = progs
+                info = enter_prog.info
+                if info is None:
+                    enter_prog.info = info = rt.directive_info_for(kind)
+                did = rt.alloc_directive_id(info)
+                procs = macro.replay_data(ctx, enter_prog, fuse_transfers,
+                                          did)
+                handle = SpreadHandle(ctx, procs, plans[0].chunks)
+                yield from handle.wait()
+                return SpreadDataRegion(ctx, plans[1], fuse_transfers,
+                                        directive_id=did, end_prog=end_prog)
     enter_plan, end_plan = plans
 
     def factory(chunk: Chunk, concrete, device_id: int, rerouted: bool):
@@ -356,7 +435,8 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
     cache = rt.plan_cache
     key = (pc.update_key(devices, range_, chunk_size, to, from_, depends)
            if cache.enabled else None)
-    plan = cache.get(key)
+    cell = cache.lookup(key)
+    plan = cell[0] if cell is not None else None
     if plan is None:
         if not to and not from_:
             raise OmpSemaError(
@@ -387,7 +467,21 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
         cache.store(key, plan)
         pc.note_plan_cache(rt, kind, key, hit=False)
     else:
-        pc.note_plan_cache(rt, kind, key, hit=True)
+        if rt.tools:
+            pc.note_plan_cache(rt, kind, key, hit=True)
+        if macro.engaged(rt):
+            prog = macro.program_for(cache, cell,
+                                     lambda: macro.compile_update(plan))
+            if prog is not None:
+                info = prog.info
+                if info is None:
+                    prog.info = info = rt.directive_info_for(kind)
+                did = rt.alloc_directive_id(info)
+                procs = macro.replay_data(ctx, prog, fuse_transfers, did)
+                handle = SpreadHandle(ctx, procs, plan.chunks)
+                if not nowait:
+                    yield from handle.wait()
+                return handle
 
     resilient = rt.fault_injector is not None or rt.lost_devices
     items = []

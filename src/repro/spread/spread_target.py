@@ -35,6 +35,7 @@ from repro.openmp.tasks import TaskCtx
 from repro.sim.engine import Process
 from repro.spread import extensions as ext
 from repro.spread import failover as fo
+from repro.spread import macro
 from repro.spread import plan_cache as pc
 from repro.spread.reduction import Reduction
 from repro.spread.schedule import (
@@ -63,9 +64,25 @@ class SpreadHandle:
         #: under device loss); empty for the static schedule
         self.unfinished: Sequence[Chunk] = ()
 
+    @classmethod
+    def _replayed(cls, ctx: TaskCtx, procs: List[Process],
+                  chunks: Sequence[Chunk]) -> "SpreadHandle":
+        """Adopt the macro-replay interpreter's lists without copying.
+
+        *procs* is the fresh list :func:`repro.spread.macro.replay_exec`
+        built for this launch and *chunks* the plan's immutable tuple, so
+        the defensive copies of ``__init__`` are pure allocation churn here.
+        """
+        self = cls.__new__(cls)
+        self._ctx = ctx
+        self.procs = procs
+        self.chunks = chunks
+        self.unfinished = ()
+        return self
+
     def wait(self) -> Generator:
         """Block until every chunk task has completed."""
-        pending = [p for p in self.procs if not p.processed]
+        pending = [p for p in self.procs if not p._processed]
         if pending:
             yield self._ctx.sim.all_of(pending)
 
@@ -82,6 +99,31 @@ def _concretize_for_chunk(maps: Sequence[MapClause], chunk: Chunk):
                                         spread_start=chunk.start,
                                         spread_size=chunk.size))
             for clause in maps]
+
+
+# Directive-call defaults, hoisted: both were rebuilt on every call, which
+# is pure allocation churn on the warm launch path.
+_DEFAULT_STATIC = StaticSchedule(None)
+_DEFAULT_LAUNCH = LaunchConfig(num_teams=1, threads_per_team=1, simd=False)
+
+# Launch configurations are immutable; the combined directive memoizes them
+# per (num_teams, threads_per_team, simd) triple.
+_LAUNCH_CFGS: dict = {}
+
+
+def _launch_config(num_teams, threads_per_team, simd) -> LaunchConfig:
+    key = (num_teams, threads_per_team, simd)
+    cfg = _LAUNCH_CFGS.get(key)
+    if cfg is None:
+        cfg = LaunchConfig(num_teams=num_teams,
+                           threads_per_team=threads_per_team, simd=simd)
+        _LAUNCH_CFGS[key] = cfg
+    return cfg
+
+
+# All-default combined directive (no teams/threads clause, simd on): the
+# common case skips the memo-dict key build entirely.
+_DEFAULT_TEAMS_CFG = _launch_config(None, None, True)
 
 
 def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
@@ -105,7 +147,7 @@ def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
     ``taskgroup``), exactly as the paper describes.
     """
     rt = ctx.rt
-    sched = schedule if schedule is not None else StaticSchedule(None)
+    sched = schedule if schedule is not None else _DEFAULT_STATIC
     if sched.is_extension:
         ext.require(rt, "schedules",
                     f"spread_schedule({sched.kind}, ...)")
@@ -115,14 +157,14 @@ def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
             raise OmpSemaError(
                 "target spread: reduction requires synchronous execution "
                 "(drop nowait)")
-    cfg = launch if launch is not None else LaunchConfig(
-        num_teams=1, threads_per_team=1, simd=False)
+    cfg = launch if launch is not None else _DEFAULT_LAUNCH
 
     cache = rt.plan_cache
     key = (pc.exec_key(kernel, lo, hi, devices, sched.signature, maps,
                        depends)
            if cache.enabled else None)
-    plan = cache.get(key)
+    cell = cache.lookup(key)
+    plan = cell[0] if cell is not None else None
     if plan is None:
         # Cold path: full validation + lowering (and, for the dynamic
         # schedule, direct launch — its chunk→device assignment happens at
@@ -144,7 +186,36 @@ def target_spread(ctx: TaskCtx, kernel: KernelSpec, lo: int, hi: int,
         cache.store(key, plan)
         pc.note_plan_cache(rt, "target spread", key, hit=False)
     else:
-        pc.note_plan_cache(rt, "target spread", key, hit=True)
+        if rt.tools:
+            pc.note_plan_cache(rt, "target spread", key, hit=True)
+        # Macro-op replay: interpret the compiled flat program instead of
+        # rebuilding the per-chunk object graph.  Engages only when the
+        # result is observationally identical (no tools/sanitizer/faults/
+        # reductions — see repro.spread.macro).
+        if not reductions and macro.engaged(rt):
+            # Steady-state inline of macro.program_for: the compiled
+            # program already sits in the cell, so skip the closure and
+            # call frame it would cost on every launch.
+            prog = cell[1]
+            if prog is None:
+                prog = macro.program_for(cache, cell,
+                                         lambda: macro.compile_exec(plan))
+            elif prog is False:
+                prog = None
+            else:
+                cache.macro_replays += 1
+            if prog is not None:
+                info = prog.info
+                if info is None:
+                    prog.info = info = rt.directive_info_for(
+                        "target spread", kernel.name)
+                did = rt.alloc_directive_id(info)
+                procs = macro.replay_exec(ctx, prog, kernel, cfg,
+                                          fuse_transfers, did)
+                handle = SpreadHandle._replayed(ctx, procs, plan.chunks)
+                if not nowait:
+                    yield from handle.wait()
+                return handle
 
     tools = rt.tools
     did = rt.next_directive_id("target spread", kernel.name)
@@ -213,8 +284,9 @@ def target_spread_teams_distribute_parallel_for(
     The intra-device clauses apply per device: every device runs its chunk
     with ``num_teams`` teams of ``threads_per_team`` threads (Listing 4).
     """
-    launch = LaunchConfig(num_teams=num_teams,
-                          threads_per_team=threads_per_team, simd=simd)
+    launch = (_DEFAULT_TEAMS_CFG
+              if num_teams is None and threads_per_team is None and simd
+              else _launch_config(num_teams, threads_per_team, simd))
     handle = yield from target_spread(ctx, kernel, lo, hi, devices,
                                       schedule=schedule, maps=maps,
                                       nowait=nowait, depends=depends,

@@ -11,11 +11,23 @@ class TestEndToEnd:
         assert r["wall_s"] > 0
         assert "executor_epochs" not in r
 
-    def test_parallel_record_carries_executor_stats(self):
+    def test_parallel_record_carries_executor_stats(self, monkeypatch):
+        # Pin the small-op floor off so pooling engages even on a
+        # single-core container (where the default floor inlines all ops).
+        monkeypatch.setenv("REPRO_EXECUTOR_MIN_BYTES", "0")
         r = end_to_end(True, n_functional=24, steps=1, workers=2)
         assert r["workers"] == 2
         assert r["executor_epochs"] > 0
         assert r["executor_parallel_ops"] > 0
+
+    def test_parallel_record_inline_floor(self, monkeypatch):
+        # With an effectively infinite floor every op runs inline on the
+        # submitting thread; the record reports the inline counters.
+        monkeypatch.setenv("REPRO_EXECUTOR_MIN_BYTES", str(1 << 62))
+        r = end_to_end(True, n_functional=24, steps=1, workers=2)
+        assert r["workers"] == 2
+        assert r["executor_parallel_ops"] == 0
+        assert r["executor_inline_small_ops"] > 0
 
 
 class TestWorkersSweep:

@@ -18,8 +18,12 @@ def profiled_parallel():
     cap = chunk_footprint_bytes(CFG, 4) / 0.8
     topo = cte_power_node(4, memory_bytes=cap)
     prof = Profiler()
-    result = run_somier("one_buffer", CFG, topology=topo, workers=3,
-                        tools=prof.tools)
+    # Pin the small-op floor off so the pool engages even on a
+    # single-core host (whose default floor inlines every op).
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setenv("REPRO_EXECUTOR_MIN_BYTES", "0")
+        result = run_somier("one_buffer", CFG, topology=topo, workers=3,
+                            tools=prof.tools)
     return result, prof
 
 

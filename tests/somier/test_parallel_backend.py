@@ -20,6 +20,14 @@ from repro.util.errors import OmpRuntimeError
 CFG = SomierConfig(n=18, steps=3)
 
 
+@pytest.fixture(autouse=True)
+def _pool_everything(monkeypatch):
+    # These tests exercise the pool itself; pin the size-aware small-op
+    # floor off so pooling engages even on a single-core host (whose
+    # machine-aware default inlines every op).
+    monkeypatch.setenv("REPRO_EXECUTOR_MIN_BYTES", "0")
+
+
 def topo(n_dev=4, rows=4):
     cap = chunk_footprint_bytes(CFG, rows) / 0.8
     return cte_power_node(n_dev, memory_bytes=cap)

@@ -185,7 +185,8 @@ class TestCacheBehaviour:
         assert cache.get(("k",)) is None
         assert len(cache) == 0
         assert cache.stats == {"hits": 0, "misses": 0, "entries": 0,
-                               "invalidations": 0}
+                               "invalidations": 0, "macro_compiles": 0,
+                               "macro_replays": 0, "macro_entries": 0}
 
     def test_unhashable_key_falls_back_silently(self):
         cache = SpreadPlanCache()
@@ -193,14 +194,16 @@ class TestCacheBehaviour:
         cache.store(key, "plan")
         assert cache.get(key) is None
         assert cache.stats == {"hits": 0, "misses": 0, "entries": 0,
-                               "invalidations": 0}
+                               "invalidations": 0, "macro_compiles": 0,
+                               "macro_replays": 0, "macro_entries": 0}
 
     def test_none_key_not_counted(self):
         cache = SpreadPlanCache()
         assert cache.get(None) is None
         cache.store(None, "plan")
         assert cache.stats == {"hits": 0, "misses": 0, "entries": 0,
-                               "invalidations": 0}
+                               "invalidations": 0, "macro_compiles": 0,
+                               "macro_replays": 0, "macro_entries": 0}
 
 
 class TestKeySensitivity:

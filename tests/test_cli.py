@@ -186,9 +186,12 @@ class TestWorkersFlag:
         assert rc == 0
         assert "bitwise identical" in capsys.readouterr().out
 
-    def test_stats_accepts_workers(self, capsys):
+    def test_stats_accepts_workers(self, capsys, monkeypatch):
         import json
 
+        # Pin the small-op floor off so the pool actually runs epochs
+        # (the report's executor block) even on a single-core host.
+        monkeypatch.setenv("REPRO_EXECUTOR_MIN_BYTES", "0")
         rc = main(["stats", "--impl", "one_buffer", "--gpus", "2",
                    "--n-functional", "24", "--steps", "1", "--json",
                    "--workers", "2"])

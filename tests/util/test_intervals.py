@@ -232,3 +232,83 @@ class TestIntervalSetEdgeCases:
         assert a == b
         assert a != IntervalSet([Interval(0, 6)])
         assert a.__eq__(42) is NotImplemented
+
+
+class TestBatchHelpers:
+    """The NumPy batch helpers must agree with the scalar algebra
+    pointwise — the macro-op replay engine and the executor's wave
+    planner both substitute them for per-pair Interval calls."""
+
+    def _random_intervals(self, n=60, seed=99):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        starts = rng.integers(-50, 200, size=n)
+        widths = rng.integers(0, 40, size=n)  # width 0 -> empty interval
+        return [Interval(int(s), int(s + w))
+                for s, w in zip(starts, widths)]
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.util.intervals import pack_intervals, unpack_intervals
+
+        ivs = self._random_intervals()
+        packed = pack_intervals(ivs)
+        assert packed.shape == (len(ivs), 2)
+        assert packed.dtype.kind == "i"
+        assert unpack_intervals(packed) == ivs
+
+    def test_pack_empty_sequence(self):
+        from repro.util.intervals import batch_widths, pack_intervals
+
+        packed = pack_intervals([])
+        assert packed.shape == (0, 2)
+        assert batch_widths(packed).shape == (0,)
+
+    def test_batch_widths_matches_len(self):
+        from repro.util.intervals import batch_widths, pack_intervals
+
+        ivs = self._random_intervals()
+        widths = batch_widths(pack_intervals(ivs))
+        assert list(widths) == [len(iv) for iv in ivs]
+
+    def test_overlap_matrix_matches_scalar(self):
+        import numpy as np
+
+        from repro.util.intervals import batch_overlap_matrix, pack_intervals
+
+        ivs = self._random_intervals()
+        packed = pack_intervals(ivs)
+        mat = batch_overlap_matrix(packed, packed)
+        scalar = np.array([[a.overlaps(b) for b in ivs] for a in ivs])
+        assert np.array_equal(mat, scalar)
+
+    def test_contains_matrix_matches_scalar(self):
+        import numpy as np
+
+        from repro.util.intervals import batch_contains, pack_intervals
+
+        ivs = self._random_intervals()
+        packed = pack_intervals(ivs)
+        mat = batch_contains(packed, packed)
+        scalar = np.array([[a.contains(b) for b in ivs] for a in ivs])
+        assert np.array_equal(mat, scalar)
+
+    def test_any_overlap(self):
+        from repro.util.intervals import batch_any_overlap, pack_intervals
+
+        a = pack_intervals([Interval(0, 4), Interval(10, 12)])
+        b = pack_intervals([Interval(4, 10)])
+        assert not batch_any_overlap(a, b)  # touching is not overlap
+        c = pack_intervals([Interval(3, 5)])
+        assert batch_any_overlap(a, c)
+        empty = pack_intervals([])
+        assert not batch_any_overlap(a, empty)
+        assert not batch_any_overlap(empty, a)
+
+    def test_empty_intervals_never_overlap(self):
+        from repro.util.intervals import batch_overlap_matrix, pack_intervals
+
+        packed = pack_intervals([Interval(5, 5), Interval(0, 10)])
+        mat = batch_overlap_matrix(packed, packed)
+        assert not mat[0].any() and not mat[:, 0].any()
+        assert mat[1, 1]
