@@ -61,6 +61,13 @@ def main(argv=None) -> int:
                          "cached+macro path over the uncached path falls "
                          "below X (the plan-cache/macro-replay regression "
                          "gate; CI uses 5)")
+    ap.add_argument("--min-e2e-speedup", type=float, default=None,
+                    metavar="X",
+                    help="fail (exit 1) if the fused-timeline end-to-end "
+                         "speedup (fused off / fused on wall time) falls "
+                         "below X (the fused-timeline regression gate; see "
+                         "docs/performance.md for the measured ratio and "
+                         "what CI uses)")
     args = ap.parse_args(argv)
 
     result = run_wallclock(
@@ -93,6 +100,18 @@ def main(argv=None) -> int:
           f"{e2e['cache_on']['wall_s']:.3f}s on vs "
           f"{e2e['cache_off']['wall_s']:.3f}s off "
           f"({result['end_to_end_speedup']:.2f}x)")
+    print(f"fused-timeline engine:   "
+          f"{e2e['cache_on']['wall_s']:.3f}s fused vs "
+          f"{e2e['fused_off']['wall_s']:.3f}s generators "
+          f"({result['fused_e2e_speedup']:.2f}x, "
+          f"{e2e['cache_on']['engine_fused_segments']} fused segments, "
+          f"mean batch {e2e['cache_on']['engine_mean_batch']:.2f})")
+    eng = result["engine"]
+    print(f"engine throughput:       "
+          f"{eng['tie_events_per_s']:.2e} events/s tied-time "
+          f"(mean batch {eng['tie_mean_batch']:.1f}) vs "
+          f"{eng['seq_events_per_s']:.2e} distinct-time; "
+          f"timeout reuse {eng['timeout_reuse_frac']:.1%}")
     sweep = result["workers_sweep"]
     print(f"workers sweep (n={sweep['n_functional']}, "
           f"steps={sweep['steps']}, {sweep['cpu_count']} cpu cores):")
@@ -131,6 +150,13 @@ def main(argv=None) -> int:
         print(f"FAIL: warm-launch speedup "
               f"{result['warm_launch_speedup']:.2f}x below "
               f"--min-warm-speedup {args.min_warm_speedup:.2f}x",
+              file=sys.stderr)
+        return 1
+    if args.min_e2e_speedup is not None and \
+            result["fused_e2e_speedup"] < args.min_e2e_speedup:
+        print(f"FAIL: fused-timeline e2e speedup "
+              f"{result['fused_e2e_speedup']:.2f}x below "
+              f"--min-e2e-speedup {args.min_e2e_speedup:.2f}x",
               file=sys.stderr)
         return 1
     return 0

@@ -20,6 +20,8 @@ Three measurements:
 * :func:`workers_sweep` — the end-to-end run at a kernel-dominated size
   under the parallel host backend (``workers`` = 1, 2, 4); reports the
   wall-clock speedup curve of :mod:`repro.sim.executor`.
+* :func:`engine_microbench` — raw calendar-queue throughput (dispatched
+  events per real second) over distinct-time and tied-time workloads.
 * :func:`analyzer_overhead` — the end-to-end run with tracing on, with and
   without the causal recorder (:mod:`repro.obs.critpath`); reports the
   recording overhead (budget: 5% of traced wall time) and the post-run
@@ -119,8 +121,14 @@ def launch_microbench(plan_cache: bool = True, n: int = 4096,
 def end_to_end(plan_cache: bool = True, n_functional: int = 24,
                steps: int = 12, gpus: int = 4,
                workers: Optional[int] = None,
-               macro_ops: Optional[bool] = None) -> Dict[str, Any]:
-    """Wall seconds of a small Somier run (whole stack, trace off)."""
+               macro_ops: Optional[bool] = None,
+               fused_timeline: Optional[bool] = None) -> Dict[str, Any]:
+    """Wall seconds of a small Somier run (whole stack, trace off).
+
+    ``fused_timeline=False`` is the ablation arm for the fused-timeline
+    engine: macro replay stays on but every chunk and section copy runs
+    as a generator process instead of a timeline walker.
+    """
     topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
     cfg = machines.paper_somier_config(n_functional=n_functional,
                                        steps=steps)
@@ -128,6 +136,7 @@ def end_to_end(plan_cache: bool = True, n_functional: int = 24,
     res = run_somier("one_buffer", cfg, devices=machines.paper_devices(gpus),
                      topology=topo, cost_model=cm, trace=False,
                      plan_cache=plan_cache, macro_ops=macro_ops,
+                     fused_timeline=fused_timeline,
                      workers=workers)
     wall = time.perf_counter() - t0
     out = {
@@ -143,6 +152,8 @@ def end_to_end(plan_cache: bool = True, n_functional: int = 24,
         "cache_misses": res.stats["plan_cache_misses"],
         "macro_compiles": res.stats["macro_compiles"],
         "macro_replays": res.stats["macro_replays"],
+        "engine_fused_segments": res.stats["engine_fused_segments"],
+        "engine_mean_batch": res.stats["engine_mean_batch"],
     }
     for key in ("executor_epochs", "executor_parallel_ops",
                 "executor_inline_fallbacks", "executor_inline_small_ops",
@@ -253,6 +264,81 @@ def intervals_bench(n: int = 256, repeats: int = 5,
     }
 
 
+def engine_microbench(events: int = 50000, procs: int = 16,
+                      repeats: int = 5) -> Dict[str, Any]:
+    """Raw event-engine throughput: dispatched events per real second.
+
+    Two arms over the calendar queue (:class:`repro.sim.engine.Simulator`):
+
+    * **sequential** — ``procs`` generator processes each awaiting a run
+      of distinct-time timeouts: the worst case for a calendar queue (one
+      heap operation per bucket of one).
+    * **ties** — the same event count piled onto few distinct timestamps:
+      the case the bucketed queue optimizes (a whole bucket drains per
+      heap operation; ``mean_batch`` reports the amortization).
+
+    Each arm takes the best (minimum) wall time over *repeats*; the
+    timeout freelist reuse fraction is reported from the final run.
+    """
+    from repro.sim.engine import Simulator
+
+    per_proc = max(1, events // procs)
+
+    def seq_arm():
+        sim = Simulator()
+
+        def proc(offset):
+            for _ in range(per_proc):
+                yield sim.timeout(1.0 + offset)
+
+        for i in range(procs):
+            sim.process(proc(i * 1e-4))
+        t0 = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - t0, sim
+
+    def tie_arm():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(per_proc):
+                yield sim.timeout(1.0)
+
+        for _ in range(procs):
+            sim.process(proc())
+        t0 = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - t0, sim
+
+    def best_of(arm):
+        best, sim = float("inf"), None
+        for _ in range(max(1, repeats)):
+            t, s = arm()
+            if t < best:
+                best, sim = t, s
+        return best, sim.engine_stats()
+
+    seq_s, seq_stats = best_of(seq_arm)
+    tie_s, tie_stats = best_of(tie_arm)
+    n = per_proc * procs
+    created = tie_stats["timeouts_created"]
+    reused = tie_stats["timeouts_reused"]
+    return {
+        "events": n,
+        "procs": procs,
+        "repeats": repeats,
+        "seq_s": seq_s,
+        "seq_events_per_s": n / seq_s if seq_s else 0.0,
+        "seq_mean_batch": seq_stats["mean_batch"],
+        "tie_s": tie_s,
+        "tie_events_per_s": n / tie_s if tie_s else 0.0,
+        "tie_mean_batch": tie_stats["mean_batch"],
+        "tie_speedup": seq_s / tie_s if tie_s else 0.0,
+        "timeout_reuse_frac":
+            reused / (created + reused) if created + reused else 0.0,
+    }
+
+
 #: wall-clock budget for causal edge recording, relative to a traced run
 ANALYZER_OVERHEAD_TARGET = 0.05
 
@@ -263,10 +349,14 @@ def analyzer_overhead(runs: int = 3, n_functional: int = 24,
 
     Both arms trace (analysis requires a trace, so the fair baseline is a
     traced run); the only delta is the causal recorder — process-frontier
-    propagation, per-op dependency capture, resource-grant edges.  Each arm
-    takes the min over *runs* repeats to shed scheduler noise.  The post-run
-    analysis itself (critical path, attribution, what-if replay) is timed
-    separately: it is pure reporting, off the recording hot path.
+    propagation, per-op dependency capture, resource-grant edges.  Both
+    arms also pin ``fused_timeline=False``: the causal recorder disengages
+    the fused-timeline walkers, so leaving them on in the baseline would
+    fold the walker speedup into the "overhead" and misattribute it to
+    recording.  Each arm takes the min over *runs* repeats to shed
+    scheduler noise.  The post-run analysis itself (critical path,
+    attribution, what-if replay) is timed separately: it is pure
+    reporting, off the recording hot path.
     """
     topo, cm = machines.paper_machine(gpus, n_functional=n_functional)
     cfg = machines.paper_somier_config(n_functional=n_functional,
@@ -279,7 +369,7 @@ def analyzer_overhead(runs: int = 3, n_functional: int = 24,
             t0 = time.perf_counter()
             res = run_somier("one_buffer", cfg, devices=devices,
                              topology=topo, cost_model=cm, trace=True,
-                             analyze=analyze)
+                             fused_timeline=False, analyze=analyze)
             best = min(best, time.perf_counter() - t0)
         return best, res
 
@@ -324,32 +414,41 @@ def run_wallclock(n: int = 4096, num_devices: int = 4, repeats: int = 30,
     # Interleaved best-of: ambient load varies on multi-second scales, so
     # a single sample per arm can hand one arm an entire load burst and
     # invert the ratio (the workers sweep docstring tells the same story).
-    e2e_on = e2e_off = None
+    e2e_on = e2e_off = e2e_fused_off = None
     for _ in range(3):
         on = end_to_end(True, n_functional=n_functional, steps=steps)
         off = end_to_end(False, n_functional=n_functional, steps=steps)
+        fused_off = end_to_end(True, n_functional=n_functional, steps=steps,
+                               fused_timeline=False)
         if e2e_on is None or on["wall_s"] < e2e_on["wall_s"]:
             e2e_on = on
         if e2e_off is None or off["wall_s"] < e2e_off["wall_s"]:
             e2e_off = off
+        if e2e_fused_off is None or \
+                fused_off["wall_s"] < e2e_fused_off["wall_s"]:
+            e2e_fused_off = fused_off
     sweep = workers_sweep(workers_list, n_functional=sweep_n_functional,
                           steps=sweep_steps)
     ivals = intervals_bench()
+    engine = engine_microbench()
     analyzer = analyzer_overhead(runs=analyzer_runs,
                                  n_functional=n_functional, steps=steps)
     return {
-        "schema": "repro-wallclock-4",
+        "schema": "repro-wallclock-5",
         "timestamp": timestamp,
         "launch_microbench": {"cache_on": micro_on,
                               "macro_off": micro_macro_off,
                               "cache_off": micro_off},
-        "end_to_end": {"cache_on": e2e_on, "cache_off": e2e_off},
+        "end_to_end": {"cache_on": e2e_on, "cache_off": e2e_off,
+                       "fused_off": e2e_fused_off},
         "workers_sweep": sweep,
         "intervals": ivals,
+        "engine": engine,
         "analyzer_overhead": analyzer,
         "warm_launch_speedup":
             micro_off["warm_launch_s"] / micro_on["warm_launch_s"],
         "warm_macro_speedup":
             micro_macro_off["warm_launch_s"] / micro_on["warm_launch_s"],
         "end_to_end_speedup": e2e_off["wall_s"] / e2e_on["wall_s"],
+        "fused_e2e_speedup": e2e_fused_off["wall_s"] / e2e_on["wall_s"],
     }

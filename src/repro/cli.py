@@ -87,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep the plan cache but disable macro-op replay "
                         "(compiled flat replay programs for cache hits; "
                         "default: $REPRO_MACRO_OPS or on)")
+    p.add_argument("--no-fused-timeline", action="store_true",
+                   help="keep macro replay but run chunks as generator "
+                        "processes instead of fused timeline walkers "
+                        "(default: $REPRO_FUSED_TIMELINE or on)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="size of the parallel host execution backend "
                         "(real kernel/memcpy work on N threads; default: "
@@ -137,6 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-macro-ops", action="store_true",
                    help="disable macro-op replay of plan-cache hits "
                         "(default: $REPRO_MACRO_OPS or on)")
+    p.add_argument("--no-fused-timeline", action="store_true",
+                   help="disable fused-timeline walkers "
+                        "(default: $REPRO_FUSED_TIMELINE or on)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="parallel host backend width (default: "
                         "$REPRO_WORKERS or 1)")
@@ -171,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-macro-ops", action="store_true",
                    help="disable macro-op replay of plan-cache hits "
                         "(default: $REPRO_MACRO_OPS or on)")
+    p.add_argument("--no-fused-timeline", action="store_true",
+                   help="disable fused-timeline walkers "
+                        "(default: $REPRO_FUSED_TIMELINE or on)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="parallel host backend width (default: "
                         "$REPRO_WORKERS or 1)")
@@ -245,6 +255,8 @@ def cmd_somier(args) -> int:
                      trace=args.trace or bool(args.trace_json),
                      plan_cache=not args.no_plan_cache,
                      macro_ops=False if args.no_macro_ops else None,
+                     fused_timeline=(False if args.no_fused_timeline
+                                     else None),
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
                      sanitize=args.sanitize,
@@ -314,6 +326,8 @@ def cmd_stats(args) -> int:
                      fuse_transfers=args.fuse_transfers,
                      plan_cache=not args.no_plan_cache,
                      macro_ops=False if args.no_macro_ops else None,
+                     fused_timeline=(False if args.no_fused_timeline
+                                     else None),
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
                      sanitize=args.sanitize, analyze=True,
@@ -349,6 +363,8 @@ def cmd_analyze(args) -> int:
                      fuse_transfers=args.fuse_transfers,
                      plan_cache=not args.no_plan_cache,
                      macro_ops=False if args.no_macro_ops else None,
+                     fused_timeline=(False if args.no_fused_timeline
+                                     else None),
                      workers=args.workers,
                      faults=args.faults, fault_seed=args.fault_seed,
                      analyze=True,

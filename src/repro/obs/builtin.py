@@ -225,6 +225,22 @@ class MetricsTool(Tool):
     def on_sanitizer_race(self, **kw: Any) -> None:
         self.registry.counter("analysis_races").inc()
 
+    # -- event engine -------------------------------------------------------------
+
+    def observe_engine(self, stats: Dict[str, Any]) -> None:
+        """Ingest one run's :meth:`repro.sim.engine.Simulator.engine_stats`.
+
+        The engine has no callback stream of its own (counting per event
+        would be the hot path observing itself); the driver scrapes the
+        counters once at end of run and hands them here.
+        """
+        reg = self.registry
+        for key in ("events_scheduled", "dispatches", "events_dispatched",
+                    "fused_segments", "timeouts_created", "timeouts_reused",
+                    "calls_created", "calls_reused"):
+            reg.counter(f"engine_{key}").inc(stats.get(key, 0))
+        reg.gauge("engine_mean_batch").set(stats.get("mean_batch", 0.0))
+
     # -- convenience --------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:

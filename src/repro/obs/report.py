@@ -142,6 +142,34 @@ class ProfileReport:
                                    if util_gauges else 0.0),
         }
 
+    # -- event engine -------------------------------------------------------------
+
+    def engine_summary(self) -> Optional[Dict[str, Any]]:
+        """Calendar-queue dispatch counters, or None when the run's engine
+        stats were never ingested (see ``MetricsTool.observe_engine``)."""
+        reg = self.registry
+        dispatches = int(reg.counter_value("engine_dispatches"))
+        if dispatches == 0:
+            return None
+        scheduled = int(reg.counter_value("engine_events_scheduled"))
+        dispatched = int(reg.counter_value("engine_events_dispatched"))
+        gauges = reg.gauges("engine_mean_batch")
+        return {
+            "events_scheduled": scheduled,
+            "dispatches": dispatches,
+            "events_dispatched": dispatched,
+            "mean_batch": gauges[0].value if gauges else (
+                dispatched / dispatches),
+            "fused_segments": int(
+                reg.counter_value("engine_fused_segments")),
+            "timeouts_created": int(
+                reg.counter_value("engine_timeouts_created")),
+            "timeouts_reused": int(
+                reg.counter_value("engine_timeouts_reused")),
+            "calls_created": int(reg.counter_value("engine_calls_created")),
+            "calls_reused": int(reg.counter_value("engine_calls_reused")),
+        }
+
     # -- fault injection ----------------------------------------------------------
 
     def fault_summary(self) -> Optional[Dict[str, Any]]:
@@ -220,6 +248,15 @@ class ProfileReport:
                 f"{ex['serial_ops']:d} serial ops "
                 f"({ex['inline_fallbacks']:d} inline fallbacks), "
                 f"utilization {ex['worker_utilization']:.0%}")
+        eng = self.engine_summary()
+        if eng is not None:
+            totals.append(
+                f"engine: {eng['events_dispatched']:d} events over "
+                f"{eng['dispatches']:d} dispatches "
+                f"(mean batch {eng['mean_batch']:.2f}), "
+                f"{eng['fused_segments']:d} fused segments, "
+                f"timeout reuse {eng['timeouts_reused']:d}/"
+                f"{eng['timeouts_reused'] + eng['timeouts_created']:d}")
         fa = self.fault_summary()
         if fa is not None:
             totals.append(
@@ -258,6 +295,9 @@ class ProfileReport:
         ex = self.executor_summary()
         if ex is not None:
             payload["executor"] = ex
+        eng = self.engine_summary()
+        if eng is not None:
+            payload["engine"] = eng
         fa = self.fault_summary()
         if fa is not None:
             payload["faults"] = fa

@@ -27,6 +27,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.openmp.mapping import Var
 from repro.sim.engine import Event
 from repro.util.errors import OmpSemaError
@@ -68,22 +70,133 @@ class Dep:
         return Dep(DepKind.INOUT, var, section)
 
 
-@dataclass
-class _Record:
-    section: Interval
-    writes: bool
-    event: Event
+class _Frontier:
+    """Per-variable access frontier as parallel packed arrays.
+
+    ``bounds`` is an ``(capacity, 2)`` int64 array of half-open sections,
+    ``writes`` the matching bool array and ``events`` the matching Python
+    list of task events; ``n`` records live.  The representation mirrors
+    the batch helpers in :mod:`repro.util.intervals`: one vectorized mask
+    replaces the per-record ``Interval.overlaps`` loop that dominated
+    resolution on wide frontiers (hundreds of live records per variable in
+    the chunked steady state).  ``single`` caches the lone record as plain
+    Python scalars when ``n == 1`` so the covering-writer fast path stays
+    allocation- and NumPy-free.
+    """
+
+    __slots__ = ("bounds", "writes", "events", "n", "single")
+
+    def __init__(self) -> None:
+        self.bounds = np.empty((8, 2), dtype=np.int64)
+        self.writes = np.empty(8, dtype=bool)
+        self.events: List[Event] = []
+        self.n = 0
+        self.single = None  # (start, stop, writes) iff n == 1
+
+    def append(self, start: int, stop: int, writes: bool,
+               event: Event) -> None:
+        n = self.n
+        if n == len(self.writes):
+            self.bounds = np.concatenate(
+                [self.bounds, np.empty_like(self.bounds)])
+            self.writes = np.concatenate(
+                [self.writes, np.empty_like(self.writes)])
+        self.bounds[n, 0] = start
+        self.bounds[n, 1] = stop
+        self.writes[n] = writes
+        self.events.append(event)
+        self.n = n + 1
+        self.single = (start, stop, writes) if n == 0 else None
 
 
 #: A dependence resolved to a concrete interval.
 ConcreteDep = Tuple[DepKind, Var, Interval]
 
 
+class _DepGroup:
+    """One variable's depend clauses across a whole compiled program.
+
+    Everything derivable from the static clauses is precomputed once at
+    compile time — the hot resolve pass against a live frontier is then a
+    handful of elementwise comparisons on these cached columns.
+    """
+
+    __slots__ = ("var_key", "sec_list", "wr_list", "s_col", "e_col",
+                 "wr_col", "live_col", "gids", "recs",
+                 "wsec0", "wsec1")
+
+    def __init__(self, var_key, secs, wrs, gids, recs) -> None:
+        self.var_key = var_key
+        self.sec_list = secs                 # [(start, stop)] per dep
+        self.wr_list = wrs                   # [bool] per dep
+        sec = np.array(secs, dtype=np.int64)
+        wr = np.array(wrs, dtype=bool)
+        self.s_col = sec[:, 0:1]             # (k, 1) starts
+        self.e_col = sec[:, 1:2]             # (k, 1) stops
+        self.wr_col = wr[:, None]            # (k, 1) write flags
+        self.live_col = self.s_col < self.e_col   # non-empty sections
+        self.gids = gids
+        self.recs = recs
+        wsec = sec[wr]                       # writer sections, group order
+        self.wsec0 = wsec[:, 0:1]
+        self.wsec1 = wsec[:, 1:2]
+
+
+class CompiledDeps:
+    """The flattened depend clauses of a whole compiled program.
+
+    Macro replay resolves every record's dependences against the
+    pre-directive frontier and only then registers the new tasks (the
+    two-phase protocol), so the per-record ``resolve`` calls of one
+    directive can be batched into a single vectorized pass per variable.
+    ``groups`` holds one :class:`_DepGroup` per variable, deps in global
+    registration order (record order, clause order within a record);
+    ``record_gids`` maps each record back to its dep ids so per-record
+    wait lists are reconstructed with the original deduplication order.
+    """
+
+    __slots__ = ("groups", "record_gids", "total")
+
+    def __init__(self, groups, record_gids, total: int) -> None:
+        self.groups = groups
+        self.record_gids = record_gids
+        self.total = total
+
+
+def compile_deps(records) -> "CompiledDeps | None":
+    """Flatten the ``deps`` of a record sequence; ``None`` if dep-free."""
+    raw: Dict[int, tuple] = {}
+    record_gids: List[List[int]] = []
+    gid = 0
+    for ri, rec in enumerate(records):
+        gids: List[int] = []
+        for kind, var, interval in rec.deps:
+            g = raw.get(var.key)
+            if g is None:
+                g = raw[var.key] = ([], [], [], [])
+            g[0].append((interval.start, interval.stop))
+            g[1].append(kind.writes)
+            g[2].append(gid)
+            g[3].append(ri)
+            gids.append(gid)
+            gid += 1
+        record_gids.append(gids)
+    if gid == 0:
+        return None
+    groups = [_DepGroup(key, secs, wrs, dep_ids, rec_ids)
+              for key, (secs, wrs, dep_ids, rec_ids) in raw.items()]
+    return CompiledDeps(groups, record_gids, gid)
+
+
+#: resolve_compiled hit-table entry for a dependence with no conflicts.
+_NO_HITS = (False, ())
+
+
 class DependTracker:
     """Program-order registry of section reads/writes per variable."""
 
     def __init__(self) -> None:
-        self._records: Dict[int, List[_Record]] = {}
+        self._records: Dict[int, _Frontier] = {}
         # statistics
         self.resolved_edges = 0
         self.fast_resolves = 0
@@ -98,26 +211,44 @@ class DependTracker:
         waits: List[Event] = []
         seen: set = set()
         for kind, var, section in deps:
-            records = self._records.get(var.key, ())
-            if len(records) == 1:
+            f = self._records.get(var.key)
+            if f is None or f.n == 0:
+                continue
+            s, e = section.start, section.stop
+            if f.n == 1:
                 # Common steady-state shape after writer pruning: one
                 # covering writer per variable.  It conflicts with every
                 # dependence kind, so the overlap scan collapses to a
                 # single containment check.
-                rec = records[0]
-                if rec.writes and rec.section.contains(section):
+                rs, re_, rw = f.single
+                if rw and (s >= e or (rs <= s and e <= re_)):
                     self.fast_resolves += 1
-                    if id(rec.event) not in seen:
-                        seen.add(id(rec.event))
-                        waits.append(rec.event)
+                    ev = f.events[0]
+                    if id(ev) not in seen:
+                        seen.add(id(ev))
+                        waits.append(ev)
                     continue
-            for rec in records:
-                if not rec.section.overlaps(section):
-                    continue
-                if kind.writes or rec.writes:
-                    if id(rec.event) not in seen:
-                        seen.add(id(rec.event))
-                        waits.append(rec.event)
+                # Scalar overlap scan of the single record.
+                if rs < re_ and s < e and rs < e and s < re_:
+                    if kind.writes or rw:
+                        ev = f.events[0]
+                        if id(ev) not in seen:
+                            seen.add(id(ev))
+                            waits.append(ev)
+                continue
+            if s >= e:
+                continue  # empty sections overlap nothing
+            n = f.n
+            b = f.bounds[:n]
+            conflict = (b[:, 0] < b[:, 1]) & (b[:, 0] < e) & (s < b[:, 1])
+            if not kind.writes:
+                conflict &= f.writes[:n]
+            events = f.events
+            for i in np.flatnonzero(conflict):
+                ev = events[i]
+                if id(ev) not in seen:
+                    seen.add(id(ev))
+                    waits.append(ev)
         self.resolved_edges += len(waits)
         return waits
 
@@ -125,11 +256,140 @@ class DependTracker:
         """Record the new task's reads/writes (writers prune covered
         records — any future conflict is transitively enforced)."""
         for kind, var, section in deps:
-            lst = self._records.setdefault(var.key, [])
-            if kind.writes:
-                lst[:] = [r for r in lst if not section.contains(r.section)]
-            lst.append(_Record(section=section, writes=kind.writes,
-                               event=event))
+            f = self._records.get(var.key)
+            if f is None:
+                f = self._records[var.key] = _Frontier()
+            n = f.n
+            if kind.writes and n:
+                s, e = section.start, section.stop
+                b = f.bounds[:n]
+                # section.contains(record): empty records are covered by
+                # anything, non-empty ones need full inclusion.
+                covered = (b[:, 0] >= b[:, 1]) | \
+                          ((s <= b[:, 0]) & (b[:, 1] <= e))
+                if covered.any():
+                    keep = np.flatnonzero(~covered)
+                    k = len(keep)
+                    f.bounds[:k] = b[keep]
+                    f.writes[:k] = f.writes[keep]
+                    events = f.events
+                    f.events = [events[i] for i in keep]
+                    f.n = k
+                    f.single = None  # append() below refreshes it
+            f.append(section.start, section.stop, kind.writes, event)
+
+    def resolve_compiled(self, cd: CompiledDeps) -> List:
+        """Batched :meth:`resolve` for a whole directive's records.
+
+        Semantically identical — same wait lists in the same order, same
+        ``fast_resolves``/``resolved_edges`` increments — to calling
+        ``resolve(rec.deps)`` for each record in order, which is valid
+        because replay registers nothing until every record has resolved.
+        One conflict matrix per variable replaces per-record mask
+        rebuilds.  Returns one wait list per record (``None`` for
+        dep-free records, which the sequential path never resolves).
+        """
+        hits: List[tuple] = [_NO_HITS] * cd.total
+        for grp in cd.groups:
+            f = self._records.get(grp.var_key)
+            if f is None or f.n == 0:
+                continue
+            gids = grp.gids
+            if f.n == 1:
+                rs, re_, rw = f.single
+                ev0 = (f.events[0],)
+                for (s, e), w, g in zip(grp.sec_list, grp.wr_list, gids):
+                    if rw and (s >= e or (rs <= s and e <= re_)):
+                        hits[g] = (True, ev0)
+                    elif rs < re_ and s < e and rs < e and s < re_ \
+                            and (w or rw):
+                        hits[g] = (False, ev0)
+                continue
+            n = f.n
+            b = f.bounds[:n]
+            b0 = b[:, 0]
+            b1 = b[:, 1]
+            # (k, n) conflict matrix in five elementwise passes over the
+            # precompiled dep columns: live non-empty record, section
+            # overlap, and reader deps only conflict with writer records.
+            conflict = (b0 < b1) & (b0 < grp.e_col) & (grp.s_col < b1)
+            conflict &= grp.live_col
+            conflict &= grp.wr_col | f.writes[:n]
+            rows, cols = np.nonzero(conflict)
+            if not len(rows):
+                continue
+            events = f.events
+            per_dep: dict = {}
+            for r, c in zip(rows.tolist(), cols.tolist()):
+                g = gids[r]
+                lst = per_dep.get(g)
+                if lst is None:
+                    per_dep[g] = [events[c]]
+                else:
+                    lst.append(events[c])
+            for g, evs in per_dep.items():
+                hits[g] = (False, evs)
+        out: List = []
+        for gids in cd.record_gids:
+            if not gids:
+                out.append(None)
+                continue
+            waits: List[Event] = []
+            seen: set = set()
+            for g in gids:
+                fast, evs = hits[g]
+                if fast:
+                    self.fast_resolves += 1
+                for ev in evs:
+                    i = id(ev)
+                    if i not in seen:
+                        seen.add(i)
+                        waits.append(ev)
+            self.resolved_edges += len(waits)
+            out.append(waits)
+        return out
+
+    def register_compiled(self, cd: CompiledDeps,
+                          events: Sequence[Event]) -> None:
+        """Batched :meth:`register` of a directive's tasks (*events* is
+        indexed by record).
+
+        Net-identical to sequential registration: records already on a
+        frontier can only be pruned (never re-added), so pruning by *any*
+        of the batch's writers equals incremental pruning; interactions
+        among the batch's own records (a later writer covering an earlier
+        record of the same directive) replay scalar, in global clause
+        order.  Relative order of survivors — old before new — matches
+        the append/compact order of the sequential path.
+        """
+        for grp in cd.groups:
+            f = self._records.get(grp.var_key)
+            if f is None:
+                f = self._records[grp.var_key] = _Frontier()
+            n = f.n
+            if n and len(grp.wsec0):
+                b = f.bounds[:n]
+                b0 = b[:, 0]
+                b1 = b[:, 1]
+                covered = (b0 >= b1) | \
+                    ((grp.wsec0 <= b0) & (b1 <= grp.wsec1)).any(axis=0)
+                if covered.any():
+                    keep = np.flatnonzero(~covered)
+                    k = len(keep)
+                    f.bounds[:k] = b[keep]
+                    f.writes[:k] = f.writes[keep]
+                    old_events = f.events
+                    f.events = [old_events[i] for i in keep]
+                    f.n = k
+                    f.single = None  # append() below refreshes it
+            new: List[tuple] = []
+            for (s, e), w, ri in zip(grp.sec_list, grp.wr_list, grp.recs):
+                if w and new:
+                    new = [r for r in new
+                           if not (r[0] >= r[1] or (s <= r[0] and r[1] <= e))]
+                new.append((s, e, w, events[ri]))
+            for s, e, w, ev in new:
+                f.append(s, e, w, ev)
 
     def resolve_and_register(self, deps: Sequence[ConcreteDep],
                              event: Event) -> List[Event]:
@@ -139,7 +399,8 @@ class DependTracker:
         return waits
 
     def frontier_size(self, var: Var) -> int:
-        return len(self._records.get(var.key, ()))
+        f = self._records.get(var.key)
+        return f.n if f is not None else 0
 
     def clear(self) -> None:
         self._records.clear()

@@ -30,6 +30,7 @@ from repro.openmp.dataenv import DeviceDataEnv, MappedEntry
 from repro.openmp.depend import ConcreteDep
 from repro.openmp.mapping import MapClause, MapType, Var
 from repro.openmp.tasks import TaskCtx
+from repro.sim import timeline as _timeline
 from repro.sim.engine import Process
 from repro.util.errors import DeviceFaultError, OmpMappingError, OmpSemaError
 from repro.util.intervals import Interval
@@ -455,6 +456,21 @@ def _issue_copies(rt, dev, copies, h2d: bool, fuse: bool,
     # Issue all memcpys at once (what a runtime enqueuing async copies
     # does); the staging path and the device queue serialize them, but the
     # next copy's staging pipelines with the current one's wire time.
+    sim = dev.sim
+    if (rt.fused_timeline and rt.fault_injector is None
+            and sim.recorder is None and sim.cp_hook is None
+            and sim.san_hook is None and not dev.tools and not dev.lost):
+        # Fused-timeline copy walkers: the identical copy protocol (same
+        # resource claims, same timed segments, same trace records) with
+        # no generator frames — see repro.sim.timeline._CopyProc.  Any
+        # per-op observer (faults, recorder, sanitizer, tools) keeps the
+        # generator sub-processes below.
+        cls = _timeline.CopyH2D if h2d else _timeline.CopyD2H
+        prefix = label or "map"
+        walkers = [cls.spawn(sim, dev, src, sk, dst, dk, f"{prefix}:{vname}")
+                   for src, sk, dst, dk, vname in copies]
+        yield sim.all_of(walkers)
+        return
     procs = []
     for src, sk, dst, dk, vname in copies:
         name = f"{label or 'map'}:{vname}"

@@ -79,6 +79,23 @@ def resolve_macro_ops(macro_ops: Optional[bool]) -> bool:
     return bool(macro_ops)
 
 
+def resolve_fused_timeline(fused_timeline: Optional[bool]) -> bool:
+    """Normalize the ``fused_timeline`` knob (the fused-timeline engine).
+
+    ``None`` consults the ``REPRO_FUSED_TIMELINE`` environment variable
+    (CI ablation: ``REPRO_FUSED_TIMELINE=0``), defaulting to **on** —
+    fused execution is bit-identical to the generator path and only
+    engages for macro-replayed steady-state kernel chunks nothing else
+    observes (see :mod:`repro.sim.timeline`).
+    """
+    if fused_timeline is None:
+        raw = os.environ.get("REPRO_FUSED_TIMELINE", "").strip().lower()
+        if not raw:
+            return True
+        return raw not in ("0", "off", "false", "no")
+    return bool(fused_timeline)
+
+
 def resolve_analyze(analyze: Optional[bool]) -> bool:
     """Normalize the ``analyze`` knob.
 
@@ -145,6 +162,7 @@ class OpenMPRuntime:
                  taskgroup_global_drain: bool = True,
                  plan_cache: bool = True,
                  macro_ops: Optional[bool] = None,
+                 fused_timeline: Optional[bool] = None,
                  workers: Optional[int] = None,
                  executor_min_bytes: Optional[int] = None,
                  faults: FaultsSpec = None,
@@ -186,6 +204,12 @@ class OpenMPRuntime:
         #: interpreter loop.  ``macro_ops=False`` (CLI ``--no-macro-ops``,
         #: env ``REPRO_MACRO_OPS=0``) forces the object path.
         self.macro_ops = resolve_macro_ops(macro_ops)
+        #: fused-timeline engine (repro.sim.timeline): macro-replayed
+        #: steady-state kernel chunks execute as precomputed virtual-time
+        #: walkers instead of generator processes.  ``fused_timeline=False``
+        #: (CLI ``--no-fused-timeline``, env ``REPRO_FUSED_TIMELINE=0``)
+        #: forces the generator path.
+        self.fused_timeline = resolve_fused_timeline(fused_timeline)
         #: parallel host execution backend (repro.sim.executor): with
         #: ``workers > 1`` the real NumPy work of kernels and transfers
         #: runs on a thread pool; 1 keeps the serial inline path.

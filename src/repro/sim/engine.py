@@ -3,9 +3,9 @@
 The engine follows the classic process-interaction style (a SimPy-like
 subset, implemented from scratch): *processes* are Python generators that
 ``yield`` :class:`Event` objects and are resumed when those events trigger.
-Determinism is guaranteed by a strict ``(time, sequence)`` ordering of the
-event heap — two runs of the same program produce identical traces, which the
-test suite asserts.
+Determinism is guaranteed by a bucketed calendar queue with strict FIFO
+ordering inside every timestamp bucket — two runs of the same program
+produce identical traces, which the test suite asserts.
 
 Only virtual time exists here; nothing sleeps.  The OpenMP runtime charges
 costs through :mod:`repro.sim.costmodel` and advances this clock.
@@ -15,7 +15,13 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from sys import getrefcount
 from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
+
+#: Upper bound on the pooled ``Timeout``/``_Call`` freelists.  Steady-state
+#: replay churns through a handful of in-flight entries per op; the cap only
+#: exists so a pathological burst cannot pin memory forever.
+_POOL_MAX = 1024
 
 
 class SimulationError(RuntimeError):
@@ -85,7 +91,17 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._schedule_event(self)
+        # Inline of sim._schedule_event(self) — trigger is the single
+        # hottest enqueue site in the simulator.
+        sim = self.sim
+        t = sim.now
+        sim.events_scheduled += 1
+        b = sim._buckets.get(t)
+        if b is None:
+            sim._buckets[t] = deque((self,))
+            heapq.heappush(sim._times, t)
+        else:
+            b.append(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -173,7 +189,7 @@ class Process(Event):
         # allocate; _start() checks it the same way _resume() checks a real
         # wait target, so an interrupt landing before the first step still
         # wins the race.  ``defer=True`` skips the start push so a caller
-        # can batch many starts into one heap transaction
+        # can batch many starts into one queue transaction
         # (see Simulator.schedule_batch); it MUST schedule _start itself.
         self._waiting_on: Optional[Event] = sim._proc_init
         if not defer:
@@ -378,14 +394,14 @@ class AnyOf(Event):
 
 
 class _Call:
-    """A bare deferred function on the heap (no Event bookkeeping).
+    """A bare deferred function in the queue (no Event bookkeeping).
 
     Internal scheduling (process start, late callbacks, interrupts,
     :meth:`Simulator.schedule_call`) only ever needs "run this at time t";
     pushing a plain callable avoids the Event allocation, its callback
     list, and the processed-state transition on every hot-path launch.
-    Each push still consumes exactly one ``seq``, so interleaving with
-    real events is byte-identical to the Event-based encoding.
+    Instances never escape the engine, so dispatch recycles them through
+    ``Simulator._call_pool`` — a warm replay loop allocates none.
     """
 
     __slots__ = ("fn",)
@@ -395,16 +411,15 @@ class _Call:
 
 
 class _Batch:
-    """Several deferred functions in one heap entry (one transaction).
+    """Several deferred functions in one queue entry (one transaction).
 
-    The batch occupies a reserved, contiguous ``seq`` range: pushing
-    ``[f0, .., fK-1]`` as a batch at seq ``s`` is order-identical to K
-    individual :class:`_Call` pushes at seqs ``s..s+K-1`` — no other heap
-    entry can hold a seq inside the reserved range (seqs are handed out
-    monotonically), and anything a batched fn schedules lands after the
-    range, exactly as it would after the corresponding individual push.
-    This is the macro-op replay engine's bulk dispatch primitive: a whole
-    directive's task starts go on the heap with a single heappush.
+    Inside a timestamp bucket entries run in strict FIFO push order, so
+    pushing ``[f0, .., fK-1]`` as one batch entry is order-identical to K
+    individual :class:`_Call` pushes made back to back — anything a batched
+    fn schedules lands after the batch's slot, exactly as it would after
+    the corresponding individual push.  This is the macro-op replay
+    engine's bulk dispatch primitive: a whole directive's task starts go
+    into the calendar queue with a single push.
     """
 
     __slots__ = ("fns",)
@@ -414,18 +429,39 @@ class _Batch:
 
 
 class Simulator:
-    """The event loop: a heap of ``(time, seq, event)`` entries.
+    """The event loop: a bucketed calendar queue.
 
-    ``seq`` is a monotonically increasing counter that makes simultaneous
-    events fire in scheduling order, which is what makes the whole stack
-    deterministic.
+    ``_buckets`` maps a timestamp to the deque of entries scheduled at that
+    time; ``_times`` is a heap of the distinct timestamps (an entry lives
+    in ``_times`` iff its bucket exists).  Pushes append, pops take from
+    the left — simultaneous events fire in scheduling order (FIFO
+    tie-break), which is what makes the whole stack deterministic.  The
+    run loop drains a whole bucket per dispatch, batching same-timestamp
+    callback runs into one heap operation.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[tuple] = []
-        self._seq = 0
+        self._buckets: dict = {}
+        self._times: List[float] = []
         self._running = False
+        # Freelists for the two entry types the hot path churns through.
+        # _Call entries never escape the engine and recycle unconditionally;
+        # Timeout events recycle only when the run loop can prove no one
+        # still holds a reference (see run()).
+        self._call_pool: List[_Call] = []
+        self._timeout_pool: List[Timeout] = []
+        # Dispatch counters (engine_* metrics; see engine_stats()).
+        self.events_scheduled = 0
+        self.dispatches = 0
+        self.events_dispatched = 0
+        #: inert virtual-time segments advanced by fused timeline walkers
+        #: (repro.sim.timeline) instead of generator resumes.
+        self.fused_segments = 0
+        self.timeouts_created = 0
+        self.timeouts_reused = 0
+        self.calls_created = 0
+        self.calls_reused = 0
         # Optional parallel host backend (repro.sim.executor.HostExecutor).
         # The engine never imports it: anything with submit/flush/pending
         # works, which keeps this module free of NumPy and pool concerns.
@@ -455,25 +491,57 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------------
 
+    def _push(self, t: float, entry: Any) -> None:
+        self.events_scheduled += 1
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = deque((entry,))
+            heapq.heappush(self._times, t)
+        else:
+            b.append(entry)
+
+    # _schedule_event/_schedule_fn inline the _push body: together they
+    # account for most queue insertions, and the extra call frame is
+    # measurable at this volume.
+
     def _schedule_event(self, ev: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
+        t = self.now + delay
+        self.events_scheduled += 1
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = deque((ev,))
+            heapq.heappush(self._times, t)
+        else:
+            b.append(ev)
 
     def _schedule_fn(self, fn: Callable[[], None], delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, _Call(fn)))
+        pool = self._call_pool
+        if pool:
+            c = pool.pop()
+            c.fn = fn
+            self.calls_reused += 1
+        else:
+            c = _Call(fn)
+            self.calls_created += 1
+        t = self.now + delay
+        self.events_scheduled += 1
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = deque((c,))
+            heapq.heappush(self._times, t)
+        else:
+            b.append(c)
 
     def schedule_call(self, delay: float, fn: Callable[[], None]) -> None:
         """Run *fn* after *delay* virtual seconds."""
         self._schedule_fn(fn, delay)
 
     def schedule_batch(self, fns: List[Callable[[], None]]) -> None:
-        """Run *fns* in order at the current time, in ONE heap transaction.
+        """Run *fns* in order at the current time, in ONE queue transaction.
 
-        Reserves a contiguous sequence range of ``len(fns)`` and pushes a
-        single :class:`_Batch` entry at the range's first seq, which is
-        observably identical to ``len(fns)`` individual ``_schedule_fn``
-        pushes (see :class:`_Batch`) while costing one heappush.
+        Pushes a single :class:`_Batch` entry, which is observably
+        identical to ``len(fns)`` individual ``_schedule_fn`` pushes (see
+        :class:`_Batch`) while costing one queue operation.
         """
         n = len(fns)
         if n == 0:
@@ -481,9 +549,8 @@ class Simulator:
         if n == 1:
             self._schedule_fn(fns[0])
             return
-        seq = self._seq + 1
-        self._seq = seq + n - 1
-        heapq.heappush(self._heap, (self.now, seq, _Batch(fns)))
+        self._push(self.now, _Batch(fns))
+        self.events_scheduled += n - 1  # _push counted one
 
     # -- real (host) work -------------------------------------------------------
 
@@ -533,6 +600,28 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
+            t = pool.pop()
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t._triggered = True
+            t._processed = False
+            t.delay = delay
+            when = self.now + delay
+            self.events_scheduled += 1
+            b = self._buckets.get(when)
+            if b is None:
+                self._buckets[when] = deque((t,))
+                heapq.heappush(self._times, when)
+            else:
+                b.append(t)
+            self.timeouts_reused += 1
+            return t
+        self.timeouts_created += 1
         return Timeout(self, delay, value)
 
     def process(self, gen: Generator, name: str = "") -> Process:
@@ -546,21 +635,22 @@ class Simulator:
 
     # -- execution -------------------------------------------------------------
 
-    def step(self) -> None:
-        """Process one entry from the heap."""
-        time, _seq, ev = heapq.heappop(self._heap)
-        if time < self.now:
-            raise SimulationError("time went backwards")
-        self.now = time
+    def _dispatch(self, ev: Any) -> None:
+        """Deliver one popped entry (shared by step(); run() inlines this)."""
+        self.events_dispatched += 1
         if type(ev) is _Call:
-            ev.fn()
+            fn = ev.fn
+            ev.fn = None
+            if len(self._call_pool) < _POOL_MAX:
+                self._call_pool.append(ev)
+            fn()
             self.current_process = None
             return
         if type(ev) is _Batch:
             for fn in ev.fns:
                 fn()
                 # Match per-_Call semantics: each fn gets a clean slate,
-                # as if it had been popped from its own heap entry.
+                # as if it had been popped from its own queue entry.
                 self.current_process = None
             return
         callbacks = ev.callbacks
@@ -571,8 +661,22 @@ class Simulator:
                 cb(ev)
         self.current_process = None
 
+    def step(self) -> None:
+        """Process one entry from the calendar queue."""
+        t = self._times[0]
+        if t < self.now:
+            raise SimulationError("time went backwards")
+        self.now = t
+        b = self._buckets[t]
+        ev = b.popleft()
+        if not b:
+            del self._buckets[t]
+            heapq.heappop(self._times)
+        self.dispatches += 1
+        self._dispatch(ev)
+
     def run(self, until: Optional[Event | float] = None) -> Any:
-        """Run until the heap drains, a deadline passes, or an event fires.
+        """Run until the queue drains, a deadline passes, or an event fires.
 
         ``until`` may be an :class:`Event` (returns its value, re-raising a
         failure), a float deadline, or None (drain everything).
@@ -580,27 +684,77 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        times = self._times
+        buckets = self._buckets
+        call_pool = self._call_pool
+        timeout_pool = self._timeout_pool
         try:
-            if isinstance(until, Event):
-                sentinel = until
-                while self._heap:
-                    if sentinel._processed:
+            sentinel = until if isinstance(until, Event) else None
+            deadline = None
+            if sentinel is None and until is not None:
+                deadline = float(until)
+            # The two loops below are the engine's hottest code: a whole
+            # timestamp bucket drains per heap operation, with the entry
+            # dispatch inlined (no per-entry method call).  _Call entries
+            # are engine-internal and recycle unconditionally; a Timeout
+            # recycles only when, after its callbacks ran, this frame holds
+            # the sole remaining reference (waiters clear _waiting_on
+            # before stepping; AllOf children, run(until=timeout)
+            # sentinels and user-held handles keep a ref and skip the
+            # pool).  getrefcount(ev) == 2 counts exactly this frame's
+            # local plus getrefcount's own argument.
+            while times:
+                if sentinel is not None and sentinel._processed:
+                    break
+                t = times[0]
+                if deadline is not None and t > deadline:
+                    self.now = deadline
+                    return None
+                if t < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = t
+                b = buckets[t]
+                self.dispatches += 1
+                while b:
+                    if sentinel is not None and sentinel._processed:
                         break
-                    self.step()
+                    ev = b.popleft()
+                    self.events_dispatched += 1
+                    tp = type(ev)
+                    if tp is _Call:
+                        fn = ev.fn
+                        ev.fn = None
+                        if len(call_pool) < _POOL_MAX:
+                            call_pool.append(ev)
+                        fn()
+                        self.current_process = None
+                        continue
+                    if tp is _Batch:
+                        for fn in ev.fns:
+                            fn()
+                            self.current_process = None
+                        continue
+                    callbacks = ev.callbacks
+                    ev.callbacks = None
+                    ev._processed = True
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(ev)
+                    self.current_process = None
+                    if tp is Timeout and len(timeout_pool) < _POOL_MAX \
+                            and getrefcount(ev) == 2:
+                        timeout_pool.append(ev)
+                if not b:
+                    del buckets[t]
+                    heapq.heappop(times)
+            if sentinel is not None:
                 if not sentinel._triggered:
                     raise SimulationError(
-                        "run(until=event) exhausted the heap before the "
+                        "run(until=event) exhausted the queue before the "
                         "event triggered (deadlock?)")
                 if sentinel.ok:
                     return sentinel.value
                 raise sentinel.value
-            deadline = float(until) if until is not None else None
-            while self._heap:
-                t = self._heap[0][0]
-                if deadline is not None and t > deadline:
-                    self.now = deadline
-                    return None
-                self.step()
             if deadline is not None:
                 self.now = max(self.now, deadline)
             return None
@@ -610,9 +764,25 @@ class Simulator:
             # run() is host code and may observe arrays next.
             self.flush_work()
 
+    def engine_stats(self) -> dict:
+        """Dispatch/allocation counters for the engine_* metrics."""
+        d = self.dispatches
+        return {
+            "events_scheduled": self.events_scheduled,
+            "dispatches": d,
+            "events_dispatched": self.events_dispatched,
+            "fused_segments": self.fused_segments,
+            "mean_batch": (self.events_dispatched / d) if d else 0.0,
+            "timeouts_created": self.timeouts_created,
+            "timeouts_reused": self.timeouts_reused,
+            "calls_created": self.calls_created,
+            "calls_reused": self.calls_reused,
+        }
+
     def peek(self) -> float:
         """Time of the next scheduled event (inf if none)."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._times[0] if self._times else float("inf")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<Simulator now={self.now} pending={len(self._heap)}>"
+        pending = sum(len(b) for b in self._buckets.values())
+        return f"<Simulator now={self.now} pending={pending}>"

@@ -17,8 +17,8 @@ Perfetto) and a plain ASCII timeline for terminals.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Dict, Iterable, List, NamedTuple, Optional,
+                    Sequence, Tuple)
 
 # Event categories
 H2D = "h2d"
@@ -29,9 +29,14 @@ HOST = "host"
 _CATEGORIES = (H2D, D2H, KERNEL, HOST)
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One completed interval on one lane of the simulated node."""
+class TraceEvent(NamedTuple):
+    """One completed interval on one lane of the simulated node.
+
+    A NamedTuple rather than a frozen dataclass: one is built per recorded
+    device operation, so construction cost is on the simulator's hot path.
+    Callers constructing events directly should pass a fresh ``meta`` dict
+    (``Trace.record`` always does).
+    """
 
     category: str
     name: str
@@ -39,7 +44,7 @@ class TraceEvent:
     start: float
     end: float
     device: Optional[int] = None
-    meta: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = {}
 
     @property
     def duration(self) -> float:

@@ -73,6 +73,7 @@ def run_somier(impl: str, config: SomierConfig,
                trace: bool = True,
                plan_cache: bool = True,
                macro_ops: Optional[bool] = None,
+               fused_timeline: Optional[bool] = None,
                workers: Optional[int] = None,
                faults: Optional[str] = None,
                fault_seed: Optional[int] = None,
@@ -94,6 +95,10 @@ def run_somier(impl: str, config: SomierConfig,
     ``macro_ops=False`` (CLI ``--no-macro-ops``) keeps the plan cache but
     disables compiling cached plans into macro-op replay programs; None
     consults ``REPRO_MACRO_OPS`` — see :mod:`repro.spread.macro`.
+    ``fused_timeline=False`` (CLI ``--no-fused-timeline``) keeps macro
+    replay but runs every chunk as a generator process instead of a fused
+    timeline walker; None consults ``REPRO_FUSED_TIMELINE`` — see
+    :mod:`repro.sim.timeline`.
     ``workers`` (CLI ``--workers``) sizes the parallel host execution
     backend; None consults ``REPRO_WORKERS``, and 1 (the default) keeps
     the serial inline path.  Results and traces are identical either way.
@@ -117,6 +122,7 @@ def run_somier(impl: str, config: SomierConfig,
                        trace_enabled=trace or analyze is True,
                        taskgroup_global_drain=taskgroup_global_drain,
                        plan_cache=plan_cache, macro_ops=macro_ops,
+                       fused_timeline=fused_timeline,
                        workers=workers,
                        faults=faults, fault_seed=fault_seed,
                        sanitize=sanitize, analyze=analyze)
@@ -149,6 +155,14 @@ def run_somier(impl: str, config: SomierConfig,
         "macro_replays": rt.plan_cache.macro_replays,
         "workers": rt.workers,
     }
+    engine = rt.sim.engine_stats()
+    stats.update({
+        "engine_events_scheduled": engine["events_scheduled"],
+        "engine_dispatches": engine["dispatches"],
+        "engine_events_dispatched": engine["events_dispatched"],
+        "engine_mean_batch": engine["mean_batch"],
+        "engine_fused_segments": engine["fused_segments"],
+    })
     if rt.fault_injector is not None or rt.lost_devices:
         stats.update({
             "faults_injected": (rt.fault_injector.injected
@@ -182,6 +196,9 @@ def run_somier(impl: str, config: SomierConfig,
             "executor_min_bytes": rt.executor.min_bytes,
             "executor_utilization": rt.executor.utilization,
         })
+    for t in tools:
+        if isinstance(t, MetricsTool):
+            t.observe_engine(engine)
     metrics = next((t.snapshot() for t in tools
                     if isinstance(t, MetricsTool)), None)
     return SomierResult(impl=impl, devices=devs, config=config, plan=plan,

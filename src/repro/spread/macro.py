@@ -46,6 +46,8 @@ from typing import Generator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.openmp import exec_ops
+from repro.openmp.depend import compile_deps
+from repro.sim import timeline as _timeline
 from repro.sim.engine import Process
 from repro.util.intervals import batch_widths, pack_intervals
 
@@ -101,13 +103,17 @@ class MacroProgram:
     """
 
     __slots__ = ("records", "kinds", "devices", "bounds", "map_bounds",
-                 "map_index", "total_bytes", "info")
+                 "map_index", "total_bytes", "info", "timeline", "dep_plan")
 
     def __init__(self, records: Sequence[MacroRecord]) -> None:
         self.records: Tuple[MacroRecord, ...] = tuple(records)
         # memoized directive-info dict (runtime.directive_info_for), filled
         # in by the directive layer on first replay
         self.info = None
+        # lazy per-launch-shape fused timelines (repro.sim.timeline) and the
+        # flattened depend clauses (False = program has none)
+        self.timeline = None
+        self.dep_plan = None
         n = len(self.records)
         self.kinds = np.fromiter((r.kind for r in self.records),
                                  dtype=np.int8, count=n)
@@ -352,6 +358,21 @@ def _fast_kernel_body(rt, rec: MacroRecord, kernel, cfg, fuse: bool,
         yield from exec_ops._release_with_sync(rt, rec.device_id, to_release)
 
 
+def _resolve_deps_compiled(prog: MacroProgram, depend):
+    """Batched resolve of the program's depend clauses, or None if it has
+    none.  Resolution is read-only against the pre-directive frontier (the
+    two-phase protocol registers nothing until every record resolved), so
+    hoisting all records' resolves before the creation loop is
+    order-equivalent to the interleaved sequential calls."""
+    cd = prog.dep_plan
+    if cd is None:
+        cd = compile_deps(prog.records)
+        prog.dep_plan = cd if cd is not None else False
+    if not cd:
+        return None
+    return depend.resolve_compiled(cd)
+
+
 def _batch_bookkeeping(ctx, rt, procs) -> None:
     """The per-task registrations of ``TaskCtx.submit``, batched."""
     if not procs:
@@ -377,10 +398,15 @@ def replay_exec(ctx, prog: MacroProgram, kernel, cfg, fuse: bool,
     sim = rt.sim
     envs = rt.dataenvs
     depend = rt.depend
+    # Walkers skip the per-op begin/end and causal joins a recorder or
+    # join hook would observe, so fusion needs quiet on top of engaged().
+    fused = (rt.fused_timeline and sim.recorder is None
+             and sim.cp_hook is None)
+    tl = None
+    dep_waits = _resolve_deps_compiled(prog, depend)
     procs: List[Process] = []
     starts = []
-    to_register = []
-    for rec in prog.records:
+    for i, rec in enumerate(prog.records):
         env = envs[rec.device_id]
         steady = rec.steady
         if steady is None or steady[0] != env.epoch:
@@ -389,27 +415,35 @@ def replay_exec(ctx, prog: MacroProgram, kernel, cfg, fuse: bool,
         found = steady[3]
         waits = _gather_waits(found)
         if rec.deps:
-            _merge_dep_waits(waits, depend.resolve(rec.deps))
+            _merge_dep_waits(waits, dep_waits[i])
         if steady[1] is not None:
-            gen = _fast_kernel_body(rt, rec, kernel, cfg, fuse, waits,
-                                    steady)
+            if fused:
+                if tl is None:
+                    tl = _timeline.kernel_timeline(rt, prog, kernel, cfg)
+                proc = _timeline.TimelineProc.spawn(
+                    sim, rt, rec, kernel, cfg, fuse, waits, steady, tl, i,
+                    (directive_id, rec.chunk_index, None))
+            else:
+                gen = _fast_kernel_body(rt, rec, kernel, cfg, fuse, waits,
+                                        steady)
+                proc = Process.spawn_task(sim, gen, rec.name,
+                                          (directive_id, rec.chunk_index,
+                                           None))
         else:
             gen = _plain_body(rt, waits, exec_ops.kernel_op(
                 rt, rec.device_id, kernel, rec.lo, rec.hi, rec.maps,
                 launch=cfg, fuse_transfers=fuse, label=rec.label))
-        proc = Process.spawn_task(sim, gen, rec.name,
-                                  (directive_id, rec.chunk_index, None))
+            proc = Process.spawn_task(sim, gen, rec.name,
+                                      (directive_id, rec.chunk_index, None))
         for entry in found:
             entry.inflight.append(proc)
-        if rec.deps:
-            to_register.append((rec.deps, proc))
         starts.append(proc._start)
         procs.append(proc)
     # Two-phase depend protocol: sibling chunks all resolved against the
     # pre-directive frontier above; only now do they register their own
     # records (submit_spread's exact ordering).
-    for deps, proc in to_register:
-        depend.register(deps, proc)
+    if dep_waits is not None:
+        depend.register_compiled(prog.dep_plan, procs)
     sim.schedule_batch(starts)
     _batch_bookkeeping(ctx, rt, procs)
     return procs
@@ -422,10 +456,10 @@ def replay_data(ctx, prog: MacroProgram, fuse: bool,
     sim = rt.sim
     envs = rt.dataenvs
     depend = rt.depend
+    dep_waits = _resolve_deps_compiled(prog, depend)
     procs: List[Process] = []
     starts = []
-    to_register = []
-    for rec in prog.records:
+    for i, rec in enumerate(prog.records):
         env = envs[rec.device_id]
         kind = rec.kind
         if kind == OP_ENTER:
@@ -446,18 +480,16 @@ def replay_data(ctx, prog: MacroProgram, fuse: bool,
                 found.append(entry)
         waits = _gather_waits(found)
         if rec.deps:
-            _merge_dep_waits(waits, depend.resolve(rec.deps))
+            _merge_dep_waits(waits, dep_waits[i])
         gen = _plain_body(rt, waits, opgen)
         proc = Process.spawn_task(sim, gen, rec.name,
                                   (directive_id, rec.chunk_index, None))
         for entry in found:
             entry.inflight.append(proc)
-        if rec.deps:
-            to_register.append((rec.deps, proc))
         starts.append(proc._start)
         procs.append(proc)
-    for deps, proc in to_register:
-        depend.register(deps, proc)
+    if dep_waits is not None:
+        depend.register_compiled(prog.dep_plan, procs)
     sim.schedule_batch(starts)
     _batch_bookkeeping(ctx, rt, procs)
     return procs

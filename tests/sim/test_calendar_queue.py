@@ -1,0 +1,255 @@
+"""Calendar-queue property tests against a heapq reference.
+
+The :class:`~repro.sim.engine.Simulator` replaced its per-entry binary
+heap with a bucketed calendar queue (one heap entry per *distinct*
+timestamp, a FIFO deque per bucket).  The observable contract is
+unchanged: entries fire in nondecreasing time order, and entries at the
+same timestamp fire in schedule order (FIFO), including entries pushed
+*into the bucket currently being drained*.  These tests pit the engine
+against a minimal ``(time, seq)`` heapq reference over randomized
+cascading workloads and assert the dispatch orders are identical.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.engine import Interrupt, SimulationError, Simulator
+
+
+class HeapReference:
+    """The old engine, distilled: a (time, seq, fn) heap, FIFO on ties."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+
+    def schedule_call(self, delay, fn):
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def run(self):
+        while self._heap:
+            t, _, fn = heapq.heappop(self._heap)
+            self.now = t
+            fn()
+
+
+def _cascade_workload(engine, order, seed, width=4, depth=3, fanout=3):
+    """Seed a deterministic cascade of callbacks into ``engine``.
+
+    Each callback logs ``(now, tag)`` and may schedule children at rng
+    delays — frequently 0.0 so ties (and same-bucket appends while the
+    bucket drains) are common.  The rng draws happen *inside* callbacks,
+    so any ordering divergence between engines derails the workload
+    itself and shows up as a mismatch.
+    """
+    rng = random.Random(seed)
+
+    def make(tag, level):
+        def fire():
+            order.append((engine.now, tag))
+            if level >= depth:
+                return
+            for i in range(rng.randrange(fanout + 1)):
+                # 0.0 with probability ~1/2: pile onto the live bucket
+                delay = rng.choice([0.0, 0.0, 0.5, 1.0, rng.random()])
+                engine.schedule_call(delay, make(f"{tag}.{i}", level + 1))
+        return fire
+
+    for i in range(width):
+        engine.schedule_call(rng.choice([0.0, 1.0, 2.0]), make(str(i), 0))
+
+
+class TestAgainstHeapReference:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_cascade_dispatch_order_identical(self, seed):
+        ref_order, cal_order = [], []
+        ref = HeapReference()
+        _cascade_workload(ref, ref_order, seed)
+        ref.run()
+
+        sim = Simulator()
+        _cascade_workload(sim, cal_order, seed)
+        sim.run()
+
+        assert cal_order == ref_order
+        assert sim.now == ref.now
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dense_tie_times(self, seed):
+        """Many entries over very few distinct timestamps."""
+        rng = random.Random(seed)
+        times = [rng.choice([0.0, 1.0, 1.0, 1.0, 2.0]) for _ in range(200)]
+
+        ref_order, cal_order = [], []
+        ref = HeapReference()
+        for i, t in enumerate(times):
+            ref.schedule_call(t, lambda i=i: ref_order.append(i))
+        ref.run()
+
+        sim = Simulator()
+        for i, t in enumerate(times):
+            sim.schedule_call(t, lambda i=i: cal_order.append(i))
+        sim.run()
+
+        assert cal_order == ref_order
+
+
+class TestFifoTieBreak:
+    def test_same_time_fifo(self, sim):
+        order = []
+        for i in range(8):
+            sim.schedule_call(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(8))
+
+    def test_push_into_live_bucket_runs_after_queued(self, sim):
+        """A 0-delay push from inside a bucket joins the *end* of it."""
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule_call(0.0, lambda: order.append("child"))
+
+        sim.schedule_call(1.0, first)
+        sim.schedule_call(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "child"]
+
+    def test_mixed_timeouts_and_calls_interleave_fifo(self, sim):
+        """An entry joins its bucket when *scheduled*: the direct calls
+        enqueue at creation, the processes only enqueue their timeouts
+        once they start (t=0), so the calls win the 1.0 bucket."""
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        sim.process(proc("p0"))
+        sim.schedule_call(1.0, lambda: order.append("c0"))
+        sim.process(proc("p1"))
+        sim.schedule_call(1.0, lambda: order.append("c1"))
+        sim.run()
+        assert order == ["c0", "c1", "p0", "p1"]
+
+
+class TestCancellationAndStaleEntries:
+    def test_interrupt_leaves_stale_bucket_entry_inert(self, sim):
+        """Interrupting a process waiting on a timeout must not let the
+        stale bucket entry resume it a second time."""
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(5.0)
+                log.append("slept")
+            except Interrupt:
+                log.append("interrupted")
+                yield sim.timeout(1.0)
+                log.append("resumed")
+
+        p = sim.process(sleeper())
+
+        def poke():
+            p.interrupt("wake")
+
+        sim.schedule_call(2.0, poke)
+        sim.run()
+        assert log == ["interrupted", "resumed"]
+        assert sim.now == 5.0  # the stale timeout still drains the queue
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_randomized_interrupts_match_run_twice(self, seed):
+        """Same seed twice → bit-identical log (determinism under
+        randomized schedule/interrupt workloads)."""
+
+        def run_once():
+            rng = random.Random(seed)
+            sim = Simulator()
+            log = []
+            procs = []
+
+            def sleeper(tag):
+                remaining = 3
+                while remaining:
+                    try:
+                        yield sim.timeout(rng.choice([0.5, 1.0, 2.0]))
+                        log.append((sim.now, tag, "tick"))
+                        remaining -= 1
+                    except Interrupt as e:
+                        log.append((sim.now, tag, "intr", str(e.cause)))
+
+            for i in range(5):
+                procs.append(sim.process(sleeper(f"s{i}")))
+
+            def interferer():
+                for k in range(6):
+                    yield sim.timeout(rng.random() * 2.0)
+                    victim = procs[rng.randrange(len(procs))]
+                    if victim.is_alive:
+                        victim.interrupt(k)
+
+            sim.process(interferer())
+            sim.run()
+            return log, sim.now
+
+        assert run_once() == run_once()
+
+
+class TestRunModes:
+    def test_run_until_deadline_between_buckets(self, sim):
+        hits = []
+        sim.schedule_call(1.0, lambda: hits.append(1.0))
+        sim.schedule_call(3.0, lambda: hits.append(3.0))
+        sim.run(until=2.0)
+        assert hits == [1.0]
+        assert sim.now == 2.0
+        sim.run()
+        assert hits == [1.0, 3.0]
+
+    def test_run_until_event_stops_after_sentinel_dispatch(self, sim):
+        """``run(until=ev)`` returns once the sentinel's own dispatch
+        lands; same-bucket entries scheduled before it still run (FIFO),
+        later buckets do not."""
+        hits = []
+        ev = sim.event()
+        sim.schedule_call(1.0, lambda: hits.append("a"))
+        sim.schedule_call(1.0, lambda: ev.trigger("stop"))
+        sim.schedule_call(1.0, lambda: hits.append("b"))
+        sim.schedule_call(2.0, lambda: hits.append("late"))
+        assert sim.run(until=ev) == "stop"
+        assert hits == ["a", "b"]
+
+    def test_step_matches_run_order(self):
+        workload = [(2.0, "x"), (1.0, "a"), (1.0, "b"), (2.0, "y")]
+
+        def collect(stepwise):
+            sim = Simulator()
+            order = []
+            for t, tag in workload:
+                sim.schedule_call(t, lambda tag=tag: order.append(tag))
+            if stepwise:
+                while sim.peek() != float("inf"):
+                    sim.step()
+            else:
+                sim.run()
+            return order
+
+        assert collect(True) == collect(False) == ["a", "b", "x", "y"]
+
+    def test_time_never_goes_backwards(self, sim):
+        stamps = []
+        rng = random.Random(3)
+        for _ in range(100):
+            sim.schedule_call(rng.random() * 10,
+                              lambda: stamps.append(sim.now))
+        sim.run()
+        assert stamps == sorted(stamps)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-0.1)
