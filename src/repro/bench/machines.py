@@ -22,10 +22,17 @@ included.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import re
+from typing import List, Tuple, Union
 
 from repro.sim.costmodel import CostModel
-from repro.sim.topology import NodeTopology, cte_power_node
+from repro.sim.topology import (
+    ClusterTopology,
+    NetworkLinkSpec,
+    NodeTopology,
+    cte_power_node,
+    uniform_cluster,
+)
 from repro.somier.config import SomierConfig
 
 #: the paper's grid resolution and step count
@@ -40,6 +47,12 @@ LINK_BANDWIDTH = 20.6e9
 STAGING_BANDWIDTH = 32.8e9
 ITERS_PER_SECOND = 1.0e9
 PER_CALL_LATENCY = 12e-6
+
+#: inter-node fabric for the cluster machine: EDR-InfiniBand-class figures
+#: (100 Gb/s effective, ~1.5 us per message) — not calibrated against the
+#: paper (which is single-node), just a plausible fabric for the what-if.
+NETWORK_BANDWIDTH = 12.5e9
+NETWORK_LATENCY = 1.5e-6
 
 #: Table I of the paper, in seconds ("(B)" = baseline).
 PAPER_TABLE1 = {
@@ -71,6 +84,51 @@ def paper_machine(num_devices: int = 4,
                           per_call_latency=PER_CALL_LATENCY,
                           iters_per_second=ITERS_PER_SECOND)
     return topo, CostModel(scale=scale)
+
+
+def paper_cluster_machine(num_nodes: int, devices_per_node: int,
+                          n_functional: int = 96
+                          ) -> Tuple[ClusterTopology, CostModel]:
+    """``num_nodes`` CTE-POWER-calibrated nodes behind an InfiniBand-class
+    fabric — the cluster-scale what-if built from the paper's machine.
+
+    Each node reuses the Table-I calibration of :func:`paper_machine`;
+    the inter-node network (:data:`NETWORK_BANDWIDTH`,
+    :data:`NETWORK_LATENCY`) is an assumption, not a fit.
+    """
+    scale = (PAPER_N / n_functional) ** 3
+    network = NetworkLinkSpec(bandwidth_bytes_per_s=NETWORK_BANDWIDTH,
+                              per_message_latency=NETWORK_LATENCY)
+    topo = uniform_cluster(num_nodes, devices_per_node,
+                           network=network,
+                           link_bandwidth=LINK_BANDWIDTH,
+                           staging_bandwidth=STAGING_BANDWIDTH,
+                           per_call_latency=PER_CALL_LATENCY,
+                           iters_per_second=ITERS_PER_SECOND)
+    return topo, CostModel(scale=scale)
+
+
+def machine_for_spec(spec: str, n_functional: int = 96
+                     ) -> Tuple[Union[NodeTopology, ClusterTopology],
+                                CostModel]:
+    """Calibrated (topology, cost model) for a ``--machine`` spec.
+
+    Same grammar as :func:`repro.sim.topology.parse_machine_spec`
+    (``cluster:NxM`` / ``cte-power[:N]``) but built from the Table-I
+    calibration instead of the generic test defaults.
+    """
+    text = spec.strip()
+    m = re.fullmatch(r"cluster:(\d+)x(\d+)", text, re.IGNORECASE)
+    if m:
+        return paper_cluster_machine(int(m.group(1)), int(m.group(2)),
+                                     n_functional=n_functional)
+    m = re.fullmatch(r"cte-power(?::(\d+))?", text, re.IGNORECASE)
+    if m:
+        return paper_machine(int(m.group(1)) if m.group(1) else 4,
+                             n_functional=n_functional)
+    raise ValueError(
+        f"unknown machine spec {spec!r} "
+        "(expected 'cluster:NxM' or 'cte-power[:N]')")
 
 
 def paper_somier_config(n_functional: int = 96,

@@ -45,9 +45,11 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.bench import harness, machines
+from repro.sim.topology import MACHINE_ENV
 from repro.somier import SomierState, run_reference, run_somier
 from repro.spread.schedule import StaticSchedule
-from repro.util.errors import OmpError
+from repro.util import envknobs
+from repro.util.errors import OmpError, OmpRuntimeError
 from repro.util.format import format_hms, format_table
 
 
@@ -57,6 +59,34 @@ def _devices_arg(text: str) -> List[int]:
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"devices must be a comma-separated id list, got {text!r}")
+
+
+def _resolve_machine(args):
+    """(topology, cost model, devices) for a run.
+
+    ``--machine`` wins, then an explicit ``--gpus``, then
+    ``$REPRO_MACHINE``, then the 4-GPU paper node.  With a machine spec
+    the devices clause defaults to every device in id order
+    (``--devices`` still overrides).
+    """
+    spec = getattr(args, "machine", None)
+    if spec is None and args.gpus is None:
+        spec = envknobs.env_raw(MACHINE_ENV)
+    if spec is not None:
+        try:
+            topo, cm = machines.machine_for_spec(
+                spec, n_functional=args.n_functional)
+        except ValueError as err:
+            raise OmpRuntimeError(str(err)) from err
+        devices = args.devices if args.devices else list(
+            range(topo.num_devices))
+    else:
+        gpus = args.gpus if args.gpus is not None else 4
+        topo, cm = machines.paper_machine(gpus,
+                                          n_functional=args.n_functional)
+        devices = (args.devices if args.devices
+                   else machines.paper_devices(gpus))
+    return topo, cm, devices
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,7 +100,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--impl", default="one_buffer",
                    choices=["target", "one_buffer", "two_buffers",
                             "double_buffering"])
-    p.add_argument("--gpus", type=int, default=4, choices=[1, 2, 3, 4])
+    p.add_argument("--gpus", type=int, default=None, choices=[1, 2, 3, 4],
+                   help="paper-node GPU count (default 4); giving it "
+                        "explicitly overrides $REPRO_MACHINE")
+    p.add_argument("--machine", metavar="SPEC", default=None,
+                   help="simulated machine: 'cte-power[:N]' or "
+                        "'cluster:NxM' (N nodes x M GPUs; overrides "
+                        "--gpus; default: $REPRO_MACHINE or the "
+                        "CTE-POWER node) — see docs/cluster.md")
     p.add_argument("--devices", type=_devices_arg, default=None,
                    help="explicit device order, e.g. 1,0,3,2")
     p.add_argument("--n-functional", type=int, default=48,
@@ -131,7 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--impl", default="one_buffer",
                    choices=["target", "one_buffer", "two_buffers",
                             "double_buffering"])
-    p.add_argument("--gpus", type=int, default=4, choices=[1, 2, 3, 4])
+    p.add_argument("--gpus", type=int, default=None, choices=[1, 2, 3, 4],
+                   help="paper-node GPU count (default 4); giving it "
+                        "explicitly overrides $REPRO_MACHINE")
+    p.add_argument("--machine", metavar="SPEC", default=None,
+                   help="simulated machine: 'cte-power[:N]' or "
+                        "'cluster:NxM' (N nodes x M GPUs; overrides "
+                        "--gpus; default: $REPRO_MACHINE or the "
+                        "CTE-POWER node) — see docs/cluster.md")
     p.add_argument("--devices", type=_devices_arg, default=None)
     p.add_argument("--n-functional", type=int, default=48)
     p.add_argument("--steps", type=int, default=8)
@@ -168,7 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--impl", default="one_buffer",
                    choices=["target", "one_buffer", "two_buffers",
                             "double_buffering"])
-    p.add_argument("--gpus", type=int, default=4, choices=[1, 2, 3, 4])
+    p.add_argument("--gpus", type=int, default=None, choices=[1, 2, 3, 4],
+                   help="paper-node GPU count (default 4); giving it "
+                        "explicitly overrides $REPRO_MACHINE")
+    p.add_argument("--machine", metavar="SPEC", default=None,
+                   help="simulated machine: 'cte-power[:N]' or "
+                        "'cluster:NxM' (N nodes x M GPUs; overrides "
+                        "--gpus; default: $REPRO_MACHINE or the "
+                        "CTE-POWER node) — see docs/cluster.md")
     p.add_argument("--devices", type=_devices_arg, default=None)
     p.add_argument("--n-functional", type=int, default=48)
     p.add_argument("--steps", type=int, default=8)
@@ -234,7 +285,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("machine",
                        help="describe the calibrated simulated node")
-    p.add_argument("--gpus", type=int, default=4, choices=[1, 2, 3, 4])
+    p.add_argument("--gpus", type=int, default=None, choices=[1, 2, 3, 4],
+                   help="paper-node GPU count (default 4); giving it "
+                        "explicitly overrides $REPRO_MACHINE")
+    p.add_argument("--machine", metavar="SPEC", default=None,
+                   help="simulated machine: 'cte-power[:N]' or "
+                        "'cluster:NxM' (N nodes x M GPUs; overrides "
+                        "--gpus; default: $REPRO_MACHINE or the "
+                        "CTE-POWER node) — see docs/cluster.md")
 
     return parser
 
@@ -242,11 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_somier(args) -> int:
     from repro.obs import Profiler
 
-    topo, cm = machines.paper_machine(args.gpus,
-                                      n_functional=args.n_functional)
+    topo, cm, devices = _resolve_machine(args)
     cfg = machines.paper_somier_config(n_functional=args.n_functional,
                                        steps=args.steps)
-    devices = args.devices if args.devices else machines.paper_devices(args.gpus)
     profiling = args.profile or args.trace_json or args.metrics_json
     prof = Profiler() if profiling else None
     res = run_somier(args.impl, cfg, devices=devices, topology=topo,
@@ -315,11 +371,9 @@ def cmd_somier(args) -> int:
 def cmd_stats(args) -> int:
     from repro.obs import Profiler
 
-    topo, cm = machines.paper_machine(args.gpus,
-                                      n_functional=args.n_functional)
+    topo, cm, devices = _resolve_machine(args)
     cfg = machines.paper_somier_config(n_functional=args.n_functional,
                                        steps=args.steps)
-    devices = args.devices if args.devices else machines.paper_devices(args.gpus)
     prof = Profiler()
     res = run_somier(args.impl, cfg, devices=devices, topology=topo,
                      cost_model=cm, data_depend=args.data_depend,
@@ -352,11 +406,9 @@ def cmd_stats(args) -> int:
 def cmd_analyze(args) -> int:
     from repro.obs import Profiler
 
-    topo, cm = machines.paper_machine(args.gpus,
-                                      n_functional=args.n_functional)
+    topo, cm, devices = _resolve_machine(args)
     cfg = machines.paper_somier_config(n_functional=args.n_functional,
                                        steps=args.steps)
-    devices = args.devices if args.devices else machines.paper_devices(args.gpus)
     prof = Profiler() if args.trace_json else None
     res = run_somier(args.impl, cfg, devices=devices, topology=topo,
                      cost_model=cm, data_depend=args.data_depend,
@@ -508,10 +560,34 @@ def cmd_lint(args) -> int:
 def cmd_machine(args) -> int:
     from repro.util.format import format_bytes
 
-    topo, cm = machines.paper_machine(args.gpus)
-    print(f"CTE-POWER-like node, {topo.num_devices} device(s), "
-          f"{len(topo.sockets)} socket(s)")
-    for s, devs in enumerate(topo.sockets):
+    spec = args.machine
+    if spec is None and args.gpus is None:
+        spec = envknobs.env_raw(MACHINE_ENV)
+    if spec is not None:
+        try:
+            topo, cm = machines.machine_for_spec(spec)
+        except ValueError as err:
+            raise OmpRuntimeError(str(err)) from err
+    else:
+        topo, cm = machines.paper_machine(
+            args.gpus if args.gpus is not None else 4)
+    if getattr(topo, "num_nodes", 1) > 1:
+        net = topo.network_spec
+        print(f"cluster of {topo.num_nodes} node(s), "
+              f"{topo.num_devices} device(s) total")
+        print(f"  network (per non-root node): "
+              f"{net.bandwidth_bytes_per_s / 1e9:.1f} GB/s, "
+              f"per-message latency {net.per_message_latency * 1e6:.1f} us")
+        for n in range(topo.num_nodes):
+            print(f"  node {n}: devices {topo.node_devices(n)}"
+                  f"{' (root: hosts the arrays)' if n == 0 else ''}")
+        sockets = [(s, devs) for s, devs in enumerate(topo.sockets)
+                   if topo.node_of(devs[0]) == 0]
+    else:
+        print(f"CTE-POWER-like node, {topo.num_devices} device(s), "
+              f"{len(topo.sockets)} socket(s)")
+        sockets = list(enumerate(topo.sockets))
+    for s, devs in sockets:
         link = topo.link_specs[s]
         print(f"  socket {s}: devices {devs}, link "
               f"{link.bandwidth_bytes_per_s / 1e9:.1f} GB/s, "

@@ -40,9 +40,10 @@ from repro.sim.costmodel import CostModel
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultInjector
 from repro.sim.resources import Resource
-from repro.sim.topology import DeviceSpec, HostSpec, LinkSpec
+from repro.sim.topology import (DeviceSpec, HostSpec, LinkSpec,
+                                NetworkLinkSpec)
 from repro.util.errors import (DeviceLostError, KernelFaultError,
-                               TransferFaultError)
+                               NodeLostError, TransferFaultError)
 
 
 def _prov_meta(proc) -> dict:
@@ -96,7 +97,10 @@ class Device:
                  link: Resource, link_spec: LinkSpec,
                  staging: Resource, host_spec: HostSpec,
                  cost_model: CostModel, trace: tr.Trace,
-                 tools: Optional[ToolRegistry] = None):
+                 tools: Optional[ToolRegistry] = None,
+                 network: Optional[Resource] = None,
+                 network_spec: Optional[NetworkLinkSpec] = None,
+                 node_id: int = 0):
         self.sim = sim
         #: OMPT-style dispatch target; an empty registry is falsy, so every
         #: dispatch site below is a no-op truthiness check when untooled
@@ -107,6 +111,13 @@ class Device:
         self.link_spec = link_spec
         self.staging = staging
         self.host_spec = host_spec
+        #: inter-node network link (FIFO shared by this node's devices), or
+        #: None on the root node / single-node topologies.  When set, every
+        #: transfer's bytes additionally traverse it (host-as-carrier: the
+        #: host arrays live on the root node).
+        self.network = network
+        self.network_spec = network_spec
+        self.node_id = node_id
         self.cost_model = cost_model
         self.trace = trace
         self.allocator = DeviceAllocator(spec.memory_bytes, device_id)
@@ -122,6 +133,7 @@ class Device:
         # counters used by benchmark reports
         self.h2d_bytes = 0.0
         self.d2h_bytes = 0.0
+        self.net_bytes = 0.0
         self.kernels_launched = 0
         self.memcpy_calls = 0
 
@@ -193,7 +205,7 @@ class Device:
         inj = self.fault_injector
         if inj is None:
             return
-        rule = inj.draw(op, self.device_id)
+        rule = inj.draw(op, self.device_id, node=self.node_id)
         if rule is None:
             return
         tools = self.tools
@@ -201,6 +213,13 @@ class Device:
             tools.dispatch(FAULT_EVENT, kind="inject", fault=rule.op_class,
                            device=self.device_id, op=op, name=name,
                            time=self.sim.now)
+        if rule.op_class == "node":
+            self.lost = True
+            raise NodeLostError(
+                f"node {self.node_id} lost "
+                f"(injected at {op} {name!r} on device {self.device_id})",
+                device=self.device_id, op=op, name=name,
+                node=self.node_id)
         if rule.op_class == "device":
             self.lost = True
             raise DeviceLostError(
@@ -220,6 +239,34 @@ class Device:
 
     def _staging_time(self, virtual_bytes: float) -> float:
         return virtual_bytes / self.host_spec.staging_bandwidth_bytes_per_s
+
+    # -- inter-node network hop ----------------------------------------------------
+
+    def _network_hop(self, name: str, op, nbytes: float) -> Generator:
+        """Carry *nbytes* across this node's inter-node link (FIFO).
+
+        Returns ``(net_start, net_end)``.  Messages serialize on the
+        node's single network resource — per-message latency and wire
+        time are both paid while the link is held, so concurrent halo
+        exchanges from one node's devices queue behind each other (the
+        cluster-scale analogue of the shared socket wire).  The root-side
+        DRAM landing is folded into the message cost; only the node-local
+        staging buffer is modeled as a separate resource.
+        """
+        cost = self.cost_model.network_transfer(self.network_spec, nbytes)
+        req = self.network.request(tag=name)
+        req.owner = op
+        yield req
+        net_start = self.sim.now
+        try:
+            total = cost.latency + cost.wire_time
+            if total > 0:
+                yield self.sim.timeout(total)
+        finally:
+            net_end = self.sim.now
+            self.network.release(req)
+        self.net_bytes += cost.bytes
+        return net_start, net_end
 
     # -- real work (decide here, execute via the backend) --------------------------
     #
@@ -334,6 +381,14 @@ class Device:
                 name=f"{name}:stage")
         finally:
             self.staging.release(staging_req)
+        # Inter-node hop: staged bytes travel root host -> this node's
+        # staging buffer before the local DMA can stream them.
+        net_meta = {}
+        if self.network is not None:
+            net_start, net_end = yield from self._network_hop(name, op,
+                                                              nbytes)
+            net_meta = {"net_start": net_start, "net_end": net_end,
+                        "node": self.node_id}
         # Wire: device queue + socket link, in order.
         ready_ts = self.sim.now
         yield queue_req
@@ -376,7 +431,7 @@ class Device:
                                 issue=issue_ts, ready=ready_ts,
                                 wire_start=wire_start, wire_end=wire_end,
                                 fused=len(copies) if fused else 0,
-                                **_prov_meta(proc))
+                                **net_meta, **_prov_meta(proc))
         if rec is not None:
             rec.op_end(op, proc, idx)
         tools = self.tools
@@ -443,6 +498,14 @@ class Device:
                 name=f"{name}:stage")
         finally:
             self.queue.release(queue_req)
+        # Inter-node hop: the drained bytes travel this node's staging
+        # buffer -> root host before the host-side commit.
+        net_meta = {}
+        if self.network is not None:
+            net_start, net_end = yield from self._network_hop(name, op,
+                                                              nbytes)
+            net_meta = {"net_start": net_start, "net_end": net_end,
+                        "node": self.node_id}
         # Stage the trailing piece back into host memory.
         staging_req = self.staging.request(tag=name)
         staging_req.owner = op
@@ -466,7 +529,7 @@ class Device:
                                 wire_start=wire_start, wire_end=wire_end,
                                 done=self.sim.now,
                                 fused=len(copies) if fused else 0,
-                                **_prov_meta(proc))
+                                **net_meta, **_prov_meta(proc))
         if rec is not None:
             rec.op_end(op, proc, idx)
         tools = self.tools

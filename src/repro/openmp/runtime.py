@@ -32,9 +32,10 @@ from repro.sim.engine import Process, Simulator
 from repro.sim.executor import HostExecutor, resolve_executor_min_bytes
 from repro.sim.faults import FaultInjector, FaultRule, RetryPolicy
 from repro.sim.resources import Resource
-from repro.sim.topology import NodeTopology, cte_power_node
+from repro.sim.topology import NodeTopology, cte_power_node, machine_from_env
 from repro.sim.trace import Trace
 from repro.spread.plan_cache import SpreadPlanCache
+from repro.util import envknobs
 from repro.util.errors import OmpDeviceError, OmpRuntimeError
 
 
@@ -46,14 +47,11 @@ def resolve_workers(workers: Optional[int]) -> int:
     serial path.  Anything that is not a positive integer is rejected.
     """
     if workers is None:
-        raw = os.environ.get("REPRO_WORKERS", "").strip()
-        if not raw:
-            return 1
         try:
-            workers = int(raw)
-        except ValueError:
-            raise OmpRuntimeError(
-                f"REPRO_WORKERS must be a positive integer, got {raw!r}")
+            workers = envknobs.env_int("REPRO_WORKERS", default=1,
+                                       minimum=1)
+        except ValueError as err:
+            raise OmpRuntimeError(str(err))
     if isinstance(workers, bool) or not isinstance(workers, int):
         raise OmpRuntimeError(
             f"workers must be a positive integer, got {workers!r}")
@@ -72,10 +70,10 @@ def resolve_macro_ops(macro_ops: Optional[bool]) -> bool:
     nothing observable is skipped (see :func:`repro.spread.macro.engaged`).
     """
     if macro_ops is None:
-        raw = os.environ.get("REPRO_MACRO_OPS", "").strip().lower()
-        if not raw:
-            return True
-        return raw not in ("0", "off", "false", "no")
+        try:
+            return envknobs.env_flag("REPRO_MACRO_OPS", default=True)
+        except ValueError as err:
+            raise OmpRuntimeError(str(err))
     return bool(macro_ops)
 
 
@@ -89,10 +87,10 @@ def resolve_fused_timeline(fused_timeline: Optional[bool]) -> bool:
     observes (see :mod:`repro.sim.timeline`).
     """
     if fused_timeline is None:
-        raw = os.environ.get("REPRO_FUSED_TIMELINE", "").strip().lower()
-        if not raw:
-            return True
-        return raw not in ("0", "off", "false", "no")
+        try:
+            return envknobs.env_flag("REPRO_FUSED_TIMELINE", default=True)
+        except ValueError as err:
+            raise OmpRuntimeError(str(err))
     return bool(fused_timeline)
 
 
@@ -103,8 +101,10 @@ def resolve_analyze(analyze: Optional[bool]) -> bool:
     run the whole suite with causal-edge recording on), defaulting to off.
     """
     if analyze is None:
-        raw = os.environ.get("REPRO_ANALYZE", "").strip().lower()
-        return raw in ("1", "on", "true", "yes")
+        try:
+            return envknobs.env_flag("REPRO_ANALYZE", default=False)
+        except ValueError as err:
+            raise OmpRuntimeError(str(err))
     return bool(analyze)
 
 
@@ -125,22 +125,17 @@ def resolve_faults(faults: FaultsSpec,
     injector passes through; a rule sequence is wrapped.
     """
     if fault_seed is None:
-        raw_seed = os.environ.get("REPRO_FAULT_SEED", "").strip()
-        if raw_seed:
-            try:
-                fault_seed = int(raw_seed)
-            except ValueError:
-                raise OmpRuntimeError(
-                    f"REPRO_FAULT_SEED must be an integer, got {raw_seed!r}")
-        else:
-            fault_seed = 0
+        try:
+            fault_seed = envknobs.env_int("REPRO_FAULT_SEED", default=0)
+        except ValueError as err:
+            raise OmpRuntimeError(str(err))
     if not isinstance(fault_seed, int) or isinstance(fault_seed, bool):
         raise OmpRuntimeError(
             f"fault_seed must be an integer, got {fault_seed!r}")
     source = "faults"
     if faults is None:
-        faults = os.environ.get("REPRO_FAULTS", "").strip()
-        if not faults:
+        faults = envknobs.env_raw("REPRO_FAULTS")
+        if faults is None:
             return None
         source = "REPRO_FAULTS"
     if isinstance(faults, FaultInjector):
@@ -170,6 +165,11 @@ class OpenMPRuntime:
                  retry: Optional[RetryPolicy] = None,
                  sanitize=None,
                  analyze: Optional[bool] = None):
+        if topology is None:
+            try:
+                topology = machine_from_env()
+            except ValueError as err:
+                raise OmpRuntimeError(str(err))
         self.topology = topology if topology is not None else cte_power_node(4)
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.sim = Simulator()
@@ -181,16 +181,47 @@ class OpenMPRuntime:
             Resource(self.sim, capacity=1, name=spec.name)
             for spec in self.topology.link_specs
         ]
-        self.staging = Resource(self.sim, capacity=1,
-                                name=self.topology.host_spec.name)
-        self.devices: List[Device] = [
-            Device(self.sim, d, self.topology.device_specs[d],
-                   self.links[self.topology.socket_of(d)],
-                   self.topology.link_of(d),
-                   self.staging, self.topology.host_spec,
-                   self.cost_model, self.trace, tools=self.tools)
-            for d in range(self.topology.num_devices)
-        ]
+        #: number of cluster nodes (1 on a plain NodeTopology)
+        self.num_nodes = getattr(self.topology, "num_nodes", 1)
+        if self.num_nodes > 1:
+            # Per-node host staging buffers: devices of one node contend
+            # with each other, never with another node's transfers.  The
+            # root node (0) keeps the bare host_spec name so single-node
+            # trace lanes stay recognizable in cluster traces too.
+            self.stagings: List[Resource] = [
+                Resource(self.sim, capacity=1,
+                         name=(self.topology.host_spec_of(n).name if n == 0
+                               else f"node{n}:"
+                                    f"{self.topology.host_spec_of(n).name}"))
+                for n in range(self.num_nodes)
+            ]
+            #: one inter-node network link per non-root node (FIFO); the
+            #: root node holds the host arrays and needs no hop
+            self.networks: List[Optional[Resource]] = [None] + [
+                Resource(self.sim, capacity=1, name=f"node{n}:network")
+                for n in range(1, self.num_nodes)
+            ]
+        else:
+            self.stagings = [Resource(self.sim, capacity=1,
+                                      name=self.topology.host_spec.name)]
+            self.networks = [None]
+        self.staging = self.stagings[0]
+        net_spec = getattr(self.topology, "network_spec", None)
+        node_of = (self.topology.node_of if self.num_nodes > 1
+                   else (lambda d: 0))
+        self.devices: List[Device] = []
+        for d in range(self.topology.num_devices):
+            node = node_of(d)
+            self.devices.append(Device(
+                self.sim, d, self.topology.device_specs[d],
+                self.links[self.topology.socket_of(d)],
+                self.topology.link_of(d),
+                self.stagings[node], self.topology.host_spec_of(node)
+                if self.num_nodes > 1 else self.topology.host_spec,
+                self.cost_model, self.trace, tools=self.tools,
+                network=self.networks[node],
+                network_spec=net_spec if node > 0 else None,
+                node_id=node))
         self.dataenvs: List[DeviceDataEnv] = [
             DeviceDataEnv(dev) for dev in self.devices
         ]
@@ -236,6 +267,7 @@ class OpenMPRuntime:
         #: with the backoff charged to virtual time
         self.retry_policy = retry if retry is not None else RetryPolicy()
         self._lost_devices: set = set()
+        self._lost_nodes: set = set()
         # resilience counters mirrored into SomierResult.stats
         self.fault_retries = 0
         self.fault_failovers = 0
@@ -333,6 +365,50 @@ class OpenMPRuntime:
         if tools:
             tools.dispatch(FAULT_EVENT, kind="device_lost",
                            device=device_id, op=op, name=name,
+                           purged_entries=purged, dropped_plans=dropped,
+                           survivors=self.num_devices - len(
+                               self._lost_devices),
+                           time=self.sim.now)
+
+    @property
+    def lost_nodes(self) -> "frozenset[int]":
+        return frozenset(self._lost_nodes)
+
+    def is_node_lost(self, node_id: int) -> bool:
+        return node_id in self._lost_nodes
+
+    def mark_node_lost(self, node_id: int, op: str = "",
+                       name: str = "") -> None:
+        """Take a whole cluster node out of service (idempotent).
+
+        Every device the node hosts is flagged lost and its present table
+        purged; every cached spread plan routing chunks to *any* of them
+        is invalidated in one cache pass
+        (:meth:`~repro.spread.plan_cache.SpreadPlanCache.invalidate_node`).
+        Spread-level failover then re-routes the node's whole chunk share
+        onto the surviving nodes' devices, chunk by chunk, with the usual
+        routing formula.
+        """
+        if not 0 <= node_id < self.num_nodes:
+            raise OmpDeviceError(
+                f"node id {node_id} out of range (cluster has "
+                f"{self.num_nodes} nodes)")
+        if node_id in self._lost_nodes:
+            return
+        self._lost_nodes.add(node_id)
+        node_devs = tuple(self.topology.node_devices(node_id))
+        purged = 0
+        for d in node_devs:
+            if d in self._lost_devices:
+                continue
+            self._lost_devices.add(d)
+            self.devices[d].lost = True
+            purged += self.dataenvs[d].purge()
+        dropped = self.plan_cache.invalidate_node(node_devs)
+        tools = self.tools
+        if tools:
+            tools.dispatch(FAULT_EVENT, kind="node_lost", node=node_id,
+                           devices=node_devs, op=op, name=name,
                            purged_entries=purged, dropped_plans=dropped,
                            survivors=self.num_devices - len(
                                self._lost_devices),

@@ -24,7 +24,7 @@ from typing import List, NamedTuple, Tuple
 
 import numpy as np
 
-from repro.sim.topology import DeviceSpec, LinkSpec
+from repro.sim.topology import DeviceSpec, LinkSpec, NetworkLinkSpec
 
 
 class TransferCost(NamedTuple):
@@ -79,6 +79,22 @@ class CostModel:
         wire = virtual / link.bandwidth_bytes_per_s
         return TransferCost(bytes=virtual,
                             latency=link.per_call_latency,
+                            wire_time=wire)
+
+    def network_transfer(self, link: NetworkLinkSpec,
+                         nbytes: float) -> TransferCost:
+        """Cost of one inter-node message of *nbytes* functional bytes.
+
+        Shares the :class:`TransferCost` shape with :meth:`transfer` so
+        the engine charges the hop the same way (latency, then wire time
+        while the node's network resource is held).
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        virtual = nbytes * self.scale
+        wire = virtual / link.bandwidth_bytes_per_s
+        return TransferCost(bytes=virtual,
+                            latency=link.per_message_latency,
                             wire_time=wire)
 
     def virtual_bytes(self, nbytes: float) -> float:

@@ -44,6 +44,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.util import envknobs
 from repro.util.intervals import Interval, batch_overlap_matrix
 
 EXECUTOR_EPOCH = "executor_epoch"  # re-exported by repro.obs.tool
@@ -77,15 +78,8 @@ def resolve_executor_min_bytes(min_bytes: Optional[int] = None) -> int:
     floor (every op crosses the pool, the pre-floor behaviour).
     """
     if min_bytes is None:
-        raw = os.environ.get("REPRO_EXECUTOR_MIN_BYTES", "").strip()
-        if raw:
-            try:
-                min_bytes = int(raw)
-            except ValueError:
-                raise ValueError(
-                    "REPRO_EXECUTOR_MIN_BYTES must be an integer, "
-                    f"got {raw!r}")
-        else:
+        min_bytes = envknobs.env_int("REPRO_EXECUTOR_MIN_BYTES")
+        if min_bytes is None:
             cores = os.cpu_count() or 1
             return INLINE_ALL_BYTES if cores <= 1 \
                 else DEFAULT_MULTICORE_MIN_BYTES

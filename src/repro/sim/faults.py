@@ -11,19 +11,23 @@ spec grammar and a seed.
 Spec grammar (``--faults`` / ``REPRO_FAULTS``)::
 
     SPEC    ::= RULE ("," RULE)*
-    RULE    ::= CLASS ["@" DEVICE] ":" TRIGGER
-    CLASS   ::= "h2d" | "d2h" | "transfer" | "kernel" | "device"
+    RULE    ::= CLASS ["@" TARGET] ":" TRIGGER
+    CLASS   ::= "h2d" | "d2h" | "transfer" | "kernel" | "device" | "node"
     TRIGGER ::= RATE | "#" COUNT
 
 ``transfer`` matches both copy directions; ``device`` marks the whole
-device lost (its resident data is gone) at the matching op.  A ``RATE``
-trigger fires with that probability at every matching op; a ``#COUNT``
-trigger fires exactly once, at the COUNT-th matching op (1-based) — the
-deterministic way to place a fault at a precise site.  Examples::
+device lost (its resident data is gone) at the matching op.  ``node``
+marks a whole cluster *node* lost — its ``@TARGET`` selects a node id
+(not a device id) and the loss takes down every device the node hosts
+(see docs/cluster.md).  A ``RATE`` trigger fires with that probability
+at every matching op; a ``#COUNT`` trigger fires exactly once, at the
+COUNT-th matching op (1-based) — the deterministic way to place a fault
+at a precise site.  Examples::
 
     transfer:0.01           # 1% of all memcpys fail (then get retried)
     kernel@2:0.05           # 5% of kernel launches on device 2 fail
     device@1:#12            # device 1 dies at its 12th operation
+    node@1:#6               # cluster node 1 dies at its 6th operation
     h2d:0.02,device@3:#40   # rules compose; first match wins
 
 Determinism: each rule owns its own :class:`random.Random` seeded from
@@ -45,7 +49,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: op classes accepted by the spec grammar
-OP_CLASSES = ("h2d", "d2h", "transfer", "kernel", "device")
+OP_CLASSES = ("h2d", "d2h", "transfer", "kernel", "device", "node")
 
 #: op kinds reported by the device layer (`transfer`/`device` match several)
 _TRANSFER_OPS = ("h2d", "d2h")
@@ -64,7 +68,11 @@ class FaultRule:
     rate: float = 0.0
     count: Optional[int] = None
 
-    def matches(self, op: str, device: int) -> bool:
+    def matches(self, op: str, device: int, node: int = 0) -> bool:
+        if self.op_class == "node":
+            # ``@TARGET`` selects the *node* — any op on any of its
+            # devices can take the whole node down.
+            return self.device is None or node == self.device
         if self.device is not None and device != self.device:
             return False
         if self.op_class == "device":
@@ -162,15 +170,16 @@ class FaultInjector:
     def from_spec(cls, spec: str, seed: int = 0) -> "FaultInjector":
         return cls(parse_fault_spec(spec), seed=seed)
 
-    def draw(self, op: str, device: int) -> Optional[FaultRule]:
-        """The first rule firing at this ``(op, device)``, or None.
+    def draw(self, op: str, device: int,
+             node: int = 0) -> Optional[FaultRule]:
+        """The first rule firing at this ``(op, device, node)``, or None.
 
         Rate rules consume one RNG draw per *match* whether or not they
         fire, so rule streams stay independent of each other and of the
         op outcome; count rules consume no randomness at all.
         """
         for i, rule in enumerate(self.rules):
-            if not rule.matches(op, device):
+            if not rule.matches(op, device, node):
                 continue
             self._matches[i] += 1
             if rule.count is not None:

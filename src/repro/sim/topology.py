@@ -12,14 +12,36 @@ model are:
   bottleneck that caps the overall speedup at ~2X with 4 GPUs;
 * host-side per-call overhead is paid for every memcpy the runtime issues
   (the paper counts 12 sequential CUDA memcpy calls per mapped chunk).
+
+Beyond the single node, :class:`ClusterTopology` composes N nodes behind
+the same flattened device-id interface, adding one inter-node network
+link per non-root node (see docs/cluster.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util import envknobs
 
 GB = 1e9
+
+#: Environment variable naming the default machine (``cluster:NxM`` or
+#: ``cte-power[:N]``); consulted wherever a topology would otherwise
+#: default to the single paper node.
+MACHINE_ENV = "REPRO_MACHINE"
+
+
+def _require_positive(owner: str, name: str, value) -> None:
+    if not value > 0:
+        raise ValueError(f"{owner}.{name} must be > 0, got {value!r}")
+
+
+def _require_non_negative(owner: str, name: str, value) -> None:
+    if not value >= 0:
+        raise ValueError(f"{owner}.{name} must be >= 0, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -55,6 +77,14 @@ class DeviceSpec:
     alloc_latency: float = 1e-4
     free_latency: float = 1e-4
 
+    def __post_init__(self) -> None:
+        for name in ("memory_bytes", "num_sms", "max_threads_per_sm",
+                     "simd_width", "iters_per_second"):
+            _require_positive("DeviceSpec", name, getattr(self, name))
+        for name in ("kernel_launch_latency", "kernel_issue_latency",
+                     "alloc_latency", "free_latency"):
+            _require_non_negative("DeviceSpec", name, getattr(self, name))
+
     @property
     def max_parallelism(self) -> int:
         return self.num_sms * self.max_threads_per_sm
@@ -67,6 +97,12 @@ class LinkSpec:
     name: str = "socket-link"
     bandwidth_bytes_per_s: float = 30e9
     per_call_latency: float = 12e-6
+
+    def __post_init__(self) -> None:
+        _require_positive("LinkSpec", "bandwidth_bytes_per_s",
+                          self.bandwidth_bytes_per_s)
+        _require_non_negative("LinkSpec", "per_call_latency",
+                              self.per_call_latency)
 
 
 @dataclass(frozen=True)
@@ -85,6 +121,32 @@ class HostSpec:
     name: str = "host-staging"
     staging_bandwidth_bytes_per_s: float = 28e9
 
+    def __post_init__(self) -> None:
+        _require_positive("HostSpec", "staging_bandwidth_bytes_per_s",
+                          self.staging_bandwidth_bytes_per_s)
+
+
+@dataclass(frozen=True)
+class NetworkLinkSpec:
+    """An inter-node network link (node <-> cluster interconnect).
+
+    The defaults approximate a 100 Gb/s fabric (EDR InfiniBand class):
+    ~12.5 GB/s of payload bandwidth and a microsecond-scale per-message
+    latency.  Each non-root node owns one such link (full duplex is not
+    modeled; the paper-style host-as-carrier halo exchange serializes on
+    it, which is exactly the contention a cluster study needs to see).
+    """
+
+    name: str = "network-link"
+    bandwidth_bytes_per_s: float = 12.5e9
+    per_message_latency: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        _require_positive("NetworkLinkSpec", "bandwidth_bytes_per_s",
+                          self.bandwidth_bytes_per_s)
+        _require_non_negative("NetworkLinkSpec", "per_message_latency",
+                              self.per_message_latency)
+
 
 @dataclass
 class NodeTopology:
@@ -101,8 +163,17 @@ class NodeTopology:
     host_name: str = "host"
 
     def __post_init__(self) -> None:
+        if not self.device_specs:
+            raise ValueError(
+                "NodeTopology.device_specs must name at least one device")
+        if not self.sockets:
+            raise ValueError(
+                "NodeTopology.sockets must name at least one socket")
         seen: Dict[int, int] = {}
         for s, devs in enumerate(self.sockets):
+            if not devs:
+                raise ValueError(
+                    f"NodeTopology.sockets[{s}] has no devices")
             for d in devs:
                 if d in seen:
                     raise ValueError(f"device {d} on two sockets")
@@ -128,6 +199,126 @@ class NodeTopology:
 
     def devices_on_socket(self, socket: int) -> Sequence[int]:
         return tuple(self.sockets[socket])
+
+    # -- single-node view of the cluster interface ---------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return 1
+
+    def node_of(self, device_id: int) -> int:
+        self.socket_of(device_id)  # validates the id
+        return 0
+
+    def node_devices(self, node: int) -> Tuple[int, ...]:
+        if node != 0:
+            raise ValueError(f"unknown node id {node}")
+        return tuple(range(self.num_devices))
+
+    def host_spec_of(self, node: int) -> HostSpec:
+        if node != 0:
+            raise ValueError(f"unknown node id {node}")
+        return self.host_spec
+
+
+@dataclass
+class ClusterTopology:
+    """N :class:`NodeTopology` nodes behind one flat device-id space.
+
+    Device ids are dense ``0..num_devices-1`` in node order: node 0 owns
+    ``0..m0-1``, node 1 owns ``m0..m0+m1-1`` and so on.  The flattened
+    ``device_specs`` / ``sockets`` / ``link_specs`` / ``socket_of`` /
+    ``link_of`` views satisfy the :class:`NodeTopology` interface, so the
+    runtime, cost model and analyzers work on a cluster unchanged.
+
+    Cluster-specific structure on top of that:
+
+    * ``node_of(d)`` / ``node_devices(n)`` map between the flat id space
+      and the two-level one;
+    * node 0 is the *root* node, where the host arrays live; transfers to
+      or from any other node additionally traverse that node's inter-node
+      network link (one :class:`NetworkLinkSpec`-shaped FIFO resource per
+      non-root node, so network contention shows up natively in the
+      calendar-queue engine and the critical-path analyzer);
+    * each node keeps its own host staging buffer (``host_spec_of(n)``).
+    """
+
+    nodes: List[NodeTopology]
+    network_spec: NetworkLinkSpec = field(default_factory=NetworkLinkSpec)
+    host_name: str = "host"
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError(
+                "ClusterTopology.nodes must name at least one node")
+        device_specs: List[DeviceSpec] = []
+        link_specs: List[LinkSpec] = []
+        sockets: List[List[int]] = []
+        node_of: Dict[int, int] = {}
+        node_devices: List[Tuple[int, ...]] = []
+        socket_of: Dict[int, int] = {}
+        base = 0
+        for n, node in enumerate(self.nodes):
+            ids = tuple(range(base, base + node.num_devices))
+            node_devices.append(ids)
+            socket_base = len(sockets)
+            for local, dev in enumerate(ids):
+                node_of[dev] = n
+                socket_of[dev] = socket_base + node.socket_of(local)
+            for devs in node.sockets:
+                sockets.append([base + d for d in devs])
+            link_specs.extend(replace(spec, name=f"node{n}:{spec.name}")
+                              for spec in node.link_specs)
+            device_specs.extend(node.device_specs)
+            base += node.num_devices
+        self.device_specs = device_specs
+        self.link_specs = link_specs
+        self.sockets = sockets
+        self._node_of = node_of
+        self._node_devices = node_devices
+        self._socket_of = socket_of
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.device_specs)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def host_spec(self) -> HostSpec:
+        """Root-node staging spec (the flat single-node view)."""
+        return self.nodes[0].host_spec
+
+    def socket_of(self, device_id: int) -> int:
+        try:
+            return self._socket_of[device_id]
+        except KeyError:
+            raise ValueError(f"unknown device id {device_id}")
+
+    def link_of(self, device_id: int) -> LinkSpec:
+        return self.link_specs[self.socket_of(device_id)]
+
+    def devices_on_socket(self, socket: int) -> Sequence[int]:
+        return tuple(self.sockets[socket])
+
+    def node_of(self, device_id: int) -> int:
+        try:
+            return self._node_of[device_id]
+        except KeyError:
+            raise ValueError(f"unknown device id {device_id}")
+
+    def node_devices(self, node: int) -> Tuple[int, ...]:
+        try:
+            return self._node_devices[node]
+        except IndexError:
+            raise ValueError(f"unknown node id {node}")
+
+    def host_spec_of(self, node: int) -> HostSpec:
+        if not 0 <= node < len(self.nodes):
+            raise ValueError(f"unknown node id {node}")
+        return self.nodes[node].host_spec
 
 
 def cte_power_node(num_devices: int = 4,
@@ -202,3 +393,64 @@ def uniform_node(num_devices: int,
                         link_specs=links,
                         host_spec=HostSpec(
                             staging_bandwidth_bytes_per_s=staging_bandwidth))
+
+
+def uniform_cluster(num_nodes: int,
+                    devices_per_node: int,
+                    devices_per_socket: int = 2,
+                    network: Optional[NetworkLinkSpec] = None,
+                    **node_kwargs) -> ClusterTopology:
+    """A cluster of *num_nodes* identical :func:`uniform_node` nodes.
+
+    Extra keyword arguments are forwarded to :func:`uniform_node`, so the
+    same bandwidth/latency calibration knobs apply per node.
+    """
+    if num_nodes < 1:
+        raise ValueError("uniform_cluster.num_nodes must be >= 1")
+    if devices_per_node < 1:
+        raise ValueError("uniform_cluster.devices_per_node must be >= 1")
+    per_socket = min(devices_per_socket, devices_per_node)
+    nodes = [uniform_node(devices_per_node, per_socket, **node_kwargs)
+             for _ in range(num_nodes)]
+    return ClusterTopology(nodes=nodes,
+                           network_spec=network or NetworkLinkSpec())
+
+
+_CLUSTER_RE = re.compile(r"cluster:(\d+)x(\d+)", re.IGNORECASE)
+_CTE_RE = re.compile(r"cte-power(?::(\d+))?", re.IGNORECASE)
+
+
+def parse_machine_spec(spec: str, **cluster_kwargs):
+    """Parse a ``--machine`` / ``REPRO_MACHINE`` spec into a topology.
+
+    Grammar (case-insensitive):
+
+    * ``cluster:NxM`` — N nodes of M GPUs each (:func:`uniform_cluster`);
+    * ``cte-power`` / ``cte-power:N`` — the paper's single node with N
+      (default 4) GPUs (:func:`cte_power_node`).
+    """
+    text = str(spec).strip()
+    m = _CLUSTER_RE.fullmatch(text)
+    if m:
+        num_nodes, per_node = int(m.group(1)), int(m.group(2))
+        if num_nodes < 1 or per_node < 1:
+            raise ValueError(
+                f"machine spec {spec!r}: cluster:NxM needs N >= 1, M >= 1")
+        return uniform_cluster(num_nodes, per_node, **cluster_kwargs)
+    m = _CTE_RE.fullmatch(text)
+    if m:
+        return cte_power_node(int(m.group(1)) if m.group(1) else 4)
+    raise ValueError(
+        f"machine spec {spec!r}: expected 'cluster:NxM' or 'cte-power[:N]'")
+
+
+def machine_from_env():
+    """The :data:`MACHINE_ENV` topology, or ``None`` when unset.
+
+    A malformed value raises :class:`ValueError` (uniform with the other
+    ``REPRO_*`` knobs — see :mod:`repro.util.envknobs`).
+    """
+    spec = envknobs.env_raw(MACHINE_ENV)
+    if spec is None:
+        return None
+    return parse_machine_spec(spec)

@@ -18,7 +18,7 @@ from repro.obs.builtin import MetricsTool
 from repro.obs.tool import Tool
 from repro.openmp.runtime import OpenMPRuntime
 from repro.sim.costmodel import CostModel
-from repro.sim.topology import NodeTopology, cte_power_node
+from repro.sim.topology import NodeTopology, cte_power_node, machine_from_env
 from repro.somier import impl_common as common
 from repro.somier import (
     impl_double_buffering,
@@ -83,7 +83,11 @@ def run_somier(impl: str, config: SomierConfig,
     """Run one Somier experiment; see the module docstring.
 
     ``devices`` defaults to every device of the topology, in id order; the
-    ``target`` baseline requires exactly one.  ``fill`` bounds how much of
+    ``target`` baseline requires exactly one.  ``topology=None`` consults
+    ``REPRO_MACHINE`` (e.g. ``cluster:4x4`` — see
+    :func:`repro.sim.topology.parse_machine_spec`) before falling back to
+    the paper's four-GPU CTE-POWER node; on cluster topologies the spread
+    implementations distribute hierarchically (nodes, then GPUs).  ``fill`` bounds how much of
     a device's (virtual) memory a resident chunk may use.
     ``taskgroup_global_drain=False`` switches the runtime to spec-pure
     taskgroups (members only) instead of the paper's all-device barrier —
@@ -117,7 +121,14 @@ def run_somier(impl: str, config: SomierConfig,
         raise OmpRuntimeError(
             f"unknown Somier implementation {impl!r} "
             f"(available: {sorted(IMPLEMENTATIONS)})")
-    topo = topology if topology is not None else cte_power_node(4)
+    topo = topology
+    if topo is None:
+        try:
+            topo = machine_from_env()
+        except ValueError as err:
+            raise OmpRuntimeError(str(err)) from err
+    if topo is None:
+        topo = cte_power_node(4)
     rt = OpenMPRuntime(topology=topo, cost_model=cost_model,
                        trace_enabled=trace or analyze is True,
                        taskgroup_global_drain=taskgroup_global_drain,
@@ -138,8 +149,17 @@ def run_somier(impl: str, config: SomierConfig,
                         concurrent_chunks=concurrent)
     state = SomierState(config)
     kernels = make_kernels(config)
+    groups = None
+    if getattr(topo, "num_nodes", 1) > 1:
+        # Cluster topology: group the devices clause per node (clause
+        # order preserved inside each group) so the implementations spread
+        # hierarchically — nodes first, then each node's devices.
+        groups = [g for g in
+                  ([d for d in devs if topo.node_of(d) == n]
+                   for n in range(topo.num_nodes))
+                  if g]
     opts = common.RunOpts(devices=devs, data_depend=data_depend,
-                          fuse_transfers=fuse_transfers)
+                          fuse_transfers=fuse_transfers, groups=groups)
     program = IMPLEMENTATIONS[impl](state, kernels, plan, opts)
     rt.run(program)
 

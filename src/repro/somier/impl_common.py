@@ -9,7 +9,7 @@ concrete buffer bounds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.device.kernel import KernelSpec
 from repro.openmp.depend import Dep
@@ -29,11 +29,18 @@ CHUNK_SECTION = (S, Z)
 
 @dataclass
 class RunOpts:
-    """Per-run options shared by the implementations."""
+    """Per-run options shared by the implementations.
+
+    ``groups`` is the per-node device grouping on cluster topologies
+    (each inner list is one node's share of the devices clause, in clause
+    order); when set, the implementations distribute hierarchically —
+    nodes first, then each node's devices — instead of flat round-robin.
+    """
 
     devices: List[int]
     data_depend: bool = False
     fuse_transfers: bool = False
+    groups: Optional[List[List[int]]] = None
 
 
 def grid_vars(state: SomierState, prefix: str) -> List[Var]:

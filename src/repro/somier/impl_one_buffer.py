@@ -21,7 +21,7 @@ from repro.somier import impl_common as common
 from repro.somier.kernels import SomierKernels
 from repro.somier.plan import BufferPlan
 from repro.somier.state import SomierState
-from repro.spread.schedule import spread_schedule
+from repro.spread.schedule import HierarchicalStaticSchedule, spread_schedule
 from repro.spread.spread_data import (
     target_enter_data_spread,
     target_exit_data_spread,
@@ -41,15 +41,23 @@ def process_buffer(omp, state: SomierState, kernels: SomierKernels,
     recursive task that dispatches the next half's transfers.
     """
     devices = opts.devices
-    # each device gets a chunk from the buffer
-    chunk = math.ceil(bsize / len(devices))
     range_ = (blo, bsize)
-    sched = spread_schedule("static", chunk)
+    if opts.groups:
+        # Cluster run: nodes first, then each node's devices.  The data
+        # directives reuse the same schedule so resident chunks line up
+        # with the kernel chunks exactly as in the flat case.
+        chunk = None
+        sched = HierarchicalStaticSchedule(opts.groups)
+    else:
+        # each device gets a chunk from the buffer
+        chunk = math.ceil(bsize / len(devices))
+        sched = spread_schedule("static", chunk)
 
     # map data from host to devices asynchronously
     if opts.data_depend:
         yield from target_enter_data_spread(
             omp, devices=devices, range_=range_, chunk_size=chunk,
+            schedule=sched if chunk is None else None,
             maps=common.enter_maps(state), nowait=True,
             depends=common.enter_depends(state),
             fuse_transfers=opts.fuse_transfers)
@@ -57,6 +65,7 @@ def process_buffer(omp, state: SomierState, kernels: SomierKernels,
         tg = omp.taskgroup_begin()
         yield from target_enter_data_spread(
             omp, devices=devices, range_=range_, chunk_size=chunk,
+            schedule=sched if chunk is None else None,
             maps=common.enter_maps(state), nowait=True,
             fuse_transfers=opts.fuse_transfers)
         yield from omp.taskgroup_end(tg)
@@ -76,6 +85,7 @@ def process_buffer(omp, state: SomierState, kernels: SomierKernels,
     if opts.data_depend:
         yield from target_exit_data_spread(
             omp, devices=devices, range_=range_, chunk_size=chunk,
+            schedule=sched if chunk is None else None,
             maps=common.exit_maps(state), nowait=True,
             depends=common.exit_depends(state),
             fuse_transfers=opts.fuse_transfers)
@@ -83,6 +93,7 @@ def process_buffer(omp, state: SomierState, kernels: SomierKernels,
         tg = omp.taskgroup_begin()
         yield from target_exit_data_spread(
             omp, devices=devices, range_=range_, chunk_size=chunk,
+            schedule=sched if chunk is None else None,
             maps=common.exit_maps(state), nowait=True,
             fuse_transfers=opts.fuse_transfers)
         yield from omp.taskgroup_end(tg)

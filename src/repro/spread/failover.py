@@ -42,7 +42,8 @@ from __future__ import annotations
 from typing import Generator, Sequence, Tuple
 
 from repro.obs.tool import FAULT_EVENT
-from repro.util.errors import DeviceLostError, SpreadExecutionError
+from repro.util.errors import (DeviceLostError, NodeLostError,
+                               SpreadExecutionError)
 
 
 def survivors_of(rt, devices: Sequence[int]) -> Tuple[int, ...]:
@@ -113,5 +114,17 @@ def failover_op(rt, chunk, devices: Sequence[int], op_factory,
         try:
             return (yield from op_factory(device_id, rerouted))
         except DeviceLostError as err:
-            lost = err.device if err.device is not None else device_id
-            rt.mark_device_lost(lost, op=err.op, name=name or err.name)
+            # A NodeLostError takes the whole node's devices down at
+            # once; a plain device loss takes only the one device.
+            mark_loss(rt, err, device_id, name=name)
+
+
+def mark_loss(rt, err: DeviceLostError, fallback_device: int,
+              name: str = "") -> None:
+    """Record a loss surfaced as *err*: the whole node for a
+    :class:`NodeLostError`, the single device otherwise."""
+    if isinstance(err, NodeLostError) and err.node is not None:
+        rt.mark_node_lost(err.node, op=err.op, name=name or err.name)
+        return
+    lost = err.device if err.device is not None else fallback_device
+    rt.mark_device_lost(lost, op=err.op, name=name or err.name)

@@ -163,26 +163,50 @@ class SpreadPlanCache:
         """Drop every cached plan that routes work to *device_id*.
 
         Called by :meth:`OpenMPRuntime.mark_device_lost`.  Returns the
-        number of cache entries dropped.  Some entries hold a tuple of
-        plans (a spread data region caches its enter and exit plans
-        together); such an entry is dropped if *any* member references
-        the device.
+        number of cache entries dropped.
         """
+        return self.invalidate_devices((device_id,))
+
+    def invalidate_node(self, device_ids: Sequence[int]) -> int:
+        """Drop every cached plan routing work to a lost *node* (all of
+        its devices at once).  One pass over the cache, however many
+        devices the node hosted — called by
+        :meth:`OpenMPRuntime.mark_node_lost`."""
+        return self.invalidate_devices(device_ids)
+
+    def invalidate_devices(self, device_ids: Sequence[int]) -> int:
+        """Drop every cached plan that routes work to any of *device_ids*.
+
+        Returns the number of cache entries dropped.  Some entries hold
+        a tuple of plans (a spread data region caches its enter and exit
+        plans together); such an entry is dropped if *any* member
+        references one of the devices.
+
+        Each evicted ``[plan, macro_state]`` cell is also *poisoned in
+        place* — plan slot cleared, macro slot set to the ``False``
+        ("never compile") sentinel.  The plan and its macro program live
+        or die together: a holder that grabbed the cell before the loss
+        (a directive mid-flight, a handle adopting replay state) can
+        neither replay the stale plan nor compile-and-adopt a macro
+        program derived from it after the signature is re-lowered into a
+        fresh cell.
+        """
+        ids = frozenset(device_ids)
+
         def _references(plan: Any) -> bool:
             if isinstance(plan, tuple):
                 return any(_references(p) for p in plan)
-            if device_id in getattr(plan, "devices", ()):
+            if ids.intersection(getattr(plan, "devices", ())):
                 return True
-            return any(getattr(c, "device", None) == device_id
+            return any(getattr(c, "device", None) in ids
                        for c in getattr(plan, "chunks", ()))
 
         stale = [key for key, cell in self._plans.items()
                  if _references(cell[0])]
         for key in stale:
-            # the compiled macro program lives in the same cell as the
-            # plan it was derived from, so eviction drops both — a stale
-            # plan's program can never replay again
-            del self._plans[key]
+            cell = self._plans.pop(key)
+            cell[0] = None
+            cell[1] = False
         self.invalidations += len(stale)
         return len(stale)
 

@@ -133,6 +133,91 @@ class StaticSchedule(SpreadSchedule):
         return f"StaticSchedule(chunk_size={self.chunk_size})"
 
 
+class HierarchicalStaticSchedule(SpreadSchedule):
+    """Two-level static split for cluster topologies (nodes, then GPUs).
+
+    ``groups`` lists each node's devices (in clause order).  The chunking
+    is the literal nesting of two paper-static spreads: a top-level
+    ``spread_schedule(static)`` deals the iteration range across the
+    *nodes* (even ceiling split, one share per node), and a nested static
+    split deals each node's share across that node's devices
+    (``chunk_size`` applies to the nested level; default one even chunk
+    per device).  Chunk indices are global and sequential in (node,
+    position) order, so the failover routing formula
+    (``index % survivors``) scatters a lost node's whole share across the
+    surviving nodes' devices.
+
+    Deterministic and cacheable: the signature covers the group structure
+    and the nested chunk size.
+    """
+
+    kind = "hier"
+
+    def __init__(self, groups: Sequence[Sequence[int]],
+                 chunk_size: Optional[int] = None):
+        groups = [list(g) for g in groups]
+        if not groups or any(not g for g in groups):
+            raise OmpScheduleError(
+                "hierarchical schedule needs at least one non-empty "
+                "device group per node")
+        seen = set()
+        for g in groups:
+            for d in g:
+                if d in seen:
+                    raise OmpScheduleError(
+                        f"hierarchical schedule: device {d} in two groups")
+                seen.add(d)
+        if chunk_size is not None and chunk_size < 1:
+            raise OmpScheduleError(
+                f"hierarchical schedule: chunk size must be >= 1, "
+                f"got {chunk_size}")
+        self.groups = groups
+        self.chunk_size = chunk_size
+        self._signature = ("hier", tuple(tuple(g) for g in groups),
+                           chunk_size)
+
+    @property
+    def signature(self):
+        return self._signature
+
+    def chunks(self, lo: int, hi: int, devices: Sequence[int]) -> List[Chunk]:
+        self._check_range(lo, hi)
+        if hi == lo:
+            return []
+        declared = sorted(d for g in self.groups for d in g)
+        if declared != sorted(devices):
+            raise OmpScheduleError(
+                "hierarchical schedule groups must cover exactly the "
+                f"devices clause (groups={declared}, "
+                f"clause={sorted(devices)})")
+        node_share = math.ceil((hi - lo) / len(self.groups))
+        out: List[Chunk] = []
+        index = 0
+        pos = lo
+        for group in self.groups:
+            if pos >= hi:
+                break
+            stop = min(pos + node_share, hi)
+            inner = self.chunk_size
+            if inner is None:
+                inner = math.ceil((stop - pos) / len(group))
+            p = pos
+            i = 0
+            while p < stop:
+                s = min(p + inner, stop)
+                out.append(Chunk(index=index, interval=Interval(p, s),
+                                 device=group[i % len(group)]))
+                p = s
+                i += 1
+                index += 1
+            pos = stop
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HierarchicalStaticSchedule(groups={self.groups}, "
+                f"chunk_size={self.chunk_size})")
+
+
 class IrregularStaticSchedule(SpreadSchedule):
     """Static schedule with explicit, possibly unequal chunk sizes (§IX).
 

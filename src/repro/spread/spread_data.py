@@ -3,7 +3,10 @@
 All four distribute data mappings over multiple devices with a **static
 round-robin** distribution driven by the ``range`` and ``chunk_size``
 clauses (there is no ``spread_schedule`` clause here — the paper fixes the
-policy so data placement is reproducible):
+policy so data placement is reproducible; the cluster extension may pass
+an explicit *static* ``schedule`` such as
+:class:`~repro.spread.schedule.HierarchicalStaticSchedule` so data
+placement follows the same two-level split as the kernels):
 
 * ``target data spread`` — structured region (enter at the directive,
   copy-backs at region end); no ``nowait``, no ``depend``;
@@ -46,12 +49,29 @@ from repro.util.errors import OmpSemaError
 
 def _data_chunks(ctx: TaskCtx, devices: Sequence[int],
                  range_: Tuple[int, int],
-                 chunk_size: Optional[int]) -> List[Chunk]:
+                 chunk_size: Optional[int],
+                 schedule=None) -> List[Chunk]:
     devs = validate_devices(devices, ctx.rt.num_devices)
     start, length = int(range_[0]), int(range_[1])
     if length < 0:
         raise OmpSemaError(f"range({start}:{length}): negative length")
-    return StaticSchedule(chunk_size).chunks(start, start + length, devs)
+    sched = schedule if schedule is not None else StaticSchedule(chunk_size)
+    if sched.signature is None:
+        raise OmpSemaError(
+            "data spread distribution must be reproducible: the schedule "
+            f"kind {sched.kind!r} assigns devices at execution time")
+    return sched.chunks(start, start + length, devs)
+
+
+def _chunk_key(chunk_size: Optional[int], schedule) -> object:
+    """The chunking component of a data-directive cache key.
+
+    An explicit schedule replaces the bare chunk size with its structural
+    signature, so two directives chunked differently never share a plan.
+    """
+    if schedule is None:
+        return chunk_size
+    return ("sched", schedule.signature)
 
 
 def _check_data_depends(ctx: TaskCtx, depends: Sequence[Dep],
@@ -176,13 +196,15 @@ def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
                              maps: Sequence[MapClause],
                              nowait: bool = False,
                              depends: Sequence[Dep] = (),
-                             fuse_transfers: bool = False) -> Generator:
+                             fuse_transfers: bool = False,
+                             schedule=None) -> Generator:
     """``#pragma omp target enter data spread devices(...) range(...)
     chunk_size(...) [nowait] map(to/alloc: ...)`` (Listing 6)."""
     rt = ctx.rt
     kind = "target enter data spread"
     cache = rt.plan_cache
-    key = (pc.data_key(kind, devices, range_, chunk_size, maps, depends)
+    key = (pc.data_key(kind, devices, range_,
+                       _chunk_key(chunk_size, schedule), maps, depends)
            if cache.enabled else None)
     cell = cache.lookup(key)
     plan = cell[0] if cell is not None else None
@@ -190,7 +212,7 @@ def target_enter_data_spread(ctx: TaskCtx, devices: Sequence[int],
         exec_ops.enter_map_types(maps, kind)
         validate_unique_vars(maps, kind)
         _check_data_depends(ctx, depends, kind)
-        chunks = _data_chunks(ctx, devices, range_, chunk_size)
+        chunks = _data_chunks(ctx, devices, range_, chunk_size, schedule)
         plan = _build_data_plan(chunks, maps, depends, "enter-spread")
         cache.store(key, plan)
         pc.note_plan_cache(rt, kind, key, hit=False)
@@ -231,12 +253,14 @@ def target_exit_data_spread(ctx: TaskCtx, devices: Sequence[int],
                             maps: Sequence[MapClause],
                             nowait: bool = False,
                             depends: Sequence[Dep] = (),
-                            fuse_transfers: bool = False) -> Generator:
+                            fuse_transfers: bool = False,
+                            schedule=None) -> Generator:
     """``#pragma omp target exit data spread ... map(from/release/delete: ...)``."""
     rt = ctx.rt
     kind = "target exit data spread"
     cache = rt.plan_cache
-    key = (pc.data_key(kind, devices, range_, chunk_size, maps, depends)
+    key = (pc.data_key(kind, devices, range_,
+                       _chunk_key(chunk_size, schedule), maps, depends)
            if cache.enabled else None)
     cell = cache.lookup(key)
     plan = cell[0] if cell is not None else None
@@ -244,7 +268,7 @@ def target_exit_data_spread(ctx: TaskCtx, devices: Sequence[int],
         exec_ops.exit_map_types(maps, kind)
         validate_unique_vars(maps, kind)
         _check_data_depends(ctx, depends, kind)
-        chunks = _data_chunks(ctx, devices, range_, chunk_size)
+        chunks = _data_chunks(ctx, devices, range_, chunk_size, schedule)
         plan = _build_data_plan(chunks, maps, depends, "exit-spread")
         cache.store(key, plan)
         pc.note_plan_cache(rt, kind, key, hit=False)
@@ -356,7 +380,8 @@ def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
                        range_: Tuple[int, int],
                        chunk_size: Optional[int],
                        maps: Sequence[MapClause],
-                       fuse_transfers: bool = False) -> Generator:
+                       fuse_transfers: bool = False,
+                       schedule=None) -> Generator:
     """``#pragma omp target data spread devices(...) range(...)
     chunk_size(...) map(...)`` (Listing 5).
 
@@ -368,14 +393,15 @@ def target_data_spread(ctx: TaskCtx, devices: Sequence[int],
     rt = ctx.rt
     kind = "target data spread"
     cache = rt.plan_cache
-    key = (pc.data_key(kind, devices, range_, chunk_size, maps)
+    key = (pc.data_key(kind, devices, range_,
+                       _chunk_key(chunk_size, schedule), maps)
            if cache.enabled else None)
     cell = cache.lookup(key)
     plans = cell[0] if cell is not None else None
     if plans is None:
         exec_ops.region_map_types(maps, kind)
         validate_unique_vars(maps, kind)
-        chunks = _data_chunks(ctx, devices, range_, chunk_size)
+        chunks = _data_chunks(ctx, devices, range_, chunk_size, schedule)
         # The region end reuses the same chunks/maps lowering under its own
         # task names, so both halves are lowered (and cached) together.
         plans = (_build_data_plan(chunks, maps, (), "data-spread"),
@@ -423,7 +449,8 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
                          from_: Sequence[Tuple[Var, object]] = (),
                          nowait: bool = False,
                          depends: Sequence[Dep] = (),
-                         fuse_transfers: bool = False) -> Generator:
+                         fuse_transfers: bool = False,
+                         schedule=None) -> Generator:
     """``#pragma omp target update spread devices(...) range(...)
     chunk_size(...) [nowait] to(...) from(...)`` (Listing 7).
 
@@ -433,7 +460,9 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
     rt = ctx.rt
     kind = "target update spread"
     cache = rt.plan_cache
-    key = (pc.update_key(devices, range_, chunk_size, to, from_, depends)
+    key = (pc.update_key(devices, range_,
+                         _chunk_key(chunk_size, schedule), to, from_,
+                         depends)
            if cache.enabled else None)
     cell = cache.lookup(key)
     plan = cell[0] if cell is not None else None
@@ -442,7 +471,7 @@ def target_update_spread(ctx: TaskCtx, devices: Sequence[int],
             raise OmpSemaError(
                 "target update spread: needs at least one to()/from()")
         _check_data_depends(ctx, depends, kind)
-        chunks = _data_chunks(ctx, devices, range_, chunk_size)
+        chunks = _data_chunks(ctx, devices, range_, chunk_size, schedule)
         chunk_plans = []
         for chunk in chunks:
             to_c = tuple((var, concretize_section(var, section,

@@ -420,8 +420,7 @@ def _launch_dynamic(ctx: TaskCtx, kernel: KernelSpec,
                     concrete, launch=cfg, fuse_transfers=fuse_transfers,
                     label=f"spread-dyn@{device_id}")
             except DeviceLostError as err:
-                lost = err.device if err.device is not None else device_id
-                rt.mark_device_lost(lost, op=err.op, name=err.name)
+                fo.mark_loss(rt, err, device_id)
                 assigned.remove(record)
                 queue.append(chunk)
                 return

@@ -132,6 +132,23 @@ class DeviceLostError(DeviceFaultError):
     retryable = False
 
 
+class NodeLostError(DeviceLostError):
+    """A whole cluster node is gone (injected): every device it hosts is
+    lost at once, along with their resident data and the node's staging
+    buffer.  Recovery is the same spread-level failover as a single
+    device loss, applied to all of the node's devices — surviving nodes
+    absorb the lost node's chunk shares.
+
+    ``device`` names the device whose operation surfaced the loss;
+    ``node`` names the lost node.
+    """
+
+    def __init__(self, message: str, device: int | None = None,
+                 op: str = "", name: str = "", node: int | None = None):
+        super().__init__(message, device=device, op=op, name=name)
+        self.node = node
+
+
 class SpreadExecutionError(OmpRuntimeError):
     """A spread directive cannot make progress: every device in its
     ``devices(...)`` clause has been lost, so there is nowhere left to

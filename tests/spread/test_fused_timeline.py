@@ -23,6 +23,19 @@ from repro.openmp.runtime import resolve_fused_timeline
 from repro.somier.driver import run_somier
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_knob_env(monkeypatch):
+    """The engagement assertions (``fused_segments > 0``) require the
+    walkers to actually engage, which any globally armed observation
+    fallback disables by design — the CI env-matrix legs (``REPRO_FAULTS``,
+    ``REPRO_SANITIZE``, ``REPRO_ANALYZE``, ``REPRO_MACRO_OPS``) must not
+    leak in.  Each fallback is covered explicitly below with the knob
+    armed per-run."""
+    for knob in ("REPRO_FAULTS", "REPRO_FAULT_SEED", "REPRO_SANITIZE",
+                 "REPRO_ANALYZE", "REPRO_MACRO_OPS", "REPRO_FUSED_TIMELINE"):
+        monkeypatch.delenv(knob, raising=False)
+
+
 def _event_tuples(trace):
     return [(e.category, e.name, e.lane, e.start, e.end, e.device,
              tuple(sorted(e.meta.items())))

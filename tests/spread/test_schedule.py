@@ -143,3 +143,64 @@ class TestValidateDevices:
     def test_non_int_rejected(self):
         with pytest.raises(OmpScheduleError, match="non-integer"):
             validate_devices([0, "1"], 4)  # type: ignore[list-item]
+
+
+class TestHierarchicalStaticSchedule:
+    """Two-level static split: nodes first, then each node's devices."""
+
+    def _sched(self, groups, chunk_size=None):
+        from repro.spread.schedule import HierarchicalStaticSchedule
+
+        return HierarchicalStaticSchedule(groups, chunk_size=chunk_size)
+
+    def test_nested_even_split(self):
+        # 16 iterations over 2 nodes x 2 devices: node shares [0,8) and
+        # [8,16), each dealt evenly to the node's two devices.
+        sched = self._sched([[0, 1], [2, 3]])
+        chunks = sched.chunks(0, 16, [0, 1, 2, 3])
+        got = [(c.interval.start, c.interval.stop, c.device) for c in chunks]
+        assert got == [(0, 4, 0), (4, 8, 1), (8, 12, 2), (12, 16, 3)]
+        assert [c.index for c in chunks] == [0, 1, 2, 3]
+
+    def test_uneven_range_truncates_last_node(self):
+        sched = self._sched([[0], [1], [2]])
+        chunks = sched.chunks(0, 7, [0, 1, 2])
+        # node shares of ceil(7/3)=3: [0,3) [3,6) [6,7)
+        assert [(c.start, c.interval.stop, c.device) for c in chunks] == \
+            [(0, 3, 0), (3, 6, 1), (6, 7, 2)]
+
+    def test_nested_chunk_size_round_robins_within_node(self):
+        sched = self._sched([[0, 1], [2, 3]], chunk_size=2)
+        chunks = sched.chunks(0, 16, [0, 1, 2, 3])
+        assert [c.device for c in chunks] == [0, 1, 0, 1, 2, 3, 2, 3]
+        assert [c.index for c in chunks] == list(range(8))
+
+    def test_devices_clause_must_match_groups(self):
+        from repro.util.errors import OmpScheduleError
+
+        sched = self._sched([[0, 1], [2, 3]])
+        with pytest.raises(OmpScheduleError):
+            sched.chunks(0, 8, [0, 1, 2])
+
+    def test_group_validation(self):
+        from repro.util.errors import OmpScheduleError
+
+        with pytest.raises(OmpScheduleError):
+            self._sched([])
+        with pytest.raises(OmpScheduleError):
+            self._sched([[0], []])
+        with pytest.raises(OmpScheduleError):
+            self._sched([[0, 1], [1, 2]])
+        with pytest.raises(OmpScheduleError):
+            self._sched([[0]], chunk_size=0)
+
+    def test_signature_is_structural(self):
+        a = self._sched([[0, 1], [2, 3]])
+        b = self._sched([[0, 1], [2, 3]])
+        c = self._sched([[0, 2], [1, 3]])
+        assert a.signature == b.signature
+        assert a.signature != c.signature
+        assert a.signature[0] == "hier"
+
+    def test_empty_range(self):
+        assert self._sched([[0], [1]]).chunks(3, 3, [0, 1]) == []

@@ -219,7 +219,7 @@ class TestWorkersEnv:
                    "--n-functional", "24", "--steps", "1"])
         assert rc == 1
         err = capsys.readouterr().err
-        assert "REPRO_WORKERS must be a positive integer" in err
+        assert "REPRO_WORKERS" in err
         assert "'abc'" in err
 
     def test_empty_env_value_means_serial(self, capsys, monkeypatch):

@@ -1,0 +1,70 @@
+"""Unit tests for the shared ``REPRO_*`` env-knob parsers."""
+
+import pytest
+
+from repro.util import envknobs
+
+KNOB = "REPRO_TEST_KNOB"
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    monkeypatch.delenv(KNOB, raising=False)
+
+
+class TestEnvRaw:
+    def test_unset_is_none(self):
+        assert envknobs.env_raw(KNOB) is None
+
+    def test_empty_and_whitespace_are_none(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "")
+        assert envknobs.env_raw(KNOB) is None
+        monkeypatch.setenv(KNOB, "   ")
+        assert envknobs.env_raw(KNOB) is None
+
+    def test_value_is_stripped(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "  cluster:2x2 ")
+        assert envknobs.env_raw(KNOB) == "cluster:2x2"
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("raw", ["1", "true", "yes", "on", "TRUE", "On"])
+    def test_truthy(self, monkeypatch, raw):
+        monkeypatch.setenv(KNOB, raw)
+        assert envknobs.env_flag(KNOB) is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "no", "off", "FALSE"])
+    def test_falsy(self, monkeypatch, raw):
+        monkeypatch.setenv(KNOB, raw)
+        assert envknobs.env_flag(KNOB, default=True) is False
+
+    def test_default_used_when_unset(self):
+        assert envknobs.env_flag(KNOB) is False
+        assert envknobs.env_flag(KNOB, default=True) is True
+
+    def test_junk_raises_naming_the_knob(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "maybe")
+        with pytest.raises(ValueError, match=KNOB):
+            envknobs.env_flag(KNOB)
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self):
+        assert envknobs.env_int(KNOB) is None
+        assert envknobs.env_int(KNOB, default=7) == 7
+
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv(KNOB, " 42 ")
+        assert envknobs.env_int(KNOB) == 42
+
+    def test_junk_raises_naming_the_knob(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "many")
+        with pytest.raises(ValueError, match=KNOB):
+            envknobs.env_int(KNOB)
+
+    def test_minimum_enforced(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            envknobs.env_int(KNOB, minimum=1)
+        monkeypatch.setenv(KNOB, "1")
+        assert envknobs.env_int(KNOB, minimum=1) == 1
