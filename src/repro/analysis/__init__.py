@@ -30,13 +30,21 @@ _EXPORTS = {
     "CATALOG": "repro.analysis.diagnostics",
     "Diagnostic": "repro.analysis.diagnostics",
     "Severity": "repro.analysis.diagnostics",
+    "LintMachine": "repro.analysis.linter",
+    "lint_machine_for": "repro.analysis.linter",
     "lint_program": "repro.analysis.linter",
     "lint_source": "repro.analysis.linter",
+    "resolve_lint_machine": "repro.analysis.linter",
     "OmpProgram": "repro.analysis.program",
     "parse_program": "repro.analysis.program",
     "RaceReport": "repro.analysis.sanitizer",
     "RaceSanitizer": "repro.analysis.sanitizer",
     "resolve_sanitize": "repro.analysis.sanitizer",
+    "LintVerdict": "repro.analysis.symbolic",
+    "lint_source_verdict": "repro.analysis.symbolic",
+    "machine_cutoff": "repro.analysis.symbolic",
+    "DiffSummary": "repro.analysis.diffcheck",
+    "run_diffcheck": "repro.analysis.diffcheck",
 }
 
 __all__ = sorted(_EXPORTS)

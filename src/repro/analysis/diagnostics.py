@@ -13,6 +13,11 @@ SL3xx inter-directive races: unordered directives with conflicting footprints
 SL4xx map flow: use-before-map, illegal extension, dead ``to``, redundant
       release
 SL5xx depend graph: forward (unsatisfiable) dependences, dead sinks
+SL6xx static performance smells (cost-model driven): transfer-bound
+      spreads, halos crossing the inter-node network, redundant update
+      round-trips, unfused latency-bound transfers
+SL7xx cluster/resilience: failover-unsafe chunk writes, dynamic schedule
+      over the network, device-memory overcommit
 ===== ======================================================================
 
 The exit-code contract of ``repro lint`` is derived from severities: any
@@ -60,6 +65,22 @@ CATALOG = {
               "dependence on a section produced only by a later directive"),
     "SL502": (Severity.WARNING,
               "dependence sink never produced by any directive"),
+    "SL601": (Severity.WARNING,
+              "transfer-bound spread: non-resident copy-ins outweigh the "
+              "kernel"),
+    "SL602": (Severity.WARNING,
+              "halo exchange crosses the inter-node network"),
+    "SL603": (Severity.WARNING,
+              "redundant update round-trip: device copy is already current"),
+    "SL604": (Severity.WARNING,
+              "per-call transfer latency dominates: consider fuse_transfers"),
+    "SL701": (Severity.WARNING,
+              "chunk writes outside its owned range: node-loss failover "
+              "would corrupt survivors"),
+    "SL702": (Severity.WARNING,
+              "dynamic schedule on a networked machine"),
+    "SL703": (Severity.WARNING,
+              "resident footprint overcommits device memory"),
 }
 
 
@@ -73,6 +94,7 @@ class Diagnostic:
     line: int = 0              # 1-based line of the statement; 0 = whole file
     source: str = ""           # statement text the caret points into
     offset: Optional[int] = None
+    length: Optional[int] = None   # span width for a ^~~~ underline
     related: Tuple[str, ...] = field(default=())  # extra context lines
 
     @property
@@ -88,7 +110,21 @@ class Diagnostic:
         if self.source:
             lines.append(f"  {self.source}")
             if self.offset is not None:
-                lines.append("  " + " " * self.offset + "^")
+                # Span-clamped caret.  Offsets are computed against the
+                # *joined* pragma text, so a clause that started on a
+                # backslash-continuation line can carry an offset at (or,
+                # with stale sources, past) the end of the rendered text —
+                # clamp both the anchor and the underline so the caret
+                # always lands under the statement.  The pad mirrors the
+                # source's own whitespace (tabs stay tabs) so the anchor
+                # stays aligned under tab-indented continuations too.
+                off = max(0, min(self.offset, len(self.source)))
+                pad = "".join(ch if ch == "\t" else " "
+                              for ch in self.source[:off])
+                span = self.length if self.length and self.length > 0 else 1
+                span = max(1, min(span, len(self.source) - off) if
+                           off < len(self.source) else 1)
+                lines.append("  " + pad + "^" + "~" * (span - 1))
         lines.extend(f"  note: {note}" for note in self.related)
         return "\n".join(lines)
 
@@ -101,6 +137,7 @@ class Diagnostic:
             "line": self.line,
             "source": self.source,
             "offset": self.offset,
+            "length": self.length,
             "related": list(self.related),
         }
 

@@ -31,7 +31,7 @@ reads, ``from``/``tofrom`` sections are host writes, ``alloc``/
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.program import (DirectiveStmt, OmpProgram, TaskwaitStmt,
@@ -39,8 +39,11 @@ from repro.analysis.program import (DirectiveStmt, OmpProgram, TaskwaitStmt,
 from repro.pragma import ast_nodes as A
 from repro.pragma.parser import parse_pragma
 from repro.pragma.sema import check_directive
+from repro.sim.costmodel import CostModel
 from repro.spread.extensions import Extensions
-from repro.spread.schedule import (SpreadSchedule, StaticSchedule,
+from repro.spread.schedule import (DynamicSchedule,
+                                   HierarchicalStaticSchedule,
+                                   SpreadSchedule, StaticSchedule,
                                    spread_schedule)
 from repro.util.errors import OmpScheduleError, OmpSemaError, OmpSyntaxError
 from repro.util.intervals import Interval
@@ -49,6 +52,73 @@ _D = A.DirectiveKind
 
 #: sema extensions the simulator supports; lint checks the full language
 _LINT_EXTENSIONS = Extensions(schedules=True, data_depend=True)
+
+#: bytes per array element the cost lints charge (double precision)
+ELEM_BYTES = 8
+
+#: the default lint machine when the program declares none — the paper's
+#: 4-GPU CTE-POWER node
+DEFAULT_MACHINE_SPEC = "cte-power"
+
+
+@dataclass
+class LintMachine:
+    """The machine shape the linter evaluates a program against.
+
+    Bundles the topology (device/link/network layout) with a cost model at
+    ``scale=1.0`` — the SL6xx performance lints charge the program's
+    *declared* extents directly, unlike the benchmark harness which scales
+    a small functional grid up to the paper's 1200-cube.
+    """
+
+    spec: str
+    topology: object
+    cost_model: CostModel
+    origin: str = "default"        # "flag" | "program" | "default"
+
+    @property
+    def num_devices(self) -> int:
+        return self.topology.num_devices
+
+    @property
+    def num_nodes(self) -> int:
+        return getattr(self.topology, "num_nodes", 1)
+
+
+def lint_machine_for(spec: str, origin: str = "flag") -> LintMachine:
+    """Build a :class:`LintMachine` from a ``--machine`` spec string."""
+    from repro.bench.machines import machine_for_spec
+    topo, _cm = machine_for_spec(spec)
+    return LintMachine(spec=spec, topology=topo,
+                       cost_model=CostModel(scale=1.0), origin=origin)
+
+
+def resolve_lint_machine(program: OmpProgram,
+                         machine: Union[None, str, LintMachine] = None
+                         ) -> LintMachine:
+    """Pick the machine to lint against.
+
+    Precedence: an explicit ``--machine`` argument, then the program's own
+    ``machine`` statement (spec or device count), then the paper's 4-GPU
+    node.
+    """
+    if isinstance(machine, LintMachine):
+        return machine
+    if machine is not None:
+        return lint_machine_for(str(machine), origin="flag")
+    if program.machine_spec is not None:
+        return lint_machine_for(program.machine_spec, origin="program")
+    if program.machine is not None:
+        return lint_machine_for(f"gpus:{program.machine}", origin="program")
+    return lint_machine_for(DEFAULT_MACHINE_SPEC, origin="default")
+
+
+def node_groups(topology, devices: Sequence[int]) -> List[List[int]]:
+    """Group a devices list by cluster node (clause order within a node)."""
+    groups: Dict[int, List[int]] = {}
+    for d in devices:
+        groups.setdefault(topology.node_of(d), []).append(d)
+    return [groups[n] for n in sorted(groups)]
 
 _KERNEL_KINDS = (_D.TARGET, _D.TARGET_TEAMS_DPF, _D.TARGET_SPREAD,
                  _D.TARGET_SPREAD_TEAMS_DPF)
@@ -64,10 +134,14 @@ class _ChunkFoot:
 
     index: int
     device: Optional[int]           # None for dynamically scheduled chunks
+    interval: Optional[Interval] = None   # the chunk's owned index range
     reads: List[Tuple[str, Interval]] = field(default_factory=list)
     writes: List[Tuple[str, Interval]] = field(default_factory=list)
     #: concrete map sections for the present-table simulation
     maps: List[Tuple[str, str, Interval]] = field(default_factory=list)
+    #: actual memcpys the map-flow walk charged: (direction, var, section),
+    #: direction in {"h2d", "d2h"} — refcount hits and allocs copy nothing
+    copies: List[Tuple[str, str, Interval]] = field(default_factory=list)
 
 
 @dataclass
@@ -78,6 +152,7 @@ class _Node:
     stmt: DirectiveStmt
     directive: A.Directive
     nowait: bool
+    schedule: Optional[SpreadSchedule] = None   # kernel-spread schedule used
     chunks: List[_ChunkFoot] = field(default_factory=list)
     #: concrete depend items: (consumes, produces, var, interval)
     deps: List[Tuple[bool, bool, str, Interval]] = field(default_factory=list)
@@ -109,9 +184,14 @@ class _Entry:
 
 
 class _Linter:
-    def __init__(self, program: OmpProgram):
+    def __init__(self, program: OmpProgram,
+                 machine: Optional[LintMachine] = None):
         self.program = program
+        self.machine = machine or resolve_lint_machine(program)
         self.diagnostics: List[Diagnostic] = []
+        #: per-device peak resident bytes seen by the map-flow walk, with
+        #: the directive at which the peak occurred (for SL703)
+        self._resident_peaks: Dict[int, Tuple[float, "_Node"]] = {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -183,6 +263,9 @@ class _Linter:
                 return None
             devices = [device]
             pos = dev_clause.pos
+        elif clause.all_devices:
+            # devices(*): every device of the lint machine
+            return list(range(self.machine.num_devices))
         else:
             devices = []
             for expr in clause.devices:
@@ -193,11 +276,10 @@ class _Linter:
             pos = clause.pos
         seen: Set[int] = set()
         for device in devices:
-            if device < 0 or (self.program.machine is not None
-                              and device >= self.program.machine):
+            if device < 0 or device >= self.machine.num_devices:
                 self._diag("SL103", f"device id {device} out of range "
-                           f"(machine has {self.program.machine} devices)",
-                           stmt, offset=pos)
+                           f"(machine has {self.machine.num_devices} "
+                           "devices)", stmt, offset=pos)
                 return None
             if device in seen:
                 self._diag("SL103", f"duplicate device id {device}", stmt,
@@ -206,10 +288,17 @@ class _Linter:
             seen.add(device)
         return devices
 
-    def _schedule(self, directive: A.Directive,
-                  stmt: DirectiveStmt) -> Optional[SpreadSchedule]:
+    def _schedule(self, directive: A.Directive, stmt: DirectiveStmt,
+                  devices: List[int]) -> Optional[SpreadSchedule]:
         clause = directive.find(A.SpreadScheduleClause)
         if clause is None:
+            # mirror codegen's cluster-aware default: on a multi-node
+            # machine, a schedule-less spread over devices on different
+            # nodes chunks hierarchically (node-contiguous shares)
+            topo = self.machine.topology
+            if (self.machine.num_nodes > 1
+                    and len({topo.node_of(d) for d in devices}) > 1):
+                return HierarchicalStaticSchedule(node_groups(topo, devices))
             return StaticSchedule()
         chunk = None
         if clause.chunk is not None:
@@ -242,7 +331,9 @@ class _Linter:
             return None
 
     def _chunk_list(self, directive: A.Directive,
-                    stmt: DirectiveStmt) -> Optional[list]:
+                    stmt: DirectiveStmt) -> Optional[tuple]:
+        """``(chunks, schedule)``; schedule is None off the kernel-spread
+        path (data spreads always chunk statically)."""
         kind = directive.kind
         devices = self._devices(directive, stmt)
         if devices is None:
@@ -254,12 +345,12 @@ class _Linter:
                                "associated loop(start : length) statement",
                                stmt)
                     return None
-                schedule = self._schedule(directive, stmt)
+                schedule = self._schedule(directive, stmt, devices)
                 if schedule is None:
                     return None
                 try:
-                    return schedule.chunks(stmt.loop[0], stmt.loop[1],
-                                           devices)
+                    return (schedule.chunks(stmt.loop[0], stmt.loop[1],
+                                            devices), schedule)
                 except OmpScheduleError as exc:
                     self._diag("SL104", str(exc), stmt)
                     return None
@@ -268,12 +359,14 @@ class _Linter:
             # spread symbols here, so the interval is unused)
             loop = stmt.loop or (0, 0)
             from repro.spread.schedule import Chunk
-            return [Chunk(index=0, interval=Interval(loop[0], loop[1]),
-                          device=devices[0])]
+            return ([Chunk(index=0, interval=Interval(loop[0], loop[1]),
+                           device=devices[0])], None)
         if kind.is_spread:
-            return self._data_chunking(directive, stmt, devices)
+            chunks = self._data_chunking(directive, stmt, devices)
+            return None if chunks is None else (chunks, None)
         from repro.spread.schedule import Chunk
-        return [Chunk(index=0, interval=Interval(0, 0), device=devices[0])]
+        return ([Chunk(index=0, interval=Interval(0, 0),
+                       device=devices[0])], None)
 
     def _build_node(self, index: int, stmt: DirectiveStmt) -> Optional[_Node]:
         text = _pragma_text(stmt.text)
@@ -289,13 +382,16 @@ class _Linter:
             self._diag("SL002", _first_line(exc), stmt, offset=exc.offset,
                        source=exc.source or text)
             return None
-        chunks = self._chunk_list(directive, stmt)
-        if chunks is None:
+        lowered = self._chunk_list(directive, stmt)
+        if lowered is None:
             return None
+        chunks, schedule = lowered
         node = _Node(index=index, stmt=stmt, directive=directive,
-                     nowait=directive.find(A.NowaitClause) is not None)
+                     nowait=directive.find(A.NowaitClause) is not None,
+                     schedule=schedule)
         for chunk in chunks:
-            foot = _ChunkFoot(index=chunk.index, device=chunk.device)
+            foot = _ChunkFoot(index=chunk.index, device=chunk.device,
+                              interval=chunk.interval)
             spread_chunk = chunk if directive.kind.is_spread else None
             for clause in directive.find_all(A.MapClauseNode):
                 for item in clause.items:
@@ -436,9 +532,15 @@ class _Linter:
     def _check_map_flow(self, nodes: List[_Node]) -> None:
         tables: Dict[int, List[_Entry]] = {}
         pragma_of = {n.index: _pragma_text(n.stmt.text) for n in nodes}
+        #: live resident bytes per device (present-table footprint)
+        resident: Dict[int, float] = {}
 
         def entries(device: int) -> List[_Entry]:
             return tables.setdefault(device, [])
+
+        def note_peak(device: int, total: float, node: _Node) -> None:
+            if total > self._resident_peaks.get(device, (0.0, None))[0]:
+                self._resident_peaks[device] = (total, node)
 
         def find(device: int, var: str,
                  section: Interval) -> Optional[_Entry]:
@@ -457,6 +559,8 @@ class _Linter:
 
         def retire(device: int, entry: _Entry) -> None:
             entries(device).remove(entry)
+            resident[device] = (resident.get(device, 0.0)
+                                - len(entry.section) * ELEM_BYTES)
             if entry.is_to and entry.read_hits == 0:
                 self.diagnostics.append(Diagnostic(
                     code="SL403",
@@ -470,6 +574,7 @@ class _Linter:
             kind = node.kind
             for chunk in node.chunks:
                 device = chunk.device
+                transient = 0.0   # per-kernel auto-map bytes, this chunk
                 for map_type, var, section in chunk.maps:
                     if kind in _ENTER_KINDS:
                         if device is None or section.empty:
@@ -493,6 +598,11 @@ class _Linter:
                             is_to=map_type in ("to", "tofrom"),
                             node_line=node.stmt.line,
                             node_text=pragma_of[node.index]))
+                        if map_type in ("to", "tofrom"):
+                            chunk.copies.append(("h2d", var, section))
+                        resident[device] = (resident.get(device, 0.0)
+                                            + len(section) * ELEM_BYTES)
+                        note_peak(device, resident[device], node)
                     elif kind in _KERNEL_KINDS:
                         if device is None or section.empty:
                             continue
@@ -509,6 +619,17 @@ class _Linter:
                                 f"device {device} would extend the mapped "
                                 f"section {var}{ext_entry.section}",
                                 node.stmt)
+                            continue
+                        # implicit per-kernel auto-map: copied around the
+                        # launch, then released — charge the actual memcpys
+                        if map_type in ("to", "tofrom"):
+                            chunk.copies.append(("h2d", var, section))
+                        if map_type in ("from", "tofrom"):
+                            chunk.copies.append(("d2h", var, section))
+                        transient += len(section) * ELEM_BYTES
+                        note_peak(device,
+                                  resident.get(device, 0.0) + transient,
+                                  node)
                     elif kind in _EXIT_KINDS:
                         if device is None or section.empty:
                             continue
@@ -532,6 +653,8 @@ class _Linter:
                             continue
                         hit.refcount -= 1
                         if hit.refcount <= 0:
+                            if map_type == "from":
+                                chunk.copies.append(("d2h", var, section))
                             retire(device, hit)
                     elif kind in _UPDATE_KINDS:
                         if device is None or section.empty:
@@ -544,6 +667,10 @@ class _Linter:
                                 f"update {direction}({var}{section}) on "
                                 f"device {device} requires the section to "
                                 "be mapped first", node.stmt)
+                        else:
+                            chunk.copies.append(
+                                ("h2d" if map_type == "update_to"
+                                 else "d2h", var, section))
                 # Halo'd sections of one directive landing on the same
                 # device overlap-extend each other — the single-GPU
                 # restriction of paper §V-B.
@@ -586,6 +713,229 @@ class _Linter:
                             "cannot coexist on one device (paper §V-B)",
                             node.stmt)
                 by_device.setdefault(chunk.device, []).append((var, section))
+
+    # -- pass: static performance smells (SL6xx) -----------------------------
+
+    _KERNEL_SPREADS = (_D.TARGET_SPREAD, _D.TARGET_SPREAD_TEAMS_DPF)
+
+    def _launch_config(self, directive: A.Directive,
+                       stmt: DirectiveStmt):
+        """``(num_teams, threads_per_team, simd)`` as the cost model sees
+        them: a bare ``target spread`` runs one serial host thread per
+        device; ``teams distribute parallel for`` saturates unless capped
+        by ``num_teams``/``thread_limit``."""
+        if directive.kind not in (_D.TARGET_SPREAD_TEAMS_DPF,
+                                  _D.TARGET_TEAMS_DPF):
+            return 1, 1, False
+        teams = threads = None
+        clause = directive.find(A.NumTeamsClause)
+        if clause is not None:
+            teams = self._eval(clause.value, stmt, "num_teams clause")
+        clause = directive.find(A.ThreadLimitClause)
+        if clause is not None:
+            threads = self._eval(clause.value, stmt, "thread_limit clause")
+        return teams, threads, True
+
+    def _chunk_transfer_time(self, chunk: _ChunkFoot,
+                             directions: Tuple[str, ...]) -> float:
+        """Modeled wall time of this chunk's charged memcpys (network hop
+        included for devices off the root node, where host arrays live)."""
+        cm = self.machine.cost_model
+        topo = self.machine.topology
+        link = topo.link_of(chunk.device)
+        total = 0.0
+        for direction, _var, section in chunk.copies:
+            if direction not in directions:
+                continue
+            nbytes = len(section) * ELEM_BYTES
+            total += cm.transfer(link, nbytes).total
+            if topo.node_of(chunk.device) > 0:
+                total += cm.network_transfer(topo.network_spec, nbytes).total
+        return total
+
+    def _check_transfer_bound(self, node: _Node) -> None:
+        """SL601: worst chunk's copy-in time exceeds its kernel time."""
+        if node.kind not in self._KERNEL_SPREADS:
+            return
+        cm = self.machine.cost_model
+        topo = self.machine.topology
+        teams, threads, simd = self._launch_config(node.directive, node.stmt)
+        worst = None
+        for chunk in node.chunks:
+            if chunk.device is None or chunk.interval is None:
+                continue
+            if not any(c[0] == "h2d" for c in chunk.copies):
+                continue
+            xfer = self._chunk_transfer_time(chunk, ("h2d",))
+            spec = topo.device_specs[chunk.device]
+            kern = cm.kernel(spec, len(chunk.interval), num_teams=teams,
+                             threads_per_team=threads, simd=simd).total
+            if worst is None or xfer - kern > worst[0] - worst[1]:
+                worst = (xfer, kern, chunk)
+        if worst is not None and worst[0] > worst[1]:
+            xfer, kern, chunk = worst
+            self._diag(
+                "SL601",
+                f"chunk {chunk.index} (device {chunk.device}) spends "
+                f"~{xfer * 1e6:.0f}us copying non-resident data in for a "
+                f"~{kern * 1e6:.0f}us kernel; map the data once with "
+                "'target enter data spread' and keep it resident",
+                node.stmt)
+
+    def _check_unfused(self, node: _Node) -> None:
+        """SL604: many small memcpys whose per-call latency dominates."""
+        if not node.kind.is_spread:
+            return
+        if node.directive.find(A.FuseTransfersClause) is not None:
+            return
+        cm = self.machine.cost_model
+        topo = self.machine.topology
+        worst = None
+        for chunk in node.chunks:
+            if chunk.device is None or len(chunk.copies) < 6:
+                continue
+            latency = wire = 0.0
+            for _direction, _var, section in chunk.copies:
+                cost = cm.transfer(topo.link_of(chunk.device),
+                                   len(section) * ELEM_BYTES)
+                latency += cost.latency
+                wire += cost.wire_time
+            if latency > wire and (worst is None or latency > worst[0]):
+                worst = (latency, len(chunk.copies), chunk)
+        if worst is not None:
+            latency, count, chunk = worst
+            self._diag(
+                "SL604",
+                f"chunk {chunk.index} (device {chunk.device}) issues "
+                f"{count} memcpys whose ~{latency * 1e6:.0f}us of per-call "
+                "latency exceeds the wire time; add 'fuse_transfers' to "
+                "batch them", node.stmt)
+
+    def _check_update_roundtrip(self, nodes: List[_Node]) -> None:
+        """SL603: ``update to`` of a section the device already has.
+
+        Tracks per (device, var) sections known host==device (from a
+        preceding ``update``); any other directive touching the var
+        invalidates conservatively.
+        """
+        synced: Dict[Tuple[int, str], List[Interval]] = {}
+        for node in nodes:
+            if node.kind in _UPDATE_KINDS:
+                fired = False
+                for chunk in node.chunks:
+                    if chunk.device is None:
+                        continue
+                    for map_type, var, section in chunk.maps:
+                        if section.empty:
+                            continue
+                        key = (chunk.device, var)
+                        known = synced.setdefault(key, [])
+                        if (map_type == "update_to"
+                                and any(s.contains(section)
+                                        for s in known)):
+                            if not fired:
+                                self._diag(
+                                    "SL603",
+                                    f"update to({var}{section}) on device "
+                                    f"{chunk.device} re-copies a section "
+                                    "that is already in sync (nothing "
+                                    "modified it since the last update)",
+                                    node.stmt)
+                                fired = True
+                        else:
+                            known.append(section)
+            else:
+                touched = {var for chunk in node.chunks
+                           for _t, var, _s in chunk.maps}
+                for key in [k for k in synced if k[1] in touched]:
+                    del synced[key]
+
+    # -- pass: cluster and resilience (SL7xx) --------------------------------
+
+    def _check_halo_network(self, node: _Node) -> None:
+        """SL602: neighbouring chunks on different nodes share a section."""
+        if not node.kind.is_spread:
+            return
+        topo = self.machine.topology
+        for a, b in zip(node.chunks, node.chunks[1:]):
+            if a.device is None or b.device is None:
+                continue
+            na, nb = topo.node_of(a.device), topo.node_of(b.device)
+            if na == nb:
+                continue
+            for _ta, va, sa in a.maps:
+                for _tb, vb, sb in b.maps:
+                    if va == vb and not sa.empty and sa.overlaps(sb):
+                        shared = sa.intersection(sb)
+                        self._diag(
+                            "SL602",
+                            f"halo {va}{shared} is shared by chunks on "
+                            f"node {na} and node {nb}, so every exchange "
+                            f"crosses node{max(na, nb)}:network; align "
+                            "chunking to node boundaries or use a "
+                            "hierarchical schedule", node.stmt)
+                        return
+
+    def _check_failover(self, node: _Node) -> None:
+        """SL701: a chunk writes outside its owned iteration range."""
+        if node.kind not in self._KERNEL_SPREADS or len(node.chunks) < 2:
+            return
+        topo = self.machine.topology
+        span = {topo.node_of(c.device) for c in node.chunks
+                if c.device is not None}
+        if len(span) < 2:
+            return
+        for chunk in node.chunks:
+            if chunk.device is None or chunk.interval is None:
+                continue
+            for var, w in chunk.writes:
+                if not w.empty and not chunk.interval.contains(w):
+                    self._diag(
+                        "SL701",
+                        f"chunk {chunk.index} writes {var}{w} outside its "
+                        f"owned range {chunk.interval}; after a node loss, "
+                        "failover restores only owned rows, so surviving "
+                        "nodes would keep the stale halo", node.stmt)
+                    return
+
+    def _check_dynamic_net(self, node: _Node) -> None:
+        """SL702: dynamic chunk placement on a networked machine."""
+        if isinstance(node.schedule, DynamicSchedule):
+            self._diag(
+                "SL702",
+                "dynamic schedule assigns chunks to devices at run time; "
+                f"on a {self.machine.num_nodes}-node machine that makes "
+                "chunk-to-node placement unpredictable and routes halos "
+                "over the network; prefer a hierarchical static schedule",
+                node.stmt)
+
+    def _check_overcommit(self) -> None:
+        """SL703: peak resident bytes exceed a device's memory."""
+        topo = self.machine.topology
+        for device in sorted(self._resident_peaks):
+            peak, node = self._resident_peaks[device]
+            capacity = topo.device_specs[device].memory_bytes
+            if node is not None and peak > capacity:
+                self._diag(
+                    "SL703",
+                    f"resident sections on device {device} peak at "
+                    f"~{peak / 1e9:.1f} GB, over its {capacity / 1e9:.0f} GB "
+                    "memory; shrink chunk_size or release buffers earlier",
+                    node.stmt)
+
+    def _check_perf(self, nodes: List[_Node]) -> None:
+        for node in nodes:
+            self._check_transfer_bound(node)
+            self._check_unfused(node)
+        self._check_update_roundtrip(nodes)
+
+    def _check_cluster(self, nodes: List[_Node]) -> None:
+        if self.machine.num_nodes > 1:
+            for node in nodes:
+                self._check_halo_network(node)
+                self._check_failover(node)
+                self._check_dynamic_net(node)
+        self._check_overcommit()
 
     # -- pass: depend graph (SL5xx) ------------------------------------------
 
@@ -641,6 +991,8 @@ class _Linter:
         self._check_inter(nodes, order)
         self._check_map_flow(nodes)
         self._check_depend_graph(nodes)
+        self._check_perf(nodes)
+        self._check_cluster(nodes)
         return self.diagnostics
 
 
@@ -658,10 +1010,19 @@ def _first_line(exc: Exception) -> str:
 
 
 def lint_program(program: OmpProgram,
-                 structural: Sequence[Diagnostic] = ()) -> List[Diagnostic]:
-    """Run every lint pass over a parsed program."""
+                 structural: Sequence[Diagnostic] = (),
+                 machine: Union[None, str, LintMachine] = None
+                 ) -> List[Diagnostic]:
+    """Run every lint pass over a parsed program.
+
+    ``machine`` overrides the shape the program is checked against (a
+    ``--machine`` spec string or a prebuilt :class:`LintMachine`); by
+    default the program's own ``machine`` statement, else the paper's
+    4-GPU node, is used.
+    """
     diagnostics = list(structural)
-    diagnostics.extend(_sorted_diags(_Linter(program).run()))
+    lint_machine = resolve_lint_machine(program, machine)
+    diagnostics.extend(_sorted_diags(_Linter(program, lint_machine).run()))
     return diagnostics
 
 
@@ -669,7 +1030,9 @@ def _sorted_diags(diags: List[Diagnostic]) -> List[Diagnostic]:
     return sorted(diags, key=lambda d: (d.line, d.code))
 
 
-def lint_source(source: str, path: str = "") -> List[Diagnostic]:
+def lint_source(source: str, path: str = "",
+                machine: Union[None, str, LintMachine] = None
+                ) -> List[Diagnostic]:
     """Parse and lint one ``.omp`` listing."""
     program, structural = parse_program(source, path=path)
-    return lint_program(program, structural)
+    return lint_program(program, structural, machine=machine)

@@ -28,7 +28,12 @@ Statements:
   previously declared scalars, ``+ - *`` and parentheses);
 * ``declare NAME[expr]`` — host array with the given extent;
 * ``machine N`` — the node has ``N`` devices (enables device-id range
-  checks); optional;
+  checks); ``machine SPEC`` names a full topology with the ``--machine``
+  grammar (``cluster:NxM`` / ``cte-power[:N]`` / ``gpus:N``), so cluster
+  lints (SL6xx/SL7xx) see the real links; ``machine *`` declares the
+  program machine-parametric — the linter then quantifies its verdict
+  over every device count ``N >= 1``; ``machine cluster:*xG`` quantifies
+  over every node count ``M >= 1`` with ``G`` GPUs per node; optional;
 * a pragma line (leading ``#pragma``/``#``/``omp`` accepted, ``\``
   continuations joined) — parsed with the real
   :mod:`repro.pragma` front end;
@@ -80,6 +85,15 @@ class OmpProgram:
     scalars: Dict[str, int] = field(default_factory=dict)
     arrays: Dict[str, int] = field(default_factory=dict)   # name -> extent
     machine: Optional[int] = None
+    #: full ``--machine``-style spec from a ``machine cluster:NxM`` /
+    #: ``machine cte-power[:N]`` / ``machine gpus:N`` statement, if any
+    machine_spec: Optional[str] = None
+    #: ``machine *`` — the program targets *every* machine shape; the
+    #: linter quantifies its verdict over all device counts N >= 1
+    parametric: bool = False
+    #: ``machine cluster:*xG`` — parametric over the node count M >= 1,
+    #: with G devices per node; implies ``parametric``
+    parametric_group: Optional[int] = None
     statements: List[object] = field(default_factory=list)
     expected_codes: Tuple[str, ...] = ()
 
@@ -203,15 +217,43 @@ def parse_program(source: str, path: str = "") -> Tuple[OmpProgram,
 
         if head == "machine":
             rest = text[len("machine"):].strip()
-            value = eval_scalar(rest, line_no, text) if rest else None
-            if rest and value is not None:
+            if not rest:
+                err("SL003", "expected 'machine N', 'machine *' or "
+                    "'machine SPEC'", line_no, text)
+                continue
+            if rest == "*":
+                # machine-parametric program: verified for all N >= 1
+                program.parametric = True
+                continue
+            m = re.fullmatch(r"cluster:\*x(\d+)", rest, re.IGNORECASE)
+            if m:
+                # cluster-parametric: all node counts M >= 1, G GPUs each
+                group = int(m.group(1))
+                if group < 1:
+                    err("SL003", "cluster:*xG needs G >= 1", line_no, text)
+                    continue
+                program.parametric = True
+                program.parametric_group = group
+                continue
+            if ":" in rest or rest.lower() == "cte-power":
+                # a --machine-style topology spec (cluster:NxM, cte-power:N,
+                # gpus:N); resolve the device count for range checks
+                try:
+                    from repro.sim.topology import parse_machine_spec
+                    topo = parse_machine_spec(rest)
+                except ValueError as exc:
+                    err("SL003", str(exc), line_no, text)
+                    continue
+                program.machine_spec = rest
+                program.machine = topo.num_devices
+                continue
+            value = eval_scalar(rest, line_no, text)
+            if value is not None:
                 if value < 1:
                     err("SL003", f"machine needs at least 1 device, got "
                         f"{value}", line_no, text)
                 else:
                     program.machine = value
-            elif not rest:
-                err("SL003", "expected 'machine N'", line_no, text)
             continue
 
         if head == "taskwait":

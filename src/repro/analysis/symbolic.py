@@ -1,0 +1,539 @@
+"""Machine-parametric verification: lint verdicts for *all* machine shapes.
+
+The concrete linter (:mod:`repro.analysis.linter`) proves race-freedom,
+map-flow soundness and depend acyclicity for **one** machine.  A program
+that declares ``machine *`` (or ``machine cluster:*xG``) asks for more:
+a verdict over *every* device count N >= 1 (node count M >= 1).  This
+module delivers that through two complementary proof strategies:
+
+**Enumeration + stability (the cutoff theorem).**  Spread chunking is
+eventually N-independent: once every chunk owns its own device, adding
+devices changes nothing.  For a directive with an explicit
+``chunk_size(c)`` over a range of R iterations the chunk list is fixed at
+``ceil(R/c)`` chunks; for the default schedule (``size = ceil(R/N)``) the
+chunk list stabilizes at N = R (every chunk one iteration).  Literal
+``devices(...)`` lists depend on N only through SL103 validity, stable
+past the largest id.  The ``gpus:N`` machine family is *uniform* — every
+shape uses the same per-device spec and per-socket link calibration — so
+once the chunk lists are stable the whole diagnostic set is stable.
+Taking K as the maximum per-directive cutoff, linting N = 1..K concretely
+*is* a proof for all N >= 1.
+
+**Affine footprints (the symbolic domain).**  When K exceeds the
+enumeration cap, programs built from kernel spreads with ``devices(*)``
+and sections of the shape ``a[omp_spread_start + α : omp_spread_size + β]``
+are checked symbolically: every footprint is an affine expression over the
+chunk-start/chunk-size symbols, whose domain is the polytope
+``{start >= lo, size >= 1, start + size <= hi}``.  Bounds are checked at
+the polytope's vertices; chunk-disjointness reduces to sign conditions on
+the affine coefficients evaluated against the *adjacent* chunk (the
+worst case, since ``start_{i+1} = start_i + size_i``).  Every proof
+obligation that discharges holds for **all** N >= 1; any obligation that
+does not (non-affine section, dynamic schedule, depend clauses) degrades
+honestly to concrete evaluation at sampled shapes with an explicit
+"verified only at sampled shapes" note.
+
+∀-claims cover the error-severity correctness lints (SL1xx–SL5xx).  The
+SL6xx/SL7xx performance and resilience *warnings* are genuinely shape-
+dependent (a chunk shrinks as N grows), so they are reported per shape
+and annotated with the shapes they appeared at.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.linter import (LintMachine, lint_machine_for,
+                                   lint_program, resolve_lint_machine)
+from repro.analysis.program import (DirectiveStmt, OmpProgram, TaskwaitStmt,
+                                    eval_expr_int, parse_program)
+from repro.pragma import ast_nodes as A
+from repro.pragma.parser import parse_pragma
+from repro.pragma.sema import check_directive
+from repro.spread.extensions import Extensions
+from repro.util.errors import OmpSemaError, OmpSyntaxError
+
+_D = A.DirectiveKind
+
+#: enumeration cap: cutoffs up to this many shapes are proven by
+#: exhaustive concrete linting; beyond it the affine prover must carry
+#: the obligation (or the verdict degrades to sampled shapes)
+ENUMERATION_CAP = 64
+
+#: device counts sampled when neither proof strategy covers the program
+SAMPLE_DEVICE_COUNTS = (1, 2, 3, 4, 7, 16)
+
+#: cluster shapes sampled for cluster-parametric fallback
+SAMPLE_CLUSTER_SHAPES = ("cluster:1x4", "cluster:2x2", "cluster:4x4")
+
+_EXTENSIONS = Extensions(schedules=True, data_depend=True)
+
+_KERNEL_SPREADS = (_D.TARGET_SPREAD, _D.TARGET_SPREAD_TEAMS_DPF)
+
+
+@dataclass
+class LintVerdict:
+    """The outcome of machine-parametric linting.
+
+    ``forall`` is True when ``diagnostics`` is provably the complete
+    diagnostic set for *every* machine in ``universe`` (via ``proof``);
+    otherwise the verdict covers exactly the ``shapes`` listed.
+    """
+
+    universe: str                      # e.g. "gpus:N for all N >= 1"
+    forall: bool
+    proof: str                         # "enumeration(1..K)+stability" |
+    #                                    "affine" | "concrete" | "sampled"
+    shapes: List[str] = field(default_factory=list)
+    cutoff: Optional[int] = None
+    notes: List[str] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def to_dict(self) -> dict:
+        return {
+            "universe": self.universe,
+            "forall": self.forall,
+            "verdict": "∀N" if self.forall else "sampled",
+            "proof": self.proof,
+            "shapes": list(self.shapes),
+            "cutoff": self.cutoff,
+            "notes": list(self.notes),
+            "clean": self.clean,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+# -- the cutoff theorem -------------------------------------------------------
+
+
+def _eval_const(expr: A.Expr, scalars: Dict[str, int]) -> Optional[int]:
+    try:
+        return eval_expr_int(expr, dict(scalars))
+    except (KeyError, TypeError):
+        return None
+
+
+def _directive_cutoff(program: OmpProgram, stmt: DirectiveStmt) -> int:
+    """Smallest K such that this directive's chunk list (and SL103
+    validity) is identical for every device count N >= K."""
+    try:
+        directive = parse_pragma(stmt.text)
+    except OmpSyntaxError:
+        return 1                       # SL001 at every shape
+    clause = directive.find(A.DevicesClause)
+    if clause is None or not clause.all_devices:
+        # literal device ids: N only gates SL103; stable past the max id
+        ids = []
+        if clause is not None:
+            ids = [_eval_const(e, program.scalars) for e in clause.devices]
+        dev = directive.find(A.DeviceClause)
+        if dev is not None:
+            ids.append(_eval_const(dev.device, program.scalars))
+        known = [i for i in ids if i is not None]
+        return max(known) + 1 if known else 1
+    kind = directive.kind
+    if kind in _KERNEL_SPREADS:
+        span = (stmt.loop[1] - stmt.loop[0]) if stmt.loop else 0
+        sched = directive.find(A.SpreadScheduleClause)
+        if sched is not None and sched.chunk is not None:
+            chunk = _eval_const(sched.chunk, program.scalars)
+            if chunk and chunk > 0:
+                return max(1, math.ceil(span / chunk))
+        return max(1, span)            # default size = ceil(R/N): K = R
+    if kind.is_spread:                 # data spread: fixed chunk_size
+        rng = directive.find(A.RangeClause)
+        csz = directive.find(A.ChunkSizeClause)
+        if rng is None or csz is None:
+            return 1
+        length = _eval_const(rng.length, program.scalars)
+        chunk = _eval_const(csz.chunk, program.scalars)
+        if length is None or not chunk or chunk <= 0:
+            return 1
+        return max(1, math.ceil(length / chunk))
+    return 1
+
+
+def machine_cutoff(program: OmpProgram) -> int:
+    """The stability cutoff K of the whole program: diagnostics are
+    identical for every ``gpus:N`` with N >= K."""
+    cutoff = 1
+    for stmt in program.statements:
+        if isinstance(stmt, DirectiveStmt):
+            cutoff = max(cutoff, _directive_cutoff(program, stmt))
+    return cutoff
+
+
+# -- the affine domain --------------------------------------------------------
+
+
+class NotAffine(Exception):
+    """A section expression outside the affine fragment."""
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``p*start + q*size + r`` over one chunk's spread symbols."""
+
+    p: int = 0
+    q: int = 0
+    r: int = 0
+
+    def __add__(self, other: "Affine") -> "Affine":
+        return Affine(self.p + other.p, self.q + other.q, self.r + other.r)
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return Affine(self.p - other.p, self.q - other.q, self.r - other.r)
+
+    def scaled(self, k: int) -> "Affine":
+        return Affine(self.p * k, self.q * k, self.r * k)
+
+    @property
+    def is_const(self) -> bool:
+        return self.p == 0 and self.q == 0
+
+    def at(self, start: int, size: int) -> int:
+        return self.p * start + self.q * size + self.r
+
+    def extrema(self, lo: int, hi: int) -> Tuple[int, int]:
+        """(min, max) over the chunk polytope ``{start >= lo, size >= 1,
+        start + size <= hi}`` (assumes hi - lo >= 1); affine functions
+        attain extrema at the vertices."""
+        corners = [(lo, 1), (lo, hi - lo), (hi - 1, 1)]
+        values = [self.at(s, z) for s, z in corners]
+        return min(values), max(values)
+
+
+def affine_of(expr: A.Expr, scalars: Dict[str, int]) -> Affine:
+    """Lower a section expression into the affine domain."""
+    if isinstance(expr, A.Num):
+        return Affine(r=expr.value)
+    if isinstance(expr, A.Ident):
+        if expr.name == "omp_spread_start":
+            return Affine(p=1)
+        if expr.name == "omp_spread_size":
+            return Affine(q=1)
+        if expr.name in scalars:
+            return Affine(r=scalars[expr.name])
+        raise NotAffine(f"undefined identifier {expr.name!r}")
+    if isinstance(expr, A.BinOp):
+        left = affine_of(expr.left, scalars)
+        right = affine_of(expr.right, scalars)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if left.is_const:
+            return right.scaled(left.r)
+        if right.is_const:
+            return left.scaled(right.r)
+        raise NotAffine("product of two spread-dependent expressions")
+    raise NotAffine(f"unsupported expression {expr!r}")
+
+
+@dataclass
+class _Template:
+    """One map item's symbolic footprint: section [S, S+L)."""
+
+    var: str
+    map_type: str
+    S: Affine
+    L: Affine
+
+    @property
+    def is_read(self) -> bool:
+        return self.map_type in ("to", "tofrom")
+
+    @property
+    def is_write(self) -> bool:
+        return self.map_type in ("from", "tofrom")
+
+
+def _adjacent_disjoint(a: _Template, b: _Template) -> bool:
+    """Prove section *a* of chunk i ends at or before section *b* of
+    chunk j > i begins, for every chunk pair of every N.
+
+    With ``start_{i+1} = start_i + size_i`` the adjacent pair is the
+    worst case.  ``end_a(i) - begin_b(j)`` expands to
+    ``c_st*start_i + c1*size_i + c2*size_j + c0`` — it is nonpositive
+    everywhere iff the start coefficient vanishes and the size
+    coefficients are nonpositive with the corner value (size = 1) ok.
+    """
+    end_a = a.S + a.L
+    c_st = end_a.p - b.S.p
+    if c_st != 0:
+        return False
+    c1 = end_a.q - b.S.p               # size_i enters via start_j too
+    c2 = -b.S.q
+    c0 = end_a.r - b.S.r
+    return c1 <= 0 and c2 <= 0 and c1 + c2 + c0 <= 0
+
+
+def _same_chunk_disjoint(a: _Template, b: _Template) -> bool:
+    """Prove sections *a* and *b* of the *same* chunk never partially
+    overlap: one ends before the other begins, or they are identical."""
+    if a.S == b.S and a.L == b.L:
+        return True
+    for first, second in ((a, b), (b, a)):
+        delta = (first.S + first.L) - second.S
+        # delta <= 0 for all start (bounded ⇒ coeff must vanish),
+        # all size >= 1
+        if delta.p == 0 and delta.q <= 0 and delta.q + delta.r <= 0:
+            return True
+    return False
+
+
+@dataclass
+class _AffineNode:
+    stmt: DirectiveStmt
+    nowait: bool
+    templates: List[_Template]
+    lo: int
+    hi: int
+
+    def envelopes(self, kind: str) -> Dict[str, Tuple[int, int]]:
+        """Concrete per-var footprint envelope [min, max) over all chunks
+        of every N (polytope extrema — a superset of any shape's union)."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for t in self.templates:
+            if kind == "read" and not t.is_read:
+                continue
+            if kind == "write" and not t.is_write:
+                continue
+            low, _ = t.S.extrema(self.lo, self.hi)
+            _, high = (t.S + t.L).extrema(self.lo, self.hi)
+            if high <= low:
+                continue
+            prev = out.get(t.var)
+            out[t.var] = ((low, high) if prev is None else
+                          (min(prev[0], low), max(prev[1], high)))
+        return out
+
+
+def prove_affine(program: OmpProgram) -> Tuple[bool, str]:
+    """Try to prove the program clean of correctness errors for all N.
+
+    Returns ``(proved, reason)``; on failure *reason* names the first
+    obligation (or eligibility condition) that did not discharge.
+    """
+    nodes: List[_AffineNode] = []
+    for stmt in program.statements:
+        if isinstance(stmt, TaskwaitStmt):
+            nodes.append(stmt)         # type: ignore[arg-type]
+            continue
+        try:
+            directive = parse_pragma(stmt.text)
+            check_directive(directive, extensions=_EXTENSIONS)
+        except (OmpSyntaxError, OmpSemaError) as exc:
+            return False, f"line {stmt.line}: front-end error: {exc}"
+        if directive.kind not in _KERNEL_SPREADS:
+            return False, (f"line {stmt.line}: only kernel spreads are in "
+                           "the affine fragment")
+        clause = directive.find(A.DevicesClause)
+        if clause is None or not clause.all_devices:
+            return False, (f"line {stmt.line}: affine proofs require "
+                           "devices(*)")
+        sched = directive.find(A.SpreadScheduleClause)
+        if sched is not None and sched.kind != "static":
+            return False, (f"line {stmt.line}: dynamic schedules place "
+                           "chunks at run time")
+        if directive.find(A.DependClause) is not None:
+            return False, (f"line {stmt.line}: depend clauses are outside "
+                           "the affine fragment")
+        if stmt.loop is None:
+            return False, f"line {stmt.line}: spread without a loop"
+        lo, hi = stmt.loop
+        templates: List[_Template] = []
+        for mclause in directive.find_all(A.MapClauseNode):
+            for item in mclause.items:
+                extent = program.arrays.get(item.name)
+                if extent is None:
+                    return False, (f"line {stmt.line}: undefined array "
+                                   f"{item.name!r}")
+                try:
+                    if item.whole_array:
+                        S, L = Affine(), Affine(r=extent)
+                    else:
+                        S = affine_of(item.start, program.scalars)
+                        L = affine_of(item.length, program.scalars)
+                except NotAffine as exc:
+                    return False, (f"line {stmt.line}: section of "
+                                   f"{item.name!r} is not affine: {exc}")
+                templates.append(_Template(item.name, mclause.map_type,
+                                           S, L))
+        if hi - lo >= 1:
+            # obligation: section bounds for every chunk of every N
+            for t in templates:
+                smin, _ = t.S.extrema(lo, hi)
+                lmin, _ = t.L.extrema(lo, hi)
+                _, emax = (t.S + t.L).extrema(lo, hi)
+                extent = program.arrays[t.var]
+                if lmin < 0:
+                    return False, (f"line {stmt.line}: section of {t.var!r} "
+                                   "can have negative length")
+                if smin < 0 or emax > extent:
+                    return False, (f"line {stmt.line}: section of {t.var!r} "
+                                   f"can leave [0, {extent})")
+            # obligation: same-var sections are chunk-disjoint (covers
+            # SL201/SL202 races and the §V-B SL402 extension restriction
+            # on shapes where two chunks share a device)
+            for i, a in enumerate(templates):
+                for b in templates[i:]:
+                    if a.var != b.var:
+                        continue
+                    if not (_adjacent_disjoint(a, b)
+                            and _adjacent_disjoint(b, a)):
+                        return False, (
+                            f"line {stmt.line}: sections of {a.var!r} from "
+                            "neighbouring chunks can overlap")
+                    if a is not b and not _same_chunk_disjoint(a, b):
+                        return False, (
+                            f"line {stmt.line}: two maps of {a.var!r} in "
+                            "one chunk can partially overlap")
+        nodes.append(_AffineNode(stmt=stmt,
+                                 nowait=directive.find(A.NowaitClause)
+                                 is not None,
+                                 templates=templates, lo=lo, hi=hi))
+    # obligation: no unordered cross-directive conflicts (SL3xx) — nowait
+    # directives stay live until a taskwait; non-nowait block the host
+    live: List[_AffineNode] = []
+    for node in nodes:
+        if isinstance(node, TaskwaitStmt):
+            live = []
+            continue
+        for prev in live:
+            for mine, theirs in (("write", "write"), ("read", "write"),
+                                 ("write", "read")):
+                a_env = node.envelopes(mine)
+                b_env = prev.envelopes(theirs)
+                for var, (alo, ahi) in a_env.items():
+                    if var in b_env:
+                        blo, bhi = b_env[var]
+                        if alo < bhi and blo < ahi:
+                            return False, (
+                                f"lines {prev.stmt.line} and "
+                                f"{node.stmt.line}: unordered directives "
+                                f"may conflict on {var!r}")
+        if node.nowait:
+            live.append(node)
+    return True, "all affine obligations discharged"
+
+
+# -- shape evaluation and merging --------------------------------------------
+
+
+def _lint_shape(program_source: str, path: str,
+                spec: str) -> List[Diagnostic]:
+    program, structural = parse_program(program_source, path=path)
+    return lint_program(program, structural, machine=lint_machine_for(spec))
+
+
+def _merge_shapes(per_shape: Sequence[Tuple[str, List[Diagnostic]]]
+                  ) -> List[Diagnostic]:
+    """Union diagnostics across shapes, keyed by (line, code); findings
+    absent at some shapes carry a note naming where they appeared."""
+    all_shapes = [spec for spec, _ in per_shape]
+    merged: Dict[Tuple[int, str], Tuple[Diagnostic, List[str]]] = {}
+    for spec, diags in per_shape:
+        for diag in diags:
+            key = (diag.line, diag.code)
+            if key in merged:
+                merged[key][1].append(spec)
+            else:
+                merged[key] = (diag, [spec])
+    out: List[Diagnostic] = []
+    for diag, shapes in merged.values():
+        if len(shapes) != len(all_shapes):
+            note = f"reported at machine {', '.join(shapes)}"
+            diag = replace(diag, related=diag.related + (note,))
+        out.append(diag)
+    return sorted(out, key=lambda d: (d.line, d.code))
+
+
+# -- the verdict --------------------------------------------------------------
+
+
+def lint_source_verdict(source: str, path: str = "",
+                        machine: Union[None, str, LintMachine] = None
+                        ) -> LintVerdict:
+    """Lint a ``.omp`` listing with a machine-parametric verdict.
+
+    ``machine`` (a ``--machine`` spec) forces concrete evaluation at that
+    one shape; a parametric program then gets an explicit "verified only
+    for this machine" note instead of a ∀ claim.
+    """
+    program, structural = parse_program(source, path=path)
+
+    if machine is not None or not program.parametric:
+        lm = resolve_lint_machine(program, machine)
+        diags = lint_program(program, structural, machine=lm)
+        notes = []
+        if program.parametric:
+            notes.append(f"program declares a parametric machine; "
+                         f"verified only for this machine ({lm.spec})")
+        return LintVerdict(universe=lm.spec, forall=False, proof="concrete",
+                           shapes=[lm.spec], notes=notes, diagnostics=diags)
+
+    if program.parametric_group:
+        group = program.parametric_group
+        universe = f"cluster:Mx{group} for all M >= 1"
+        cutoff = machine_cutoff(program)
+        if cutoff <= ENUMERATION_CAP:
+            shapes = [f"cluster:{m}x{group}" for m in range(1, cutoff + 1)]
+            per_shape = [(s, _lint_shape(source, path, s)) for s in shapes]
+            return LintVerdict(
+                universe=universe, forall=True,
+                proof=f"enumeration(1..{cutoff})+stability",
+                shapes=shapes, cutoff=cutoff,
+                notes=[f"chunk placement is provably identical for every "
+                       f"M >= {cutoff}"],
+                diagnostics=_merge_shapes(per_shape))
+        shapes = list(SAMPLE_CLUSTER_SHAPES)
+        per_shape = [(s, _lint_shape(source, path, s)) for s in shapes]
+        return LintVerdict(
+            universe=universe, forall=False, proof="sampled",
+            shapes=shapes, cutoff=cutoff,
+            notes=[f"stability cutoff M={cutoff} exceeds the enumeration "
+                   f"cap ({ENUMERATION_CAP}); verified only at sampled "
+                   "shapes"],
+            diagnostics=_merge_shapes(per_shape))
+
+    universe = "gpus:N for all N >= 1"
+    cutoff = machine_cutoff(program)
+    if cutoff <= ENUMERATION_CAP:
+        shapes = [f"gpus:{n}" for n in range(1, cutoff + 1)]
+        per_shape = [(s, _lint_shape(source, path, s)) for s in shapes]
+        return LintVerdict(
+            universe=universe, forall=True,
+            proof=f"enumeration(1..{cutoff})+stability",
+            shapes=shapes, cutoff=cutoff,
+            notes=[f"chunk placement is provably identical for every "
+                   f"N >= {cutoff}"],
+            diagnostics=_merge_shapes(per_shape))
+
+    proved, reason = prove_affine(program)
+    shapes = [f"gpus:{n}" for n in SAMPLE_DEVICE_COUNTS]
+    per_shape = [(s, _lint_shape(source, path, s)) for s in shapes]
+    merged = _merge_shapes(per_shape)
+    if proved and not any(d.severity is Severity.ERROR for d in merged):
+        notes = [f"correctness proven for all N >= 1 ({reason})"]
+        if any(d.severity is Severity.WARNING for d in merged):
+            notes.append("performance warnings evaluated at sampled "
+                         "shapes only")
+        return LintVerdict(universe=universe, forall=True, proof="affine",
+                           shapes=shapes, cutoff=cutoff, notes=notes,
+                           diagnostics=merged)
+    note = (f"not provable in the affine fragment ({reason}); verified "
+            "only at sampled shapes"
+            if not proved else
+            "affine proof contradicted by a sampled shape; verified only "
+            "at sampled shapes")
+    return LintVerdict(universe=universe, forall=False, proof="sampled",
+                       shapes=shapes, cutoff=cutoff, notes=[note],
+                       diagnostics=merged)

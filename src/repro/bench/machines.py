@@ -32,6 +32,7 @@ from repro.sim.topology import (
     NodeTopology,
     cte_power_node,
     uniform_cluster,
+    uniform_node,
 )
 from repro.somier.config import SomierConfig
 
@@ -126,9 +127,21 @@ def machine_for_spec(spec: str, n_functional: int = 96
     if m:
         return paper_machine(int(m.group(1)) if m.group(1) else 4,
                              n_functional=n_functional)
+    m = re.fullmatch(r"gpus:(\d+)", text, re.IGNORECASE)
+    if m:
+        num = int(m.group(1))
+        if 1 <= num <= 4:
+            return paper_machine(num, n_functional=n_functional)
+        scale = (PAPER_N / n_functional) ** 3
+        topo = uniform_node(num, devices_per_socket=2,
+                            link_bandwidth=LINK_BANDWIDTH,
+                            staging_bandwidth=STAGING_BANDWIDTH,
+                            per_call_latency=PER_CALL_LATENCY,
+                            iters_per_second=ITERS_PER_SECOND)
+        return topo, CostModel(scale=scale)
     raise ValueError(
         f"unknown machine spec {spec!r} "
-        "(expected 'cluster:NxM' or 'cte-power[:N]')")
+        "(expected 'cluster:NxM', 'cte-power[:N]' or 'gpus:N')")
 
 
 def paper_somier_config(n_functional: int = 96,

@@ -17,7 +17,14 @@ Subcommands:
 * ``check``    — parse + semantically check a pragma string (a tiny
                  "compiler driver" exposing the frontend diagnostics);
 * ``lint``     — run the spreadlint static analyzer over ``.omp`` program
-                 listings (see docs/static-analysis.md).
+                 listings; ``--machine`` pins the shape, ``--sarif``
+                 writes a code-scanning report, and ``machine *``
+                 programs get a machine-parametric (∀N) verdict
+                 (see docs/static-analysis.md);
+* ``lint-fuzz`` — differential verification: seeded random programs,
+                 static linter vs the runtime race sanitizer across
+                 machine shapes; exits nonzero on any unsound
+                 disagreement.
 
 Exit codes follow compiler-driver convention: 0 on success (or
 warnings-only lint), 1 when any error diagnostic is emitted, 2 on usage
@@ -36,6 +43,9 @@ Examples::
     python -m repro check "omp target spread devices(0,1) nowait"
     python -m repro lint examples/omp tests/fixtures/lint/good
     python -m repro lint --expect tests/fixtures/lint/bad
+    python -m repro lint --machine cluster:2x2 --json examples/omp
+    python -m repro lint --sarif lint.sarif examples/omp
+    python -m repro lint-fuzz --seed 0 --count 200
 """
 
 from __future__ import annotations
@@ -282,6 +292,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fixture mode: every file must emit (at least) the "
                         "codes its '// expect: SL...' comments announce; "
                         "files without annotations must lint clean")
+    p.add_argument("--machine", metavar="SPEC", default=None,
+                   help="lint for this machine: 'cluster:NxM', "
+                        "'cte-power[:N]' or 'gpus:N' (overrides any "
+                        "'machine' statement in the file; default: "
+                        "$REPRO_MACHINE, else the file's own statement, "
+                        "else the 4-GPU CTE-POWER node)")
+    p.add_argument("--sarif", metavar="FILE", default=None,
+                   help="also write the diagnostics as a SARIF 2.1.0 "
+                        "report to FILE ('-' for stdout) for "
+                        "code-scanning upload")
+
+    p = sub.add_parser("lint-fuzz",
+                       help="differential verification: seeded random .omp "
+                            "programs, static linter vs runtime race "
+                            "sanitizer across machine shapes")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base RNG seed (program i uses seed+i; default 0)")
+    p.add_argument("--count", type=int, default=50,
+                   help="number of random programs to check (default 50)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the per-program comparison as JSON")
 
     p = sub.add_parser("machine",
                        help="describe the calibrated simulated node")
@@ -478,13 +509,53 @@ def cmd_check(args) -> int:
     return 0
 
 
+def _sarif_report(entries) -> dict:
+    """Render ``(path, diagnostics)`` pairs as a SARIF 2.1.0 report."""
+    from repro.analysis.diagnostics import CATALOG, Severity
+
+    levels = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+    rules = [{"id": code,
+              "shortDescription": {"text": summary},
+              "defaultConfiguration": {"level": levels.get(sev, "note")}}
+             for code, (sev, summary) in sorted(CATALOG.items())]
+    results = []
+    for fpath, diags in entries:
+        for d in diags:
+            region = {"startLine": max(d.line, 1)}
+            if d.offset is not None:
+                region["startColumn"] = d.offset + 1
+                if d.length:
+                    region["endColumn"] = d.offset + 1 + d.length
+            results.append({
+                "ruleId": d.code,
+                "level": levels.get(d.severity, "note"),
+                "message": {"text": d.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": fpath.replace("\\", "/")},
+                    "region": region}}]})
+    return {"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{"tool": {"driver": {"name": "spreadlint",
+                                          "rules": rules}},
+                      "results": results}]}
+
+
 def cmd_lint(args) -> int:
     import json as json_mod
     import os
 
     from repro.analysis.diagnostics import Severity
-    from repro.analysis.linter import lint_program
+    from repro.analysis.linter import lint_machine_for
     from repro.analysis.program import parse_program
+    from repro.analysis.symbolic import lint_source_verdict
+
+    machine = args.machine or envknobs.env_raw(MACHINE_ENV)
+    if machine is not None:
+        try:
+            lint_machine_for(machine)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
 
     files: List[str] = []
     for path in args.paths:
@@ -506,18 +577,22 @@ def cmd_lint(args) -> int:
 
     exit_code = 0
     payload = []
+    sarif_entries = []
     errors = warnings = 0
     for fpath in files:
         with open(fpath) as f:
             source = f.read()
-        program, structural = parse_program(source, path=fpath)
-        diags = lint_program(program, structural)
+        verdict = lint_source_verdict(source, path=fpath, machine=machine)
+        diags = verdict.diagnostics
         emitted = {d.code for d in diags}
         errors += sum(1 for d in diags if d.severity is Severity.ERROR)
         warnings += sum(1 for d in diags if d.severity is Severity.WARNING)
         entry = {"path": fpath,
+                 "verdict": verdict.to_dict(),
                  "diagnostics": [d.to_dict() for d in diags]}
+        sarif_entries.append((fpath, diags))
         if args.expect:
+            program, _ = parse_program(source, path=fpath)
             expected = set(program.expected_codes)
             missing = sorted(expected - emitted)
             # A file with annotations must emit every announced code; a
@@ -542,12 +617,25 @@ def cmd_lint(args) -> int:
                     for diag in diags:
                         print(diag.render())
         else:
-            if any(d.severity is Severity.ERROR for d in diags):
+            if not verdict.clean:
                 exit_code = 1
             if not args.json:
                 for diag in diags:
                     print(diag.render())
+                if verdict.forall:
+                    state = "race-free" if verdict.clean else "findings hold"
+                    print(f"{fpath}: verified ∀N: {state} for "
+                          f"{verdict.universe} [{verdict.proof}]")
+                for note in verdict.notes:
+                    print(f"{fpath}: note: {note}")
         payload.append(entry)
+    if args.sarif:
+        sarif = json_mod.dumps(_sarif_report(sarif_entries), indent=2)
+        if args.sarif == "-":
+            print(sarif)
+        else:
+            with open(args.sarif, "w") as f:
+                f.write(sarif + "\n")
     if args.json:
         print(json_mod.dumps({"files": payload, "errors": errors,
                               "warnings": warnings}, indent=2))
@@ -555,6 +643,28 @@ def cmd_lint(args) -> int:
         print(f"{len(files)} file(s): {errors} error(s), "
               f"{warnings} warning(s)")
     return exit_code
+
+
+def cmd_lint_fuzz(args) -> int:
+    import json as json_mod
+
+    from repro.analysis.diffcheck import run_diffcheck
+
+    summary = run_diffcheck(seed=args.seed, count=args.count)
+    if args.json:
+        print(json_mod.dumps({
+            "seed": args.seed,
+            "count": summary.count,
+            "shapes": summary.shapes,
+            "unsound": [{"seed": r.seed, "source": r.source,
+                         "outcomes": [o.to_dict() for o in r.outcomes]}
+                        for r in summary.unsound],
+            "imprecise_seeds": [r.seed for r in summary.imprecise],
+            "ok": summary.ok,
+        }, indent=2))
+    else:
+        print(summary.render())
+    return 0 if summary.ok else 1
 
 
 def cmd_machine(args) -> int:
@@ -627,6 +737,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_check(args)
         if args.command == "lint":
             return cmd_lint(args)
+        if args.command == "lint-fuzz":
+            return cmd_lint_fuzz(args)
         if args.command == "machine":
             return cmd_machine(args)
     except OmpError as err:

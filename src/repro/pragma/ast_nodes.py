@@ -126,8 +126,16 @@ class DeviceClause(Clause):
 
 @dataclass(frozen=True)
 class DevicesClause(Clause):
+    """``devices(0, 1, ...)`` — or ``devices(*)`` for *all* devices.
+
+    ``devices(*)`` leaves the device list a free parameter of the machine:
+    codegen resolves it against the runtime's topology, and the linter can
+    quantify verdicts over every machine size N >= 1.
+    """
+
     name = "devices"
     devices: Tuple[Expr, ...] = ()
+    all_devices: bool = False
     pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
@@ -183,6 +191,15 @@ class DependClause(Clause):
 @dataclass(frozen=True)
 class NowaitClause(Clause):
     name = "nowait"
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class FuseTransfersClause(Clause):
+    """``fuse_transfers`` — coalesce a chunk's per-variable memcpys into
+    one staged transfer, trading per-call latency for one big copy."""
+
+    name = "fuse_transfers"
     pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 

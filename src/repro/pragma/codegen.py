@@ -35,7 +35,7 @@ from repro.pragma.sema import check_directive
 from repro.spread import extensions as ext_mod
 from repro.spread import spread_data as SD
 from repro.spread import spread_target as ST
-from repro.spread.schedule import spread_schedule
+from repro.spread.schedule import HierarchicalStaticSchedule, spread_schedule
 from repro.spread.sections import SpreadExpr, omp_spread_size, omp_spread_start
 from repro.util.errors import OmpSemaError
 
@@ -170,9 +170,14 @@ def _device_of(directive: A.Directive, symbols: Symbols, default: int) -> int:
     return eval_int(clause.device, symbols, "device clause")
 
 
-def _devices_of(directive: A.Directive, symbols: Symbols) -> List[int]:
+def _devices_of(directive: A.Directive, symbols: Symbols,
+                ctx: TaskCtx) -> List[int]:
     clause = directive.find(A.DevicesClause)
     assert clause is not None  # sema guarantees presence
+    if clause.all_devices:
+        # devices(*): every device of the machine the program runs on —
+        # the machine-parametric form the symbolic linter quantifies over.
+        return list(range(ctx.rt.num_devices))
     return [eval_int(e, symbols, "devices clause") for e in clause.devices]
 
 
@@ -189,9 +194,30 @@ def _chunk_of(directive: A.Directive, symbols: Symbols) -> int:
     return eval_int(clause.chunk, symbols, "chunk_size clause")
 
 
-def _schedule_of(directive: A.Directive, symbols: Symbols):
+def node_groups(topology, devices: List[int]) -> List[List[int]]:
+    """Group a devices list by cluster node (clause order within a node).
+
+    Mirrors what the Somier cluster runs compute by hand: nodes first,
+    then each node's devices, so chunk indices stay global and
+    sequential in (node, position) order.
+    """
+    groups: Dict[int, List[int]] = {}
+    for d in devices:
+        groups.setdefault(topology.node_of(d), []).append(d)
+    return [groups[n] for n in sorted(groups)]
+
+
+def _schedule_of(directive: A.Directive, symbols: Symbols,
+                 ctx: TaskCtx, devices: List[int]):
     clause = directive.find(A.SpreadScheduleClause)
     if clause is None:
+        # On a cluster the default static split goes hierarchical — nodes
+        # first, then each node's devices — matching the Somier cluster
+        # implementations (and keeping a chunk's halo traffic on-node).
+        if (getattr(ctx.rt, "num_nodes", 1) > 1
+                and len({ctx.rt.topology.node_of(d) for d in devices}) > 1):
+            return HierarchicalStaticSchedule(
+                node_groups(ctx.rt.topology, devices))
         return None
     chunk = (eval_int(clause.chunk, symbols, "spread_schedule clause")
              if clause.chunk is not None else None)
@@ -207,6 +233,10 @@ def _teams_of(directive: A.Directive, symbols: Symbols):
 
 def _nowait(directive: A.Directive) -> bool:
     return directive.find(A.NowaitClause) is not None
+
+
+def _fuse(directive: A.Directive) -> bool:
+    return directive.find(A.FuseTransfersClause) is not None
 
 
 # ---------------------------------------------------------------------------
@@ -252,19 +282,21 @@ def lower_directive(ctx: TaskCtx, directive: A.Directive, symbols: Symbols,
 
     if kind is _D.TARGET_SPREAD or kind is _D.TARGET_SPREAD_TEAMS_DPF:
         _require_loop(directive, body, loop)
-        devices = _devices_of(directive, symbols)
-        schedule = _schedule_of(directive, symbols)
+        devices = _devices_of(directive, symbols, ctx)
+        schedule = _schedule_of(directive, symbols, ctx, devices)
         lo, hi = loop
         if kind is _D.TARGET_SPREAD:
             result = yield from ST.target_spread(
                 ctx, body, lo, hi, devices, schedule=schedule, maps=maps,
-                nowait=nowait, depends=deps)
+                nowait=nowait, depends=deps,
+                fuse_transfers=_fuse(directive))
         else:
             teams, threads = _teams_of(directive, symbols)
             result = yield from ST.target_spread_teams_distribute_parallel_for(
                 ctx, body, lo, hi, devices, schedule=schedule, maps=maps,
                 num_teams=teams, threads_per_team=threads,
-                nowait=nowait, depends=deps)
+                nowait=nowait, depends=deps,
+                fuse_transfers=_fuse(directive))
         return result
 
     if kind is _D.TARGET_DATA:
@@ -293,29 +325,31 @@ def lower_directive(ctx: TaskCtx, directive: A.Directive, symbols: Symbols,
 
     if kind is _D.TARGET_DATA_SPREAD:
         region = yield from SD.target_data_spread(
-            ctx, _devices_of(directive, symbols),
+            ctx, _devices_of(directive, symbols, ctx),
             _range_of(directive, symbols), _chunk_of(directive, symbols),
-            maps)
+            maps, fuse_transfers=_fuse(directive))
         return region
 
     if kind is _D.TARGET_ENTER_DATA_SPREAD:
         result = yield from SD.target_enter_data_spread(
-            ctx, _devices_of(directive, symbols),
+            ctx, _devices_of(directive, symbols, ctx),
             _range_of(directive, symbols), _chunk_of(directive, symbols),
-            maps, nowait=nowait, depends=deps)
+            maps, nowait=nowait, depends=deps,
+            fuse_transfers=_fuse(directive))
         return result
 
     if kind is _D.TARGET_EXIT_DATA_SPREAD:
         result = yield from SD.target_exit_data_spread(
-            ctx, _devices_of(directive, symbols),
+            ctx, _devices_of(directive, symbols, ctx),
             _range_of(directive, symbols), _chunk_of(directive, symbols),
-            maps, nowait=nowait, depends=deps)
+            maps, nowait=nowait, depends=deps,
+            fuse_transfers=_fuse(directive))
         return result
 
     if kind is _D.TARGET_UPDATE_SPREAD:
         to, from_ = _build_motion(directive, symbols)
         result = yield from SD.target_update_spread(
-            ctx, _devices_of(directive, symbols),
+            ctx, _devices_of(directive, symbols, ctx),
             _range_of(directive, symbols), _chunk_of(directive, symbols),
             to=to, from_=from_, nowait=nowait, depends=deps)
         return result

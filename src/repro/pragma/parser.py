@@ -8,8 +8,8 @@ Grammar (clauses may appear in any order after the directive name)::
     data-tail  := "data" | "enter" "data" | "exit" "data" | "update"
                   (each optionally followed by "spread")
     clause     := device | devices | spread_schedule | range | chunk_size
-                | map | to | from | depend | nowait | num_teams
-                | thread_limit
+                | map | to | from | depend | nowait | fuse_transfers
+                | num_teams | thread_limit
     section    := IDENT [ "[" expr ":" expr "]" ]
     expr       := term (("+"|"-") term)*
     term       := factor ("*" factor)*
@@ -213,6 +213,13 @@ class _Parser:
 
     def _clause_devices(self) -> A.Clause:
         self._paren_open()
+        # devices(*): all devices of the machine the program runs on.
+        # The lone star must be the whole argument — a leading '*' can
+        # never start an expression, so there is no ambiguity.
+        if self.peek().kind is TokenKind.STAR:
+            self.advance()
+            self._paren_close()
+            return A.DevicesClause(all_devices=True)
         devices = [self.parse_expr()]
         while self.peek().kind is TokenKind.COMMA:
             self.advance()
@@ -285,6 +292,9 @@ class _Parser:
 
     def _clause_nowait(self) -> A.Clause:
         return A.NowaitClause()
+
+    def _clause_fuse_transfers(self) -> A.Clause:
+        return A.FuseTransfersClause()
 
     def _clause_num_teams(self) -> A.Clause:
         self._paren_open()

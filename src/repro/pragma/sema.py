@@ -42,19 +42,23 @@ _ALLOWED: Dict[A.DirectiveKind, Tuple[Type[A.Clause], ...]] = {
     _D.TARGET_UPDATE: (A.DeviceClause, A.MotionClause, A.DependClause,
                        A.NowaitClause),
     _D.TARGET_SPREAD: (A.DevicesClause, A.SpreadScheduleClause,
-                       A.MapClauseNode, A.DependClause, A.NowaitClause),
+                       A.MapClauseNode, A.DependClause, A.NowaitClause,
+                       A.FuseTransfersClause),
     _D.TARGET_SPREAD_TEAMS_DPF: (A.DevicesClause, A.SpreadScheduleClause,
                                  A.MapClauseNode, A.DependClause,
                                  A.NowaitClause, A.NumTeamsClause,
-                                 A.ThreadLimitClause),
+                                 A.ThreadLimitClause, A.FuseTransfersClause),
     _D.TARGET_DATA_SPREAD: (A.DevicesClause, A.RangeClause,
-                            A.ChunkSizeClause, A.MapClauseNode),
+                            A.ChunkSizeClause, A.MapClauseNode,
+                            A.FuseTransfersClause),
     _D.TARGET_ENTER_DATA_SPREAD: (A.DevicesClause, A.RangeClause,
                                   A.ChunkSizeClause, A.MapClauseNode,
-                                  A.NowaitClause, A.DependClause),
+                                  A.NowaitClause, A.DependClause,
+                                  A.FuseTransfersClause),
     _D.TARGET_EXIT_DATA_SPREAD: (A.DevicesClause, A.RangeClause,
                                  A.ChunkSizeClause, A.MapClauseNode,
-                                 A.NowaitClause, A.DependClause),
+                                 A.NowaitClause, A.DependClause,
+                                 A.FuseTransfersClause),
     _D.TARGET_UPDATE_SPREAD: (A.DevicesClause, A.RangeClause,
                               A.ChunkSizeClause, A.MotionClause,
                               A.NowaitClause, A.DependClause),
@@ -80,7 +84,8 @@ _REQUIRED: Dict[A.DirectiveKind, Tuple[Type[A.Clause], ...]] = {
 #: clauses that may appear at most once
 _AT_MOST_ONCE = (A.DeviceClause, A.DevicesClause, A.SpreadScheduleClause,
                  A.RangeClause, A.ChunkSizeClause, A.NowaitClause,
-                 A.NumTeamsClause, A.ThreadLimitClause)
+                 A.NumTeamsClause, A.ThreadLimitClause,
+                 A.FuseTransfersClause)
 
 _MAP_TYPES_ALLOWED: Dict[A.DirectiveKind, Set[str]] = {
     _D.TARGET: {"to", "from", "tofrom", "alloc"},
@@ -159,9 +164,10 @@ def check_directive(directive: A.Directive,
             raise _err(directive,
                        f"missing required clause {req.name!r}")
 
-    # devices list must be non-empty
+    # devices list must be non-empty (devices(*) resolves to all devices)
     devices = directive.find(A.DevicesClause)
-    if devices is not None and not devices.devices:
+    if (devices is not None and not devices.devices
+            and not devices.all_devices):
         raise _err(directive, "devices() needs at least one device",
                    pos=devices.pos)
 

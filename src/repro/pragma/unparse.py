@@ -49,6 +49,8 @@ def unparse_clause(clause: A.Clause) -> str:
     if isinstance(clause, A.DeviceClause):
         return f"device({unparse_expr(clause.device)})"
     if isinstance(clause, A.DevicesClause):
+        if clause.all_devices:
+            return "devices(*)"
         return "devices(" + ", ".join(unparse_expr(e)
                                       for e in clause.devices) + ")"
     if isinstance(clause, A.SpreadScheduleClause):
@@ -68,6 +70,8 @@ def unparse_clause(clause: A.Clause) -> str:
         return f"depend({clause.kind}: {_sections(clause.items)})"
     if isinstance(clause, A.NowaitClause):
         return "nowait"
+    if isinstance(clause, A.FuseTransfersClause):
+        return "fuse_transfers"
     if isinstance(clause, A.NumTeamsClause):
         return f"num_teams({unparse_expr(clause.value)})"
     if isinstance(clause, A.ThreadLimitClause):

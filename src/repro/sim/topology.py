@@ -418,6 +418,7 @@ def uniform_cluster(num_nodes: int,
 
 _CLUSTER_RE = re.compile(r"cluster:(\d+)x(\d+)", re.IGNORECASE)
 _CTE_RE = re.compile(r"cte-power(?::(\d+))?", re.IGNORECASE)
+_GPUS_RE = re.compile(r"gpus:(\d+)", re.IGNORECASE)
 
 
 def parse_machine_spec(spec: str, **cluster_kwargs):
@@ -427,7 +428,10 @@ def parse_machine_spec(spec: str, **cluster_kwargs):
 
     * ``cluster:NxM`` — N nodes of M GPUs each (:func:`uniform_cluster`);
     * ``cte-power`` / ``cte-power:N`` — the paper's single node with N
-      (default 4) GPUs (:func:`cte_power_node`).
+      (default 4) GPUs (:func:`cte_power_node`);
+    * ``gpus:N`` — a generic single node with N GPUs (N may exceed the
+      4-GPU CTE-POWER layout; :func:`uniform_node` with CTE-POWER-like
+      per-socket wiring).
     """
     text = str(spec).strip()
     m = _CLUSTER_RE.fullmatch(text)
@@ -440,8 +444,17 @@ def parse_machine_spec(spec: str, **cluster_kwargs):
     m = _CTE_RE.fullmatch(text)
     if m:
         return cte_power_node(int(m.group(1)) if m.group(1) else 4)
+    m = _GPUS_RE.fullmatch(text)
+    if m:
+        num = int(m.group(1))
+        if num < 1:
+            raise ValueError(f"machine spec {spec!r}: gpus:N needs N >= 1")
+        if num <= 4:
+            return cte_power_node(num)
+        return uniform_node(num, devices_per_socket=2)
     raise ValueError(
-        f"machine spec {spec!r}: expected 'cluster:NxM' or 'cte-power[:N]'")
+        f"machine spec {spec!r}: expected 'cluster:NxM', 'cte-power[:N]' "
+        "or 'gpus:N'")
 
 
 def machine_from_env():

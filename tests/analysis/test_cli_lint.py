@@ -13,6 +13,13 @@ BAD = REPO / "tests" / "fixtures" / "lint" / "bad"
 GOOD = REPO / "tests" / "fixtures" / "lint" / "good"
 
 
+@pytest.fixture(autouse=True)
+def _no_machine_env(monkeypatch):
+    # $REPRO_MACHINE is the CLI's default lint machine; CI legs export it
+    # globally, so pin these tests to the flag/file-statement behavior
+    monkeypatch.delenv("REPRO_MACHINE", raising=False)
+
+
 class TestExitCodes:
     def test_clean_files_exit_zero(self, capsys):
         assert main(["lint", str(GOOD)]) == 0
@@ -116,6 +123,161 @@ class TestDiagnosticRendering:
         main(["lint", str(BAD / "sl201_intra_ww.omp")])
         out = capsys.readouterr().out
         assert "sl201_intra_ww.omp:" in out
+
+
+class TestMachineFlag:
+    """Satellite: ``repro lint --machine`` pins the lint machine, with
+    $REPRO_MACHINE as the environment default."""
+
+    TWO_DEV = ("declare N = 16\ndeclare x[N]\n\n"
+               "#pragma omp target spread devices(0,1) "
+               "spread_schedule(static, 8) "
+               "map(from: x[omp_spread_start : omp_spread_size])\n"
+               "loop(0 : N)\ntaskwait\n")
+
+    def test_machine_flag_changes_the_verdict(self, tmp_path, capsys):
+        f = tmp_path / "two_dev.omp"
+        f.write_text(self.TWO_DEV)
+        assert main(["lint", str(f)]) == 0
+        capsys.readouterr()
+        rc = main(["lint", "--machine", "gpus:1", str(f)])
+        assert rc == 1
+        assert "SL103" in capsys.readouterr().out
+
+    def test_env_variable_is_the_default_machine(self, tmp_path, capsys,
+                                                 monkeypatch):
+        f = tmp_path / "two_dev.omp"
+        f.write_text(self.TWO_DEV)
+        monkeypatch.setenv("REPRO_MACHINE", "gpus:1")
+        rc = main(["lint", str(f)])
+        assert rc == 1
+        assert "SL103" in capsys.readouterr().out
+
+    def test_bogus_machine_spec_is_usage_error(self, capsys):
+        rc = main(["lint", "--machine", "nonsense:9z", str(GOOD)])
+        assert rc == 2
+        assert capsys.readouterr().err
+
+    def test_cluster_machine_enables_cluster_lints(self, tmp_path, capsys):
+        f = tmp_path / "dynamic.omp"
+        f.write_text("declare N = 64\ndeclare x[N]\n\n"
+                     "#pragma omp target spread devices(0,1,2,3) "
+                     "spread_schedule(dynamic, 16) "
+                     "map(tofrom: x[omp_spread_start : omp_spread_size])\n"
+                     "loop(0 : N)\ntaskwait\n")
+        assert main(["lint", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "SL702" not in out
+        assert main(["lint", "--machine", "cluster:2x2", str(f)]) == 0
+        assert "SL702" in capsys.readouterr().out
+
+
+class TestSarifOutput:
+    def test_sarif_report_structure(self, tmp_path, capsys):
+        sarif_path = tmp_path / "lint.sarif"
+        rc = main(["lint", "--sarif", str(sarif_path),
+                   str(BAD / "sl201_intra_ww.omp")])
+        assert rc == 1
+        capsys.readouterr()
+        report = json.loads(sarif_path.read_text())
+        assert report["version"] == "2.1.0"
+        run = report["runs"][0]
+        assert run["tool"]["driver"]["name"] == "spreadlint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"SL201", "SL601", "SL702"} <= rule_ids
+        result = next(r for r in run["results"] if r["ruleId"] == "SL201")
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+
+    def test_sarif_to_stdout(self, capsys):
+        rc = main(["lint", "--sarif", "-",
+                   str(BAD / "sl404_redundant_release.omp")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"2.1.0"' in out and '"SL404"' in out
+
+
+class TestVerdictOutput:
+    EXAMPLES = REPO / "examples" / "omp"
+
+    def test_forall_verdict_in_json(self, capsys):
+        rc = main(["lint", "--json",
+                   str(self.EXAMPLES / "spread_forall.omp")])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        verdict = payload["files"][0]["verdict"]
+        assert verdict["forall"] is True
+        assert verdict["verdict"] == "∀N"
+        assert verdict["clean"] is True
+        assert verdict["proof"].startswith("enumeration")
+
+    def test_forall_verdict_in_text_output(self, capsys):
+        rc = main(["lint", str(self.EXAMPLES / "spread_affine.omp")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified ∀N" in out and "[affine]" in out
+
+
+class TestLintFuzzCommand:
+    def test_seed_zero_gate_passes(self, capsys):
+        rc = main(["lint-fuzz", "--seed", "0", "--count", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unsound disagreements: 0" in out
+
+    def test_json_output(self, capsys):
+        rc = main(["lint-fuzz", "--seed", "3", "--count", "3", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["count"] == 3
+        assert payload["unsound"] == []
+
+
+class TestCaretSpanClamping:
+    """Satellite: carets for clauses that land on backslash-continuation
+    lines are span-clamped into the rendered (joined) statement."""
+
+    def _diag(self, **kw):
+        from repro.analysis.diagnostics import Diagnostic
+        return Diagnostic(code="SL002", message="m", path="f.omp", line=3,
+                          **kw)
+
+    def test_offset_past_statement_end_is_clamped(self):
+        d = self._diag(source="short text", offset=50)
+        caret = d.render().splitlines()[-1]
+        assert caret == "  " + " " * len("short text") + "^"
+
+    def test_underline_clamped_to_statement_end(self):
+        d = self._diag(source="map(from: x)", offset=4, length=99)
+        caret = d.render().splitlines()[-1]
+        assert caret == "  " + " " * 4 + "^" + "~" * (len("map(from: x)")
+                                                      - 5)
+
+    def test_tab_indent_preserved_in_caret_pad(self):
+        d = self._diag(source="\tmap(to: x)", offset=1, length=3)
+        caret = d.render().splitlines()[-1]
+        assert caret.startswith("  \t^") and caret.endswith("^~~")
+
+    def test_continuation_line_clause_caret_lands_in_statement(
+            self, tmp_path, capsys):
+        f = tmp_path / "cont.omp"
+        f.write_text(
+            "declare N = 8\ndeclare a[N]\n\n"
+            "#pragma omp target enter data spread devices(0) \\\n"
+            "    range(0 : N) chunk_size(4) \\\n"
+            "    map(from: a[omp_spread_start : omp_spread_size])\n")
+        rc = main(["lint", str(f)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "SL002" in out
+        lines = out.splitlines()
+        caret = next(ln for ln in lines if ln.lstrip().startswith("^"))
+        src = lines[lines.index(caret) - 1]
+        col = caret.index("^")
+        assert col < len(src)
+        assert src[col:].startswith("map(from")
 
 
 class TestCheckCommand:

@@ -1,0 +1,107 @@
+"""Differential verification: the lint-fuzz harness itself, and the
+acceptance cross-validation of SL601 against a causal-analysis run."""
+
+from pathlib import Path
+
+from repro.analysis.diffcheck import (DEFAULT_SHAPES, check_program,
+                                      execute_source, generate_program,
+                                      run_diffcheck)
+from repro.analysis.linter import lint_source
+from repro.analysis.program import parse_program
+from repro.openmp.runtime import OpenMPRuntime
+
+REPO = Path(__file__).resolve().parents[2]
+BAD = REPO / "tests" / "fixtures" / "lint" / "bad"
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        assert generate_program(7) == generate_program(7)
+        assert generate_program(7) != generate_program(8)
+
+    def test_generated_programs_are_structurally_valid(self):
+        for seed in range(30):
+            source = generate_program(seed)
+            program, structural = parse_program(source)
+            assert structural == [], f"seed {seed}: {structural}"
+            assert program.statements
+
+
+class TestExecutor:
+    def test_racy_program_trips_the_sanitizer(self):
+        source = (
+            "declare N = 32\ndeclare x[N]\ndeclare y[N]\ndeclare z[N]\n"
+            "#pragma omp target spread devices(0,1) "
+            "spread_schedule(static, 16) nowait "
+            "map(to: y[omp_spread_start : omp_spread_size]) "
+            "map(from: x[omp_spread_start : omp_spread_size])\n"
+            "loop(0 : N)\n"
+            "#pragma omp target spread devices(0,1) "
+            "spread_schedule(static, 16) nowait "
+            "map(to: x[omp_spread_start : omp_spread_size]) "
+            "map(from: z[omp_spread_start : omp_spread_size])\n"
+            "loop(0 : N)\n"
+            "taskwait\n")
+        races, error = execute_source(source, "cte-power:2")
+        assert error is None
+        assert races > 0
+        # ...and the linter agrees (SL302 read-vs-write, so the program
+        # is an agreement case, not an unsound one)
+        diags = lint_source(source)
+        assert "SL302" in {d.code for d in diags}
+        result = check_program(source, shapes=("cte-power:2",))
+        assert not result.unsound
+
+    def test_out_of_range_device_is_agreement_not_unsoundness(self):
+        source = (
+            "declare N = 16\ndeclare x[N]\n"
+            "#pragma omp target spread devices(0,1) "
+            "spread_schedule(static, 8) "
+            "map(from: x[omp_spread_start : omp_spread_size])\n"
+            "loop(0 : N)\ntaskwait\n")
+        races, error = execute_source(source, "cte-power:1")
+        assert error is not None and "out of range" in error
+        result = check_program(source, shapes=("cte-power:1",))
+        assert result.outcomes[0].lint_errors == ["SL103"]
+        assert not result.unsound
+
+
+class TestDiffcheckGate:
+    def test_seed_zero_has_no_unsound_disagreements(self):
+        summary = run_diffcheck(seed=0, count=25)
+        assert summary.ok, summary.render()
+        assert summary.count == 25
+        assert list(summary.shapes) == list(DEFAULT_SHAPES)
+        # the stream must exercise both agreement classes: some programs
+        # race (confirmed), some are clean everywhere
+        confirmed = [r for r in summary.results
+                     if any(o.race_confirmed for o in r.outcomes)]
+        quiet = [r for r in summary.results
+                 if all(not o.race_confirmed and not o.lint_errors
+                        for o in r.outcomes)]
+        assert confirmed and quiet
+
+
+class TestTransferBoundCrossValidation:
+    """Acceptance: the SL601 static verdict on the transfer-bound fixture
+    matches a causal-analysis run — the transfer lanes dominate compute
+    on the very machine the lint modeled."""
+
+    def test_sl601_matches_lane_attribution(self):
+        source = (BAD / "sl601_transfer_bound.omp").read_text()
+        diags = lint_source(source, path="sl601_transfer_bound.omp")
+        assert "SL601" in {d.code for d in diags}
+
+        from repro.analysis.diffcheck import drive_program
+        from repro.analysis.linter import lint_machine_for
+        program, structural = parse_program(source)
+        assert structural == []
+        # the exact machine the lint modeled: calibrated topology with
+        # the unscaled cost model
+        machine = lint_machine_for(f"gpus:{program.machine}")
+        rt = OpenMPRuntime(topology=machine.topology,
+                           cost_model=machine.cost_model, analyze=True)
+        drive_program(rt, program)
+        attribution = rt.analysis().attribution()
+        totals = attribution["totals"]
+        assert totals["transfer_s"] > totals["compute_s"] > 0.0
